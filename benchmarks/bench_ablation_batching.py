@@ -1,0 +1,51 @@
+"""Ablation — UDF batch size (Section 5.4).
+
+BlendSQL defaults to 5 keys per call: fewer calls, slightly more errors.
+This bench sweeps batch size on the Super Hero database and asserts the
+trade-off the paper describes: call count falls roughly linearly with
+batch size while execution accuracy never improves.
+"""
+
+import pytest
+
+from repro.eval.report import format_table
+from repro.harness.runner import run_udf
+
+BATCH_SIZES = (1, 5, 20)
+
+
+@pytest.fixture(scope="module")
+def sweep(swan, gold):
+    return {
+        size: run_udf(
+            swan, "gpt-3.5-turbo", 0, databases=["superhero"],
+            gold=gold, batch_size=size,
+        )
+        for size in BATCH_SIZES
+    }
+
+
+def test_ablation_batch_size(benchmark, swan, gold, sweep, show):
+    benchmark.pedantic(
+        run_udf,
+        args=(swan, "gpt-3.5-turbo", 0),
+        kwargs={"databases": ["superhero"], "gold": gold, "batch_size": 5},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [size, run.usage.calls, run.usage.input_tokens,
+         f"{run.overall_ex * 100:.1f}%"]
+        for size, run in sweep.items()
+    ]
+    show(format_table(
+        ["Batch size", "LLM calls", "Input tokens", "EX"],
+        rows,
+        title="Ablation: UDF batch size (Super Hero, GPT-3.5, 0-shot).",
+    ))
+
+    calls = [sweep[size].usage.calls for size in BATCH_SIZES]
+    assert calls[0] > calls[1] > calls[2]
+
+    # batching never helps accuracy (the paper blames it for errors)
+    assert sweep[1].overall_ex >= sweep[5].overall_ex >= sweep[20].overall_ex - 1e-9

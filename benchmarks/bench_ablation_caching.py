@@ -1,0 +1,81 @@
+"""Ablation — prompt caching and cross-question reuse (Section 5.5).
+
+The paper's cost story: BlendSQL caches by exact prompt text, so
+similar-but-differently-phrased questions regenerate everything, while
+HQDL's materialized tables are reused by construction.  This bench
+quantifies both: cache on/off for the UDF path, and the marginal cost of
+HQDL answering 30 questions vs 1.
+"""
+
+import pytest
+
+from repro.eval.report import format_table
+from repro.harness.runner import run_udf
+from repro.llm.cache import PromptCache
+from repro.llm.chat import MockChatModel
+from repro.llm.oracle import KnowledgeOracle
+from repro.llm.profiles import get_profile
+from repro.swan.build import build_curated_database
+from repro.udf.executor import HybridQueryExecutor
+
+
+@pytest.fixture(scope="module")
+def cache_stats(swan):
+    """Run all superhero blend queries against one shared cache."""
+    world = swan.world("superhero")
+    model = MockChatModel(KnowledgeOracle(world), get_profile("gpt-3.5-turbo"))
+    cache = PromptCache()
+    with build_curated_database(world) as db:
+        executor = HybridQueryExecutor(db, model, world, cache=cache)
+        for question in swan.questions_for("superhero"):
+            executor.execute(question.blend_sql)
+    return cache, model.meter.total
+
+
+def test_ablation_prompt_cache(benchmark, swan, gold, cache_stats, show):
+    benchmark.pedantic(
+        run_udf,
+        args=(swan, "gpt-3.5-turbo", 0),
+        kwargs={"databases": ["superhero"], "gold": gold},
+        rounds=1,
+        iterations=1,
+    )
+    cache, usage = cache_stats
+    show(format_table(
+        ["Cache entries", "Hits", "Misses", "Hit rate", "Paid input tokens"],
+        [[len(cache), cache.hits, cache.misses,
+          f"{cache.hit_rate() * 100:.1f}%", usage.input_tokens]],
+        title="Ablation: prompt-cache reuse across the 30 Super Hero queries.",
+    ))
+
+    # the cache does get some exact-prompt reuse within/across queries ...
+    assert cache.hits > 0
+    # ... but most prompts are unique because each query phrases its
+    # question differently (Section 5.5's limited-reuse observation)
+    assert cache.hit_rate() < 0.5
+
+
+def test_hqdl_materialization_amortizes(benchmark, swan, gold, show):
+    """HQDL's generation cost is paid once, not per question."""
+    from repro.core.hqdl import HQDL
+    from repro.llm.usage import UsageMeter
+
+    world = swan.world("superhero")
+    meter = UsageMeter()
+    model = MockChatModel(
+        KnowledgeOracle(world), get_profile("gpt-3.5-turbo"), meter=meter
+    )
+    pipeline = HQDL(world, model, shots=0)
+    generation = benchmark.pedantic(pipeline.generate_all, rounds=1, iterations=1)
+    generation_calls = meter.total.calls
+    with pipeline.build_expanded_database(generation) as db:
+        for question in swan.questions_for("superhero"):
+            pipeline.answer(db, question)
+    total_calls = meter.total.calls
+
+    show(format_table(
+        ["Generation calls", "Calls during 30 queries"],
+        [[generation_calls, total_calls - generation_calls]],
+        title="HQDL: LLM calls are all up-front; queries are free.",
+    ))
+    assert total_calls == generation_calls  # zero marginal LLM cost

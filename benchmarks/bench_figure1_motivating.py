@@ -1,0 +1,31 @@
+"""Figure 1 — the motivating example.
+
+"List all the hero names from the Marvel Universe": the closed-world
+curated database cannot answer (publisher information was dropped), while
+the hybrid query over database + LLM returns the Marvel roster.
+"""
+
+from repro.harness import tables
+
+
+def test_figure1_motivating_example(benchmark, swan, show):
+    records, text = benchmark.pedantic(
+        tables.figure1, args=(swan,), rounds=3, iterations=1
+    )
+    show(text)
+
+    db_only = next(r for r in records if r["approach"] == "database-only")
+    hybrid = next(r for r in records if r["approach"] == "hybrid")
+
+    assert not db_only["answerable"]
+    assert hybrid["answerable"]
+
+    # the hybrid answer approximates the true Marvel roster
+    world = swan.world("superhero")
+    true_marvel = sum(
+        1
+        for entry in world.truth["superhero_info"].values()
+        if entry["publisher_name"] == "Marvel Comics"
+    )
+    assert hybrid["rows"] > true_marvel * 0.6
+    assert hybrid["rows"] < true_marvel * 1.4

@@ -1,0 +1,60 @@
+"""Future work — asynchronous / parallel LLM calls (Sections 4.3 and 6).
+
+"BlendSQL ... plans to support parallelized LLM calls in the future to
+further minimize query latency."  The executor records per-call token
+sizes; this bench estimates the wall-clock latency of a full-scan hybrid
+query under 1, 4 and 16 concurrent connections with the affine latency
+model in :mod:`repro.llm.batching`.
+"""
+
+import pytest
+
+from repro.eval.report import format_table
+from repro.swan.build import build_curated_database
+from repro.udf.executor import HybridQueryExecutor
+
+QUERY = (
+    "SELECT COUNT(*) FROM player WHERE "
+    "CAST({{LLMMap('What is the height in centimeters of this football "
+    "player?', 'player::player_name')}} AS INTEGER) > 180"
+)
+
+WORKERS = (1, 4, 16)
+
+
+@pytest.fixture(scope="module")
+def report(swan):
+    from repro.llm.chat import MockChatModel
+    from repro.llm.oracle import KnowledgeOracle
+    from repro.llm.profiles import get_profile
+
+    world = swan.world("european_football")
+    model = MockChatModel(KnowledgeOracle(world), get_profile("perfect"))
+    with build_curated_database(world) as db:
+        executor = HybridQueryExecutor(db, model, world)
+        _, execution_report = executor.execute_with_report(QUERY)
+    return execution_report
+
+
+def test_future_parallel_execution(benchmark, report, show):
+    latencies = benchmark.pedantic(
+        lambda: {w: report.estimated_latency(workers=w) for w in WORKERS},
+        rounds=3,
+        iterations=1,
+    )
+    rows = [
+        [workers, f"{latencies[workers]:.1f} s",
+         f"{latencies[1] / latencies[workers]:.1f}x"]
+        for workers in WORKERS
+    ]
+    show(format_table(
+        ["Workers", "Estimated latency", "Speedup"],
+        rows,
+        title=f"Future work: parallel LLM calls over {report.llm_calls} "
+              "batched requests (full player scan).",
+    ))
+
+    # parallelism helps and approaches the per-worker bound
+    assert latencies[4] < latencies[1]
+    assert latencies[16] <= latencies[4]
+    assert latencies[1] / latencies[4] > 2.0  # near-linear at low counts

@@ -1,0 +1,33 @@
+"""Table 1 — statistics of the SWAN databases.
+
+Paper values: European Football 7 tables, Formula One 13, California
+Schools 3, Superhero 10; 11-12 columns dropped each; Formula One is the
+largest by rows/table and Superhero the smallest.  Our synthetic worlds
+keep the schema shapes, drop counts (exact for Superhero) and the size
+ordering at reduced scale.
+"""
+
+from repro.harness import tables
+
+
+def test_table1_swan_statistics(benchmark, swan, show):
+    records, text = benchmark.pedantic(
+        tables.table1, args=(swan,), rounds=3, iterations=1
+    )
+    show(text)
+
+    by_name = {str(r["database"]).lower().replace(" ", ""): r for r in records}
+    assert len(records) == 4
+
+    # Superhero's drop count matches the paper's Table 1 exactly.
+    assert by_name["superhero"]["cols_dropped"] == 11
+    # every database lost columns
+    assert all(r["cols_dropped"] > 0 for r in records)
+
+    # the paper's size ordering: Formula One largest, Superhero smallest
+    sizes = {name: r["rows_per_table"] for name, r in by_name.items()}
+    assert sizes["formulaone"] == max(sizes.values())
+    assert sizes["superhero"] == min(sizes.values())
+
+    # California Schools has exactly the 3 tables of the Bird original
+    assert by_name["californiaschools"]["tables"] == 3

@@ -1,0 +1,51 @@
+"""Table 2 — HQDL execution accuracy on SWAN.
+
+Paper shapes this bench asserts:
+
+- few-shot demonstrations improve overall EX for both models, with the
+  bulk of the gain arriving by one shot;
+- GPT-4 Turbo beats GPT-3.5 Turbo overall at every shot count;
+- California Schools is the easiest database at 5 shots and European
+  Football / Super Hero the hardest;
+- overall EX lands in the paper's ballpark (paper: 24.2→38.3 for
+  GPT-3.5, 31.6→40.0 for GPT-4).
+"""
+
+from repro.harness import tables
+
+
+def test_table2_hqdl_execution_accuracy(benchmark, swan, gold, show):
+    records, text = benchmark.pedantic(
+        tables.table2, args=(swan,), kwargs={"gold": gold}, rounds=1, iterations=1
+    )
+    show(text)
+
+    def overall(model, shots):
+        return next(
+            r["overall"] for r in records if r["model"] == model and r["shots"] == shots
+        )
+
+    for model in ("gpt-3.5-turbo", "gpt-4-turbo"):
+        zero, five = overall(model, 0), overall(model, 5)
+        # demonstrations help, and most of the gain is there by 1 shot
+        assert five > zero
+        assert overall(model, 1) - zero >= (five - zero) * 0.5
+
+    # the stronger model wins at every shot count
+    for shots in (0, 1, 3, 5):
+        assert overall("gpt-4-turbo", shots) >= overall("gpt-3.5-turbo", shots)
+
+    # ballpark of the paper's overall numbers (within ~8 points)
+    assert abs(overall("gpt-3.5-turbo", 0) - 0.242) < 0.08
+    assert abs(overall("gpt-3.5-turbo", 5) - 0.383) < 0.08
+    assert abs(overall("gpt-4-turbo", 0) - 0.316) < 0.08
+    assert abs(overall("gpt-4-turbo", 5) - 0.400) < 0.08
+
+    # per-database difficulty ordering at five shots
+    five_shot_gpt4 = next(
+        r for r in records if r["model"] == "gpt-4-turbo" and r["shots"] == 5
+    )
+    databases = ("california_schools", "superhero", "formula_1", "european_football")
+    values = {name: five_shot_gpt4[name] for name in databases}
+    assert values["california_schools"] == max(values.values())
+    assert values["european_football"] == min(values.values())

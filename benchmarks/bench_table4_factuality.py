@@ -1,0 +1,40 @@
+"""Table 4 — average F1 factuality of HQDL-generated data.
+
+Paper shapes this bench asserts:
+
+- factuality rises monotonically with demonstrations for both models,
+  with a large 0→1-shot jump and small gains after;
+- GPT-4 Turbo is consistently more factual than GPT-3.5 Turbo (paper:
+  +5.5 points at 5 shots);
+- absolute values run higher than the paper's because the synthetic
+  worlds are far smaller and denser in famous entities (see
+  EXPERIMENTS.md) — the bench asserts the ordering, not the level.
+"""
+
+from repro.harness import tables
+
+
+def test_table4_data_factuality(benchmark, swan, gold, show):
+    records, text = benchmark.pedantic(
+        tables.table4, args=(swan,), kwargs={"gold": gold}, rounds=1, iterations=1
+    )
+    show(text)
+
+    def f1(model, shots):
+        return next(
+            r["average_f1"]
+            for r in records
+            if r["model"] == model and r["shots"] == shots
+        )
+
+    for model in ("gpt-3.5-turbo", "gpt-4-turbo"):
+        series = [f1(model, shots) for shots in (0, 1, 3, 5)]
+        # monotone up to small plateau wiggles (paper has 47.1 -> 47.0)
+        assert series[-1] > series[0]
+        assert series[1] > series[0]
+        # the 0->1 jump dominates the total gain
+        assert series[1] - series[0] >= (series[-1] - series[0]) * 0.6
+
+    # GPT-4 more factual at every shot count
+    for shots in (0, 1, 3, 5):
+        assert f1("gpt-4-turbo", shots) > f1("gpt-3.5-turbo", shots)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench regenerates one table or figure from the paper's evaluation
+and prints it, then asserts the qualitative *shape* the paper reports
+(who wins, roughly by how much, where the orderings fall).  Absolute
+numbers are expected to differ — the substrate is a simulator, not the
+authors' testbed; `EXPERIMENTS.md` records the side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import GoldResults
+from repro.swan.benchmark import load_benchmark
+
+
+@pytest.fixture(scope="session")
+def swan():
+    return load_benchmark()
+
+
+@pytest.fixture(scope="session")
+def gold(swan):
+    return GoldResults(swan)
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print a regenerated table to the terminal, bypassing capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text + "\n")
+
+    return _show

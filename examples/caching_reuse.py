@@ -1,0 +1,79 @@
+"""The Section 5.5 cost story, reproduced end to end.
+
+Two European Football questions from the paper's own example:
+
+1. "What is the height of the tallest player?"  — the hybrid UDF query
+   generates heights for *all* players.
+2. "Please list player names who are taller than 180cm." — the heights
+   could be reused, but the prompt cache is keyed by exact prompt text
+   and the second query phrases its question differently, so everything
+   is regenerated.
+
+HQDL materializes heights once and answers both questions for free.
+
+Run with:  python examples/caching_reuse.py
+"""
+
+from repro.core import HQDL
+from repro.llm import KnowledgeOracle, MockChatModel, PromptCache, get_profile
+from repro.llm.usage import UsageMeter
+from repro.swan import load_benchmark
+from repro.swan.build import build_curated_database
+from repro.udf import HybridQueryExecutor
+
+TALLEST = (
+    "SELECT MAX(CAST({{LLMMap('What is the height in centimeters of this "
+    "football player?', 'player::player_name')}} AS INTEGER)) FROM player"
+)
+TALLER_THAN_180 = (
+    "SELECT player_name FROM player WHERE "
+    "CAST({{LLMMap('How tall is this football player in centimeters?', "
+    "'player::player_name')}} AS INTEGER) > 180"
+)
+
+
+def main() -> None:
+    swan = load_benchmark()
+    world = swan.world("european_football")
+
+    print("=== Hybrid Query UDFs (BlendSQL-style) ===")
+    meter = UsageMeter()
+    model = MockChatModel(KnowledgeOracle(world), get_profile("gpt-4-turbo"),
+                          meter=meter)
+    cache = PromptCache()
+    with build_curated_database(world) as db:
+        executor = HybridQueryExecutor(db, model, world, cache=cache)
+        tallest = executor.execute(TALLEST).scalar()
+        after_first = meter.total
+        print(f"Q1 tallest player: {tallest} cm "
+              f"({after_first.calls} calls, {after_first.input_tokens} input tokens)")
+
+        taller = executor.execute(TALLER_THAN_180)
+        q2_calls = meter.total.calls - after_first.calls
+        print(f"Q2 players > 180cm: {len(taller)} rows "
+              f"({q2_calls} MORE calls — nothing reused!)")
+        print(f"Cache: {cache.hits} hits / {cache.misses} misses — "
+              "differently-phrased prompts cannot share generations\n")
+
+    print("=== HQDL (schema expansion + materialization) ===")
+    hqdl_meter = UsageMeter()
+    hqdl_model = MockChatModel(KnowledgeOracle(world), get_profile("gpt-4-turbo"),
+                               meter=hqdl_meter)
+    pipeline = HQDL(world, hqdl_model, shots=0)
+    with pipeline.build_expanded_database() as db:
+        generation_calls = hqdl_meter.total.calls
+        tallest = db.query_scalar("SELECT MAX(height_cm) FROM player_info")
+        taller = db.query(
+            "SELECT p.player_name FROM player p "
+            "JOIN player_info i ON p.player_name = i.player_name "
+            "WHERE i.height_cm > 180"
+        )
+        print(f"Q1 tallest player: {tallest} cm")
+        print(f"Q2 players > 180cm: {len(taller)} rows")
+        print(f"Total LLM calls: {hqdl_meter.total.calls} "
+              f"(all {generation_calls} during one-time materialization; "
+              "both queries ran without any new calls)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""The paper's Figure 1, live: Marvel heroes via a hybrid query.
+
+The curated superhero database has no publisher information — the
+closed-world query fails.  Treating the LLM as a table and joining it
+with the database answers the question.
+
+Run with:  python examples/marvel_heroes.py
+"""
+
+from repro.errors import ExecutionError
+from repro.llm import KnowledgeOracle, MockChatModel, get_profile
+from repro.swan import load_benchmark
+from repro.swan.build import build_curated_database
+from repro.udf import HybridQueryExecutor
+
+HYBRID_SQL = """
+SELECT superhero_name, full_name FROM superhero
+WHERE {{LLMMap('Which comic book publisher published this superhero?',
+               'superhero::superhero_name', 'superhero::full_name',
+               options='publishers')}} = 'Marvel Comics'
+ORDER BY superhero_name
+""".strip()
+
+
+def main() -> None:
+    swan = load_benchmark()
+    world = swan.world("superhero")
+
+    with build_curated_database(world) as db:
+        print("Closed-world attempt (database only):")
+        try:
+            db.query(
+                "SELECT superhero_name FROM superhero "
+                "WHERE publisher = 'Marvel Comics'"
+            )
+        except ExecutionError as exc:
+            print(f"  FAILS — {exc}\n")
+
+        print("Hybrid query over database + LLM:")
+        print(f"  {HYBRID_SQL}\n")
+
+        model = MockChatModel(KnowledgeOracle(world), get_profile("gpt-4-turbo"))
+        executor = HybridQueryExecutor(db, model, world, shots=5)
+        result, report = executor.execute_with_report(HYBRID_SQL)
+
+        truth_count = sum(
+            1
+            for entry in world.truth["superhero_info"].values()
+            if entry["publisher_name"] == "Marvel Comics"
+        )
+        print(f"Found {len(result)} heroes (ground truth: {truth_count}):")
+        for name, full_name in result.rows[:15]:
+            print(f"  - {name} ({full_name})")
+        if len(result) > 15:
+            print(f"  ... and {len(result) - 15} more")
+        print(f"\nLLM calls: {report.llm_calls}  "
+              f"(batched {executor.batch_size} keys per call)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Free-form generation: school websites via HQDL schema expansion.
+
+The California Schools world drops the website column; HQDL asks the LLM
+to regenerate it (Section 3.3's free-form case — URLs are usually
+predictable from the school name but not always), then ranks schools by
+the retained SAT scores.  The example also shows the factuality metric
+on the generated column.
+
+Run with:  python examples/school_urls.py
+"""
+
+from repro.core import HQDL
+from repro.eval.factuality import cell_f1
+from repro.llm import KnowledgeOracle, MockChatModel, get_profile
+from repro.swan import load_benchmark
+
+
+def main() -> None:
+    swan = load_benchmark()
+    world = swan.world("california_schools")
+    model = MockChatModel(KnowledgeOracle(world), get_profile("gpt-4-turbo"))
+
+    pipeline = HQDL(world, model, shots=3)
+    generation = pipeline.generate_all()
+    table = generation.tables["school_info"]
+    print(f"Generated {len(table.rows)} school_info rows "
+          f"({table.malformed} malformed and dropped)\n")
+
+    with pipeline.build_expanded_database(generation) as db:
+        result = db.query(
+            "SELECT s.school_name, i.website, t.avg_scr_math "
+            "FROM schools s "
+            "JOIN school_info i ON s.school_name = i.school_name "
+            "AND s.street_address = i.street_address "
+            "JOIN satscores t ON s.cds_code = t.cds_code "
+            "ORDER BY t.avg_scr_math DESC LIMIT 8"
+        )
+    print("Top schools by math score, with generated websites:")
+    print(result.pretty())
+
+    # factuality of the generated website column
+    expansion = world.expansion("school_info")
+    website = expansion.column("website")
+    index = expansion.generated_column_names().index("website")
+    scores = []
+    for key, values in table.rows.items():
+        generated = None if values is None else values[index]
+        truth = world.truth_value("school_info", key, "website")
+        scores.append(cell_f1(generated, truth, website))
+    print(f"\nWebsite factuality (exact match): "
+          f"{100 * sum(scores) / len(scores):.1f}% of {len(scores)} cells")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — a reproduction of "Hybrid Querying Over Relational Databases
+and Large Language Models" (Zhao, Agrawal, El Abbadi; CIDR 2025).
+
+Subpackages:
+
+- :mod:`repro.swan` — the SWAN benchmark: four curated databases and 120
+  beyond-database questions.
+- :mod:`repro.core` — HQDL, the schema-expansion solution.
+- :mod:`repro.udf` — Hybrid Query UDFs, the BlendSQL-equivalent engine.
+- :mod:`repro.llm` — the simulated LLM stack (models, oracle, tokens).
+- :mod:`repro.sqlparser` / :mod:`repro.sqlengine` — SQL front end and
+  SQLite storage wrapper.
+- :mod:`repro.eval` — execution accuracy, factuality F1, reporting.
+- :mod:`repro.harness` — experiment runners; ``python -m repro.harness``
+  regenerates every table and figure in the paper.
+- :mod:`repro.auto` / :mod:`repro.retrieval` — the paper's future-work
+  directions: automated hybrid-query planning and vector-index context
+  retrieval.
+
+Quick start::
+
+    from repro.swan import load_benchmark
+    swan = load_benchmark()
+    print(swan.question("superhero_q01").blend_sql)
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

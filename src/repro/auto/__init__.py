@@ -1,0 +1,30 @@
+"""Automated hybrid querying (the paper's Section 6 future work).
+
+"Given a natural language question, LLMs should first evaluate whether
+it can be answered using the existing schema.  For questions requiring
+information beyond the current database, LLMs could ... construct a SQL
+query with user-defined functions to directly prompt LLMs for required
+information in real time."
+
+:mod:`repro.auto.planner` is a preliminary implementation of that loop:
+a deterministic planner that classifies a natural-language question,
+resolves which generated attribute it needs, extracts filter values or
+lookup entities, and emits an executable BlendSQL-dialect hybrid query —
+no hand-written query required.  Coverage is intentionally partial
+(single-table count / list / lookup intents); the evaluation harness
+reports exactly how far it gets on SWAN.
+"""
+
+from repro.auto.planner import (
+    HybridQueryPlanner,
+    PlannedQuery,
+    PlannerReport,
+    evaluate_planner,
+)
+
+__all__ = [
+    "HybridQueryPlanner",
+    "PlannedQuery",
+    "PlannerReport",
+    "evaluate_planner",
+]

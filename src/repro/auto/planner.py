@@ -1,0 +1,336 @@
+"""A preliminary automated NL → hybrid-query planner.
+
+The planner turns a natural-language beyond-database question directly
+into an executable BlendSQL-dialect query, covering the three intents
+that dominate SWAN:
+
+- **count** — "How many superheroes have blue eyes?"
+- **list** — "List the names of players taller than 180 cm."
+- **lookup** — "What is the eye color of Superman?"
+
+Pipeline: resolve which generated attribute(s) the question needs (the
+same keyword-cue resolution the simulated models use — a question no
+attribute matches is presumed answerable from the database alone),
+extract filter values (retained value lists for selection attributes,
+comparison phrases for numeric ones) or a lookup entity (matched against
+the expansion keys), then instantiate a SQL template over the source
+table.
+
+Coverage is deliberately partial — single source table, key-column
+projections — and :func:`evaluate_planner` reports exactly how far it
+gets against the gold answers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.swan.base import (
+    KIND_NUMERIC,
+    ExpansionColumn,
+    ExpansionTable,
+    World,
+)
+
+
+class PlanningError(ReproError):
+    """Raised when the planner cannot translate a question."""
+
+
+@dataclass(frozen=True)
+class PlannedQuery:
+    """A question the planner translated into a hybrid query."""
+
+    question: str
+    intent: str  # 'count' | 'list' | 'lookup'
+    expansion: str
+    attributes: tuple[str, ...]
+    blend_sql: str
+
+
+@dataclass
+class PlannerReport:
+    """Coverage and accuracy of the planner over a question set."""
+
+    total: int = 0
+    planned: int = 0
+    correct: int = 0
+    failures: dict[str, str] = field(default_factory=dict)  # qid -> reason
+
+    @property
+    def coverage(self) -> float:
+        return self.planned / self.total if self.total else 0.0
+
+    @property
+    def planned_accuracy(self) -> float:
+        return self.correct / self.planned if self.planned else 0.0
+
+
+#: Comparison phrases for numeric attributes, tried in order.
+_NUMERIC_PATTERNS: tuple[tuple[str, str], ...] = (
+    (r"(?:taller|heavier|greater|more|higher|larger|older)\s+than\s+(\d+)", ">"),
+    (r"(?:shorter|lighter|less|fewer|smaller)\s+than\s+(\d+)", "<"),
+    (r"(?:after)\s+(\d{4})", ">"),
+    (r"(?:before)\s+(\d{4})", "<"),
+    (r"(?:in|of)\s+(\d{4})\b", "="),
+)
+
+
+def _escape(text: str) -> str:
+    return text.replace("'", "''")
+
+
+def resolve_attribute(
+    world: World, question: str
+) -> Optional[tuple[ExpansionTable, ExpansionColumn]]:
+    """Keyword-cue attribute resolution (None when nothing matches)."""
+    lowered = question.lower()
+    best: Optional[tuple[ExpansionTable, ExpansionColumn]] = None
+    best_score = 0
+    for expansion in world.expansions:
+        for column in expansion.columns:
+            score = sum(
+                len(keyword)
+                for keyword in column.keywords
+                if keyword.lower() in lowered
+            )
+            if score > best_score:
+                best_score = score
+                best = (expansion, column)
+    return best
+
+
+class HybridQueryPlanner:
+    """Plans hybrid queries for one world."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+
+    # -- public API --------------------------------------------------------------
+
+    def plan(self, question: str) -> PlannedQuery:
+        """Translate a natural-language question into a hybrid query.
+
+        Raises :class:`PlanningError` when the question resolves to no
+        generated attribute (presumed answerable from the database) or
+        when no filter value / lookup entity can be extracted.
+        """
+        resolved = resolve_attribute(self.world, question)
+        if resolved is None:
+            raise PlanningError(
+                "no generated attribute matches; the question appears "
+                "answerable from the database alone"
+            )
+        expansion, column = resolved
+        filters = self._extract_filters(question, expansion, column)
+        if filters:
+            return self._filter_query(question, expansion, filters)
+        entity = self._find_entity(question, expansion)
+        if entity is not None:
+            return self._lookup_query(question, expansion, column, entity)
+        raise PlanningError(
+            f"resolved attribute {column.name!r} but found neither a filter "
+            "value nor a lookup entity in the question"
+        )
+
+    # -- extraction ----------------------------------------------------------------
+
+    def _extract_filters(
+        self,
+        question: str,
+        expansion: ExpansionTable,
+        primary: ExpansionColumn,
+    ) -> list[tuple[ExpansionColumn, str, str]]:
+        """(column, operator, SQL literal) filters found in the question."""
+        filters: list[tuple[ExpansionColumn, str, str]] = []
+        lowered = question.lower()
+        for column in expansion.columns:
+            if column is not primary and not any(
+                keyword.lower() in lowered for keyword in column.keywords
+            ):
+                continue
+            if column.kind == KIND_NUMERIC:
+                match = self._numeric_filter(lowered)
+                if match is not None and column is primary:
+                    operator, value = match
+                    filters.append((column, operator, value))
+            elif column.value_list:
+                value = self._value_from_list(question, column)
+                if value is not None:
+                    filters.append((column, "=", f"'{_escape(value)}'"))
+        return filters
+
+    @staticmethod
+    def _numeric_filter(lowered: str) -> Optional[tuple[str, str]]:
+        for pattern, operator in _NUMERIC_PATTERNS:
+            match = re.search(pattern, lowered)
+            if match:
+                return operator, match.group(1)
+        return None
+
+    def _value_from_list(
+        self, question: str, column: ExpansionColumn
+    ) -> Optional[str]:
+        values = self.world.value_lists.get(column.value_list or "", [])
+        best: Optional[str] = None
+        for value in values:
+            pattern = r"\b" + re.escape(value.lower()) + r"\b"
+            if re.search(pattern, question.lower()) and (
+                best is None or len(value) > len(best)
+            ):
+                best = value
+        return best
+
+    def _find_entity(
+        self, question: str, expansion: ExpansionTable
+    ) -> Optional[tuple[int, str]]:
+        """The longest expansion-key component mentioned in the question.
+
+        Returns (key column index, matched value) so the lookup query can
+        filter on the right key column.
+        """
+        lowered = question.lower()
+        best: Optional[tuple[int, str]] = None
+        for key in self.world.truth[expansion.name]:
+            for index, component in enumerate(key):
+                text = str(component)
+                pattern = r"\b" + re.escape(text.lower()) + r"\b"
+                if re.search(pattern, lowered) and (
+                    best is None or len(text) > len(best[1])
+                ):
+                    best = (index, text)
+        return best
+
+    # -- query construction ----------------------------------------------------------
+
+    def _map_expression(
+        self, question: str, expansion: ExpansionTable, column: ExpansionColumn
+    ) -> str:
+        keys = ", ".join(
+            f"'{expansion.source_table}::{key}'" for key in expansion.key_columns
+        )
+        options = f", options='{column.value_list}'" if column.value_list else ""
+        expr = f"{{{{LLMMap('{_escape(question)}', {keys}{options})}}}}"
+        if column.kind == KIND_NUMERIC:
+            expr = f"CAST({expr} AS INTEGER)"
+        return expr
+
+    def _filter_query(
+        self,
+        question: str,
+        expansion: ExpansionTable,
+        filters: list[tuple[ExpansionColumn, str, str]],
+    ) -> PlannedQuery:
+        conditions = " AND ".join(
+            f"{self._map_expression(self._attribute_question(column), expansion, column)}"
+            f" {operator} {literal}"
+            for column, operator, literal in filters
+        )
+        intent = "count" if self._is_count(question) else "list"
+        if intent == "count":
+            selection = "COUNT(*)"
+        else:
+            selection = ", ".join(self._projection(question, expansion))
+        blend_sql = (
+            f"SELECT {selection} FROM {expansion.source_table} WHERE {conditions}"
+        )
+        return PlannedQuery(
+            question=question,
+            intent=intent,
+            expansion=expansion.name,
+            attributes=tuple(column.name for column, _, _ in filters),
+            blend_sql=blend_sql,
+        )
+
+    def _lookup_query(
+        self,
+        question: str,
+        expansion: ExpansionTable,
+        column: ExpansionColumn,
+        entity: tuple[int, str],
+    ) -> PlannedQuery:
+        key_index, value = entity
+        key_column = expansion.key_columns[key_index]
+        blend_sql = (
+            f"SELECT {self._map_expression(self._attribute_question(column), expansion, column)} "
+            f"FROM {expansion.source_table} "
+            f"WHERE {key_column} = '{_escape(value)}'"
+        )
+        return PlannedQuery(
+            question=question,
+            intent="lookup",
+            expansion=expansion.name,
+            attributes=(column.name,),
+            blend_sql=blend_sql,
+        )
+
+    @staticmethod
+    def _projection(question: str, expansion: ExpansionTable) -> list[str]:
+        """Which key columns to project for a list-intent question.
+
+        Prefers the key columns the question names ("list the superhero
+        names" → superhero_name); falls back to all key columns.
+        """
+        lowered = question.lower()
+        mentioned = [
+            column
+            for column in expansion.key_columns
+            if column.replace("_", " ").rstrip("s") in lowered
+        ]
+        return mentioned or list(expansion.key_columns)
+
+    @staticmethod
+    def _attribute_question(column: ExpansionColumn) -> str:
+        """A canonical per-attribute map question built from the spec."""
+        return f"Provide the {column.description.lower()} for the given key."
+
+    @staticmethod
+    def _is_count(question: str) -> bool:
+        lowered = question.lower()
+        return lowered.startswith("how many") or lowered.startswith("count")
+
+
+def evaluate_planner(swan, *, model_name: str = "perfect") -> PlannerReport:
+    """Plan every SWAN question; execute what plans and compare to gold.
+
+    Uses the given model profile (perfect by default, isolating planner
+    quality from model error).  Returns coverage (fraction planned) and
+    planned-accuracy (fraction of planned queries matching gold).
+    """
+    from repro.llm.chat import MockChatModel
+    from repro.llm.oracle import KnowledgeOracle
+    from repro.llm.profiles import get_profile
+    from repro.sqlengine.results import results_match
+    from repro.swan.build import build_curated_database, build_original_database
+    from repro.udf.executor import HybridQueryExecutor
+
+    report = PlannerReport()
+    for name in swan.database_names():
+        world = swan.world(name)
+        planner = HybridQueryPlanner(world)
+        model = MockChatModel(KnowledgeOracle(world), get_profile(model_name))
+        with build_original_database(world) as orig, \
+                build_curated_database(world) as curated:
+            executor = HybridQueryExecutor(curated, model, world)
+            for question in swan.questions_for(name):
+                report.total += 1
+                try:
+                    planned = planner.plan(question.text)
+                except PlanningError as exc:
+                    report.failures[question.qid] = str(exc)
+                    continue
+                report.planned += 1
+                try:
+                    actual = executor.execute(planned.blend_sql)
+                except ReproError as exc:
+                    report.failures[question.qid] = f"execution failed: {exc}"
+                    continue
+                expected = orig.query(question.gold_sql)
+                if results_match(expected, actual, ordered=False):
+                    report.correct += 1
+                else:
+                    report.failures[question.qid] = "result mismatch"
+    return report

@@ -1,0 +1,31 @@
+"""HQDL — Hybrid Query over Database and LLM (the paper's Section 4.1).
+
+HQDL answers a beyond-database question by *schema expansion*: the curated
+schema gains the missing expansion tables, an LLM fills in every missing
+data entry (one row-completion call per key), the rows are extracted with
+the Python ``csv`` module and materialized into SQLite, and the question
+is then answered by a *regular* SQL query over the expanded schema.
+
+Public surface:
+
+- :class:`~repro.core.hqdl.HQDL` — the pipeline orchestrator.
+- :class:`~repro.core.prompts.RowPromptBuilder` — zero/few-shot prompt
+  construction (paper Section 4.1.1 format).
+- :func:`~repro.core.extraction.extract_row` — completion → fields.
+- :func:`~repro.core.materialize.materialize_expansion` — rows → table.
+"""
+
+from repro.core.extraction import extract_row
+from repro.core.hqdl import HQDL, GenerationResult, TableGeneration
+from repro.core.materialize import expansion_table_schema, materialize_expansion
+from repro.core.prompts import RowPromptBuilder
+
+__all__ = [
+    "HQDL",
+    "GenerationResult",
+    "TableGeneration",
+    "RowPromptBuilder",
+    "extract_row",
+    "expansion_table_schema",
+    "materialize_expansion",
+]

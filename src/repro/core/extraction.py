@@ -1,0 +1,59 @@
+"""Data extraction: LLM completion text → structured row fields.
+
+HQDL "uses the Python csv module's reader to process these entries"
+(Section 4.1).  Real completions are messy — chatty preambles, wrong
+field counts, stray blank lines — so extraction is defensive:
+
+- the row line is the *last* line that looks like data (contains a quote
+  or a comma), skipping any explanation text the model prepended;
+- fields are parsed with ``csv.reader`` using the single-quote convention
+  the prompts demonstrate;
+- a row with the wrong field count raises :class:`ExtractionError`; the
+  caller decides whether to drop the row (HQDL does, and counts it).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.errors import ExtractionError
+
+
+def _candidate_line(completion: str) -> str:
+    """Pick the line of the completion that carries the data row."""
+    lines = [line.strip() for line in completion.splitlines() if line.strip()]
+    if not lines:
+        raise ExtractionError("empty completion")
+    for line in reversed(lines):
+        if "'" in line or "," in line:
+            return line
+    return lines[-1]
+
+
+def parse_fields(line: str) -> list[str]:
+    """Parse one `'a','b','c'` style line into its fields."""
+    reader = csv.reader(io.StringIO(line), quotechar="'", skipinitialspace=True)
+    rows = list(reader)
+    if not rows:
+        raise ExtractionError(f"unparseable row: {line[:120]!r}")
+    return [field.strip() for field in rows[0]]
+
+
+def extract_row(completion: str, expected_fields: int) -> list[str]:
+    """Extract exactly ``expected_fields`` fields from a completion.
+
+    Raises :class:`ExtractionError` on empty completions, unparseable
+    lines, wrong field counts, or empty field values (the failure modes
+    Section 5.3 reports for zero-shot prompts).
+    """
+    line = _candidate_line(completion)
+    fields = parse_fields(line)
+    if len(fields) != expected_fields:
+        raise ExtractionError(
+            f"expected {expected_fields} fields, got {len(fields)}: {line[:120]!r}"
+        )
+    for index, field in enumerate(fields):
+        if field == "":
+            raise ExtractionError(f"field {index} is empty in: {line[:120]!r}")
+    return fields

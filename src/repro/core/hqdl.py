@@ -1,0 +1,156 @@
+"""The HQDL pipeline orchestrator (paper Section 4.1).
+
+Flow, per database:
+
+1. **Schema expansion** — the curated schema gains the expansion tables
+   SWAN specifies (missing columns/tables plus meaningful keys).
+2. **Data generation** — one LLM row-completion call per key, with the
+   configured number of static few-shot demonstrations.
+3. **Data extraction** — completions parsed via the csv module; malformed
+   rows are dropped and counted.
+4. **Materialization** — extracted rows inserted into the expansion
+   tables of a (copy of the) curated database.
+5. **Query execution** — each question's ``hqdl_sql`` runs as plain SQL.
+
+A key operational property (Section 5.5): generation happens *once per
+database*, and every question over that database reuses the materialized
+tables — which is why HQDL's token bill is a fraction of HQ UDFs'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.extraction import extract_row
+from repro.core.materialize import materialize_expansion
+from repro.core.prompts import RowPromptBuilder
+from repro.errors import ExtractionError, ReproError
+from repro.llm.client import ChatClient
+from repro.sqlengine.database import Database
+from repro.sqlengine.results import ResultSet
+from repro.swan.base import Question, World
+from repro.swan.build import build_curated_database
+
+
+@dataclass
+class TableGeneration:
+    """Everything generated for one expansion table.
+
+    ``rows`` maps key → list of generated values (expansion column order),
+    or None when the completion was malformed beyond extraction.
+    """
+
+    expansion_name: str
+    rows: dict[tuple, Optional[list[str]]] = field(default_factory=dict)
+    malformed: int = 0
+    calls: int = 0
+
+    def generated_cells(self) -> int:
+        return sum(len(v) for v in self.rows.values() if v is not None)
+
+
+@dataclass
+class GenerationResult:
+    """Per-expansion generations for one (database, model, shots) config."""
+
+    database: str
+    shots: int
+    tables: dict[str, TableGeneration] = field(default_factory=dict)
+
+    def total_malformed(self) -> int:
+        return sum(t.malformed for t in self.tables.values())
+
+    def total_calls(self) -> int:
+        return sum(t.calls for t in self.tables.values())
+
+
+class HQDL:
+    """Schema-expansion hybrid querying for one world."""
+
+    def __init__(
+        self,
+        world: World,
+        client: ChatClient,
+        *,
+        shots: int = 0,
+        context_rows: int = 0,
+    ) -> None:
+        self.world = world
+        self.client = client
+        self.shots = shots
+        self.context_rows = context_rows
+        self._retriever = None
+        if context_rows > 0:
+            # built lazily-but-eagerly here: one index serves every table
+            from repro.retrieval.index import RowContextRetriever
+
+            self._retriever = RowContextRetriever(world)
+
+    # -- generation ------------------------------------------------------------
+
+    def generate_table(self, expansion_name: str) -> TableGeneration:
+        """Generate all rows of one expansion table, one call per key."""
+        expansion = self.world.expansion(expansion_name)
+        context_provider = None
+        if self._retriever is not None:
+            context_provider = self._retriever.context_provider(self.context_rows)
+        builder = RowPromptBuilder(
+            self.world,
+            expansion,
+            shots=self.shots,
+            context_provider=context_provider,
+        )
+        generation = TableGeneration(expansion_name=expansion_name)
+        key_width = len(expansion.key_columns)
+        for key in self.world.keys_for(expansion_name):
+            prompt = builder.build(key)
+            response = self.client.complete(prompt, label=f"hqdl:{expansion_name}")
+            generation.calls += 1
+            try:
+                fields = extract_row(response.text, builder.expected_field_count())
+            except ExtractionError:
+                generation.rows[key] = None
+                generation.malformed += 1
+                continue
+            generation.rows[key] = fields[key_width:]
+        return generation
+
+    def generate_all(self) -> GenerationResult:
+        """Generate every expansion table of this world."""
+        result = GenerationResult(database=self.world.name, shots=self.shots)
+        for expansion in self.world.expansions:
+            result.tables[expansion.name] = self.generate_table(expansion.name)
+        return result
+
+    # -- materialization ---------------------------------------------------------
+
+    def materialize(self, db: Database, generation: GenerationResult) -> None:
+        """Insert all generated tables into ``db`` (the curated database)."""
+        for expansion in self.world.expansions:
+            table_generation = generation.tables.get(expansion.name)
+            if table_generation is None:
+                raise ReproError(
+                    f"generation result is missing table {expansion.name!r}"
+                )
+            materialize_expansion(db, expansion, table_generation.rows)
+
+    def build_expanded_database(
+        self, generation: Optional[GenerationResult] = None
+    ) -> Database:
+        """Curated database + materialized expansions, ready for queries."""
+        generation = generation or self.generate_all()
+        db = build_curated_database(self.world)
+        self.materialize(db, generation)
+        return db
+
+    # -- query execution -----------------------------------------------------------
+
+    def answer(self, db: Database, question: Question) -> ResultSet:
+        """Execute a question's HQDL hybrid SQL on an expanded database."""
+        if question.database != self.world.name:
+            raise ReproError(
+                f"question {question.qid} belongs to {question.database!r}, "
+                f"not {self.world.name!r}"
+            )
+        return db.query(question.hqdl_sql)

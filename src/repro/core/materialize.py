@@ -1,0 +1,63 @@
+"""Materializing LLM-generated rows into SQLite expansion tables.
+
+Generated values arrive as strings.  Numeric expansion columns are
+declared with NUMERIC affinity so SQLite coerces numeric-looking strings
+on insert, letting the hybrid SQL compare them to integers directly —
+exactly the behaviour the hand-written HQDL queries rely on.
+
+One-to-many relationships are already condensed ("Agility, Super
+Strength") by the generation step, per Section 4.1's condensation rule;
+materialization stores the condensed string as a single TEXT cell.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.sqlengine.database import Database
+from repro.sqlengine.schema import ColumnSchema, TableSchema
+from repro.swan.base import KIND_NUMERIC, ExpansionTable
+
+
+def expansion_table_schema(expansion: ExpansionTable) -> TableSchema:
+    """The SQLite schema for one expansion table."""
+    columns = [ColumnSchema(name, "TEXT") for name in expansion.key_columns]
+    for column in expansion.columns:
+        affinity = "NUMERIC" if column.kind == KIND_NUMERIC else "TEXT"
+        columns.append(ColumnSchema(column.name, affinity))
+    return TableSchema(
+        name=expansion.name,
+        columns=columns,
+        primary_key=tuple(expansion.key_columns),
+    )
+
+
+def materialize_expansion(
+    db: Database,
+    expansion: ExpansionTable,
+    rows: Mapping[tuple, Optional[Sequence[str]]] | Iterable[tuple],
+) -> int:
+    """Create the expansion table and insert the generated rows.
+
+    ``rows`` maps key tuple → generated values (in expansion column
+    order), with None marking rows whose completion could not be
+    extracted — those are skipped (the entity simply stays missing, as in
+    HQDL).  Returns the number of rows inserted.
+    """
+    db.drop_table(expansion.name)
+    db.create_table(expansion_table_schema(expansion))
+    if isinstance(rows, Mapping):
+        items = rows.items()
+    else:
+        items = ((tuple(row[: len(expansion.key_columns)]),
+                  row[len(expansion.key_columns):]) for row in rows)
+    to_insert = []
+    for key, values in items:
+        if values is None:
+            continue
+        to_insert.append(tuple(key) + tuple(values))
+    if to_insert:
+        db.insert_rows(
+            expansion.name, expansion.all_column_names(), to_insert
+        )
+    return len(to_insert)

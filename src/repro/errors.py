@@ -1,0 +1,64 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems raise the most
+specific subclass available; messages always carry enough context (the
+offending SQL fragment, prompt, table name, ...) to be actionable without
+a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SQLSyntaxError(ReproError):
+    """Raised by the SQL lexer/parser on malformed input.
+
+    Carries the source text position so tooling can point at the offending
+    character.
+    """
+
+    def __init__(self, message: str, *, position: int = -1, line: int = -1) -> None:
+        self.position = position
+        self.line = line
+        location = ""
+        if line >= 0:
+            location = f" (line {line})"
+        elif position >= 0:
+            location = f" (offset {position})"
+        super().__init__(f"{message}{location}")
+
+
+class UnsupportedSQLError(ReproError):
+    """Raised when SQL is lexically valid but outside the supported subset."""
+
+
+class SchemaError(ReproError):
+    """Raised for inconsistent schema definitions or unknown tables/columns."""
+
+
+class CurationError(ReproError):
+    """Raised when a benchmark curation plan does not match the world schema."""
+
+
+class ExtractionError(ReproError):
+    """Raised when an LLM completion cannot be parsed into structured rows."""
+
+
+class IngredientError(ReproError):
+    """Raised for malformed {{...}} ingredient calls in hybrid queries."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a hybrid query fails during execution."""
+
+
+class LLMError(ReproError):
+    """Raised by the simulated LLM stack (bad request, over budget, ...)."""
+
+
+class BudgetExceededError(LLMError):
+    """Raised when a token or call budget configured on a client is exhausted."""

@@ -1,0 +1,30 @@
+"""Evaluation metrics (paper Section 5.1).
+
+- **Execution accuracy (EX)** — fraction of hybrid queries whose results
+  are identical to the gold query's results
+  (:mod:`repro.eval.execution`).
+- **Data factuality** — exact-string-match F1 over generated cells, with
+  set-F1 for one-to-many values (:mod:`repro.eval.factuality`).
+- **Token usage** — metered by :mod:`repro.llm.usage`; reported here.
+- :mod:`repro.eval.report` renders the paper-style text tables.
+"""
+
+from repro.eval.breakdown import ErrorBreakdown, analyze_run
+from repro.eval.costs import CostReport, estimate_costs
+from repro.eval.execution import ExecutionOutcome, evaluate_question, execution_accuracy
+from repro.eval.factuality import cell_f1, database_factuality, table_factuality
+from repro.eval.report import format_table
+
+__all__ = [
+    "ErrorBreakdown",
+    "analyze_run",
+    "CostReport",
+    "estimate_costs",
+    "ExecutionOutcome",
+    "evaluate_question",
+    "execution_accuracy",
+    "cell_f1",
+    "database_factuality",
+    "table_factuality",
+    "format_table",
+]

@@ -1,0 +1,61 @@
+"""Execution accuracy (EX).
+
+"EX measures the percentage of hybrid queries that produce identical
+results to the ground truth (execution results from the Gold, correct,
+SQL)" — Section 5.1.  Identity is multiset equality over normalised rows,
+order-sensitive when the question's gold query imposes an order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlengine.results import ResultSet, results_match
+from repro.swan.base import Question
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """The EX verdict for one question."""
+
+    qid: str
+    database: str
+    correct: bool
+    expected_rows: int
+    actual_rows: int
+    error: str = ""
+
+
+def evaluate_question(
+    question: Question,
+    expected: ResultSet,
+    actual: ResultSet,
+) -> ExecutionOutcome:
+    """Compare one hybrid result against the gold result."""
+    correct = results_match(expected, actual, ordered=question.ordered)
+    return ExecutionOutcome(
+        qid=question.qid,
+        database=question.database,
+        correct=correct,
+        expected_rows=len(expected),
+        actual_rows=len(actual),
+    )
+
+
+def failed_outcome(question: Question, expected: ResultSet, error: str) -> ExecutionOutcome:
+    """An outcome for a hybrid query that raised instead of returning."""
+    return ExecutionOutcome(
+        qid=question.qid,
+        database=question.database,
+        correct=False,
+        expected_rows=len(expected),
+        actual_rows=0,
+        error=error,
+    )
+
+
+def execution_accuracy(outcomes: list[ExecutionOutcome]) -> float:
+    """Fraction of correct outcomes (0.0 for an empty list)."""
+    if not outcomes:
+        return 0.0
+    return sum(1 for o in outcomes if o.correct) / len(outcomes)

@@ -1,0 +1,99 @@
+"""Data factuality: exact-match F1 over generated cells (Section 5.1/5.3).
+
+Per the paper: "We use exact string match to verify the data factuality
+for each data cell value.  Because of the one-to-many relationships ...
+we use the widely accepted F1 score".  Concretely:
+
+- a one-to-one cell scores 1.0 on exact match (after whitespace
+  normalisation; numeric strings compare as numbers so '180' == '180.0'),
+  else 0.0;
+- a one-to-many cell (condensed comma-joined string) scores the F1 of
+  its value set against the ground-truth set;
+- a cell belonging to a malformed (dropped) row scores 0.0;
+- the database score is the plain average over all expected cells.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.hqdl import GenerationResult, TableGeneration
+from repro.llm.oracle import KnowledgeOracle
+from repro.swan.base import KIND_MULTI, KIND_NUMERIC, ExpansionColumn, World
+
+
+def _normalize(text: str) -> str:
+    return " ".join(text.split())
+
+
+def _numbers_equal(generated: str, truth: str) -> bool:
+    try:
+        return float(generated) == float(truth)
+    except (TypeError, ValueError):
+        return False
+
+
+def _set_f1(generated_items: Sequence[str], truth_items: Sequence[str]) -> float:
+    generated_set = {_normalize(item) for item in generated_items if item.strip()}
+    truth_set = {_normalize(item) for item in truth_items if item.strip()}
+    if not generated_set and not truth_set:
+        return 1.0
+    if not generated_set or not truth_set:
+        return 0.0
+    overlap = len(generated_set & truth_set)
+    precision = overlap / len(generated_set)
+    recall = overlap / len(truth_set)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def cell_f1(
+    generated: Optional[str],
+    truth: object,
+    spec: ExpansionColumn,
+) -> float:
+    """F1 contribution of a single generated cell."""
+    if generated is None:
+        return 0.0
+    if spec.kind == KIND_MULTI:
+        truth_items = (
+            [str(item) for item in truth]
+            if isinstance(truth, (list, tuple))
+            else [str(truth)]
+        )
+        return _set_f1(generated.split(","), truth_items)
+    truth_text = KnowledgeOracle.format_value(truth, spec)
+    if _normalize(generated) == _normalize(truth_text):
+        return 1.0
+    if spec.kind == KIND_NUMERIC and _numbers_equal(generated, truth_text):
+        return 1.0
+    return 0.0
+
+
+def table_factuality(
+    world: World, generation: TableGeneration
+) -> tuple[float, int]:
+    """(sum of cell F1 scores, number of expected cells) for one table."""
+    expansion = world.expansion(generation.expansion_name)
+    total = 0.0
+    cells = 0
+    for key in world.keys_for(expansion.name):
+        values = generation.rows.get(key)
+        for index, column in enumerate(expansion.columns):
+            cells += 1
+            generated = None if values is None else values[index]
+            truth = world.truth_value(expansion.name, key, column.name)
+            total += cell_f1(generated, truth, column)
+    return total, cells
+
+
+def database_factuality(world: World, generation: GenerationResult) -> float:
+    """Average cell F1 over every expected cell of every expansion table."""
+    total = 0.0
+    cells = 0
+    for table_generation in generation.tables.values():
+        table_total, table_cells = table_factuality(world, table_generation)
+        total += table_total
+        cells += table_cells
+    return total / cells if cells else 0.0

@@ -1,0 +1,39 @@
+"""Experiment harness: runs the paper's evaluation grid and regenerates
+every table and figure.
+
+- :mod:`repro.harness.runner` — the (model × shots × database × method)
+  experiment runners with full usage metering.
+- :mod:`repro.harness.tables` — one generator per paper table/figure.
+- ``python -m repro.harness <table1|table2|table3|table4|table5|figure1|all>``
+  prints any of them.
+"""
+
+from repro.harness.runner import (
+    GoldResults,
+    HQDLRun,
+    UDFRun,
+    run_hqdl,
+    run_udf,
+)
+from repro.harness.tables import (
+    figure1,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+__all__ = [
+    "GoldResults",
+    "HQDLRun",
+    "UDFRun",
+    "run_hqdl",
+    "run_udf",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure1",
+]

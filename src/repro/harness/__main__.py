@@ -1,0 +1,154 @@
+"""CLI: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.harness table1
+    python -m repro.harness table2 table4
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness import tables
+
+
+def _planner_report() -> tuple[list[dict], str]:
+    """Coverage report for the automated planner (Section 6 future work)."""
+    from repro.auto.planner import evaluate_planner
+    from repro.eval.report import format_table
+    from repro.swan.benchmark import load_benchmark
+
+    report = evaluate_planner(load_benchmark())
+    records = [
+        {
+            "total": report.total,
+            "planned": report.planned,
+            "coverage": report.coverage,
+            "correct": report.correct,
+            "planned_accuracy": report.planned_accuracy,
+        }
+    ]
+    text = format_table(
+        ["Questions", "Planned", "Coverage", "Correct", "Planned accuracy"],
+        [[report.total, report.planned, f"{report.coverage * 100:.0f}%",
+          report.correct, f"{report.planned_accuracy * 100:.0f}%"]],
+        title="Automated NL -> hybrid query planner on SWAN (perfect model).",
+    )
+    return records, text
+
+
+def _validation_report() -> tuple[list[dict], str]:
+    """Benchmark self-check: gold/HQDL/UDF agreement under a perfect model."""
+    from repro.swan.benchmark import load_benchmark
+    from repro.swan.validate import validate_swan
+
+    report = validate_swan(load_benchmark())
+    records = [
+        {
+            "questions": report.questions,
+            "consistent": report.consistent,
+            "issues": len(report.issues),
+        }
+    ]
+    return records, report.summary()
+
+
+def _cost_report() -> tuple[list[dict], str]:
+    """Section 5.5 style cost/latency/throughput for both pipelines."""
+    from repro.eval.costs import estimate_costs
+    from repro.harness.runner import GoldResults, run_hqdl, run_udf
+    from repro.swan.benchmark import load_benchmark
+
+    swan = load_benchmark()
+    gold = GoldResults(swan)
+    hqdl = run_hqdl(swan, "gpt-3.5-turbo", 0, gold=gold)
+    udf = run_udf(swan, "gpt-3.5-turbo", 0, gold=gold)
+    reports = {
+        "HQDL": estimate_costs(hqdl.usage, "gpt-3.5-turbo", questions=120),
+        "HQ UDFs": estimate_costs(udf.usage, "gpt-3.5-turbo", questions=120),
+    }
+    records = [
+        {"algorithm": name, "dollars": r.dollars,
+         "sequential_s": r.sequential_latency_s,
+         "parallel_s": r.parallel_latency_s}
+        for name, r in reports.items()
+    ]
+    text = "\n\n".join(f"== {name} ==\n{r.summary()}" for name, r in reports.items())
+    return records, text
+
+
+def _error_report() -> tuple[list[dict], str]:
+    """Section 5.3-style failure analysis for the headline configuration."""
+    from repro.eval.breakdown import analyze_run
+    from repro.harness.runner import GoldResults, run_hqdl
+    from repro.swan.benchmark import load_benchmark
+
+    swan = load_benchmark()
+    run = run_hqdl(swan, "gpt-4-turbo", 5, gold=GoldResults(swan))
+    breakdown = analyze_run(swan, run)
+    records = [
+        {
+            "model": breakdown.model,
+            "shots": breakdown.shots,
+            "failures": breakdown.failures,
+            "limit_failure_rate": breakdown.limit_failure_rate(),
+            "scan_failure_rate": breakdown.scan_failure_rate(),
+        }
+    ]
+    return records, breakdown.render()
+
+
+def _sweep_report() -> tuple[list[dict], str]:
+    """The raw (method × model × shots × database) grid behind the tables."""
+    from repro.eval.report import format_records
+    from repro.harness.sweep import run_sweep, write_csv
+    from repro.swan.benchmark import load_benchmark
+
+    records = run_sweep(load_benchmark())
+    rows = [record.as_row() for record in records]
+    path = write_csv(records, "sweep.csv")
+    text = format_records(rows, title=f"Full experiment grid (also written to {path}).")
+    return rows, text
+
+
+_GENERATORS = {
+    "table1": tables.table1,
+    "table2": tables.table2,
+    "table3": tables.table3,
+    "table4": tables.table4,
+    "table5": tables.table5,
+    "figure1": tables.figure1,
+    "planner": _planner_report,
+    "validate": _validation_report,
+    "costs": _cost_report,
+    "errors": _error_report,
+    "sweep": _sweep_report,
+}
+
+#: Extra targets excluded from `all` (sweep re-runs the whole grid and
+#: writes a file; `all` should stay side-effect free).
+_EXCLUDED_FROM_ALL = ("sweep",)
+
+
+def main(argv: list[str]) -> int:
+    """Print the requested tables/figures; returns a process exit code."""
+    targets = argv or ["all"]
+    if targets == ["all"]:
+        targets = [t for t in _GENERATORS if t not in _EXCLUDED_FROM_ALL]
+    unknown = [t for t in targets if t not in _GENERATORS]
+    if unknown:
+        print(f"unknown targets: {', '.join(unknown)}")
+        print(f"available: {', '.join(_GENERATORS)} | all")
+        return 2
+    for index, target in enumerate(targets):
+        if index:
+            print()
+        _, text = _GENERATORS[target]()
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

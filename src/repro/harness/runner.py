@@ -1,0 +1,184 @@
+"""Experiment runners for the HQDL and HQ UDFs pipelines.
+
+Each runner executes one (model, shots) configuration over the requested
+SWAN databases, returning per-database EX, factuality (HQDL), and token
+usage.  Gold results are computed once per benchmark via
+:class:`GoldResults` and shared across configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.hqdl import HQDL, GenerationResult
+from repro.errors import ReproError
+from repro.eval.execution import (
+    ExecutionOutcome,
+    evaluate_question,
+    execution_accuracy,
+    failed_outcome,
+)
+from repro.eval.factuality import database_factuality
+from repro.llm.cache import PromptCache
+from repro.llm.chat import MockChatModel
+from repro.llm.oracle import KnowledgeOracle
+from repro.llm.profiles import get_profile
+from repro.llm.usage import Usage, UsageMeter
+from repro.sqlengine.results import ResultSet
+from repro.swan.benchmark import Swan
+from repro.swan.build import build_curated_database, build_original_database
+from repro.udf.executor import HybridQueryExecutor
+
+
+class GoldResults:
+    """Gold (expected) results for every question, computed once."""
+
+    def __init__(self, swan: Swan) -> None:
+        self.swan = swan
+        self._by_qid: dict[str, ResultSet] = {}
+        for name in swan.database_names():
+            with build_original_database(swan.world(name)) as db:
+                for question in swan.questions_for(name):
+                    self._by_qid[question.qid] = db.query(question.gold_sql)
+
+    def expected(self, qid: str) -> ResultSet:
+        try:
+            return self._by_qid[qid]
+        except KeyError as exc:
+            raise ReproError(f"no gold result for question {qid!r}") from exc
+
+
+@dataclass
+class HQDLRun:
+    """Results of one HQDL configuration (model × shots)."""
+
+    model: str
+    shots: int
+    ex_by_db: dict[str, float] = field(default_factory=dict)
+    f1_by_db: dict[str, float] = field(default_factory=dict)
+    outcomes: list[ExecutionOutcome] = field(default_factory=list)
+    usage: Usage = field(default_factory=Usage)
+    generations: dict[str, GenerationResult] = field(default_factory=dict)
+
+    @property
+    def overall_ex(self) -> float:
+        return execution_accuracy(self.outcomes)
+
+    @property
+    def average_f1(self) -> float:
+        if not self.f1_by_db:
+            return 0.0
+        return sum(self.f1_by_db.values()) / len(self.f1_by_db)
+
+
+@dataclass
+class UDFRun:
+    """Results of one HQ UDFs configuration."""
+
+    model: str
+    shots: int
+    batch_size: int
+    pushdown: bool
+    ex_by_db: dict[str, float] = field(default_factory=dict)
+    outcomes: list[ExecutionOutcome] = field(default_factory=list)
+    usage: Usage = field(default_factory=Usage)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def overall_ex(self) -> float:
+        return execution_accuracy(self.outcomes)
+
+
+def run_hqdl(
+    swan: Swan,
+    model_name: str,
+    shots: int,
+    *,
+    databases: Optional[Sequence[str]] = None,
+    gold: Optional[GoldResults] = None,
+) -> HQDLRun:
+    """Run HQDL for one (model, shots) configuration.
+
+    Generation happens once per database and is reused by all 30 of its
+    questions (HQDL's materialization advantage, Section 5.5).
+    """
+    gold = gold or GoldResults(swan)
+    profile = get_profile(model_name)
+    run = HQDLRun(model=model_name, shots=shots)
+    meter = UsageMeter()
+    for name in databases or swan.database_names():
+        world = swan.world(name)
+        model = MockChatModel(KnowledgeOracle(world), profile, meter=meter)
+        pipeline = HQDL(world, model, shots=shots)
+        generation = pipeline.generate_all()
+        run.generations[name] = generation
+        run.f1_by_db[name] = database_factuality(world, generation)
+        db_outcomes: list[ExecutionOutcome] = []
+        with pipeline.build_expanded_database(generation) as db:
+            for question in swan.questions_for(name):
+                expected = gold.expected(question.qid)
+                try:
+                    actual = pipeline.answer(db, question)
+                except ReproError as exc:
+                    db_outcomes.append(failed_outcome(question, expected, str(exc)))
+                    continue
+                db_outcomes.append(evaluate_question(question, expected, actual))
+        run.ex_by_db[name] = execution_accuracy(db_outcomes)
+        run.outcomes.extend(db_outcomes)
+    run.usage = meter.total
+    return run
+
+
+def run_udf(
+    swan: Swan,
+    model_name: str,
+    shots: int,
+    *,
+    batch_size: int = 5,
+    pushdown: bool = True,
+    databases: Optional[Sequence[str]] = None,
+    gold: Optional[GoldResults] = None,
+) -> UDFRun:
+    """Run Hybrid Query UDFs for one configuration.
+
+    One prompt cache per database is shared across its 30 questions —
+    reuse happens only on byte-identical prompts, the BlendSQL semantics
+    the paper's Section 5.5 cost analysis hinges on.
+    """
+    gold = gold or GoldResults(swan)
+    profile = get_profile(model_name)
+    run = UDFRun(
+        model=model_name, shots=shots, batch_size=batch_size, pushdown=pushdown
+    )
+    meter = UsageMeter()
+    for name in databases or swan.database_names():
+        world = swan.world(name)
+        model = MockChatModel(KnowledgeOracle(world), profile, meter=meter)
+        cache = PromptCache()
+        db_outcomes: list[ExecutionOutcome] = []
+        with build_curated_database(world) as db:
+            executor = HybridQueryExecutor(
+                db,
+                model,
+                world,
+                batch_size=batch_size,
+                pushdown=pushdown,
+                shots=shots,
+                cache=cache,
+            )
+            for question in swan.questions_for(name):
+                expected = gold.expected(question.qid)
+                try:
+                    actual = executor.execute(question.blend_sql)
+                except ReproError as exc:
+                    db_outcomes.append(failed_outcome(question, expected, str(exc)))
+                    continue
+                db_outcomes.append(evaluate_question(question, expected, actual))
+        run.cache_hits += cache.hits
+        run.cache_misses += cache.misses
+        run.ex_by_db[name] = execution_accuracy(db_outcomes)
+        run.outcomes.extend(db_outcomes)
+    run.usage = meter.total
+    return run

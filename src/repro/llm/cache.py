@@ -1,0 +1,71 @@
+"""Prompt-keyed completion caching (the BlendSQL caching model).
+
+Section 5.5 of the paper: BlendSQL "caches LLM-generated content as a
+mapping from input prompts to LLM output answers", which makes reuse
+brittle — two prompts with the same meaning but different text miss.
+:class:`PromptCache` implements exactly that mapping, and
+:class:`CachingClient` wraps any :class:`~repro.llm.client.ChatClient`
+with it.  Hit/miss statistics feed the caching ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.client import ChatClient, ChatResponse
+from repro.llm.usage import Usage
+
+
+@dataclass
+class PromptCache:
+    """An exact-match prompt → completion cache with statistics."""
+
+    entries: dict[str, str] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def get(self, prompt: str) -> str | None:
+        if prompt in self.entries:
+            self.hits += 1
+            return self.entries[prompt]
+        self.misses += 1
+        return None
+
+    def put(self, prompt: str, completion: str) -> None:
+        self.entries[prompt] = completion
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachingClient:
+    """A ChatClient decorator that short-circuits repeated prompts.
+
+    Cache hits cost zero tokens (nothing reaches the model), which is how
+    the paper accounts for reuse.
+    """
+
+    def __init__(self, inner: ChatClient, cache: PromptCache | None = None) -> None:
+        self.inner = inner
+        # `cache or PromptCache()` would discard an *empty* shared cache
+        # (PromptCache defines __len__), so compare against None explicitly.
+        self.cache = cache if cache is not None else PromptCache()
+        self.model_name = inner.model_name
+
+    def complete(self, prompt: str, *, label: str = "") -> ChatResponse:
+        """Serve from cache when possible; otherwise call through and store."""
+        cached = self.cache.get(prompt)
+        if cached is not None:
+            return ChatResponse(cached, Usage())
+        response = self.inner.complete(prompt, label=label)
+        self.cache.put(prompt, response.text)
+        return response

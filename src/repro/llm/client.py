@@ -1,0 +1,81 @@
+"""Client protocol for chat models, plus test doubles.
+
+Everything that talks to an LLM in this library goes through the
+:class:`ChatClient` protocol, so pipelines are oblivious to whether they
+are driving the simulated :class:`~repro.llm.chat.MockChatModel`, a
+caching wrapper, or a scripted stand-in inside a unit test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.errors import LLMError
+from repro.llm.tokenizer import count_tokens
+from repro.llm.usage import Usage, UsageMeter
+
+
+@dataclass(frozen=True)
+class ChatResponse:
+    """One completion: the text plus the usage it cost."""
+
+    text: str
+    usage: Usage
+
+
+@runtime_checkable
+class ChatClient(Protocol):
+    """Anything that can complete a prompt."""
+
+    model_name: str
+
+    def complete(self, prompt: str, *, label: str = "") -> ChatResponse:
+        """Complete ``prompt`` and account for its tokens."""
+        ...  # pragma: no cover - protocol
+
+
+class ScriptedClient:
+    """A deterministic test double that replays canned completions.
+
+    Accepts either a list (consumed in order) or a dict keyed by an exact
+    prompt or by a substring.  Raises :class:`LLMError` when no scripted
+    answer matches, so tests fail loudly on unexpected prompts.
+    """
+
+    def __init__(
+        self,
+        responses: Iterable[str] | dict[str, str],
+        *,
+        model_name: str = "scripted",
+        meter: UsageMeter | None = None,
+    ) -> None:
+        self.model_name = model_name
+        self.meter = meter or UsageMeter()
+        self.prompts: list[str] = []
+        if isinstance(responses, dict):
+            self._by_key = dict(responses)
+            self._queue: list[str] = []
+        else:
+            self._by_key = {}
+            self._queue = list(responses)
+
+    def complete(self, prompt: str, *, label: str = "") -> ChatResponse:
+        """Replay the scripted answer for this prompt, metering tokens."""
+        self.prompts.append(prompt)
+        text = self._lookup(prompt)
+        usage = self.meter.record(count_tokens(prompt), count_tokens(text), label)
+        return ChatResponse(text, usage)
+
+    def _lookup(self, prompt: str) -> str:
+        if self._queue:
+            return self._queue.pop(0)
+        if prompt in self._by_key:
+            return self._by_key[prompt]
+        for key, value in self._by_key.items():
+            if key in prompt:
+                return value
+        raise LLMError(
+            f"ScriptedClient has no response for prompt starting "
+            f"{prompt[:80]!r}"
+        )

@@ -1,0 +1,288 @@
+"""The knowledge oracle behind the simulated models.
+
+A :class:`KnowledgeOracle` owns the ground truth of one SWAN world and
+decides, per generated cell, whether a given model "knows" the true value
+— deterministically, via a hash of the cell identity compared against the
+model profile's calibrated accuracy.  Two useful properties fall out of
+hashing the *cell* rather than the call:
+
+- monotonicity in shots: more demonstrations never turn a known cell into
+  an unknown one (accuracy only rises, the hash draw is fixed);
+- model consistency: the stronger model's knowledge is a superset of the
+  weaker model's wherever its accuracy is higher, because both compare the
+  same draw against their own thresholds.
+
+When the model does not know a value, the oracle fabricates a *plausible*
+hallucination: another entry of the value list for selection columns, a
+nearby number for numeric columns, a mutated string or another entity's
+value for free-form columns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.errors import LLMError
+from repro.llm.profiles import ModelProfile
+from repro.swan.base import (
+    KIND_MULTI,
+    KIND_NUMERIC,
+    KIND_SELECTION,
+    ExpansionColumn,
+    ExpansionTable,
+    World,
+)
+
+
+def stable_uniform(*parts: object) -> float:
+    """A deterministic pseudo-uniform draw in [0, 1) from the parts."""
+    payload = "\x1f".join(str(p) for p in parts).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def stable_choice(options: list, *parts: object):
+    """Deterministically pick one option based on the parts."""
+    if not options:
+        raise LLMError("stable_choice requires at least one option")
+    index = int(stable_uniform("choice", *parts) * len(options))
+    return options[min(index, len(options) - 1)]
+
+
+class KnowledgeOracle:
+    """Ground truth plus calibrated noise for one world."""
+
+    def __init__(self, world: World, *, salt: str = "swan-v1") -> None:
+        self.world = world
+        self.salt = salt
+        # column metadata index: (expansion_name, column_name) -> spec
+        self._columns: dict[tuple[str, str], ExpansionColumn] = {}
+        for expansion in world.expansions:
+            for column in expansion.columns:
+                self._columns[(expansion.name, column.name)] = column
+
+    # -- core generation -----------------------------------------------------
+
+    def column_spec(self, expansion_name: str, column: str) -> ExpansionColumn:
+        try:
+            return self._columns[(expansion_name, column)]
+        except KeyError as exc:
+            raise LLMError(
+                f"unknown generated column {expansion_name}.{column}"
+            ) from exc
+
+    def knows(
+        self,
+        expansion_name: str,
+        key: tuple,
+        column: str,
+        accuracy: float,
+    ) -> bool:
+        """Whether a model with the given accuracy knows this cell."""
+        draw = stable_uniform(self.salt, "know", self.world.name, expansion_name, key, column)
+        return draw < accuracy
+
+    def generate_value(
+        self,
+        expansion_name: str,
+        key: tuple,
+        column: str,
+        profile: ModelProfile,
+        shots: int,
+        *,
+        single_cell: bool = False,
+        batch_size: int = 1,
+        with_context: bool = False,
+    ) -> str:
+        """The model's answer for one cell, formatted as completion text."""
+        spec = self.column_spec(expansion_name, column)
+        accuracy = profile.knowledge_accuracy(
+            self.world.name,
+            column,
+            spec.kind,
+            shots,
+            single_cell=single_cell,
+            batch_size=batch_size,
+        )
+        # Famous entities are better represented in pre-training data;
+        # the popularity multiplier raises (or lowers) the cell's odds
+        # while keeping the profile's hard ceiling.  A model with perfect
+        # knowledge (accuracy 1.0, e.g. the 'perfect' profile) has nothing
+        # left to forget, so neither popularity nor context applies.
+        if accuracy < 1.0:
+            accuracy *= self.world.key_popularity(expansion_name, key)
+            if with_context:
+                accuracy *= profile.context_boost
+            accuracy = min(profile.max_accuracy, accuracy)
+        truth = self.world.truth_value(expansion_name, key, column)
+        if self.knows(expansion_name, key, column, accuracy):
+            return self.format_value(truth, spec)
+        return self.format_value(
+            self._distractor(expansion_name, key, column, spec, truth), spec
+        )
+
+    @staticmethod
+    def format_value(value: object, spec: ExpansionColumn) -> str:
+        """Render a truth/distractor value the way a model would print it."""
+        if spec.kind == KIND_MULTI:
+            if isinstance(value, (list, tuple)):
+                return ", ".join(str(v) for v in value)
+            return str(value)
+        if value is None:
+            return ""
+        if isinstance(value, float) and value == int(value):
+            return str(int(value))
+        return str(value)
+
+    # -- hallucination -------------------------------------------------------
+
+    def _distractor(
+        self,
+        expansion_name: str,
+        key: tuple,
+        column: str,
+        spec: ExpansionColumn,
+        truth: object,
+    ) -> object:
+        """A plausible wrong value, deterministic per cell."""
+        seed_parts = (self.salt, "wrong", self.world.name, expansion_name, key, column)
+        if spec.kind == KIND_SELECTION:
+            options = [
+                v for v in self.world.value_lists.get(spec.value_list or "", []) if v != truth
+            ]
+            if options:
+                return stable_choice(options, *seed_parts)
+            return truth  # degenerate single-value list: nothing else to say
+        if spec.kind == KIND_NUMERIC:
+            return self._numeric_distractor(truth, seed_parts)
+        if spec.kind == KIND_MULTI:
+            return self._multi_distractor(spec, truth, seed_parts)
+        return self._freeform_distractor(expansion_name, key, column, truth, seed_parts)
+
+    @staticmethod
+    def _numeric_distractor(truth: object, seed_parts: tuple) -> object:
+        try:
+            value = float(truth)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return f"{truth}?"
+        draw = stable_uniform("numeric", *seed_parts)
+        # ±5%..20% relative error, never exactly the truth
+        factor = 1.0 + (0.05 + 0.15 * draw) * (1 if draw > 0.5 else -1)
+        wrong = value * factor
+        if isinstance(truth, int) or (isinstance(truth, float) and value == int(value)):
+            wrong_int = int(round(wrong))
+            if wrong_int == int(value):
+                wrong_int += 1
+            return wrong_int
+        return round(wrong, 2)
+
+    def _multi_distractor(
+        self, spec: ExpansionColumn, truth: object, seed_parts: tuple
+    ) -> tuple:
+        items = list(truth) if isinstance(truth, (list, tuple)) else [str(truth)]
+        pool = [
+            v
+            for v in self.world.value_lists.get(spec.value_list or "", [])
+            if v not in items
+        ]
+        draw = stable_uniform("multi", *seed_parts)
+        mutated = list(items)
+        if mutated and draw < 0.6:
+            # forget one element
+            drop_index = int(stable_uniform("multi-drop", *seed_parts) * len(mutated))
+            mutated.pop(min(drop_index, len(mutated) - 1))
+        if pool and draw >= 0.3:
+            # invent one element
+            mutated.append(stable_choice(pool, "multi-add", *seed_parts))
+        if tuple(mutated) == tuple(items):
+            if pool:
+                mutated.append(stable_choice(pool, "multi-fix", *seed_parts))
+            elif mutated:
+                mutated.pop()
+        return tuple(mutated)
+
+    def _freeform_distractor(
+        self,
+        expansion_name: str,
+        key: tuple,
+        column: str,
+        truth: object,
+        seed_parts: tuple,
+    ) -> object:
+        text = str(truth)
+        if "www." in text or text.endswith((".edu", ".org", ".com", ".net")):
+            return self._mutate_url(text, seed_parts)
+        # confusion: answer with another entity's value for the same column
+        truth_map = self.world.truth[expansion_name]
+        others = [
+            entry[column]
+            for entry_key, entry in truth_map.items()
+            if entry_key != key and str(entry[column]) != text and entry[column] is not None
+        ]
+        if others:
+            return stable_choice(others, "confuse", *seed_parts)
+        return self._mutate_text(text, seed_parts)
+
+    @staticmethod
+    def _mutate_url(url: str, seed_parts: tuple) -> str:
+        suffixes = [".edu", ".org", ".com", ".net", ".us"]
+        for suffix in suffixes:
+            if url.endswith(suffix):
+                replacement = stable_choice(
+                    [s for s in suffixes if s != suffix], "url", *seed_parts
+                )
+                return url[: -len(suffix)] + replacement
+        return url + ".org"
+
+    @staticmethod
+    def _mutate_text(text: str, seed_parts: tuple) -> str:
+        if not text:
+            return "unknown"
+        draw = stable_uniform("text", *seed_parts)
+        if draw < 0.5 and " " in text:
+            head, _, _ = text.rpartition(" ")
+            return head  # truncated answer
+        return text + "s" if not text.endswith("s") else text[:-1]
+
+    # -- question understanding ----------------------------------------------
+
+    def resolve_attribute(
+        self, question: str
+    ) -> tuple[ExpansionTable, ExpansionColumn]:
+        """Resolve an NL question to the generated attribute it asks about.
+
+        This stands in for semantic understanding: each expansion column
+        declares keyword cues; the column with the highest cue overlap
+        wins.  Raises :class:`LLMError` when nothing matches — the mock
+        model is "confused", and callers surface that as a failed query.
+        """
+        lowered = question.lower()
+        best: Optional[tuple[ExpansionTable, ExpansionColumn]] = None
+        best_score = 0
+        for expansion in self.world.expansions:
+            for column in expansion.columns:
+                score = sum(
+                    len(keyword)
+                    for keyword in column.keywords
+                    if keyword.lower() in lowered
+                )
+                if score > best_score:
+                    best_score = score
+                    best = (expansion, column)
+        if best is None:
+            raise LLMError(
+                f"cannot resolve question to a known attribute: {question!r}"
+            )
+        return best
+
+    def find_key(self, expansion: ExpansionTable, entity: str) -> Optional[tuple]:
+        """Find the key tuple whose components mention ``entity``."""
+        lowered = entity.lower()
+        for key in self.world.truth[expansion.name]:
+            if any(lowered == str(part).lower() for part in key):
+                return key
+        for key in self.world.truth[expansion.name]:
+            if any(lowered in str(part).lower() for part in key):
+                return key
+        return None

@@ -1,0 +1,244 @@
+"""Calibrated model profiles for the simulated LLMs.
+
+A :class:`ModelProfile` captures, as data, everything the evaluation in
+the paper attributes to a model:
+
+- how much world knowledge it has (per database domain and per value
+  kind), at zero shots and at five shots;
+- how the gain from in-context demonstrations accrues between 0 and 5
+  shots (the paper's Tables 2 and 4 show a large 0→1 jump and small 1→5
+  gains);
+- how often it violates the requested output format (wrong field count,
+  empty fields) — frequent at zero shot, rare with demonstrations
+  (Section 5.3);
+- how much accuracy degrades when several keys are batched into one call
+  (Section 5.4 blames BlendSQL's default batch size of 5) and when it must
+  predict a single cell without the full-row chain-of-thought context.
+
+The numbers here were calibrated so the reproduced Tables 2–4 land near
+the paper's; `EXPERIMENTS.md` records the fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LLMError
+from repro.swan.base import KIND_FREEFORM, KIND_MULTI, KIND_NUMERIC, KIND_SELECTION
+
+
+def _interpolate_shots(curve: dict[int, float], shots: int) -> float:
+    """Fraction of the 0→5-shot gain realised at ``shots`` demonstrations."""
+    if not curve:
+        # no curve declared: all of the gain arrives with the first shot
+        return 0.0 if shots == 0 else 1.0
+    if shots in curve:
+        return curve[shots]
+    points = sorted(curve.items())
+    if shots <= points[0][0]:
+        return points[0][1]
+    if shots >= points[-1][0]:
+        return points[-1][1]
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        if x0 <= shots <= x1:
+            return y0 + (y1 - y0) * (shots - x0) / (x1 - x0)
+    return points[-1][1]  # pragma: no cover - unreachable
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """All behavioural parameters of one simulated model."""
+
+    name: str
+    #: overall knowledge accuracy at 0 and 5 shots (before factors)
+    base_zero_shot: float
+    base_five_shot: float
+    #: shots -> fraction of the 0→5 gain realised
+    shot_curve: dict[int, float] = field(default_factory=dict)
+    #: multiplier per value kind (selection/freeform/numeric/multi)
+    kind_factors: dict[str, float] = field(default_factory=dict)
+    #: multiplier per database domain
+    database_factors: dict[str, float] = field(default_factory=dict)
+    #: per-database (zero-shot, five-shot) knowledge bands overriding the
+    #: base band — domains differ in how much a demonstration helps (city-
+    #: from-address is easy at zero shot; driver codes need the format).
+    database_bands: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: multiplier per (database, column) — fine-grained calibration knob
+    column_factors: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: probability a generated row violates the output format, at 0/5 shots
+    format_error_zero_shot: float = 0.10
+    format_error_five_shot: float = 0.02
+    #: accuracy multiplier when predicting one cell without full-row context
+    single_cell_factor: float = 0.9
+    #: fraction of the few-shot gain realised in single-cell mode —
+    #: question/answer-pair demonstrations teach less than full-row
+    #: demonstrations (Section 5.4), so HQ UDFs improves little with shots
+    single_cell_shot_gain: float = 1.0
+    #: per-item accuracy multiplier applied once per extra key in a batch
+    batch_item_factor: float = 0.995
+    #: accuracy multiplier when the prompt carries retrieved database
+    #: context rows (Section 4.3 opportunity #1) — grounding helps recall
+    context_boost: float = 1.0
+    #: hard ceiling on knowledge accuracy (1.0 only for the ideal model)
+    max_accuracy: float = 0.98
+
+    # -- derived rates --------------------------------------------------------
+
+    def knowledge_accuracy(
+        self,
+        database: str,
+        column: str,
+        kind: str,
+        shots: int,
+        *,
+        single_cell: bool = False,
+        batch_size: int = 1,
+    ) -> float:
+        """Probability this model produces the true value for one cell."""
+        fraction = _interpolate_shots(self.shot_curve, shots)
+        if single_cell:
+            fraction *= self.single_cell_shot_gain
+        zero, five = self.database_bands.get(
+            database, (self.base_zero_shot, self.base_five_shot)
+        )
+        accuracy = zero + fraction * (five - zero)
+        accuracy *= self.kind_factors.get(kind, 1.0)
+        accuracy *= self.database_factors.get(database, 1.0)
+        accuracy *= self.column_factors.get((database, column), 1.0)
+        if single_cell:
+            accuracy *= self.single_cell_factor
+        if batch_size > 1:
+            accuracy *= self.batch_item_factor ** (batch_size - 1)
+        return max(0.0, min(self.max_accuracy, accuracy))
+
+    def format_error_rate(self, shots: int) -> float:
+        """Probability a completion row is malformed at this shot count."""
+        fraction = _interpolate_shots(self.shot_curve, shots)
+        return self.format_error_zero_shot + fraction * (
+            self.format_error_five_shot - self.format_error_zero_shot
+        )
+
+
+#: The paper evaluates these two models (Section 5.2).  The shot curves
+#: reflect the observed "one demonstration buys most of the gain" pattern.
+_PROFILES: dict[str, ModelProfile] = {}
+
+
+def _register(profile: ModelProfile) -> ModelProfile:
+    _PROFILES[profile.name] = profile
+    return profile
+
+
+GPT_35_TURBO = _register(
+    ModelProfile(
+        name="gpt-3.5-turbo",
+        base_zero_shot=0.30,
+        base_five_shot=0.55,
+        shot_curve={0: 0.0, 1: 0.75, 3: 0.94, 5: 1.0},
+        kind_factors={
+            KIND_SELECTION: 1.20,
+            KIND_FREEFORM: 1.00,
+            KIND_NUMERIC: 0.45,
+            KIND_MULTI: 0.65,
+        },
+        database_bands={
+            "california_schools": (0.88, 0.93),
+            "superhero": (0.38, 0.55),
+            "formula_1": (0.42, 0.56),
+            "european_football": (0.32, 0.70),
+        },
+        column_factors={
+            # City-from-address and county are easy inferences; URLs and
+            # administrative categories are where models hallucinate.
+            ("california_schools", "city"): 1.30,
+            ("california_schools", "county"): 1.25,
+            ("california_schools", "website"): 0.70,
+            ("california_schools", "school_type"): 0.60,
+            ("california_schools", "funding_type"): 0.55,
+            # The three-letter code format needs demonstrations; years are
+            # hard to pin exactly.
+            ("formula_1", "code"): 1.10,
+            ("formula_1", "birth_year"): 0.85,
+        },
+        format_error_zero_shot=0.04,
+        format_error_five_shot=0.015,
+        single_cell_factor=0.88,
+        single_cell_shot_gain=0.35,
+        batch_item_factor=0.99,
+        context_boost=1.08,
+    )
+)
+
+GPT_4_TURBO = _register(
+    ModelProfile(
+        name="gpt-4-turbo",
+        base_zero_shot=0.40,
+        base_five_shot=0.60,
+        shot_curve={0: 0.0, 1: 0.92, 3: 0.95, 5: 1.0},
+        kind_factors={
+            KIND_SELECTION: 1.20,
+            KIND_FREEFORM: 1.00,
+            KIND_NUMERIC: 0.50,
+            KIND_MULTI: 0.70,
+        },
+        database_bands={
+            "california_schools": (0.94, 0.98),
+            "superhero": (0.52, 0.56),
+            "formula_1": (0.50, 0.54),
+            "european_football": (0.36, 0.78),
+        },
+        column_factors={
+            ("california_schools", "city"): 1.30,
+            ("california_schools", "county"): 1.25,
+            ("california_schools", "website"): 0.70,
+            ("california_schools", "school_type"): 0.60,
+            ("california_schools", "funding_type"): 0.55,
+            ("formula_1", "code"): 1.10,
+            ("formula_1", "birth_year"): 0.85,
+        },
+        format_error_zero_shot=0.025,
+        format_error_five_shot=0.008,
+        single_cell_factor=0.90,
+        single_cell_shot_gain=0.40,
+        batch_item_factor=0.993,
+        context_boost=1.06,
+    )
+)
+
+
+#: An ideal model: perfect knowledge, perfect formatting.  Used by the
+#: benchmark's query-consistency validation (gold == hybrid when the LLM
+#: never errs) and by ablation baselines.
+PERFECT = _register(
+    ModelProfile(
+        name="perfect",
+        base_zero_shot=1.0,
+        base_five_shot=1.0,
+        shot_curve={0: 0.0, 5: 1.0},
+        format_error_zero_shot=0.0,
+        format_error_five_shot=0.0,
+        single_cell_factor=1.0,
+        batch_item_factor=1.0,
+        max_accuracy=1.0,
+    )
+)
+
+
+def get_profile(name: str) -> ModelProfile:
+    """Look up a registered model profile by name."""
+    try:
+        return _PROFILES[name]
+    except KeyError as exc:
+        raise LLMError(
+            f"unknown model {name!r}; available: {sorted(_PROFILES)}"
+        ) from exc
+
+
+def list_profiles() -> list[str]:
+    """Names of all registered model profiles."""
+    return sorted(_PROFILES)
+
+
+def register_profile(profile: ModelProfile) -> ModelProfile:
+    """Register a custom profile (used by tests and ablations)."""
+    return _register(profile)

@@ -1,0 +1,70 @@
+"""Token and call metering, plus the pricing table from Section 5.1.
+
+Every simulated LLM call records its input/output token counts into a
+:class:`UsageMeter`.  Meters nest: the harness gives each pipeline its own
+meter and aggregates at the end for Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Dollars per million tokens (input, output).  GPT-3.5 Turbo pricing is
+#: quoted in the paper; GPT-4 Turbo from the OpenAI price list of the same
+#: period.
+PRICING_PER_MILLION = {
+    "gpt-3.5-turbo": (3.0, 6.0),
+    "gpt-4-turbo": (10.0, 30.0),
+}
+
+
+@dataclass(frozen=True)
+class Usage:
+    """Token usage of a single call (or an aggregate)."""
+
+    input_tokens: int = 0
+    output_tokens: int = 0
+    calls: int = 0
+
+    def __add__(self, other: "Usage") -> "Usage":
+        return Usage(
+            self.input_tokens + other.input_tokens,
+            self.output_tokens + other.output_tokens,
+            self.calls + other.calls,
+        )
+
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+    def cost_usd(self, model: str) -> float:
+        """Monetary cost under the paper's pricing table."""
+        input_rate, output_rate = PRICING_PER_MILLION.get(model, (0.0, 0.0))
+        return (
+            self.input_tokens * input_rate + self.output_tokens * output_rate
+        ) / 1_000_000
+
+
+@dataclass
+class UsageMeter:
+    """Accumulates usage across calls; supports labelled sub-totals."""
+
+    total: Usage = field(default_factory=Usage)
+    by_label: dict[str, Usage] = field(default_factory=dict)
+
+    def record(self, input_tokens: int, output_tokens: int, label: str = "") -> Usage:
+        """Record one call and return its Usage."""
+        usage = Usage(input_tokens, output_tokens, 1)
+        self.total = self.total + usage
+        if label:
+            self.by_label[label] = self.by_label.get(label, Usage()) + usage
+        return usage
+
+    def merge(self, other: "UsageMeter") -> None:
+        """Fold another meter's counts into this one."""
+        self.total = self.total + other.total
+        for label, usage in other.by_label.items():
+            self.by_label[label] = self.by_label.get(label, Usage()) + usage
+
+    def reset(self) -> None:
+        self.total = Usage()
+        self.by_label.clear()

@@ -1,0 +1,27 @@
+"""Context retrieval over database values (Section 4.3, opportunity #1).
+
+"There are other attributes inside the relational database that may be
+relevant and it remains an open question on how to select the best
+context.  One possible approach is to build a vector index on the
+database values or rows and then fetch the relevant information based on
+embedding similarity."
+
+- :class:`~repro.retrieval.index.VectorIndex` — a generic sparse-vector
+  similarity index (the offline stand-in for an embedding index).
+- :class:`~repro.retrieval.index.RowContextRetriever` — indexes every row
+  of a curated database and fetches the rows most related to an
+  expansion key, rendered as prompt context lines.
+
+HQDL consumes this through its ``context_rows`` option; the ablation
+bench measures the factuality-vs-token trade-off.
+"""
+
+from repro.retrieval.embedding import cosine_similarity, embed
+from repro.retrieval.index import RowContextRetriever, VectorIndex
+
+__all__ = [
+    "VectorIndex",
+    "RowContextRetriever",
+    "embed",
+    "cosine_similarity",
+]

@@ -1,0 +1,117 @@
+"""The vector index and the row-context retriever.
+
+:class:`VectorIndex` is a straightforward exact-scan similarity index —
+at SWAN's scale an ANN structure would be noise; the interface (add /
+search top-k) is what matters.
+
+:class:`RowContextRetriever` builds one index per curated database:
+every row of every table becomes a document of the form
+``table_name: col=value | col=value | ...``.  Given an expansion key it
+retrieves the most related rows, which HQDL can splice into its prompts
+as grounding context (the paper's "fetch the relevant information based
+on embedding similarity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.retrieval.embedding import cosine_similarity, embed
+from repro.swan.base import World
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One retrieval result."""
+
+    doc_id: int
+    text: str
+    score: float
+
+
+class VectorIndex:
+    """An exact-scan cosine-similarity index over text documents."""
+
+    def __init__(self) -> None:
+        self._texts: list[str] = []
+        self._vectors: list[dict[str, float]] = []
+
+    def add(self, text: str) -> int:
+        """Index one document; returns its doc id."""
+        doc_id = len(self._texts)
+        self._texts.append(text)
+        self._vectors.append(embed(text))
+        return doc_id
+
+    def __len__(self) -> int:
+        return len(self._texts)
+
+    def document(self, doc_id: int) -> str:
+        return self._texts[doc_id]
+
+    def search(self, query: str, k: int = 5) -> list[SearchHit]:
+        """Top-k documents by cosine similarity (ties broken by doc id)."""
+        if k <= 0 or not self._texts:
+            return []
+        query_vector = embed(query)
+        scored = sorted(
+            range(len(self._vectors)),
+            key=lambda i: (-cosine_similarity(query_vector, self._vectors[i]), i),
+        )
+        hits = []
+        for doc_id in scored[:k]:
+            score = cosine_similarity(query_vector, self._vectors[doc_id])
+            if score <= 0.0:
+                break
+            hits.append(SearchHit(doc_id, self._texts[doc_id], score))
+        return hits
+
+
+class RowContextRetriever:
+    """Indexes a world's curated rows for per-key context retrieval."""
+
+    def __init__(self, world: World, *, max_cell_chars: int = 40) -> None:
+        self.world = world
+        self.max_cell_chars = max_cell_chars
+        self.index = VectorIndex()
+        for table in world.curated_schema.tables:
+            columns = table.column_names()
+            for row in world.curated_rows[table.name]:
+                self.index.add(self._render_row(table.name, columns, row))
+
+    def _render_row(self, table: str, columns: list[str], row: tuple) -> str:
+        cells = " | ".join(
+            f"{column}={self._clip(value)}"
+            for column, value in zip(columns, row)
+            if value is not None
+        )
+        return f"{table}: {cells}"
+
+    def _clip(self, value: object) -> str:
+        text = str(value)
+        if len(text) > self.max_cell_chars:
+            return text[: self.max_cell_chars - 1] + "…"
+        return text
+
+    def related_rows(self, key: tuple, k: int = 3) -> list[str]:
+        """The k database rows most related to an expansion key."""
+        query = " ".join(str(part) for part in key)
+        return [hit.text for hit in self.index.search(query, k)]
+
+    def context_provider(
+        self, k: int = 3
+    ) -> "Optional[_Provider]":
+        """A key → context-lines callable for the HQDL prompt builder."""
+        if k <= 0:
+            return None
+        return _Provider(self, k)
+
+
+@dataclass(frozen=True)
+class _Provider:
+    retriever: RowContextRetriever
+    k: int
+
+    def __call__(self, key: tuple) -> list[str]:
+        return self.retriever.related_rows(key, self.k)

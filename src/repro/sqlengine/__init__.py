@@ -1,0 +1,27 @@
+"""SQLite storage-engine wrapper.
+
+The paper runs everything on SQLite; this subpackage provides a typed
+wrapper used by the benchmark builder, HQDL materialization, and the hybrid
+query executor:
+
+- :class:`~repro.sqlengine.database.Database` — connection lifecycle,
+  queries, bulk inserts, temp tables.
+- :class:`~repro.sqlengine.schema.TableSchema` — declarative schema objects
+  with DDL generation and introspection.
+- :class:`~repro.sqlengine.results.ResultSet` — normalised query results
+  with the ordered/unordered comparison the EX metric needs.
+"""
+
+from repro.sqlengine.database import Database
+from repro.sqlengine.results import ResultSet, results_match
+from repro.sqlengine.schema import ColumnSchema, DatabaseSchema, ForeignKey, TableSchema
+
+__all__ = [
+    "Database",
+    "ResultSet",
+    "results_match",
+    "ColumnSchema",
+    "TableSchema",
+    "ForeignKey",
+    "DatabaseSchema",
+]

@@ -1,0 +1,194 @@
+"""The Database wrapper around sqlite3.
+
+One :class:`Database` owns one SQLite connection (file-backed or
+in-memory).  It is deliberately small: execute/query/insert plus the
+handful of conveniences the rest of the library needs — schema creation
+from :class:`~repro.sqlengine.schema.TableSchema`, bulk inserts, temp
+tables for the hybrid executor, cloning (for per-experiment isolation),
+and introspection.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from repro.errors import ExecutionError, SchemaError
+from repro.sqlengine.results import ResultSet
+from repro.sqlengine.schema import DatabaseSchema, TableSchema
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+class Database:
+    """A SQLite database with a typed, convenient surface.
+
+    Usage::
+
+        with Database.in_memory() as db:
+            db.create_table(schema)
+            db.insert_rows("t", ["a", "b"], rows)
+            result = db.query("SELECT * FROM t")
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self.path = str(path)
+        self.connection = sqlite3.connect(self.path)
+        self.connection.execute("PRAGMA foreign_keys = OFF")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def in_memory(cls) -> "Database":
+        return cls(":memory:")
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "Database":
+        return cls(path)
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[object] = ()) -> None:
+        """Run a statement for its side effects and commit."""
+        try:
+            self.connection.execute(sql, params)
+            self.connection.commit()
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"{exc} while executing: {sql[:400]}") from exc
+
+    def executescript(self, sql: str) -> None:
+        """Run several semicolon-separated statements."""
+        try:
+            self.connection.executescript(sql)
+            self.connection.commit()
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"{exc} while executing script") from exc
+
+    def query(self, sql: str, params: Sequence[object] = ()) -> ResultSet:
+        """Run a SELECT and return its rows."""
+        try:
+            cursor = self.connection.execute(sql, params)
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"{exc} while querying: {sql[:400]}") from exc
+        return ResultSet.from_cursor(cursor)
+
+    def query_column(self, sql: str, params: Sequence[object] = ()) -> list[object]:
+        """First column of a SELECT as a plain list."""
+        return [row[0] for row in self.query(sql, params).rows]
+
+    def query_scalar(self, sql: str, params: Sequence[object] = ()) -> object:
+        """Single value of a 1x1 SELECT (None when the result is empty)."""
+        return self.query(sql, params).scalar()
+
+    # -- schema --------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema, *, if_not_exists: bool = False) -> None:
+        ddl = schema.ddl()
+        if if_not_exists:
+            ddl = ddl.replace("CREATE TABLE", "CREATE TABLE IF NOT EXISTS", 1)
+        self.execute(ddl)
+
+    def create_schema(self, schema: DatabaseSchema) -> None:
+        for table in schema.tables:
+            self.create_table(table)
+
+    def drop_table(self, name: str) -> None:
+        self.execute(f"DROP TABLE IF EXISTS {_quote(name)}")
+
+    def has_table(self, name: str) -> bool:
+        count = self.query_scalar(
+            "SELECT COUNT(*) FROM sqlite_master WHERE type IN ('table', 'view')"
+            " AND name = ?",
+            (name,),
+        )
+        return bool(count)
+
+    def table_names(self) -> list[str]:
+        return [
+            str(name)
+            for name in self.query_column(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+                " AND name NOT LIKE 'sqlite_%' ORDER BY name"
+            )
+        ]
+
+    def table_columns(self, name: str) -> list[str]:
+        if not self.has_table(name):
+            raise SchemaError(f"no such table: {name!r}")
+        rows = self.query(f"PRAGMA table_info({_quote(name)})").rows
+        return [str(row[1]) for row in rows]
+
+    def row_count(self, name: str) -> int:
+        value = self.query_scalar(f"SELECT COUNT(*) FROM {_quote(name)}")
+        return int(value) if value is not None else 0
+
+    # -- data movement -------------------------------------------------------
+
+    def insert_rows(
+        self,
+        table: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[object]],
+    ) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        placeholders = ", ".join("?" for _ in columns)
+        column_list = ", ".join(_quote(c) for c in columns)
+        sql = f"INSERT INTO {_quote(table)} ({column_list}) VALUES ({placeholders})"
+        rows = list(rows)
+        try:
+            self.connection.executemany(sql, rows)
+            self.connection.commit()
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"{exc} while inserting into {table}") from exc
+        return len(rows)
+
+    def create_temp_table(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[object]] = (),
+    ) -> None:
+        """Create (or replace) a TEMP table and optionally fill it.
+
+        Temp tables shadow base tables in queries on this connection, which
+        is exactly what the hybrid executor wants for ingredient results.
+        """
+        self.execute(f"DROP TABLE IF EXISTS temp.{_quote(name)}")
+        body = ", ".join(f"{_quote(c)} TEXT" for c in columns)
+        self.execute(f"CREATE TEMP TABLE {_quote(name)} ({body})")
+        rows = list(rows)
+        if rows:
+            placeholders = ", ".join("?" for _ in columns)
+            try:
+                self.connection.executemany(
+                    f"INSERT INTO temp.{_quote(name)} VALUES ({placeholders})", rows
+                )
+                self.connection.commit()
+            except sqlite3.Error as exc:
+                raise ExecutionError(f"{exc} while filling temp table {name}") from exc
+
+    def clone_in_memory(self) -> "Database":
+        """An independent in-memory copy of this database."""
+        clone = Database.in_memory()
+        self.connection.backup(clone.connection)
+        return clone
+
+    def save_to(self, path: Union[str, Path]) -> None:
+        """Persist this database to a file (overwriting it)."""
+        target = Database.open(path)
+        try:
+            self.connection.backup(target.connection)
+        finally:
+            target.close()

@@ -1,0 +1,175 @@
+"""Declarative schema objects and DDL generation.
+
+These classes describe tables the way the SWAN builder and HQDL's schema
+expansion need them: column types, primary keys, and *meaningful* foreign
+keys (Section 3.4 of the paper — FK columns that carry human-readable
+values, such as ``superhero_name``, so an LLM can use them as lookup keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import SchemaError
+
+_VALID_TYPES = frozenset({"TEXT", "INTEGER", "REAL", "NUMERIC", "BLOB"})
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """One column: name, SQLite affinity, and nullability."""
+
+    name: str
+    type: str = "TEXT"
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.type.upper() not in _VALID_TYPES:
+            raise SchemaError(f"unsupported column type {self.type!r} for {self.name!r}")
+
+    def ddl(self) -> str:
+        text = f"{_quote(self.name)} {self.type.upper()}"
+        if not self.nullable:
+            text += " NOT NULL"
+        return text
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A (possibly composite) foreign key reference."""
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.ref_columns):
+            raise SchemaError(
+                f"foreign key arity mismatch: {self.columns} -> {self.ref_columns}"
+            )
+
+    def ddl(self) -> str:
+        cols = ", ".join(_quote(c) for c in self.columns)
+        refs = ", ".join(_quote(c) for c in self.ref_columns)
+        return f"FOREIGN KEY ({cols}) REFERENCES {_quote(self.ref_table)} ({refs})"
+
+
+@dataclass
+class TableSchema:
+    """A table definition.
+
+    ``primary_key`` may be composite.  Foreign keys are advisory (SQLite
+    does not enforce them unless the pragma is on) but are part of the
+    benchmark's key design, so they are kept in the catalog.
+    """
+
+    name: str
+    columns: list[ColumnSchema] = field(default_factory=list)
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name!r}")
+        known = set(names)
+        for pk in self.primary_key:
+            if pk not in known:
+                raise SchemaError(f"primary key column {pk!r} not in table {self.name!r}")
+        for fk in self.foreign_keys:
+            for col in fk.columns:
+                if col not in known:
+                    raise SchemaError(
+                        f"foreign key column {col!r} not in table {self.name!r}"
+                    )
+
+    # -- lookups -------------------------------------------------------------
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> ColumnSchema:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    # -- derivation ----------------------------------------------------------
+
+    def without_columns(self, dropped: Iterable[str]) -> "TableSchema":
+        """A copy of this schema with the given columns removed.
+
+        Foreign keys touching a dropped column are removed too; the primary
+        key is trimmed.  Raises :class:`SchemaError` when a named column
+        does not exist (curation plans must match the world schema).
+        """
+        dropped_set = set(dropped)
+        unknown = dropped_set - set(self.column_names())
+        if unknown:
+            raise SchemaError(
+                f"cannot drop unknown columns {sorted(unknown)} from {self.name!r}"
+            )
+        return TableSchema(
+            name=self.name,
+            columns=[c for c in self.columns if c.name not in dropped_set],
+            primary_key=tuple(c for c in self.primary_key if c not in dropped_set),
+            foreign_keys=[
+                fk
+                for fk in self.foreign_keys
+                if not dropped_set.intersection(fk.columns)
+            ],
+        )
+
+    def ddl(self) -> str:
+        """CREATE TABLE statement for this schema."""
+        parts = [col.ddl() for col in self.columns]
+        if self.primary_key:
+            pk = ", ".join(_quote(c) for c in self.primary_key)
+            parts.append(f"PRIMARY KEY ({pk})")
+        parts.extend(fk.ddl() for fk in self.foreign_keys)
+        body = ",\n  ".join(parts)
+        return f"CREATE TABLE {_quote(self.name)} (\n  {body}\n)"
+
+
+@dataclass
+class DatabaseSchema:
+    """An ordered collection of table schemas for one database."""
+
+    name: str
+    tables: list[TableSchema] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [t.name for t in self.tables]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate table names in database {self.name!r}")
+
+    def table(self, name: str) -> TableSchema:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise SchemaError(f"no table {name!r} in database {self.name!r}")
+
+    def has_table(self, name: str) -> bool:
+        return any(t.name == name for t in self.tables)
+
+    def table_names(self) -> list[str]:
+        return [t.name for t in self.tables]
+
+    def ddl(self) -> str:
+        return ";\n\n".join(t.ddl() for t in self.tables) + ";"
+
+    def describe(self) -> str:
+        """A compact schema sketch for prompts: name(col1, col2, ...)."""
+        lines = []
+        for table in self.tables:
+            cols = ", ".join(table.column_names())
+            lines.append(f"{table.name}({cols})")
+        return "\n".join(lines)

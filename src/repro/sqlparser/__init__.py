@@ -1,0 +1,29 @@
+"""SQL front end for the hybrid-query dialect.
+
+This subpackage replaces ``sqlglot`` (unavailable offline) for the subset of
+SQL the SWAN benchmark needs: SQLite-flavoured ``SELECT`` statements with
+optional BlendSQL-style ``{{LLMMap(...)}}`` / ``{{LLMQA(...)}}`` /
+``{{LLMJoin(...)}}`` ingredient calls embedded in expressions or FROM
+clauses.
+
+Public surface:
+
+- :func:`parse` — SQL text to AST (:class:`repro.sqlparser.ast.Select`).
+- :func:`render` — AST back to executable SQL text.
+- :mod:`repro.sqlparser.rewrite` — visitors/transformers used by the hybrid
+  query executor (ingredient extraction, conjunct splitting, pushdown
+  analysis).
+"""
+
+from repro.sqlparser.lexer import Lexer, tokenize
+from repro.sqlparser.parser import parse, parse_expression
+from repro.sqlparser.render import render, render_expression
+
+__all__ = [
+    "Lexer",
+    "tokenize",
+    "parse",
+    "parse_expression",
+    "render",
+    "render_expression",
+]

@@ -1,0 +1,263 @@
+"""Tokenizer for the hybrid SQL dialect.
+
+Handles standard SQLite lexical structure (keywords, bare and quoted
+identifiers, string and numeric literals, operators, line and block
+comments) plus one extension: a ``{{ ... }}`` span is emitted as a single
+:data:`~repro.sqlparser.tokens.TokenKind.INGREDIENT` token whose ``text`` is
+the content between the braces.  Nested braces inside string literals within
+the span are respected.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sqlparser.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    PUNCTUATION,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+_HEX_DIGITS = _DIGITS | frozenset("abcdefABCDEF")
+
+
+class Lexer:
+    """Single-pass tokenizer over a SQL string.
+
+    Usage::
+
+        tokens = Lexer("SELECT 1").run()
+    """
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.pos = 0
+        self.line = 1
+        self.tokens: list[Token] = []
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self) -> list[Token]:
+        """Tokenize the whole input, appending a trailing EOF token."""
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.sql):
+                break
+            start, line = self.pos, self.line
+            ch = self.sql[self.pos]
+            if self.sql.startswith("{{", self.pos):
+                self._lex_ingredient(start, line)
+            elif ch in _IDENT_START:
+                self._lex_word(start, line)
+            elif ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
+                self._lex_number(start, line)
+            elif ch == "'":
+                self._lex_string(start, line)
+            elif ch in '"`[':
+                self._lex_quoted_identifier(start, line)
+            elif ch == "?" or ch == ":":
+                self._lex_parameter(start, line)
+            else:
+                self._lex_operator_or_punct(start, line)
+        self.tokens.append(Token(TokenKind.EOF, "", self.pos, self.line))
+        return self.tokens
+
+    # -- helpers ------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.sql[index] if index < len(self.sql) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.sql) and self.sql[self.pos] == "\n":
+                self.line += 1
+            self.pos += 1
+
+    def _emit(self, kind: TokenKind, text: str, start: int, line: int) -> None:
+        self.tokens.append(
+            Token(kind, text, start, line, raw=self.sql[start : self.pos])
+        )
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments (`-- ...` and `/* ... */`)."""
+        while self.pos < len(self.sql):
+            ch = self.sql[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif self.sql.startswith("--", self.pos):
+                while self.pos < len(self.sql) and self.sql[self.pos] != "\n":
+                    self._advance()
+            elif self.sql.startswith("/*", self.pos):
+                end = self.sql.find("*/", self.pos + 2)
+                if end < 0:
+                    raise SQLSyntaxError(
+                        "unterminated block comment", position=self.pos, line=self.line
+                    )
+                self._advance(end + 2 - self.pos)
+            else:
+                return
+
+    # -- token scanners ------------------------------------------------------
+
+    def _lex_word(self, start: int, line: int) -> None:
+        while self._peek() in _IDENT_CONT:
+            self._advance()
+        word = self.sql[start : self.pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            self._emit(TokenKind.KEYWORD, upper, start, line)
+        else:
+            self._emit(TokenKind.IDENTIFIER, word, start, line)
+
+    def _lex_number(self, start: int, line: int) -> None:
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if self._peek() not in _HEX_DIGITS:
+                raise SQLSyntaxError("malformed hex literal", position=start, line=line)
+            while self._peek() in _HEX_DIGITS:
+                self._advance()
+            self._emit(TokenKind.NUMBER, self.sql[start : self.pos], start, line)
+            return
+        while self._peek() in _DIGITS:
+            self._advance()
+        if self._peek() == "." and self._peek(1) in _DIGITS | {""}:
+            self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        if self._peek() in ("e", "E"):
+            lookahead = 1
+            if self._peek(1) in ("+", "-"):
+                lookahead = 2
+            if self._peek(lookahead) in _DIGITS:
+                self._advance(lookahead)
+                while self._peek() in _DIGITS:
+                    self._advance()
+        self._emit(TokenKind.NUMBER, self.sql[start : self.pos], start, line)
+
+    def _lex_string(self, start: int, line: int) -> None:
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(self.sql):
+                raise SQLSyntaxError(
+                    "unterminated string literal", position=start, line=line
+                )
+            ch = self.sql[self.pos]
+            if ch == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    parts.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            parts.append(ch)
+            self._advance()
+        self._emit(TokenKind.STRING, "".join(parts), start, line)
+
+    def _lex_quoted_identifier(self, start: int, line: int) -> None:
+        open_ch = self.sql[self.pos]
+        close_ch = {"[": "]", '"': '"', "`": "`"}[open_ch]
+        self._advance()
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(self.sql):
+                raise SQLSyntaxError(
+                    "unterminated quoted identifier", position=start, line=line
+                )
+            ch = self.sql[self.pos]
+            if ch == close_ch:
+                if close_ch in ('"', "`") and self._peek(1) == close_ch:
+                    parts.append(close_ch)
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            parts.append(ch)
+            self._advance()
+        self._emit(TokenKind.IDENTIFIER, "".join(parts), start, line)
+
+    def _lex_parameter(self, start: int, line: int) -> None:
+        if self.sql[self.pos] == "?":
+            self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        else:  # :name
+            self._advance()
+            if self._peek() not in _IDENT_START:
+                raise SQLSyntaxError(
+                    "expected parameter name after ':'", position=start, line=line
+                )
+            while self._peek() in _IDENT_CONT:
+                self._advance()
+        self._emit(TokenKind.PARAMETER, self.sql[start : self.pos], start, line)
+
+    def _lex_ingredient(self, start: int, line: int) -> None:
+        """Scan a ``{{ ... }}`` span, honouring quotes inside it."""
+        self._advance(2)  # skip {{
+        content_start = self.pos
+        while True:
+            if self.pos >= len(self.sql):
+                raise SQLSyntaxError(
+                    "unterminated ingredient (missing '}}')",
+                    position=start,
+                    line=line,
+                )
+            if self.sql.startswith("}}", self.pos):
+                content = self.sql[content_start : self.pos]
+                self._advance(2)
+                self._emit(TokenKind.INGREDIENT, content.strip(), start, line)
+                return
+            if self.sql[self.pos] == "'":
+                self._skip_quoted_in_ingredient(start, line, "'")
+            elif self.sql[self.pos] == '"':
+                self._skip_quoted_in_ingredient(start, line, '"')
+            else:
+                self._advance()
+
+    def _skip_quoted_in_ingredient(self, start: int, line: int, quote: str) -> None:
+        self._advance()
+        while True:
+            if self.pos >= len(self.sql):
+                raise SQLSyntaxError(
+                    "unterminated string inside ingredient",
+                    position=start,
+                    line=line,
+                )
+            if self.sql[self.pos] == quote:
+                if self._peek(1) == quote:
+                    self._advance(2)
+                    continue
+                self._advance()
+                return
+            self._advance()
+
+    def _lex_operator_or_punct(self, start: int, line: int) -> None:
+        for op in MULTI_CHAR_OPERATORS:
+            if self.sql.startswith(op, self.pos):
+                self._advance(len(op))
+                self._emit(TokenKind.OPERATOR, op, start, line)
+                return
+        ch = self.sql[self.pos]
+        if ch in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            self._emit(TokenKind.OPERATOR, ch, start, line)
+        elif ch in PUNCTUATION:
+            self._advance()
+            self._emit(TokenKind.PUNCT, ch, start, line)
+        else:
+            raise SQLSyntaxError(
+                f"unexpected character {ch!r}", position=self.pos, line=self.line
+            )
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``, returning tokens including a trailing EOF."""
+    return Lexer(sql).run()

@@ -1,0 +1,674 @@
+"""Recursive-descent parser for the hybrid SQL dialect.
+
+Grammar: SQLite SELECT statements (WITH, compound set operations, joins,
+subqueries, expressions with full operator precedence) extended with
+``{{Ingredient(...)}}`` calls usable wherever an expression or a FROM
+source may appear.
+
+Entry points: :func:`parse` for a statement, :func:`parse_expression` for a
+standalone expression.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SQLSyntaxError, UnsupportedSQLError
+from repro.sqlparser import ast
+from repro.sqlparser.lexer import tokenize
+from repro.sqlparser.tokens import Token, TokenKind
+
+_JOIN_INTRO = ("JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS", "NATURAL")
+_COMPOUND_OPS = ("UNION", "INTERSECT", "EXCEPT")
+
+#: Comparison-level operators (all non-associative, same precedence tier).
+_COMPARISON_OPS = ("=", "==", "!=", "<>", "<", "<=", ">", ">=")
+
+
+class Parser:
+    """Token-stream parser.  One instance parses one statement."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        token = self.current
+        snippet = token.raw or token.text or "<eof>"
+        return SQLSyntaxError(
+            f"{message}; got {snippet!r}", position=token.position, line=token.line
+        )
+
+    def _accept_keyword(self, *names: str) -> Optional[Token]:
+        if self.current.is_keyword(*names):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._accept_keyword(*names)
+        if token is None:
+            raise self._error(f"expected {' or '.join(names)}")
+        return token
+
+    def _accept_punct(self, symbol: str) -> Optional[Token]:
+        if self.current.is_punct(symbol):
+            return self._advance()
+        return None
+
+    def _expect_punct(self, symbol: str) -> Token:
+        token = self._accept_punct(symbol)
+        if token is None:
+            raise self._error(f"expected {symbol!r}")
+        return token
+
+    def _accept_operator(self, *symbols: str) -> Optional[Token]:
+        if self.current.is_operator(*symbols):
+            return self._advance()
+        return None
+
+    def _expect_identifier(self, what: str = "identifier") -> str:
+        token = self.current
+        if token.kind is TokenKind.IDENTIFIER:
+            self._advance()
+            return token.text
+        # Permit non-reserved keywords used as identifiers in practice.
+        if token.kind is TokenKind.KEYWORD and token.text in ("LEFT", "RIGHT"):
+            self._advance()
+            return token.text
+        raise self._error(f"expected {what}")
+
+    # -- statement level -----------------------------------------------------
+
+    def parse_statement(self) -> ast.Select:
+        """Parse a single SELECT statement (with optional WITH prefix)."""
+        select = self._parse_select()
+        self._accept_punct(";")
+        if self.current.kind is not TokenKind.EOF:
+            raise self._error("unexpected trailing input")
+        return select
+
+    def _parse_select(self) -> ast.Select:
+        ctes: list[ast.CommonTableExpr] = []
+        if self._accept_keyword("WITH"):
+            self._accept_keyword("RECURSIVE")
+            ctes.append(self._parse_cte())
+            while self._accept_punct(","):
+                ctes.append(self._parse_cte())
+        select = self._parse_select_core()
+        select.ctes = ctes
+        while self.current.is_keyword(*_COMPOUND_OPS):
+            op = self._advance().text
+            if op == "UNION" and self._accept_keyword("ALL"):
+                op = "UNION ALL"
+            select.compound.append((op, self._parse_select_core()))
+        self._parse_order_limit(select)
+        return select
+
+    def _parse_cte(self) -> ast.CommonTableExpr:
+        name = self._expect_identifier("CTE name")
+        columns: list[str] = []
+        if self._accept_punct("("):
+            columns.append(self._expect_identifier("column name"))
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier("column name"))
+            self._expect_punct(")")
+        self._expect_keyword("AS")
+        self._expect_punct("(")
+        select = self._parse_select()
+        self._expect_punct(")")
+        return ast.CommonTableExpr(name, select, columns)
+
+    def _parse_select_core(self) -> ast.Select:
+        if self.current.is_keyword("VALUES"):
+            raise UnsupportedSQLError("VALUES clauses are not supported")
+        self._expect_keyword("SELECT")
+        select = ast.Select()
+        if self._accept_keyword("DISTINCT"):
+            select.distinct = True
+        else:
+            self._accept_keyword("ALL")
+        select.items.append(self._parse_select_item())
+        while self._accept_punct(","):
+            select.items.append(self._parse_select_item())
+        if self._accept_keyword("FROM"):
+            select.from_ = self._parse_from()
+        if self._accept_keyword("WHERE"):
+            select.where = self.parse_expr()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            select.group_by.append(self.parse_expr())
+            while self._accept_punct(","):
+                select.group_by.append(self.parse_expr())
+        if self._accept_keyword("HAVING"):
+            select.having = self.parse_expr()
+        return select
+
+    def _parse_order_limit(self, select: ast.Select) -> None:
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            select.order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                select.order_by.append(self._parse_order_item())
+        if self._accept_keyword("LIMIT"):
+            select.limit = self.parse_expr()
+            if self._accept_keyword("OFFSET"):
+                select.offset = self.parse_expr()
+            elif self._accept_punct(","):
+                # LIMIT a, b  ==  LIMIT b OFFSET a
+                select.offset = select.limit
+                select.limit = self.parse_expr()
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        nulls: Optional[str] = None
+        if self._accept_keyword("NULLS"):
+            token = self.current
+            if token.kind is TokenKind.IDENTIFIER and token.text.upper() in (
+                "FIRST",
+                "LAST",
+            ):
+                nulls = token.text.upper()
+                self._advance()
+            else:
+                raise self._error("expected FIRST or LAST after NULLS")
+        return ast.OrderItem(expr, descending, nulls)
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self.current.is_operator("*"):
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        # t.*
+        if (
+            self.current.kind is TokenKind.IDENTIFIER
+            and self._peek().is_punct(".")
+            and self._peek(2).is_operator("*")
+        ):
+            table = self._advance().text
+            self._advance()  # .
+            self._advance()  # *
+            return ast.SelectItem(ast.Star(table))
+        expr = self.parse_expr()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self.current.kind is TokenKind.IDENTIFIER:
+            alias = self._advance().text
+        elif self.current.kind is TokenKind.STRING:
+            alias = self._advance().text
+        return ast.SelectItem(expr, alias)
+
+    # -- FROM clause ---------------------------------------------------------
+
+    def _parse_from(self) -> ast.TableSource:
+        source = self._parse_single_source()
+        while True:
+            if self._accept_punct(","):
+                right = self._parse_single_source()
+                source = ast.Join(source, right, kind="CROSS")
+            elif self.current.is_keyword(*_JOIN_INTRO):
+                source = self._parse_join(source)
+            else:
+                return source
+
+    def _parse_join(self, left: ast.TableSource) -> ast.Join:
+        natural = bool(self._accept_keyword("NATURAL"))
+        kind = "INNER"
+        if self._accept_keyword("LEFT"):
+            self._accept_keyword("OUTER")
+            kind = "LEFT"
+        elif self._accept_keyword("RIGHT"):
+            self._accept_keyword("OUTER")
+            kind = "RIGHT"
+        elif self._accept_keyword("FULL"):
+            self._accept_keyword("OUTER")
+            kind = "FULL"
+        elif self._accept_keyword("CROSS"):
+            kind = "CROSS"
+        elif self._accept_keyword("INNER"):
+            kind = "INNER"
+        self._expect_keyword("JOIN")
+        if natural:
+            kind = f"NATURAL {kind}"
+        right = self._parse_single_source()
+        on: Optional[ast.Expr] = None
+        using: list[str] = []
+        if self._accept_keyword("ON"):
+            on = self.parse_expr()
+        elif self._accept_keyword("USING"):
+            self._expect_punct("(")
+            using.append(self._expect_identifier("column name"))
+            while self._accept_punct(","):
+                using.append(self._expect_identifier("column name"))
+            self._expect_punct(")")
+        return ast.Join(left, right, kind=kind, on=on, using=using)
+
+    def _parse_single_source(self) -> ast.TableSource:
+        if self.current.kind is TokenKind.INGREDIENT:
+            ingredient = _parse_ingredient(self._advance().text)
+            alias = self._parse_optional_alias()
+            return ast.IngredientSource(ingredient, alias)
+        if self._accept_punct("("):
+            if self.current.is_keyword("SELECT", "WITH"):
+                select = self._parse_select()
+                self._expect_punct(")")
+                alias = self._parse_optional_alias()
+                return ast.SubquerySource(select, alias)
+            # parenthesised join/source
+            source = self._parse_from()
+            self._expect_punct(")")
+            return source
+        name = self._expect_identifier("table name")
+        alias = self._parse_optional_alias()
+        return ast.TableName(name, alias)
+
+    def _parse_optional_alias(self) -> Optional[str]:
+        if self._accept_keyword("AS"):
+            return self._expect_identifier("alias")
+        if self.current.kind is TokenKind.IDENTIFIER:
+            return self._advance().text
+        return None
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        """Parse a full expression (lowest precedence: OR)."""
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        expr = self._parse_and()
+        while self._accept_keyword("OR"):
+            expr = ast.BinaryOp("OR", expr, self._parse_and())
+        return expr
+
+    def _parse_and(self) -> ast.Expr:
+        expr = self._parse_not()
+        while self._accept_keyword("AND"):
+            expr = ast.BinaryOp("AND", expr, self._parse_not())
+        return expr
+
+    def _parse_not(self) -> ast.Expr:
+        # `NOT EXISTS (...)` is handled as a negated Exists in _parse_primary
+        # rather than UnaryOp(NOT, Exists), matching how it reads.
+        if self.current.is_keyword("NOT") and not self._peek().is_keyword("EXISTS"):
+            self._advance()
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        expr = self._parse_additive()
+        while True:
+            token = self.current
+            if token.is_operator(*_COMPARISON_OPS):
+                op = self._advance().text
+                op = {"==": "=", "<>": "!="}.get(op, op)
+                expr = ast.BinaryOp(op, expr, self._parse_additive())
+                continue
+            if token.is_keyword("IS"):
+                self._advance()
+                negated = bool(self._accept_keyword("NOT"))
+                if self._accept_keyword("NULL"):
+                    expr = ast.IsNull(expr, negated)
+                else:
+                    right = self._parse_additive()
+                    expr = ast.BinaryOp("IS NOT" if negated else "IS", expr, right)
+                continue
+            negated = False
+            if token.is_keyword("NOT") and self._peek().is_keyword(
+                "IN", "LIKE", "GLOB", "REGEXP", "BETWEEN"
+            ):
+                self._advance()
+                negated = True
+                token = self.current
+            if token.is_keyword("IN"):
+                self._advance()
+                expr = self._parse_in_tail(expr, negated)
+                continue
+            if token.is_keyword("LIKE", "GLOB", "REGEXP"):
+                op = self._advance().text
+                pattern = self._parse_additive()
+                escape: Optional[ast.Expr] = None
+                if self._accept_keyword("ESCAPE"):
+                    escape = self._parse_additive()
+                expr = ast.Like(expr, pattern, op=op, negated=negated, escape=escape)
+                continue
+            if token.is_keyword("BETWEEN"):
+                self._advance()
+                low = self._parse_additive()
+                self._expect_keyword("AND")
+                high = self._parse_additive()
+                expr = ast.Between(expr, low, high, negated)
+                continue
+            if negated:
+                raise self._error("expected IN, LIKE, GLOB, REGEXP or BETWEEN")
+            return expr
+
+    def _parse_in_tail(self, operand: ast.Expr, negated: bool) -> ast.Expr:
+        self._expect_punct("(")
+        if self.current.is_keyword("SELECT", "WITH"):
+            subquery = self._parse_select()
+            self._expect_punct(")")
+            return ast.InSubquery(operand, subquery, negated)
+        items: list[ast.Expr] = []
+        if not self.current.is_punct(")"):
+            items.append(self.parse_expr())
+            while self._accept_punct(","):
+                items.append(self.parse_expr())
+        self._expect_punct(")")
+        return ast.InList(operand, items, negated)
+
+    def _parse_additive(self) -> ast.Expr:
+        expr = self._parse_multiplicative()
+        while True:
+            token = self._accept_operator("+", "-", "&", "|", "<<", ">>")
+            if token is None:
+                return expr
+            expr = ast.BinaryOp(token.text, expr, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        expr = self._parse_concat()
+        while True:
+            token = self._accept_operator("*", "/", "%")
+            if token is None:
+                return expr
+            expr = ast.BinaryOp(token.text, expr, self._parse_concat())
+
+    def _parse_concat(self) -> ast.Expr:
+        expr = self._parse_unary()
+        while self._accept_operator("||"):
+            expr = ast.BinaryOp("||", expr, self._parse_unary())
+        return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._accept_operator("-", "+", "~")
+        if token is not None:
+            return ast.UnaryOp(token.text, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.INGREDIENT:
+            self._advance()
+            return _parse_ingredient(token.text)
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return ast.Literal.number(_number_value(token.text))
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return ast.Literal.string(token.text)
+        if token.kind is TokenKind.PARAMETER:
+            self._advance()
+            return ast.Parameter(token.text)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal.null()
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal.boolean(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal.boolean(False)
+        if token.is_keyword("CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP"):
+            self._advance()
+            return ast.FuncCall(token.text)
+        if token.is_keyword("CAST"):
+            return self._parse_cast()
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect_punct("(")
+            subquery = self._parse_select()
+            self._expect_punct(")")
+            return ast.Exists(subquery)
+        if token.is_keyword("NOT") and self._peek().is_keyword("EXISTS"):
+            self._advance()
+            self._advance()
+            self._expect_punct("(")
+            subquery = self._parse_select()
+            self._expect_punct(")")
+            return ast.Exists(subquery, negated=True)
+        if token.is_punct("("):
+            self._advance()
+            if self.current.is_keyword("SELECT", "WITH"):
+                subquery = self._parse_select()
+                self._expect_punct(")")
+                return ast.ScalarSubquery(subquery)
+            first = self.parse_expr()
+            if self._accept_punct(","):
+                items = [first, self.parse_expr()]
+                while self._accept_punct(","):
+                    items.append(self.parse_expr())
+                self._expect_punct(")")
+                return ast.ExprList(items)
+            self._expect_punct(")")
+            return first
+        if token.kind is TokenKind.IDENTIFIER or token.is_keyword("LEFT", "RIGHT"):
+            return self._parse_identifier_expr()
+        raise self._error("expected expression")
+
+    def _parse_identifier_expr(self) -> ast.Expr:
+        name = self._advance().text
+        # function call?
+        if self.current.is_punct("("):
+            self._advance()
+            distinct = bool(self._accept_keyword("DISTINCT"))
+            args: list[ast.Expr] = []
+            if self.current.is_operator("*"):
+                self._advance()
+                args.append(ast.Star())
+            elif not self.current.is_punct(")"):
+                args.append(self.parse_expr())
+                while self._accept_punct(","):
+                    args.append(self.parse_expr())
+            self._expect_punct(")")
+            return ast.FuncCall(name, args, distinct)
+        # qualified column: a.b (or a.b.c for schema-qualified, which we
+        # collapse to table.column using the last two parts)
+        if self.current.is_punct("."):
+            parts = [name]
+            while self._accept_punct("."):
+                parts.append(self._expect_identifier("column name"))
+            return ast.ColumnRef(parts[-1], ".".join(parts[:-1]))
+        return ast.ColumnRef(name)
+
+    def _parse_cast(self) -> ast.Expr:
+        self._expect_keyword("CAST")
+        self._expect_punct("(")
+        operand = self.parse_expr()
+        self._expect_keyword("AS")
+        type_parts = [self._expect_identifier("type name")]
+        while self.current.kind is TokenKind.IDENTIFIER:
+            type_parts.append(self._advance().text)
+        type_name = " ".join(type_parts)
+        if self._accept_punct("("):
+            size = self._advance().text
+            if self._accept_punct(","):
+                size += ", " + self._advance().text
+            self._expect_punct(")")
+            type_name += f"({size})"
+        self._expect_punct(")")
+        return ast.Cast(operand, type_name)
+
+    def _parse_case(self) -> ast.Expr:
+        self._expect_keyword("CASE")
+        operand: Optional[ast.Expr] = None
+        if not self.current.is_keyword("WHEN"):
+            operand = self.parse_expr()
+        whens: list[ast.CaseWhen] = []
+        while self._accept_keyword("WHEN"):
+            condition = self.parse_expr()
+            self._expect_keyword("THEN")
+            whens.append(ast.CaseWhen(condition, self.parse_expr()))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN arm")
+        else_: Optional[ast.Expr] = None
+        if self._accept_keyword("ELSE"):
+            else_ = self.parse_expr()
+        self._expect_keyword("END")
+        return ast.Case(operand, whens, else_)
+
+
+# ---------------------------------------------------------------------------
+# Ingredient mini-parser
+# ---------------------------------------------------------------------------
+
+
+def _parse_ingredient(content: str) -> ast.Ingredient:
+    """Parse the text inside ``{{ ... }}`` into an :class:`ast.Ingredient`.
+
+    Syntax: ``Name('positional', "another", keyword=value, flag='x')`` where
+    values are quoted strings, numbers, or bare true/false/null words.
+    """
+    from repro.errors import IngredientError
+
+    text = content.strip()
+    paren = text.find("(")
+    if paren < 0 or not text.endswith(")"):
+        raise IngredientError(f"malformed ingredient call: {content!r}")
+    name = text[:paren].strip()
+    if not name.isidentifier():
+        raise IngredientError(f"bad ingredient name in: {content!r}")
+    body = text[paren + 1 : -1]
+    args: list[str] = []
+    options: dict[str, object] = {}
+    for part in _split_ingredient_args(body):
+        part = part.strip()
+        if not part:
+            continue
+        key, value = _split_ingredient_kw(part)
+        if key is None:
+            args.append(_ingredient_value(part))
+        else:
+            options[key] = _ingredient_value(value)
+    return ast.Ingredient(name=name, args=args, options=options, raw=content)
+
+
+def _split_ingredient_args(body: str) -> list[str]:
+    """Split on commas at paren depth 0 and outside quotes."""
+    parts: list[str] = []
+    depth = 0
+    quote: Optional[str] = None
+    current: list[str] = []
+    index = 0
+    while index < len(body):
+        ch = body[index]
+        if quote is not None:
+            current.append(ch)
+            if ch == quote:
+                if index + 1 < len(body) and body[index + 1] == quote:
+                    current.append(quote)
+                    index += 1
+                else:
+                    quote = None
+        elif ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch in "([":
+            depth += 1
+            current.append(ch)
+        elif ch in ")]":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        index += 1
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _split_ingredient_kw(part: str) -> tuple[Optional[str], str]:
+    """Split ``key=value`` (outside quotes); return (None, part) otherwise."""
+    quote: Optional[str] = None
+    for index, ch in enumerate(part):
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "=":
+            key = part[:index].strip()
+            if key.isidentifier():
+                return key, part[index + 1 :].strip()
+            return None, part
+    return None, part
+
+
+def _ingredient_value(text: str) -> object:
+    """Decode one ingredient argument into a Python value."""
+    text = text.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        inner = text[1:-1]
+        return inner.replace(text[0] * 2, text[0])
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text.startswith("[") and text.endswith("]"):
+        return [_ingredient_value(p) for p in _split_ingredient_args(text[1:-1])]
+    return text
+
+
+def _number_value(text: str):
+    """Convert a numeric literal token to int or float."""
+    lowered = text.lower()
+    if lowered.startswith("0x"):
+        return int(text, 16)
+    if "." in text or "e" in lowered:
+        return float(text)
+    return int(text)
+
+
+# ---------------------------------------------------------------------------
+# Module-level entry points
+# ---------------------------------------------------------------------------
+
+
+def parse(sql: str) -> ast.Select:
+    """Parse one SELECT statement into an AST."""
+    return Parser(sql).parse_statement()
+
+
+def parse_expression(sql: str) -> ast.Expr:
+    """Parse a standalone expression (used heavily by tests and rewrites)."""
+    parser = Parser(sql)
+    expr = parser.parse_expr()
+    if parser.current.kind is not TokenKind.EOF:
+        raise parser._error("unexpected trailing input after expression")
+    return expr

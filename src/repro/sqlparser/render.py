@@ -1,0 +1,328 @@
+"""AST → SQL text renderer.
+
+The renderer emits SQLite-executable SQL and is round-trip safe: for any
+statement in the supported subset, ``parse(render(parse(sql)))`` equals
+``parse(sql)``.  Parentheses are inserted based on operator precedence, so
+the output never changes evaluation order.
+
+Ingredient nodes render back to ``{{Name('arg', kw=value)}}`` form, which is
+only meaningful to the hybrid executor, not to SQLite — callers must rewrite
+ingredients away before execution.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.sqlparser import ast
+
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "=": 4,
+    "!=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "IS": 4,
+    "IS NOT": 4,
+    "+": 5,
+    "-": 5,
+    "&": 5,
+    "|": 5,
+    "<<": 5,
+    ">>": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+    "||": 7,
+}
+
+_COMPARISON_LEVEL = 4
+_UNARY_LEVEL = 8
+_PRIMARY_LEVEL = 10
+
+_BARE_IDENT_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+
+# Words that cannot appear as bare identifiers in rendered SQL.
+_RESERVED = frozenset(
+    """
+    ALL AND AS ASC BETWEEN BY CASE CAST CROSS DESC DISTINCT ELSE END ESCAPE
+    EXCEPT EXISTS FROM FULL GLOB GROUP HAVING IN INNER INTERSECT IS JOIN
+    LEFT LIKE LIMIT NATURAL NOT NULL OFFSET ON OR ORDER OUTER RIGHT SELECT
+    THEN UNION USING VALUES WHEN WHERE WITH
+    """.split()
+)
+
+
+def quote_identifier(name: str) -> str:
+    """Quote ``name`` with double quotes when it is not a safe bare word."""
+    if (
+        name
+        and not name[0].isdigit()
+        and all(ch in _BARE_IDENT_CHARS for ch in name)
+        and name.upper() not in _RESERVED
+    ):
+        return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def quote_string(value: str) -> str:
+    """Render a SQL string literal with proper quote doubling."""
+    return "'" + value.replace("'", "''") + "'"
+
+
+def render(select: ast.Select) -> str:
+    """Render a full SELECT statement to SQL text."""
+    parts: list[str] = []
+    if select.ctes:
+        ctes = []
+        for cte in select.ctes:
+            columns = ""
+            if cte.columns:
+                columns = "(" + ", ".join(quote_identifier(c) for c in cte.columns) + ")"
+            ctes.append(
+                f"{quote_identifier(cte.name)}{columns} AS ({_render_body(cte.select)})"
+            )
+        parts.append("WITH " + ", ".join(ctes))
+    parts.append(_render_core(select))
+    for op, arm in select.compound:
+        parts.append(op)
+        parts.append(_render_core(arm))
+    if select.order_by:
+        parts.append(
+            "ORDER BY " + ", ".join(_render_order_item(item) for item in select.order_by)
+        )
+    if select.limit is not None:
+        parts.append("LIMIT " + render_expression(select.limit))
+        if select.offset is not None:
+            parts.append("OFFSET " + render_expression(select.offset))
+    return " ".join(parts)
+
+
+def _render_body(select: ast.Select) -> str:
+    """Render a SELECT that may itself carry CTEs/order/limit (for subqueries)."""
+    return render(select)
+
+
+def _render_core(select: ast.Select) -> str:
+    parts = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_render_select_item(item) for item in select.items))
+    if select.from_ is not None:
+        parts.append("FROM " + _render_source(select.from_))
+    if select.where is not None:
+        parts.append("WHERE " + render_expression(select.where))
+    if select.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(render_expression(e) for e in select.group_by)
+        )
+    if select.having is not None:
+        parts.append("HAVING " + render_expression(select.having))
+    return " ".join(parts)
+
+
+def _render_select_item(item: ast.SelectItem) -> str:
+    text = render_expression(item.expr)
+    if item.alias:
+        return f"{text} AS {quote_identifier(item.alias)}"
+    return text
+
+
+def _render_order_item(item: ast.OrderItem) -> str:
+    text = render_expression(item.expr)
+    if item.descending:
+        text += " DESC"
+    if item.nulls:
+        text += f" NULLS {item.nulls}"
+    return text
+
+
+def _render_source(source: ast.TableSource) -> str:
+    if isinstance(source, ast.TableName):
+        text = quote_identifier(source.name)
+        if source.alias:
+            text += f" AS {quote_identifier(source.alias)}"
+        return text
+    if isinstance(source, ast.SubquerySource):
+        text = f"({render(source.select)})"
+        if source.alias:
+            text += f" AS {quote_identifier(source.alias)}"
+        return text
+    if isinstance(source, ast.IngredientSource):
+        text = "{{" + _render_ingredient_content(source.ingredient) + "}}"
+        if source.alias:
+            text += f" AS {quote_identifier(source.alias)}"
+        return text
+    if isinstance(source, ast.Join):
+        left = _render_source(source.left)
+        right = _render_source(source.right)
+        if isinstance(source.right, ast.Join):
+            right = f"({right})"
+        joiner = "CROSS JOIN" if source.kind == "CROSS" else f"{source.kind} JOIN"
+        text = f"{left} {joiner} {right}"
+        if source.on is not None:
+            text += f" ON {render_expression(source.on)}"
+        elif source.using:
+            text += " USING (" + ", ".join(quote_identifier(c) for c in source.using) + ")"
+        return text
+    raise ReproError(f"cannot render table source {type(source).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+def render_expression(expr: ast.Expr) -> str:
+    """Render an expression to SQL text with minimal parentheses."""
+    text, _ = _render_expr(expr)
+    return text
+
+
+def _child(expr: ast.Expr, parent_level: int, *, right_assoc_guard: bool = False) -> str:
+    text, level = _render_expr(expr)
+    if level < parent_level or (right_assoc_guard and level == parent_level):
+        return f"({text})"
+    return text
+
+
+def _render_expr(expr: ast.Expr) -> tuple[str, int]:
+    """Return (text, precedence level) for the expression."""
+    if isinstance(expr, ast.Literal):
+        return _render_literal(expr), _PRIMARY_LEVEL
+    if isinstance(expr, ast.ColumnRef):
+        if expr.table:
+            return (
+                f"{quote_identifier(expr.table)}.{quote_identifier(expr.column)}",
+                _PRIMARY_LEVEL,
+            )
+        return quote_identifier(expr.column), _PRIMARY_LEVEL
+    if isinstance(expr, ast.Star):
+        return (f"{quote_identifier(expr.table)}.*" if expr.table else "*"), _PRIMARY_LEVEL
+    if isinstance(expr, ast.Parameter):
+        return expr.name, _PRIMARY_LEVEL
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            level = 3
+            return f"NOT {_child(expr.operand, level)}", level
+        text = _child(expr.operand, _UNARY_LEVEL)
+        if text.startswith(expr.op):
+            # avoid `--x` (a SQL comment) and `++x`; keep a separating space
+            return f"{expr.op} {text}", _UNARY_LEVEL
+        return f"{expr.op}{text}", _UNARY_LEVEL
+    if isinstance(expr, ast.BinaryOp):
+        level = _PRECEDENCE[expr.op]
+        left = _child(expr.left, level)
+        # All supported binary operators parse left-associatively, so a
+        # right child at the same level always needs parentheses to keep
+        # its grouping (`a - (b - c)`); AND/OR gain a harmless pair.
+        right = _child(expr.right, level, right_assoc_guard=True)
+        return f"{left} {expr.op} {right}", level
+    if isinstance(expr, ast.IsNull):
+        op = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{_child(expr.operand, _COMPARISON_LEVEL)} {op}", _COMPARISON_LEVEL
+    if isinstance(expr, ast.Between):
+        not_ = "NOT " if expr.negated else ""
+        return (
+            f"{_child(expr.operand, _COMPARISON_LEVEL)} {not_}BETWEEN "
+            f"{_child(expr.low, 5)} AND {_child(expr.high, 5)}",
+            _COMPARISON_LEVEL,
+        )
+    if isinstance(expr, ast.InList):
+        not_ = "NOT " if expr.negated else ""
+        items = ", ".join(render_expression(item) for item in expr.items)
+        return (
+            f"{_child(expr.operand, _COMPARISON_LEVEL)} {not_}IN ({items})",
+            _COMPARISON_LEVEL,
+        )
+    if isinstance(expr, ast.InSubquery):
+        not_ = "NOT " if expr.negated else ""
+        return (
+            f"{_child(expr.operand, _COMPARISON_LEVEL)} {not_}IN ({render(expr.subquery)})",
+            _COMPARISON_LEVEL,
+        )
+    if isinstance(expr, ast.Like):
+        not_ = "NOT " if expr.negated else ""
+        text = (
+            f"{_child(expr.operand, _COMPARISON_LEVEL)} {not_}{expr.op} "
+            f"{_child(expr.pattern, 5)}"
+        )
+        if expr.escape is not None:
+            text += f" ESCAPE {_child(expr.escape, 5)}"
+        return text, _COMPARISON_LEVEL
+    if isinstance(expr, ast.FuncCall):
+        distinct = "DISTINCT " if expr.distinct else ""
+        if not expr.args and expr.name.upper() in (
+            "CURRENT_DATE",
+            "CURRENT_TIME",
+            "CURRENT_TIMESTAMP",
+        ):
+            return expr.name.upper(), _PRIMARY_LEVEL
+        args = ", ".join(render_expression(a) for a in expr.args)
+        return f"{expr.name}({distinct}{args})", _PRIMARY_LEVEL
+    if isinstance(expr, ast.Cast):
+        return (
+            f"CAST({render_expression(expr.operand)} AS {expr.type_name})",
+            _PRIMARY_LEVEL,
+        )
+    if isinstance(expr, ast.Case):
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(render_expression(expr.operand))
+        for arm in expr.whens:
+            parts.append(
+                f"WHEN {render_expression(arm.condition)} THEN "
+                f"{render_expression(arm.result)}"
+            )
+        if expr.else_ is not None:
+            parts.append(f"ELSE {render_expression(expr.else_)}")
+        parts.append("END")
+        return " ".join(parts), _PRIMARY_LEVEL
+    if isinstance(expr, ast.Exists):
+        not_ = "NOT " if expr.negated else ""
+        return f"{not_}EXISTS ({render(expr.subquery)})", _PRIMARY_LEVEL
+    if isinstance(expr, ast.ScalarSubquery):
+        return f"({render(expr.subquery)})", _PRIMARY_LEVEL
+    if isinstance(expr, ast.ExprList):
+        items = ", ".join(render_expression(item) for item in expr.items)
+        return f"({items})", _PRIMARY_LEVEL
+    if isinstance(expr, ast.Ingredient):
+        return "{{" + _render_ingredient_content(expr) + "}}", _PRIMARY_LEVEL
+    raise ReproError(f"cannot render expression {type(expr).__name__}")
+
+
+def _render_literal(literal: ast.Literal) -> str:
+    if literal.kind == "null":
+        return "NULL"
+    if literal.kind == "bool":
+        return "TRUE" if literal.value else "FALSE"
+    if literal.kind == "string":
+        return quote_string(str(literal.value))
+    value = literal.value
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _render_ingredient_content(ingredient: ast.Ingredient) -> str:
+    parts = [_render_ingredient_value(arg) for arg in ingredient.args]
+    for key, value in ingredient.options.items():
+        parts.append(f"{key}={_render_ingredient_value(value)}")
+    return f"{ingredient.name}({', '.join(parts)})"
+
+
+def _render_ingredient_value(value: object) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "none"
+    if isinstance(value, list):
+        return "[" + ", ".join(_render_ingredient_value(v) for v in value) + "]"
+    return str(value)

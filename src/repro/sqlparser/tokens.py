@@ -1,0 +1,74 @@
+"""Token kinds and the token record produced by the lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    STRING = "string"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    INGREDIENT = "ingredient"  # a whole `{{ ... }}` span, content in `text`
+    PARAMETER = "parameter"  # ?  :name
+    EOF = "eof"
+
+
+#: Keywords recognised by the parser.  Everything else that looks like a word
+#: is an identifier.  SQLite treats keywords case-insensitively; the lexer
+#: upper-cases the `text` of KEYWORD tokens.
+KEYWORDS = frozenset(
+    """
+    ALL AND AS ASC BETWEEN BY CASE CAST COLLATE CROSS CURRENT_DATE
+    CURRENT_TIME CURRENT_TIMESTAMP DESC DISTINCT ELSE END ESCAPE EXCEPT
+    EXISTS FALSE FROM FULL GLOB GROUP HAVING IN INNER INTERSECT IS JOIN
+    LEFT LIKE LIMIT NATURAL NOT NULL NULLS OFFSET ON OR ORDER OUTER
+    RECURSIVE REGEXP RIGHT SELECT THEN TRUE UNION USING VALUES WHEN WHERE
+    WITH
+    """.split()
+)
+
+#: Multi-character operators, longest first so the lexer can greedily match.
+MULTI_CHAR_OPERATORS = ("<>", "!=", ">=", "<=", "==", "||", "<<", ">>")
+
+SINGLE_CHAR_OPERATORS = frozenset("+-*/%<>=&|~")
+
+PUNCTUATION = frozenset("(),.;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``text`` holds the normalised content: keywords are upper-cased, quoted
+    identifiers are unquoted, string literals are unescaped, and ingredient
+    tokens hold the text between the ``{{`` and ``}}`` braces.  ``raw``
+    preserves the original source slice for error messages.
+    """
+
+    kind: TokenKind
+    text: str
+    position: int
+    line: int
+    raw: str = ""
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return True when this token is one of the given keywords."""
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_punct(self, symbol: str) -> bool:
+        """Return True when this token is the given punctuation symbol."""
+        return self.kind is TokenKind.PUNCT and self.text == symbol
+
+    def is_operator(self, *symbols: str) -> bool:
+        """Return True when this token is one of the given operators."""
+        return self.kind is TokenKind.OPERATOR and self.text in symbols
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}@{self.position})"

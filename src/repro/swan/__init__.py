@@ -1,0 +1,37 @@
+"""The SWAN benchmark: Solving beyond-database queries With generative AI
+aNd relational databases.
+
+SWAN (Section 3 of the paper) consists of four curated databases and 120
+beyond-database questions.  This package reconstructs it from synthetic
+worlds:
+
+- :mod:`repro.swan.worlds` — deterministic ground-truth data for the four
+  domains (Superhero, Formula One, California Schools, European Football).
+- :mod:`repro.swan.curation` — the column/table drops that make questions
+  unanswerable from the database alone, plus the retained value lists and
+  meaningful LLM keys.
+- :mod:`repro.swan.questions` — the 120 questions, each with a gold SQL
+  query (against the original database), an HQDL hybrid query (against the
+  expanded schema) and a BlendSQL-dialect hybrid query.
+- :mod:`repro.swan.build` — materializes the original and curated SQLite
+  databases.
+- :mod:`repro.swan.benchmark` — the :class:`Swan` entry point that ties it
+  all together.
+"""
+
+from repro.swan.base import (
+    ExpansionColumn,
+    ExpansionTable,
+    Question,
+    World,
+)
+from repro.swan.benchmark import Swan, load_benchmark
+
+__all__ = [
+    "ExpansionColumn",
+    "ExpansionTable",
+    "Question",
+    "World",
+    "Swan",
+    "load_benchmark",
+]

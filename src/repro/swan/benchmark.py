@@ -1,0 +1,91 @@
+"""The SWAN benchmark entry point.
+
+:func:`load_benchmark` assembles the four worlds and their questions into
+a :class:`Swan` object — the unit every pipeline and experiment consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.errors import ReproError
+from repro.swan.base import Question, World
+
+#: Canonical database order, as in the paper's tables.
+DATABASE_ORDER = (
+    "california_schools",
+    "superhero",
+    "formula_1",
+    "european_football",
+)
+
+#: Human-readable titles, matching the paper's column headers.
+DATABASE_TITLES = {
+    "california_schools": "California Schools",
+    "superhero": "Super Hero",
+    "formula_1": "Formula One",
+    "european_football": "European Football",
+}
+
+
+@dataclass
+class Swan:
+    """The full benchmark: four worlds and 120 questions."""
+
+    worlds: dict[str, World]
+    questions: list[Question] = field(default_factory=list)
+
+    def world(self, name: str) -> World:
+        try:
+            return self.worlds[name]
+        except KeyError as exc:
+            raise ReproError(
+                f"unknown SWAN database {name!r}; have {sorted(self.worlds)}"
+            ) from exc
+
+    def questions_for(self, database: str) -> list[Question]:
+        return [q for q in self.questions if q.database == database]
+
+    def question(self, qid: str) -> Question:
+        for question in self.questions:
+            if question.qid == qid:
+                return question
+        raise ReproError(f"unknown question id {qid!r}")
+
+    def database_names(self) -> list[str]:
+        return [name for name in DATABASE_ORDER if name in self.worlds]
+
+    def stats_table(self) -> list[dict[str, object]]:
+        """Rows of the paper's Table 1 for the loaded worlds."""
+        return [self.worlds[name].stats() for name in self.database_names()]
+
+
+@lru_cache(maxsize=1)
+def _cached_benchmark() -> Swan:
+    # imported lazily so world construction stays importable on its own
+    from repro.swan.questions import all_questions
+    from repro.swan.worlds import WORLD_BUILDERS
+
+    worlds = {name: builder() for name, builder in WORLD_BUILDERS.items()}
+    questions = all_questions()
+    by_db: dict[str, int] = {}
+    for question in questions:
+        if question.database not in worlds:
+            raise ReproError(
+                f"question {question.qid} references unknown database "
+                f"{question.database!r}"
+            )
+        by_db[question.database] = by_db.get(question.database, 0) + 1
+    return Swan(worlds=worlds, questions=questions)
+
+
+def load_benchmark() -> Swan:
+    """Load (and cache) the full SWAN benchmark.
+
+    Worlds are deterministic, so the cached instance is safe to share;
+    callers that mutate databases must build their own
+    :class:`~repro.sqlengine.database.Database` copies via
+    :mod:`repro.swan.build`.
+    """
+    return _cached_benchmark()

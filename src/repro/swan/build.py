@@ -1,0 +1,56 @@
+"""Materialize SWAN worlds into SQLite databases.
+
+Two databases exist per world:
+
+- the **original** database (full schema) — gold queries run here;
+- the **curated** database (after drops) — hybrid pipelines run here.
+
+Both can be built in memory (the default for tests and benches) or saved
+to files for inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.sqlengine.database import Database
+from repro.sqlengine.schema import DatabaseSchema
+from repro.swan.base import World
+
+
+def _materialize(
+    schema: DatabaseSchema, rows: dict[str, list[tuple]]
+) -> Database:
+    db = Database.in_memory()
+    db.create_schema(schema)
+    for table in schema.tables:
+        table_rows = rows.get(table.name, [])
+        if table_rows:
+            db.insert_rows(table.name, table.column_names(), table_rows)
+    return db
+
+
+def build_original_database(world: World) -> Database:
+    """The full (uncurated) database for gold-query execution."""
+    return _materialize(world.original_schema, world.original_rows)
+
+
+def build_curated_database(world: World) -> Database:
+    """The curated database hybrid pipelines query."""
+    return _materialize(world.curated_schema, world.curated_rows)
+
+
+def save_databases(world: World, directory: Union[str, Path]) -> tuple[Path, Path]:
+    """Write both databases to ``<dir>/<name>_original.db`` / ``_curated.db``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    original_path = directory / f"{world.name}_original.db"
+    curated_path = directory / f"{world.name}_curated.db"
+    with build_original_database(world) as original:
+        original_path.unlink(missing_ok=True)
+        original.save_to(original_path)
+    with build_curated_database(world) as curated:
+        curated_path.unlink(missing_ok=True)
+        curated.save_to(curated_path)
+    return original_path, curated_path

@@ -1,0 +1,98 @@
+"""Schema curation: turning an original database into a SWAN database.
+
+Section 3.2 of the paper: columns and whole tables are removed so that a
+class of questions becomes unanswerable from the database alone, while
+distinct-value lists of removed categorical attributes are retained to
+help LLMs format output.  :func:`apply_curation` performs the drops and
+reports how many columns were removed (the paper's Table 1 statistic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CurationError
+from repro.sqlengine.schema import DatabaseSchema, TableSchema
+
+
+@dataclass(frozen=True)
+class CurationPlan:
+    """What to remove from an original database.
+
+    ``drop_columns`` maps table name → columns to drop; ``drop_tables``
+    lists tables removed entirely.  A dropped table counts all its columns
+    toward the dropped-column total, matching how Table 1 counts the
+    Superhero ``publisher`` table.
+    """
+
+    drop_columns: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    drop_tables: tuple[str, ...] = ()
+
+
+@dataclass
+class CurationResult:
+    """The curated schema and rows, plus audit numbers."""
+
+    schema: DatabaseSchema
+    rows: dict[str, list[tuple]]
+    dropped_columns: int
+
+
+def apply_curation(
+    schema: DatabaseSchema,
+    rows: dict[str, list[tuple]],
+    plan: CurationPlan,
+) -> CurationResult:
+    """Apply a curation plan to an original database.
+
+    Raises :class:`CurationError` when the plan names unknown tables or
+    columns — curation plans are hand-written and must match the world.
+    """
+    for table_name in plan.drop_tables:
+        if not schema.has_table(table_name):
+            raise CurationError(f"plan drops unknown table {table_name!r}")
+    for table_name, columns in plan.drop_columns.items():
+        if not schema.has_table(table_name):
+            raise CurationError(f"plan drops columns of unknown table {table_name!r}")
+        if table_name in plan.drop_tables:
+            raise CurationError(
+                f"table {table_name!r} is dropped entirely; do not also drop columns"
+            )
+        table = schema.table(table_name)
+        unknown = [c for c in columns if not table.has_column(c)]
+        if unknown:
+            raise CurationError(
+                f"plan drops unknown columns {unknown} of table {table_name!r}"
+            )
+
+    dropped = 0
+    curated_tables: list[TableSchema] = []
+    curated_rows: dict[str, list[tuple]] = {}
+    for table in schema.tables:
+        if table.name in plan.drop_tables:
+            dropped += len(table.columns)
+            continue
+        to_drop = plan.drop_columns.get(table.name, ())
+        if to_drop:
+            keep_indexes = [
+                index
+                for index, column in enumerate(table.columns)
+                if column.name not in to_drop
+            ]
+            curated = table.without_columns(to_drop)
+            dropped += len(to_drop)
+            curated_tables.append(curated)
+            curated_rows[table.name] = [
+                tuple(row[i] for i in keep_indexes) for row in rows[table.name]
+            ]
+        else:
+            curated_tables.append(table)
+            curated_rows[table.name] = list(rows[table.name])
+    curated_schema = DatabaseSchema(name=schema.name, tables=curated_tables)
+    return CurationResult(curated_schema, curated_rows, dropped)
+
+
+def distinct_values(rows: list[tuple], column_index: int) -> list[str]:
+    """The sorted distinct values of one column — a retained value list."""
+    seen = {str(row[column_index]) for row in rows if row[column_index] is not None}
+    return sorted(seen)

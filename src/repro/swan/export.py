@@ -1,0 +1,79 @@
+"""Export the SWAN benchmark to on-disk artifacts.
+
+The original SWAN release ships as a directory of SQLite databases plus
+question files.  :func:`export_benchmark` writes the same layout from
+the synthetic benchmark, so downstream tools that consume file-based
+benchmarks (text-to-SQL harnesses, BlendSQL itself) can run against it:
+
+    <dir>/
+      questions.json                 all 120 questions, all three queries
+      value_lists.json               the retained distinct-value lists
+      <database>_original.db         gold-query database
+      <database>_curated.db          hybrid-query database
+      <database>_expansions.json     expansion specs (keys, columns, kinds)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+from repro.swan.base import World
+from repro.swan.benchmark import Swan
+from repro.swan.build import save_databases
+
+
+def _expansion_payload(world: World) -> list[dict]:
+    payload = []
+    for expansion in world.expansions:
+        payload.append(
+            {
+                "name": expansion.name,
+                "source_table": expansion.source_table,
+                "key_columns": list(expansion.key_columns),
+                "columns": [
+                    {
+                        "name": column.name,
+                        "kind": column.kind,
+                        "value_list": column.value_list,
+                        "description": column.description,
+                    }
+                    for column in expansion.columns
+                ],
+            }
+        )
+    return payload
+
+
+def export_benchmark(swan: Swan, directory: Union[str, Path]) -> Path:
+    """Write the full benchmark to ``directory``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    questions_payload = [asdict(question) for question in swan.questions]
+    (directory / "questions.json").write_text(
+        json.dumps(questions_payload, indent=2, ensure_ascii=False)
+    )
+
+    value_lists = {
+        name: world.value_lists for name, world in sorted(swan.worlds.items())
+    }
+    (directory / "value_lists.json").write_text(
+        json.dumps(value_lists, indent=2, ensure_ascii=False)
+    )
+
+    for name in swan.database_names():
+        world = swan.world(name)
+        save_databases(world, directory)
+        (directory / f"{name}_expansions.json").write_text(
+            json.dumps(_expansion_payload(world), indent=2, ensure_ascii=False)
+        )
+    return directory
+
+
+def load_questions(directory: Union[str, Path]) -> list[dict]:
+    """Read back an exported questions.json (round-trip helper)."""
+    path = Path(directory) / "questions.json"
+    return json.loads(path.read_text())

@@ -1,0 +1,40 @@
+"""The 120 SWAN beyond-database questions (30 per database).
+
+Each question carries three hand-written, fully executable queries
+(Section 3.5 of the paper):
+
+- ``gold_sql`` — the answer definition, runs on the *original* database;
+- ``hqdl_sql`` — a regular SQL query over the curated schema *plus* the
+  LLM-materialized expansion tables (HQDL's schema-expansion solution);
+- ``blend_sql`` — the BlendSQL-dialect hybrid query with ``{{LLMMap}}`` /
+  ``{{LLMQA}}`` ingredients, executed by :mod:`repro.udf`.
+
+An integration test verifies, for every question, that the three agree
+exactly when the LLM is perfect — i.e. the hybrid queries are *correct*
+and any EX loss in the experiments comes from model errors alone.
+"""
+
+from repro.swan.base import Question
+from repro.swan.questions.california_schools import QUESTIONS as CALIFORNIA_SCHOOLS
+from repro.swan.questions.european_football import QUESTIONS as EUROPEAN_FOOTBALL
+from repro.swan.questions.formula_one import QUESTIONS as FORMULA_ONE
+from repro.swan.questions.superhero import QUESTIONS as SUPERHERO
+
+
+def all_questions() -> list[Question]:
+    """All 120 questions in canonical database order."""
+    return [
+        *CALIFORNIA_SCHOOLS,
+        *SUPERHERO,
+        *FORMULA_ONE,
+        *EUROPEAN_FOOTBALL,
+    ]
+
+
+__all__ = [
+    "all_questions",
+    "CALIFORNIA_SCHOOLS",
+    "SUPERHERO",
+    "FORMULA_ONE",
+    "EUROPEAN_FOOTBALL",
+]

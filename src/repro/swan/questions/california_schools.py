@@ -1,0 +1,531 @@
+"""The 30 California Schools beyond-database questions.
+
+About a third of these carry a LIMIT clause (top-k school rankings), the
+trait the paper uses to explain why this database shows the *highest*
+execution accuracy: ranking columns (enrollment, SAT scores) survived
+curation, so LLM errors on non-top entities are masked (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from repro.swan.base import Question
+
+_DB = "california_schools"
+
+#: Expansion join used by every HQDL query below.
+_J = (
+    "JOIN school_info i ON s.school_name = i.school_name "
+    "AND s.street_address = i.street_address"
+)
+
+#: Ingredient key arguments for LLMMap calls on the schools table.
+_K = "'schools::school_name', 'schools::street_address'"
+
+_CITY_Q = "In which city is this school, given its street address?"
+_COUNTY_Q = "In which California county is this school?"
+_WEB_Q = "What is the website of this school?"
+_TYPE_Q = "What type of school is this (Elementary, Middle, High, or K-12)?"
+_FUND_Q = "What is the charter funding type of this school?"
+
+
+def _q(number: int, text: str, gold: str, hqdl: str, blend: str,
+       columns: tuple[str, ...], ordered: bool = False) -> Question:
+    return Question(
+        qid=f"california_schools_q{number:02d}",
+        database=_DB,
+        text=text,
+        gold_sql=gold,
+        hqdl_sql=hqdl,
+        blend_sql=blend,
+        expansion_columns=columns,
+        ordered=ordered,
+    )
+
+
+QUESTIONS: list[Question] = [
+    _q(
+        1,
+        "What are the names of the top 5 schools by average math SAT score "
+        "in Alameda county?",
+        "SELECT s.school_name FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "WHERE s.county = 'Alameda' "
+        "ORDER BY t.avg_scr_math DESC, s.school_name LIMIT 5",
+        f"SELECT s.school_name FROM schools s {_J} "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "WHERE i.county = 'Alameda' "
+        "ORDER BY t.avg_scr_math DESC, s.school_name LIMIT 5",
+        "SELECT s.school_name FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code WHERE "
+        f"{{{{LLMMap('{_COUNTY_Q}', {_K})}}}} = 'Alameda' "
+        "ORDER BY t.avg_scr_math DESC, s.school_name LIMIT 5",
+        ("county",),
+        ordered=True,
+    ),
+    _q(
+        2,
+        "Which school in the city of Oakland has the highest average "
+        "reading SAT score?",
+        "SELECT s.school_name FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "WHERE s.city = 'Oakland' "
+        "ORDER BY t.avg_scr_read DESC, s.school_name LIMIT 1",
+        f"SELECT s.school_name FROM schools s {_J} "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "WHERE i.city = 'Oakland' "
+        "ORDER BY t.avg_scr_read DESC, s.school_name LIMIT 1",
+        "SELECT s.school_name FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code WHERE "
+        f"{{{{LLMMap('{_CITY_Q}', {_K})}}}} = 'Oakland' "
+        "ORDER BY t.avg_scr_read DESC, s.school_name LIMIT 1",
+        ("city",),
+        ordered=True,
+    ),
+    _q(
+        3,
+        "How many schools are in each county? Show the top 5 counties by "
+        "school count.",
+        "SELECT s.county, COUNT(*) FROM schools s "
+        "GROUP BY s.county ORDER BY COUNT(*) DESC, s.county LIMIT 5",
+        f"SELECT i.county, COUNT(*) FROM schools s {_J} "
+        "GROUP BY i.county ORDER BY COUNT(*) DESC, i.county LIMIT 5",
+        "SELECT county, COUNT(*) FROM (SELECT "
+        f"{{{{LLMMap('{_COUNTY_Q}', {_K})}}}} AS county FROM schools) sub "
+        "GROUP BY county ORDER BY COUNT(*) DESC, county LIMIT 5",
+        ("county",),
+        ordered=True,
+    ),
+    _q(
+        4,
+        "What are the websites of the 3 schools with the highest enrollment?",
+        "SELECT s.website FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "ORDER BY f.enrollment DESC, s.school_name LIMIT 3",
+        f"SELECT i.website FROM schools s {_J} "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "ORDER BY f.enrollment DESC, s.school_name LIMIT 3",
+        f"SELECT {{{{LLMMap('{_WEB_Q}', {_K})}}}} FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "ORDER BY f.enrollment DESC, s.school_name LIMIT 3",
+        ("website",),
+        ordered=True,
+    ),
+    _q(
+        5,
+        "List the names of schools in the city of Fresno.",
+        "SELECT s.school_name FROM schools s WHERE s.city = 'Fresno'",
+        f"SELECT s.school_name FROM schools s {_J} WHERE i.city = 'Fresno'",
+        "SELECT school_name FROM schools WHERE "
+        f"{{{{LLMMap('{_CITY_Q}', {_K})}}}} = 'Fresno'",
+        ("city",),
+    ),
+    _q(
+        6,
+        "How many charter schools are in Los Angeles county?",
+        "SELECT COUNT(*) FROM schools s "
+        "WHERE s.county = 'Los Angeles' AND s.charter = 1",
+        f"SELECT COUNT(*) FROM schools s {_J} "
+        "WHERE i.county = 'Los Angeles' AND s.charter = 1",
+        "SELECT COUNT(*) FROM schools WHERE "
+        f"{{{{LLMMap('{_COUNTY_Q}', {_K})}}}} = 'Los Angeles' "
+        "AND charter = 1",
+        ("county",),
+    ),
+    _q(
+        7,
+        "Which school in the city of San Diego has the highest combined SAT "
+        "score (reading plus math plus writing)?",
+        "SELECT s.school_name FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "WHERE s.city = 'San Diego' "
+        "ORDER BY t.avg_scr_read + t.avg_scr_math + t.avg_scr_write DESC, "
+        "s.school_name LIMIT 1",
+        f"SELECT s.school_name FROM schools s {_J} "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "WHERE i.city = 'San Diego' "
+        "ORDER BY t.avg_scr_read + t.avg_scr_math + t.avg_scr_write DESC, "
+        "s.school_name LIMIT 1",
+        "SELECT s.school_name FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code WHERE "
+        f"{{{{LLMMap('{_CITY_Q}', {_K})}}}} = 'San Diego' "
+        "ORDER BY t.avg_scr_read + t.avg_scr_math + t.avg_scr_write DESC, "
+        "s.school_name LIMIT 1",
+        ("city",),
+        ordered=True,
+    ),
+    _q(
+        8,
+        "List the names of High schools in the city of Long Beach.",
+        "SELECT s.school_name FROM schools s "
+        "WHERE s.school_type = 'High' AND s.city = 'Long Beach'",
+        f"SELECT s.school_name FROM schools s {_J} "
+        "WHERE i.school_type = 'High' AND i.city = 'Long Beach'",
+        "SELECT school_name FROM schools WHERE "
+        f"{{{{LLMMap('{_TYPE_Q}', {_K})}}}} = 'High' AND "
+        f"{{{{LLMMap('{_CITY_Q}', {_K})}}}} = 'Long Beach'",
+        ("school_type", "city"),
+    ),
+    _q(
+        9,
+        "What is the school type of the school with the largest enrollment?",
+        "SELECT s.school_type FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "ORDER BY f.enrollment DESC, s.school_name LIMIT 1",
+        f"SELECT i.school_type FROM schools s {_J} "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "ORDER BY f.enrollment DESC, s.school_name LIMIT 1",
+        f"SELECT {{{{LLMMap('{_TYPE_Q}', {_K})}}}} FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "ORDER BY f.enrollment DESC, s.school_name LIMIT 1",
+        ("school_type",),
+        ordered=True,
+    ),
+    _q(
+        10,
+        "List the names of the top 5 schools by free meal count in "
+        "Orange county.",
+        "SELECT s.school_name FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "WHERE s.county = 'Orange' "
+        "ORDER BY f.free_meal_count DESC, s.school_name LIMIT 5",
+        f"SELECT s.school_name FROM schools s {_J} "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "WHERE i.county = 'Orange' "
+        "ORDER BY f.free_meal_count DESC, s.school_name LIMIT 5",
+        "SELECT s.school_name FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code WHERE "
+        f"{{{{LLMMap('{_COUNTY_Q}', {_K})}}}} = 'Orange' "
+        "ORDER BY f.free_meal_count DESC, s.school_name LIMIT 5",
+        ("county",),
+        ordered=True,
+    ),
+    _q(
+        11,
+        "What is the website of Lincoln High School?",
+        "SELECT s.website FROM schools s "
+        "WHERE s.school_name = 'Lincoln High School'",
+        f"SELECT i.website FROM schools s {_J} "
+        "WHERE s.school_name = 'Lincoln High School'",
+        f"SELECT {{{{LLMMap('{_WEB_Q}', {_K})}}}} FROM schools "
+        "WHERE school_name = 'Lincoln High School'",
+        ("website",),
+    ),
+    _q(
+        12,
+        "How many schools are there in the city of San Jose?",
+        "SELECT COUNT(*) FROM schools s WHERE s.city = 'San Jose'",
+        f"SELECT COUNT(*) FROM schools s {_J} WHERE i.city = 'San Jose'",
+        "SELECT COUNT(*) FROM schools WHERE "
+        f"{{{{LLMMap('{_CITY_Q}', {_K})}}}} = 'San Jose'",
+        ("city",),
+    ),
+    _q(
+        13,
+        "Which county has the most schools?",
+        "SELECT s.county FROM schools s "
+        "GROUP BY s.county ORDER BY COUNT(*) DESC, s.county LIMIT 1",
+        f"SELECT i.county FROM schools s {_J} "
+        "GROUP BY i.county ORDER BY COUNT(*) DESC, i.county LIMIT 1",
+        "SELECT county FROM (SELECT "
+        f"{{{{LLMMap('{_COUNTY_Q}', {_K})}}}} AS county FROM schools) sub "
+        "GROUP BY county ORDER BY COUNT(*) DESC, county LIMIT 1",
+        ("county",),
+        ordered=True,
+    ),
+    _q(
+        14,
+        "List the names of directly funded charter schools in "
+        "Los Angeles county.",
+        "SELECT s.school_name FROM schools s "
+        "WHERE s.funding_type = 'Directly funded' AND s.charter = 1 "
+        "AND s.county = 'Los Angeles'",
+        f"SELECT s.school_name FROM schools s {_J} "
+        "WHERE i.funding_type = 'Directly funded' AND s.charter = 1 "
+        "AND i.county = 'Los Angeles'",
+        "SELECT school_name FROM schools WHERE "
+        f"{{{{LLMMap('{_FUND_Q}', {_K})}}}} = 'Directly funded' "
+        "AND charter = 1 AND "
+        f"{{{{LLMMap('{_COUNTY_Q}', {_K})}}}} = 'Los Angeles'",
+        ("funding_type", "county"),
+    ),
+    _q(
+        15,
+        "What is the average enrollment of schools in each county? "
+        "Order by county name.",
+        "SELECT s.county, AVG(f.enrollment) FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "GROUP BY s.county ORDER BY s.county",
+        f"SELECT i.county, AVG(f.enrollment) FROM schools s {_J} "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "GROUP BY i.county ORDER BY i.county",
+        "SELECT county, AVG(enrollment) FROM (SELECT f.enrollment, "
+        f"{{{{LLMMap('{_COUNTY_Q}', {_K})}}}} AS county FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code) sub "
+        "GROUP BY county ORDER BY county",
+        ("county",),
+        ordered=True,
+    ),
+    _q(
+        16,
+        "What are the names of the top 3 Elementary schools by average "
+        "writing SAT score?",
+        "SELECT s.school_name FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "WHERE s.school_type = 'Elementary' "
+        "ORDER BY t.avg_scr_write DESC, s.school_name LIMIT 3",
+        f"SELECT s.school_name FROM schools s {_J} "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "WHERE i.school_type = 'Elementary' "
+        "ORDER BY t.avg_scr_write DESC, s.school_name LIMIT 3",
+        "SELECT s.school_name FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code WHERE "
+        f"{{{{LLMMap('{_TYPE_Q}', {_K})}}}} = 'Elementary' "
+        "ORDER BY t.avg_scr_write DESC, s.school_name LIMIT 3",
+        ("school_type",),
+        ordered=True,
+    ),
+    _q(
+        17,
+        "How many schools have a website ending in .org?",
+        "SELECT COUNT(*) FROM schools s WHERE s.website LIKE '%.org'",
+        f"SELECT COUNT(*) FROM schools s {_J} "
+        "WHERE i.website LIKE '%.org'",
+        "SELECT COUNT(*) FROM schools WHERE "
+        f"{{{{LLMMap('{_WEB_Q}', {_K})}}}} LIKE '%.org'",
+        ("website",),
+    ),
+    _q(
+        18,
+        "List the school names and cities of schools with an FRPM rate "
+        "above 0.6.",
+        "SELECT s.school_name, s.city FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code WHERE f.frpm_rate > 0.6",
+        f"SELECT s.school_name, i.city FROM schools s {_J} "
+        "JOIN frpm f ON s.cds_code = f.cds_code WHERE f.frpm_rate > 0.6",
+        "SELECT s.school_name, "
+        f"{{{{LLMMap('{_CITY_Q}', {_K})}}}} FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code WHERE f.frpm_rate > 0.6",
+        ("city",),
+    ),
+    _q(
+        19,
+        "Which schools in Santa Clara county opened before 1950? "
+        "List their names.",
+        "SELECT s.school_name FROM schools s "
+        "WHERE s.county = 'Santa Clara' AND s.open_year < 1950",
+        f"SELECT s.school_name FROM schools s {_J} "
+        "WHERE i.county = 'Santa Clara' AND s.open_year < 1950",
+        "SELECT school_name FROM schools WHERE "
+        f"{{{{LLMMap('{_COUNTY_Q}', {_K})}}}} = 'Santa Clara' "
+        "AND open_year < 1950",
+        ("county",),
+    ),
+    _q(
+        20,
+        "In which city is the school with the highest number of SAT test "
+        "takers?",
+        "SELECT s.city FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "ORDER BY t.num_test_takers DESC, s.school_name LIMIT 1",
+        f"SELECT i.city FROM schools s {_J} "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "ORDER BY t.num_test_takers DESC, s.school_name LIMIT 1",
+        f"SELECT {{{{LLMMap('{_CITY_Q}', {_K})}}}} FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "ORDER BY t.num_test_takers DESC, s.school_name LIMIT 1",
+        ("city",),
+        ordered=True,
+    ),
+    _q(
+        21,
+        "How many schools are there of each school type? "
+        "Order by type name.",
+        "SELECT s.school_type, COUNT(*) FROM schools s "
+        "GROUP BY s.school_type ORDER BY s.school_type",
+        f"SELECT i.school_type, COUNT(*) FROM schools s {_J} "
+        "GROUP BY i.school_type ORDER BY i.school_type",
+        "SELECT school_type, COUNT(*) FROM (SELECT "
+        f"{{{{LLMMap('{_TYPE_Q}', {_K})}}}} AS school_type "
+        "FROM schools) sub GROUP BY school_type ORDER BY school_type",
+        ("school_type",),
+        ordered=True,
+    ),
+    _q(
+        22,
+        "List the names of K-12 schools in Kern county.",
+        "SELECT s.school_name FROM schools s "
+        "WHERE s.school_type = 'K-12' AND s.county = 'Kern'",
+        f"SELECT s.school_name FROM schools s {_J} "
+        "WHERE i.school_type = 'K-12' AND i.county = 'Kern'",
+        "SELECT school_name FROM schools WHERE "
+        f"{{{{LLMMap('{_TYPE_Q}', {_K})}}}} = 'K-12' AND "
+        f"{{{{LLMMap('{_COUNTY_Q}', {_K})}}}} = 'Kern'",
+        ("school_type", "county"),
+    ),
+    _q(
+        23,
+        "What are the websites of the top 5 schools by number of students "
+        "scoring at least 1500 on the SAT?",
+        "SELECT s.website FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "ORDER BY t.num_ge_1500 DESC, s.school_name LIMIT 5",
+        f"SELECT i.website FROM schools s {_J} "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "ORDER BY t.num_ge_1500 DESC, s.school_name LIMIT 5",
+        f"SELECT {{{{LLMMap('{_WEB_Q}', {_K})}}}} FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "ORDER BY t.num_ge_1500 DESC, s.school_name LIMIT 5",
+        ("website",),
+        ordered=True,
+    ),
+    _q(
+        24,
+        "Which city has the most schools?",
+        "SELECT s.city FROM schools s "
+        "GROUP BY s.city ORDER BY COUNT(*) DESC, s.city LIMIT 1",
+        f"SELECT i.city FROM schools s {_J} "
+        "GROUP BY i.city ORDER BY COUNT(*) DESC, i.city LIMIT 1",
+        "SELECT city FROM (SELECT "
+        f"{{{{LLMMap('{_CITY_Q}', {_K})}}}} AS city FROM schools) sub "
+        "GROUP BY city ORDER BY COUNT(*) DESC, city LIMIT 1",
+        ("city",),
+        ordered=True,
+    ),
+    _q(
+        25,
+        "List the names of locally funded schools in the city of Anaheim.",
+        "SELECT s.school_name FROM schools s "
+        "WHERE s.funding_type = 'Locally funded' AND s.city = 'Anaheim'",
+        f"SELECT s.school_name FROM schools s {_J} "
+        "WHERE i.funding_type = 'Locally funded' AND i.city = 'Anaheim'",
+        "SELECT school_name FROM schools WHERE "
+        f"{{{{LLMMap('{_FUND_Q}', {_K})}}}} = 'Locally funded' AND "
+        f"{{{{LLMMap('{_CITY_Q}', {_K})}}}} = 'Anaheim'",
+        ("funding_type", "city"),
+    ),
+    _q(
+        26,
+        "In which county is Sequoia High School?",
+        "SELECT s.county FROM schools s "
+        "WHERE s.school_name = 'Sequoia High School'",
+        f"SELECT i.county FROM schools s {_J} "
+        "WHERE s.school_name = 'Sequoia High School'",
+        f"SELECT {{{{LLMMap('{_COUNTY_Q}', {_K})}}}} FROM schools "
+        "WHERE school_name = 'Sequoia High School'",
+        ("county",),
+    ),
+    _q(
+        27,
+        "How many schools in the city of Los Angeles have an average math "
+        "SAT score above 550?",
+        "SELECT COUNT(*) FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "WHERE s.city = 'Los Angeles' AND t.avg_scr_math > 550",
+        f"SELECT COUNT(*) FROM schools s {_J} "
+        "JOIN satscores t ON s.cds_code = t.cds_code "
+        "WHERE i.city = 'Los Angeles' AND t.avg_scr_math > 550",
+        "SELECT COUNT(*) FROM schools s "
+        "JOIN satscores t ON s.cds_code = t.cds_code WHERE "
+        f"{{{{LLMMap('{_CITY_Q}', {_K})}}}} = 'Los Angeles' "
+        "AND t.avg_scr_math > 550",
+        ("city",),
+    ),
+    _q(
+        28,
+        "List the names of Middle schools in San Diego county, "
+        "alphabetically.",
+        "SELECT s.school_name FROM schools s "
+        "WHERE s.school_type = 'Middle' AND s.county = 'San Diego' "
+        "ORDER BY s.school_name",
+        f"SELECT s.school_name FROM schools s {_J} "
+        "WHERE i.school_type = 'Middle' AND i.county = 'San Diego' "
+        "ORDER BY s.school_name",
+        "SELECT school_name FROM schools WHERE "
+        f"{{{{LLMMap('{_TYPE_Q}', {_K})}}}} = 'Middle' AND "
+        f"{{{{LLMMap('{_COUNTY_Q}', {_K})}}}} = 'San Diego' "
+        "ORDER BY school_name",
+        ("school_type", "county"),
+        ordered=True,
+    ),
+    _q(
+        29,
+        "What is the funding type of the school with the lowest FRPM rate?",
+        "SELECT s.funding_type FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "ORDER BY f.frpm_rate ASC, s.school_name LIMIT 1",
+        f"SELECT i.funding_type FROM schools s {_J} "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "ORDER BY f.frpm_rate ASC, s.school_name LIMIT 1",
+        f"SELECT {{{{LLMMap('{_FUND_Q}', {_K})}}}} FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "ORDER BY f.frpm_rate ASC, s.school_name LIMIT 1",
+        ("funding_type",),
+        ordered=True,
+    ),
+    _q(
+        30,
+        "What are the top 3 counties by total enrollment?",
+        "SELECT s.county FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "GROUP BY s.county ORDER BY SUM(f.enrollment) DESC, s.county LIMIT 3",
+        f"SELECT i.county FROM schools s {_J} "
+        "JOIN frpm f ON s.cds_code = f.cds_code "
+        "GROUP BY i.county ORDER BY SUM(f.enrollment) DESC, i.county LIMIT 3",
+        "SELECT county FROM (SELECT f.enrollment, "
+        f"{{{{LLMMap('{_COUNTY_Q}', {_K})}}}} AS county FROM schools s "
+        "JOIN frpm f ON s.cds_code = f.cds_code) sub "
+        "GROUP BY county ORDER BY SUM(enrollment) DESC, county LIMIT 3",
+        ("county",),
+        ordered=True,
+    ),
+]
+
+
+# -- phrasing variants (Section 5.5: per-query wording defeats the cache) ----
+
+from repro.swan.questions.variants import (  # noqa: E402
+    attach_value_options,
+    vary_blend_questions,
+)
+
+#: Retained value lists passed as LLMMap options (Section 3.3).
+_VALUE_OPTIONS = {
+    _COUNTY_Q: "counties",
+    _TYPE_Q: "school_types",
+    _FUND_Q: "funding_types",
+}
+
+QUESTIONS = attach_value_options(QUESTIONS, _VALUE_OPTIONS)
+
+
+_QUESTION_VARIANTS = {
+    _CITY_Q: [
+        _CITY_Q,
+        "Which city is this school located in, based on its street address?",
+        "Name the city of this school from its street address.",
+        "What city does the street address of this school place it in?",
+    ],
+    _COUNTY_Q: [
+        _COUNTY_Q,
+        "Which California county does this school belong to?",
+        "Name the California county of this school.",
+        "What California county is this school in?",
+    ],
+    _WEB_Q: [
+        _WEB_Q,
+        "Provide the website of this school.",
+        "What is the short website address of this school?",
+    ],
+    _TYPE_Q: [
+        _TYPE_Q,
+        "What is the school type (Elementary, Middle, High, or K-12)?",
+        "Which school type describes this school: Elementary, Middle, High, or K-12?",
+    ],
+    _FUND_Q: [
+        _FUND_Q,
+        "Which charter funding category applies to this school?",
+        "Is this school directly funded, locally funded, or state funded?",
+    ],
+}
+
+QUESTIONS = vary_blend_questions(QUESTIONS, _QUESTION_VARIANTS)

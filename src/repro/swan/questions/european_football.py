@@ -1,0 +1,438 @@
+"""The 30 European Football beyond-database questions.
+
+Most expansion columns here are numeric (height, weight, birth year),
+where exact-match evaluation is unforgiving — the paper's Table 2 shows
+this database with the lowest execution accuracy.  The Section 5.5 cost
+pair ("height of the tallest player" / "players taller than 180cm") are
+questions 1 and 2.
+"""
+
+from __future__ import annotations
+
+from repro.swan.base import Question
+
+_DB = "european_football"
+
+_JP = "JOIN player_info pi ON p.player_name = pi.player_name"
+_JT = "JOIN team_info ti ON t.team_long_name = ti.team_long_name"
+
+_KP = "'player::player_name'"
+_KT = "'team::team_long_name'"
+
+_H_Q = "What is the height in centimeters of this football player?"
+_W_Q = "What is the weight in kilograms of this football player?"
+_B_Q = "In which year was this football player born?"
+_S_Q = "What is the short name of this football team?"
+
+_H_MAP = f"CAST({{{{LLMMap('{_H_Q}', {_KP})}}}} AS INTEGER)"
+_W_MAP = f"CAST({{{{LLMMap('{_W_Q}', {_KP})}}}} AS INTEGER)"
+_B_MAP = f"CAST({{{{LLMMap('{_B_Q}', {_KP})}}}} AS INTEGER)"
+_S_MAP = f"{{{{LLMMap('{_S_Q}', {_KT})}}}}"
+
+
+def _q(number: int, text: str, gold: str, hqdl: str, blend: str,
+       columns: tuple[str, ...], ordered: bool = False) -> Question:
+    return Question(
+        qid=f"european_football_q{number:02d}",
+        database=_DB,
+        text=text,
+        gold_sql=gold,
+        hqdl_sql=hqdl,
+        blend_sql=blend,
+        expansion_columns=columns,
+        ordered=ordered,
+    )
+
+
+QUESTIONS: list[Question] = [
+    _q(
+        1,
+        "What is the height of the tallest player?",
+        "SELECT MAX(p.height_cm) FROM player p",
+        f"SELECT MAX(pi.height_cm) FROM player p {_JP}",
+        f"SELECT MAX({_H_MAP}) FROM player",
+        ("height_cm",),
+    ),
+    _q(
+        2,
+        "List the names of players taller than 180 cm.",
+        "SELECT p.player_name FROM player p WHERE p.height_cm > 180",
+        f"SELECT p.player_name FROM player p {_JP} "
+        "WHERE pi.height_cm > 180",
+        f"SELECT player_name FROM player WHERE {_H_MAP} > 180",
+        ("height_cm",),
+    ),
+    _q(
+        3,
+        "List the names and weights of the 5 heaviest players.",
+        "SELECT p.player_name, p.weight_kg FROM player p "
+        "ORDER BY p.weight_kg DESC, p.player_name LIMIT 5",
+        f"SELECT p.player_name, pi.weight_kg FROM player p {_JP} "
+        "ORDER BY pi.weight_kg DESC, p.player_name LIMIT 5",
+        f"SELECT player_name, {_W_MAP} FROM player "
+        f"ORDER BY {_W_MAP} DESC, player_name LIMIT 5",
+        ("weight_kg",),
+        ordered=True,
+    ),
+    _q(
+        4,
+        "What is the short name of the team FC Barcelona?",
+        "SELECT t.team_short_name FROM team t "
+        "WHERE t.team_long_name = 'FC Barcelona'",
+        f"SELECT ti.team_short_name FROM team t {_JT} "
+        "WHERE t.team_long_name = 'FC Barcelona'",
+        f"SELECT {_S_MAP} FROM team "
+        "WHERE team_long_name = 'FC Barcelona'",
+        ("team_short_name",),
+    ),
+    _q(
+        5,
+        "List the names of players born before 1980.",
+        "SELECT p.player_name FROM player p WHERE p.birth_year < 1980",
+        f"SELECT p.player_name FROM player p {_JP} "
+        "WHERE pi.birth_year < 1980",
+        f"SELECT player_name FROM player WHERE {_B_MAP} < 1980",
+        ("birth_year",),
+    ),
+    _q(
+        6,
+        "What is the average height of players with an overall rating above "
+        "85 in the 2017-02-01 snapshot?",
+        "SELECT AVG(p.height_cm) FROM player p "
+        "JOIN player_attributes a ON p.id = a.player_id "
+        "WHERE a.overall_rating > 85 AND a.snapshot_date = '2017-02-01'",
+        f"SELECT AVG(pi.height_cm) FROM player p {_JP} "
+        "JOIN player_attributes a ON p.id = a.player_id "
+        "WHERE a.overall_rating > 85 AND a.snapshot_date = '2017-02-01'",
+        f"SELECT AVG({_H_MAP}) FROM player "
+        "JOIN player_attributes a ON player.id = a.player_id "
+        "WHERE a.overall_rating > 85 AND a.snapshot_date = '2017-02-01'",
+        ("height_cm",),
+    ),
+    _q(
+        7,
+        "How many players are taller than 190 cm?",
+        "SELECT COUNT(*) FROM player p WHERE p.height_cm > 190",
+        f"SELECT COUNT(*) FROM player p {_JP} WHERE pi.height_cm > 190",
+        f"SELECT COUNT(*) FROM player WHERE {_H_MAP} > 190",
+        ("height_cm",),
+    ),
+    _q(
+        8,
+        "Who is the youngest player (latest birth year)?",
+        "SELECT p.player_name FROM player p "
+        "ORDER BY p.birth_year DESC, p.player_name LIMIT 1",
+        f"SELECT p.player_name FROM player p {_JP} "
+        "ORDER BY pi.birth_year DESC, p.player_name LIMIT 1",
+        f"SELECT player_name FROM player ORDER BY {_B_MAP} DESC, "
+        "player_name LIMIT 1",
+        ("birth_year",),
+        ordered=True,
+    ),
+    _q(
+        9,
+        "List the short names of teams from Spain.",
+        "SELECT t.team_short_name FROM team t "
+        "JOIN country c ON t.country_id = c.id "
+        "WHERE c.country_name = 'Spain'",
+        f"SELECT ti.team_short_name FROM team t {_JT} "
+        "JOIN country c ON t.country_id = c.id "
+        "WHERE c.country_name = 'Spain'",
+        f"SELECT {_S_MAP} FROM team t "
+        "JOIN country c ON t.country_id = c.id "
+        "WHERE c.country_name = 'Spain'",
+        ("team_short_name",),
+    ),
+    _q(
+        10,
+        "What is the weight of Lionel Messi?",
+        "SELECT p.weight_kg FROM player p "
+        "WHERE p.player_name = 'Lionel Messi'",
+        f"SELECT pi.weight_kg FROM player p {_JP} "
+        "WHERE p.player_name = 'Lionel Messi'",
+        f"SELECT {_W_MAP} FROM player "
+        "WHERE player_name = 'Lionel Messi'",
+        ("weight_kg",),
+    ),
+    _q(
+        11,
+        "List the names of players born in 1987.",
+        "SELECT p.player_name FROM player p WHERE p.birth_year = 1987",
+        f"SELECT p.player_name FROM player p {_JP} "
+        "WHERE pi.birth_year = 1987",
+        f"SELECT player_name FROM player WHERE {_B_MAP} = 1987",
+        ("birth_year",),
+    ),
+    _q(
+        12,
+        "In which year was Cristiano Ronaldo born?",
+        "SELECT p.birth_year FROM player p "
+        "WHERE p.player_name = 'Cristiano Ronaldo'",
+        f"SELECT pi.birth_year FROM player p {_JP} "
+        "WHERE p.player_name = 'Cristiano Ronaldo'",
+        f"SELECT {_B_MAP} FROM player "
+        "WHERE player_name = 'Cristiano Ronaldo'",
+        ("birth_year",),
+    ),
+    _q(
+        13,
+        "List the names and heights of players with sprint speed above 90 "
+        "in the 2017-02-01 snapshot.",
+        "SELECT p.player_name, p.height_cm FROM player p "
+        "JOIN player_attributes a ON p.id = a.player_id "
+        "WHERE a.sprint_speed > 90 AND a.snapshot_date = '2017-02-01'",
+        f"SELECT p.player_name, pi.height_cm FROM player p {_JP} "
+        "JOIN player_attributes a ON p.id = a.player_id "
+        "WHERE a.sprint_speed > 90 AND a.snapshot_date = '2017-02-01'",
+        f"SELECT player_name, {_H_MAP} FROM player "
+        "JOIN player_attributes a ON player.id = a.player_id "
+        "WHERE a.sprint_speed > 90 AND a.snapshot_date = '2017-02-01'",
+        ("height_cm",),
+    ),
+    _q(
+        14,
+        "How many players were born in the 1990s (1990 through 1999)?",
+        "SELECT COUNT(*) FROM player p "
+        "WHERE p.birth_year BETWEEN 1990 AND 1999",
+        f"SELECT COUNT(*) FROM player p {_JP} "
+        "WHERE pi.birth_year BETWEEN 1990 AND 1999",
+        f"SELECT COUNT(*) FROM player WHERE {_B_MAP} BETWEEN 1990 AND 1999",
+        ("birth_year",),
+    ),
+    _q(
+        15,
+        "Which players are heavier than 90 kg and taller than 190 cm? "
+        "List their names.",
+        "SELECT p.player_name FROM player p "
+        "WHERE p.weight_kg > 90 AND p.height_cm > 190",
+        f"SELECT p.player_name FROM player p {_JP} "
+        "WHERE pi.weight_kg > 90 AND pi.height_cm > 190",
+        f"SELECT player_name FROM player WHERE {_W_MAP} > 90 "
+        f"AND {_H_MAP} > 190",
+        ("weight_kg", "height_cm"),
+    ),
+    _q(
+        16,
+        "What is the average weight of all players?",
+        "SELECT AVG(p.weight_kg) FROM player p",
+        f"SELECT AVG(pi.weight_kg) FROM player p {_JP}",
+        f"SELECT AVG({_W_MAP}) FROM player",
+        ("weight_kg",),
+    ),
+    _q(
+        17,
+        "List the long names and short names of teams from England.",
+        "SELECT t.team_long_name, t.team_short_name FROM team t "
+        "JOIN country c ON t.country_id = c.id "
+        "WHERE c.country_name = 'England'",
+        f"SELECT t.team_long_name, ti.team_short_name FROM team t {_JT} "
+        "JOIN country c ON t.country_id = c.id "
+        "WHERE c.country_name = 'England'",
+        f"SELECT t.team_long_name, {_S_MAP} FROM team t "
+        "JOIN country c ON t.country_id = c.id "
+        "WHERE c.country_name = 'England'",
+        ("team_short_name",),
+    ),
+    _q(
+        18,
+        "Who is the tallest player with an overall rating above 90 in the "
+        "2017-02-01 snapshot?",
+        "SELECT p.player_name FROM player p "
+        "JOIN player_attributes a ON p.id = a.player_id "
+        "WHERE a.overall_rating > 90 AND a.snapshot_date = '2017-02-01' "
+        "ORDER BY p.height_cm DESC, p.player_name LIMIT 1",
+        f"SELECT p.player_name FROM player p {_JP} "
+        "JOIN player_attributes a ON p.id = a.player_id "
+        "WHERE a.overall_rating > 90 AND a.snapshot_date = '2017-02-01' "
+        "ORDER BY pi.height_cm DESC, p.player_name LIMIT 1",
+        "SELECT player_name FROM player "
+        "JOIN player_attributes a ON player.id = a.player_id "
+        "WHERE a.overall_rating > 90 AND a.snapshot_date = '2017-02-01' "
+        f"ORDER BY {_H_MAP} DESC, player_name LIMIT 1",
+        ("height_cm",),
+        ordered=True,
+    ),
+    _q(
+        19,
+        "How many players are shorter than 170 cm?",
+        "SELECT COUNT(*) FROM player p WHERE p.height_cm < 170",
+        f"SELECT COUNT(*) FROM player p {_JP} WHERE pi.height_cm < 170",
+        f"SELECT COUNT(*) FROM player WHERE {_H_MAP} < 170",
+        ("height_cm",),
+    ),
+    _q(
+        20,
+        "List the names of players whose height is between 175 and 180 cm "
+        "inclusive.",
+        "SELECT p.player_name FROM player p "
+        "WHERE p.height_cm BETWEEN 175 AND 180",
+        f"SELECT p.player_name FROM player p {_JP} "
+        "WHERE pi.height_cm BETWEEN 175 AND 180",
+        f"SELECT player_name FROM player WHERE {_H_MAP} "
+        "BETWEEN 175 AND 180",
+        ("height_cm",),
+    ),
+    _q(
+        21,
+        "What is the height of Zlatan Ibrahimovic?",
+        "SELECT p.height_cm FROM player p "
+        "WHERE p.player_name = 'Zlatan Ibrahimovic'",
+        f"SELECT pi.height_cm FROM player p {_JP} "
+        "WHERE p.player_name = 'Zlatan Ibrahimovic'",
+        f"SELECT {_H_MAP} FROM player "
+        "WHERE player_name = 'Zlatan Ibrahimovic'",
+        ("height_cm",),
+    ),
+    _q(
+        22,
+        "List the names of the 3 oldest players (earliest birth year).",
+        "SELECT p.player_name FROM player p "
+        "ORDER BY p.birth_year ASC, p.player_name LIMIT 3",
+        f"SELECT p.player_name FROM player p {_JP} "
+        "ORDER BY pi.birth_year ASC, p.player_name LIMIT 3",
+        f"SELECT player_name FROM player ORDER BY {_B_MAP} ASC, "
+        "player_name LIMIT 3",
+        ("birth_year",),
+        ordered=True,
+    ),
+    _q(
+        23,
+        "What is the short name of the team that won the most home matches "
+        "in season 2016/2017?",
+        "SELECT t.team_short_name FROM team t "
+        "JOIN match m ON t.id = m.home_team_id "
+        "WHERE m.season = '2016/2017' AND m.home_team_goal > m.away_team_goal "
+        "GROUP BY t.id ORDER BY COUNT(*) DESC, t.team_long_name LIMIT 1",
+        f"SELECT ti.team_short_name FROM team t {_JT} "
+        "JOIN match m ON t.id = m.home_team_id "
+        "WHERE m.season = '2016/2017' AND m.home_team_goal > m.away_team_goal "
+        "GROUP BY t.id ORDER BY COUNT(*) DESC, t.team_long_name LIMIT 1",
+        f"SELECT {_S_MAP} FROM team t "
+        "JOIN match m ON t.id = m.home_team_id "
+        "WHERE m.season = '2016/2017' AND m.home_team_goal > m.away_team_goal "
+        "GROUP BY t.id ORDER BY COUNT(*) DESC, t.team_long_name LIMIT 1",
+        ("team_short_name",),
+        ordered=True,
+    ),
+    _q(
+        24,
+        "List the names of players whose body mass index (weight in kg over "
+        "squared height in meters) is above 25.",
+        "SELECT p.player_name FROM player p "
+        "WHERE p.weight_kg * 10000.0 / (p.height_cm * p.height_cm) > 25",
+        f"SELECT p.player_name FROM player p {_JP} "
+        "WHERE pi.weight_kg * 10000.0 / (pi.height_cm * pi.height_cm) > 25",
+        f"SELECT player_name FROM player WHERE {_W_MAP} * 10000.0 / "
+        f"({_H_MAP} * {_H_MAP}) > 25",
+        ("weight_kg", "height_cm"),
+    ),
+    _q(
+        25,
+        "How many teams have a short name starting with 'A'?",
+        "SELECT COUNT(*) FROM team t WHERE t.team_short_name LIKE 'A%'",
+        f"SELECT COUNT(*) FROM team t {_JT} "
+        "WHERE ti.team_short_name LIKE 'A%'",
+        f"SELECT COUNT(*) FROM team WHERE {_S_MAP} LIKE 'A%'",
+        ("team_short_name",),
+    ),
+    _q(
+        26,
+        "List the names of left-footed players taller than 185 cm in the "
+        "2017-02-01 snapshot.",
+        "SELECT p.player_name FROM player p "
+        "JOIN player_attributes a ON p.id = a.player_id "
+        "WHERE a.preferred_foot = 'left' AND a.snapshot_date = '2017-02-01' "
+        "AND p.height_cm > 185",
+        f"SELECT p.player_name FROM player p {_JP} "
+        "JOIN player_attributes a ON p.id = a.player_id "
+        "WHERE a.preferred_foot = 'left' AND a.snapshot_date = '2017-02-01' "
+        "AND pi.height_cm > 185",
+        "SELECT player_name FROM player "
+        "JOIN player_attributes a ON player.id = a.player_id "
+        "WHERE a.preferred_foot = 'left' AND a.snapshot_date = '2017-02-01' "
+        f"AND {_H_MAP} > 185",
+        ("height_cm",),
+    ),
+    _q(
+        27,
+        "What is the average birth year of players with potential above 90 "
+        "in the 2015-02-01 snapshot?",
+        "SELECT AVG(p.birth_year) FROM player p "
+        "JOIN player_attributes a ON p.id = a.player_id "
+        "WHERE a.potential > 90 AND a.snapshot_date = '2015-02-01'",
+        f"SELECT AVG(pi.birth_year) FROM player p {_JP} "
+        "JOIN player_attributes a ON p.id = a.player_id "
+        "WHERE a.potential > 90 AND a.snapshot_date = '2015-02-01'",
+        f"SELECT AVG({_B_MAP}) FROM player "
+        "JOIN player_attributes a ON player.id = a.player_id "
+        "WHERE a.potential > 90 AND a.snapshot_date = '2015-02-01'",
+        ("birth_year",),
+    ),
+    _q(
+        28,
+        "List the names and birth years of players whose name starts "
+        "with 'L'.",
+        "SELECT p.player_name, p.birth_year FROM player p "
+        "WHERE p.player_name LIKE 'L%'",
+        f"SELECT p.player_name, pi.birth_year FROM player p {_JP} "
+        "WHERE p.player_name LIKE 'L%'",
+        f"SELECT player_name, {_B_MAP} FROM player "
+        "WHERE player_name LIKE 'L%'",
+        ("birth_year",),
+    ),
+    _q(
+        29,
+        "Which team from Italy has the short name 'JUV'?",
+        "SELECT t.team_long_name FROM team t "
+        "JOIN country c ON t.country_id = c.id "
+        "WHERE c.country_name = 'Italy' AND t.team_short_name = 'JUV'",
+        f"SELECT t.team_long_name FROM team t {_JT} "
+        "JOIN country c ON t.country_id = c.id "
+        "WHERE c.country_name = 'Italy' AND ti.team_short_name = 'JUV'",
+        "SELECT t.team_long_name FROM team t "
+        "JOIN country c ON t.country_id = c.id "
+        f"WHERE c.country_name = 'Italy' AND {_S_MAP} = 'JUV'",
+        ("team_short_name",),
+    ),
+    _q(
+        30,
+        "What is the combined height of the two tallest players?",
+        "SELECT SUM(h) FROM (SELECT p.height_cm AS h FROM player p "
+        "ORDER BY p.height_cm DESC, p.player_name LIMIT 2) sub",
+        "SELECT SUM(h) FROM (SELECT pi.height_cm AS h FROM player p "
+        f"{_JP} ORDER BY pi.height_cm DESC, p.player_name LIMIT 2) sub",
+        f"SELECT SUM(h) FROM (SELECT {_H_MAP} AS h FROM player "
+        f"ORDER BY {_H_MAP} DESC, player_name LIMIT 2) sub",
+        ("height_cm",),
+    ),
+]
+
+
+# -- phrasing variants (Section 5.5: per-query wording defeats the cache) ----
+
+from repro.swan.questions.variants import vary_blend_questions  # noqa: E402
+
+_QUESTION_VARIANTS = {
+    _H_Q: [
+        _H_Q,
+        "How tall is this football player in centimeters?",
+        "Give the height (cm) of this football player.",
+    ],
+    _W_Q: [
+        _W_Q,
+        "How heavy is this football player in kilograms?",
+        "Give the weight (kg) of this football player.",
+    ],
+    _B_Q: [
+        _B_Q,
+        "What is the birth year of this football player?",
+        "Which year was this football player born in?",
+    ],
+    _S_Q: [
+        _S_Q,
+        "What is the abbreviation (short name) of this football team?",
+        "Give the short name of this football team.",
+    ],
+}
+
+QUESTIONS = vary_blend_questions(QUESTIONS, _QUESTION_VARIANTS)

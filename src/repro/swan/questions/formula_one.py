@@ -1,0 +1,512 @@
+"""The 30 Formula One beyond-database questions.
+
+This world has three expansion tables (drivers, circuits, constructors),
+so questions here exercise multi-table schema expansion and hybrid joins
+across more than one LLM-generated table.  The paper's own few-shot
+demonstration ("What is the driver code, key: Lewis Hamilton, answer:
+HAM") is question 1.
+"""
+
+from __future__ import annotations
+
+from repro.swan.base import Question
+
+_DB = "formula_1"
+
+_JD = "JOIN driver_info di ON d.forename = di.forename AND d.surname = di.surname"
+_JC = "JOIN circuit_info ci ON c.circuit_name = ci.circuit_name"
+_JK = "JOIN constructor_info ki ON k.constructor_name = ki.constructor_name"
+
+_KD = "'drivers::forename', 'drivers::surname'"
+_KC = "'circuits::circuit_name'"
+_KK = "'constructors::constructor_name'"
+
+_CODE_Q = "What is the three-letter driver code of this Formula 1 driver?"
+_NAT_Q = "What is the nationality of this Formula 1 driver?"
+_BORN_Q = "In which year was this Formula 1 driver born?"
+_COUNTRY_Q = "In which country is this Formula 1 circuit?"
+_CITY_Q = "In which city or town is this Formula 1 circuit?"
+_CNAT_Q = "Which country is this Formula 1 constructor from?"
+
+
+def _q(number: int, text: str, gold: str, hqdl: str, blend: str,
+       columns: tuple[str, ...], ordered: bool = False) -> Question:
+    return Question(
+        qid=f"formula_1_q{number:02d}",
+        database=_DB,
+        text=text,
+        gold_sql=gold,
+        hqdl_sql=hqdl,
+        blend_sql=blend,
+        expansion_columns=columns,
+        ordered=ordered,
+    )
+
+
+QUESTIONS: list[Question] = [
+    _q(
+        1,
+        "What is the driver code of Lewis Hamilton?",
+        "SELECT d.code FROM drivers d "
+        "WHERE d.forename = 'Lewis' AND d.surname = 'Hamilton'",
+        f"SELECT di.code FROM drivers d {_JD} "
+        "WHERE d.forename = 'Lewis' AND d.surname = 'Hamilton'",
+        f"SELECT {{{{LLMMap('{_CODE_Q}', {_KD})}}}} FROM drivers "
+        "WHERE forename = 'Lewis' AND surname = 'Hamilton'",
+        ("code",),
+    ),
+    _q(
+        2,
+        "In which country is the Silverstone Circuit?",
+        "SELECT c.country FROM circuits c "
+        "WHERE c.circuit_name = 'Silverstone Circuit'",
+        f"SELECT ci.country FROM circuits c {_JC} "
+        "WHERE c.circuit_name = 'Silverstone Circuit'",
+        f"SELECT {{{{LLMMap('{_COUNTRY_Q}', {_KC})}}}} FROM circuits "
+        "WHERE circuit_name = 'Silverstone Circuit'",
+        ("country",),
+    ),
+    _q(
+        3,
+        "List the forenames and surnames of all British drivers.",
+        "SELECT d.forename, d.surname FROM drivers d "
+        "WHERE d.nationality = 'British'",
+        f"SELECT d.forename, d.surname FROM drivers d {_JD} "
+        "WHERE di.nationality = 'British'",
+        "SELECT forename, surname FROM drivers WHERE "
+        f"{{{{LLMMap('{_NAT_Q}', {_KD})}}}} = 'British'",
+        ("nationality",),
+    ),
+    _q(
+        4,
+        "List the distinct driver codes of drivers who won a race in 2023.",
+        "SELECT DISTINCT d.code FROM drivers d "
+        "JOIN results r ON d.driver_id = r.driver_id "
+        "JOIN races ra ON r.race_id = ra.race_id "
+        "WHERE r.position = 1 AND ra.year = 2023",
+        f"SELECT DISTINCT di.code FROM drivers d {_JD} "
+        "JOIN results r ON d.driver_id = r.driver_id "
+        "JOIN races ra ON r.race_id = ra.race_id "
+        "WHERE r.position = 1 AND ra.year = 2023",
+        f"SELECT DISTINCT {{{{LLMMap('{_CODE_Q}', {_KD})}}}} "
+        "FROM drivers JOIN results r ON drivers.driver_id = r.driver_id "
+        "JOIN races ra ON r.race_id = ra.race_id "
+        "WHERE r.position = 1 AND ra.year = 2023",
+        ("code",),
+    ),
+    _q(
+        5,
+        "How many races were held at circuits in Italy?",
+        "SELECT COUNT(*) FROM races ra "
+        "JOIN circuits c ON ra.circuit_id = c.circuit_id "
+        "WHERE c.country = 'Italy'",
+        f"SELECT COUNT(*) FROM races ra "
+        f"JOIN circuits c ON ra.circuit_id = c.circuit_id {_JC} "
+        "WHERE ci.country = 'Italy'",
+        "SELECT COUNT(*) FROM races ra "
+        "JOIN circuits c ON ra.circuit_id = c.circuit_id WHERE "
+        f"{{{{LLMMap('{_COUNTRY_Q}', {_KC})}}}} = 'Italy'",
+        ("country",),
+    ),
+    _q(
+        6,
+        "List the surnames of drivers born after 1995.",
+        "SELECT d.surname FROM drivers d WHERE d.birth_year > 1995",
+        f"SELECT d.surname FROM drivers d {_JD} WHERE di.birth_year > 1995",
+        "SELECT surname FROM drivers WHERE "
+        f"CAST({{{{LLMMap('{_BORN_Q}', {_KD})}}}} AS INTEGER) > 1995",
+        ("birth_year",),
+    ),
+    _q(
+        7,
+        "Who is the oldest driver? Give the forename and surname.",
+        "SELECT d.forename, d.surname FROM drivers d "
+        "ORDER BY d.birth_year ASC, d.surname LIMIT 1",
+        f"SELECT d.forename, d.surname FROM drivers d {_JD} "
+        "ORDER BY di.birth_year ASC, d.surname LIMIT 1",
+        "SELECT forename, surname FROM drivers ORDER BY "
+        f"CAST({{{{LLMMap('{_BORN_Q}', {_KD})}}}} AS INTEGER) ASC, "
+        "surname LIMIT 1",
+        ("birth_year",),
+        ordered=True,
+    ),
+    _q(
+        8,
+        "What is the average finishing position of German drivers in 2023?",
+        "SELECT AVG(r.position) FROM results r "
+        "JOIN drivers d ON r.driver_id = d.driver_id "
+        "JOIN races ra ON r.race_id = ra.race_id "
+        "WHERE d.nationality = 'German' AND ra.year = 2023",
+        "SELECT AVG(r.position) FROM results r "
+        f"JOIN drivers d ON r.driver_id = d.driver_id {_JD} "
+        "JOIN races ra ON r.race_id = ra.race_id "
+        "WHERE di.nationality = 'German' AND ra.year = 2023",
+        "SELECT AVG(r.position) FROM results r "
+        "JOIN drivers d ON r.driver_id = d.driver_id "
+        "JOIN races ra ON r.race_id = ra.race_id WHERE "
+        f"{{{{LLMMap('{_NAT_Q}', {_KD})}}}} = 'German' AND ra.year = 2023",
+        ("nationality",),
+    ),
+    _q(
+        9,
+        "List the race names and dates of races held at circuits in "
+        "the USA.",
+        "SELECT ra.race_name, ra.race_date FROM races ra "
+        "JOIN circuits c ON ra.circuit_id = c.circuit_id "
+        "WHERE c.country = 'USA'",
+        "SELECT ra.race_name, ra.race_date FROM races ra "
+        f"JOIN circuits c ON ra.circuit_id = c.circuit_id {_JC} "
+        "WHERE ci.country = 'USA'",
+        "SELECT ra.race_name, ra.race_date FROM races ra "
+        "JOIN circuits c ON ra.circuit_id = c.circuit_id WHERE "
+        f"{{{{LLMMap('{_COUNTRY_Q}', {_KC})}}}} = 'USA'",
+        ("country",),
+    ),
+    _q(
+        10,
+        "List the names of Italian constructors.",
+        "SELECT k.constructor_name FROM constructors k "
+        "WHERE k.nationality = 'Italian'",
+        f"SELECT k.constructor_name FROM constructors k {_JK} "
+        "WHERE ki.nationality = 'Italian'",
+        "SELECT constructor_name FROM constructors WHERE "
+        f"{{{{LLMMap('{_CNAT_Q}', {_KK})}}}} = 'Italian'",
+        ("nationality",),
+    ),
+    _q(
+        11,
+        "In which city or town is the Hungaroring circuit?",
+        "SELECT c.location FROM circuits c "
+        "WHERE c.circuit_name = 'Hungaroring'",
+        f"SELECT ci.location_city FROM circuits c {_JC} "
+        "WHERE c.circuit_name = 'Hungaroring'",
+        f"SELECT {{{{LLMMap('{_CITY_Q}', {_KC})}}}} FROM circuits "
+        "WHERE circuit_name = 'Hungaroring'",
+        ("location_city",),
+    ),
+    _q(
+        12,
+        "List the driver codes of the top 3 drivers in the final 2022 "
+        "standings.",
+        "SELECT d.code FROM driver_standings ds "
+        "JOIN drivers d ON ds.driver_id = d.driver_id "
+        "WHERE ds.race_id = (SELECT ra.race_id FROM races ra "
+        "WHERE ra.year = 2022 ORDER BY ra.round DESC LIMIT 1) "
+        "AND ds.position <= 3 ORDER BY ds.position",
+        "SELECT di.code FROM driver_standings ds "
+        f"JOIN drivers d ON ds.driver_id = d.driver_id {_JD} "
+        "WHERE ds.race_id = (SELECT ra.race_id FROM races ra "
+        "WHERE ra.year = 2022 ORDER BY ra.round DESC LIMIT 1) "
+        "AND ds.position <= 3 ORDER BY ds.position",
+        f"SELECT {{{{LLMMap('{_CODE_Q}', {_KD})}}}} "
+        "FROM driver_standings ds "
+        "JOIN drivers ON ds.driver_id = drivers.driver_id "
+        "WHERE ds.race_id = (SELECT ra.race_id FROM races ra "
+        "WHERE ra.year = 2022 ORDER BY ra.round DESC LIMIT 1) "
+        "AND ds.position <= 3 ORDER BY ds.position",
+        ("code",),
+        ordered=True,
+    ),
+    _q(
+        13,
+        "How many drivers are French?",
+        "SELECT COUNT(*) FROM drivers d WHERE d.nationality = 'French'",
+        f"SELECT COUNT(*) FROM drivers d {_JD} "
+        "WHERE di.nationality = 'French'",
+        "SELECT COUNT(*) FROM drivers WHERE "
+        f"{{{{LLMMap('{_NAT_Q}', {_KD})}}}} = 'French'",
+        ("nationality",),
+    ),
+    _q(
+        14,
+        "List the surnames and driver codes of Finnish drivers.",
+        "SELECT d.surname, d.code FROM drivers d "
+        "WHERE d.nationality = 'Finnish'",
+        f"SELECT d.surname, di.code FROM drivers d {_JD} "
+        "WHERE di.nationality = 'Finnish'",
+        f"SELECT surname, {{{{LLMMap('{_CODE_Q}', {_KD})}}}} "
+        "FROM drivers WHERE "
+        f"{{{{LLMMap('{_NAT_Q}', {_KD})}}}} = 'Finnish'",
+        ("nationality", "code"),
+    ),
+    _q(
+        15,
+        "Which country hosted the most races?",
+        "SELECT c.country FROM races ra "
+        "JOIN circuits c ON ra.circuit_id = c.circuit_id "
+        "GROUP BY c.country ORDER BY COUNT(*) DESC, c.country LIMIT 1",
+        "SELECT ci.country FROM races ra "
+        f"JOIN circuits c ON ra.circuit_id = c.circuit_id {_JC} "
+        "GROUP BY ci.country ORDER BY COUNT(*) DESC, ci.country LIMIT 1",
+        "SELECT country FROM (SELECT "
+        f"{{{{LLMMap('{_COUNTRY_Q}', {_KC})}}}} AS country FROM races ra "
+        "JOIN circuits c ON ra.circuit_id = c.circuit_id) sub "
+        "GROUP BY country ORDER BY COUNT(*) DESC, country LIMIT 1",
+        ("country",),
+        ordered=True,
+    ),
+    _q(
+        16,
+        "List the circuit names and host cities of circuits in Italy.",
+        "SELECT c.circuit_name, c.location FROM circuits c "
+        "WHERE c.country = 'Italy'",
+        f"SELECT c.circuit_name, ci.location_city FROM circuits c {_JC} "
+        "WHERE ci.country = 'Italy'",
+        f"SELECT circuit_name, {{{{LLMMap('{_CITY_Q}', {_KC})}}}} "
+        "FROM circuits WHERE "
+        f"{{{{LLMMap('{_COUNTRY_Q}', {_KC})}}}} = 'Italy'",
+        ("country", "location_city"),
+    ),
+    _q(
+        17,
+        "In which year was Max Verstappen born?",
+        "SELECT d.birth_year FROM drivers d "
+        "WHERE d.forename = 'Max' AND d.surname = 'Verstappen'",
+        f"SELECT di.birth_year FROM drivers d {_JD} "
+        "WHERE d.forename = 'Max' AND d.surname = 'Verstappen'",
+        f"SELECT CAST({{{{LLMMap('{_BORN_Q}', {_KD})}}}} AS INTEGER) "
+        "FROM drivers WHERE forename = 'Max' AND surname = 'Verstappen'",
+        ("birth_year",),
+    ),
+    _q(
+        18,
+        "List the surnames of drivers born after 1998.",
+        "SELECT d.surname FROM drivers d WHERE d.birth_year > 1998",
+        f"SELECT d.surname FROM drivers d {_JD} WHERE di.birth_year > 1998",
+        "SELECT surname FROM drivers WHERE "
+        f"CAST({{{{LLMMap('{_BORN_Q}', {_KD})}}}} AS INTEGER) > 1998",
+        ("birth_year",),
+    ),
+    _q(
+        19,
+        "What is the average points per result of drivers born before 1985?",
+        "SELECT AVG(r.points) FROM results r "
+        "JOIN drivers d ON r.driver_id = d.driver_id "
+        "WHERE d.birth_year < 1985",
+        "SELECT AVG(r.points) FROM results r "
+        f"JOIN drivers d ON r.driver_id = d.driver_id {_JD} "
+        "WHERE di.birth_year < 1985",
+        "SELECT AVG(r.points) FROM results r "
+        "JOIN drivers d ON r.driver_id = d.driver_id WHERE "
+        f"CAST({{{{LLMMap('{_BORN_Q}', {_KD})}}}} AS INTEGER) < 1985",
+        ("birth_year",),
+    ),
+    _q(
+        20,
+        "List the distinct surnames of drivers who drove for a British "
+        "constructor.",
+        "SELECT DISTINCT d.surname FROM results r "
+        "JOIN drivers d ON r.driver_id = d.driver_id "
+        "JOIN constructors k ON r.constructor_id = k.constructor_id "
+        "WHERE k.nationality = 'British'",
+        "SELECT DISTINCT d.surname FROM results r "
+        "JOIN drivers d ON r.driver_id = d.driver_id "
+        f"JOIN constructors k ON r.constructor_id = k.constructor_id {_JK} "
+        "WHERE ki.nationality = 'British'",
+        "SELECT DISTINCT d.surname FROM results r "
+        "JOIN drivers d ON r.driver_id = d.driver_id "
+        "JOIN constructors k ON r.constructor_id = k.constructor_id WHERE "
+        f"{{{{LLMMap('{_CNAT_Q}', {_KK})}}}} = 'British'",
+        ("nationality",),
+    ),
+    _q(
+        21,
+        "List the race names of races held in Monaco.",
+        "SELECT ra.race_name FROM races ra "
+        "JOIN circuits c ON ra.circuit_id = c.circuit_id "
+        "WHERE c.country = 'Monaco'",
+        "SELECT ra.race_name FROM races ra "
+        f"JOIN circuits c ON ra.circuit_id = c.circuit_id {_JC} "
+        "WHERE ci.country = 'Monaco'",
+        "SELECT ra.race_name FROM races ra "
+        "JOIN circuits c ON ra.circuit_id = c.circuit_id WHERE "
+        f"{{{{LLMMap('{_COUNTRY_Q}', {_KC})}}}} = 'Monaco'",
+        ("country",),
+    ),
+    _q(
+        22,
+        "Which British constructor scored the most wins in 2023?",
+        "SELECT k.constructor_name FROM results r "
+        "JOIN constructors k ON r.constructor_id = k.constructor_id "
+        "JOIN races ra ON r.race_id = ra.race_id "
+        "WHERE r.position = 1 AND ra.year = 2023 "
+        "AND k.nationality = 'British' "
+        "GROUP BY k.constructor_name "
+        "ORDER BY COUNT(*) DESC, k.constructor_name LIMIT 1",
+        "SELECT k.constructor_name FROM results r "
+        f"JOIN constructors k ON r.constructor_id = k.constructor_id {_JK} "
+        "JOIN races ra ON r.race_id = ra.race_id "
+        "WHERE r.position = 1 AND ra.year = 2023 "
+        "AND ki.nationality = 'British' "
+        "GROUP BY k.constructor_name "
+        "ORDER BY COUNT(*) DESC, k.constructor_name LIMIT 1",
+        "SELECT k.constructor_name FROM results r "
+        "JOIN constructors k ON r.constructor_id = k.constructor_id "
+        "JOIN races ra ON r.race_id = ra.race_id "
+        "WHERE r.position = 1 AND ra.year = 2023 AND "
+        f"{{{{LLMMap('{_CNAT_Q}', {_KK})}}}} = 'British' "
+        "GROUP BY k.constructor_name "
+        "ORDER BY COUNT(*) DESC, k.constructor_name LIMIT 1",
+        ("nationality",),
+        ordered=True,
+    ),
+    _q(
+        23,
+        "List the forenames and surnames of Spanish drivers ordered "
+        "by surname.",
+        "SELECT d.forename, d.surname FROM drivers d "
+        "WHERE d.nationality = 'Spanish' ORDER BY d.surname",
+        f"SELECT d.forename, d.surname FROM drivers d {_JD} "
+        "WHERE di.nationality = 'Spanish' ORDER BY d.surname",
+        "SELECT forename, surname FROM drivers WHERE "
+        f"{{{{LLMMap('{_NAT_Q}', {_KD})}}}} = 'Spanish' ORDER BY surname",
+        ("nationality",),
+        ordered=True,
+    ),
+    _q(
+        24,
+        "How many distinct nationalities are there among the drivers?",
+        "SELECT COUNT(DISTINCT d.nationality) FROM drivers d",
+        f"SELECT COUNT(DISTINCT di.nationality) FROM drivers d {_JD}",
+        "SELECT COUNT(DISTINCT nat) FROM (SELECT "
+        f"{{{{LLMMap('{_NAT_Q}', {_KD})}}}} AS nat FROM drivers) sub",
+        ("nationality",),
+    ),
+    _q(
+        25,
+        "List the distinct driver codes of drivers who had a pit stop "
+        "longer than 33000 milliseconds in 2023.",
+        "SELECT DISTINCT d.code FROM pit_stops ps "
+        "JOIN drivers d ON ps.driver_id = d.driver_id "
+        "JOIN races ra ON ps.race_id = ra.race_id "
+        "WHERE ps.duration_ms > 33000 AND ra.year = 2023",
+        "SELECT DISTINCT di.code FROM pit_stops ps "
+        f"JOIN drivers d ON ps.driver_id = d.driver_id {_JD} "
+        "JOIN races ra ON ps.race_id = ra.race_id "
+        "WHERE ps.duration_ms > 33000 AND ra.year = 2023",
+        f"SELECT DISTINCT {{{{LLMMap('{_CODE_Q}', {_KD})}}}} "
+        "FROM pit_stops ps "
+        "JOIN drivers ON ps.driver_id = drivers.driver_id "
+        "JOIN races ra ON ps.race_id = ra.race_id "
+        "WHERE ps.duration_ms > 33000 AND ra.year = 2023",
+        ("code",),
+    ),
+    _q(
+        26,
+        "Which circuits are in the UK? List their circuit names.",
+        "SELECT c.circuit_name FROM circuits c WHERE c.country = 'UK'",
+        f"SELECT c.circuit_name FROM circuits c {_JC} "
+        "WHERE ci.country = 'UK'",
+        "SELECT circuit_name FROM circuits WHERE "
+        f"{{{{LLMMap('{_COUNTRY_Q}', {_KC})}}}} = 'UK'",
+        ("country",),
+    ),
+    _q(
+        27,
+        "Who won the most races in 2022? Give the driver code.",
+        "SELECT d.code FROM results r "
+        "JOIN drivers d ON r.driver_id = d.driver_id "
+        "JOIN races ra ON r.race_id = ra.race_id "
+        "WHERE r.position = 1 AND ra.year = 2022 "
+        "GROUP BY d.code ORDER BY COUNT(*) DESC, d.code LIMIT 1",
+        "SELECT di.code FROM results r "
+        f"JOIN drivers d ON r.driver_id = d.driver_id {_JD} "
+        "JOIN races ra ON r.race_id = ra.race_id "
+        "WHERE r.position = 1 AND ra.year = 2022 "
+        "GROUP BY di.code ORDER BY COUNT(*) DESC, di.code LIMIT 1",
+        "SELECT code FROM (SELECT "
+        f"{{{{LLMMap('{_CODE_Q}', {_KD})}}}} AS code FROM results r "
+        "JOIN drivers ON r.driver_id = drivers.driver_id "
+        "JOIN races ra ON r.race_id = ra.race_id "
+        "WHERE r.position = 1 AND ra.year = 2022) sub "
+        "GROUP BY code ORDER BY COUNT(*) DESC, code LIMIT 1",
+        ("code",),
+        ordered=True,
+    ),
+    _q(
+        28,
+        "List the surnames of drivers whose driver code starts with 'V'.",
+        "SELECT d.surname FROM drivers d WHERE d.code LIKE 'V%'",
+        f"SELECT d.surname FROM drivers d {_JD} WHERE di.code LIKE 'V%'",
+        "SELECT surname FROM drivers WHERE "
+        f"{{{{LLMMap('{_CODE_Q}', {_KD})}}}} LIKE 'V%'",
+        ("code",),
+    ),
+    _q(
+        29,
+        "What is the nationality of the constructor Ferrari?",
+        "SELECT k.nationality FROM constructors k "
+        "WHERE k.constructor_name = 'Ferrari'",
+        f"SELECT ki.nationality FROM constructors k {_JK} "
+        "WHERE k.constructor_name = 'Ferrari'",
+        f"SELECT {{{{LLMMap('{_CNAT_Q}', {_KK})}}}} FROM constructors "
+        "WHERE constructor_name = 'Ferrari'",
+        ("nationality",),
+    ),
+    _q(
+        30,
+        "How many circuits are there in each country? Order by country.",
+        "SELECT c.country, COUNT(*) FROM circuits c "
+        "GROUP BY c.country ORDER BY c.country",
+        f"SELECT ci.country, COUNT(*) FROM circuits c {_JC} "
+        "GROUP BY ci.country ORDER BY ci.country",
+        "SELECT country, COUNT(*) FROM (SELECT "
+        f"{{{{LLMMap('{_COUNTRY_Q}', {_KC})}}}} AS country "
+        "FROM circuits) sub GROUP BY country ORDER BY country",
+        ("country",),
+        ordered=True,
+    ),
+]
+
+
+# -- phrasing variants (Section 5.5: per-query wording defeats the cache) ----
+
+from repro.swan.questions.variants import (  # noqa: E402
+    attach_value_options,
+    vary_blend_questions,
+)
+
+#: Retained value lists passed as LLMMap options (Section 3.3).
+_VALUE_OPTIONS = {
+    _NAT_Q: "nationalities",
+    _COUNTRY_Q: "countries",
+    _CNAT_Q: "constructor_nationalities",
+}
+
+QUESTIONS = attach_value_options(QUESTIONS, _VALUE_OPTIONS)
+
+
+_QUESTION_VARIANTS = {
+    _CODE_Q: [
+        _CODE_Q,
+        "Give the three-letter driver code for this Formula 1 driver.",
+        "What driver code (three-letter) does this Formula 1 driver use?",
+    ],
+    _NAT_Q: [
+        _NAT_Q,
+        "State the nationality of this Formula 1 driver.",
+        "Which nationality does this Formula 1 driver hold?",
+    ],
+    _BORN_Q: [
+        _BORN_Q,
+        "What is the birth year of this Formula 1 driver?",
+        "Which year was this Formula 1 driver born in?",
+    ],
+    _COUNTRY_Q: [
+        _COUNTRY_Q,
+        "Which country hosts this Formula 1 circuit?",
+        "Name the country of this Formula 1 circuit.",
+    ],
+    _CITY_Q: [
+        _CITY_Q,
+        "Which town or city hosts this Formula 1 circuit?",
+        "Name the city or town of this Formula 1 circuit.",
+    ],
+    _CNAT_Q: [
+        _CNAT_Q,
+        "What country does this Formula 1 constructor come from?",
+        "Name the home country of this Formula 1 constructor.",
+    ],
+}
+
+QUESTIONS = vary_blend_questions(QUESTIONS, _QUESTION_VARIANTS)

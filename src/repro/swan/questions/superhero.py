@@ -1,0 +1,560 @@
+"""The 30 Superhero beyond-database questions.
+
+The curated database lost every lookup foreign key plus the publisher and
+hero_power tables, so anything touching publishers, colours, race, gender,
+alignment or powers is beyond-database.  Only about a tenth of these
+questions carry a LIMIT clause — the paper links that to the low
+execution accuracy on this database (errors cannot hide behind a top-k).
+"""
+
+from __future__ import annotations
+
+from repro.swan.base import Question
+
+_DB = "superhero"
+
+#: Expansion join used by every HQDL query below.
+_J = (
+    "JOIN superhero_info i ON s.superhero_name = i.superhero_name "
+    "AND s.full_name = i.full_name"
+)
+
+#: Ingredient key arguments shared by all LLMMap calls on this database.
+_K = "'superhero::superhero_name', 'superhero::full_name'"
+
+
+def _q(number: int, text: str, gold: str, hqdl: str, blend: str,
+       columns: tuple[str, ...], ordered: bool = False) -> Question:
+    return Question(
+        qid=f"superhero_q{number:02d}",
+        database=_DB,
+        text=text,
+        gold_sql=gold,
+        hqdl_sql=hqdl,
+        blend_sql=blend,
+        expansion_columns=columns,
+        ordered=ordered,
+    )
+
+
+QUESTIONS: list[Question] = [
+    _q(
+        1,
+        "List the superhero names of all heroes published by Marvel Comics.",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN publisher p ON s.publisher_id = p.id "
+        "WHERE p.publisher_name = 'Marvel Comics'",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.publisher_name = 'Marvel Comics'",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('Which comic book publisher published this superhero?', "
+        f"{_K})}}}} = 'Marvel Comics'",
+        ("publisher_name",),
+    ),
+    _q(
+        2,
+        "List the superhero names and full names of heroes from DC Comics.",
+        "SELECT s.superhero_name, s.full_name FROM superhero s "
+        "JOIN publisher p ON s.publisher_id = p.id "
+        "WHERE p.publisher_name = 'DC Comics'",
+        f"SELECT s.superhero_name, s.full_name FROM superhero s {_J} "
+        "WHERE i.publisher_name = 'DC Comics'",
+        "SELECT superhero_name, full_name FROM superhero WHERE "
+        "{{LLMMap('Which comic book publisher published this superhero?', "
+        f"{_K})}}}} = 'DC Comics'",
+        ("publisher_name",),
+    ),
+    _q(
+        3,
+        "How many heroes did each publisher publish? Order by the count "
+        "descending, then by publisher name.",
+        "SELECT p.publisher_name, COUNT(*) FROM superhero s "
+        "JOIN publisher p ON s.publisher_id = p.id "
+        "GROUP BY p.publisher_name ORDER BY COUNT(*) DESC, p.publisher_name",
+        f"SELECT i.publisher_name, COUNT(*) FROM superhero s {_J} "
+        "GROUP BY i.publisher_name ORDER BY COUNT(*) DESC, i.publisher_name",
+        "SELECT pub, COUNT(*) FROM (SELECT "
+        "{{LLMMap('Which comic book publisher published this superhero?', "
+        f"{_K})}}}} AS pub FROM superhero) sub "
+        "GROUP BY pub ORDER BY COUNT(*) DESC, pub",
+        ("publisher_name",),
+        ordered=True,
+    ),
+    _q(
+        4,
+        "How many superheroes have blue eyes?",
+        "SELECT COUNT(*) FROM superhero s "
+        "JOIN colour c ON s.eye_colour_id = c.id WHERE c.colour = 'Blue'",
+        f"SELECT COUNT(*) FROM superhero s {_J} WHERE i.eye_color = 'Blue'",
+        "SELECT COUNT(*) FROM superhero WHERE "
+        "{{LLMMap('What is the eye color of this superhero?', "
+        f"{_K})}}}} = 'Blue'",
+        ("eye_color",),
+    ),
+    _q(
+        5,
+        "List the superhero names of heroes with green skin.",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN colour c ON s.skin_colour_id = c.id WHERE c.colour = 'Green'",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.skin_color = 'Green'",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('What is the skin color of this superhero?', "
+        f"{_K})}}}} = 'Green'",
+        ("skin_color",),
+    ),
+    _q(
+        6,
+        "Which heroes have both blond hair and blue eyes? "
+        "List their superhero names.",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN colour ch ON s.hair_colour_id = ch.id "
+        "JOIN colour ce ON s.eye_colour_id = ce.id "
+        "WHERE ch.colour = 'Blond' AND ce.colour = 'Blue'",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.hair_color = 'Blond' AND i.eye_color = 'Blue'",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('What is the hair color of this superhero?', "
+        f"{_K})}}}} = 'Blond' AND "
+        "{{LLMMap('What is the eye color of this superhero?', "
+        f"{_K})}}}} = 'Blue'",
+        ("hair_color", "eye_color"),
+    ),
+    _q(
+        7,
+        "List the superhero names of villains (Bad alignment) published by "
+        "DC Comics.",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN publisher p ON s.publisher_id = p.id "
+        "JOIN alignment a ON s.alignment_id = a.id "
+        "WHERE p.publisher_name = 'DC Comics' AND a.alignment = 'Bad'",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.publisher_name = 'DC Comics' AND i.moral_alignment = 'Bad'",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('Which comic book publisher published this superhero?', "
+        f"{_K})}}}} = 'DC Comics' AND "
+        "{{LLMMap('What is the moral alignment of this superhero?', "
+        f"{_K})}}}} = 'Bad'",
+        ("publisher_name", "moral_alignment"),
+    ),
+    _q(
+        8,
+        "How many female heroes are published by Marvel Comics?",
+        "SELECT COUNT(*) FROM superhero s "
+        "JOIN publisher p ON s.publisher_id = p.id "
+        "JOIN gender g ON s.gender_id = g.id "
+        "WHERE p.publisher_name = 'Marvel Comics' AND g.gender = 'Female'",
+        f"SELECT COUNT(*) FROM superhero s {_J} "
+        "WHERE i.publisher_name = 'Marvel Comics' AND i.gender = 'Female'",
+        "SELECT COUNT(*) FROM superhero WHERE "
+        "{{LLMMap('Which comic book publisher published this superhero?', "
+        f"{_K})}}}} = 'Marvel Comics' AND "
+        "{{LLMMap('What is the gender of this superhero?', "
+        f"{_K})}}}} = 'Female'",
+        ("publisher_name", "gender"),
+    ),
+    _q(
+        9,
+        "List the superhero names of Human heroes taller than 185 cm.",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN race r ON s.race_id = r.id "
+        "WHERE r.race = 'Human' AND s.height_cm > 185",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.race = 'Human' AND s.height_cm > 185",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('What is the race of this superhero?', "
+        f"{_K})}}}} = 'Human' AND height_cm > 185",
+        ("race",),
+    ),
+    _q(
+        10,
+        "Which publisher published the superhero Batman?",
+        "SELECT p.publisher_name FROM superhero s "
+        "JOIN publisher p ON s.publisher_id = p.id "
+        "WHERE s.superhero_name = 'Batman'",
+        f"SELECT i.publisher_name FROM superhero s {_J} "
+        "WHERE s.superhero_name = 'Batman'",
+        "SELECT {{LLMMap('Which comic book publisher published this "
+        f"superhero?', {_K})}}}} FROM superhero "
+        "WHERE superhero_name = 'Batman'",
+        ("publisher_name",),
+    ),
+    _q(
+        11,
+        "List the superhero names of heroes who have the power of Flight.",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN hero_power hp ON s.id = hp.hero_id "
+        "JOIN superpower sp ON hp.power_id = sp.id "
+        "WHERE sp.power_name = 'Flight'",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.powers LIKE '%Flight%'",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('What are the superpowers of this superhero?', "
+        f"{_K})}}}} LIKE '%Flight%'",
+        ("powers",),
+    ),
+    _q(
+        12,
+        "How many heroes have the Super Strength power?",
+        "SELECT COUNT(*) FROM superhero s "
+        "JOIN hero_power hp ON s.id = hp.hero_id "
+        "JOIN superpower sp ON hp.power_id = sp.id "
+        "WHERE sp.power_name = 'Super Strength'",
+        f"SELECT COUNT(*) FROM superhero s {_J} "
+        "WHERE i.powers LIKE '%Super Strength%'",
+        "SELECT COUNT(*) FROM superhero WHERE "
+        "{{LLMMap('What are the superpowers of this superhero?', "
+        f"{_K})}}}} LIKE '%Super Strength%'",
+        ("powers",),
+    ),
+    _q(
+        13,
+        "What is the superhero name of the tallest hero published by "
+        "Marvel Comics?",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN publisher p ON s.publisher_id = p.id "
+        "WHERE p.publisher_name = 'Marvel Comics' "
+        "ORDER BY s.height_cm DESC, s.superhero_name LIMIT 1",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.publisher_name = 'Marvel Comics' "
+        "ORDER BY s.height_cm DESC, s.superhero_name LIMIT 1",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('Which comic book publisher published this superhero?', "
+        f"{_K})}}}} = 'Marvel Comics' "
+        "ORDER BY height_cm DESC, superhero_name LIMIT 1",
+        ("publisher_name",),
+        ordered=True,
+    ),
+    _q(
+        14,
+        "List the superhero names and weights of the 5 heaviest heroes "
+        "published by DC Comics.",
+        "SELECT s.superhero_name, s.weight_kg FROM superhero s "
+        "JOIN publisher p ON s.publisher_id = p.id "
+        "WHERE p.publisher_name = 'DC Comics' "
+        "ORDER BY s.weight_kg DESC, s.superhero_name LIMIT 5",
+        f"SELECT s.superhero_name, s.weight_kg FROM superhero s {_J} "
+        "WHERE i.publisher_name = 'DC Comics' "
+        "ORDER BY s.weight_kg DESC, s.superhero_name LIMIT 5",
+        "SELECT superhero_name, weight_kg FROM superhero WHERE "
+        "{{LLMMap('Which comic book publisher published this superhero?', "
+        f"{_K})}}}} = 'DC Comics' "
+        "ORDER BY weight_kg DESC, superhero_name LIMIT 5",
+        ("publisher_name",),
+        ordered=True,
+    ),
+    _q(
+        15,
+        "Which publishers have more than 12 heroes in the database?",
+        "SELECT p.publisher_name FROM superhero s "
+        "JOIN publisher p ON s.publisher_id = p.id "
+        "GROUP BY p.publisher_name HAVING COUNT(*) > 12",
+        f"SELECT i.publisher_name FROM superhero s {_J} "
+        "GROUP BY i.publisher_name HAVING COUNT(*) > 12",
+        "SELECT pub FROM (SELECT "
+        "{{LLMMap('Which comic book publisher published this superhero?', "
+        f"{_K})}}}} AS pub FROM superhero) sub "
+        "GROUP BY pub HAVING COUNT(*) > 12",
+        ("publisher_name",),
+    ),
+    _q(
+        16,
+        "What is the eye color of Superman?",
+        "SELECT c.colour FROM superhero s "
+        "JOIN colour c ON s.eye_colour_id = c.id "
+        "WHERE s.superhero_name = 'Superman'",
+        f"SELECT i.eye_color FROM superhero s {_J} "
+        "WHERE s.superhero_name = 'Superman'",
+        "SELECT {{LLMMap('What is the eye color of this superhero?', "
+        f"{_K})}}}} FROM superhero WHERE superhero_name = 'Superman'",
+        ("eye_color",),
+    ),
+    _q(
+        17,
+        "List the superhero names of all Android heroes.",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN race r ON s.race_id = r.id WHERE r.race = 'Android'",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.race = 'Android'",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('What is the race of this superhero?', "
+        f"{_K})}}}} = 'Android'",
+        ("race",),
+    ),
+    _q(
+        18,
+        "List the superhero names of good-aligned Mutant heroes.",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN race r ON s.race_id = r.id "
+        "JOIN alignment a ON s.alignment_id = a.id "
+        "WHERE r.race = 'Mutant' AND a.alignment = 'Good'",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.race = 'Mutant' AND i.moral_alignment = 'Good'",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('What is the race of this superhero?', "
+        f"{_K})}}}} = 'Mutant' AND "
+        "{{LLMMap('What is the moral alignment of this superhero?', "
+        f"{_K})}}}} = 'Good'",
+        ("race", "moral_alignment"),
+    ),
+    _q(
+        19,
+        "How many distinct races are there among Marvel Comics heroes?",
+        "SELECT COUNT(DISTINCT r.race) FROM superhero s "
+        "JOIN race r ON s.race_id = r.id "
+        "JOIN publisher p ON s.publisher_id = p.id "
+        "WHERE p.publisher_name = 'Marvel Comics'",
+        f"SELECT COUNT(DISTINCT i.race) FROM superhero s {_J} "
+        "WHERE i.publisher_name = 'Marvel Comics'",
+        "SELECT COUNT(DISTINCT race) FROM (SELECT "
+        "{{LLMMap('What is the race of this superhero?', "
+        f"{_K})}}}} AS race, "
+        "{{LLMMap('Which comic book publisher published this superhero?', "
+        f"{_K})}}}} AS pub FROM superhero) sub "
+        "WHERE pub = 'Marvel Comics'",
+        ("race", "publisher_name"),
+    ),
+    _q(
+        20,
+        "List red-haired heroes alphabetically by superhero name.",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN colour c ON s.hair_colour_id = c.id "
+        "WHERE c.colour = 'Red' ORDER BY s.superhero_name",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.hair_color = 'Red' ORDER BY s.superhero_name",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('What is the hair color of this superhero?', "
+        f"{_K})}}}} = 'Red' ORDER BY superhero_name",
+        ("hair_color",),
+        ordered=True,
+    ),
+    _q(
+        21,
+        "Which heroes share the same publisher as Hellboy? "
+        "List their superhero names, excluding Hellboy.",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN publisher p ON s.publisher_id = p.id "
+        "WHERE p.publisher_name = (SELECT p2.publisher_name FROM superhero s2 "
+        "JOIN publisher p2 ON s2.publisher_id = p2.id "
+        "WHERE s2.superhero_name = 'Hellboy') "
+        "AND s.superhero_name != 'Hellboy'",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.publisher_name = (SELECT i2.publisher_name "
+        "FROM superhero_info i2 WHERE i2.superhero_name = 'Hellboy') "
+        "AND s.superhero_name != 'Hellboy'",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('Which comic book publisher published this superhero?', "
+        f"{_K})}}}} = "
+        "{{LLMQA('Which comic book publisher published the superhero "
+        "''Hellboy''?')}} AND superhero_name != 'Hellboy'",
+        ("publisher_name",),
+    ),
+    _q(
+        22,
+        "List the superhero names of male villains (Bad alignment) who "
+        "weigh more than 100 kg.",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN gender g ON s.gender_id = g.id "
+        "JOIN alignment a ON s.alignment_id = a.id "
+        "WHERE g.gender = 'Male' AND a.alignment = 'Bad' "
+        "AND s.weight_kg > 100",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.gender = 'Male' AND i.moral_alignment = 'Bad' "
+        "AND s.weight_kg > 100",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('What is the gender of this superhero?', "
+        f"{_K})}}}} = 'Male' AND "
+        "{{LLMMap('What is the moral alignment of this superhero?', "
+        f"{_K})}}}} = 'Bad' AND weight_kg > 100",
+        ("gender", "moral_alignment"),
+    ),
+    _q(
+        23,
+        "List the superhero names of good-aligned heroes with the power "
+        "of Telepathy.",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN hero_power hp ON s.id = hp.hero_id "
+        "JOIN superpower sp ON hp.power_id = sp.id "
+        "JOIN alignment a ON s.alignment_id = a.id "
+        "WHERE sp.power_name = 'Telepathy' AND a.alignment = 'Good'",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.powers LIKE '%Telepathy%' AND i.moral_alignment = 'Good'",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('What are the superpowers of this superhero?', "
+        f"{_K})}}}} LIKE '%Telepathy%' AND "
+        "{{LLMMap('What is the moral alignment of this superhero?', "
+        f"{_K})}}}} = 'Good'",
+        ("powers", "moral_alignment"),
+    ),
+    _q(
+        24,
+        "How many heroes are there for each moral alignment? "
+        "Order by alignment name.",
+        "SELECT a.alignment, COUNT(*) FROM superhero s "
+        "JOIN alignment a ON s.alignment_id = a.id "
+        "GROUP BY a.alignment ORDER BY a.alignment",
+        f"SELECT i.moral_alignment, COUNT(*) FROM superhero s {_J} "
+        "GROUP BY i.moral_alignment ORDER BY i.moral_alignment",
+        "SELECT alignment, COUNT(*) FROM (SELECT "
+        "{{LLMMap('What is the moral alignment of this superhero?', "
+        f"{_K})}}}} AS alignment FROM superhero) sub "
+        "GROUP BY alignment ORDER BY alignment",
+        ("moral_alignment",),
+        ordered=True,
+    ),
+    _q(
+        25,
+        "List the full names of heroes published by Image Comics.",
+        "SELECT s.full_name FROM superhero s "
+        "JOIN publisher p ON s.publisher_id = p.id "
+        "WHERE p.publisher_name = 'Image Comics'",
+        f"SELECT s.full_name FROM superhero s {_J} "
+        "WHERE i.publisher_name = 'Image Comics'",
+        "SELECT full_name FROM superhero WHERE "
+        "{{LLMMap('Which comic book publisher published this superhero?', "
+        f"{_K})}}}} = 'Image Comics'",
+        ("publisher_name",),
+    ),
+    _q(
+        26,
+        "How many heroes have green skin?",
+        "SELECT COUNT(*) FROM superhero s "
+        "JOIN colour c ON s.skin_colour_id = c.id WHERE c.colour = 'Green'",
+        f"SELECT COUNT(*) FROM superhero s {_J} "
+        "WHERE i.skin_color = 'Green'",
+        "SELECT COUNT(*) FROM superhero WHERE "
+        "{{LLMMap('What is the skin color of this superhero?', "
+        f"{_K})}}}} = 'Green'",
+        ("skin_color",),
+    ),
+    _q(
+        27,
+        "What is the average height of heroes for each publisher? "
+        "Order by publisher name.",
+        "SELECT p.publisher_name, AVG(s.height_cm) FROM superhero s "
+        "JOIN publisher p ON s.publisher_id = p.id "
+        "GROUP BY p.publisher_name ORDER BY p.publisher_name",
+        f"SELECT i.publisher_name, AVG(s.height_cm) FROM superhero s {_J} "
+        "GROUP BY i.publisher_name ORDER BY i.publisher_name",
+        "SELECT pub, AVG(height_cm) FROM (SELECT height_cm, "
+        "{{LLMMap('Which comic book publisher published this superhero?', "
+        f"{_K})}}}} AS pub FROM superhero) sub "
+        "GROUP BY pub ORDER BY pub",
+        ("publisher_name",),
+        ordered=True,
+    ),
+    _q(
+        28,
+        "List the superhero names of female heroes who have the power "
+        "of Flight.",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN gender g ON s.gender_id = g.id "
+        "JOIN hero_power hp ON s.id = hp.hero_id "
+        "JOIN superpower sp ON hp.power_id = sp.id "
+        "WHERE g.gender = 'Female' AND sp.power_name = 'Flight'",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.gender = 'Female' AND i.powers LIKE '%Flight%'",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('What is the gender of this superhero?', "
+        f"{_K})}}}} = 'Female' AND "
+        "{{LLMMap('What are the superpowers of this superhero?', "
+        f"{_K})}}}} LIKE '%Flight%'",
+        ("gender", "powers"),
+    ),
+    _q(
+        29,
+        "What is the race of Thor?",
+        "SELECT r.race FROM superhero s "
+        "JOIN race r ON s.race_id = r.id WHERE s.superhero_name = 'Thor'",
+        f"SELECT i.race FROM superhero s {_J} "
+        "WHERE s.superhero_name = 'Thor'",
+        "SELECT {{LLMMap('What is the race of this superhero?', "
+        f"{_K})}}}} FROM superhero WHERE superhero_name = 'Thor'",
+        ("race",),
+    ),
+    _q(
+        30,
+        "List the superhero names of the 3 tallest villains (Bad alignment).",
+        "SELECT s.superhero_name FROM superhero s "
+        "JOIN alignment a ON s.alignment_id = a.id "
+        "WHERE a.alignment = 'Bad' "
+        "ORDER BY s.height_cm DESC, s.superhero_name LIMIT 3",
+        f"SELECT s.superhero_name FROM superhero s {_J} "
+        "WHERE i.moral_alignment = 'Bad' "
+        "ORDER BY s.height_cm DESC, s.superhero_name LIMIT 3",
+        "SELECT superhero_name FROM superhero WHERE "
+        "{{LLMMap('What is the moral alignment of this superhero?', "
+        f"{_K})}}}} = 'Bad' "
+        "ORDER BY height_cm DESC, superhero_name LIMIT 3",
+        ("moral_alignment",),
+        ordered=True,
+    ),
+]
+
+
+# -- phrasing variants (Section 5.5: per-query wording defeats the cache) ----
+
+from repro.swan.questions.variants import (  # noqa: E402
+    attach_value_options,
+    vary_blend_questions,
+)
+
+#: Retained value lists passed as LLMMap options (Section 3.3).
+_VALUE_OPTIONS = {
+    "Which comic book publisher published this superhero?": "publishers",
+    "What is the eye color of this superhero?": "colours",
+    "What is the hair color of this superhero?": "colours",
+    "What is the skin color of this superhero?": "colours",
+    "What is the race of this superhero?": "races",
+    "What is the gender of this superhero?": "genders",
+    "What is the moral alignment of this superhero?": "alignments",
+    "What are the superpowers of this superhero?": "powers",
+}
+
+QUESTIONS = attach_value_options(QUESTIONS, _VALUE_OPTIONS)
+
+
+_QUESTION_VARIANTS = {
+    "Which comic book publisher published this superhero?": [
+        "Which comic book publisher published this superhero?",
+        "What is the publisher of this superhero?",
+        "Name the comics publisher that published this superhero.",
+        "Which publisher released comics featuring this superhero?",
+    ],
+    "What is the eye color of this superhero?": [
+        "What is the eye color of this superhero?",
+        "What color are the eyes of this superhero?",
+        "State the eye colour of this hero.",
+    ],
+    "What is the hair color of this superhero?": [
+        "What is the hair color of this superhero?",
+        "What color is the hair of this superhero?",
+        "State the hair colour of this hero.",
+    ],
+    "What is the skin color of this superhero?": [
+        "What is the skin color of this superhero?",
+        "What color is the skin of this superhero?",
+        "State the skin colour of this hero.",
+    ],
+    "What is the race of this superhero?": [
+        "What is the race of this superhero?",
+        "To which race does this superhero belong?",
+        "State the race of this hero.",
+    ],
+    "What is the gender of this superhero?": [
+        "What is the gender of this superhero?",
+        "State the gender of this hero.",
+    ],
+    "What is the moral alignment of this superhero?": [
+        "What is the moral alignment of this superhero?",
+        "Is the moral alignment of this hero Good, Bad, or Neutral?",
+        "State the moral alignment of this superhero.",
+    ],
+    "What are the superpowers of this superhero?": [
+        "What are the superpowers of this superhero?",
+        "List the superpowers of this hero.",
+        "Which superpowers does this hero possess?",
+    ],
+}
+
+QUESTIONS = vary_blend_questions(QUESTIONS, _QUESTION_VARIANTS)

@@ -1,0 +1,86 @@
+"""Per-question phrasing variants for the hybrid UDF queries.
+
+Section 5.5 of the paper: BlendSQL caches completions by *prompt text*,
+so two hybrid queries that ask for the same attribute with different
+wording ("Is the superhero from the Marvel Universe?" versus "Does the
+hero come from Marvel?") cannot reuse each other's generations.  To
+reproduce that behaviour the 120 SWAN queries must not share one
+canonical phrasing per attribute — each query gets its own wording,
+rotated from a small pool of natural paraphrases.
+
+Every paraphrase preserves the keyword cues the simulated model resolves
+attributes by, which the benchmark's perfect-model consistency test
+verifies end to end.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.swan.base import Question
+
+
+def attach_value_options(
+    questions: list[Question],
+    value_lists: dict[str, str],
+) -> list[Question]:
+    """Add ``options='<value list>'`` to LLMMap calls per attribute.
+
+    SWAN retains the distinct values of dropped categorical columns
+    (Section 3.3) and the hybrid UDF queries pass them to the LLM so it
+    selects rather than free-forms.  ``value_lists`` maps the canonical
+    map-question text to the name of the retained value list; run this
+    *before* phrasing variation so the canonical text still matches.
+    """
+    rewritten: list[Question] = []
+    for question in questions:
+        blend = question.blend_sql
+        for canonical, list_name in value_lists.items():
+            pattern = re.compile(
+                r"(\{\{LLMMap\('" + re.escape(canonical) + r"'[^}]*?)\)\}\}"
+            )
+            blend = pattern.sub(
+                lambda m: f"{m.group(1)}, options='{list_name}')}}}}", blend
+            )
+        if blend != question.blend_sql:
+            question = _with_blend(question, blend)
+        rewritten.append(question)
+    return rewritten
+
+
+def _with_blend(question: Question, blend_sql: str) -> Question:
+    return Question(
+        qid=question.qid,
+        database=question.database,
+        text=question.text,
+        gold_sql=question.gold_sql,
+        hqdl_sql=question.hqdl_sql,
+        blend_sql=blend_sql,
+        expansion_columns=question.expansion_columns,
+        ordered=question.ordered,
+    )
+
+
+def vary_blend_questions(
+    questions: list[Question],
+    variants: dict[str, list[str]],
+) -> list[Question]:
+    """Rewrite each question's blend SQL with a rotated paraphrase.
+
+    ``variants`` maps a canonical map/QA question text to its paraphrase
+    pool (the canonical text itself should be the first entry).  The
+    paraphrase is chosen by the question's position, so each hybrid query
+    gets a stable, distinct wording — and the UDF prompt cache only helps
+    within one query, as in BlendSQL.
+    """
+    varied: list[Question] = []
+    for index, question in enumerate(questions):
+        blend = question.blend_sql
+        for canonical, pool in variants.items():
+            if canonical in blend and pool:
+                replacement = pool[index % len(pool)]
+                blend = blend.replace(canonical, replacement)
+        if blend != question.blend_sql:
+            question = _with_blend(question, blend)
+        varied.append(question)
+    return varied

@@ -1,0 +1,113 @@
+"""Benchmark self-check: the perfect-model consistency property as an API.
+
+For each question, the three hand-written queries must agree exactly when
+the LLM never errs: gold SQL on the original database, HQDL's hybrid SQL
+on the expanded database, and the BlendSQL-dialect query through the UDF
+executor.  The integration test suite asserts this; :func:`validate_swan`
+exposes the same check to users extending the benchmark with their own
+questions or worlds (``python -m repro.harness validate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hqdl import HQDL
+from repro.errors import ReproError
+from repro.llm.chat import MockChatModel
+from repro.llm.oracle import KnowledgeOracle
+from repro.llm.profiles import get_profile
+from repro.sqlengine.results import results_match
+from repro.swan.benchmark import Swan
+from repro.swan.build import build_curated_database, build_original_database
+from repro.udf.executor import HybridQueryExecutor
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One consistency violation."""
+
+    qid: str
+    pipeline: str  # 'hqdl' | 'udf' | 'gold'
+    detail: str
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a full benchmark self-check."""
+
+    questions: int = 0
+    issues: list[ValidationIssue] = field(default_factory=list)
+    empty_gold: list[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        """A one-screen human-readable verdict."""
+        if self.consistent and not self.empty_gold:
+            return (
+                f"OK: all {self.questions} questions consistent under a "
+                "perfect model; no empty gold answers"
+            )
+        lines = [f"{len(self.issues)} issue(s) over {self.questions} questions:"]
+        lines.extend(
+            f"  [{issue.pipeline}] {issue.qid}: {issue.detail}"
+            for issue in self.issues[:20]
+        )
+        if self.empty_gold:
+            lines.append(f"  empty gold answers: {', '.join(self.empty_gold[:10])}")
+        return "\n".join(lines)
+
+
+def validate_swan(swan: Swan) -> ValidationReport:
+    """Check the gold/HQDL/UDF agreement for every question."""
+    report = ValidationReport()
+    profile = get_profile("perfect")
+    for name in swan.database_names():
+        world = swan.world(name)
+        hqdl_model = MockChatModel(KnowledgeOracle(world), profile)
+        udf_model = MockChatModel(KnowledgeOracle(world), profile)
+        pipeline = HQDL(world, hqdl_model, shots=0)
+        with build_original_database(world) as orig, \
+                pipeline.build_expanded_database() as expanded, \
+                build_curated_database(world) as curated:
+            executor = HybridQueryExecutor(curated, udf_model, world)
+            for question in swan.questions_for(name):
+                report.questions += 1
+                try:
+                    expected = orig.query(question.gold_sql)
+                except ReproError as exc:
+                    report.issues.append(
+                        ValidationIssue(question.qid, "gold", str(exc))
+                    )
+                    continue
+                if expected.is_empty():
+                    report.empty_gold.append(question.qid)
+                _check(
+                    report, question, "hqdl", expected,
+                    lambda: pipeline.answer(expanded, question),
+                )
+                _check(
+                    report, question, "udf", expected,
+                    lambda: executor.execute(question.blend_sql),
+                )
+    return report
+
+
+def _check(report, question, pipeline_name, expected, run) -> None:
+    try:
+        actual = run()
+    except ReproError as exc:
+        report.issues.append(ValidationIssue(question.qid, pipeline_name, str(exc)))
+        return
+    if not results_match(expected, actual, ordered=question.ordered):
+        report.issues.append(
+            ValidationIssue(
+                question.qid,
+                pipeline_name,
+                f"result mismatch ({len(expected)} gold rows, "
+                f"{len(actual)} hybrid rows)",
+            )
+        )

@@ -1,0 +1,28 @@
+"""The four SWAN world generators.
+
+Each module exposes ``build_world() -> World`` producing the full ground
+truth deterministically (same output every call): original schema and
+rows, curated schema and rows, expansion specs, value lists, and the
+per-cell truth map the oracle answers from.
+"""
+
+from repro.swan.worlds.california_schools import build_world as build_california_schools
+from repro.swan.worlds.european_football import build_world as build_european_football
+from repro.swan.worlds.formula_one import build_world as build_formula_one
+from repro.swan.worlds.superhero import build_world as build_superhero
+
+#: Registry used by the benchmark loader; keys are SWAN database names.
+WORLD_BUILDERS = {
+    "superhero": build_superhero,
+    "formula_1": build_formula_one,
+    "california_schools": build_california_schools,
+    "european_football": build_european_football,
+}
+
+__all__ = [
+    "WORLD_BUILDERS",
+    "build_superhero",
+    "build_formula_one",
+    "build_california_schools",
+    "build_european_football",
+]

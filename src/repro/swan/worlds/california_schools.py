@@ -1,0 +1,292 @@
+"""The California Schools world.
+
+Three tables, as in Bird: ``schools`` (directory information), ``frpm``
+(free/reduced-price meal statistics) and ``satscores``.  Curation drops
+the locational and descriptive attributes of ``schools`` — city, county,
+website, school type and funding type — leaving the analytical columns
+(enrollment, meal counts, SAT scores) intact.  That mix is why the paper
+observes the *highest* execution accuracy here: many questions rank by a
+retained score and only filter (or merely display) generated values, and
+LIMIT clauses mask errors on non-top entities (Section 5.3).
+
+Expansion: ``school_info`` keyed on the meaningful pair
+(school_name, street_address); the street address is the context from
+which a model can infer the city (the paper's own example), and the
+school name drives the short-form ``.edu``-style website (Section 3.3's
+free-form case).
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine.schema import (
+    ColumnSchema,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+from repro.swan.base import (
+    KIND_FREEFORM,
+    KIND_SELECTION,
+    ExpansionColumn,
+    ExpansionTable,
+    World,
+)
+from repro.swan.curation import CurationPlan, apply_curation
+from repro.swan.worlds.util import det_choice, det_int, det_uniform, slugify
+
+#: (city, county) pairs — real California geography.
+CITIES = [
+    ("Los Angeles", "Los Angeles"),
+    ("Long Beach", "Los Angeles"),
+    ("Glendale", "Los Angeles"),
+    ("Pomona", "Los Angeles"),
+    ("Santa Clarita", "Los Angeles"),
+    ("San Diego", "San Diego"),
+    ("Chula Vista", "San Diego"),
+    ("Oceanside", "San Diego"),
+    ("San Jose", "Santa Clara"),
+    ("Palo Alto", "Santa Clara"),
+    ("San Francisco", "San Francisco"),
+    ("Fresno", "Fresno"),
+    ("Sacramento", "Sacramento"),
+    ("Oakland", "Alameda"),
+    ("Fremont", "Alameda"),
+    ("Berkeley", "Alameda"),
+    ("Bakersfield", "Kern"),
+    ("Anaheim", "Orange"),
+    ("Santa Ana", "Orange"),
+    ("Irvine", "Orange"),
+    ("Huntington Beach", "Orange"),
+    ("Riverside", "Riverside"),
+    ("Moreno Valley", "Riverside"),
+    ("Stockton", "San Joaquin"),
+    ("San Bernardino", "San Bernardino"),
+    ("Fontana", "San Bernardino"),
+    ("Modesto", "Stanislaus"),
+    ("Oxnard", "Ventura"),
+    ("Santa Rosa", "Sonoma"),
+    ("Salinas", "Monterey"),
+]
+
+COUNTIES = sorted({county for _, county in CITIES})
+
+SCHOOL_TYPES = ["Elementary", "Middle", "High", "K-12"]
+
+FUNDING_TYPES = ["Directly funded", "Locally funded", "State funded"]
+
+_NAME_STEMS = [
+    "Lincoln", "Washington", "Jefferson", "Roosevelt", "Kennedy", "Monroe",
+    "Madison", "Franklin", "Edison", "Whitman", "Chavez", "King", "Marshall",
+    "Sierra", "Redwood", "Sequoia", "Pacific", "Bayside", "Hillcrest",
+    "Lakeview", "Riverbend", "Sunset", "Del Mar", "Alta Vista", "El Camino",
+    "Mission", "Valley Oak", "Canyon", "Harbor", "Meadowbrook",
+]
+
+_STREET_NAMES = [
+    "Main Street", "Oak Avenue", "Maple Drive", "Cedar Lane", "Elm Street",
+    "Pine Road", "Willow Way", "Birch Boulevard", "Sycamore Court",
+    "Juniper Avenue", "Magnolia Street", "Palm Drive",
+]
+
+SCHOOL_COUNT = 200
+
+
+def _school_records() -> list[dict]:
+    """Deterministic directory of SCHOOL_COUNT unique schools."""
+    records: list[dict] = []
+    seen: set[tuple[str, str]] = set()
+    index = 0
+    while len(records) < SCHOOL_COUNT:
+        stem = _NAME_STEMS[index % len(_NAME_STEMS)]
+        school_type = SCHOOL_TYPES[(index // len(_NAME_STEMS)) % len(SCHOOL_TYPES)]
+        city, county = CITIES[det_int(0, len(CITIES) - 1, "cs-city", index)]
+        if school_type == "K-12":
+            name = f"{stem} Community Day School"
+        else:
+            name = f"{stem} {school_type} School"
+        # distinguish repeated names by city
+        if any(r["school_name"] == name and r["city"] == city for r in records):
+            index += 1
+            continue
+        number = det_int(100, 9900, "cs-number", index)
+        street = _STREET_NAMES[det_int(0, len(_STREET_NAMES) - 1, "cs-street", index)]
+        address = f"{number} {street}"
+        key = (name, address)
+        if key in seen:
+            index += 1
+            continue
+        seen.add(key)
+        # Most school URLs are predictable (slug + .edu); some are quirky,
+        # mirroring the free-form difficulty the paper describes.
+        quirky = det_uniform("cs-url", index) < 0.2
+        if quirky:
+            website = f"www.{slugify(city)}-{slugify(stem)}.org"
+        else:
+            website = f"www.{slugify(name)}.edu"
+        records.append(
+            {
+                "cds_code": f"CA{index + 1:07d}",
+                "school_name": name,
+                "district": f"{city} Unified School District",
+                "street_address": address,
+                "city": city,
+                "county": county,
+                "website": website,
+                "school_type": school_type,
+                "funding_type": det_choice(FUNDING_TYPES, "cs-fund", index),
+                "charter": 1 if det_uniform("cs-charter", index) < 0.25 else 0,
+                "open_year": det_int(1905, 2015, "cs-open", index),
+            }
+        )
+        index += 1
+    return records
+
+
+def _original_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        name="california_schools",
+        tables=[
+            TableSchema(
+                "schools",
+                [
+                    ColumnSchema("cds_code", "TEXT", nullable=False),
+                    ColumnSchema("school_name", "TEXT", nullable=False),
+                    ColumnSchema("district", "TEXT", nullable=False),
+                    ColumnSchema("street_address", "TEXT", nullable=False),
+                    ColumnSchema("city", "TEXT"),
+                    ColumnSchema("county", "TEXT"),
+                    ColumnSchema("website", "TEXT"),
+                    ColumnSchema("school_type", "TEXT"),
+                    ColumnSchema("funding_type", "TEXT"),
+                    ColumnSchema("charter", "INTEGER"),
+                    ColumnSchema("open_year", "INTEGER"),
+                ],
+                primary_key=("cds_code",),
+            ),
+            TableSchema(
+                "frpm",
+                [
+                    ColumnSchema("cds_code", "TEXT", nullable=False),
+                    ColumnSchema("enrollment", "INTEGER"),
+                    ColumnSchema("free_meal_count", "INTEGER"),
+                    ColumnSchema("frpm_count", "INTEGER"),
+                    ColumnSchema("frpm_rate", "REAL"),
+                ],
+                primary_key=("cds_code",),
+                foreign_keys=[ForeignKey(("cds_code",), "schools", ("cds_code",))],
+            ),
+            TableSchema(
+                "satscores",
+                [
+                    ColumnSchema("cds_code", "TEXT", nullable=False),
+                    ColumnSchema("num_test_takers", "INTEGER"),
+                    ColumnSchema("avg_scr_read", "INTEGER"),
+                    ColumnSchema("avg_scr_math", "INTEGER"),
+                    ColumnSchema("avg_scr_write", "INTEGER"),
+                    ColumnSchema("num_ge_1500", "INTEGER"),
+                ],
+                primary_key=("cds_code",),
+                foreign_keys=[ForeignKey(("cds_code",), "schools", ("cds_code",))],
+            ),
+        ],
+    )
+
+
+CURATION_PLAN = CurationPlan(
+    drop_columns={
+        "schools": ("city", "county", "website", "school_type", "funding_type"),
+    },
+)
+
+EXPANSION = ExpansionTable(
+    name="school_info",
+    source_table="schools",
+    key_columns=("school_name", "street_address"),
+    columns=(
+        ExpansionColumn("city", KIND_FREEFORM, ("city",), None,
+                        "City inferred from the street address"),
+        ExpansionColumn("county", KIND_SELECTION, ("county",), "counties",
+                        "California county of the school"),
+        ExpansionColumn("website", KIND_FREEFORM, ("website", "url"), None,
+                        "Short-form school website"),
+        ExpansionColumn("school_type", KIND_SELECTION,
+                        ("type of school", "school type", "elementary", "middle",
+                         "high school", "grade level"),
+                        "school_types", "Type of school (grade level served)"),
+        ExpansionColumn("funding_type", KIND_SELECTION,
+                        ("funding", "funded"), "funding_types",
+                        "Charter funding category"),
+    ),
+)
+
+
+def build_world() -> World:
+    """Construct the California Schools world deterministically."""
+    records = _school_records()
+
+    schools_rows: list[tuple] = []
+    frpm_rows: list[tuple] = []
+    sat_rows: list[tuple] = []
+    truth_map: dict[tuple, dict[str, object]] = {}
+    for record in records:
+        schools_rows.append(
+            (
+                record["cds_code"], record["school_name"], record["district"],
+                record["street_address"], record["city"], record["county"],
+                record["website"], record["school_type"],
+                record["funding_type"], record["charter"], record["open_year"],
+            )
+        )
+        enrollment = det_int(120, 3200, "cs-enroll", record["cds_code"])
+        free_meals = int(enrollment * det_uniform("cs-free", record["cds_code"]) * 0.8)
+        frpm_count = min(
+            enrollment,
+            free_meals + det_int(0, enrollment // 5, "cs-frpm", record["cds_code"]),
+        )
+        frpm_rows.append(
+            (
+                record["cds_code"], enrollment, free_meals, frpm_count,
+                round(frpm_count / enrollment, 4),
+            )
+        )
+        takers = max(10, enrollment // 4)
+        read = det_int(380, 640, "cs-read", record["cds_code"])
+        math = det_int(380, 660, "cs-math", record["cds_code"])
+        write = det_int(370, 630, "cs-write", record["cds_code"])
+        ge_1500 = int(takers * max(0.0, (read + math + write - 1200) / 900))
+        sat_rows.append(
+            (record["cds_code"], takers, read, math, write, ge_1500)
+        )
+        truth_map[(record["school_name"], record["street_address"])] = {
+            "city": record["city"],
+            "county": record["county"],
+            "website": record["website"],
+            "school_type": record["school_type"],
+            "funding_type": record["funding_type"],
+        }
+
+    original_rows = {
+        "schools": schools_rows,
+        "frpm": frpm_rows,
+        "satscores": sat_rows,
+    }
+    schema = _original_schema()
+    curated = apply_curation(schema, original_rows, CURATION_PLAN)
+
+    return World(
+        name="california_schools",
+        title="California Schools",
+        original_schema=schema,
+        curated_schema=curated.schema,
+        original_rows=original_rows,
+        curated_rows=curated.rows,
+        expansions=[EXPANSION],
+        truth={"school_info": truth_map},
+        value_lists={
+            "counties": list(COUNTIES),
+            "school_types": list(SCHOOL_TYPES),
+            "funding_types": list(FUNDING_TYPES),
+            "cities": sorted({city for city, _ in CITIES}),
+        },
+        dropped_columns=curated.dropped_columns,
+    )

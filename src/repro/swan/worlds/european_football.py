@@ -1,0 +1,408 @@
+"""The European Football world.
+
+Mirrors the Bird european_football_2 database: countries, leagues, teams,
+players, matches, and the player/team attribute tables.  The paper's
+running cost example lives here ("What is the height of the tallest
+player?" followed by "players taller than 180cm" — Section 5.5).
+
+Curation drops the player's physique and birthday and the team's short
+name.  The expansion columns are mostly *numeric free-form* values
+(height, weight, birth year), which exact-match evaluation punishes hard;
+this is why European Football shows the lowest execution accuracy in the
+paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine.schema import (
+    ColumnSchema,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+from repro.swan.base import (
+    KIND_FREEFORM,
+    KIND_NUMERIC,
+    ExpansionColumn,
+    ExpansionTable,
+    World,
+)
+from repro.swan.curation import CurationPlan, apply_curation
+from repro.swan.worlds.util import det_int, det_uniform
+
+#: (country, league)
+LEAGUES = [
+    ("England", "England Premier League"),
+    ("Spain", "Spain LIGA BBVA"),
+    ("Italy", "Italy Serie A"),
+    ("Germany", "Germany 1. Bundesliga"),
+    ("France", "France Ligue 1"),
+    ("Netherlands", "Netherlands Eredivisie"),
+    ("Portugal", "Portugal Liga ZON Sagres"),
+    ("Scotland", "Scotland Premier League"),
+]
+
+#: (team_long_name, team_short_name, country) — four teams per league.
+TEAMS = [
+    ("Manchester United", "MUN", "England"),
+    ("Liverpool", "LIV", "England"),
+    ("Chelsea", "CHE", "England"),
+    ("Arsenal", "ARS", "England"),
+    ("FC Barcelona", "BAR", "Spain"),
+    ("Real Madrid CF", "REA", "Spain"),
+    ("Atletico Madrid", "AMA", "Spain"),
+    ("Valencia CF", "VAL", "Spain"),
+    ("Juventus", "JUV", "Italy"),
+    ("AC Milan", "ACM", "Italy"),
+    ("Inter Milan", "INT", "Italy"),
+    ("AS Roma", "ROM", "Italy"),
+    ("FC Bayern Munich", "BMU", "Germany"),
+    ("Borussia Dortmund", "DOR", "Germany"),
+    ("Bayer 04 Leverkusen", "LEV", "Germany"),
+    ("FC Schalke 04", "S04", "Germany"),
+    ("Paris Saint-Germain", "PSG", "France"),
+    ("Olympique Lyonnais", "LYO", "France"),
+    ("AS Monaco", "MON", "France"),
+    ("Olympique de Marseille", "MAR", "France"),
+    ("Ajax", "AJA", "Netherlands"),
+    ("PSV", "PSV", "Netherlands"),
+    ("Feyenoord", "FEY", "Netherlands"),
+    ("AZ Alkmaar", "AZA", "Netherlands"),
+    ("FC Porto", "POR", "Portugal"),
+    ("SL Benfica", "BEN", "Portugal"),
+    ("Sporting CP", "SCP", "Portugal"),
+    ("SC Braga", "BRA", "Portugal"),
+    ("Celtic", "CEL", "Scotland"),
+    ("Rangers", "RAN", "Scotland"),
+    ("Aberdeen", "ABE", "Scotland"),
+    ("Heart of Midlothian", "HEA", "Scotland"),
+]
+
+#: (player_name, height_cm, weight_kg, birth_year) — well-known seed players.
+SEED_PLAYERS = [
+    ("Lionel Messi", 170, 72, 1987),
+    ("Cristiano Ronaldo", 187, 84, 1985),
+    ("Neymar", 175, 68, 1992),
+    ("Kylian Mbappe", 178, 73, 1998),
+    ("Erling Haaland", 195, 88, 2000),
+    ("Kevin De Bruyne", 181, 70, 1991),
+    ("Luka Modric", 172, 66, 1985),
+    ("Toni Kroos", 183, 76, 1990),
+    ("Sergio Ramos", 184, 82, 1986),
+    ("Gerard Pique", 194, 85, 1987),
+    ("Andres Iniesta", 171, 68, 1984),
+    ("Xavi Hernandez", 170, 68, 1980),
+    ("Zlatan Ibrahimovic", 195, 95, 1981),
+    ("Robert Lewandowski", 185, 81, 1988),
+    ("Manuel Neuer", 193, 93, 1986),
+    ("Thomas Muller", 185, 75, 1989),
+    ("Mohamed Salah", 175, 71, 1992),
+    ("Sadio Mane", 174, 69, 1992),
+    ("Virgil van Dijk", 193, 92, 1991),
+    ("Harry Kane", 188, 86, 1993),
+    ("Wayne Rooney", 176, 83, 1985),
+    ("Steven Gerrard", 183, 83, 1980),
+    ("Frank Lampard", 184, 88, 1978),
+    ("Didier Drogba", 188, 91, 1978),
+    ("Eden Hazard", 175, 74, 1991),
+    ("Antoine Griezmann", 176, 73, 1991),
+    ("Paul Pogba", 191, 84, 1993),
+    ("N'Golo Kante", 168, 70, 1991),
+    ("Gianluigi Buffon", 192, 92, 1978),
+    ("Giorgio Chiellini", 187, 85, 1984),
+    ("Paulo Dybala", 177, 75, 1993),
+    ("Karim Benzema", 185, 81, 1987),
+    ("Gareth Bale", 185, 82, 1989),
+    ("Petr Cech", 196, 90, 1982),
+    ("Arjen Robben", 180, 80, 1984),
+    ("Franck Ribery", 170, 72, 1983),
+    ("Angel Di Maria", 180, 75, 1988),
+    ("Edinson Cavani", 184, 77, 1987),
+    ("Ruud van Nistelrooy", 188, 80, 1976),
+    ("Wesley Sneijder", 170, 67, 1984),
+]
+
+_GIVEN = [
+    "Aleks", "Bruno", "Carlos", "Dario", "Emil", "Felipe", "Goran", "Hugo",
+    "Ivan", "Jonas", "Kacper", "Luca", "Marco", "Nikola", "Oscar", "Pavel",
+    "Rafael", "Sergei", "Tomas", "Viktor",
+]
+_FAMILY = [
+    "Almeida", "Bianchi", "Costa", "Dubois", "Eriksen", "Fernandez",
+    "Gruber", "Horvat", "Ivanov", "Jansen", "Kovacs", "Lombardi", "Moreau",
+    "Novak", "Oliveira", "Petrov", "Rossi", "Silva", "Torres", "Vogel",
+    "Weber", "Zielinski", "Andersen", "Bakker", "Castro", "Dimitrov",
+]
+
+SYNTHETIC_PLAYER_COUNT = 220
+
+SEASONS = ("2014/2015", "2015/2016", "2016/2017")
+
+#: Snapshot dates for the attribute tables, one per season.
+ATTRIBUTE_DATES = ("2015-02-01", "2016-02-01", "2017-02-01")
+
+
+def _synthetic_players() -> list[tuple]:
+    players = []
+    seen = {name for name, _, _, _ in SEED_PLAYERS}
+    index = 0
+    while len(players) < SYNTHETIC_PLAYER_COUNT:
+        given = _GIVEN[index % len(_GIVEN)]
+        family = _FAMILY[(index * 3 + index // len(_GIVEN)) % len(_FAMILY)]
+        name = f"{given} {family}"
+        index += 1
+        if name in seen:
+            continue
+        seen.add(name)
+        height = det_int(165, 200, "ef-height", name)
+        weight = det_int(60, 95, "ef-weight", name)
+        birth_year = det_int(1975, 2000, "ef-birth", name)
+        players.append((name, height, weight, birth_year))
+    return players
+
+
+def _original_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        name="european_football",
+        tables=[
+            TableSchema(
+                "country",
+                [ColumnSchema("id", "INTEGER", nullable=False),
+                 ColumnSchema("country_name", "TEXT", nullable=False)],
+                primary_key=("id",),
+            ),
+            TableSchema(
+                "league",
+                [ColumnSchema("id", "INTEGER", nullable=False),
+                 ColumnSchema("country_id", "INTEGER", nullable=False),
+                 ColumnSchema("league_name", "TEXT", nullable=False)],
+                primary_key=("id",),
+                foreign_keys=[ForeignKey(("country_id",), "country", ("id",))],
+            ),
+            TableSchema(
+                "team",
+                [ColumnSchema("id", "INTEGER", nullable=False),
+                 ColumnSchema("team_long_name", "TEXT", nullable=False),
+                 ColumnSchema("team_short_name", "TEXT"),
+                 ColumnSchema("country_id", "INTEGER", nullable=False)],
+                primary_key=("id",),
+                foreign_keys=[ForeignKey(("country_id",), "country", ("id",))],
+            ),
+            TableSchema(
+                "player",
+                [ColumnSchema("id", "INTEGER", nullable=False),
+                 ColumnSchema("player_name", "TEXT", nullable=False),
+                 ColumnSchema("height_cm", "INTEGER"),
+                 ColumnSchema("weight_kg", "INTEGER"),
+                 ColumnSchema("birth_year", "INTEGER")],
+                primary_key=("id",),
+            ),
+            TableSchema(
+                "match",
+                [
+                    ColumnSchema("id", "INTEGER", nullable=False),
+                    ColumnSchema("league_id", "INTEGER", nullable=False),
+                    ColumnSchema("season", "TEXT", nullable=False),
+                    ColumnSchema("stage", "INTEGER", nullable=False),
+                    ColumnSchema("match_date", "TEXT", nullable=False),
+                    ColumnSchema("home_team_id", "INTEGER", nullable=False),
+                    ColumnSchema("away_team_id", "INTEGER", nullable=False),
+                    ColumnSchema("home_team_goal", "INTEGER", nullable=False),
+                    ColumnSchema("away_team_goal", "INTEGER", nullable=False),
+                ],
+                primary_key=("id",),
+                foreign_keys=[
+                    ForeignKey(("league_id",), "league", ("id",)),
+                    ForeignKey(("home_team_id",), "team", ("id",)),
+                    ForeignKey(("away_team_id",), "team", ("id",)),
+                ],
+            ),
+            TableSchema(
+                "player_attributes",
+                [
+                    ColumnSchema("id", "INTEGER", nullable=False),
+                    ColumnSchema("player_id", "INTEGER", nullable=False),
+                    ColumnSchema("snapshot_date", "TEXT", nullable=False),
+                    ColumnSchema("overall_rating", "INTEGER"),
+                    ColumnSchema("potential", "INTEGER"),
+                    ColumnSchema("preferred_foot", "TEXT"),
+                    ColumnSchema("stamina", "INTEGER"),
+                    ColumnSchema("sprint_speed", "INTEGER"),
+                ],
+                primary_key=("id",),
+                foreign_keys=[ForeignKey(("player_id",), "player", ("id",))],
+            ),
+            TableSchema(
+                "team_attributes",
+                [
+                    ColumnSchema("id", "INTEGER", nullable=False),
+                    ColumnSchema("team_id", "INTEGER", nullable=False),
+                    ColumnSchema("buildup_play_speed", "INTEGER"),
+                    ColumnSchema("defence_pressure", "INTEGER"),
+                    ColumnSchema("chance_creation_passing", "INTEGER"),
+                ],
+                primary_key=("id",),
+                foreign_keys=[ForeignKey(("team_id",), "team", ("id",))],
+            ),
+        ],
+    )
+
+
+CURATION_PLAN = CurationPlan(
+    drop_columns={
+        "player": ("height_cm", "weight_kg", "birth_year"),
+        "team": ("team_short_name",),
+    },
+)
+
+PLAYER_EXPANSION = ExpansionTable(
+    name="player_info",
+    source_table="player",
+    key_columns=("player_name",),
+    columns=(
+        ExpansionColumn("height_cm", KIND_NUMERIC,
+                        ("height", "tall"), None,
+                        "Height of the player in centimeters"),
+        ExpansionColumn("weight_kg", KIND_NUMERIC,
+                        ("weight", "heav"), None,
+                        "Weight of the player in kilograms"),
+        ExpansionColumn("birth_year", KIND_NUMERIC,
+                        ("born", "birth", "young", "old"), None,
+                        "Year the player was born"),
+    ),
+)
+
+TEAM_EXPANSION = ExpansionTable(
+    name="team_info",
+    source_table="team",
+    key_columns=("team_long_name",),
+    columns=(
+        ExpansionColumn("team_short_name", KIND_FREEFORM,
+                        ("short name", "abbreviation"), None,
+                        "Three-letter short name of the team"),
+    ),
+)
+
+
+def build_world() -> World:
+    """Construct the European Football world deterministically."""
+    countries = [country for country, _ in LEAGUES]
+    country_rows = [(i + 1, name) for i, name in enumerate(countries)]
+    country_ids = {name: i for i, name in country_rows}
+    league_rows = [
+        (i + 1, country_ids[country], league)
+        for i, (country, league) in enumerate(LEAGUES)
+    ]
+    league_of_country = {row[1]: row[0] for row in league_rows}
+
+    team_rows = [
+        (i + 1, long_name, short_name, country_ids[country])
+        for i, (long_name, short_name, country) in enumerate(TEAMS)
+    ]
+    teams_by_country: dict[int, list[int]] = {}
+    for team_id, _, _, country_id in team_rows:
+        teams_by_country.setdefault(country_id, []).append(team_id)
+
+    players = list(SEED_PLAYERS) + _synthetic_players()
+    player_rows = [
+        (i + 1, name, height, weight, birth_year)
+        for i, (name, height, weight, birth_year) in enumerate(players)
+    ]
+
+    match_rows: list[tuple] = []
+    match_id = 0
+    for season_index, season in enumerate(SEASONS):
+        year = 2014 + season_index
+        for country_id, team_ids in sorted(teams_by_country.items()):
+            league_id = league_of_country[country_id]
+            stage = 0
+            # double round robin among the four league teams
+            for home in team_ids:
+                for away in team_ids:
+                    if home == away:
+                        continue
+                    stage += 1
+                    match_id += 1
+                    home_goal = det_int(0, 4, "ef-hg", season, home, away)
+                    away_goal = det_int(0, 3, "ef-ag", season, home, away)
+                    month = (stage - 1) % 9 + 8
+                    match_year = year if month >= 8 else year + 1
+                    match_rows.append(
+                        (match_id, league_id, season, stage,
+                         f"{match_year}-{month % 12 + 1:02d}-{(stage * 3) % 27 + 1:02d}",
+                         home, away, home_goal, away_goal)
+                    )
+
+    player_attribute_rows: list[tuple] = []
+    attr_id = 0
+    for player_id, name, height, weight, birth_year in player_rows:
+        base_rating = det_int(55, 94, "ef-rating", name)
+        for snapshot_index, snapshot_date in enumerate(ATTRIBUTE_DATES):
+            attr_id += 1
+            drift = det_int(-3, 3, "ef-drift", name, snapshot_index)
+            rating = max(40, min(99, base_rating + drift))
+            player_attribute_rows.append(
+                (
+                    attr_id, player_id, snapshot_date, rating,
+                    min(99, rating + det_int(0, 6, "ef-pot", name, snapshot_index)),
+                    "left" if det_uniform("ef-foot", name) < 0.25 else "right",
+                    det_int(40, 95, "ef-stam", name, snapshot_index),
+                    det_int(40, 97, "ef-speed", name, snapshot_index),
+                )
+            )
+
+    team_attribute_rows = [
+        (
+            i + 1, team_id,
+            det_int(30, 80, "ef-build", team_id),
+            det_int(30, 75, "ef-press", team_id),
+            det_int(30, 80, "ef-pass", team_id),
+        )
+        for i, (team_id, _, _, _) in enumerate(team_rows)
+    ]
+
+    original_rows = {
+        "country": country_rows,
+        "league": league_rows,
+        "team": team_rows,
+        "player": player_rows,
+        "match": match_rows,
+        "player_attributes": player_attribute_rows,
+        "team_attributes": team_attribute_rows,
+    }
+
+    schema = _original_schema()
+    curated = apply_curation(schema, original_rows, CURATION_PLAN)
+
+    player_truth = {
+        (name,): {"height_cm": height, "weight_kg": weight, "birth_year": birth_year}
+        for name, height, weight, birth_year in players
+    }
+    team_truth = {
+        (long_name,): {"team_short_name": short_name}
+        for long_name, short_name, _ in TEAMS
+    }
+
+    # Star players are far better known than journeymen; clubs are famous.
+    seed_names = {name for name, _, _, _ in SEED_PLAYERS}
+    popularity = {
+        "player_info": {
+            (name,): (1.9 if name in seed_names else 0.45)
+            for name, _, _, _ in players
+        },
+        "team_info": {(long_name,): 1.5 for long_name, _, _ in TEAMS},
+    }
+
+    return World(
+        name="european_football",
+        title="European Football",
+        original_schema=schema,
+        curated_schema=curated.schema,
+        original_rows=original_rows,
+        curated_rows=curated.rows,
+        expansions=[PLAYER_EXPANSION, TEAM_EXPANSION],
+        truth={"player_info": player_truth, "team_info": team_truth},
+        value_lists={"countries": list(countries)},
+        dropped_columns=curated.dropped_columns,
+        popularity=popularity,
+    )

@@ -1,0 +1,544 @@
+"""The Formula One world.
+
+Mirrors the Bird formula_1 database: circuits, races, drivers,
+constructors, per-race results, qualifying, cumulative standings, and pit
+stops.  It is the *largest* SWAN database (paper Table 1), dominated by
+the per-race fact tables.
+
+Curation drops the descriptive attributes the community knows by heart
+but the database now lacks: the driver's three-letter code, nationality
+and birth year; the circuit's country and host city; the constructor's
+nationality.  Three expansion tables cover them — SWAN's only world with
+more than one LLM table, which exercises HQDL's multi-table generation.
+The paper's own few-shot example ("What is the driver code, key: Lewis
+Hamilton, answer: HAM") lives here.
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine.schema import (
+    ColumnSchema,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+from repro.swan.base import (
+    KIND_FREEFORM,
+    KIND_NUMERIC,
+    KIND_SELECTION,
+    ExpansionColumn,
+    ExpansionTable,
+    World,
+)
+from repro.swan.curation import CurationPlan, apply_curation
+from repro.swan.worlds.util import det_int, det_shuffle, det_uniform, slugify
+
+#: (forename, surname, code, nationality, birth_year)
+DRIVERS = [
+    ("Lewis", "Hamilton", "HAM", "British", 1985),
+    ("Max", "Verstappen", "VER", "Dutch", 1997),
+    ("Charles", "Leclerc", "LEC", "Monegasque", 1997),
+    ("Fernando", "Alonso", "ALO", "Spanish", 1981),
+    ("Sebastian", "Vettel", "VET", "German", 1987),
+    ("Kimi", "Raikkonen", "RAI", "Finnish", 1979),
+    ("Valtteri", "Bottas", "BOT", "Finnish", 1989),
+    ("Sergio", "Perez", "PER", "Mexican", 1990),
+    ("Carlos", "Sainz", "SAI", "Spanish", 1994),
+    ("Lando", "Norris", "NOR", "British", 1999),
+    ("George", "Russell", "RUS", "British", 1998),
+    ("Daniel", "Ricciardo", "RIC", "Australian", 1989),
+    ("Esteban", "Ocon", "OCO", "French", 1996),
+    ("Pierre", "Gasly", "GAS", "French", 1996),
+    ("Lance", "Stroll", "STR", "Canadian", 1998),
+    ("Oscar", "Piastri", "PIA", "Australian", 2001),
+    ("Alexander", "Albon", "ALB", "Thai", 1996),
+    ("Yuki", "Tsunoda", "TSU", "Japanese", 2000),
+    ("Kevin", "Magnussen", "MAG", "Danish", 1992),
+    ("Nico", "Hulkenberg", "HUL", "German", 1987),
+    ("Guanyu", "Zhou", "ZHO", "Chinese", 1999),
+    ("Logan", "Sargeant", "SAR", "American", 2000),
+    ("Nyck", "de Vries", "DEV", "Dutch", 1995),
+    ("Mick", "Schumacher", "MSC", "German", 1999),
+    ("Nicholas", "Latifi", "LAT", "Canadian", 1995),
+    ("Antonio", "Giovinazzi", "GIO", "Italian", 1993),
+    ("Romain", "Grosjean", "GRO", "French", 1986),
+    ("Daniil", "Kvyat", "KVY", "Russian", 1994),
+    ("Felipe", "Massa", "MAS", "Brazilian", 1981),
+    ("Jenson", "Button", "BUT", "British", 1980),
+    ("Pastor", "Maldonado", "MAL", "Venezuelan", 1985),
+    ("Marcus", "Ericsson", "ERI", "Swedish", 1990),
+    ("Jolyon", "Palmer", "PAL", "British", 1991),
+    ("Stoffel", "Vandoorne", "VAN", "Belgian", 1992),
+    ("Brendon", "Hartley", "HAR", "New Zealander", 1989),
+    ("Sergey", "Sirotkin", "SIR", "Russian", 1995),
+    ("Robert", "Kubica", "KUB", "Polish", 1984),
+    ("Pedro", "de la Rosa", "DLR", "Spanish", 1971),
+    ("Kamui", "Kobayashi", "KOB", "Japanese", 1986),
+    ("Paul", "di Resta", "DIR", "Scottish", 1986),
+]
+
+NATIONALITIES = sorted({d[3] for d in DRIVERS})
+
+#: (constructor_name, nationality)
+CONSTRUCTORS = [
+    ("Ferrari", "Italian"),
+    ("Mercedes", "German"),
+    ("Red Bull Racing", "Austrian"),
+    ("McLaren", "British"),
+    ("Williams", "British"),
+    ("Alpine", "French"),
+    ("Aston Martin", "British"),
+    ("Haas", "American"),
+    ("AlphaTauri", "Italian"),
+    ("Alfa Romeo", "Swiss"),
+    ("Renault", "French"),
+    ("Racing Point", "British"),
+]
+
+CONSTRUCTOR_NATIONALITIES = sorted({c[1] for c in CONSTRUCTORS})
+
+#: (circuit_name, country, location_city)
+CIRCUITS = [
+    ("Silverstone Circuit", "UK", "Silverstone"),
+    ("Autodromo Nazionale Monza", "Italy", "Monza"),
+    ("Circuit de Spa-Francorchamps", "Belgium", "Spa"),
+    ("Circuit de Monaco", "Monaco", "Monte Carlo"),
+    ("Suzuka Circuit", "Japan", "Suzuka"),
+    ("Autodromo Jose Carlos Pace", "Brazil", "Sao Paulo"),
+    ("Circuit of the Americas", "USA", "Austin"),
+    ("Bahrain International Circuit", "Bahrain", "Sakhir"),
+    ("Jeddah Corniche Circuit", "Saudi Arabia", "Jeddah"),
+    ("Albert Park Grand Prix Circuit", "Australia", "Melbourne"),
+    ("Circuit de Barcelona-Catalunya", "Spain", "Montmelo"),
+    ("Red Bull Ring", "Austria", "Spielberg"),
+    ("Hungaroring", "Hungary", "Budapest"),
+    ("Circuit Park Zandvoort", "Netherlands", "Zandvoort"),
+    ("Baku City Circuit", "Azerbaijan", "Baku"),
+    ("Marina Bay Street Circuit", "Singapore", "Marina Bay"),
+    ("Autodromo Hermanos Rodriguez", "Mexico", "Mexico City"),
+    ("Las Vegas Strip Circuit", "USA", "Las Vegas"),
+    ("Yas Marina Circuit", "UAE", "Abu Dhabi"),
+    ("Autodromo Enzo e Dino Ferrari", "Italy", "Imola"),
+    ("Circuit Gilles Villeneuve", "Canada", "Montreal"),
+    ("Circuit Paul Ricard", "France", "Le Castellet"),
+]
+
+COUNTRIES = sorted({c[1] for c in CIRCUITS})
+
+SEASONS = (2022, 2023)
+RACES_PER_SEASON = 20
+DRIVERS_PER_RACE = 20
+
+#: FIA points for finishing positions 1..10.
+POINTS = (25, 18, 15, 12, 10, 8, 6, 4, 2, 1)
+
+#: Result status values (Bird's status table, abridged).
+STATUSES = (
+    "Finished",
+    "+1 Lap",
+    "+2 Laps",
+    "Collision",
+    "Engine",
+    "Gearbox",
+    "Hydraulics",
+    "Retired",
+)
+
+#: How many laps of each (race, driver) get a lap_times row; Bird stores
+#: every lap, we sample a fixed number to keep the world tractable while
+#: preserving the table's fact-table character.
+SAMPLED_LAPS = 5
+
+
+def _original_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        name="formula_1",
+        tables=[
+            TableSchema(
+                "circuits",
+                [
+                    ColumnSchema("circuit_id", "INTEGER", nullable=False),
+                    ColumnSchema("circuit_ref", "TEXT", nullable=False),
+                    ColumnSchema("circuit_name", "TEXT", nullable=False),
+                    ColumnSchema("location", "TEXT"),
+                    ColumnSchema("country", "TEXT"),
+                ],
+                primary_key=("circuit_id",),
+            ),
+            TableSchema(
+                "races",
+                [
+                    ColumnSchema("race_id", "INTEGER", nullable=False),
+                    ColumnSchema("year", "INTEGER", nullable=False),
+                    ColumnSchema("round", "INTEGER", nullable=False),
+                    ColumnSchema("circuit_id", "INTEGER", nullable=False),
+                    ColumnSchema("race_name", "TEXT", nullable=False),
+                    ColumnSchema("race_date", "TEXT", nullable=False),
+                ],
+                primary_key=("race_id",),
+                foreign_keys=[ForeignKey(("circuit_id",), "circuits", ("circuit_id",))],
+            ),
+            TableSchema(
+                "drivers",
+                [
+                    ColumnSchema("driver_id", "INTEGER", nullable=False),
+                    ColumnSchema("driver_ref", "TEXT", nullable=False),
+                    ColumnSchema("code", "TEXT"),
+                    ColumnSchema("forename", "TEXT", nullable=False),
+                    ColumnSchema("surname", "TEXT", nullable=False),
+                    ColumnSchema("birth_year", "INTEGER"),
+                    ColumnSchema("nationality", "TEXT"),
+                ],
+                primary_key=("driver_id",),
+            ),
+            TableSchema(
+                "constructors",
+                [
+                    ColumnSchema("constructor_id", "INTEGER", nullable=False),
+                    ColumnSchema("constructor_ref", "TEXT", nullable=False),
+                    ColumnSchema("constructor_name", "TEXT", nullable=False),
+                    ColumnSchema("nationality", "TEXT"),
+                ],
+                primary_key=("constructor_id",),
+            ),
+            TableSchema(
+                "results",
+                [
+                    ColumnSchema("result_id", "INTEGER", nullable=False),
+                    ColumnSchema("race_id", "INTEGER", nullable=False),
+                    ColumnSchema("driver_id", "INTEGER", nullable=False),
+                    ColumnSchema("constructor_id", "INTEGER", nullable=False),
+                    ColumnSchema("grid", "INTEGER"),
+                    ColumnSchema("position", "INTEGER"),
+                    ColumnSchema("points", "REAL"),
+                    ColumnSchema("laps", "INTEGER"),
+                    ColumnSchema("status_id", "INTEGER"),
+                ],
+                primary_key=("result_id",),
+                foreign_keys=[
+                    ForeignKey(("race_id",), "races", ("race_id",)),
+                    ForeignKey(("driver_id",), "drivers", ("driver_id",)),
+                    ForeignKey(("constructor_id",), "constructors", ("constructor_id",)),
+                    ForeignKey(("status_id",), "status", ("status_id",)),
+                ],
+            ),
+            TableSchema(
+                "status",
+                [ColumnSchema("status_id", "INTEGER", nullable=False),
+                 ColumnSchema("status", "TEXT", nullable=False)],
+                primary_key=("status_id",),
+            ),
+            TableSchema(
+                "lap_times",
+                [
+                    ColumnSchema("race_id", "INTEGER", nullable=False),
+                    ColumnSchema("driver_id", "INTEGER", nullable=False),
+                    ColumnSchema("lap", "INTEGER", nullable=False),
+                    ColumnSchema("position", "INTEGER"),
+                    ColumnSchema("time_ms", "INTEGER"),
+                ],
+                primary_key=("race_id", "driver_id", "lap"),
+                foreign_keys=[
+                    ForeignKey(("race_id",), "races", ("race_id",)),
+                    ForeignKey(("driver_id",), "drivers", ("driver_id",)),
+                ],
+            ),
+            TableSchema(
+                "qualifying",
+                [
+                    ColumnSchema("qualify_id", "INTEGER", nullable=False),
+                    ColumnSchema("race_id", "INTEGER", nullable=False),
+                    ColumnSchema("driver_id", "INTEGER", nullable=False),
+                    ColumnSchema("position", "INTEGER"),
+                ],
+                primary_key=("qualify_id",),
+                foreign_keys=[
+                    ForeignKey(("race_id",), "races", ("race_id",)),
+                    ForeignKey(("driver_id",), "drivers", ("driver_id",)),
+                ],
+            ),
+            TableSchema(
+                "driver_standings",
+                [
+                    ColumnSchema("race_id", "INTEGER", nullable=False),
+                    ColumnSchema("driver_id", "INTEGER", nullable=False),
+                    ColumnSchema("points", "REAL"),
+                    ColumnSchema("position", "INTEGER"),
+                    ColumnSchema("wins", "INTEGER"),
+                ],
+                primary_key=("race_id", "driver_id"),
+            ),
+            TableSchema(
+                "constructor_standings",
+                [
+                    ColumnSchema("race_id", "INTEGER", nullable=False),
+                    ColumnSchema("constructor_id", "INTEGER", nullable=False),
+                    ColumnSchema("points", "REAL"),
+                    ColumnSchema("position", "INTEGER"),
+                    ColumnSchema("wins", "INTEGER"),
+                ],
+                primary_key=("race_id", "constructor_id"),
+            ),
+            TableSchema(
+                "pit_stops",
+                [
+                    ColumnSchema("race_id", "INTEGER", nullable=False),
+                    ColumnSchema("driver_id", "INTEGER", nullable=False),
+                    ColumnSchema("stop", "INTEGER", nullable=False),
+                    ColumnSchema("lap", "INTEGER"),
+                    ColumnSchema("duration_ms", "INTEGER"),
+                ],
+                primary_key=("race_id", "driver_id", "stop"),
+            ),
+        ],
+    )
+
+
+CURATION_PLAN = CurationPlan(
+    drop_columns={
+        "drivers": ("code", "nationality", "birth_year"),
+        "circuits": ("location", "country"),
+        "constructors": ("nationality",),
+    },
+)
+
+DRIVER_EXPANSION = ExpansionTable(
+    name="driver_info",
+    source_table="drivers",
+    key_columns=("forename", "surname"),
+    columns=(
+        ExpansionColumn("code", KIND_FREEFORM,
+                        ("driver code", "abbreviation", "three-letter"), None,
+                        "FIA three-letter driver code"),
+        ExpansionColumn("nationality", KIND_SELECTION,
+                        ("driver", "nationality of"), "nationalities",
+                        "Nationality of the driver"),
+        ExpansionColumn("birth_year", KIND_NUMERIC,
+                        ("born", "birth year", "which year", "age"), None,
+                        "Birth year of the driver"),
+    ),
+)
+
+CIRCUIT_EXPANSION = ExpansionTable(
+    name="circuit_info",
+    source_table="circuits",
+    key_columns=("circuit_name",),
+    columns=(
+        ExpansionColumn("country", KIND_SELECTION,
+                        ("country", "nation hosting"), "countries",
+                        "Country the circuit is in"),
+        ExpansionColumn("location_city", KIND_FREEFORM,
+                        ("city", "located", "location"), None,
+                        "Host city / town of the circuit"),
+    ),
+)
+
+CONSTRUCTOR_EXPANSION = ExpansionTable(
+    name="constructor_info",
+    source_table="constructors",
+    key_columns=("constructor_name",),
+    columns=(
+        ExpansionColumn("nationality", KIND_SELECTION,
+                        ("constructor", "team"), "constructor_nationalities",
+                        "Home country of this constructor team"),
+    ),
+)
+
+
+def _assign_teams() -> dict[int, int]:
+    """driver index -> constructor index, two drivers per constructor first."""
+    assignment: dict[int, int] = {}
+    for driver_index in range(len(DRIVERS)):
+        assignment[driver_index] = (driver_index // 2) % len(CONSTRUCTORS)
+    return assignment
+
+
+def build_world() -> World:
+    """Construct the Formula One world deterministically."""
+    circuits_rows = [
+        (i + 1, slugify(name, "_"), name, location, country)
+        for i, (name, country, location) in enumerate(CIRCUITS)
+    ]
+    drivers_rows = [
+        (i + 1, slugify(f"{forename} {surname}", "_"), code, forename, surname,
+         birth_year, nationality)
+        for i, (forename, surname, code, nationality, birth_year) in enumerate(DRIVERS)
+    ]
+    constructors_rows = [
+        (i + 1, slugify(name, "_"), name, nationality)
+        for i, (name, nationality) in enumerate(CONSTRUCTORS)
+    ]
+
+    team_of = _assign_teams()
+
+    status_rows = [(i + 1, name) for i, name in enumerate(STATUSES)]
+
+    races_rows: list[tuple] = []
+    results_rows: list[tuple] = []
+    qualifying_rows: list[tuple] = []
+    driver_standing_rows: list[tuple] = []
+    constructor_standing_rows: list[tuple] = []
+    pit_stop_rows: list[tuple] = []
+    lap_time_rows: list[tuple] = []
+
+    race_id = 0
+    result_id = 0
+    qualify_id = 0
+    for year in SEASONS:
+        driver_points: dict[int, float] = {}
+        driver_wins: dict[int, int] = {}
+        constructor_points: dict[int, float] = {}
+        constructor_wins: dict[int, int] = {}
+        for round_number in range(1, RACES_PER_SEASON + 1):
+            race_id += 1
+            circuit_index = (round_number - 1 + (year % len(CIRCUITS))) % len(CIRCUITS)
+            circuit_id = circuit_index + 1
+            race_name = f"{CIRCUITS[circuit_index][1]} Grand Prix"
+            month = (round_number - 1) % 10 + 3
+            day = (round_number * 7) % 27 + 1
+            races_rows.append(
+                (race_id, year, round_number, circuit_id, race_name,
+                 f"{year}-{month:02d}-{day:02d}")
+            )
+            # deterministic finishing order: stronger (lower index) drivers
+            # finish better on average, with per-race shuffling
+            entrants = list(range(DRIVERS_PER_RACE))
+            order = sorted(
+                entrants,
+                key=lambda d: d * 0.6 + det_uniform("f1-order", year, round_number, d) * 12,
+            )
+            grid = det_shuffle(entrants, "f1-grid", year, round_number)
+            grid_position = {driver: pos + 1 for pos, driver in enumerate(grid)}
+            for finish_position, driver_index in enumerate(order, start=1):
+                driver_id = driver_index + 1
+                constructor_id = team_of[driver_index] + 1
+                points = float(POINTS[finish_position - 1]) if finish_position <= 10 else 0.0
+                result_id += 1
+                race_laps = det_int(50, 78, "f1-laps", year, round_number)
+                # podium finishers always classify; the back of the field
+                # occasionally retires with a mechanical status
+                if finish_position <= 14 or det_uniform(
+                    "f1-status", year, round_number, driver_index
+                ) < 0.6:
+                    status_id = 1 if finish_position <= 12 else det_int(
+                        2, 3, "f1-lapped", year, round_number, driver_index
+                    )
+                else:
+                    status_id = det_int(
+                        4, len(STATUSES), "f1-dnf", year, round_number, driver_index
+                    )
+                results_rows.append(
+                    (result_id, race_id, driver_id, constructor_id,
+                     grid_position[driver_index], finish_position, points,
+                     race_laps, status_id)
+                )
+                for lap_sample in range(1, SAMPLED_LAPS + 1):
+                    lap = lap_sample * race_laps // SAMPLED_LAPS
+                    lap_time_rows.append(
+                        (race_id, driver_id, lap,
+                         finish_position,
+                         det_int(68_000, 102_000, "f1-laptime", year,
+                                 round_number, driver_index, lap_sample))
+                    )
+                qualify_id += 1
+                qualifying_rows.append(
+                    (qualify_id, race_id, driver_id, grid_position[driver_index])
+                )
+                driver_points[driver_id] = driver_points.get(driver_id, 0.0) + points
+                constructor_points[constructor_id] = (
+                    constructor_points.get(constructor_id, 0.0) + points
+                )
+                if finish_position == 1:
+                    driver_wins[driver_id] = driver_wins.get(driver_id, 0) + 1
+                    constructor_wins[constructor_id] = (
+                        constructor_wins.get(constructor_id, 0) + 1
+                    )
+                stops = det_int(1, 3, "f1-stops", year, round_number, driver_index)
+                for stop in range(1, stops + 1):
+                    pit_stop_rows.append(
+                        (race_id, driver_id, stop,
+                         det_int(8, 60, "f1-lap", year, round_number, driver_index, stop),
+                         det_int(19000, 34000, "f1-dur", year, round_number, driver_index, stop))
+                    )
+            # cumulative standings after this race
+            for position, (driver_id, points) in enumerate(
+                sorted(driver_points.items(), key=lambda kv: (-kv[1], kv[0])), start=1
+            ):
+                driver_standing_rows.append(
+                    (race_id, driver_id, points, position,
+                     driver_wins.get(driver_id, 0))
+                )
+            for position, (constructor_id, points) in enumerate(
+                sorted(constructor_points.items(), key=lambda kv: (-kv[1], kv[0])),
+                start=1,
+            ):
+                constructor_standing_rows.append(
+                    (race_id, constructor_id, points, position,
+                     constructor_wins.get(constructor_id, 0))
+                )
+
+    original_rows = {
+        "circuits": circuits_rows,
+        "races": races_rows,
+        "drivers": drivers_rows,
+        "constructors": constructors_rows,
+        "results": results_rows,
+        "qualifying": qualifying_rows,
+        "driver_standings": driver_standing_rows,
+        "constructor_standings": constructor_standing_rows,
+        "pit_stops": pit_stop_rows,
+        "status": status_rows,
+        "lap_times": lap_time_rows,
+    }
+
+    schema = _original_schema()
+    curated = apply_curation(schema, original_rows, CURATION_PLAN)
+
+    driver_truth = {
+        (forename, surname): {
+            "code": code,
+            "nationality": nationality,
+            "birth_year": birth_year,
+        }
+        for forename, surname, code, nationality, birth_year in DRIVERS
+    }
+    circuit_truth = {
+        (name,): {"country": country, "location_city": location}
+        for name, country, location in CIRCUITS
+    }
+    constructor_truth = {
+        (name,): {"nationality": nationality} for name, nationality in CONSTRUCTORS
+    }
+
+    # All Formula One entities are real and well covered in pre-training
+    # data; recent-era drivers (the first half of the roster) more so.
+    popularity = {
+        "driver_info": {
+            (forename, surname): (1.5 if index < 22 else 1.1)
+            for index, (forename, surname, _, _, _) in enumerate(DRIVERS)
+        },
+        "circuit_info": {(name,): 1.4 for name, _, _ in CIRCUITS},
+        "constructor_info": {(name,): 1.5 for name, _ in CONSTRUCTORS},
+    }
+
+    return World(
+        name="formula_1",
+        title="Formula One",
+        original_schema=schema,
+        curated_schema=curated.schema,
+        original_rows=original_rows,
+        curated_rows=curated.rows,
+        expansions=[DRIVER_EXPANSION, CIRCUIT_EXPANSION, CONSTRUCTOR_EXPANSION],
+        truth={
+            "driver_info": driver_truth,
+            "circuit_info": circuit_truth,
+            "constructor_info": constructor_truth,
+        },
+        value_lists={
+            "nationalities": list(NATIONALITIES),
+            "countries": list(COUNTRIES),
+            "constructor_nationalities": list(CONSTRUCTOR_NATIONALITIES),
+        },
+        dropped_columns=curated.dropped_columns,
+        popularity=popularity,
+    )

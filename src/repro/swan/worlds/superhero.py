@@ -1,0 +1,507 @@
+"""The Superhero world.
+
+Mirrors the Bird/SWAN superhero database: a central ``superhero`` table
+with foreign keys into small lookup tables (publisher, colour, race,
+gender, alignment), a many-to-many ``hero_power`` relation, and per-hero
+attribute scores.
+
+Curation (Section 3.2 of the paper): the seven lookup foreign keys are
+dropped from ``superhero``, and the ``publisher`` and ``hero_power``
+tables are removed entirely — 11 columns dropped, matching Table 1.  The
+distinct publisher names and power names are retained as value lists.
+
+The LLM expansion table is ``superhero_info`` keyed on the meaningful
+(superhero_name, full_name) pair (Section 3.4), with the publisher, the
+three colours, race, gender, moral alignment, and the condensed
+one-to-many ``powers`` string (Section 4.1) to generate.
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine.schema import (
+    ColumnSchema,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+from repro.swan.base import (
+    KIND_MULTI,
+    KIND_SELECTION,
+    ExpansionColumn,
+    ExpansionTable,
+    World,
+)
+from repro.swan.curation import CurationPlan, apply_curation
+from repro.swan.worlds.util import det_choice, det_int, det_sample
+
+PUBLISHERS = [
+    "Dark Horse Comics",
+    "DC Comics",
+    "IDW Publishing",
+    "Icon Comics",
+    "Image Comics",
+    "Marvel Comics",
+    "Valiant Comics",
+    "Wildstorm",
+]
+
+COLOURS = [
+    "Amber",
+    "Auburn",
+    "Black",
+    "Blond",
+    "Blue",
+    "Brown",
+    "Fair",
+    "Green",
+    "Grey",
+    "Hazel",
+    "No Colour",
+    "Purple",
+    "Red",
+    "Silver",
+    "White",
+]
+
+RACES = [
+    "Alien",
+    "Amazon",
+    "Android",
+    "Asgardian",
+    "Atlantean",
+    "Cyborg",
+    "Demon",
+    "Eternal",
+    "Human",
+    "Kryptonian",
+    "Mutant",
+    "Symbiote",
+]
+
+GENDERS = ["Female", "Male", "Non-Binary"]
+
+ALIGNMENTS = ["Bad", "Good", "Neutral"]
+
+POWERS = [
+    "Accelerated Healing",
+    "Agility",
+    "Cold Resistance",
+    "Durability",
+    "Elemental Control",
+    "Energy Blasts",
+    "Enhanced Senses",
+    "Flight",
+    "Force Fields",
+    "Heat Vision",
+    "Intelligence",
+    "Invisibility",
+    "Invulnerability",
+    "Longevity",
+    "Magic",
+    "Marksmanship",
+    "Mind Control",
+    "Night Vision",
+    "Power Suit",
+    "Regeneration",
+    "Shape Shifting",
+    "Size Changing",
+    "Stealth",
+    "Super Speed",
+    "Super Strength",
+    "Telekinesis",
+    "Telepathy",
+    "Teleportation",
+    "Underwater Breathing",
+    "Wall Crawling",
+    "Weapons Master",
+    "Weather Control",
+    "Web Creation",
+    "X-Ray Vision",
+]
+
+ATTRIBUTES = ["Combat", "Durability", "Intelligence", "Power", "Speed", "Strength"]
+
+# (hero_name, full_name, publisher, eye, hair, skin, race, gender,
+#  alignment, height_cm, weight_kg, powers)
+_HEROES: list[tuple] = [
+    ("Spider-Man", "Peter Parker", "Marvel Comics", "Hazel", "Brown", "Fair", "Human", "Male", "Good", 178, 76, ("Agility", "Wall Crawling", "Web Creation", "Enhanced Senses")),
+    ("Iron Man", "Tony Stark", "Marvel Comics", "Blue", "Black", "Fair", "Human", "Male", "Good", 185, 102, ("Power Suit", "Flight", "Intelligence", "Energy Blasts")),
+    ("Captain America", "Steve Rogers", "Marvel Comics", "Blue", "Blond", "Fair", "Human", "Male", "Good", 188, 108, ("Super Strength", "Agility", "Durability")),
+    ("Thor", "Thor Odinson", "Marvel Comics", "Blue", "Blond", "Fair", "Asgardian", "Male", "Good", 198, 290, ("Super Strength", "Flight", "Weather Control", "Longevity")),
+    ("Hulk", "Bruce Banner", "Marvel Comics", "Green", "Green", "Green", "Human", "Male", "Good", 244, 630, ("Super Strength", "Durability", "Regeneration")),
+    ("Black Widow", "Natasha Romanoff", "Marvel Comics", "Green", "Red", "Fair", "Human", "Female", "Good", 170, 59, ("Agility", "Stealth", "Marksmanship", "Weapons Master")),
+    ("Hawkeye", "Clint Barton", "Marvel Comics", "Blue", "Blond", "Fair", "Human", "Male", "Good", 191, 104, ("Marksmanship", "Agility", "Weapons Master")),
+    ("Doctor Strange", "Stephen Strange", "Marvel Comics", "Grey", "Black", "Fair", "Human", "Male", "Good", 188, 82, ("Magic", "Flight", "Teleportation", "Telepathy")),
+    ("Black Panther", "T'Challa", "Marvel Comics", "Brown", "Black", "Brown", "Human", "Male", "Good", 183, 91, ("Agility", "Enhanced Senses", "Super Strength", "Stealth")),
+    ("Scarlet Witch", "Wanda Maximoff", "Marvel Comics", "Green", "Auburn", "Fair", "Mutant", "Female", "Good", 170, 59, ("Magic", "Telekinesis", "Mind Control", "Energy Blasts")),
+    ("Vision", "Victor Shade", "Marvel Comics", "Red", "No Colour", "Red", "Android", "Male", "Good", 191, 136, ("Flight", "Intelligence", "Durability", "Energy Blasts")),
+    ("Wolverine", "James Howlett", "Marvel Comics", "Blue", "Black", "Fair", "Mutant", "Male", "Good", 160, 136, ("Accelerated Healing", "Regeneration", "Enhanced Senses", "Agility")),
+    ("Storm", "Ororo Munroe", "Marvel Comics", "Blue", "White", "Brown", "Mutant", "Female", "Good", 180, 66, ("Weather Control", "Flight", "Elemental Control")),
+    ("Cyclops", "Scott Summers", "Marvel Comics", "Brown", "Brown", "Fair", "Mutant", "Male", "Good", 191, 88, ("Energy Blasts", "Marksmanship")),
+    ("Jean Grey", "Jean Grey", "Marvel Comics", "Green", "Red", "Fair", "Mutant", "Female", "Good", 168, 52, ("Telepathy", "Telekinesis", "Mind Control", "Flight")),
+    ("Beast", "Henry McCoy", "Marvel Comics", "Blue", "Blue", "Blue", "Mutant", "Male", "Good", 180, 181, ("Agility", "Super Strength", "Intelligence", "Enhanced Senses")),
+    ("Rogue", "Anna Marie", "Marvel Comics", "Green", "Auburn", "Fair", "Mutant", "Female", "Good", 173, 54, ("Flight", "Super Strength", "Invulnerability")),
+    ("Gambit", "Remy LeBeau", "Marvel Comics", "Red", "Brown", "Fair", "Mutant", "Male", "Good", 185, 81, ("Energy Blasts", "Agility", "Stealth")),
+    ("Deadpool", "Wade Wilson", "Marvel Comics", "Brown", "No Colour", "Fair", "Mutant", "Male", "Neutral", 188, 95, ("Accelerated Healing", "Regeneration", "Weapons Master", "Agility")),
+    ("Daredevil", "Matt Murdock", "Marvel Comics", "Blue", "Red", "Fair", "Human", "Male", "Good", 183, 91, ("Enhanced Senses", "Agility", "Weapons Master")),
+    ("Punisher", "Frank Castle", "Marvel Comics", "Blue", "Black", "Fair", "Human", "Male", "Neutral", 185, 91, ("Marksmanship", "Weapons Master", "Stealth")),
+    ("Ant-Man", "Scott Lang", "Marvel Comics", "Blue", "Blond", "Fair", "Human", "Male", "Good", 180, 86, ("Size Changing", "Agility")),
+    ("Wasp", "Janet van Dyne", "Marvel Comics", "Blue", "Auburn", "Fair", "Human", "Female", "Good", 163, 50, ("Size Changing", "Flight", "Energy Blasts")),
+    ("Captain Marvel", "Carol Danvers", "Marvel Comics", "Blue", "Blond", "Fair", "Human", "Female", "Good", 180, 74, ("Flight", "Super Strength", "Energy Blasts", "Durability")),
+    ("Star-Lord", "Peter Quill", "Marvel Comics", "Blue", "Brown", "Fair", "Human", "Male", "Good", 188, 79, ("Marksmanship", "Flight", "Intelligence")),
+    ("Gamora", "Gamora Zen Whoberi", "Marvel Comics", "Green", "Black", "Green", "Alien", "Female", "Good", 183, 77, ("Agility", "Weapons Master", "Accelerated Healing")),
+    ("Drax", "Arthur Douglas", "Marvel Comics", "Red", "No Colour", "Green", "Alien", "Male", "Good", 193, 306, ("Super Strength", "Durability", "Weapons Master")),
+    ("Rocket Raccoon", "Rocket Raccoon", "Marvel Comics", "Brown", "Brown", "Brown", "Alien", "Male", "Good", 122, 25, ("Marksmanship", "Intelligence", "Stealth")),
+    ("Groot", "Groot", "Marvel Comics", "Black", "No Colour", "Brown", "Alien", "Male", "Good", 701, 4, ("Regeneration", "Super Strength", "Size Changing")),
+    ("Venom", "Eddie Brock", "Marvel Comics", "Blue", "Blond", "Black", "Symbiote", "Male", "Bad", 191, 118, ("Super Strength", "Shape Shifting", "Wall Crawling", "Web Creation")),
+    ("Magneto", "Max Eisenhardt", "Marvel Comics", "Grey", "White", "Fair", "Mutant", "Male", "Bad", 188, 86, ("Elemental Control", "Flight", "Force Fields")),
+    ("Loki", "Loki Laufeyson", "Marvel Comics", "Green", "Black", "Fair", "Asgardian", "Male", "Bad", 193, 236, ("Magic", "Shape Shifting", "Telepathy", "Longevity")),
+    ("Thanos", "Thanos", "Marvel Comics", "Red", "No Colour", "Purple", "Eternal", "Male", "Bad", 201, 443, ("Super Strength", "Durability", "Energy Blasts", "Longevity")),
+    ("Green Goblin", "Norman Osborn", "Marvel Comics", "Green", "Auburn", "Fair", "Human", "Male", "Bad", 180, 83, ("Super Strength", "Intelligence", "Flight")),
+    ("Doctor Doom", "Victor Von Doom", "Marvel Comics", "Brown", "Brown", "Fair", "Human", "Male", "Bad", 201, 187, ("Magic", "Intelligence", "Power Suit", "Energy Blasts")),
+    ("Silver Surfer", "Norrin Radd", "Marvel Comics", "Black", "No Colour", "Silver", "Alien", "Male", "Good", 193, 102, ("Flight", "Energy Blasts", "Invulnerability", "Longevity")),
+    ("Human Torch", "Johnny Storm", "Marvel Comics", "Blue", "Blond", "Fair", "Human", "Male", "Good", 178, 77, ("Flight", "Energy Blasts", "Heat Vision")),
+    ("Invisible Woman", "Susan Storm", "Marvel Comics", "Blue", "Blond", "Fair", "Human", "Female", "Good", 168, 54, ("Invisibility", "Force Fields")),
+    ("Mister Fantastic", "Reed Richards", "Marvel Comics", "Brown", "Brown", "Fair", "Human", "Male", "Good", 185, 82, ("Shape Shifting", "Intelligence", "Size Changing")),
+    ("The Thing", "Ben Grimm", "Marvel Comics", "Blue", "No Colour", "Brown", "Human", "Male", "Good", 183, 227, ("Super Strength", "Durability", "Invulnerability")),
+    ("Nick Fury", "Nicholas Fury", "Marvel Comics", "Brown", "Grey", "Brown", "Human", "Male", "Good", 185, 102, ("Marksmanship", "Stealth", "Intelligence")),
+    ("Falcon", "Sam Wilson", "Marvel Comics", "Brown", "Black", "Brown", "Human", "Male", "Good", 188, 109, ("Flight", "Marksmanship", "Enhanced Senses")),
+    ("Winter Soldier", "Bucky Barnes", "Marvel Comics", "Blue", "Brown", "Fair", "Human", "Male", "Neutral", 175, 118, ("Super Strength", "Marksmanship", "Weapons Master")),
+    ("Ghost Rider", "Johnny Blaze", "Marvel Comics", "Red", "No Colour", "Fair", "Demon", "Male", "Good", 188, 99, ("Magic", "Regeneration", "Invulnerability")),
+    ("Superman", "Clark Kent", "DC Comics", "Blue", "Black", "Fair", "Kryptonian", "Male", "Good", 191, 107, ("Flight", "Super Strength", "Heat Vision", "X-Ray Vision", "Invulnerability")),
+    ("Batman", "Bruce Wayne", "DC Comics", "Blue", "Black", "Fair", "Human", "Male", "Good", 188, 95, ("Intelligence", "Stealth", "Weapons Master", "Marksmanship")),
+    ("Wonder Woman", "Diana Prince", "DC Comics", "Blue", "Black", "Fair", "Amazon", "Female", "Good", 183, 74, ("Super Strength", "Flight", "Longevity", "Weapons Master")),
+    ("The Flash", "Barry Allen", "DC Comics", "Blue", "Blond", "Fair", "Human", "Male", "Good", 183, 88, ("Super Speed", "Accelerated Healing", "Agility")),
+    ("Green Lantern", "Hal Jordan", "DC Comics", "Brown", "Brown", "Fair", "Human", "Male", "Good", 188, 90, ("Force Fields", "Flight", "Energy Blasts")),
+    ("Aquaman", "Arthur Curry", "DC Comics", "Blue", "Blond", "Fair", "Atlantean", "Male", "Good", 185, 146, ("Underwater Breathing", "Super Strength", "Telepathy")),
+    ("Cyborg", "Victor Stone", "DC Comics", "Brown", "Black", "Brown", "Cyborg", "Male", "Good", 198, 174, ("Power Suit", "Intelligence", "Energy Blasts", "Durability")),
+    ("Green Arrow", "Oliver Queen", "DC Comics", "Green", "Blond", "Fair", "Human", "Male", "Good", 178, 88, ("Marksmanship", "Agility", "Stealth")),
+    ("Batgirl", "Barbara Gordon", "DC Comics", "Green", "Red", "Fair", "Human", "Female", "Good", 170, 57, ("Intelligence", "Agility", "Stealth")),
+    ("Nightwing", "Dick Grayson", "DC Comics", "Blue", "Black", "Fair", "Human", "Male", "Good", 178, 79, ("Agility", "Stealth", "Weapons Master")),
+    ("Supergirl", "Kara Zor-El", "DC Comics", "Blue", "Blond", "Fair", "Kryptonian", "Female", "Good", 165, 54, ("Flight", "Super Strength", "Heat Vision", "Invulnerability")),
+    ("Shazam", "Billy Batson", "DC Comics", "Brown", "Black", "Fair", "Human", "Male", "Good", 193, 101, ("Super Strength", "Flight", "Magic")),
+    ("Martian Manhunter", "J'onn J'onzz", "DC Comics", "Red", "No Colour", "Green", "Alien", "Male", "Good", 201, 135, ("Telepathy", "Shape Shifting", "Flight", "Invisibility")),
+    ("Joker", "Jack Napier", "DC Comics", "Green", "Green", "White", "Human", "Male", "Bad", 180, 73, ("Intelligence", "Stealth")),
+    ("Lex Luthor", "Alexander Luthor", "DC Comics", "Green", "No Colour", "Fair", "Human", "Male", "Bad", 188, 95, ("Intelligence", "Power Suit")),
+    ("Harley Quinn", "Harleen Quinzel", "DC Comics", "Blue", "Blond", "White", "Human", "Female", "Bad", 170, 63, ("Agility", "Weapons Master")),
+    ("Catwoman", "Selina Kyle", "DC Comics", "Green", "Black", "Fair", "Human", "Female", "Neutral", 175, 61, ("Agility", "Stealth", "Night Vision")),
+    ("Penguin", "Oswald Cobblepot", "DC Comics", "Blue", "Black", "Fair", "Human", "Male", "Bad", 157, 79, ("Intelligence",)),
+    ("Riddler", "Edward Nygma", "DC Comics", "Green", "Brown", "Fair", "Human", "Male", "Bad", 183, 83, ("Intelligence",)),
+    ("Bane", "Antonio Diego", "DC Comics", "Brown", "Black", "Fair", "Human", "Male", "Bad", 203, 181, ("Super Strength", "Durability", "Intelligence")),
+    ("Deathstroke", "Slade Wilson", "DC Comics", "Blue", "White", "Fair", "Human", "Male", "Bad", 193, 102, ("Weapons Master", "Marksmanship", "Accelerated Healing", "Agility")),
+    ("Zatanna", "Zatanna Zatara", "DC Comics", "Blue", "Black", "Fair", "Human", "Female", "Good", 170, 57, ("Magic", "Telekinesis", "Teleportation")),
+    ("Hawkgirl", "Shiera Hall", "DC Comics", "Green", "Red", "Fair", "Human", "Female", "Good", 175, 61, ("Flight", "Weapons Master", "Regeneration")),
+    ("Black Canary", "Dinah Lance", "DC Comics", "Blue", "Blond", "Fair", "Human", "Female", "Good", 165, 58, ("Energy Blasts", "Agility", "Weapons Master")),
+    ("Darkseid", "Uxas", "DC Comics", "Red", "No Colour", "Grey", "Alien", "Male", "Bad", 267, 817, ("Super Strength", "Energy Blasts", "Invulnerability", "Longevity")),
+    ("Brainiac", "Vril Dox", "DC Comics", "Green", "No Colour", "Green", "Android", "Male", "Bad", 198, 135, ("Intelligence", "Telepathy", "Force Fields")),
+    ("Hellboy", "Anung Un Rama", "Dark Horse Comics", "Amber", "Black", "Red", "Demon", "Male", "Good", 259, 158, ("Super Strength", "Longevity", "Regeneration")),
+    ("The Mask", "Stanley Ipkiss", "Dark Horse Comics", "Green", "Brown", "Green", "Human", "Male", "Neutral", 178, 81, ("Shape Shifting", "Invulnerability", "Magic")),
+    ("Ghost", "Elisa Cameron", "Dark Horse Comics", "Blue", "White", "Fair", "Human", "Female", "Good", 168, 54, ("Invisibility", "Teleportation", "Marksmanship")),
+    ("Spawn", "Al Simmons", "Image Comics", "Green", "Black", "Brown", "Demon", "Male", "Neutral", 180, 204, ("Magic", "Teleportation", "Regeneration", "Energy Blasts")),
+    ("Invincible", "Mark Grayson", "Image Comics", "Brown", "Black", "Fair", "Human", "Male", "Good", 180, 88, ("Flight", "Super Strength", "Invulnerability")),
+    ("Savage Dragon", "Dragon", "Image Comics", "Brown", "No Colour", "Green", "Alien", "Male", "Good", 193, 108, ("Super Strength", "Regeneration", "Durability")),
+    ("Witchblade", "Sara Pezzini", "Image Comics", "Blue", "Brown", "Fair", "Human", "Female", "Good", 170, 59, ("Power Suit", "Magic", "Accelerated Healing")),
+    ("Bloodshot", "Ray Garrison", "Valiant Comics", "Red", "Black", "White", "Cyborg", "Male", "Neutral", 185, 79, ("Regeneration", "Super Strength", "Marksmanship")),
+    ("X-O Manowar", "Aric of Dacia", "Valiant Comics", "Brown", "Brown", "Fair", "Human", "Male", "Good", 188, 97, ("Power Suit", "Flight", "Super Strength")),
+    ("Faith", "Faith Herbert", "Valiant Comics", "Blue", "Blond", "Fair", "Human", "Female", "Good", 168, 91, ("Flight", "Telekinesis")),
+    ("Spartan", "Hadrian", "Wildstorm", "Blue", "Black", "Fair", "Android", "Male", "Good", 188, 102, ("Flight", "Energy Blasts", "Intelligence")),
+    ("Zealot", "Zannah", "Wildstorm", "Blue", "White", "Fair", "Alien", "Female", "Good", 178, 70, ("Weapons Master", "Longevity", "Agility")),
+    ("Midnighter", "Lucas Trent", "Wildstorm", "Blue", "Black", "Fair", "Human", "Male", "Good", 191, 97, ("Enhanced Senses", "Accelerated Healing", "Weapons Master")),
+    ("Apollo", "Andrew Pulaski", "Wildstorm", "Blue", "Blond", "Fair", "Human", "Male", "Good", 183, 97, ("Flight", "Super Strength", "Heat Vision")),
+    ("Snake Eyes", "Classified", "IDW Publishing", "Blue", "Black", "Fair", "Human", "Male", "Good", 188, 88, ("Weapons Master", "Stealth", "Agility")),
+    ("Optimus Prime", "Orion Pax", "IDW Publishing", "Blue", "No Colour", "Silver", "Android", "Male", "Good", 670, 4000, ("Super Strength", "Intelligence", "Durability", "Marksmanship")),
+    ("Kick-Ass", "Dave Lizewski", "Icon Comics", "Blue", "Blond", "Fair", "Human", "Male", "Good", 170, 66, ("Durability", "Weapons Master")),
+    ("Hit-Girl", "Mindy McCready", "Icon Comics", "Blue", "Purple", "Fair", "Human", "Female", "Good", 142, 41, ("Weapons Master", "Agility", "Marksmanship")),
+]
+
+# Synthetic heroes extend the roster deterministically; their facts are as
+# much ground truth as the seeded ones (the world defines reality here).
+_SYNTH_FIRST = [
+    "Crimson", "Shadow", "Iron", "Silver", "Golden", "Night", "Star", "Storm",
+    "Frost", "Ember", "Cobalt", "Onyx", "Scarlet", "Azure", "Obsidian", "Solar",
+]
+_SYNTH_SECOND = [
+    "Falcon", "Sentinel", "Specter", "Warden", "Nova", "Raven", "Paladin",
+    "Phantom", "Tiger", "Griffin", "Seraph", "Viper",
+]
+_SYNTH_SURNAMES = [
+    "Mercer", "Calloway", "Drake", "Ellison", "Foster", "Grant", "Hale",
+    "Iverson", "Jennings", "Kessler", "Lowell", "Monroe", "Norwood", "Osei",
+    "Prescott", "Quimby", "Ramsey", "Sterling", "Thatcher", "Underhill",
+]
+_SYNTH_GIVEN = [
+    "Adrian", "Bianca", "Cole", "Dana", "Elias", "Fiona", "Gideon", "Helena",
+    "Isaac", "Jade", "Kieran", "Luna", "Marcus", "Nina", "Owen", "Priya",
+    "Quinn", "Rosa", "Silas", "Tessa",
+]
+
+SYNTHETIC_HERO_COUNT = 40
+
+
+def _synthetic_heroes() -> list[tuple]:
+    heroes = []
+    seen_names: set[str] = set()
+    for index in range(SYNTHETIC_HERO_COUNT):
+        first = _SYNTH_FIRST[index % len(_SYNTH_FIRST)]
+        second = _SYNTH_SECOND[(index * 7 + index // len(_SYNTH_FIRST)) % len(_SYNTH_SECOND)]
+        hero_name = f"{first} {second}"
+        if hero_name in seen_names:
+            hero_name = f"{hero_name} II"
+        seen_names.add(hero_name)
+        given = _SYNTH_GIVEN[det_int(0, len(_SYNTH_GIVEN) - 1, "sh-given", index)]
+        surname = _SYNTH_SURNAMES[det_int(0, len(_SYNTH_SURNAMES) - 1, "sh-sur", index)]
+        full_name = f"{given} {surname}"
+        publisher = det_choice(PUBLISHERS, "sh-pub", index)
+        eye = det_choice(COLOURS, "sh-eye", index)
+        hair = det_choice(COLOURS, "sh-hair", index)
+        skin = det_choice(["Fair", "Brown", "Green", "Grey", "Blue", "White"], "sh-skin", index)
+        race = det_choice(RACES, "sh-race", index)
+        gender = det_choice(GENDERS, "sh-gender", index)
+        alignment = det_choice(ALIGNMENTS, "sh-align", index)
+        height = det_int(150, 210, "sh-height", index)
+        weight = det_int(45, 180, "sh-weight", index)
+        power_count = det_int(2, 4, "sh-pcount", index)
+        powers = tuple(det_sample(POWERS, power_count, "sh-powers", index))
+        heroes.append(
+            (hero_name, full_name, publisher, eye, hair, skin, race, gender,
+             alignment, height, weight, powers)
+        )
+    return heroes
+
+
+def _original_schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        name="superhero",
+        tables=[
+            TableSchema(
+                "publisher",
+                [ColumnSchema("id", "INTEGER", nullable=False),
+                 ColumnSchema("publisher_name", "TEXT", nullable=False)],
+                primary_key=("id",),
+            ),
+            TableSchema(
+                "colour",
+                [ColumnSchema("id", "INTEGER", nullable=False),
+                 ColumnSchema("colour", "TEXT", nullable=False)],
+                primary_key=("id",),
+            ),
+            TableSchema(
+                "race",
+                [ColumnSchema("id", "INTEGER", nullable=False),
+                 ColumnSchema("race", "TEXT", nullable=False)],
+                primary_key=("id",),
+            ),
+            TableSchema(
+                "gender",
+                [ColumnSchema("id", "INTEGER", nullable=False),
+                 ColumnSchema("gender", "TEXT", nullable=False)],
+                primary_key=("id",),
+            ),
+            TableSchema(
+                "alignment",
+                [ColumnSchema("id", "INTEGER", nullable=False),
+                 ColumnSchema("alignment", "TEXT", nullable=False)],
+                primary_key=("id",),
+            ),
+            TableSchema(
+                "superpower",
+                [ColumnSchema("id", "INTEGER", nullable=False),
+                 ColumnSchema("power_name", "TEXT", nullable=False)],
+                primary_key=("id",),
+            ),
+            TableSchema(
+                "superhero",
+                [
+                    ColumnSchema("id", "INTEGER", nullable=False),
+                    ColumnSchema("superhero_name", "TEXT", nullable=False),
+                    ColumnSchema("full_name", "TEXT", nullable=False),
+                    ColumnSchema("eye_colour_id", "INTEGER"),
+                    ColumnSchema("hair_colour_id", "INTEGER"),
+                    ColumnSchema("skin_colour_id", "INTEGER"),
+                    ColumnSchema("race_id", "INTEGER"),
+                    ColumnSchema("publisher_id", "INTEGER"),
+                    ColumnSchema("gender_id", "INTEGER"),
+                    ColumnSchema("alignment_id", "INTEGER"),
+                    ColumnSchema("height_cm", "INTEGER"),
+                    ColumnSchema("weight_kg", "INTEGER"),
+                ],
+                primary_key=("id",),
+                foreign_keys=[
+                    ForeignKey(("publisher_id",), "publisher", ("id",)),
+                    ForeignKey(("eye_colour_id",), "colour", ("id",)),
+                    ForeignKey(("hair_colour_id",), "colour", ("id",)),
+                    ForeignKey(("skin_colour_id",), "colour", ("id",)),
+                    ForeignKey(("race_id",), "race", ("id",)),
+                    ForeignKey(("gender_id",), "gender", ("id",)),
+                    ForeignKey(("alignment_id",), "alignment", ("id",)),
+                ],
+            ),
+            TableSchema(
+                "hero_power",
+                [ColumnSchema("hero_id", "INTEGER", nullable=False),
+                 ColumnSchema("power_id", "INTEGER", nullable=False)],
+                foreign_keys=[
+                    ForeignKey(("hero_id",), "superhero", ("id",)),
+                    ForeignKey(("power_id",), "superpower", ("id",)),
+                ],
+            ),
+            TableSchema(
+                "attribute",
+                [ColumnSchema("id", "INTEGER", nullable=False),
+                 ColumnSchema("attribute_name", "TEXT", nullable=False)],
+                primary_key=("id",),
+            ),
+            TableSchema(
+                "hero_attribute",
+                [ColumnSchema("hero_id", "INTEGER", nullable=False),
+                 ColumnSchema("attribute_id", "INTEGER", nullable=False),
+                 ColumnSchema("attribute_value", "INTEGER", nullable=False)],
+                foreign_keys=[
+                    ForeignKey(("hero_id",), "superhero", ("id",)),
+                    ForeignKey(("attribute_id",), "attribute", ("id",)),
+                ],
+            ),
+        ],
+    )
+
+
+CURATION_PLAN = CurationPlan(
+    drop_columns={
+        "superhero": (
+            "eye_colour_id",
+            "hair_colour_id",
+            "skin_colour_id",
+            "race_id",
+            "publisher_id",
+            "gender_id",
+            "alignment_id",
+        ),
+    },
+    drop_tables=("publisher", "hero_power"),
+)
+
+EXPANSION = ExpansionTable(
+    name="superhero_info",
+    source_table="superhero",
+    key_columns=("superhero_name", "full_name"),
+    columns=(
+        ExpansionColumn("eye_color", KIND_SELECTION, ("eye",), "colours",
+                        "Eye colour of the hero"),
+        ExpansionColumn("hair_color", KIND_SELECTION, ("hair",), "colours",
+                        "Hair colour of the hero"),
+        ExpansionColumn("skin_color", KIND_SELECTION, ("skin",), "colours",
+                        "Skin colour of the hero"),
+        ExpansionColumn("publisher_name", KIND_SELECTION,
+                        ("publisher", "published"), "publishers",
+                        "Comic book publisher of the hero"),
+        ExpansionColumn("race", KIND_SELECTION, ("race", "species"), "races",
+                        "Race or species of the hero"),
+        ExpansionColumn("gender", KIND_SELECTION, ("gender",), "genders",
+                        "Gender of the hero"),
+        ExpansionColumn("moral_alignment", KIND_SELECTION,
+                        ("alignment", "villain", "evil"), "alignments",
+                        "Moral alignment (Good / Bad / Neutral)"),
+        ExpansionColumn("powers", KIND_MULTI, ("power", "superpower", "abilities"),
+                        "powers", "Comma-separated superpowers"),
+    ),
+)
+
+
+def build_world() -> World:
+    """Construct the Superhero world deterministically."""
+    heroes = list(_HEROES) + _synthetic_heroes()
+
+    publisher_rows = [(i + 1, name) for i, name in enumerate(PUBLISHERS)]
+    colour_rows = [(i + 1, name) for i, name in enumerate(COLOURS)]
+    race_rows = [(i + 1, name) for i, name in enumerate(RACES)]
+    gender_rows = [(i + 1, name) for i, name in enumerate(GENDERS)]
+    alignment_rows = [(i + 1, name) for i, name in enumerate(ALIGNMENTS)]
+    power_rows = [(i + 1, name) for i, name in enumerate(POWERS)]
+    attribute_rows = [(i + 1, name) for i, name in enumerate(ATTRIBUTES)]
+
+    publisher_ids = {name: i for i, name in publisher_rows}
+    colour_ids = {name: i for i, name in colour_rows}
+    race_ids = {name: i for i, name in race_rows}
+    gender_ids = {name: i for i, name in gender_rows}
+    alignment_ids = {name: i for i, name in alignment_rows}
+    power_ids = {name: i for i, name in power_rows}
+
+    superhero_rows: list[tuple] = []
+    hero_power_rows: list[tuple] = []
+    hero_attribute_rows: list[tuple] = []
+    truth_map: dict[tuple, dict[str, object]] = {}
+    for index, hero in enumerate(heroes):
+        (hero_name, full_name, publisher, eye, hair, skin, race, gender,
+         alignment, height, weight, powers) = hero
+        hero_id = index + 1
+        superhero_rows.append(
+            (
+                hero_id, hero_name, full_name,
+                colour_ids[eye], colour_ids[hair], colour_ids[skin],
+                race_ids[race], publisher_ids[publisher],
+                gender_ids[gender], alignment_ids[alignment],
+                height, weight,
+            )
+        )
+        for power in powers:
+            hero_power_rows.append((hero_id, power_ids[power]))
+        for attr_id, attr_name in attribute_rows:
+            hero_attribute_rows.append(
+                (hero_id, attr_id,
+                 det_int(5, 100, "sh-attr", hero_name, attr_name))
+            )
+        truth_map[(hero_name, full_name)] = {
+            "eye_color": eye,
+            "hair_color": hair,
+            "skin_color": skin,
+            "publisher_name": publisher,
+            "race": race,
+            "gender": gender,
+            "moral_alignment": alignment,
+            "powers": tuple(powers),
+        }
+
+    original_rows = {
+        "publisher": publisher_rows,
+        "colour": colour_rows,
+        "race": race_rows,
+        "gender": gender_rows,
+        "alignment": alignment_rows,
+        "superpower": power_rows,
+        "superhero": superhero_rows,
+        "hero_power": hero_power_rows,
+        "attribute": attribute_rows,
+        "hero_attribute": hero_attribute_rows,
+    }
+
+    schema = _original_schema()
+    curated = apply_curation(schema, original_rows, CURATION_PLAN)
+
+    # Seeded heroes are household names; synthetic ones are long-tail.
+    popularity = {
+        "superhero_info": {
+            (hero[0], hero[1]): (1.6 if index < len(_HEROES) else 0.6)
+            for index, hero in enumerate(heroes)
+        }
+    }
+
+    return World(
+        name="superhero",
+        title="Superhero",
+        original_schema=schema,
+        curated_schema=curated.schema,
+        original_rows=original_rows,
+        curated_rows=curated.rows,
+        expansions=[EXPANSION],
+        truth={"superhero_info": truth_map},
+        value_lists={
+            "publishers": list(PUBLISHERS),
+            "colours": list(COLOURS),
+            "races": list(RACES),
+            "genders": list(GENDERS),
+            "alignments": list(ALIGNMENTS),
+            "powers": list(POWERS),
+        },
+        dropped_columns=curated.dropped_columns,
+        popularity=popularity,
+    )

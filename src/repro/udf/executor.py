@@ -1,0 +1,478 @@
+"""The hybrid query executor (BlendSQL-equivalent).
+
+Execution plan for one hybrid query:
+
+1. Parse the dialect SQL; collect every ``{{...}}`` ingredient.
+2. For each **LLMMap**: find its owning SELECT scope, apply predicate
+   pushdown to fetch only the key tuples that database-only predicates
+   allow, batch the keys (default 5 per call, Section 5.4), prompt the
+   model, and materialize the answers into a TEMP table.
+3. For each **LLMQA**: one scalar call; the answer becomes a literal.
+4. For each **LLMJoin**: like LLMMap, but materialized as a FROM source.
+5. Rewrite the AST — map ingredients become correlated scalar subqueries
+   against their TEMP tables — render plain SQLite SQL, execute.
+
+All LLM traffic goes through a prompt-keyed cache
+(:class:`~repro.llm.cache.CachingClient`), reproducing BlendSQL's reuse
+semantics: identical prompts are free, semantically-equal-but-textually-
+different prompts are not (Section 5.5).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import IngredientError
+from repro.llm.batching import DEFAULT_BATCH_SIZE, batched
+from repro.llm.cache import CachingClient, PromptCache
+from repro.llm.chat import (
+    ANSWER_MARKER,
+    MAP_EXAMPLE_MARKER,
+    MAP_KEYS_MARKER,
+    QUESTION_MARKER,
+    quote_field,
+)
+from repro.llm.client import ChatClient
+from repro.llm.declarative import PromptSpec
+from repro.sqlparser import ast, parse, render
+from repro.sqlparser.render import quote_identifier
+from repro.sqlparser.rewrite import replace_ingredients, walk
+from repro.sqlengine.database import Database
+from repro.sqlengine.results import ResultSet
+from repro.swan.base import World
+from repro.udf.fewshot import DemonstrationPool, FewShotSelector
+from repro.udf.ingredients import IngredientCall, parse_ingredient_call
+from repro.udf.pushdown import pushable_conjuncts, resolve_alias
+from repro.udf.semantic_cache import SemanticCache
+from repro.udf.views import MaterializedViewStore
+
+_ANSWER_LINE_RE = re.compile(r"^\s*(\d+)\s*[.):]\s*(.*?)\s*$")
+
+
+@dataclass
+class ExecutionReport:
+    """Diagnostics for one hybrid query execution."""
+
+    llm_calls: int = 0
+    keys_generated: int = 0
+    keys_after_pushdown: dict[str, int] = field(default_factory=dict)
+    rewritten_sql: str = ""
+    #: (input_tokens, output_tokens) of each paid (non-cached) LLM call,
+    #: the input to the latency/parallelism model in repro.llm.batching.
+    call_sizes: list[tuple[int, int]] = field(default_factory=list)
+
+    def estimated_latency(self, workers: int = 1, model=None) -> float:
+        """Estimated wall-clock seconds for this query's LLM traffic.
+
+        ``workers=1`` is today's sequential BlendSQL behaviour; higher
+        values model the parallel execution the paper lists as future
+        work (Section 4.3 / 6).
+        """
+        from repro.llm.batching import parallel_makespan, sequential_makespan
+
+        if workers <= 1:
+            return sequential_makespan(self.call_sizes, model)
+        return parallel_makespan(self.call_sizes, workers, model)
+
+
+class HybridQueryExecutor:
+    """Executes hybrid (BlendSQL-dialect) queries over one curated database."""
+
+    def __init__(
+        self,
+        db: Database,
+        client: ChatClient,
+        world: World,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        pushdown: bool = True,
+        shots: int = 0,
+        cache: Optional[PromptCache] = None,
+        selector: Optional[FewShotSelector] = None,
+        semantic_cache: Optional[SemanticCache] = None,
+        views: Optional[MaterializedViewStore] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.db = db
+        self.world = world
+        self.batch_size = batch_size
+        self.pushdown = pushdown
+        self.shots = shots
+        self.cache = cache if cache is not None else PromptCache()
+        self.client = CachingClient(client, self.cache)
+        if selector is None and shots > 0:
+            selector = FewShotSelector(DemonstrationPool(world))
+        self.selector = selector
+        self.semantic_cache = semantic_cache
+        self.views = views
+        self._temp_counter = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(self, hybrid_sql: str) -> ResultSet:
+        """Execute a hybrid query and return its result set."""
+        result, _ = self.execute_with_report(hybrid_sql)
+        return result
+
+    def execute_with_report(self, hybrid_sql: str) -> tuple[ResultSet, ExecutionReport]:
+        """Execute and also return pushdown/call diagnostics."""
+        report = ExecutionReport()
+        statement = parse(hybrid_sql)
+        replacements = self._plan_ingredients(statement, report)
+        if replacements:
+            statement = replace_ingredients(
+                statement, lambda node: replacements[id(node)]
+            )
+        final_sql = render(statement)
+        report.rewritten_sql = final_sql
+        return self.db.query(final_sql), report
+
+    # -- planning ----------------------------------------------------------------
+
+    def _plan_ingredients(
+        self, statement: ast.Select, report: ExecutionReport
+    ) -> dict[int, ast.Node]:
+        """Materialize every ingredient; map node id → replacement node."""
+        replacements: dict[int, ast.Node] = {}
+        shared: dict[tuple, ast.Node] = {}
+        for node, owner, source_alias, as_source in _ingredient_occurrences(statement):
+            call = parse_ingredient_call(node)
+            signature = (call.signature(), id(owner), as_source)
+            if signature in shared:
+                replacements[id(node)] = shared[signature]
+                continue
+            if as_source and call.kind != "LLMJoin":
+                raise IngredientError(
+                    f"{call.kind} cannot be used as a FROM source"
+                )
+            if call.kind == "LLMQA":
+                replacement: ast.Node = self._run_qa(call)
+            elif call.kind == "LLMMap":
+                replacement = self._run_map(call, owner, report)
+            else:  # LLMJoin
+                if not as_source:
+                    raise IngredientError(
+                        "LLMJoin is only valid as a FROM source"
+                    )
+                replacement = self._run_join(call, source_alias, report)
+            shared[signature] = replacement
+            replacements[id(node)] = replacement
+        return replacements
+
+    # -- LLMQA -------------------------------------------------------------------
+
+    def _run_qa(self, call: IngredientCall) -> ast.Expr:
+        prompt = self._qa_prompt(call.question)
+        response = self.client.complete(prompt, label="udf:qa")
+        answer = response.text.strip().splitlines()
+        value = answer[-1].strip() if answer else ""
+        return ast.Literal.string(value)
+
+    def _qa_prompt(self, question: str) -> str:
+        spec = PromptSpec()
+        spec.add_task(
+            "Answer the question with a single short value and no explanation."
+        )
+        spec.add_schema(f"Database: {self.world.name}")
+        for line in self._demo_lines(question):
+            spec.add_demonstration(line)
+        spec.add_target(f"{QUESTION_MARKER} {question}")
+        spec.add_cue(ANSWER_MARKER)
+        return spec.render()
+
+    # -- LLMMap ------------------------------------------------------------------
+
+    def _run_map(
+        self,
+        call: IngredientCall,
+        owner: Optional[ast.Select],
+        report: ExecutionReport,
+    ) -> ast.Expr:
+        alias = resolve_alias(owner, call.source_table) or call.source_table
+        view_table = (
+            self.views.table_for(call.signature()) if self.views is not None else None
+        )
+        if view_table is not None:
+            temp_name = view_table  # read the materialized view, no LLM calls
+        else:
+            keys = self._fetch_keys(call, owner, alias, report)
+            mapping = self._generate_mapping(call, keys, report)
+            temp_name = self._materialize_mapping(call, mapping)
+            self._maybe_materialize_view(call, mapping)
+        # (SELECT v FROM temp WHERE k0 = alias.col0 AND k1 = alias.col1)
+        where: Optional[ast.Expr] = None
+        for index, column in enumerate(call.key_columns):
+            comparison = ast.BinaryOp(
+                "=",
+                ast.ColumnRef(f"k{index}"),
+                ast.ColumnRef(column, alias),
+            )
+            where = comparison if where is None else ast.BinaryOp("AND", where, comparison)
+        subquery = ast.Select(
+            items=[ast.SelectItem(ast.ColumnRef("v"))],
+            from_=ast.TableName(temp_name),
+            where=where,
+        )
+        return ast.ScalarSubquery(subquery)
+
+    def _fetch_keys(
+        self,
+        call: IngredientCall,
+        owner: Optional[ast.Select],
+        alias: str,
+        report: ExecutionReport,
+    ) -> list[tuple]:
+        """Distinct key tuples, after predicate pushdown when enabled."""
+        columns = ", ".join(
+            f"{quote_identifier(alias)}.{quote_identifier(c)}"
+            for c in call.key_columns
+        )
+        from_clause = quote_identifier(call.source_table)
+        if alias != call.source_table:
+            from_clause += f" AS {quote_identifier(alias)}"
+        sql = f"SELECT DISTINCT {columns} FROM {from_clause}"
+        if self.pushdown and owner is not None:
+            source_columns = set(self.db.table_columns(call.source_table))
+            conjuncts = pushable_conjuncts(owner, alias, source_columns)
+            if conjuncts:
+                rendered = " AND ".join(f"({_render_expr(c)})" for c in conjuncts)
+                sql += f" WHERE {rendered}"
+        rows = self.db.query(sql).rows
+        keys = [tuple(str(v) for v in row) for row in rows]
+        report.keys_after_pushdown[call.question] = len(keys)
+        return keys
+
+    def _generate_mapping(
+        self,
+        call: IngredientCall,
+        keys: list[tuple],
+        report: ExecutionReport,
+    ) -> dict[tuple, Optional[str]]:
+        """Batched LLM calls answering the question for every key.
+
+        With a :class:`~repro.udf.semantic_cache.SemanticCache` attached,
+        previously generated values for semantically equivalent questions
+        are reused per key (query rewriting, Section 4.3) and only the
+        missing keys reach the model.
+        """
+        mapping: dict[tuple, Optional[str]] = {}
+        reusable: dict[tuple, str] = {}
+        if self.semantic_cache is not None:
+            cached = self.semantic_cache.lookup(call.question, self.client)
+            if cached:
+                reusable = cached
+        to_generate: list[tuple] = []
+        for key in keys:
+            if key in reusable:
+                mapping[key] = reusable[key]
+                self.semantic_cache.stats.keys_reused += 1
+            else:
+                to_generate.append(key)
+        for batch in batched(to_generate, self.batch_size):
+            prompt = self._map_prompt(call, batch)
+            response = self.client.complete(prompt, label="udf:map")
+            if response.usage.calls:
+                report.llm_calls += 1
+                report.call_sizes.append(
+                    (response.usage.input_tokens, response.usage.output_tokens)
+                )
+            answers = _parse_map_answers(response.text, len(batch))
+            for key, answer in zip(batch, answers):
+                mapping[key] = answer
+                if answer is not None:
+                    report.keys_generated += 1
+        if self.semantic_cache is not None:
+            self.semantic_cache.store(
+                call.question,
+                {key: value for key, value in mapping.items() if value is not None},
+            )
+        return mapping
+
+    def _map_prompt(self, call: IngredientCall, batch: list[tuple]) -> str:
+        question = call.question
+        spec = PromptSpec()
+        spec.add_task(
+            "Answer the question for each given key from the "
+            f"`{self.world.name}` database."
+        )
+        for line in self._options_lines(call):
+            spec.add_values(line)
+        for line in self._demo_lines(question):
+            spec.add_demonstration(line)
+        key_lines = [MAP_KEYS_MARKER]
+        for index, key in enumerate(batch, start=1):
+            rendered = "|".join(quote_field(str(part)) for part in key)
+            key_lines.append(f"{index}. {rendered}")
+        spec.add_target(f"{QUESTION_MARKER} {question}", *key_lines)
+        spec.add_rule(
+            "Return one line per key in the format `index. answer`, "
+            "with no explanation."
+        )
+        spec.add_cue(ANSWER_MARKER)
+        return spec.render()
+
+    def _options_lines(self, call: IngredientCall) -> list[str]:
+        """The retained value list, when the query passes options=...
+
+        SWAN keeps the distinct values of dropped categorical columns so
+        the model selects rather than free-forms (Section 3.3); BlendSQL
+        surfaces them through the LLMMap ``options`` argument.
+        """
+        options = dict(call.options).get("options")
+        if options is None:
+            return []
+        if isinstance(options, str):
+            values = self.world.value_lists.get(options, [options])
+        elif isinstance(options, list):
+            values = [str(v) for v in options]
+        else:
+            return []
+        shown = values[:40]
+        rendered = ", ".join(f"'{v}'" for v in shown)
+        ellipsis = ", ..." if len(values) > len(shown) else ""
+        return [f"The possible answers are [{rendered}{ellipsis}]."]
+
+    def _demo_lines(self, question: str) -> list[str]:
+        if self.selector is None or self.shots == 0:
+            return []
+        demos = self.selector.select(question, self.shots)
+        return [
+            f"{MAP_EXAMPLE_MARKER} key: {quote_field(demo.key_display)} "
+            f"-> answer: {quote_field(demo.answer)}"
+            for demo in demos
+        ]
+
+    def _materialize_mapping(
+        self, call: IngredientCall, mapping: dict[tuple, Optional[str]]
+    ) -> str:
+        temp_name = f"__llm_ing_{self._temp_counter}"
+        self._temp_counter += 1
+        columns = [f"k{i}" for i in range(len(call.key_columns))] + ["v"]
+        rows = [
+            tuple(key) + (value,)
+            for key, value in mapping.items()
+            if value is not None
+        ]
+        self.db.create_temp_table(temp_name, columns, rows)
+        return temp_name
+
+    def _maybe_materialize_view(
+        self, call: IngredientCall, mapping: dict[tuple, Optional[str]]
+    ) -> None:
+        """Persist a *complete* generation as a materialized view.
+
+        Only complete mappings (covering every distinct key of the source
+        table) are safe to reuse by later queries with different — or no
+        — pushdown predicates; partial generations stay query-local.
+        """
+        if self.views is None:
+            return
+        columns = ", ".join(quote_identifier(c) for c in call.key_columns)
+        total_keys = self.db.query_scalar(
+            f"SELECT COUNT(*) FROM (SELECT DISTINCT {columns} "
+            f"FROM {quote_identifier(call.source_table)})"
+        )
+        if len(mapping) != total_keys:
+            return
+        view_columns = [f"k{i}" for i in range(len(call.key_columns))] + ["v"]
+        rows = [
+            tuple(key) + (value,)
+            for key, value in mapping.items()
+            if value is not None
+        ]
+        self.views.materialize(self.db, call.signature(), view_columns, rows)
+
+    # -- LLMJoin -----------------------------------------------------------------
+
+    def _run_join(
+        self,
+        call: IngredientCall,
+        alias: Optional[str],
+        report: ExecutionReport,
+    ) -> ast.TableSource:
+        """Materialize a generated table usable in FROM.
+
+        Columns: the key columns under their original names plus ``value``.
+        """
+        keys = self._fetch_keys(call, None, call.source_table, report)
+        mapping = self._generate_mapping(call, keys, report)
+        temp_name = f"__llm_ing_{self._temp_counter}"
+        self._temp_counter += 1
+        columns = list(call.key_columns) + ["value"]
+        rows = [
+            tuple(key) + (value,)
+            for key, value in mapping.items()
+            if value is not None
+        ]
+        self.db.create_temp_table(temp_name, columns, rows)
+        return ast.TableName(temp_name, alias=alias)
+
+
+# -- occurrence discovery ---------------------------------------------------------
+
+
+def _walk_own_region(node: ast.Node) -> Iterator[ast.Node]:
+    """Walk without descending into nested SELECTs."""
+    yield node
+    for child in node.children():
+        if isinstance(child, ast.Select):
+            continue
+        yield from _walk_own_region(child)
+
+
+def _ingredient_occurrences(
+    statement: ast.Select,
+) -> list[tuple[ast.Ingredient, Optional[ast.Select], Optional[str], bool]]:
+    """All ingredient nodes with their owning SELECT scope.
+
+    Returns (node, owner, source_alias, is_from_source) tuples.  The
+    owner is the SELECT whose own region (select list, WHERE, GROUP BY,
+    HAVING, ORDER BY — nested subqueries excluded) contains the node.
+    """
+    occurrences: list[
+        tuple[ast.Ingredient, Optional[ast.Select], Optional[str], bool]
+    ] = []
+    selects = [node for node in walk(statement) if isinstance(node, ast.Select)]
+    for select in selects:
+        seen_sources: set[int] = set()
+        for source in _iter_sources(select.from_):
+            if isinstance(source, ast.IngredientSource):
+                occurrences.append((source.ingredient, select, source.alias, True))
+                seen_sources.add(id(source.ingredient))
+        for node in _walk_own_region(select):
+            if isinstance(node, ast.Ingredient) and id(node) not in seen_sources:
+                occurrences.append((node, select, None, False))
+    return occurrences
+
+
+def _iter_sources(source: Optional[ast.TableSource]) -> Iterator[ast.TableSource]:
+    if source is None:
+        return
+    if isinstance(source, ast.Join):
+        yield from _iter_sources(source.left)
+        yield from _iter_sources(source.right)
+    else:
+        yield source
+
+
+def _parse_map_answers(completion: str, expected: int) -> list[Optional[str]]:
+    """Parse `index. answer` lines, tolerating gaps and noise."""
+    answers: list[Optional[str]] = [None] * expected
+    for line in completion.splitlines():
+        match = _ANSWER_LINE_RE.match(line)
+        if match is None:
+            continue
+        index = int(match.group(1)) - 1
+        if 0 <= index < expected:
+            value = match.group(2).strip()
+            answers[index] = value if value else None
+    return answers
+
+
+def _render_expr(expr: ast.Expr) -> str:
+    from repro.sqlparser.render import render_expression
+
+    return render_expression(expr)

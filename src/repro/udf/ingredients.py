@@ -1,0 +1,86 @@
+"""Ingredient semantics: interpreting ``{{LLMMap/LLMQA/LLMJoin}}`` calls.
+
+An :class:`IngredientCall` is the validated, executor-facing view of an
+AST :class:`~repro.sqlparser.ast.Ingredient`: the question, the source
+table, and the key columns parsed out of ``table::column`` references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IngredientError
+from repro.sqlparser import ast
+
+KNOWN_INGREDIENTS = ("LLMMap", "LLMQA", "LLMJoin")
+
+
+@dataclass(frozen=True)
+class IngredientCall:
+    """A validated ingredient invocation."""
+
+    kind: str  # 'LLMMap' | 'LLMQA' | 'LLMJoin'
+    question: str
+    source_table: str = ""
+    key_columns: tuple[str, ...] = ()
+    options: tuple[tuple[str, object], ...] = ()
+
+    def signature(self) -> tuple:
+        """Identity for caching/temp-table sharing within one query."""
+        return (self.kind, self.question, self.source_table, self.key_columns)
+
+
+def _split_column_ref(ref: str) -> tuple[str, str]:
+    """Parse a ``table::column`` key reference."""
+    if "::" not in ref:
+        raise IngredientError(
+            f"key reference must look like 'table::column', got {ref!r}"
+        )
+    table, _, column = ref.partition("::")
+    table = table.strip()
+    column = column.strip()
+    if not table or not column:
+        raise IngredientError(f"malformed key reference {ref!r}")
+    return table, column
+
+
+def parse_ingredient_call(node: ast.Ingredient) -> IngredientCall:
+    """Validate an AST ingredient into an :class:`IngredientCall`."""
+    if node.name not in KNOWN_INGREDIENTS:
+        raise IngredientError(
+            f"unknown ingredient {node.name!r}; expected one of "
+            f"{', '.join(KNOWN_INGREDIENTS)}"
+        )
+    if not node.args:
+        raise IngredientError(f"{node.name} requires a question argument")
+    question = str(node.args[0])
+    if node.name == "LLMQA":
+        if len(node.args) > 1:
+            raise IngredientError("LLMQA takes only the question argument")
+        return IngredientCall(
+            kind="LLMQA",
+            question=question,
+            options=tuple(sorted(node.options.items())),
+        )
+    if len(node.args) < 2:
+        raise IngredientError(
+            f"{node.name} requires at least one 'table::column' key reference"
+        )
+    table = ""
+    key_columns: list[str] = []
+    for ref in node.args[1:]:
+        ref_table, column = _split_column_ref(str(ref))
+        if table and ref_table != table:
+            raise IngredientError(
+                f"{node.name} key references mix tables "
+                f"{table!r} and {ref_table!r}"
+            )
+        table = ref_table
+        key_columns.append(column)
+    return IngredientCall(
+        kind=node.name,
+        question=question,
+        source_table=table,
+        key_columns=tuple(key_columns),
+        options=tuple(sorted(node.options.items())),
+    )

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+The SWAN benchmark is deterministic and read-only, so it is loaded once
+per session; anything that mutates a database builds its own copy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.chat import MockChatModel
+from repro.llm.oracle import KnowledgeOracle
+from repro.llm.profiles import get_profile
+from repro.sqlengine.database import Database
+from repro.swan.benchmark import Swan, load_benchmark
+
+
+@pytest.fixture(scope="session")
+def swan() -> Swan:
+    return load_benchmark()
+
+
+@pytest.fixture(scope="session")
+def superhero_world(swan):
+    return swan.world("superhero")
+
+
+@pytest.fixture(scope="session")
+def football_world(swan):
+    return swan.world("european_football")
+
+
+@pytest.fixture(scope="session")
+def formula_world(swan):
+    return swan.world("formula_1")
+
+
+@pytest.fixture(scope="session")
+def schools_world(swan):
+    return swan.world("california_schools")
+
+
+@pytest.fixture()
+def perfect_model(superhero_world):
+    """A perfect-knowledge model bound to the superhero world."""
+    return MockChatModel(KnowledgeOracle(superhero_world), get_profile("perfect"))
+
+
+def make_model(world, profile_name: str = "perfect") -> MockChatModel:
+    """Build a chat model for any world (helper, not a fixture)."""
+    return MockChatModel(KnowledgeOracle(world), get_profile(profile_name))
+
+
+@pytest.fixture()
+def memory_db():
+    """An empty in-memory database, closed after the test."""
+    db = Database.in_memory()
+    yield db
+    db.close()

@@ -1,0 +1,69 @@
+"""Tests for completion-text extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.extraction import extract_row, parse_fields
+from repro.errors import ExtractionError
+from repro.llm.chat import quote_field
+
+
+class TestParseFields:
+    def test_simple(self):
+        assert parse_fields("'a','b','c'") == ["a", "b", "c"]
+
+    def test_commas_inside_quotes(self):
+        assert parse_fields("'a, b','c'") == ["a, b", "c"]
+
+    def test_escaped_quotes(self):
+        assert parse_fields("'it''s','x'") == ["it's", "x"]
+
+
+class TestExtractRow:
+    def test_happy_path(self):
+        assert extract_row("'a','b'", 2) == ["a", "b"]
+
+    def test_skips_preamble_line(self):
+        completion = "Here is the completed row:\n'a','b'"
+        assert extract_row(completion, 2) == ["a", "b"]
+
+    def test_empty_completion_raises(self):
+        with pytest.raises(ExtractionError):
+            extract_row("", 2)
+        with pytest.raises(ExtractionError):
+            extract_row("\n  \n", 2)
+
+    def test_too_few_fields(self):
+        with pytest.raises(ExtractionError, match="expected 3 fields"):
+            extract_row("'a','b'", 3)
+
+    def test_too_many_fields(self):
+        with pytest.raises(ExtractionError):
+            extract_row("'a','b','c'", 2)
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(ExtractionError, match="empty"):
+            extract_row("'a',''", 2)
+
+    def test_takes_last_data_line(self):
+        completion = "'stale','row'\n'fresh','row'"
+        assert extract_row(completion, 2) == ["fresh", "row"]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.text(
+            alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+            min_size=1,
+            max_size=12,
+        ).filter(lambda s: s.strip() == s and s.strip("?") != ""),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_quote_parse_round_trip_property(fields):
+    """Any quoted row of non-empty fields parses back to the same fields."""
+    line = ",".join(quote_field(f) for f in fields)
+    assert extract_row(line, len(fields)) == fields

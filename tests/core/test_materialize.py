@@ -1,0 +1,64 @@
+"""Tests for expansion-table materialization."""
+
+import pytest
+
+from repro.core.materialize import expansion_table_schema, materialize_expansion
+from repro.sqlengine.database import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database.in_memory()
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def expansion(football_world):
+    return football_world.expansion("player_info")
+
+
+class TestSchema:
+    def test_key_columns_text(self, expansion):
+        schema = expansion_table_schema(expansion)
+        assert schema.column("player_name").type == "TEXT"
+
+    def test_numeric_columns_get_numeric_affinity(self, expansion):
+        schema = expansion_table_schema(expansion)
+        assert schema.column("height_cm").type == "NUMERIC"
+
+    def test_primary_key_is_expansion_key(self, expansion):
+        schema = expansion_table_schema(expansion)
+        assert schema.primary_key == ("player_name",)
+
+
+class TestMaterialize:
+    def test_inserts_rows(self, db, expansion):
+        rows = {("A",): ["180", "75", "1990"], ("B",): ["190", "85", "1985"]}
+        inserted = materialize_expansion(db, expansion, rows)
+        assert inserted == 2
+        assert db.row_count("player_info") == 2
+
+    def test_skips_malformed_rows(self, db, expansion):
+        rows = {("A",): ["180", "75", "1990"], ("B",): None}
+        assert materialize_expansion(db, expansion, rows) == 1
+
+    def test_numeric_strings_coerce(self, db, expansion):
+        materialize_expansion(db, expansion, {("A",): ["183", "75", "1990"]})
+        value = db.query_scalar(
+            "SELECT height_cm FROM player_info WHERE player_name = 'A'"
+        )
+        assert value == 183  # NUMERIC affinity converted the string
+        assert db.query_scalar(
+            "SELECT COUNT(*) FROM player_info WHERE height_cm > 180"
+        ) == 1
+
+    def test_recreates_table(self, db, expansion):
+        materialize_expansion(db, expansion, {("A",): ["1", "2", "3"]})
+        materialize_expansion(db, expansion, {("B",): ["4", "5", "6"]})
+        names = db.query_column("SELECT player_name FROM player_info")
+        assert names == ["B"]
+
+    def test_accepts_iterable_of_full_rows(self, db, expansion):
+        rows = [("A", "180", "75", "1990")]
+        assert materialize_expansion(db, expansion, rows) == 1

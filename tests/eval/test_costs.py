@@ -1,0 +1,70 @@
+"""Tests for the cost/latency/throughput analysis."""
+
+import pytest
+
+from repro.eval.costs import CostReport, estimate_costs
+from repro.llm.batching import LatencyModel
+from repro.llm.usage import Usage
+
+
+FLAT_LATENCY = LatencyModel(base_seconds=1.0, per_input_token=0.0,
+                            per_output_token=0.0)
+
+
+class TestEstimateCosts:
+    def test_dollars_match_pricing(self):
+        usage = Usage(input_tokens=1_000_000, output_tokens=0, calls=10)
+        report = estimate_costs(usage, "gpt-3.5-turbo")
+        assert report.dollars == pytest.approx(3.0)
+
+    def test_even_call_split(self):
+        usage = Usage(input_tokens=100, output_tokens=50, calls=10)
+        report = estimate_costs(usage, "gpt-3.5-turbo",
+                                latency_model=FLAT_LATENCY, workers=5)
+        assert report.sequential_latency_s == pytest.approx(10.0)
+        assert report.parallel_latency_s == pytest.approx(2.0)
+
+    def test_explicit_call_sizes_override(self):
+        usage = Usage(input_tokens=100, output_tokens=100, calls=2)
+        report = estimate_costs(
+            usage, "gpt-3.5-turbo",
+            call_sizes=[(100, 0), (0, 100), (0, 0)],
+            latency_model=FLAT_LATENCY,
+        )
+        assert report.sequential_latency_s == pytest.approx(3.0)
+
+    def test_per_question_and_throughput(self):
+        usage = Usage(input_tokens=1000, output_tokens=100, calls=4)
+        report = estimate_costs(usage, "gpt-4-turbo", questions=10,
+                                latency_model=FLAT_LATENCY, workers=4)
+        assert report.dollars_per_question == pytest.approx(report.dollars / 10)
+        assert report.throughput_qps == pytest.approx(10 / report.parallel_latency_s)
+
+    def test_zero_usage(self):
+        report = estimate_costs(Usage(), "gpt-3.5-turbo")
+        assert report.dollars == 0.0
+        assert report.sequential_latency_s == 0.0
+        assert report.throughput_qps == 0.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            estimate_costs(Usage(), "gpt-3.5-turbo", workers=0)
+
+    def test_summary_renders(self):
+        usage = Usage(input_tokens=1000, output_tokens=100, calls=4)
+        text = estimate_costs(usage, "gpt-3.5-turbo", questions=2).summary()
+        assert "cost: $" in text
+        assert "questions/s" in text
+
+    def test_parallel_never_slower_than_sequential(self):
+        usage = Usage(input_tokens=10_000, output_tokens=2_000, calls=20)
+        report = estimate_costs(usage, "gpt-4-turbo", workers=8)
+        assert report.parallel_latency_s <= report.sequential_latency_s
+
+
+class TestCostReportIsFrozen:
+    def test_immutable(self):
+        report = estimate_costs(Usage(), "gpt-3.5-turbo")
+        with pytest.raises(AttributeError):
+            report.dollars = 99.0  # type: ignore[misc]
+        assert isinstance(report, CostReport)

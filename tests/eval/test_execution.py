@@ -1,0 +1,59 @@
+"""Tests for the EX metric plumbing."""
+
+from repro.eval.execution import (
+    evaluate_question,
+    execution_accuracy,
+    failed_outcome,
+)
+from repro.sqlengine.results import ResultSet
+from repro.swan.base import Question
+
+
+def make_question(ordered=False):
+    return Question(
+        qid="demo_q01",
+        database="demo",
+        text="?",
+        gold_sql="SELECT 1",
+        hqdl_sql="SELECT 1",
+        blend_sql="SELECT {{LLMQA('q')}}",
+        ordered=ordered,
+    )
+
+
+def rs(rows):
+    return ResultSet(columns=["c"], rows=[tuple(r) for r in rows])
+
+
+class TestEvaluateQuestion:
+    def test_correct(self):
+        outcome = evaluate_question(make_question(), rs([(1,)]), rs([(1,)]))
+        assert outcome.correct
+        assert outcome.expected_rows == outcome.actual_rows == 1
+
+    def test_incorrect(self):
+        outcome = evaluate_question(make_question(), rs([(1,)]), rs([(2,)]))
+        assert not outcome.correct
+
+    def test_ordered_respects_flag(self):
+        expected, actual = rs([(1,), (2,)]), rs([(2,), (1,)])
+        assert evaluate_question(make_question(False), expected, actual).correct
+        assert not evaluate_question(make_question(True), expected, actual).correct
+
+    def test_failed_outcome(self):
+        outcome = failed_outcome(make_question(), rs([(1,)]), "boom")
+        assert not outcome.correct
+        assert outcome.error == "boom"
+        assert outcome.actual_rows == 0
+
+
+class TestAccuracy:
+    def test_empty_is_zero(self):
+        assert execution_accuracy([]) == 0.0
+
+    def test_fraction(self):
+        outcomes = [
+            evaluate_question(make_question(), rs([(1,)]), rs([(1,)])),
+            evaluate_question(make_question(), rs([(1,)]), rs([(2,)])),
+        ]
+        assert execution_accuracy(outcomes) == 0.5

@@ -1,0 +1,114 @@
+"""Tests for the data-factuality F1 metric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hqdl import GenerationResult, TableGeneration
+from repro.eval.factuality import (
+    _set_f1,
+    cell_f1,
+    database_factuality,
+    table_factuality,
+)
+from repro.swan.base import (
+    KIND_FREEFORM,
+    KIND_MULTI,
+    KIND_NUMERIC,
+    KIND_SELECTION,
+    ExpansionColumn,
+)
+
+SELECTION = ExpansionColumn("c", KIND_SELECTION, ("c",), "some_list")
+FREEFORM = ExpansionColumn("f", KIND_FREEFORM, ("f",))
+NUMERIC = ExpansionColumn("n", KIND_NUMERIC, ("n",))
+MULTI = ExpansionColumn("m", KIND_MULTI, ("m",), "some_list")
+
+
+class TestCellF1:
+    def test_exact_match(self):
+        assert cell_f1("DC Comics", "DC Comics", SELECTION) == 1.0
+
+    def test_mismatch(self):
+        assert cell_f1("Marvel Comics", "DC Comics", SELECTION) == 0.0
+
+    def test_missing_cell_scores_zero(self):
+        assert cell_f1(None, "DC Comics", SELECTION) == 0.0
+
+    def test_whitespace_normalised(self):
+        assert cell_f1("DC  Comics", "DC Comics", FREEFORM) == 1.0
+
+    def test_numeric_string_equivalence(self):
+        assert cell_f1("180", 180, NUMERIC) == 1.0
+        assert cell_f1("180.0", 180, NUMERIC) == 1.0
+        assert cell_f1("181", 180, NUMERIC) == 0.0
+
+    def test_multi_perfect(self):
+        assert cell_f1("Flight, Magic", ("Flight", "Magic"), MULTI) == 1.0
+
+    def test_multi_partial(self):
+        score = cell_f1("Flight", ("Flight", "Magic"), MULTI)
+        # precision 1, recall 0.5 -> F1 = 2/3
+        assert score == pytest.approx(2 / 3)
+
+    def test_multi_order_insensitive(self):
+        assert cell_f1("Magic, Flight", ("Flight", "Magic"), MULTI) == 1.0
+
+    def test_multi_empty_both(self):
+        assert cell_f1("", (), MULTI) == 1.0
+
+    def test_multi_hallucinated_extra(self):
+        score = cell_f1("Flight, Magic, Stealth", ("Flight", "Magic"), MULTI)
+        assert 0.0 < score < 1.0
+
+
+class TestSetF1Properties:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(st.sampled_from("abcdef"), max_size=6))
+    def test_identical_sets_score_one(self, items):
+        assert _set_f1(items, items) == 1.0
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(st.sampled_from("abc"), max_size=4),
+        st.lists(st.sampled_from("def"), min_size=1, max_size=4),
+    )
+    def test_disjoint_sets_score_zero(self, left, right):
+        if not left:
+            return  # empty vs non-empty is covered elsewhere
+        assert _set_f1(left, right) == 0.0
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(st.sampled_from("abcdef"), max_size=6),
+        st.lists(st.sampled_from("abcdef"), max_size=6),
+    )
+    def test_symmetric_and_bounded(self, left, right):
+        score = _set_f1(left, right)
+        assert 0.0 <= score <= 1.0
+        assert score == _set_f1(right, left)
+
+
+class TestTableFactuality:
+    def test_counts_all_expected_cells(self, superhero_world):
+        generation = TableGeneration(expansion_name="superhero_info")
+        # nothing generated: every cell scores zero but all are counted
+        total, cells = table_factuality(superhero_world, generation)
+        expansion = superhero_world.expansion("superhero_info")
+        assert total == 0.0
+        assert cells == len(superhero_world.truth["superhero_info"]) * len(
+            expansion.columns
+        )
+
+    def test_perfect_generation_scores_one(self, superhero_world):
+        from repro.core.hqdl import HQDL
+        from tests.conftest import make_model
+
+        pipeline = HQDL(superhero_world, make_model(superhero_world), shots=0)
+        generation = pipeline.generate_all()
+        score = database_factuality(superhero_world, generation)
+        assert score == 1.0
+
+    def test_empty_generation_result(self, superhero_world):
+        result = GenerationResult(database="superhero", shots=0)
+        assert database_factuality(superhero_world, result) == 0.0

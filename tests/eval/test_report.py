@@ -1,0 +1,32 @@
+"""Tests for table formatting."""
+
+from repro.eval.report import format_records, format_table, percent
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "n"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or "-" in line for line in lines[:1])
+        assert "longer" in lines[3]
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_floats_formatted(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.1" in text
+
+    def test_records(self):
+        text = format_records([{"x": 1, "y": 2}, {"x": 3, "y": 4}])
+        assert "x" in text and "3" in text
+
+    def test_empty_records(self):
+        assert format_records([]) == "(no rows)"
+
+
+def test_percent():
+    assert percent(0.4) == "40.0%"
+    assert percent(0.3167) == "31.7%"

@@ -1,0 +1,26 @@
+"""Tests for the `python -m repro.harness` CLI."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Formula One" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "Marvel" in capsys.readouterr().out
+
+    def test_multiple_targets(self, capsys):
+        assert main(["table1", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Figure 1" in out
+
+    def test_unknown_target(self, capsys):
+        assert main(["table9"]) == 2
+        assert "unknown targets" in capsys.readouterr().out

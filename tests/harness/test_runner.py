@@ -1,0 +1,82 @@
+"""Tests for the experiment runners (restricted to one database for speed)."""
+
+import pytest
+
+from repro.harness.runner import GoldResults, run_hqdl, run_udf
+
+
+@pytest.fixture(scope="module")
+def gold(swan):
+    return GoldResults(swan)
+
+
+class TestGoldResults:
+    def test_covers_all_questions(self, swan, gold):
+        for question in swan.questions:
+            result = gold.expected(question.qid)
+            assert result.columns is not None
+
+    def test_unknown_qid(self, gold):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            gold.expected("nope")
+
+
+class TestRunHQDL:
+    def test_perfect_model_gets_full_marks(self, swan, gold):
+        run = run_hqdl(swan, "perfect", 0, databases=["superhero"], gold=gold)
+        assert run.ex_by_db["superhero"] == 1.0
+        assert run.f1_by_db["superhero"] == 1.0
+        assert run.overall_ex == 1.0
+        assert len(run.outcomes) == 30
+
+    def test_real_model_is_imperfect_but_metered(self, swan, gold):
+        run = run_hqdl(swan, "gpt-3.5-turbo", 0, databases=["superhero"], gold=gold)
+        assert 0.0 < run.ex_by_db["superhero"] < 1.0
+        assert 0.0 < run.f1_by_db["superhero"] < 1.0
+        assert run.usage.calls == len(
+            swan.world("superhero").truth["superhero_info"]
+        )
+
+    def test_generation_reused_across_questions(self, swan, gold):
+        """30 questions, but generation calls = number of keys (once)."""
+        run = run_hqdl(swan, "gpt-3.5-turbo", 0, databases=["superhero"], gold=gold)
+        keys = len(swan.world("superhero").truth["superhero_info"])
+        assert run.usage.calls == keys
+
+    def test_average_f1_over_databases(self, swan, gold):
+        run = run_hqdl(
+            swan, "perfect", 0, databases=["superhero", "formula_1"], gold=gold
+        )
+        assert run.average_f1 == 1.0
+        assert len(run.f1_by_db) == 2
+
+
+class TestRunUDF:
+    def test_perfect_model_gets_full_marks(self, swan, gold):
+        run = run_udf(swan, "perfect", 0, databases=["superhero"], gold=gold)
+        assert run.ex_by_db["superhero"] == 1.0
+
+    def test_cache_stats_collected(self, swan, gold):
+        run = run_udf(swan, "gpt-3.5-turbo", 0, databases=["superhero"], gold=gold)
+        assert run.cache_misses > 0
+        assert run.usage.calls == run.cache_misses
+
+    def test_pushdown_flag_changes_cost(self, swan, gold):
+        with_pd = run_udf(
+            swan, "perfect", 0, databases=["formula_1"], gold=gold, pushdown=True
+        )
+        without_pd = run_udf(
+            swan, "perfect", 0, databases=["formula_1"], gold=gold, pushdown=False
+        )
+        assert without_pd.usage.input_tokens > with_pd.usage.input_tokens
+
+    def test_batch_size_changes_call_count(self, swan, gold):
+        small = run_udf(
+            swan, "perfect", 0, databases=["superhero"], gold=gold, batch_size=1
+        )
+        large = run_udf(
+            swan, "perfect", 0, databases=["superhero"], gold=gold, batch_size=20
+        )
+        assert small.usage.calls > large.usage.calls

@@ -1,0 +1,67 @@
+"""Tests for the grid sweep and CSV export."""
+
+import csv
+
+import pytest
+
+from repro.harness.runner import GoldResults
+from repro.harness.sweep import SweepRecord, run_sweep, write_csv
+
+
+@pytest.fixture(scope="module")
+def records(swan):
+    gold = GoldResults(swan)
+    return run_sweep(
+        swan,
+        hqdl_configs=[("perfect", 0)],
+        udf_configs=[("perfect", 0)],
+        gold=gold,
+    )
+
+
+class TestRunSweep:
+    def test_one_record_per_cell(self, records, swan):
+        databases = len(swan.database_names())
+        assert len(records) == 2 * databases  # hqdl + udf
+
+    def test_perfect_model_scores_one(self, records):
+        assert all(r.execution_accuracy == 1.0 for r in records)
+
+    def test_hqdl_carries_factuality_udf_does_not(self, records):
+        hqdl = [r for r in records if r.method == "hqdl"]
+        udf = [r for r in records if r.method == "udf"]
+        assert all(r.factuality_f1 == 1.0 for r in hqdl)
+        assert all(r.factuality_f1 is None for r in udf)
+
+    def test_tokens_positive(self, records):
+        assert all(r.input_tokens > 0 and r.llm_calls > 0 for r in records)
+
+
+class TestCsvExport:
+    def test_round_trip(self, records, tmp_path):
+        path = write_csv(records, tmp_path / "sweep.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(records)
+        assert rows[0]["method"] == "hqdl"
+        assert float(rows[0]["execution_accuracy"]) == 1.0
+
+    def test_empty_factuality_serialized_blank(self, records, tmp_path):
+        path = write_csv(records, tmp_path / "sweep.csv")
+        with path.open() as handle:
+            udf_rows = [r for r in csv.DictReader(handle) if r["method"] == "udf"]
+        assert all(r["factuality_f1"] == "" for r in udf_rows)
+
+    def test_creates_parent_directories(self, records, tmp_path):
+        path = write_csv(records, tmp_path / "deep" / "dir" / "sweep.csv")
+        assert path.exists()
+
+    def test_as_row_rounding(self):
+        record = SweepRecord(
+            method="hqdl", model="m", shots=0, database="d",
+            execution_accuracy=0.123456, factuality_f1=0.98765,
+            input_tokens=1, output_tokens=2, llm_calls=3,
+        )
+        row = record.as_row()
+        assert row["execution_accuracy"] == 0.1235
+        assert row["factuality_f1"] == 0.9877

@@ -1,0 +1,78 @@
+"""Tests for the table generators (cheap configurations only)."""
+
+import pytest
+
+from repro.harness.runner import GoldResults
+from repro.harness.tables import figure1, table1, table2, table3, table4, table5
+
+
+@pytest.fixture(scope="module")
+def gold(swan):
+    return GoldResults(swan)
+
+
+class TestTable1:
+    def test_rows_and_text(self, swan):
+        records, text = table1(swan)
+        assert len(records) == 4
+        assert "Rows/Table" in text
+        assert "Formula One" in text
+
+    def test_superhero_matches_paper_drop_count(self, swan):
+        records, _ = table1(swan)
+        superhero = [r for r in records if "hero" in str(r["database"]).lower()][0]
+        assert superhero["cols_dropped"] == 11
+
+
+class TestTable2:
+    def test_single_cell_configuration(self, swan, gold):
+        records, text = table2(
+            swan, models=("gpt-4-turbo",), shots=(0, 5), gold=gold
+        )
+        assert len(records) == 2
+        assert records[1]["overall"] >= records[0]["overall"]  # shots help
+        assert "Overall" in text
+
+    def test_improvement_column_relative_to_zero_shot(self, swan, gold):
+        records, _ = table2(swan, models=("gpt-4-turbo",), shots=(0, 5), gold=gold)
+        assert records[0]["improvement"] == 0.0
+        assert records[1]["improvement"] == pytest.approx(
+            records[1]["overall"] - records[0]["overall"]
+        )
+
+
+class TestTable3:
+    def test_runs(self, swan, gold):
+        records, text = table3(
+            swan, configs=(("gpt-3.5-turbo", 0),), gold=gold
+        )
+        assert len(records) == 1
+        assert 0.0 <= records[0]["overall"] <= 1.0
+        assert "HQ UDFs" in text
+
+
+class TestTable4:
+    def test_f1_monotone_in_shots(self, swan, gold):
+        records, _ = table4(swan, models=("gpt-3.5-turbo",), shots=(0, 5), gold=gold)
+        assert records[1]["average_f1"] > records[0]["average_f1"]
+
+
+class TestTable5:
+    def test_udf_costs_more(self, swan, gold):
+        records, text = table5(swan, gold=gold)
+        hqdl = [r for r in records if r["algorithm"] == "HQDL"][0]
+        udf = [r for r in records if r["algorithm"] == "HQ UDFs"][0]
+        assert udf.get("input_tokens") > 0 and hqdl.get("input_tokens") > 0
+        assert udf["output_tokens"] > hqdl["output_tokens"]
+        assert "ratio" in text
+
+
+class TestFigure1:
+    def test_database_only_fails_hybrid_succeeds(self, swan):
+        records, text = figure1(swan)
+        db_only = [r for r in records if r["approach"] == "database-only"][0]
+        hybrid = [r for r in records if r["approach"] == "hybrid"][0]
+        assert not db_only["answerable"]
+        assert hybrid["answerable"]
+        assert hybrid["rows"] > 20
+        assert "FAILS" in text

@@ -1,0 +1,63 @@
+"""The benchmark's central integrity property.
+
+For every one of the 120 questions, the three queries must agree exactly
+when the LLM is perfect: gold on the original database, HQDL's hybrid SQL
+on the expanded database, and the BlendSQL-dialect query through the UDF
+executor.  Any EX loss in the experiments is then attributable to model
+errors alone — never to inconsistent hand-written queries.
+"""
+
+import pytest
+
+from repro.core.hqdl import HQDL
+from repro.sqlengine.results import results_match
+from repro.swan.benchmark import DATABASE_ORDER
+from repro.swan.build import build_curated_database, build_original_database
+from repro.udf.executor import HybridQueryExecutor
+
+from tests.conftest import make_model
+
+
+@pytest.fixture(scope="module", params=DATABASE_ORDER)
+def database_fixture(request, swan):
+    name = request.param
+    world = swan.world(name)
+    orig = build_original_database(world)
+    hqdl = HQDL(world, make_model(world), shots=0)
+    expanded = hqdl.build_expanded_database()
+    curated = build_curated_database(world)
+    executor = HybridQueryExecutor(curated, make_model(world), world)
+    yield name, world, orig, hqdl, expanded, executor
+    orig.close()
+    expanded.close()
+    curated.close()
+
+
+class TestPerfectModelConsistency:
+    def test_hqdl_matches_gold(self, swan, database_fixture):
+        name, world, orig, hqdl, expanded, _ = database_fixture
+        for question in swan.questions_for(name):
+            expected = orig.query(question.gold_sql)
+            actual = hqdl.answer(expanded, question)
+            assert results_match(expected, actual, ordered=question.ordered), (
+                question.qid
+            )
+
+    def test_udf_matches_gold(self, swan, database_fixture):
+        name, world, orig, _, _, executor = database_fixture
+        for question in swan.questions_for(name):
+            expected = orig.query(question.gold_sql)
+            actual = executor.execute(question.blend_sql)
+            assert results_match(expected, actual, ordered=question.ordered), (
+                question.qid
+            )
+
+    def test_gold_results_non_trivial(self, swan, database_fixture):
+        """Most questions must have non-empty answers (no vacuous passes)."""
+        name, world, orig, _, _, _ = database_fixture
+        empty = sum(
+            1
+            for question in swan.questions_for(name)
+            if orig.query(question.gold_sql).is_empty()
+        )
+        assert empty == 0, f"{empty} empty gold results in {name}"

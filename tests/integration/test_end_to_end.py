@@ -1,0 +1,72 @@
+"""End-to-end behavioural shapes on real (imperfect) model profiles.
+
+These assert the qualitative claims of the paper's evaluation on a single
+database each, keeping runtime low; the benchmark suite reruns the full
+grids.
+"""
+
+import pytest
+
+from repro.harness.runner import GoldResults, run_hqdl, run_udf
+
+
+@pytest.fixture(scope="module")
+def gold(swan):
+    return GoldResults(swan)
+
+
+class TestShotScaling:
+    def test_hqdl_improves_with_shots(self, swan, gold):
+        """Table 2's headline: demonstrations raise execution accuracy."""
+        zero = run_hqdl(swan, "gpt-4-turbo", 0, databases=["formula_1"], gold=gold)
+        five = run_hqdl(swan, "gpt-4-turbo", 5, databases=["formula_1"], gold=gold)
+        assert five.overall_ex > zero.overall_ex
+
+    def test_factuality_improves_with_shots(self, swan, gold):
+        zero = run_hqdl(swan, "gpt-3.5-turbo", 0, databases=["superhero"], gold=gold)
+        five = run_hqdl(swan, "gpt-3.5-turbo", 5, databases=["superhero"], gold=gold)
+        assert five.f1_by_db["superhero"] > zero.f1_by_db["superhero"]
+
+
+class TestModelOrdering:
+    def test_gpt4_more_factual_than_gpt35(self, swan, gold):
+        """Table 4: GPT-4 Turbo consistently generates more factual data."""
+        for shots in (0, 5):
+            weak = run_hqdl(swan, "gpt-3.5-turbo", shots,
+                            databases=["superhero"], gold=gold)
+            strong = run_hqdl(swan, "gpt-4-turbo", shots,
+                              databases=["superhero"], gold=gold)
+            assert strong.f1_by_db["superhero"] >= weak.f1_by_db["superhero"]
+
+
+class TestMethodOrdering:
+    def test_hqdl_beats_udf_on_execution_accuracy(self, swan, gold):
+        """Section 5.4: full-row generation beats single-cell generation."""
+        hqdl = run_hqdl(swan, "gpt-3.5-turbo", 0, gold=gold)
+        udf = run_udf(swan, "gpt-3.5-turbo", 0, gold=gold)
+        assert hqdl.overall_ex > udf.overall_ex
+
+    def test_udf_uses_more_tokens_than_hqdl(self, swan, gold):
+        """Section 5.5: limited cache reuse makes HQ UDFs the costly path."""
+        hqdl = run_hqdl(swan, "gpt-3.5-turbo", 0, gold=gold)
+        udf = run_udf(swan, "gpt-3.5-turbo", 0, gold=gold)
+        assert udf.usage.output_tokens > hqdl.usage.output_tokens
+        assert udf.usage.calls > hqdl.usage.calls
+
+
+class TestDatabaseDifficulty:
+    def test_california_easiest_football_hardest(self, swan, gold):
+        """Table 2's per-database ordering at 5 shots."""
+        run = run_hqdl(swan, "gpt-4-turbo", 5, gold=gold)
+        ex = run.ex_by_db
+        assert ex["california_schools"] == max(ex.values())
+        assert ex["european_football"] == min(ex.values())
+
+
+class TestDeterminism:
+    def test_full_run_reproducible(self, swan, gold):
+        first = run_hqdl(swan, "gpt-3.5-turbo", 1, databases=["superhero"], gold=gold)
+        second = run_hqdl(swan, "gpt-3.5-turbo", 1, databases=["superhero"], gold=gold)
+        assert first.ex_by_db == second.ex_by_db
+        assert first.f1_by_db == second.f1_by_db
+        assert first.usage == second.usage

@@ -1,0 +1,73 @@
+"""Tests for batching helpers and the latency/parallelism model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.batching import (
+    DEFAULT_BATCH_SIZE,
+    LatencyModel,
+    batched,
+    parallel_makespan,
+    sequential_makespan,
+)
+
+
+class TestBatched:
+    def test_exact_chunks(self):
+        assert batched([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_remainder(self):
+        assert batched([1, 2, 3], 2) == [[1, 2], [3]]
+
+    def test_empty(self):
+        assert batched([], 5) == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            batched([1], 0)
+
+    def test_default_matches_paper(self):
+        assert DEFAULT_BATCH_SIZE == 5
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(), max_size=50), st.integers(min_value=1, max_value=10))
+    def test_batching_preserves_order_and_content(self, items, size):
+        chunks = batched(items, size)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert all(len(chunk) <= size for chunk in chunks)
+
+
+class TestLatency:
+    def test_call_latency_affine(self):
+        model = LatencyModel(base_seconds=1.0, per_input_token=0.0,
+                             per_output_token=0.1)
+        assert model.call_latency(100, 10) == pytest.approx(2.0)
+
+    def test_sequential_sums(self):
+        model = LatencyModel(base_seconds=1.0, per_input_token=0.0,
+                             per_output_token=0.0)
+        assert sequential_makespan([(1, 1)] * 4, model) == pytest.approx(4.0)
+
+    def test_parallel_with_enough_workers_is_max(self):
+        model = LatencyModel(base_seconds=0.0, per_input_token=0.0,
+                             per_output_token=1.0)
+        calls = [(0, 5), (0, 3), (0, 2)]
+        assert parallel_makespan(calls, workers=3, model=model) == pytest.approx(5.0)
+
+    def test_parallel_never_beats_critical_path(self):
+        model = LatencyModel()
+        calls = [(100, 50)] * 10
+        single = sequential_makespan(calls, model)
+        for workers in (2, 4, 8):
+            span = parallel_makespan(calls, workers, model)
+            assert span <= single
+            assert span >= single / workers - 1e-9
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            parallel_makespan([], 0)
+
+    def test_empty_calls(self):
+        assert parallel_makespan([], 4) == 0.0
+        assert sequential_makespan([]) == 0.0

@@ -1,0 +1,63 @@
+"""Tests for the prompt cache and caching client."""
+
+from repro.llm.cache import CachingClient, PromptCache
+from repro.llm.client import ScriptedClient
+
+
+class TestPromptCache:
+    def test_miss_then_hit(self):
+        cache = PromptCache()
+        assert cache.get("p") is None
+        cache.put("p", "answer")
+        assert cache.get("p") == "answer"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_exact_match_only(self):
+        """Semantically equal but textually different prompts miss (5.5)."""
+        cache = PromptCache()
+        cache.put("Is the hero from Marvel?", "yes")
+        assert cache.get("Does the hero come from Marvel?") is None
+
+    def test_hit_rate(self):
+        cache = PromptCache()
+        assert cache.hit_rate() == 0.0
+        cache.put("a", "1")
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_rate() == 0.5
+
+    def test_clear(self):
+        cache = PromptCache()
+        cache.put("a", "1")
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+
+
+class TestCachingClient:
+    def test_second_call_costs_nothing(self):
+        inner = ScriptedClient(["first"])
+        client = CachingClient(inner)
+        first = client.complete("prompt")
+        second = client.complete("prompt")
+        assert first.text == second.text == "first"
+        assert first.usage.calls == 1
+        assert second.usage.calls == 0
+        assert second.usage.input_tokens == 0
+        assert len(inner.prompts) == 1
+
+    def test_distinct_prompts_both_reach_model(self):
+        inner = ScriptedClient(["a", "b"])
+        client = CachingClient(inner)
+        assert client.complete("p1").text == "a"
+        assert client.complete("p2").text == "b"
+        assert len(inner.prompts) == 2
+
+    def test_shared_cache_across_clients(self):
+        cache = PromptCache()
+        first = CachingClient(ScriptedClient(["x"]), cache)
+        second = CachingClient(ScriptedClient([]), cache)
+        first.complete("p")
+        assert second.complete("p").text == "x"

@@ -1,0 +1,160 @@
+"""Behavioural tests for the simulated model's failure modes.
+
+The paper attributes specific error classes to specific conditions:
+format drift at zero shot (5.3), misalignment under batching (5.4),
+fewer errors with demonstrations.  These tests verify the simulation
+actually produces those behaviours at plausible rates.
+"""
+
+import pytest
+
+from repro.core.prompts import RowPromptBuilder
+from repro.llm.chat import MockChatModel, quote_field
+from repro.llm.oracle import KnowledgeOracle
+from repro.llm.profiles import get_profile
+
+from tests.conftest import make_model
+
+
+def map_prompt(question, keys, db="superhero"):
+    lines = [
+        f"Answer the question for each given key from the `{db}` database.",
+        f"Question: {question}",
+        "Keys:",
+    ]
+    for i, key in enumerate(keys, 1):
+        lines.append(f"{i}. " + "|".join(quote_field(str(k)) for k in key))
+    lines.append("Return one line per key in the format `index. answer`.")
+    lines.append("Answer:")
+    return "\n".join(lines)
+
+
+class TestDeterminism:
+    def test_same_prompt_same_completion(self, superhero_world):
+        model_a = make_model(superhero_world, "gpt-3.5-turbo")
+        model_b = make_model(superhero_world, "gpt-3.5-turbo")
+        builder = RowPromptBuilder(
+            superhero_world, superhero_world.expansion("superhero_info")
+        )
+        prompt = builder.build(("Batman", "Bruce Wayne"))
+        assert model_a.complete(prompt).text == model_b.complete(prompt).text
+
+
+class TestFormatErrorRates:
+    @staticmethod
+    def _malformed_fraction(world, model, shots):
+        from repro.core.extraction import extract_row
+        from repro.errors import ExtractionError
+
+        builder = RowPromptBuilder(
+            world, world.expansion("superhero_info"), shots=shots
+        )
+        bad = total = 0
+        for key in world.truth["superhero_info"]:
+            total += 1
+            try:
+                extract_row(
+                    model.complete(builder.build(key)).text,
+                    builder.expected_field_count(),
+                )
+            except ExtractionError:
+                bad += 1
+        return bad / total
+
+    def test_errors_decrease_with_shots(self, superhero_world):
+        model = make_model(superhero_world, "gpt-3.5-turbo")
+        zero = self._malformed_fraction(superhero_world, model, 0)
+        five = self._malformed_fraction(superhero_world, model, 5)
+        assert zero >= five
+
+    def test_zero_shot_rate_near_calibration(self, superhero_world):
+        model = make_model(superhero_world, "gpt-3.5-turbo")
+        rate = self._malformed_fraction(superhero_world, model, 0)
+        calibrated = get_profile("gpt-3.5-turbo").format_error_rate(0)
+        # 128 samples; allow generous sampling slack around the target
+        assert abs(rate - calibrated) < 0.06
+
+    def test_perfect_model_never_malformed(self, superhero_world):
+        model = make_model(superhero_world)
+        assert self._malformed_fraction(superhero_world, model, 0) == 0.0
+
+
+class TestBatchMisalignment:
+    def test_large_batches_sometimes_misalign(self, superhero_world):
+        """Over many batched calls, skip/swap errors appear (Section 5.4)."""
+        model = make_model(superhero_world, "gpt-3.5-turbo")
+        keys = list(superhero_world.truth["superhero_info"])
+        anomalies = 0
+        question = "What is the gender of this superhero?"
+        for start in range(0, len(keys) - 5, 5):
+            batch = keys[start : start + 5]
+            text = model.complete(map_prompt(question, batch)).text
+            lines = text.splitlines()
+            if len(lines) != len(batch):
+                anomalies += 1
+                continue
+            values = [line.split(". ", 1)[-1] for line in lines]
+            truths = [
+                str(superhero_world.truth_value("superhero_info", k, "gender"))
+                for k in batch
+            ]
+            # an empty answer is a skip; a swapped pair shows as two
+            # adjacent answers that match each other's truth
+            if "" in values:
+                anomalies += 1
+                continue
+            for i in range(len(values) - 1):
+                if (
+                    values[i] != truths[i]
+                    and values[i + 1] != truths[i + 1]
+                    and values[i] == truths[i + 1]
+                    and values[i + 1] == truths[i]
+                ):
+                    anomalies += 1
+                    break
+        assert anomalies > 0
+
+    def test_single_key_batches_never_misalign(self, superhero_world):
+        model = make_model(superhero_world, "gpt-3.5-turbo")
+        question = "What is the gender of this superhero?"
+        for key in list(superhero_world.truth["superhero_info"])[:30]:
+            text = model.complete(map_prompt(question, [key])).text
+            assert text.startswith("1. ")
+            assert text.count("\n") == 0
+
+
+class TestPreamble:
+    def test_zero_shot_preambles_occur_and_are_recoverable(self, superhero_world):
+        from repro.core.extraction import extract_row
+
+        model = make_model(superhero_world, "gpt-3.5-turbo")
+        builder = RowPromptBuilder(
+            superhero_world, superhero_world.expansion("superhero_info"), shots=0
+        )
+        preambles = 0
+        for key in superhero_world.truth["superhero_info"]:
+            text = model.complete(builder.build(key)).text
+            if text.startswith("Here is the completed row:"):
+                preambles += 1
+                # extraction skips the chatty line and still gets the row
+                fields = extract_row(text, builder.expected_field_count())
+                assert fields[0] == key[0]
+        assert preambles > 0
+
+
+class TestCrossWorldProtocols:
+    @pytest.mark.parametrize(
+        "world_name", ["superhero", "formula_1", "california_schools",
+                       "european_football"]
+    )
+    def test_row_protocol_works_everywhere(self, swan, world_name):
+        world = swan.world(world_name)
+        model = make_model(world)
+        for expansion in world.expansions:
+            builder = RowPromptBuilder(world, expansion)
+            key = next(iter(world.truth[expansion.name]))
+            text = model.complete(builder.build(key)).text
+            from repro.core.extraction import extract_row
+
+            fields = extract_row(text, builder.expected_field_count())
+            assert fields[: len(expansion.key_columns)] == [str(p) for p in key]

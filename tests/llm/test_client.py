@@ -1,0 +1,34 @@
+"""Tests for the client protocol and test doubles."""
+
+import pytest
+
+from repro.errors import LLMError
+from repro.llm.client import ChatClient, ScriptedClient
+
+
+class TestScriptedClient:
+    def test_queue_mode(self):
+        client = ScriptedClient(["one", "two"])
+        assert client.complete("a").text == "one"
+        assert client.complete("b").text == "two"
+        with pytest.raises(LLMError):
+            client.complete("c")
+
+    def test_dict_exact_match(self):
+        client = ScriptedClient({"the prompt": "answer"})
+        assert client.complete("the prompt").text == "answer"
+
+    def test_dict_substring_match(self):
+        client = ScriptedClient({"needle": "found"})
+        assert client.complete("hay needle stack").text == "found"
+
+    def test_records_prompts_and_usage(self):
+        client = ScriptedClient(["hello world"])
+        response = client.complete("two words")
+        assert client.prompts == ["two words"]
+        # "two" = 1 subword token, "words" = 2; "hello world" = 2 + 2
+        assert response.usage.input_tokens == 3
+        assert response.usage.output_tokens == 4
+
+    def test_satisfies_protocol(self):
+        assert isinstance(ScriptedClient([]), ChatClient)

@@ -1,0 +1,118 @@
+"""Cross-world oracle sweeps: every hallucination must stay *plausible*.
+
+The paper's automatic evaluation depends on distractors being
+well-formed (e.g. 'Marvel' vs 'Marvel Comics' ambiguity is designed
+away via value lists, Section 4.1.1).  These sweeps check, for every
+generated column of every world, that wrong answers keep the right
+type/shape.
+"""
+
+import pytest
+
+from repro.llm.oracle import KnowledgeOracle
+from repro.llm.profiles import ModelProfile, register_profile
+from repro.swan.base import KIND_MULTI, KIND_NUMERIC, KIND_SELECTION
+
+#: A deliberately ignorant model: every answer is a hallucination.
+_ZERO = register_profile(
+    ModelProfile(name="zero-knowledge", base_zero_shot=0.0, base_five_shot=0.0)
+)
+
+WORLD_NAMES = ["superhero", "formula_1", "california_schools",
+               "european_football"]
+
+
+@pytest.mark.parametrize("world_name", WORLD_NAMES)
+class TestDistractorPlausibility:
+    @pytest.fixture()
+    def oracle(self, swan, world_name):
+        return KnowledgeOracle(swan.world(world_name))
+
+    def test_selection_distractors_stay_in_value_list(self, oracle, world_name):
+        world = oracle.world
+        for expansion in world.expansions:
+            for column in expansion.columns:
+                if column.kind != KIND_SELECTION:
+                    continue
+                allowed = set(world.value_lists[column.value_list])
+                for key in list(world.truth[expansion.name])[:25]:
+                    value = oracle.generate_value(
+                        expansion.name, key, column.name, _ZERO, 0
+                    )
+                    assert value in allowed, (column.name, value)
+
+    def test_numeric_distractors_parse_as_numbers(self, oracle, world_name):
+        world = oracle.world
+        for expansion in world.expansions:
+            for column in expansion.columns:
+                if column.kind != KIND_NUMERIC:
+                    continue
+                for key in list(world.truth[expansion.name])[:25]:
+                    value = oracle.generate_value(
+                        expansion.name, key, column.name, _ZERO, 0
+                    )
+                    assert float(value) == float(value)  # parses, not NaN
+
+    def test_numeric_distractors_are_wrong_but_nearby(self, oracle, world_name):
+        world = oracle.world
+        for expansion in world.expansions:
+            for column in expansion.columns:
+                if column.kind != KIND_NUMERIC:
+                    continue
+                for key in list(world.truth[expansion.name])[:25]:
+                    value = float(
+                        oracle.generate_value(
+                            expansion.name, key, column.name, _ZERO, 0
+                        )
+                    )
+                    truth = float(
+                        world.truth_value(expansion.name, key, column.name)
+                    )
+                    assert value != truth
+                    assert abs(value - truth) <= abs(truth) * 0.25 + 2
+
+    def test_multi_distractors_differ_from_truth(self, oracle, world_name):
+        world = oracle.world
+        for expansion in world.expansions:
+            for column in expansion.columns:
+                if column.kind != KIND_MULTI:
+                    continue
+                for key in list(world.truth[expansion.name])[:25]:
+                    value = oracle.generate_value(
+                        expansion.name, key, column.name, _ZERO, 0
+                    )
+                    truth = ", ".join(
+                        world.truth_value(expansion.name, key, column.name)
+                    )
+                    assert value != truth
+
+    def test_freeform_distractors_non_empty(self, oracle, world_name):
+        world = oracle.world
+        for expansion in world.expansions:
+            for column in expansion.columns:
+                if column.kind != "freeform":
+                    continue
+                for key in list(world.truth[expansion.name])[:25]:
+                    value = oracle.generate_value(
+                        expansion.name, key, column.name, _ZERO, 0
+                    )
+                    assert value.strip(), (column.name, key)
+
+
+@pytest.mark.parametrize("world_name", WORLD_NAMES)
+class TestResolutionCoverage:
+    def test_demo_pool_questions_resolve_to_their_columns(self, swan, world_name):
+        """The per-column canonical questions (used by the planner and the
+        few-shot pool) must resolve back to the column they describe."""
+        world = swan.world(world_name)
+        oracle = KnowledgeOracle(world)
+        for expansion in world.expansions:
+            for column in expansion.columns:
+                question = (
+                    f"Provide the {column.description.lower()} for the given key."
+                )
+                resolved_expansion, resolved = oracle.resolve_attribute(question)
+                assert (resolved_expansion.name, resolved.name) == (
+                    expansion.name,
+                    column.name,
+                ), question

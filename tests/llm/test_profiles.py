@@ -1,0 +1,117 @@
+"""Tests for the calibrated model profiles."""
+
+import pytest
+
+from repro.errors import LLMError
+from repro.llm.profiles import (
+    ModelProfile,
+    get_profile,
+    list_profiles,
+    register_profile,
+)
+from repro.swan.base import KIND_NUMERIC, KIND_SELECTION
+
+
+class TestRegistry:
+    def test_known_profiles_present(self):
+        names = list_profiles()
+        assert "gpt-3.5-turbo" in names
+        assert "gpt-4-turbo" in names
+        assert "perfect" in names
+
+    def test_unknown_raises(self):
+        with pytest.raises(LLMError):
+            get_profile("gpt-99")
+
+    def test_register_custom(self):
+        profile = ModelProfile(name="custom-test", base_zero_shot=0.5,
+                               base_five_shot=0.7)
+        register_profile(profile)
+        assert get_profile("custom-test") is profile
+
+
+class TestKnowledgeAccuracy:
+    def test_monotone_in_shots(self):
+        for name in ("gpt-3.5-turbo", "gpt-4-turbo"):
+            profile = get_profile(name)
+            for db in ("superhero", "formula_1", "california_schools",
+                       "european_football"):
+                accuracies = [
+                    profile.knowledge_accuracy(db, "c", KIND_SELECTION, shots)
+                    for shots in (0, 1, 3, 5)
+                ]
+                assert accuracies == sorted(accuracies), (name, db)
+
+    def test_gpt4_at_least_gpt35_overall_base(self):
+        gpt35, gpt4 = get_profile("gpt-3.5-turbo"), get_profile("gpt-4-turbo")
+        assert gpt4.base_zero_shot >= gpt35.base_zero_shot
+        assert gpt4.base_five_shot >= gpt35.base_five_shot
+
+    def test_accuracy_bounded(self):
+        profile = get_profile("gpt-4-turbo")
+        acc = profile.knowledge_accuracy("california_schools", "city",
+                                         KIND_SELECTION, 5)
+        assert 0.0 <= acc <= profile.max_accuracy
+
+    def test_numeric_kind_harder_than_selection(self):
+        profile = get_profile("gpt-3.5-turbo")
+        selection = profile.knowledge_accuracy("european_football", "x",
+                                               KIND_SELECTION, 5)
+        numeric = profile.knowledge_accuracy("european_football", "x",
+                                             KIND_NUMERIC, 5)
+        assert numeric < selection
+
+    def test_single_cell_penalty(self):
+        profile = get_profile("gpt-3.5-turbo")
+        full = profile.knowledge_accuracy("superhero", "x", KIND_SELECTION, 0)
+        single = profile.knowledge_accuracy("superhero", "x", KIND_SELECTION, 0,
+                                            single_cell=True)
+        assert single < full
+
+    def test_batch_penalty_grows_with_batch(self):
+        profile = get_profile("gpt-3.5-turbo")
+        accs = [
+            profile.knowledge_accuracy("superhero", "x", KIND_SELECTION, 0,
+                                       batch_size=b)
+            for b in (1, 5, 20)
+        ]
+        assert accs[0] > accs[1] > accs[2]
+
+    def test_single_cell_shot_gain_dampens_improvement(self):
+        profile = get_profile("gpt-3.5-turbo")
+        full_gain = (
+            profile.knowledge_accuracy("superhero", "x", KIND_SELECTION, 5)
+            - profile.knowledge_accuracy("superhero", "x", KIND_SELECTION, 0)
+        )
+        cell_gain = (
+            profile.knowledge_accuracy("superhero", "x", KIND_SELECTION, 5,
+                                       single_cell=True)
+            - profile.knowledge_accuracy("superhero", "x", KIND_SELECTION, 0,
+                                         single_cell=True)
+        )
+        assert cell_gain < full_gain
+
+    def test_interpolation_between_anchor_shot_counts(self):
+        profile = get_profile("gpt-3.5-turbo")
+        two_shot = profile.knowledge_accuracy("superhero", "x", KIND_SELECTION, 2)
+        one_shot = profile.knowledge_accuracy("superhero", "x", KIND_SELECTION, 1)
+        three_shot = profile.knowledge_accuracy("superhero", "x", KIND_SELECTION, 3)
+        assert one_shot <= two_shot <= three_shot
+
+    def test_beyond_five_shots_clamps(self):
+        profile = get_profile("gpt-3.5-turbo")
+        assert profile.knowledge_accuracy(
+            "superhero", "x", KIND_SELECTION, 10
+        ) == profile.knowledge_accuracy("superhero", "x", KIND_SELECTION, 5)
+
+
+class TestFormatErrors:
+    def test_rate_decreases_with_shots(self):
+        for name in ("gpt-3.5-turbo", "gpt-4-turbo"):
+            profile = get_profile(name)
+            assert profile.format_error_rate(0) > profile.format_error_rate(5)
+
+    def test_perfect_model_never_errs(self):
+        perfect = get_profile("perfect")
+        assert perfect.format_error_rate(0) == 0.0
+        assert perfect.knowledge_accuracy("superhero", "x", KIND_SELECTION, 0) == 1.0

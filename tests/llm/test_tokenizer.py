@@ -1,0 +1,52 @@
+"""Tests for the approximate tokenizer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.tokenizer import SUBWORD_LEN, count_tokens, tokenize_text
+
+
+class TestTokenize:
+    def test_empty(self):
+        assert tokenize_text("") == []
+        assert count_tokens("") == 0
+
+    def test_simple_words(self):
+        assert tokenize_text("the cat") == ["the", "cat"]
+
+    def test_long_words_split(self):
+        tokens = tokenize_text("internationalization")
+        assert all(len(t) <= SUBWORD_LEN for t in tokens)
+        assert "".join(tokens) == "internationalization"
+
+    def test_digits_grouped(self):
+        assert tokenize_text("1234567") == ["123", "456", "7"]
+
+    def test_punctuation_separate(self):
+        assert tokenize_text("a,b") == ["a", ",", "b"]
+
+    def test_mixed_prompt(self):
+        text = "The columns are: `superhero_name`,`full_name`"
+        assert count_tokens(text) > 8
+
+
+class TestDeterminismAndMonotonicity:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=200))
+    def test_deterministic(self, text):
+        assert tokenize_text(text) == tokenize_text(text)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=100), st.text(max_size=100))
+    def test_concatenation_superadditive_with_separator(self, left, right):
+        # Joining with whitespace can never produce fewer tokens than the
+        # parts alone (whitespace never merges pieces).
+        combined = count_tokens(left + " " + right)
+        assert combined >= count_tokens(left)
+        assert combined >= count_tokens(right)
+        assert combined == count_tokens(left) + count_tokens(right)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(alphabet=st.characters(codec="ascii"), max_size=200))
+    def test_token_count_bounded_by_length(self, text):
+        assert count_tokens(text) <= max(1, len(text))

@@ -1,0 +1,75 @@
+"""Tests for the call-transcript recorder."""
+
+from repro.llm.client import ScriptedClient
+from repro.llm.transcript import TranscriptRecorder, load_transcript
+
+
+class TestRecording:
+    def test_records_calls_in_memory(self):
+        recorder = TranscriptRecorder(ScriptedClient(["one", "two"]))
+        recorder.complete("first prompt", label="a")
+        recorder.complete("second prompt", label="b")
+        assert len(recorder) == 2
+        assert recorder.entries[0].prompt == "first prompt"
+        assert recorder.entries[1].completion == "two"
+
+    def test_by_label(self):
+        recorder = TranscriptRecorder(ScriptedClient(["x", "y", "z"]))
+        recorder.complete("p1", label="map")
+        recorder.complete("p2", label="qa")
+        recorder.complete("p3", label="map")
+        assert len(recorder.by_label("map")) == 2
+
+    def test_token_counts_recorded(self):
+        recorder = TranscriptRecorder(ScriptedClient(["short"]))
+        recorder.complete("one two three")
+        entry = recorder.entries[0]
+        # "one"=1, "two"=1, "three"=2 subword tokens
+        assert entry.input_tokens == 4
+        assert entry.output_tokens >= 1
+
+    def test_memory_can_be_disabled(self, tmp_path):
+        recorder = TranscriptRecorder(
+            ScriptedClient(["x"]),
+            path=tmp_path / "t.jsonl",
+            keep_in_memory=False,
+        )
+        recorder.complete("p")
+        assert recorder.entries == []
+        assert len(recorder) == 1
+
+
+class TestFileRoundTrip:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "calls.jsonl"
+        recorder = TranscriptRecorder(ScriptedClient(["a", "b"]), path=path)
+        recorder.complete("p1", label="x")
+        recorder.complete("p2", label="y")
+        entries = load_transcript(path)
+        assert [e.prompt for e in entries] == ["p1", "p2"]
+        assert entries[0].label == "x"
+
+    def test_truncates_previous_transcript(self, tmp_path):
+        path = tmp_path / "calls.jsonl"
+        first = TranscriptRecorder(ScriptedClient(["a"]), path=path)
+        first.complete("old")
+        second = TranscriptRecorder(ScriptedClient(["b"]), path=path)
+        second.complete("new")
+        entries = load_transcript(path)
+        assert len(entries) == 1
+        assert entries[0].prompt == "new"
+
+
+class TestPipelineIntegration:
+    def test_wraps_mock_model(self, superhero_world, tmp_path):
+        from repro.core import HQDL
+        from tests.conftest import make_model
+
+        recorder = TranscriptRecorder(
+            make_model(superhero_world), path=tmp_path / "hqdl.jsonl"
+        )
+        pipeline = HQDL(superhero_world, recorder, shots=0)
+        pipeline.generate_table("superhero_info")
+        entries = load_transcript(tmp_path / "hqdl.jsonl")
+        assert len(entries) == len(superhero_world.truth["superhero_info"])
+        assert all("Target Entry:" in e.prompt for e in entries)

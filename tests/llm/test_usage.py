@@ -1,0 +1,47 @@
+"""Tests for token metering and pricing."""
+
+from repro.llm.usage import PRICING_PER_MILLION, Usage, UsageMeter
+
+
+class TestUsage:
+    def test_addition(self):
+        total = Usage(10, 5, 1) + Usage(20, 10, 2)
+        assert total == Usage(30, 15, 3)
+
+    def test_total_tokens(self):
+        assert Usage(10, 5).total_tokens() == 15
+
+    def test_cost_matches_paper_pricing(self):
+        # the paper quotes $3 / $6 per million for GPT-3.5 Turbo
+        usage = Usage(input_tokens=1_000_000, output_tokens=1_000_000)
+        assert usage.cost_usd("gpt-3.5-turbo") == PRICING_PER_MILLION[
+            "gpt-3.5-turbo"
+        ][0] + PRICING_PER_MILLION["gpt-3.5-turbo"][1]
+
+    def test_cost_unknown_model_is_zero(self):
+        assert Usage(100, 100).cost_usd("nope") == 0.0
+
+
+class TestUsageMeter:
+    def test_record_accumulates(self):
+        meter = UsageMeter()
+        meter.record(10, 5)
+        meter.record(20, 10, label="map")
+        assert meter.total == Usage(30, 15, 2)
+        assert meter.by_label["map"] == Usage(20, 10, 1)
+
+    def test_merge(self):
+        left, right = UsageMeter(), UsageMeter()
+        left.record(1, 2, label="a")
+        right.record(3, 4, label="a")
+        right.record(5, 6, label="b")
+        left.merge(right)
+        assert left.total == Usage(9, 12, 3)
+        assert left.by_label["a"] == Usage(4, 6, 2)
+
+    def test_reset(self):
+        meter = UsageMeter()
+        meter.record(1, 1, label="x")
+        meter.reset()
+        assert meter.total == Usage()
+        assert meter.by_label == {}

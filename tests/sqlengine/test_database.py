@@ -1,0 +1,104 @@
+"""Tests for the Database wrapper."""
+
+import pytest
+
+from repro.errors import ExecutionError, SchemaError
+from repro.sqlengine.database import Database
+from repro.sqlengine.schema import ColumnSchema, TableSchema
+
+
+@pytest.fixture()
+def db():
+    database = Database.in_memory()
+    database.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    database.insert_rows("t", ["a", "b"], [(1, "x"), (2, "y"), (3, "z")])
+    yield database
+    database.close()
+
+
+class TestExecution:
+    def test_query(self, db):
+        result = db.query("SELECT a, b FROM t ORDER BY a")
+        assert result.columns == ["a", "b"]
+        assert result.rows == [(1, "x"), (2, "y"), (3, "z")]
+
+    def test_query_column_and_scalar(self, db):
+        assert db.query_column("SELECT a FROM t ORDER BY a") == [1, 2, 3]
+        assert db.query_scalar("SELECT COUNT(*) FROM t") == 3
+        assert db.query_scalar("SELECT a FROM t WHERE a > 99") is None
+
+    def test_parameters(self, db):
+        assert db.query_scalar("SELECT b FROM t WHERE a = ?", (2,)) == "y"
+
+    def test_bad_sql_raises_execution_error(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT nope FROM missing")
+
+    def test_executescript(self, db):
+        db.executescript("CREATE TABLE u (x); INSERT INTO u VALUES (1);")
+        assert db.query_scalar("SELECT x FROM u") == 1
+
+
+class TestSchemaOperations:
+    def test_create_table_from_schema(self, db):
+        schema = TableSchema("s", [ColumnSchema("n", "INTEGER")], primary_key=("n",))
+        db.create_table(schema)
+        assert db.has_table("s")
+        assert db.table_columns("s") == ["n"]
+
+    def test_create_if_not_exists(self, db):
+        schema = TableSchema("s", [ColumnSchema("n", "INTEGER")])
+        db.create_table(schema)
+        db.create_table(schema, if_not_exists=True)  # no error
+
+    def test_drop_table(self, db):
+        db.drop_table("t")
+        assert not db.has_table("t")
+        db.drop_table("t")  # idempotent
+
+    def test_table_names_excludes_internal(self, db):
+        assert db.table_names() == ["t"]
+
+    def test_table_columns_unknown_raises(self, db):
+        with pytest.raises(SchemaError):
+            db.table_columns("missing")
+
+    def test_row_count(self, db):
+        assert db.row_count("t") == 3
+
+
+class TestTempTables:
+    def test_temp_table_shadows_base(self, db):
+        db.create_temp_table("t", ["a", "b"], [("9", "temp")])
+        assert db.query_scalar("SELECT COUNT(*) FROM t") == 1
+
+    def test_temp_table_replaced_on_recreate(self, db):
+        db.create_temp_table("m", ["k", "v"], [("1", "a")])
+        db.create_temp_table("m", ["k", "v"], [("1", "b"), ("2", "c")])
+        assert db.query_scalar("SELECT COUNT(*) FROM m") == 2
+
+    def test_empty_temp_table(self, db):
+        db.create_temp_table("empty", ["k"])
+        assert db.query_scalar("SELECT COUNT(*) FROM empty") == 0
+
+
+class TestCloneAndSave:
+    def test_clone_is_independent(self, db):
+        clone = db.clone_in_memory()
+        clone.execute("DELETE FROM t")
+        assert clone.row_count("t") == 0
+        assert db.row_count("t") == 3
+        clone.close()
+
+    def test_save_and_reopen(self, db, tmp_path):
+        path = tmp_path / "saved.db"
+        db.save_to(path)
+        reopened = Database.open(path)
+        assert reopened.row_count("t") == 3
+        reopened.close()
+
+    def test_context_manager_closes(self):
+        with Database.in_memory() as database:
+            database.execute("CREATE TABLE x (a)")
+        with pytest.raises(ExecutionError):
+            database.query("SELECT 1")

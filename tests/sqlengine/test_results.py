@@ -1,0 +1,137 @@
+"""Tests for result normalisation and the EX comparison semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlengine.results import (
+    ResultSet,
+    normalize_cell,
+    normalize_row,
+    results_match,
+    rows_to_multiset,
+)
+
+
+def rs(rows, columns=None):
+    rows = [tuple(r) for r in rows]
+    width = len(rows[0]) if rows else 0
+    return ResultSet(columns=columns or [f"c{i}" for i in range(width)], rows=rows)
+
+
+class TestNormalization:
+    def test_bool_folds_to_int(self):
+        assert normalize_cell(True) == 1
+        assert normalize_cell(False) == 0
+
+    def test_integral_float_folds_to_int(self):
+        assert normalize_cell(3.0) == 3
+        assert isinstance(normalize_cell(3.0), int)
+
+    def test_float_rounding(self):
+        assert normalize_cell(0.123456789) == 0.1235
+
+    def test_bytes_decoded(self):
+        assert normalize_cell(b"abc") == "abc"
+
+    def test_none_passes_through(self):
+        assert normalize_cell(None) is None
+
+    def test_row_normalisation(self):
+        assert normalize_row((1.0, "a", True)) == (1, "a", 1)
+
+
+class TestResultsMatch:
+    def test_identical_match(self):
+        assert results_match(rs([(1, "a")]), rs([(1, "a")]))
+
+    def test_column_names_ignored(self):
+        assert results_match(
+            rs([(1,)], columns=["x"]), rs([(1,)], columns=["totally_different"])
+        )
+
+    def test_row_count_mismatch(self):
+        assert not results_match(rs([(1,)]), rs([(1,), (1,)]))
+
+    def test_width_mismatch(self):
+        assert not results_match(rs([(1,)]), rs([(1, 2)]))
+
+    def test_unordered_default(self):
+        assert results_match(rs([(1,), (2,)]), rs([(2,), (1,)]))
+
+    def test_ordered_comparison(self):
+        assert not results_match(rs([(1,), (2,)]), rs([(2,), (1,)]), ordered=True)
+        assert results_match(rs([(1,), (2,)]), rs([(1,), (2,)]), ordered=True)
+
+    def test_multiplicity_matters(self):
+        assert not results_match(rs([(1,), (1,), (2,)]), rs([(1,), (2,), (2,)]))
+
+    def test_float_vs_int_rows(self):
+        assert results_match(rs([(3.0,)]), rs([(3,)]))
+
+    def test_empty_results_match(self):
+        assert results_match(rs([]), rs([]))
+        assert results_match(rs([]), rs([]), ordered=True)
+
+
+class TestResultSetHelpers:
+    def test_scalar(self):
+        assert rs([(42,)]).scalar() == 42
+        assert rs([]).scalar() is None
+
+    def test_column_values(self):
+        assert rs([(1, "a"), (2, "b")]).column_values(1) == ["a", "b"]
+
+    def test_len_iter_empty(self):
+        result = rs([(1,), (2,)])
+        assert len(result) == 2
+        assert list(result) == [(1,), (2,)]
+        assert not result.is_empty()
+        assert rs([]).is_empty()
+
+    def test_pretty_truncates(self):
+        result = rs([(i,) for i in range(30)])
+        text = result.pretty(max_rows=5)
+        assert "more rows" in text
+
+
+# -- property tests --------------------------------------------------------------
+
+cells = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=6),
+    st.none(),
+    st.booleans(),
+)
+rows = st.lists(st.tuples(cells, cells), max_size=8)
+
+
+@settings(max_examples=150, deadline=None)
+@given(rows)
+def test_match_is_reflexive(row_list):
+    left = rs(row_list) if row_list else ResultSet(columns=[], rows=[])
+    assert results_match(left, left)
+    assert results_match(left, left, ordered=True)
+
+
+@settings(max_examples=150, deadline=None)
+@given(rows)
+def test_unordered_match_invariant_under_permutation(row_list):
+    reversed_rows = list(reversed(row_list))
+    left = ResultSet(columns=["a", "b"], rows=row_list)
+    right = ResultSet(columns=["a", "b"], rows=reversed_rows)
+    assert results_match(left, right)
+
+
+@settings(max_examples=150, deadline=None)
+@given(rows, rows)
+def test_match_is_symmetric(left_rows, right_rows):
+    left = ResultSet(columns=["a", "b"], rows=left_rows)
+    right = ResultSet(columns=["a", "b"], rows=right_rows)
+    assert results_match(left, right) == results_match(right, left)
+
+
+@settings(max_examples=150, deadline=None)
+@given(rows)
+def test_multiset_is_order_insensitive(row_list):
+    assert rows_to_multiset(row_list) == rows_to_multiset(reversed(row_list))

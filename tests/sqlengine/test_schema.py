@@ -1,0 +1,109 @@
+"""Tests for declarative schema objects."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.sqlengine.schema import (
+    ColumnSchema,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+
+
+def make_table():
+    return TableSchema(
+        "hero",
+        [
+            ColumnSchema("id", "INTEGER", nullable=False),
+            ColumnSchema("name", "TEXT", nullable=False),
+            ColumnSchema("publisher_id", "INTEGER"),
+        ],
+        primary_key=("id",),
+        foreign_keys=[ForeignKey(("publisher_id",), "publisher", ("id",))],
+    )
+
+
+class TestColumnSchema:
+    def test_rejects_unknown_type(self):
+        with pytest.raises(SchemaError):
+            ColumnSchema("x", "VARCHAR2")
+
+    def test_ddl_not_null(self):
+        assert ColumnSchema("x", "TEXT", nullable=False).ddl() == '"x" TEXT NOT NULL'
+
+    def test_type_case_insensitive(self):
+        assert ColumnSchema("x", "text").ddl().endswith("TEXT")
+
+
+class TestForeignKey:
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            ForeignKey(("a", "b"), "t", ("c",))
+
+    def test_ddl(self):
+        fk = ForeignKey(("a",), "other", ("id",))
+        assert fk.ddl() == 'FOREIGN KEY ("a") REFERENCES "other" ("id")'
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [ColumnSchema("a"), ColumnSchema("a")])
+
+    def test_unknown_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [ColumnSchema("a")], primary_key=("b",))
+
+    def test_unknown_fk_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [ColumnSchema("a")],
+                foreign_keys=[ForeignKey(("b",), "u", ("id",))],
+            )
+
+    def test_column_lookup(self):
+        table = make_table()
+        assert table.column("name").type == "TEXT"
+        assert table.has_column("id")
+        assert not table.has_column("ghost")
+        with pytest.raises(SchemaError):
+            table.column("ghost")
+
+    def test_ddl_contains_pk_and_fk(self):
+        ddl = make_table().ddl()
+        assert 'PRIMARY KEY ("id")' in ddl
+        assert "FOREIGN KEY" in ddl
+
+    def test_without_columns(self):
+        trimmed = make_table().without_columns(["publisher_id"])
+        assert trimmed.column_names() == ["id", "name"]
+        assert trimmed.foreign_keys == []  # fk referenced a dropped column
+
+    def test_without_columns_trims_pk(self):
+        trimmed = make_table().without_columns(["id"])
+        assert trimmed.primary_key == ()
+
+    def test_without_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().without_columns(["ghost"])
+
+
+class TestDatabaseSchema:
+    def test_duplicate_tables_rejected(self):
+        table = make_table()
+        with pytest.raises(SchemaError):
+            DatabaseSchema("db", [table, make_table()])
+
+    def test_lookup_and_names(self):
+        db = DatabaseSchema("db", [make_table()])
+        assert db.table("hero").name == "hero"
+        assert db.has_table("hero")
+        assert db.table_names() == ["hero"]
+        with pytest.raises(SchemaError):
+            db.table("missing")
+
+    def test_describe_sketch(self):
+        db = DatabaseSchema("db", [make_table()])
+        assert db.describe() == "hero(id, name, publisher_id)"

@@ -1,0 +1,91 @@
+"""Tests for the {{...}} ingredient argument mini-parser."""
+
+import pytest
+
+from repro.errors import IngredientError
+from repro.sqlparser.parser import (
+    _ingredient_value,
+    _parse_ingredient,
+    _split_ingredient_args,
+)
+
+
+class TestSplitArgs:
+    def test_simple_split(self):
+        assert _split_ingredient_args("'a', 'b', 'c'") == ["'a'", " 'b'", " 'c'"]
+
+    def test_comma_inside_quotes_preserved(self):
+        parts = _split_ingredient_args("'hello, world', 'x'")
+        assert len(parts) == 2
+        assert parts[0] == "'hello, world'"
+
+    def test_nested_parens(self):
+        parts = _split_ingredient_args("'q', fn(a, b), 'z'")
+        assert len(parts) == 3
+        assert parts[1].strip() == "fn(a, b)"
+
+    def test_nested_brackets(self):
+        parts = _split_ingredient_args("options=['a', 'b'], x=1")
+        assert len(parts) == 2
+
+    def test_escaped_quote_inside(self):
+        parts = _split_ingredient_args("'it''s, tricky', 'b'")
+        assert len(parts) == 2
+
+    def test_empty(self):
+        assert _split_ingredient_args("") == []
+
+
+class TestValueDecoding:
+    def test_quoted_string(self):
+        assert _ingredient_value("'hello'") == "hello"
+
+    def test_doubled_quotes_unescaped(self):
+        assert _ingredient_value("'it''s'") == "it's"
+
+    def test_booleans_and_none(self):
+        assert _ingredient_value("true") is True
+        assert _ingredient_value("False") is False
+        assert _ingredient_value("none") is None
+        assert _ingredient_value("NULL") is None
+
+    def test_numbers(self):
+        assert _ingredient_value("5") == 5
+        assert _ingredient_value("2.5") == 2.5
+
+    def test_list_value(self):
+        assert _ingredient_value("['a', 'b', 3]") == ["a", "b", 3]
+
+    def test_bare_word_passes_through(self):
+        assert _ingredient_value("publishers") == "publishers"
+
+
+class TestParseIngredient:
+    def test_full_call(self):
+        node = _parse_ingredient(
+            "LLMMap('q?', 't::c', options='list', batch=5, strict=true)"
+        )
+        assert node.name == "LLMMap"
+        assert node.args == ["q?", "t::c"]
+        assert node.options == {"options": "list", "batch": 5, "strict": True}
+
+    def test_no_parens_rejected(self):
+        with pytest.raises(IngredientError):
+            _parse_ingredient("LLMMap 'q'")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(IngredientError):
+            _parse_ingredient("LLM-Map('q')")
+
+    def test_equals_inside_quoted_arg_is_positional(self):
+        node = _parse_ingredient("LLMQA('is x = y?')")
+        assert node.args == ["is x = y?"]
+        assert node.options == {}
+
+    def test_empty_args(self):
+        node = _parse_ingredient("LLMQA()")
+        assert node.args == []
+
+    def test_raw_preserved(self):
+        content = "LLMQA('q')"
+        assert _parse_ingredient(content).raw == content

@@ -1,0 +1,142 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlparser.lexer import tokenize
+from repro.sqlparser.tokens import TokenKind
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)[:-1]]
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        assert texts("heroName Table_1") == ["heroName", "Table_1"]
+
+    def test_eof_is_appended(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+        assert tokenize("SELECT 1")[-1].kind is TokenKind.EOF
+
+    def test_numbers(self):
+        assert texts("1 2.5 0.75 1e3 1.5E-2 0xFF") == [
+            "1", "2.5", "0.75", "1e3", "1.5E-2", "0xFF",
+        ]
+        assert all(k is TokenKind.NUMBER for k in kinds("1 2.5 1e3"))
+
+    def test_number_followed_by_dot_identifier_stays_separate(self):
+        # `t1.c` style: identifier, dot, identifier
+        assert texts("t1.c") == ["t1", ".", "c"]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.text == "hello"
+
+    def test_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.text == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].text == ""
+
+
+class TestQuotedIdentifiers:
+    def test_double_quoted(self):
+        token = tokenize('"weird name"')[0]
+        assert token.kind is TokenKind.IDENTIFIER
+        assert token.text == "weird name"
+
+    def test_backtick_and_bracket(self):
+        assert tokenize("`col`")[0].text == "col"
+        assert tokenize("[col]")[0].text == "col"
+
+    def test_doubled_double_quote(self):
+        assert tokenize('"a""b"')[0].text == 'a"b'
+
+    def test_unterminated_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('"oops')
+
+
+class TestOperators:
+    def test_multi_char_operators(self):
+        assert texts("<> != >= <= == || << >>") == [
+            "<>", "!=", ">=", "<=", "==", "||", "<<", ">>",
+        ]
+
+    def test_single_char(self):
+        assert texts("+ - * / % < > =") == ["+", "-", "*", "/", "%", "<", ">", "="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT #")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("SELECT 1 -- trailing comment") == ["SELECT", "1"]
+
+    def test_block_comment_skipped(self):
+        assert texts("SELECT /* inline */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT /* oops")
+
+
+class TestIngredients:
+    def test_ingredient_span(self):
+        tokens = tokenize("SELECT {{LLMMap('q', 't::c')}} FROM t")
+        ingredient = [t for t in tokens if t.kind is TokenKind.INGREDIENT]
+        assert len(ingredient) == 1
+        assert ingredient[0].text == "LLMMap('q', 't::c')"
+
+    def test_braces_inside_quotes_do_not_close(self):
+        tokens = tokenize("{{LLMQA('why }} braces?')}}")
+        assert tokens[0].text == "LLMQA('why }} braces?')"
+
+    def test_unterminated_ingredient_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("{{LLMMap('q'")
+
+    def test_escaped_quote_inside_ingredient(self):
+        tokens = tokenize("{{LLMQA('it''s fine')}}")
+        assert tokens[0].kind is TokenKind.INGREDIENT
+
+
+class TestParameters:
+    def test_question_mark(self):
+        token = tokenize("?")[0]
+        assert token.kind is TokenKind.PARAMETER
+        assert token.text == "?"
+
+    def test_named_parameter(self):
+        assert tokenize(":name")[0].text == ":name"
+
+    def test_bad_named_parameter(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize(": 1")
+
+
+def test_line_tracking():
+    tokens = tokenize("SELECT\n1\nFROM t")
+    assert tokens[0].line == 1
+    assert tokens[1].line == 2
+    assert tokens[2].line == 3

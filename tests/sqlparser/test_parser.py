@@ -1,0 +1,252 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import IngredientError, SQLSyntaxError
+from repro.sqlparser import ast, parse, parse_expression
+
+
+class TestSelectCore:
+    def test_simple_select(self):
+        tree = parse("SELECT a, b FROM t")
+        assert [item.expr.column for item in tree.items] == ["a", "b"]
+        assert isinstance(tree.from_, ast.TableName)
+        assert tree.from_.name == "t"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+        assert not parse("SELECT ALL a FROM t").distinct
+
+    def test_star_and_qualified_star(self):
+        tree = parse("SELECT *, t.* FROM t")
+        assert isinstance(tree.items[0].expr, ast.Star)
+        assert tree.items[1].expr.table == "t"
+
+    def test_aliases(self):
+        tree = parse("SELECT a AS x, b y, c FROM t")
+        assert [item.alias for item in tree.items] == ["x", "y", None]
+
+    def test_where_group_having(self):
+        tree = parse("SELECT a FROM t WHERE a > 1 GROUP BY a, b HAVING COUNT(*) > 2")
+        assert isinstance(tree.where, ast.BinaryOp)
+        assert len(tree.group_by) == 2
+        assert isinstance(tree.having, ast.BinaryOp)
+
+    def test_order_limit_offset(self):
+        tree = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2")
+        assert tree.order_by[0].descending
+        assert not tree.order_by[1].descending
+        assert tree.limit.value == 5
+        assert tree.offset.value == 2
+
+    def test_limit_comma_form(self):
+        tree = parse("SELECT a FROM t LIMIT 2, 5")
+        assert tree.limit.value == 5
+        assert tree.offset.value == 2
+
+    def test_missing_from_is_fine(self):
+        tree = parse("SELECT 1 + 2")
+        assert tree.from_ is None
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT a FROM t garbage !")
+
+    def test_semicolon_tolerated(self):
+        assert parse("SELECT 1;") is not None
+
+
+class TestJoins:
+    def test_inner_join_on(self):
+        tree = parse("SELECT * FROM a JOIN b ON a.id = b.id")
+        join = tree.from_
+        assert isinstance(join, ast.Join)
+        assert join.kind == "INNER"
+        assert isinstance(join.on, ast.BinaryOp)
+
+    def test_left_outer(self):
+        assert parse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x").from_.kind == "LEFT"
+
+    def test_cross_join_and_comma(self):
+        assert parse("SELECT * FROM a CROSS JOIN b").from_.kind == "CROSS"
+        assert parse("SELECT * FROM a, b").from_.kind == "CROSS"
+
+    def test_using(self):
+        join = parse("SELECT * FROM a JOIN b USING (id, name)").from_
+        assert join.using == ["id", "name"]
+
+    def test_chained_joins_left_assoc(self):
+        join = parse("SELECT * FROM a JOIN b ON a.i = b.i JOIN c ON b.j = c.j").from_
+        assert isinstance(join.left, ast.Join)
+        assert isinstance(join.right, ast.TableName)
+
+    def test_subquery_source(self):
+        source = parse("SELECT * FROM (SELECT a FROM t) AS sub").from_
+        assert isinstance(source, ast.SubquerySource)
+        assert source.alias == "sub"
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_concat_binds_tighter_than_multiplication(self):
+        expr = parse_expression("a * b || c")
+        assert expr.op == "*"
+        assert expr.right.op == "||"
+
+    def test_and_or(self):
+        expr = parse_expression("a OR b AND c")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = b")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "NOT"
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between)
+        assert not expr.negated
+
+    def test_not_between(self):
+        assert parse_expression("x NOT BETWEEN 1 AND 5").negated
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_in_subquery(self):
+        expr = parse_expression("x IN (SELECT a FROM t)")
+        assert isinstance(expr, ast.InSubquery)
+
+    def test_like_with_escape(self):
+        expr = parse_expression("x LIKE 'a%' ESCAPE '!'")
+        assert isinstance(expr, ast.Like)
+        assert expr.escape.value == "!"
+
+    def test_is_null_variants(self):
+        assert not parse_expression("x IS NULL").negated
+        assert parse_expression("x IS NOT NULL").negated
+
+    def test_case_searched(self):
+        expr = parse_expression("CASE WHEN a THEN 1 ELSE 2 END")
+        assert expr.operand is None
+        assert len(expr.whens) == 1
+        assert expr.else_.value == 2
+
+    def test_case_with_operand(self):
+        expr = parse_expression("CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' END")
+        assert expr.operand is not None
+        assert len(expr.whens) == 2
+
+    def test_case_without_when_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_cast(self):
+        expr = parse_expression("CAST(x AS INTEGER)")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type_name == "INTEGER"
+
+    def test_cast_with_size(self):
+        assert parse_expression("CAST(x AS VARCHAR(10))").type_name == "VARCHAR(10)"
+
+    def test_function_call_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT a)")
+        assert expr.distinct
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_exists(self):
+        expr = parse_expression("EXISTS (SELECT 1)")
+        assert isinstance(expr, ast.Exists)
+
+    def test_not_exists(self):
+        assert parse_expression("NOT EXISTS (SELECT 1)").negated
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(SELECT MAX(a) FROM t)")
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_tuple(self):
+        expr = parse_expression("(1, 2)")
+        assert isinstance(expr, ast.ExprList)
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x")
+        assert expr.op == "-"
+
+    def test_booleans_and_null(self):
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("FALSE").value is False
+        assert parse_expression("NULL").value is None
+
+    def test_comparison_normalisation(self):
+        assert parse_expression("a == b").op == "="
+        assert parse_expression("a <> b").op == "!="
+
+
+class TestCompound:
+    def test_union_all(self):
+        tree = parse("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert tree.compound[0][0] == "UNION ALL"
+
+    def test_intersect_except(self):
+        tree = parse("SELECT a FROM t INTERSECT SELECT a FROM u EXCEPT SELECT a FROM v")
+        assert [op for op, _ in tree.compound] == ["INTERSECT", "EXCEPT"]
+
+    def test_order_by_applies_to_compound(self):
+        tree = parse("SELECT a FROM t UNION SELECT a FROM u ORDER BY a")
+        assert tree.order_by
+
+
+class TestCTE:
+    def test_single_cte(self):
+        tree = parse("WITH top AS (SELECT a FROM t) SELECT * FROM top")
+        assert tree.ctes[0].name == "top"
+
+    def test_cte_with_columns(self):
+        tree = parse("WITH c(x, y) AS (SELECT 1, 2) SELECT * FROM c")
+        assert tree.ctes[0].columns == ["x", "y"]
+
+    def test_multiple_ctes(self):
+        tree = parse("WITH a AS (SELECT 1), b AS (SELECT 2) SELECT * FROM a, b")
+        assert len(tree.ctes) == 2
+
+
+class TestIngredientsInSQL:
+    def test_ingredient_as_expression(self):
+        tree = parse("SELECT {{LLMMap('q', 't::c')}} FROM t")
+        assert isinstance(tree.items[0].expr, ast.Ingredient)
+
+    def test_ingredient_args(self):
+        tree = parse("SELECT {{LLMMap('q', 't::c', options='list', batch=5)}} FROM t")
+        node = tree.items[0].expr
+        assert node.name == "LLMMap"
+        assert node.args == ["q", "t::c"]
+        assert node.options == {"options": "list", "batch": 5}
+
+    def test_ingredient_escaped_quotes(self):
+        tree = parse("SELECT {{LLMQA('it''s a question')}}")
+        assert tree.items[0].expr.args == ["it's a question"]
+
+    def test_ingredient_in_from(self):
+        tree = parse("SELECT * FROM {{LLMJoin('q', 't::c')}} AS j")
+        assert isinstance(tree.from_, ast.IngredientSource)
+        assert tree.from_.alias == "j"
+
+    def test_malformed_ingredient_raises(self):
+        with pytest.raises(IngredientError):
+            parse("SELECT {{not valid}}")
+
+    def test_ingredient_value_decoding(self):
+        tree = parse("SELECT {{LLMQA('q', flag=true, nothing=none, n=2.5)}}")
+        node = tree.items[0].expr
+        assert node.options == {"flag": True, "nothing": None, "n": 2.5}

@@ -1,0 +1,141 @@
+"""Renderer tests: fidelity, parenthesisation, and round-trip stability."""
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlparser import ast, parse, parse_expression, render, render_expression
+from repro.sqlparser.render import quote_identifier, quote_string
+
+ROUND_TRIP_CASES = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b AS x FROM t WHERE a > 1",
+    "SELECT COUNT(DISTINCT a), MAX(b) FROM t GROUP BY c HAVING COUNT(*) > 2",
+    "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.x = c.x",
+    "SELECT * FROM a CROSS JOIN b",
+    "SELECT * FROM a JOIN b USING (id)",
+    "SELECT a FROM (SELECT a FROM t WHERE b IN (1, 2)) AS sub",
+    "SELECT CASE WHEN a THEN 1 ELSE 2 END FROM t",
+    "SELECT CASE x WHEN 1 THEN 'a' END FROM t",
+    "SELECT CAST(a AS REAL) FROM t",
+    "SELECT a FROM t WHERE b BETWEEN 1 AND 2 AND c NOT LIKE 'x%'",
+    "SELECT a FROM t WHERE b IS NOT NULL OR c IS NULL",
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.a = t.a)",
+    "WITH c AS (SELECT 1 AS x) SELECT x FROM c",
+    "SELECT a FROM t UNION ALL SELECT a FROM u ORDER BY a LIMIT 3",
+    "SELECT -a, +b, ~c FROM t",
+    "SELECT a || b || c FROM t",
+    "SELECT 1 - (2 - 3)",
+    "SELECT (1 + 2) * 3",
+    "SELECT a FROM t ORDER BY a DESC NULLS LAST",
+    "SELECT {{LLMMap('q', 't::c')}} FROM t",
+    "SELECT a FROM t LIMIT 10 OFFSET 5",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_CASES)
+def test_render_parse_fixpoint(sql):
+    """render(parse(x)) re-parses to an identical rendering."""
+    once = render(parse(sql))
+    assert render(parse(once)) == once
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "SELECT 1 - (2 - 3)",
+        "SELECT (1 + 2) * 3",
+        "SELECT 2 * (3 + 4) - 5",
+        "SELECT 100 / (5 / 5)",
+        "SELECT -(1 + 2)",
+        "SELECT 1 + 2 * 3 - 4",
+        "SELECT (1 - 2) - 3, 1 - (2 - 3)",
+    ],
+)
+def test_rendered_sql_preserves_arithmetic_semantics(sql):
+    """Rendered SQL evaluates to the same value as the original in SQLite."""
+    conn = sqlite3.connect(":memory:")
+    original = conn.execute(sql).fetchone()
+    rendered = conn.execute(render(parse(sql))).fetchone()
+    assert original == rendered
+
+
+class TestQuoting:
+    def test_safe_names_stay_bare(self):
+        assert quote_identifier("hero_name") == "hero_name"
+
+    def test_reserved_words_quoted(self):
+        assert quote_identifier("select") == '"select"'
+        assert quote_identifier("ORDER") == '"ORDER"'
+
+    def test_spaces_and_quotes(self):
+        assert quote_identifier("a b") == '"a b"'
+        assert quote_identifier('a"b') == '"a""b"'
+
+    def test_leading_digit_quoted(self):
+        assert quote_identifier("1abc") == '"1abc"'
+
+    def test_string_quoting(self):
+        assert quote_string("it's") == "'it''s'"
+
+
+class TestExpressionRendering:
+    def test_right_operand_same_level_parenthesised(self):
+        expr = ast.BinaryOp("-", ast.Literal.number(1),
+                            ast.BinaryOp("-", ast.Literal.number(2), ast.Literal.number(3)))
+        assert render_expression(expr) == "1 - (2 - 3)"
+
+    def test_null_and_bools(self):
+        assert render_expression(ast.Literal.null()) == "NULL"
+        assert render_expression(ast.Literal.boolean(True)) == "TRUE"
+
+    def test_ingredient_round_trips_options(self):
+        sql = "SELECT {{LLMMap('q', 't::c', options='publishers')}} FROM t"
+        assert "options='publishers'" in render(parse(sql))
+
+
+# -- property-based round-trip over generated expressions ----------------------
+
+_names = st.sampled_from(["a", "b", "col1", "hero_name", "t.x"])
+_literals = st.one_of(
+    st.integers(min_value=0, max_value=10_000).map(ast.Literal.number),
+    st.text(alphabet="abc xyz'", min_size=0, max_size=8).map(ast.Literal.string),
+    st.just(ast.Literal.null()),
+)
+
+
+def _column(name: str) -> ast.Expr:
+    if "." in name:
+        table, _, column = name.partition(".")
+        return ast.ColumnRef(column, table)
+    return ast.ColumnRef(name)
+
+
+_atoms = st.one_of(_literals, _names.map(_column))
+
+
+def _expressions(children):
+    binary = st.builds(
+        ast.BinaryOp,
+        st.sampled_from(["+", "-", "*", "/", "AND", "OR", "=", "<", "||"]),
+        children,
+        children,
+    )
+    unary = st.builds(ast.UnaryOp, st.sampled_from(["-", "NOT"]), children)
+    is_null = st.builds(ast.IsNull, children, st.booleans())
+    between = st.builds(ast.Between, children, children, children, st.booleans())
+    return st.one_of(binary, unary, is_null, between)
+
+
+expression_strategy = st.recursive(_atoms, _expressions, max_leaves=12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(expression_strategy)
+def test_expression_round_trip_property(expr):
+    """parse(render(e)) renders identically to render(e) for random trees."""
+    rendered = render_expression(expr)
+    reparsed = parse_expression(rendered)
+    assert render_expression(reparsed) == rendered

@@ -1,0 +1,122 @@
+"""Tests for AST traversal and rewrite utilities."""
+
+from repro.sqlparser import ast, parse, parse_expression, render
+from repro.sqlparser.rewrite import (
+    column_refs,
+    contains_ingredient,
+    expression_is_pure,
+    find_ingredients,
+    join_conjuncts,
+    replace_ingredients,
+    source_names,
+    split_conjuncts,
+    tables_in,
+    transform,
+    walk,
+)
+
+
+class TestWalk:
+    def test_walk_visits_all_nodes(self):
+        tree = parse("SELECT a + b FROM t WHERE c = 1")
+        kinds = {type(node).__name__ for node in walk(tree)}
+        assert {"Select", "SelectItem", "BinaryOp", "ColumnRef", "TableName",
+                "Literal"} <= kinds
+
+    def test_walk_enters_compound(self):
+        tree = parse("SELECT a FROM t UNION SELECT b FROM u")
+        tables = {t.name for t in tables_in(tree)}
+        assert tables == {"t", "u"}
+
+    def test_walk_enters_subqueries(self):
+        tree = parse("SELECT a FROM t WHERE b IN (SELECT b FROM u)")
+        assert {t.name for t in tables_in(tree)} == {"t", "u"}
+
+
+class TestTransform:
+    def test_identity_returns_equal_tree(self):
+        tree = parse("SELECT a FROM t WHERE b = 1")
+        assert transform(tree, lambda n: n) == tree
+
+    def test_rename_columns(self):
+        tree = parse("SELECT a FROM t WHERE a > 1")
+
+        def rename(node):
+            if isinstance(node, ast.ColumnRef) and node.column == "a":
+                return ast.ColumnRef("z")
+            return node
+
+        rewritten = transform(tree, rename)
+        assert "z" in render(rewritten)
+        assert " a " not in f" {render(rewritten)} "
+        # original tree untouched
+        assert "z" not in render(tree)
+
+
+class TestConjuncts:
+    def test_split_nested_ands(self):
+        expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+        assert len(split_conjuncts(expr)) == 3
+
+    def test_or_is_one_conjunct(self):
+        expr = parse_expression("a = 1 OR b = 2")
+        assert len(split_conjuncts(expr)) == 1
+
+    def test_split_none(self):
+        assert split_conjuncts(None) == []
+
+    def test_join_round_trips(self):
+        expr = parse_expression("a = 1 AND b = 2")
+        rebuilt = join_conjuncts(split_conjuncts(expr))
+        assert rebuilt == expr
+
+    def test_join_empty_is_none(self):
+        assert join_conjuncts([]) is None
+
+
+class TestIngredientHelpers:
+    def test_find_ingredients(self):
+        tree = parse(
+            "SELECT {{LLMMap('q1', 't::a')}} FROM t WHERE {{LLMQA('q2')}} = 'x'"
+        )
+        names = [ing.name for ing in find_ingredients(tree)]
+        assert sorted(names) == ["LLMMap", "LLMQA"]
+
+    def test_contains_ingredient(self):
+        assert contains_ingredient(parse("SELECT {{LLMQA('q')}}"))
+        assert not contains_ingredient(parse("SELECT 1"))
+
+    def test_expression_is_pure(self):
+        assert expression_is_pure(parse_expression("a + b = 2"))
+        assert not expression_is_pure(parse_expression("{{LLMQA('q')}} = 2"))
+
+    def test_replace_expression_ingredient(self):
+        tree = parse("SELECT a FROM t WHERE {{LLMQA('q')}} = 'x'")
+        rewritten = replace_ingredients(
+            tree, lambda ing: ast.Literal.string("answer")
+        )
+        assert "{{" not in render(rewritten)
+        assert "'answer'" in render(rewritten)
+
+    def test_replace_from_source_ingredient(self):
+        tree = parse("SELECT * FROM {{LLMJoin('q', 't::a')}} AS j")
+        rewritten = replace_ingredients(
+            tree, lambda ing: ast.TableName("generated", alias="j")
+        )
+        assert isinstance(rewritten.from_, ast.TableName)
+        assert rewritten.from_.name == "generated"
+
+
+class TestSourceNames:
+    def test_aliases_and_bare_names(self):
+        tree = parse("SELECT * FROM a AS x JOIN b ON x.i = b.i")
+        names = source_names(tree.from_)
+        assert set(names) == {"x", "b"}
+
+    def test_subquery_alias(self):
+        tree = parse("SELECT * FROM (SELECT 1) AS sub")
+        assert set(source_names(tree.from_)) == {"sub"}
+
+    def test_column_refs(self):
+        refs = column_refs(parse_expression("t.a + b"))
+        assert {(r.table, r.column) for r in refs} == {("t", "a"), (None, "b")}

@@ -1,0 +1,132 @@
+"""Differential testing: rendered SQL must behave identically in SQLite.
+
+For randomly generated SELECT statements over a fixed schema, executing
+``render(parse(sql))`` must produce exactly the rows of executing ``sql``
+— the ultimate check that parsing and rendering never change semantics.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+SCHEMA = """
+CREATE TABLE t (a INTEGER, b INTEGER, c TEXT);
+CREATE TABLE u (a INTEGER, d TEXT);
+INSERT INTO t VALUES (1, 10, 'x'), (2, 20, 'y'), (3, 30, 'z'),
+                     (4, 40, 'x'), (5, NULL, 'y'), (NULL, 60, NULL);
+INSERT INTO u VALUES (1, 'p'), (2, 'q'), (3, 'r'), (7, 's');
+"""
+
+
+@pytest.fixture(scope="module")
+def connection():
+    conn = sqlite3.connect(":memory:")
+    conn.executescript(SCHEMA)
+    yield conn
+    conn.close()
+
+
+_columns = st.sampled_from(["a", "b", "t.a", "t.b"])
+_literals = st.integers(min_value=-5, max_value=50).map(str)
+_operands = st.one_of(_columns, _literals)
+_comparisons = st.builds(
+    lambda left, op, right: f"{left} {op} {right}",
+    _operands,
+    st.sampled_from(["=", "!=", "<", ">", "<=", ">="]),
+    _operands,
+)
+_conditions = st.recursive(
+    st.one_of(
+        _comparisons,
+        st.builds(lambda c: f"{c} IS NULL", _columns),
+        st.builds(lambda c: f"{c} IN (1, 2, 3)", _columns),
+        st.builds(lambda c: f"{c} BETWEEN 1 AND 4", _columns),
+        st.builds(lambda c: f"c LIKE '{c}%'", st.sampled_from(["x", "y", "z"])),
+    ),
+    lambda children: st.one_of(
+        st.builds(lambda l, r: f"({l} AND {r})", children, children),
+        st.builds(lambda l, r: f"({l} OR {r})", children, children),
+        st.builds(lambda c: f"NOT ({c})", children),
+    ),
+    max_leaves=4,
+)
+
+_select_lists = st.sampled_from(
+    [
+        "a, b, c",
+        "DISTINCT c",
+        "COUNT(*)",
+        "a + b",
+        "MAX(b), MIN(a)",
+        "CASE WHEN a > 2 THEN 'big' ELSE 'small' END",
+        "CAST(a AS TEXT)",
+        "a * 2 - b / 2",
+    ]
+)
+
+_tails = st.sampled_from(
+    [
+        "",
+        " ORDER BY a",
+        " ORDER BY b DESC, a",
+        " LIMIT 3",
+        " ORDER BY a LIMIT 2 OFFSET 1",
+    ]
+)
+
+
+def _execute(conn, sql):
+    return conn.execute(sql).fetchall()
+
+
+@settings(max_examples=300, deadline=None)
+@given(select=_select_lists, condition=_conditions, tail=_tails)
+def test_rendered_sql_is_semantically_identical(connection, select, condition, tail):
+    from repro.sqlparser import parse, render
+
+    aggregate = "COUNT" in select or "MAX" in select
+    order_tail = "" if aggregate else tail
+    sql = f"SELECT {select} FROM t WHERE {condition}{order_tail}"
+    expected = _execute(connection, sql)
+    rendered = render(parse(sql))
+    assert _execute(connection, rendered) == expected
+
+
+_qualified_comparisons = st.builds(
+    lambda left, op, right: f"{left} {op} {right}",
+    st.sampled_from(["t.a", "t.b", "u.a"]),
+    st.sampled_from(["=", "!=", "<", ">", "<=", ">="]),
+    st.one_of(st.sampled_from(["t.a", "t.b"]), _literals),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(condition=_qualified_comparisons)
+def test_join_queries_differential(connection, condition):
+    from repro.sqlparser import parse, render
+
+    sql = (
+        "SELECT t.a, u.d FROM t JOIN u ON t.a = u.a "
+        f"WHERE {condition} ORDER BY t.a"
+    )
+    expected = _execute(connection, sql)
+    rendered = render(parse(sql))
+    assert _execute(connection, rendered) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(condition=_conditions)
+def test_subquery_differential(connection, condition):
+    from repro.sqlparser import parse, render
+
+    sql = (
+        "SELECT COUNT(*) FROM t WHERE a IN "
+        f"(SELECT a FROM u WHERE d != 'nope') AND ({condition})"
+    )
+    expected = _execute(connection, sql)
+    rendered = render(parse(sql))
+    assert _execute(connection, rendered) == expected

@@ -1,0 +1,43 @@
+"""Tests for the Swan benchmark loader."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.swan.benchmark import DATABASE_ORDER, DATABASE_TITLES, load_benchmark
+
+
+class TestLoader:
+    def test_cached_instance(self):
+        assert load_benchmark() is load_benchmark()
+
+    def test_four_worlds(self, swan):
+        assert set(swan.worlds) == set(DATABASE_ORDER)
+
+    def test_unknown_world_raises(self, swan):
+        with pytest.raises(ReproError):
+            swan.world("wikipedia")
+
+    def test_question_lookup(self, swan):
+        question = swan.question("superhero_q01")
+        assert question.database == "superhero"
+        with pytest.raises(ReproError):
+            swan.question("nope_q99")
+
+    def test_questions_for(self, swan):
+        assert len(swan.questions_for("formula_1")) == 30
+
+    def test_database_names_ordered(self, swan):
+        assert swan.database_names() == list(DATABASE_ORDER)
+
+    def test_stats_table_titles(self, swan):
+        # the paper writes "Superhero" in Table 1 but "Super Hero" in
+        # Tables 2-3; compare ignoring spacing
+        titles = [
+            str(row["database"]).replace(" ", "").lower()
+            for row in swan.stats_table()
+        ]
+        expected = [
+            DATABASE_TITLES[name].replace(" ", "").lower()
+            for name in DATABASE_ORDER
+        ]
+        assert titles == expected

@@ -1,0 +1,53 @@
+"""Tests for database materialization."""
+
+import pytest
+
+from repro.swan.build import (
+    build_curated_database,
+    build_original_database,
+    save_databases,
+)
+from repro.swan.worlds import WORLD_BUILDERS
+
+
+@pytest.fixture(scope="module")
+def world():
+    return WORLD_BUILDERS["superhero"]()
+
+
+class TestBuild:
+    def test_original_has_all_tables_and_rows(self, world):
+        with build_original_database(world) as db:
+            assert set(db.table_names()) == set(world.original_schema.table_names())
+            for table in world.original_schema.tables:
+                assert db.row_count(table.name) == len(world.original_rows[table.name])
+
+    def test_curated_drops_tables(self, world):
+        with build_curated_database(world) as db:
+            names = db.table_names()
+            assert "publisher" not in names
+            assert "hero_power" not in names
+            assert "superhero" in names
+
+    def test_curated_drops_columns(self, world):
+        with build_curated_database(world) as db:
+            columns = db.table_columns("superhero")
+            assert "publisher_id" not in columns
+            assert "superhero_name" in columns
+
+    def test_gold_join_executes_on_original(self, world):
+        with build_original_database(world) as db:
+            count = db.query_scalar(
+                "SELECT COUNT(*) FROM superhero s "
+                "JOIN publisher p ON s.publisher_id = p.id"
+            )
+            assert count == len(world.original_rows["superhero"])
+
+    def test_save_databases(self, world, tmp_path):
+        original, curated = save_databases(world, tmp_path)
+        assert original.exists() and curated.exists()
+        # files round-trip
+        from repro.sqlengine.database import Database
+
+        with Database.open(curated) as db:
+            assert db.row_count("superhero") == len(world.curated_rows["superhero"])

@@ -1,0 +1,72 @@
+"""Tests for schema curation."""
+
+import pytest
+
+from repro.errors import CurationError
+from repro.sqlengine.schema import ColumnSchema, DatabaseSchema, TableSchema
+from repro.swan.curation import CurationPlan, apply_curation, distinct_values
+
+
+def make_db():
+    schema = DatabaseSchema(
+        "demo",
+        [
+            TableSchema("a", [ColumnSchema("x"), ColumnSchema("y"), ColumnSchema("z")]),
+            TableSchema("b", [ColumnSchema("p"), ColumnSchema("q")]),
+        ],
+    )
+    rows = {
+        "a": [("x1", "y1", "z1"), ("x2", "y2", "z2")],
+        "b": [("p1", "q1")],
+    }
+    return schema, rows
+
+
+class TestApplyCuration:
+    def test_drop_columns(self):
+        schema, rows = make_db()
+        result = apply_curation(schema, rows, CurationPlan(drop_columns={"a": ("y",)}))
+        assert result.schema.table("a").column_names() == ["x", "z"]
+        assert result.rows["a"] == [("x1", "z1"), ("x2", "z2")]
+        assert result.dropped_columns == 1
+
+    def test_drop_table_counts_all_columns(self):
+        schema, rows = make_db()
+        result = apply_curation(schema, rows, CurationPlan(drop_tables=("b",)))
+        assert not result.schema.has_table("b")
+        assert "b" not in result.rows
+        assert result.dropped_columns == 2
+
+    def test_combined_plan(self):
+        schema, rows = make_db()
+        plan = CurationPlan(drop_columns={"a": ("x", "z")}, drop_tables=("b",))
+        result = apply_curation(schema, rows, plan)
+        assert result.dropped_columns == 4
+
+    def test_unknown_table_raises(self):
+        schema, rows = make_db()
+        with pytest.raises(CurationError):
+            apply_curation(schema, rows, CurationPlan(drop_tables=("ghost",)))
+
+    def test_unknown_column_raises(self):
+        schema, rows = make_db()
+        with pytest.raises(CurationError):
+            apply_curation(schema, rows, CurationPlan(drop_columns={"a": ("ghost",)}))
+
+    def test_drop_table_and_its_columns_conflicts(self):
+        schema, rows = make_db()
+        plan = CurationPlan(drop_columns={"b": ("p",)}, drop_tables=("b",))
+        with pytest.raises(CurationError):
+            apply_curation(schema, rows, plan)
+
+    def test_untouched_tables_copied(self):
+        schema, rows = make_db()
+        result = apply_curation(schema, rows, CurationPlan(drop_columns={"a": ("y",)}))
+        assert result.rows["b"] == rows["b"]
+        assert result.rows["b"] is not rows["b"]  # independent copy
+
+
+class TestDistinctValues:
+    def test_sorted_unique(self):
+        rows = [("b",), ("a",), ("b",), (None,)]
+        assert distinct_values(rows, 0) == ["a", "b"]

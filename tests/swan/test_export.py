@@ -1,0 +1,57 @@
+"""Tests for the benchmark export artifacts."""
+
+import json
+
+import pytest
+
+from repro.sqlengine.database import Database
+from repro.swan.export import export_benchmark, load_questions
+
+
+@pytest.fixture(scope="module")
+def exported(swan, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("swan_export")
+    return export_benchmark(swan, directory)
+
+
+class TestExportLayout:
+    def test_questions_file(self, exported):
+        questions = load_questions(exported)
+        assert len(questions) == 120
+        sample = questions[0]
+        assert {"qid", "database", "text", "gold_sql", "hqdl_sql",
+                "blend_sql"} <= set(sample)
+
+    def test_value_lists_file(self, exported):
+        lists = json.loads((exported / "value_lists.json").read_text())
+        assert "publishers" in lists["superhero"]
+        assert "Marvel Comics" in lists["superhero"]["publishers"]
+
+    def test_databases_written(self, exported, swan):
+        for name in swan.database_names():
+            assert (exported / f"{name}_original.db").exists()
+            assert (exported / f"{name}_curated.db").exists()
+
+    def test_expansion_specs(self, exported):
+        specs = json.loads((exported / "superhero_expansions.json").read_text())
+        assert specs[0]["name"] == "superhero_info"
+        assert specs[0]["key_columns"] == ["superhero_name", "full_name"]
+        column_names = {c["name"] for c in specs[0]["columns"]}
+        assert "publisher_name" in column_names
+
+
+class TestExportedDatabasesWork:
+    def test_gold_query_runs_on_exported_original(self, exported, swan):
+        question = swan.question("superhero_q01")
+        with Database.open(exported / "superhero_original.db") as db:
+            result = db.query(question.gold_sql)
+        assert len(result) > 0
+
+    def test_curated_misses_dropped_table(self, exported):
+        with Database.open(exported / "superhero_curated.db") as db:
+            assert not db.has_table("publisher")
+            assert db.has_table("superhero")
+
+    def test_export_is_idempotent(self, exported, swan):
+        again = export_benchmark(swan, exported)
+        assert load_questions(again) == load_questions(exported)

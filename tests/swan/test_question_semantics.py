@@ -1,0 +1,109 @@
+"""Semantic lint over the 120 questions, beyond parse-ability.
+
+These check structural invariants relating each question's three queries
+to the world metadata: the HQDL query must touch the expansion tables it
+declares, the blend query must reference curated tables, declared
+expansion columns must exist, and gold queries must reference only
+original-schema tables.
+"""
+
+import pytest
+
+from repro.sqlparser import parse
+from repro.sqlparser.rewrite import find_ingredients, tables_in
+from repro.swan.questions import all_questions
+from repro.udf.ingredients import parse_ingredient_call
+
+
+@pytest.fixture(scope="module")
+def questions():
+    return all_questions()
+
+
+class TestDeclaredColumnsExist:
+    def test_expansion_columns_are_real(self, questions, swan):
+        for question in questions:
+            world = swan.world(question.database)
+            known = {
+                column.name
+                for expansion in world.expansions
+                for column in expansion.columns
+            }
+            for declared in question.expansion_columns:
+                assert declared in known, (question.qid, declared)
+
+
+class TestGoldQueries:
+    def test_reference_only_original_tables(self, questions, swan):
+        for question in questions:
+            world = swan.world(question.database)
+            original = set(world.original_schema.table_names())
+            for table in tables_in(parse(question.gold_sql)):
+                assert table.name in original, (question.qid, table.name)
+
+    def test_never_reference_expansion_tables(self, questions, swan):
+        for question in questions:
+            world = swan.world(question.database)
+            expansions = {e.name for e in world.expansions}
+            for table in tables_in(parse(question.gold_sql)):
+                assert table.name not in expansions, question.qid
+
+
+class TestHqdlQueries:
+    def test_reference_curated_or_expansion_tables(self, questions, swan):
+        for question in questions:
+            world = swan.world(question.database)
+            allowed = set(world.curated_schema.table_names()) | {
+                e.name for e in world.expansions
+            }
+            for table in tables_in(parse(question.hqdl_sql)):
+                assert table.name in allowed, (question.qid, table.name)
+
+    def test_touch_an_expansion_table(self, questions, swan):
+        """Beyond-database means the hybrid query needs generated data."""
+        for question in questions:
+            world = swan.world(question.database)
+            expansions = {e.name for e in world.expansions}
+            touched = {t.name for t in tables_in(parse(question.hqdl_sql))}
+            assert touched & expansions, question.qid
+
+    def test_never_touch_dropped_tables(self, questions, swan):
+        for question in questions:
+            world = swan.world(question.database)
+            curated = set(world.curated_schema.table_names())
+            original = set(world.original_schema.table_names())
+            dropped = original - curated
+            touched = {t.name for t in tables_in(parse(question.hqdl_sql))}
+            assert not (touched & dropped), question.qid
+
+
+class TestBlendQueries:
+    def test_reference_only_curated_tables(self, questions, swan):
+        for question in questions:
+            world = swan.world(question.database)
+            curated = set(world.curated_schema.table_names())
+            for table in tables_in(parse(question.blend_sql)):
+                assert table.name in curated, (question.qid, table.name)
+
+    def test_map_keys_match_expansion_key_design(self, questions, swan):
+        """LLMMap key columns must be exactly the expansion's keys
+        (Section 3.4's meaningful-key contract)."""
+        for question in questions:
+            world = swan.world(question.database)
+            by_source = {e.source_table: e for e in world.expansions}
+            for node in find_ingredients(parse(question.blend_sql)):
+                call = parse_ingredient_call(node)
+                if call.kind == "LLMQA":
+                    continue
+                expansion = by_source[call.source_table]
+                assert call.key_columns == expansion.key_columns, (
+                    question.qid, call.key_columns,
+                )
+
+    def test_question_text_mentions_no_sql(self, questions):
+        """Map questions are natural language, not SQL fragments."""
+        for question in questions:
+            for node in find_ingredients(parse(question.blend_sql)):
+                call = parse_ingredient_call(node)
+                assert "SELECT" not in call.question.upper().split()
+                assert "::" not in call.question

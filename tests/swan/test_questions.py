@@ -1,0 +1,116 @@
+"""Tests over the 120 SWAN questions: counts, parseability, resolution."""
+
+import pytest
+
+from repro.llm.oracle import KnowledgeOracle
+from repro.sqlparser import parse, render
+from repro.sqlparser.rewrite import find_ingredients
+from repro.swan.questions import all_questions
+from repro.udf.ingredients import parse_ingredient_call
+
+
+@pytest.fixture(scope="module")
+def questions():
+    return all_questions()
+
+
+class TestInventory:
+    def test_exactly_120_questions(self, questions):
+        assert len(questions) == 120
+
+    def test_thirty_per_database(self, questions):
+        from collections import Counter
+
+        counts = Counter(q.database for q in questions)
+        assert set(counts.values()) == {30}
+        assert len(counts) == 4
+
+    def test_qids_unique(self, questions):
+        assert len({q.qid for q in questions}) == 120
+
+    def test_every_question_has_text(self, questions):
+        assert all(q.text.strip() for q in questions)
+
+
+class TestQueries:
+    def test_all_queries_parse_and_round_trip(self, questions):
+        for question in questions:
+            for sql in (question.gold_sql, question.hqdl_sql, question.blend_sql):
+                rendered = render(parse(sql))
+                assert render(parse(rendered)) == rendered, question.qid
+
+    def test_gold_queries_have_no_ingredients(self, questions):
+        for question in questions:
+            assert not find_ingredients(parse(question.gold_sql)), question.qid
+            assert not find_ingredients(parse(question.hqdl_sql)), question.qid
+
+    def test_blend_queries_have_ingredients(self, questions):
+        for question in questions:
+            assert find_ingredients(parse(question.blend_sql)), question.qid
+
+    def test_ordered_flag_implies_order_by(self, questions):
+        for question in questions:
+            if question.ordered:
+                assert "ORDER BY" in question.gold_sql.upper(), question.qid
+
+
+class TestMapQuestionResolution:
+    def test_every_map_question_resolves_to_declared_attribute(self, questions, swan):
+        """The NL question in every LLMMap must resolve to a generated column
+        the question declares — the keyword-cue system must be unambiguous."""
+        for question in questions:
+            world = swan.world(question.database)
+            oracle = KnowledgeOracle(world)
+            for node in find_ingredients(parse(question.blend_sql)):
+                call = parse_ingredient_call(node)
+                _, column = oracle.resolve_attribute(call.question)
+                assert column.name in question.expansion_columns, (
+                    question.qid, call.question, column.name,
+                )
+
+    def test_map_key_columns_exist_in_curated_schema(self, questions, swan):
+        for question in questions:
+            world = swan.world(question.database)
+            for node in find_ingredients(parse(question.blend_sql)):
+                call = parse_ingredient_call(node)
+                if call.kind == "LLMQA":
+                    continue
+                table = world.curated_schema.table(call.source_table)
+                for column in call.key_columns:
+                    assert table.has_column(column), (question.qid, column)
+
+
+class TestPhrasingVariants:
+    def test_questions_for_same_attribute_use_varied_wording(self, questions):
+        """Section 5.5: per-query phrasing defeats the prompt cache."""
+        from collections import defaultdict
+
+        phrasings = defaultdict(set)
+        for question in questions:
+            for node in find_ingredients(parse(question.blend_sql)):
+                call = parse_ingredient_call(node)
+                if call.kind == "LLMMap":
+                    phrasings[(question.database, call.key_columns)].add(call.question)
+        varied = [len(texts) for texts in phrasings.values()]
+        # every heavily-used attribute has at least two distinct phrasings
+        assert max(varied) >= 3
+        assert sum(1 for v in varied if v >= 2) >= 4
+
+    def test_selection_maps_carry_value_options(self, questions):
+        found_options = 0
+        for question in questions:
+            for node in find_ingredients(parse(question.blend_sql)):
+                if "options" in node.options:
+                    found_options += 1
+        assert found_options > 30
+
+
+class TestLimitDistribution:
+    def test_california_schools_is_limit_heavy(self, questions):
+        """Paper: ~1/3 of CA questions LIMIT; ~1/10 for Super Hero."""
+        def limit_fraction(db):
+            subset = [q for q in questions if q.database == db]
+            return sum(1 for q in subset if "LIMIT" in q.gold_sql.upper()) / len(subset)
+
+        assert limit_fraction("california_schools") >= 0.3
+        assert limit_fraction("superhero") <= 0.15

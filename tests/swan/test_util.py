@@ -1,0 +1,84 @@
+"""Tests for the deterministic world-generation helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.swan.worlds.util import (
+    det_choice,
+    det_int,
+    det_sample,
+    det_shuffle,
+    det_uniform,
+    slugify,
+)
+
+
+class TestDetUniform:
+    def test_deterministic(self):
+        assert det_uniform("a", 1) == det_uniform("a", 1)
+
+    def test_in_unit_interval(self):
+        for i in range(200):
+            assert 0.0 <= det_uniform("seed", i) < 1.0
+
+    def test_part_sensitivity(self):
+        assert det_uniform("a") != det_uniform("a", "")
+
+
+class TestDetInt:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(-50, 50), st.integers(0, 50), st.integers())
+    def test_within_bounds(self, low, span, seed):
+        high = low + span
+        value = det_int(low, high, "t", seed)
+        assert low <= value <= high
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            det_int(5, 4, "t")
+
+    def test_single_value_range(self):
+        assert det_int(7, 7, "x") == 7
+
+
+class TestDetChoiceSampleShuffle:
+    def test_choice_from_options(self):
+        options = ["a", "b", "c"]
+        assert det_choice(options, 1) in options
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            det_choice([], 1)
+
+    def test_sample_distinct_and_ordered(self):
+        options = list(range(20))
+        sample = det_sample(options, 5, "seed")
+        assert len(set(sample)) == 5
+        assert sample == sorted(sample)  # order-stable by construction
+
+    def test_sample_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            det_sample([1, 2], 3, "seed")
+
+    def test_shuffle_is_permutation(self):
+        options = ["a", "b", "c", "d", "e"]
+        shuffled = det_shuffle(options, "seed")
+        assert sorted(shuffled) == sorted(options)
+
+    def test_shuffle_deterministic(self):
+        assert det_shuffle(range(10), "s") == det_shuffle(range(10), "s")
+
+
+class TestSlugify:
+    def test_basic(self):
+        assert slugify("Lincoln High School") == "lincolnhighschool"
+
+    def test_separator(self):
+        assert slugify("Red Bull Racing", "_") == "red_bull_racing"
+
+    def test_punctuation_stripped(self):
+        assert slugify("T'Challa & Co.") == "tchallaco"
+
+    def test_empty(self):
+        assert slugify("") == ""

@@ -1,0 +1,67 @@
+"""Tests for blend-query phrasing variation and value-option attachment."""
+
+from repro.swan.base import Question
+from repro.swan.questions.variants import attach_value_options, vary_blend_questions
+
+
+def make_question(blend_sql, qid="demo_q01"):
+    return Question(
+        qid=qid,
+        database="demo",
+        text="?",
+        gold_sql="SELECT 1",
+        hqdl_sql="SELECT 1",
+        blend_sql=blend_sql,
+    )
+
+
+CANONICAL = "What is the color of this widget?"
+BLEND = (
+    "SELECT * FROM widgets WHERE "
+    f"{{{{LLMMap('{CANONICAL}', 'widgets::name')}}}} = 'Red'"
+)
+
+
+class TestVaryBlendQuestions:
+    def test_rotation_by_position(self):
+        variants = {CANONICAL: [CANONICAL, "State the color of this widget."]}
+        questions = [make_question(BLEND, f"demo_q{i:02d}") for i in range(4)]
+        varied = vary_blend_questions(questions, variants)
+        assert CANONICAL in varied[0].blend_sql
+        assert "State the color" in varied[1].blend_sql
+        assert CANONICAL in varied[2].blend_sql
+
+    def test_untouched_questions_pass_through(self):
+        question = make_question("SELECT 1")
+        assert vary_blend_questions([question], {CANONICAL: ["x"]})[0] is question
+
+    def test_other_fields_preserved(self):
+        variants = {CANONICAL: ["Different phrasing of the color question?"]}
+        varied = vary_blend_questions([make_question(BLEND)], variants)[0]
+        assert varied.gold_sql == "SELECT 1"
+        assert varied.qid == "demo_q01"
+
+
+class TestAttachValueOptions:
+    def test_option_added_inside_call(self):
+        rewritten = attach_value_options(
+            [make_question(BLEND)], {CANONICAL: "colors"}
+        )[0]
+        assert "options='colors')}}" in rewritten.blend_sql
+        # still parses
+        from repro.sqlparser import parse
+        from repro.sqlparser.rewrite import find_ingredients
+
+        nodes = find_ingredients(parse(rewritten.blend_sql))
+        assert nodes[0].options == {"options": "colors"}
+
+    def test_unrelated_question_untouched(self):
+        rewritten = attach_value_options(
+            [make_question(BLEND)], {"Another question?": "colors"}
+        )[0]
+        assert "options" not in rewritten.blend_sql
+
+    def test_applies_to_every_occurrence(self):
+        double = make_question(BLEND + " AND " + BLEND.split("WHERE ")[1])
+        rewritten = attach_value_options([double], {CANONICAL: "colors"})[0]
+        assert rewritten.blend_sql.count("options='colors'") == 2

@@ -1,0 +1,173 @@
+"""Structural and determinism tests over all four SWAN worlds."""
+
+import pytest
+
+from repro.swan.worlds import WORLD_BUILDERS
+
+WORLD_NAMES = sorted(WORLD_BUILDERS)
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    return {name: builder() for name, builder in WORLD_BUILDERS.items()}
+
+
+@pytest.mark.parametrize("name", WORLD_NAMES)
+class TestWorldStructure:
+    def test_rows_match_schema_width(self, worlds, name):
+        world = worlds[name]
+        for table in world.original_schema.tables:
+            for row in world.original_rows[table.name]:
+                assert len(row) == len(table.columns), table.name
+
+    def test_curated_rows_match_curated_schema(self, worlds, name):
+        world = worlds[name]
+        for table in world.curated_schema.tables:
+            for row in world.curated_rows[table.name]:
+                assert len(row) == len(table.columns), table.name
+
+    def test_curation_dropped_something(self, worlds, name):
+        world = worlds[name]
+        assert world.dropped_columns > 0
+
+    def test_expansion_keys_unique_and_text(self, worlds, name):
+        world = worlds[name]
+        for expansion in world.expansions:
+            keys = world.keys_for(expansion.name)
+            assert len(keys) == len(set(keys))
+            assert all(isinstance(part, str) for key in keys for part in key)
+
+    def test_truth_covers_every_generated_column(self, worlds, name):
+        world = worlds[name]
+        for expansion in world.expansions:
+            for key in world.keys_for(expansion.name):
+                for column in expansion.columns:
+                    value = world.truth_value(expansion.name, key, column.name)
+                    assert value is not None
+
+    def test_expansion_keys_cover_source_table(self, worlds, name):
+        """Every curated source row must have a truth entry to generate."""
+        world = worlds[name]
+        for expansion in world.expansions:
+            source = world.curated_schema.table(expansion.source_table)
+            key_indexes = [
+                source.column_names().index(c) for c in expansion.key_columns
+            ]
+            truth_keys = set(world.truth[expansion.name])
+            for row in world.curated_rows[expansion.source_table]:
+                key = tuple(str(row[i]) for i in key_indexes)
+                assert key in truth_keys, (expansion.name, key)
+
+    def test_selection_truth_values_in_value_lists(self, worlds, name):
+        world = worlds[name]
+        for expansion in world.expansions:
+            for column in expansion.columns:
+                if column.kind != "selection":
+                    continue
+                allowed = set(world.value_lists[column.value_list])
+                for key in world.keys_for(expansion.name):
+                    value = world.truth_value(expansion.name, key, column.name)
+                    assert str(value) in allowed, (column.name, value)
+
+    def test_deterministic_rebuild(self, worlds, name):
+        rebuilt = WORLD_BUILDERS[name]()
+        world = worlds[name]
+        assert rebuilt.original_rows == world.original_rows
+        assert rebuilt.truth == world.truth
+
+    def test_stats_shape(self, worlds, name):
+        stats = worlds[name].stats()
+        assert stats["tables"] > 0
+        assert stats["rows_per_table"] > 0
+
+    def test_popularity_defaults_to_one(self, worlds, name):
+        world = worlds[name]
+        assert world.key_popularity("no_such_expansion", ("x",)) == 1.0
+
+
+class TestRelativeScale:
+    def test_formula_one_is_largest(self, worlds):
+        sizes = {
+            name: world.stats()["rows_per_table"] for name, world in worlds.items()
+        }
+        assert sizes["formula_1"] == max(sizes.values())
+
+    def test_superhero_is_smallest(self, worlds):
+        sizes = {
+            name: world.stats()["rows_per_table"] for name, world in worlds.items()
+        }
+        assert sizes["superhero"] == min(sizes.values())
+
+
+class TestSuperheroSpecifics:
+    def test_eleven_columns_dropped(self, worlds):
+        # matches the paper's Table 1 for the Superhero database
+        assert worlds["superhero"].dropped_columns == 11
+
+    def test_famous_heroes_more_popular_than_synthetic(self, worlds):
+        world = worlds["superhero"]
+        famous = world.key_popularity("superhero_info", ("Batman", "Bruce Wayne"))
+        synthetic_keys = [
+            key for key, pop in world.popularity["superhero_info"].items()
+            if pop < 1.0
+        ]
+        assert famous > 1.0
+        assert synthetic_keys
+
+    def test_powers_are_tuples(self, worlds):
+        world = worlds["superhero"]
+        powers = world.truth_value(
+            "superhero_info", ("Superman", "Clark Kent"), "powers"
+        )
+        assert isinstance(powers, tuple)
+        assert "Flight" in powers
+
+
+class TestFormulaOneSpecifics:
+    def test_three_expansion_tables(self, worlds):
+        assert len(worlds["formula_1"].expansions) == 3
+
+    def test_hamilton_code(self, worlds):
+        world = worlds["formula_1"]
+        assert world.truth_value("driver_info", ("Lewis", "Hamilton"), "code") == "HAM"
+
+    def test_standings_are_cumulative(self, worlds):
+        world = worlds["formula_1"]
+        rows = world.original_rows["driver_standings"]
+        races = world.original_rows["races"]
+        last_race_2022 = max(r[0] for r in races if r[1] == 2022)
+        leader_points = max(r[2] for r in rows if r[0] == last_race_2022)
+        # 20 races, max 25 points each
+        assert 100 <= leader_points <= 500
+
+
+class TestFootballSpecifics:
+    def test_messi_truth(self, worlds):
+        world = worlds["european_football"]
+        assert world.truth_value("player_info", ("Lionel Messi",), "height_cm") == 170
+
+    def test_team_short_names_unique_enough(self, worlds):
+        world = worlds["european_football"]
+        shorts = [
+            world.truth_value("team_info", key, "team_short_name")
+            for key in world.keys_for("team_info")
+        ]
+        assert len(set(shorts)) == len(shorts)
+
+
+class TestSchoolsSpecifics:
+    def test_frpm_rate_consistent(self, worlds):
+        world = worlds["california_schools"]
+        for row in world.original_rows["frpm"]:
+            _, enrollment, _, frpm_count, rate = row
+            assert 0.0 <= rate <= 1.0
+            assert frpm_count <= enrollment
+
+    def test_most_websites_end_in_edu(self, worlds):
+        world = worlds["california_schools"]
+        sites = [
+            world.truth_value("school_info", key, "website")
+            for key in world.keys_for("school_info")
+        ]
+        edu = sum(1 for s in sites if s.endswith(".edu"))
+        assert edu > len(sites) * 0.6

@@ -1,0 +1,118 @@
+"""Tests for the automated hybrid-query planner (Section 6 future work)."""
+
+import pytest
+
+from repro.auto.planner import (
+    HybridQueryPlanner,
+    PlanningError,
+    evaluate_planner,
+    resolve_attribute,
+)
+from repro.sqlengine.results import results_match
+from repro.swan.build import build_curated_database, build_original_database
+from repro.udf.executor import HybridQueryExecutor
+
+from tests.conftest import make_model
+
+
+@pytest.fixture(scope="module")
+def superhero_planner(superhero_world):
+    return HybridQueryPlanner(superhero_world)
+
+
+@pytest.fixture(scope="module")
+def football_planner(football_world):
+    return HybridQueryPlanner(football_world)
+
+
+class TestResolution:
+    def test_resolves_publisher(self, superhero_world):
+        resolved = resolve_attribute(
+            superhero_world, "Which publisher released this comic?"
+        )
+        assert resolved is not None
+        assert resolved[1].name == "publisher_name"
+
+    def test_unresolvable_returns_none(self, superhero_world):
+        assert resolve_attribute(superhero_world, "what is six times nine") is None
+
+
+class TestPlanning:
+    def test_count_with_selection_filter(self, superhero_planner):
+        planned = superhero_planner.plan("How many superheroes have blue eyes?")
+        assert planned.intent == "count"
+        assert planned.attributes == ("eye_color",)
+        assert "COUNT(*)" in planned.blend_sql
+        assert "= 'Blue'" in planned.blend_sql
+
+    def test_list_with_selection_filter(self, superhero_planner):
+        planned = superhero_planner.plan(
+            "List the superhero names of heroes with green skin."
+        )
+        assert planned.intent == "list"
+        assert planned.blend_sql.startswith("SELECT superhero_name FROM superhero")
+
+    def test_multi_attribute_conjunction(self, superhero_planner):
+        planned = superhero_planner.plan(
+            "Which heroes have both blond hair and blue eyes?"
+        )
+        assert set(planned.attributes) == {"hair_color", "eye_color"}
+        assert planned.blend_sql.count("LLMMap") == 2
+
+    def test_numeric_comparison(self, football_planner):
+        planned = football_planner.plan(
+            "List the names of players taller than 180 cm."
+        )
+        assert "CAST(" in planned.blend_sql
+        assert "> 180" in planned.blend_sql
+
+    def test_lookup_entity(self, superhero_planner):
+        planned = superhero_planner.plan("What is the eye color of Superman?")
+        assert planned.intent == "lookup"
+        assert "superhero_name = 'Superman'" in planned.blend_sql
+
+    def test_not_beyond_database_rejected(self, superhero_planner):
+        with pytest.raises(PlanningError, match="answerable from the database"):
+            superhero_planner.plan("How many heroes are taller than 2 meters?")
+
+    def test_no_extractable_filter_rejected(self, superhero_planner):
+        with pytest.raises(PlanningError, match="neither a filter value"):
+            superhero_planner.plan("Tell me something about publishers.")
+
+
+class TestPlannedQueriesExecute:
+    @pytest.mark.parametrize(
+        "question_text, qid",
+        [
+            ("How many superheroes have blue eyes?", "superhero_q04"),
+            ("List the superhero names of heroes with green skin.",
+             "superhero_q05"),
+            ("What is the eye color of Superman?", "superhero_q16"),
+            ("What is the race of Thor?", "superhero_q29"),
+        ],
+    )
+    def test_planned_query_matches_gold(
+        self, swan, superhero_world, superhero_planner, question_text, qid
+    ):
+        planned = superhero_planner.plan(question_text)
+        gold_question = swan.question(qid)
+        with build_original_database(superhero_world) as orig, \
+                build_curated_database(superhero_world) as curated:
+            executor = HybridQueryExecutor(
+                curated, make_model(superhero_world), superhero_world
+            )
+            expected = orig.query(gold_question.gold_sql)
+            actual = executor.execute(planned.blend_sql)
+        assert results_match(expected, actual), planned.blend_sql
+
+
+class TestEvaluation:
+    def test_planner_report_on_swan(self, swan):
+        report = evaluate_planner(swan)
+        assert report.total == 120
+        # a preliminary planner, but a useful one: it translates a third+
+        # of SWAN and gets a third+ of those exactly right
+        assert report.coverage >= 1 / 3
+        assert report.planned_accuracy >= 1 / 3
+        # failures carry actionable reasons
+        assert all(reason for reason in report.failures.values())

@@ -1,0 +1,52 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            errors.SQLSyntaxError,
+            errors.UnsupportedSQLError,
+            errors.SchemaError,
+            errors.CurationError,
+            errors.ExtractionError,
+            errors.IngredientError,
+            errors.ExecutionError,
+            errors.LLMError,
+            errors.BudgetExceededError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, errors.ReproError)
+
+    def test_budget_is_llm_error(self):
+        assert issubclass(errors.BudgetExceededError, errors.LLMError)
+
+
+class TestSQLSyntaxError:
+    def test_carries_line(self):
+        exc = errors.SQLSyntaxError("bad token", line=3)
+        assert "line 3" in str(exc)
+        assert exc.line == 3
+
+    def test_carries_offset(self):
+        exc = errors.SQLSyntaxError("bad token", position=17)
+        assert "offset 17" in str(exc)
+
+    def test_bare_message(self):
+        assert str(errors.SQLSyntaxError("oops")) == "oops"
+
+
+class TestCatchability:
+    def test_one_handler_for_everything(self):
+        """An API boundary can catch ReproError and nothing slips by."""
+        from repro.sqlparser import parse
+
+        with pytest.raises(errors.ReproError):
+            parse("SELECT FROM")
+        with pytest.raises(errors.ReproError):
+            parse("SELECT {{nonsense}}")

@@ -1,0 +1,114 @@
+"""Tests for the vector index and row-context retrieval."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.retrieval import RowContextRetriever, VectorIndex
+from repro.retrieval.embedding import cosine_similarity, embed
+
+
+class TestVectorIndex:
+    def test_add_and_document(self):
+        index = VectorIndex()
+        doc_id = index.add("hello world")
+        assert index.document(doc_id) == "hello world"
+        assert len(index) == 1
+
+    def test_search_ranks_by_similarity(self):
+        index = VectorIndex()
+        index.add("the batman fights crime in gotham")
+        index.add("football players run on grass")
+        hits = index.search("batman gotham", k=2)
+        assert hits[0].text.startswith("the batman")
+        assert hits[0].score > hits[-1].score if len(hits) > 1 else True
+
+    def test_zero_similarity_excluded(self):
+        index = VectorIndex()
+        index.add("alpha beta")
+        assert index.search("gamma delta", k=5) == []
+
+    def test_k_zero_and_empty(self):
+        index = VectorIndex()
+        assert index.search("anything", k=0) == []
+        assert VectorIndex().search("anything") == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.text(alphabet="abc def", min_size=1, max_size=10),
+                    min_size=1, max_size=10))
+    def test_top_hit_is_document_itself(self, documents):
+        index = VectorIndex()
+        for document in documents:
+            index.add(document)
+        for document in documents:
+            if not embed(document):
+                continue
+            hits = index.search(document, k=1)
+            assert hits
+            assert cosine_similarity(
+                embed(hits[0].text), embed(document)
+            ) >= 1.0 - 1e-9
+
+
+class TestRowContextRetriever:
+    @pytest.fixture(scope="class")
+    def retriever(self, superhero_world):
+        return RowContextRetriever(superhero_world)
+
+    def test_indexes_all_curated_rows(self, retriever, superhero_world):
+        expected = sum(len(rows) for rows in superhero_world.curated_rows.values())
+        assert len(retriever.index) == expected
+
+    def test_related_rows_find_the_hero(self, retriever):
+        rows = retriever.related_rows(("Batman", "Bruce Wayne"), k=3)
+        assert rows
+        assert any("Batman" in row for row in rows)
+
+    def test_rows_render_table_and_columns(self, retriever):
+        rows = retriever.related_rows(("Superman", "Clark Kent"), k=1)
+        assert rows[0].startswith("superhero:")
+        assert "superhero_name=Superman" in rows[0]
+
+    def test_context_provider(self, retriever):
+        provider = retriever.context_provider(2)
+        assert provider is not None
+        assert len(provider(("Batman", "Bruce Wayne"))) == 2
+        assert retriever.context_provider(0) is None
+
+    def test_long_cells_clipped(self, superhero_world):
+        retriever = RowContextRetriever(superhero_world, max_cell_chars=10)
+        rows = retriever.related_rows(("Batman", "Bruce Wayne"), k=1)
+        for fragment in rows[0].split(" | "):
+            value = fragment.split("=", 1)[-1]
+            assert len(value) <= 10
+
+
+class TestHQDLContextEffect:
+    def test_context_improves_factuality_and_costs_tokens(self, superhero_world):
+        from repro.core import HQDL
+        from repro.eval.factuality import database_factuality
+        from repro.llm.usage import UsageMeter
+        from tests.conftest import make_model
+
+        results = {}
+        for context_rows in (0, 3):
+            model = make_model(superhero_world, "gpt-3.5-turbo")
+            pipeline = HQDL(superhero_world, model, shots=0,
+                            context_rows=context_rows)
+            generation = pipeline.generate_all()
+            results[context_rows] = (
+                database_factuality(superhero_world, generation),
+                model.meter.total.input_tokens,
+            )
+        assert results[3][0] > results[0][0]  # grounding helps recall
+        assert results[3][1] > results[0][1]  # and costs input tokens
+
+    def test_perfect_model_unaffected_by_context(self, superhero_world):
+        from repro.core import HQDL
+        from repro.eval.factuality import database_factuality
+        from tests.conftest import make_model
+
+        pipeline = HQDL(superhero_world, make_model(superhero_world),
+                        shots=0, context_rows=2)
+        generation = pipeline.generate_all()
+        assert database_factuality(superhero_world, generation) == 1.0

@@ -1,0 +1,84 @@
+"""Tests for embedding, similarity, and demonstration selection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.udf.fewshot import (
+    DemonstrationPool,
+    FewShotSelector,
+    cosine_similarity,
+    embed,
+)
+
+
+class TestEmbedding:
+    def test_empty(self):
+        assert embed("") == {}
+
+    def test_bag_of_words(self):
+        vector = embed("the cat the dog")
+        assert set(vector) == {"the", "cat", "dog"}
+        assert vector["the"] > vector["cat"]  # repeated term weighs more
+
+    def test_case_insensitive(self):
+        assert embed("Cat") == embed("cat")
+
+
+class TestCosine:
+    def test_identical_is_one(self):
+        v = embed("driver code formula")
+        assert cosine_similarity(v, v) == 1.0 or abs(cosine_similarity(v, v) - 1) < 1e-9
+
+    def test_disjoint_is_zero(self):
+        assert cosine_similarity(embed("alpha beta"), embed("gamma delta")) == 0.0
+
+    def test_empty_is_zero(self):
+        assert cosine_similarity({}, embed("a")) == 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=50), st.text(max_size=50))
+    def test_symmetric_and_bounded(self, left, right):
+        score = cosine_similarity(embed(left), embed(right))
+        assert 0.0 <= score <= 1.0 + 1e-9
+        assert score == cosine_similarity(embed(right), embed(left))
+
+
+class TestDemonstrationPool:
+    def test_pool_covers_every_column(self, formula_world):
+        pool = DemonstrationPool(formula_world)
+        questions = {demo.question for demo in pool.demonstrations}
+        # one canonical question per generated column
+        generated = sum(len(e.columns) for e in formula_world.expansions)
+        assert len(questions) == generated
+
+    def test_answers_come_from_truth(self, formula_world):
+        pool = DemonstrationPool(formula_world)
+        codes = [
+            demo.answer
+            for demo in pool.demonstrations
+            if "driver code" in demo.question
+        ]
+        truth_codes = {
+            entry["code"] for entry in formula_world.truth["driver_info"].values()
+        }
+        assert codes and set(codes) <= truth_codes
+
+
+class TestSelector:
+    def test_selects_relevant_attribute(self, formula_world):
+        selector = FewShotSelector(DemonstrationPool(formula_world))
+        demos = selector.select(
+            "What is the three-letter driver code of this driver?", 3
+        )
+        assert len(demos) == 3
+        assert all("code" in demo.question for demo in demos)
+
+    def test_zero_count(self, formula_world):
+        selector = FewShotSelector(DemonstrationPool(formula_world))
+        assert selector.select("anything", 0) == []
+
+    def test_deterministic(self, formula_world):
+        selector = FewShotSelector(DemonstrationPool(formula_world))
+        first = selector.select("nationality of the driver", 4)
+        second = selector.select("nationality of the driver", 4)
+        assert first == second

@@ -1,0 +1,72 @@
+"""Tests for ingredient-call validation."""
+
+import pytest
+
+from repro.errors import IngredientError
+from repro.sqlparser import ast
+from repro.udf.ingredients import parse_ingredient_call
+
+
+def ing(name, args, options=None):
+    return ast.Ingredient(name=name, args=args, options=options or {})
+
+
+class TestLLMMap:
+    def test_basic(self):
+        call = parse_ingredient_call(ing("LLMMap", ["q?", "t::c"]))
+        assert call.kind == "LLMMap"
+        assert call.question == "q?"
+        assert call.source_table == "t"
+        assert call.key_columns == ("c",)
+
+    def test_composite_key(self):
+        call = parse_ingredient_call(
+            ing("LLMMap", ["q", "hero::name", "hero::full_name"])
+        )
+        assert call.key_columns == ("name", "full_name")
+
+    def test_mixed_tables_rejected(self):
+        with pytest.raises(IngredientError):
+            parse_ingredient_call(ing("LLMMap", ["q", "a::x", "b::y"]))
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(IngredientError):
+            parse_ingredient_call(ing("LLMMap", ["q"]))
+
+    def test_bad_key_reference(self):
+        with pytest.raises(IngredientError):
+            parse_ingredient_call(ing("LLMMap", ["q", "no-separator"]))
+        with pytest.raises(IngredientError):
+            parse_ingredient_call(ing("LLMMap", ["q", "::col"]))
+
+    def test_options_preserved(self):
+        call = parse_ingredient_call(
+            ing("LLMMap", ["q", "t::c"], {"options": "publishers"})
+        )
+        assert dict(call.options) == {"options": "publishers"}
+
+
+class TestLLMQA:
+    def test_basic(self):
+        call = parse_ingredient_call(ing("LLMQA", ["who?"]))
+        assert call.kind == "LLMQA"
+        assert call.source_table == ""
+
+    def test_extra_args_rejected(self):
+        with pytest.raises(IngredientError):
+            parse_ingredient_call(ing("LLMQA", ["q", "t::c"]))
+
+
+class TestValidation:
+    def test_unknown_name(self):
+        with pytest.raises(IngredientError):
+            parse_ingredient_call(ing("LLMDream", ["q"]))
+
+    def test_no_args(self):
+        with pytest.raises(IngredientError):
+            parse_ingredient_call(ing("LLMMap", []))
+
+    def test_signature_identity(self):
+        a = parse_ingredient_call(ing("LLMMap", ["q", "t::c"]))
+        b = parse_ingredient_call(ing("LLMMap", ["q", "t::c"], {"options": "x"}))
+        assert a.signature() == b.signature()  # options don't change identity

@@ -1,0 +1,79 @@
+"""Tests for predicate-pushdown analysis."""
+
+from repro.sqlparser import parse, parse_expression
+from repro.udf.pushdown import (
+    conjunct_is_pushable,
+    pushable_conjuncts,
+    resolve_alias,
+)
+
+COLUMNS = {"a", "b", "name"}
+
+
+class TestConjunctPushability:
+    def test_qualified_matching_alias(self):
+        expr = parse_expression("t.a = 1")
+        assert conjunct_is_pushable(expr, "t", COLUMNS, single_source=False)
+
+    def test_qualified_other_alias(self):
+        expr = parse_expression("u.a = 1")
+        assert not conjunct_is_pushable(expr, "t", COLUMNS, single_source=False)
+
+    def test_unqualified_single_source(self):
+        expr = parse_expression("a = 1")
+        assert conjunct_is_pushable(expr, "t", COLUMNS, single_source=True)
+        assert not conjunct_is_pushable(expr, "t", COLUMNS, single_source=False)
+
+    def test_unqualified_unknown_column(self):
+        expr = parse_expression("ghost = 1")
+        assert not conjunct_is_pushable(expr, "t", COLUMNS, single_source=True)
+
+    def test_ingredient_not_pushable(self):
+        expr = parse_expression("{{LLMMap('q', 't::a')}} = 'x'")
+        assert not conjunct_is_pushable(expr, "t", COLUMNS, single_source=True)
+
+    def test_subquery_not_pushable(self):
+        expr = parse_expression("a IN (SELECT a FROM u)")
+        assert not conjunct_is_pushable(expr, "t", COLUMNS, single_source=True)
+
+    def test_constant_predicate_not_pushable(self):
+        expr = parse_expression("1 = 1")
+        assert not conjunct_is_pushable(expr, "t", COLUMNS, single_source=True)
+
+
+class TestSelectLevel:
+    def test_mixed_where(self):
+        tree = parse(
+            "SELECT * FROM t WHERE t.a = 1 AND {{LLMMap('q', 't::a')}} = 'x' "
+            "AND t.b > 2"
+        )
+        conjuncts = pushable_conjuncts(tree, "t", COLUMNS)
+        assert len(conjuncts) == 2
+
+    def test_join_scope(self):
+        tree = parse(
+            "SELECT * FROM t JOIN u ON t.a = u.a "
+            "WHERE t.a = 1 AND u.b = 2"
+        )
+        conjuncts = pushable_conjuncts(tree, "t", COLUMNS)
+        assert len(conjuncts) == 1
+
+    def test_no_where(self):
+        tree = parse("SELECT * FROM t")
+        assert pushable_conjuncts(tree, "t", COLUMNS) == []
+
+
+class TestResolveAlias:
+    def test_aliased(self):
+        tree = parse("SELECT * FROM schools AS s JOIN frpm f ON s.c = f.c")
+        assert resolve_alias(tree, "schools") == "s"
+        assert resolve_alias(tree, "frpm") == "f"
+
+    def test_bare_name(self):
+        tree = parse("SELECT * FROM schools")
+        assert resolve_alias(tree, "schools") == "schools"
+
+    def test_missing(self):
+        tree = parse("SELECT * FROM other")
+        assert resolve_alias(tree, "schools") is None
+        assert resolve_alias(None, "schools") is None

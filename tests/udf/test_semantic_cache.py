@@ -1,0 +1,117 @@
+"""Tests for semantic caching with query rewriting."""
+
+import pytest
+
+from repro.llm.chat import MockChatModel
+from repro.llm.oracle import KnowledgeOracle
+from repro.llm.profiles import get_profile
+from repro.llm.usage import UsageMeter
+from repro.swan.build import build_curated_database
+from repro.udf.executor import HybridQueryExecutor
+from repro.udf.semantic_cache import SemanticCache, equivalence_prompt
+
+from tests.conftest import make_model
+
+
+HEIGHT_Q1 = "What is the height in centimeters of this football player?"
+HEIGHT_Q2 = "How tall is this football player in centimeters?"
+WEIGHT_Q = "What is the weight in kilograms of this football player?"
+
+
+@pytest.fixture()
+def football_client(football_world):
+    return make_model(football_world)
+
+
+class TestEquivalenceProtocol:
+    def test_equivalent_phrasings_yes(self, football_client):
+        prompt = equivalence_prompt(HEIGHT_Q1, HEIGHT_Q2)
+        assert football_client.complete(prompt).text == "yes"
+
+    def test_different_attributes_no(self, football_client):
+        prompt = equivalence_prompt(HEIGHT_Q1, WEIGHT_Q)
+        assert football_client.complete(prompt).text == "no"
+
+    def test_unresolvable_is_no(self, football_client):
+        prompt = equivalence_prompt(HEIGHT_Q1, "What is the meaning of life?")
+        assert football_client.complete(prompt).text == "no"
+
+
+class TestSemanticCache:
+    def test_exact_hit(self, football_client):
+        cache = SemanticCache()
+        cache.store(HEIGHT_Q1, {("A",): "180"})
+        mapping = cache.lookup(HEIGHT_Q1, football_client)
+        assert mapping == {("A",): "180"}
+        assert cache.stats.exact_hits == 1
+
+    def test_rewrite_across_phrasings(self, football_client):
+        cache = SemanticCache()
+        cache.store(HEIGHT_Q1, {("A",): "180"})
+        mapping = cache.lookup(HEIGHT_Q2, football_client)
+        assert mapping == {("A",): "180"}
+        assert cache.stats.rewrites == 1
+
+    def test_different_attribute_rejected(self, football_client):
+        cache = SemanticCache()
+        cache.store(HEIGHT_Q1, {("A",): "180"})
+        assert cache.lookup(WEIGHT_Q, football_client) is None
+        assert cache.stats.rejected_rewrites == 1
+
+    def test_miss_on_empty_cache(self, football_client):
+        cache = SemanticCache()
+        assert cache.lookup(HEIGHT_Q1, football_client) is None
+        assert cache.stats.misses == 1
+
+    def test_store_extends_existing(self, football_client):
+        cache = SemanticCache()
+        cache.store(HEIGHT_Q1, {("A",): "180"})
+        cache.store(HEIGHT_Q1, {("B",): "190"})
+        assert len(cache) == 1
+        assert cache.lookup(HEIGHT_Q1, football_client) == {
+            ("A",): "180", ("B",): "190",
+        }
+
+
+class TestExecutorIntegration:
+    def test_rewrite_saves_calls(self, football_world):
+        meter = UsageMeter()
+        model = MockChatModel(
+            KnowledgeOracle(football_world), get_profile("perfect"), meter=meter
+        )
+        cache = SemanticCache()
+        with build_curated_database(football_world) as db:
+            executor = HybridQueryExecutor(
+                db, model, football_world, semantic_cache=cache
+            )
+            first = executor.execute(
+                f"SELECT MAX(CAST({{{{LLMMap('{HEIGHT_Q1}', "
+                "'player::player_name')}} AS INTEGER)) FROM player"
+            )
+            calls_after_first = meter.total.calls
+            second = executor.execute(
+                "SELECT COUNT(*) FROM player WHERE "
+                f"CAST({{{{LLMMap('{HEIGHT_Q2}', "
+                "'player::player_name')}} AS INTEGER) > 180"
+            )
+            rewrite_overhead = meter.total.calls - calls_after_first
+        # the second query reused every height: only the equivalence
+        # check itself reached the model
+        assert rewrite_overhead == 1
+        assert cache.stats.keys_reused == len(
+            football_world.truth["player_info"]
+        )
+        assert first.scalar() is not None
+        assert second.scalar() is not None
+
+    def test_results_identical_with_and_without(self, football_world, swan):
+        question = swan.question("european_football_q02")
+        results = []
+        for semantic_cache in (None, SemanticCache()):
+            with build_curated_database(football_world) as db:
+                executor = HybridQueryExecutor(
+                    db, make_model(football_world, "gpt-4-turbo"),
+                    football_world, semantic_cache=semantic_cache,
+                )
+                results.append(sorted(executor.execute(question.blend_sql).rows))
+        assert results[0] == results[1]

@@ -1,0 +1,103 @@
+"""Tests for materialized views over LLM generations."""
+
+import pytest
+
+from repro.llm.usage import UsageMeter
+from repro.llm.chat import MockChatModel
+from repro.llm.oracle import KnowledgeOracle
+from repro.llm.profiles import get_profile
+from repro.swan.build import build_curated_database
+from repro.udf.executor import HybridQueryExecutor
+from repro.udf.views import MaterializedViewStore
+
+
+FULL_SCAN = (
+    "SELECT COUNT(*) FROM superhero WHERE "
+    "{{LLMMap('What is the race of this superhero?', "
+    "'superhero::superhero_name', 'superhero::full_name')}} = 'Human'"
+)
+PUSHED_DOWN = (
+    "SELECT {{LLMMap('What is the race of this superhero?', "
+    "'superhero::superhero_name', 'superhero::full_name')}} "
+    "FROM superhero WHERE superhero_name = 'Thor'"
+)
+
+
+@pytest.fixture()
+def setup(superhero_world):
+    meter = UsageMeter()
+    model = MockChatModel(
+        KnowledgeOracle(superhero_world), get_profile("perfect"), meter=meter
+    )
+    db = build_curated_database(superhero_world)
+    views = MaterializedViewStore()
+    executor = HybridQueryExecutor(db, model, superhero_world, views=views)
+    yield executor, views, meter, db
+    db.close()
+
+
+class TestMaterialization:
+    def test_complete_generation_materializes(self, setup):
+        executor, views, meter, db = setup
+        executor.execute(FULL_SCAN)
+        assert len(views) == 1
+        assert views.stats.materializations == 1
+        # the view is a real, inspectable table
+        (name,) = [t for t in db.table_names() if t.startswith("llm_view_")]
+        assert db.row_count(name) > 100
+
+    def test_second_execution_reads_view(self, setup):
+        executor, views, meter, _ = setup
+        first = executor.execute(FULL_SCAN)
+        calls_after_first = meter.total.calls
+        second = executor.execute(FULL_SCAN)
+        assert meter.total.calls == calls_after_first  # zero new LLM calls
+        assert views.stats.hits == 1
+        assert first.rows == second.rows
+
+    def test_partial_generation_not_materialized(self, setup):
+        executor, views, _, _ = setup
+        result = executor.execute(PUSHED_DOWN)
+        assert result.rows == [("Asgardian",)]
+        assert len(views) == 0  # pushdown covered one key only
+
+    def test_view_serves_pushed_down_query_later(self, setup):
+        executor, views, meter, _ = setup
+        executor.execute(FULL_SCAN)  # complete -> materialized
+        calls = meter.total.calls
+        result = executor.execute(PUSHED_DOWN)
+        assert result.rows == [("Asgardian",)]
+        assert meter.total.calls == calls  # answered from the view
+
+
+class TestInvalidation:
+    def test_invalidate_drops_table(self, setup):
+        executor, views, _, db = setup
+        executor.execute(FULL_SCAN)
+        signature = next(iter(views._tables))
+        name = views._tables[signature]
+        assert views.invalidate(db, signature)
+        assert not db.has_table(name)
+        assert len(views) == 0
+
+    def test_invalidate_unknown_is_false(self, setup):
+        _, views, _, db = setup
+        assert not views.invalidate(db, ("nope",))
+
+    def test_invalidate_all(self, setup):
+        executor, views, _, db = setup
+        executor.execute(FULL_SCAN)
+        assert views.invalidate_all(db) == 1
+        assert views.invalidate_all(db) == 0
+
+    def test_refresh_after_invalidation(self, setup):
+        executor, views, meter, db = setup
+        executor.execute(FULL_SCAN)
+        views.invalidate_all(db)
+        calls = meter.total.calls
+        executor.execute(FULL_SCAN)
+        # the view is rebuilt — but the regeneration itself is served by
+        # the prompt cache, so no new *paid* LLM calls happen
+        assert meter.total.calls == calls
+        assert views.stats.materializations == 2
+        assert len(views) == 1
