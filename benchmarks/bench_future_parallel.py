@@ -1,23 +1,23 @@
 """Future work — asynchronous / parallel LLM calls (Sections 4.3 and 6).
 
 "BlendSQL ... plans to support parallelized LLM calls in the future to
-further minimize query latency."  The executor records per-call token
-sizes; this bench estimates the wall-clock latency of a full-scan hybrid
-query under 1, 4 and 16 concurrent connections with the affine latency
-model in :mod:`repro.llm.batching`.
+further minimize query latency."  This bench used to print an analytical
+estimate only; the dispatcher is now real, so it also *measures* the
+scheduler: the same full-scan hybrid query re-runs with ``workers=4`` /
+``workers=16`` under a :class:`~repro.llm.parallel.SimulatedClock`
+(virtual time, no real sleeping) and the measured makespan is validated
+against the analytical :func:`~repro.llm.batching.parallel_makespan`
+bound — the scheduler must land within 10% of the LPT prediction.
 """
 
 import pytest
 
 from repro.eval.report import format_table
+from repro.harness.benchjson import PLAYER_HEIGHT_QUERY, measure_parallel_makespans
 from repro.swan.build import build_curated_database
 from repro.udf.executor import HybridQueryExecutor
 
-QUERY = (
-    "SELECT COUNT(*) FROM player WHERE "
-    "CAST({{LLMMap('What is the height in centimeters of this football "
-    "player?', 'player::player_name')}} AS INTEGER) > 180"
-)
+QUERY = PLAYER_HEIGHT_QUERY
 
 WORKERS = (1, 4, 16)
 
@@ -58,3 +58,37 @@ def test_future_parallel_execution(benchmark, report, show):
     assert latencies[4] < latencies[1]
     assert latencies[16] <= latencies[4]
     assert latencies[1] / latencies[4] > 2.0  # near-linear at low counts
+
+
+def test_measured_makespan_matches_analytical_bound(swan, show):
+    """The real scheduler's simulated-clock makespan tracks the LPT bound."""
+    payload = measure_parallel_makespans(swan)
+    rows = [["1 (sequential)", f"{payload['sequential_seconds']:.1f} s", "-", "-"]]
+    for workers, entry in payload["workers"].items():
+        drift = (
+            abs(entry["measured_seconds"] - entry["analytical_seconds"])
+            / entry["analytical_seconds"]
+        )
+        rows.append(
+            [
+                workers,
+                f"{entry['measured_seconds']:.1f} s",
+                f"{entry['analytical_seconds']:.1f} s",
+                f"{drift * 100:.2f}%",
+            ]
+        )
+        # the dispatcher's dynamic schedule must land within 10% of the
+        # analytical LPT makespan
+        assert drift <= 0.10, (
+            f"measured makespan at {workers} workers drifted {drift:.1%} "
+            f"from the analytical bound"
+        )
+    show(format_table(
+        ["Workers", "Measured makespan", "Analytical (LPT)", "Drift"],
+        rows,
+        title=f"Measured scheduler makespan vs analytical bound "
+              f"({payload['llm_calls']} batched calls, simulated clock).",
+    ))
+    # and parallelism genuinely pays off
+    four = payload["workers"]["4"]
+    assert four["measured_seconds"] < payload["sequential_seconds"] / 2

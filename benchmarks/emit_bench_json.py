@@ -1,0 +1,30 @@
+"""Write ``BENCH_parallel.json`` — the machine-readable bench trajectory.
+
+Same payload as ``python -m repro.harness bench-json``: sequential vs
+parallel makespans of the reference full-scan hybrid query, measured on
+the real dispatcher under a simulated clock, beside the analytical
+bound.  CI diffs this file across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench_json.py [output-path]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.harness.benchjson import write_bench_json
+
+
+def main(argv: list[str]) -> int:
+    path = argv[0] if argv else "BENCH_parallel.json"
+    target, payload = write_bench_json(path)
+    print(f"wrote {target}")
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -27,6 +27,7 @@ from repro.core.materialize import materialize_expansion
 from repro.core.prompts import RowPromptBuilder
 from repro.errors import ExtractionError, ReproError
 from repro.llm.client import ChatClient
+from repro.llm.parallel import DispatchOutcome, ParallelDispatcher
 from repro.sqlengine.database import Database
 from repro.sqlengine.results import ResultSet
 from repro.swan.base import Question, World
@@ -75,11 +76,14 @@ class HQDL:
         *,
         shots: int = 0,
         context_rows: int = 0,
+        workers: int = 1,
     ) -> None:
         self.world = world
         self.client = client
         self.shots = shots
         self.context_rows = context_rows
+        self.workers = workers
+        self._dispatcher = ParallelDispatcher(workers)
         self._retriever = None
         if context_rows > 0:
             # built lazily-but-eagerly here: one index serves every table
@@ -89,8 +93,10 @@ class HQDL:
 
     # -- generation ------------------------------------------------------------
 
-    def generate_table(self, expansion_name: str) -> TableGeneration:
-        """Generate all rows of one expansion table, one call per key."""
+    def _prepare_table(
+        self, expansion_name: str
+    ) -> tuple[RowPromptBuilder, list[tuple], list[str]]:
+        """The prompt builder, keys, and prompts for one expansion table."""
         expansion = self.world.expansion(expansion_name)
         context_provider = None
         if self._retriever is not None:
@@ -101,14 +107,26 @@ class HQDL:
             shots=self.shots,
             context_provider=context_provider,
         )
+        keys = list(self.world.keys_for(expansion_name))
+        prompts = [builder.build(key) for key in keys]
+        return builder, keys, prompts
+
+    def _assemble_table(
+        self,
+        expansion_name: str,
+        builder: RowPromptBuilder,
+        keys: list[tuple],
+        outcomes: list[DispatchOutcome],
+    ) -> TableGeneration:
+        """Extract dispatched completions into a TableGeneration, in key order."""
         generation = TableGeneration(expansion_name=expansion_name)
-        key_width = len(expansion.key_columns)
-        for key in self.world.keys_for(expansion_name):
-            prompt = builder.build(key)
-            response = self.client.complete(prompt, label=f"hqdl:{expansion_name}")
+        key_width = len(self.world.expansion(expansion_name).key_columns)
+        for key, outcome in zip(keys, outcomes):
             generation.calls += 1
             try:
-                fields = extract_row(response.text, builder.expected_field_count())
+                fields = extract_row(
+                    outcome.response.text, builder.expected_field_count()
+                )
             except ExtractionError:
                 generation.rows[key] = None
                 generation.malformed += 1
@@ -116,11 +134,51 @@ class HQDL:
             generation.rows[key] = fields[key_width:]
         return generation
 
+    def generate_table(self, expansion_name: str) -> TableGeneration:
+        """Generate all rows of one expansion table, one call per key.
+
+        With ``workers > 1`` the per-key calls run concurrently; rows are
+        assembled in key order, so the result is identical to sequential
+        generation.
+        """
+        builder, keys, prompts = self._prepare_table(expansion_name)
+        outcomes = self._dispatcher.dispatch(
+            self.client,
+            prompts,
+            labels=f"hqdl:{expansion_name}",
+            capture_errors=False,
+        )
+        return self._assemble_table(expansion_name, builder, keys, outcomes)
+
     def generate_all(self) -> GenerationResult:
-        """Generate every expansion table of this world."""
+        """Generate every expansion table of this world.
+
+        All row-completion calls of *all* expansion tables form one flat
+        dispatch, so with ``workers > 1`` generation parallelizes across
+        attributes (tables) and keys alike, instead of finishing one
+        table before starting the next.
+        """
         result = GenerationResult(database=self.world.name, shots=self.shots)
-        for expansion in self.world.expansions:
-            result.tables[expansion.name] = self.generate_table(expansion.name)
+        prepared = [
+            (expansion.name, *self._prepare_table(expansion.name))
+            for expansion in self.world.expansions
+        ]
+        prompts = [p for _, _, _, table_prompts in prepared for p in table_prompts]
+        labels = [
+            f"hqdl:{name}"
+            for name, _, _, table_prompts in prepared
+            for _ in table_prompts
+        ]
+        outcomes = self._dispatcher.dispatch(
+            self.client, prompts, labels=labels, capture_errors=False
+        )
+        offset = 0
+        for name, builder, keys, table_prompts in prepared:
+            table_outcomes = outcomes[offset : offset + len(table_prompts)]
+            offset += len(table_prompts)
+            result.tables[name] = self._assemble_table(
+                name, builder, keys, table_outcomes
+            )
         return result
 
     # -- materialization ---------------------------------------------------------

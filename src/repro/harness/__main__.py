@@ -100,6 +100,31 @@ def _error_report() -> tuple[list[dict], str]:
     return records, breakdown.render()
 
 
+def _bench_json_report() -> tuple[list[dict], str]:
+    """Measured parallel-dispatch makespans, written to BENCH_parallel.json."""
+    from repro.eval.report import format_table
+    from repro.harness.benchjson import write_bench_json
+
+    path, payload = write_bench_json()
+    rows = [["1 (sequential)", f"{payload['sequential_seconds']:.1f} s", "-", "1.0x"]]
+    for workers, entry in payload["workers"].items():
+        rows.append(
+            [
+                workers,
+                f"{entry['measured_seconds']:.1f} s",
+                f"{entry['analytical_seconds']:.1f} s",
+                f"{entry['speedup_vs_sequential']:.1f}x",
+            ]
+        )
+    text = format_table(
+        ["Workers", "Measured", "Analytical", "Speedup"],
+        rows,
+        title=f"Parallel dispatch makespans over {payload['llm_calls']} "
+              f"batched calls (also written to {path}).",
+    )
+    return [payload], text
+
+
 def _sweep_report() -> tuple[list[dict], str]:
     """The raw (method × model × shots × database) grid behind the tables."""
     from repro.eval.report import format_records
@@ -125,11 +150,13 @@ _GENERATORS = {
     "costs": _cost_report,
     "errors": _error_report,
     "sweep": _sweep_report,
+    "bench-json": _bench_json_report,
 }
 
 #: Extra targets excluded from `all` (sweep re-runs the whole grid and
-#: writes a file; `all` should stay side-effect free).
-_EXCLUDED_FROM_ALL = ("sweep",)
+#: writes a file, bench-json writes BENCH_parallel.json; `all` should
+#: stay side-effect free).
+_EXCLUDED_FROM_ALL = ("sweep", "bench-json")
 
 
 def main(argv: list[str]) -> int:

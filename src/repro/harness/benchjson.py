@@ -1,0 +1,110 @@
+"""Machine-readable parallel-dispatch bench results (``BENCH_parallel.json``).
+
+The parallel-execution story used to be a formula printout; now that the
+dispatcher is real, this module *measures* it — driving the reference
+full-scan hybrid query through :class:`~repro.udf.executor.
+HybridQueryExecutor` under a :class:`~repro.llm.parallel.SimulatedClock`
+(virtual time, zero real sleeping) and recording the scheduler's actual
+makespan next to the analytical :func:`~repro.llm.batching.
+parallel_makespan` bound.  The JSON payload gives CI a stable,
+machine-readable trajectory of sequential-vs-parallel latency across
+PRs.
+
+Entry points: ``python -m repro.harness bench-json`` or
+``python benchmarks/emit_bench_json.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.llm.batching import LatencyModel, parallel_makespan, sequential_makespan
+from repro.llm.chat import MockChatModel
+from repro.llm.oracle import KnowledgeOracle
+from repro.llm.parallel import SimulatedClock, SimulatedLatencyClient
+from repro.llm.profiles import get_profile
+from repro.swan.benchmark import Swan, load_benchmark
+from repro.swan.build import build_curated_database
+from repro.udf.executor import HybridQueryExecutor
+
+#: The reference query: a full player scan, the paper's worst-case LLM
+#: traffic (every distinct player reaches the model, batched 5 per call).
+PLAYER_HEIGHT_QUERY = (
+    "SELECT COUNT(*) FROM player WHERE "
+    "CAST({{LLMMap('What is the height in centimeters of this football "
+    "player?', 'player::player_name')}} AS INTEGER) > 180"
+)
+
+#: Worker counts measured alongside the analytical bound.
+DEFAULT_WORKER_COUNTS = (4, 16)
+
+
+def measure_parallel_makespans(
+    swan: Optional[Swan] = None,
+    *,
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    model_name: str = "perfect",
+    database: str = "european_football",
+    query: str = PLAYER_HEIGHT_QUERY,
+    latency_model: Optional[LatencyModel] = None,
+) -> dict:
+    """Measured vs analytical makespans for the reference hybrid query.
+
+    One sequential execution collects the per-call token sizes that feed
+    the analytical model; then, per worker count, a fresh executor runs
+    the same query with a real dispatcher whose paid calls advance a
+    simulated clock — the measured makespan is the virtual finish time
+    of the actual schedule.
+    """
+    swan = swan if swan is not None else load_benchmark()
+    world = swan.world(database)
+    profile = get_profile(model_name)
+    latency_model = latency_model if latency_model is not None else LatencyModel()
+
+    with build_curated_database(world) as db:
+        model = MockChatModel(KnowledgeOracle(world), profile)
+        executor = HybridQueryExecutor(db, model, world)
+        _, report = executor.execute_with_report(query)
+    sequential_seconds = sequential_makespan(report.call_sizes, latency_model)
+
+    workers_payload: dict[str, dict[str, float]] = {}
+    for workers in worker_counts:
+        clock = SimulatedClock(workers)
+        with build_curated_database(world) as db:
+            model = MockChatModel(KnowledgeOracle(world), profile)
+            client = SimulatedLatencyClient(model, clock, latency_model)
+            executor = HybridQueryExecutor(db, client, world, workers=workers)
+            executor.execute(query)
+        measured = clock.makespan()
+        analytical = parallel_makespan(report.call_sizes, workers, latency_model)
+        workers_payload[str(workers)] = {
+            "analytical_seconds": round(analytical, 4),
+            "measured_seconds": round(measured, 4),
+            "speedup_vs_sequential": round(
+                sequential_seconds / measured if measured else 0.0, 2
+            ),
+        }
+
+    return {
+        "bench": "parallel_dispatch",
+        "database": database,
+        "model": model_name,
+        "query": query,
+        "llm_calls": report.llm_calls,
+        "sequential_seconds": round(sequential_seconds, 4),
+        "workers": workers_payload,
+    }
+
+
+def write_bench_json(
+    path: Union[str, Path] = "BENCH_parallel.json",
+    *,
+    swan: Optional[Swan] = None,
+) -> tuple[Path, dict]:
+    """Write the measured bench payload to ``path``; returns (path, payload)."""
+    payload = measure_parallel_makespans(swan)
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return target, payload

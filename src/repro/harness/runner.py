@@ -8,8 +8,9 @@ usage.  Gold results are computed once per benchmark via
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence, TypeVar
 
 from repro.core.hqdl import HQDL, GenerationResult
 from repro.errors import ReproError
@@ -29,6 +30,44 @@ from repro.sqlengine.results import ResultSet
 from repro.swan.benchmark import Swan
 from repro.swan.build import build_curated_database, build_original_database
 from repro.udf.executor import HybridQueryExecutor
+
+_T = TypeVar("_T")
+
+
+def _resolve_databases(
+    swan: Swan, databases: Optional[Sequence[str]]
+) -> list[str]:
+    """Validate requested database names up front, with a clear error."""
+    valid = swan.database_names()
+    if databases is None:
+        return valid
+    names = list(databases)
+    unknown = [name for name in names if name not in valid]
+    if unknown:
+        raise ReproError(
+            f"unknown database name(s): {', '.join(repr(n) for n in unknown)}; "
+            f"valid names are: {', '.join(valid)}"
+        )
+    return names
+
+
+def _map_databases(
+    names: Sequence[str],
+    db_workers: int,
+    task: Callable[[str], _T],
+) -> list[_T]:
+    """Run ``task`` per database, optionally in parallel, in name order.
+
+    Results always come back in the order of ``names``, so aggregation
+    downstream is deterministic regardless of completion order.
+    """
+    if db_workers < 1:
+        raise ValueError(f"db_workers must be >= 1, got {db_workers}")
+    if db_workers == 1 or len(names) <= 1:
+        return [task(name) for name in names]
+    with ThreadPoolExecutor(max_workers=min(db_workers, len(names))) as pool:
+        futures = [pool.submit(task, name) for name in names]
+        return [future.result() for future in futures]
 
 
 class GoldResults:
@@ -98,23 +137,30 @@ def run_hqdl(
     *,
     databases: Optional[Sequence[str]] = None,
     gold: Optional[GoldResults] = None,
+    workers: int = 1,
+    db_workers: int = 1,
 ) -> HQDLRun:
     """Run HQDL for one (model, shots) configuration.
 
     Generation happens once per database and is reused by all 30 of its
     questions (HQDL's materialization advantage, Section 5.5).
+
+    ``workers`` parallelizes row-generation calls within each database;
+    ``db_workers`` runs whole databases concurrently.  Results and token
+    totals are identical at any setting — only wall-clock time changes.
     """
     gold = gold or GoldResults(swan)
+    names = _resolve_databases(swan, databases)
     profile = get_profile(model_name)
     run = HQDLRun(model=model_name, shots=shots)
     meter = UsageMeter()
-    for name in databases or swan.database_names():
+
+    def _one_database(name: str):
         world = swan.world(name)
         model = MockChatModel(KnowledgeOracle(world), profile, meter=meter)
-        pipeline = HQDL(world, model, shots=shots)
+        pipeline = HQDL(world, model, shots=shots, workers=workers)
         generation = pipeline.generate_all()
-        run.generations[name] = generation
-        run.f1_by_db[name] = database_factuality(world, generation)
+        f1 = database_factuality(world, generation)
         db_outcomes: list[ExecutionOutcome] = []
         with pipeline.build_expanded_database(generation) as db:
             for question in swan.questions_for(name):
@@ -125,6 +171,13 @@ def run_hqdl(
                     db_outcomes.append(failed_outcome(question, expected, str(exc)))
                     continue
                 db_outcomes.append(evaluate_question(question, expected, actual))
+        return generation, f1, db_outcomes
+
+    for name, (generation, f1, db_outcomes) in zip(
+        names, _map_databases(names, db_workers, _one_database)
+    ):
+        run.generations[name] = generation
+        run.f1_by_db[name] = f1
         run.ex_by_db[name] = execution_accuracy(db_outcomes)
         run.outcomes.extend(db_outcomes)
     run.usage = meter.total
@@ -140,20 +193,29 @@ def run_udf(
     pushdown: bool = True,
     databases: Optional[Sequence[str]] = None,
     gold: Optional[GoldResults] = None,
+    workers: int = 1,
+    db_workers: int = 1,
 ) -> UDFRun:
     """Run Hybrid Query UDFs for one configuration.
 
     One prompt cache per database is shared across its 30 questions —
     reuse happens only on byte-identical prompts, the BlendSQL semantics
     the paper's Section 5.5 cost analysis hinges on.
+
+    ``workers`` parallelizes each executor's batched LLM calls;
+    ``db_workers`` runs whole databases concurrently (each worker owns
+    its database connection, model, and prompt cache).  Results and
+    token totals are identical at any setting.
     """
     gold = gold or GoldResults(swan)
+    names = _resolve_databases(swan, databases)
     profile = get_profile(model_name)
     run = UDFRun(
         model=model_name, shots=shots, batch_size=batch_size, pushdown=pushdown
     )
     meter = UsageMeter()
-    for name in databases or swan.database_names():
+
+    def _one_database(name: str):
         world = swan.world(name)
         model = MockChatModel(KnowledgeOracle(world), profile, meter=meter)
         cache = PromptCache()
@@ -167,6 +229,7 @@ def run_udf(
                 pushdown=pushdown,
                 shots=shots,
                 cache=cache,
+                workers=workers,
             )
             for question in swan.questions_for(name):
                 expected = gold.expected(question.qid)
@@ -176,6 +239,11 @@ def run_udf(
                     db_outcomes.append(failed_outcome(question, expected, str(exc)))
                     continue
                 db_outcomes.append(evaluate_question(question, expected, actual))
+        return cache, db_outcomes
+
+    for name, (cache, db_outcomes) in zip(
+        names, _map_databases(names, db_workers, _one_database)
+    ):
         run.cache_hits += cache.hits
         run.cache_misses += cache.misses
         run.ex_by_db[name] = execution_accuracy(db_outcomes)

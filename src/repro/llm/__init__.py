@@ -23,6 +23,13 @@ from repro.llm.chat import MockChatModel
 from repro.llm.client import ChatClient, ChatResponse, ScriptedClient
 from repro.llm.declarative import PromptSpec
 from repro.llm.oracle import KnowledgeOracle
+from repro.llm.parallel import (
+    DelayedClient,
+    DispatchOutcome,
+    ParallelDispatcher,
+    SimulatedClock,
+    SimulatedLatencyClient,
+)
 from repro.llm.profiles import ModelProfile, get_profile, list_profiles
 from repro.llm.tokenizer import count_tokens, tokenize_text
 from repro.llm.transcript import TranscriptRecorder
@@ -37,6 +44,11 @@ __all__ = [
     "ScriptedClient",
     "PromptSpec",
     "KnowledgeOracle",
+    "DelayedClient",
+    "DispatchOutcome",
+    "ParallelDispatcher",
+    "SimulatedClock",
+    "SimulatedLatencyClient",
     "ModelProfile",
     "get_profile",
     "list_profiles",

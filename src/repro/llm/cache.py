@@ -6,10 +6,17 @@ brittle — two prompts with the same meaning but different text miss.
 :class:`PromptCache` implements exactly that mapping, and
 :class:`CachingClient` wraps any :class:`~repro.llm.client.ChatClient`
 with it.  Hit/miss statistics feed the caching ablation bench.
+
+Both are thread-safe, and :class:`CachingClient` adds **single-flight
+deduplication**: when several workers miss on the same prompt at once,
+one of them (the *leader*) performs the upstream call while the others
+wait and reuse its completion at zero token cost — exactly one upstream
+call per unique prompt, no matter how many threads race past the cache.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.llm.client import ChatClient, ChatResponse
@@ -18,40 +25,72 @@ from repro.llm.usage import Usage
 
 @dataclass
 class PromptCache:
-    """An exact-match prompt → completion cache with statistics."""
+    """An exact-match prompt → completion cache with statistics.
+
+    Safe for concurrent use: every lookup, store, and statistics read
+    happens under one internal lock.
+    """
 
     entries: dict[str, str] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def get(self, prompt: str) -> str | None:
-        if prompt in self.entries:
-            self.hits += 1
-            return self.entries[prompt]
-        self.misses += 1
-        return None
+        with self._lock:
+            if prompt in self.entries:
+                self.hits += 1
+                return self.entries[prompt]
+            self.misses += 1
+            return None
 
     def put(self, prompt: str, completion: str) -> None:
-        self.entries[prompt] = completion
+        with self._lock:
+            self.entries[prompt] = completion
+
+    def count_hit(self) -> None:
+        """Count a reuse that bypassed :meth:`get` (a single-flight join)."""
+        with self._lock:
+            self.hits += 1
 
     def __len__(self) -> int:
-        return len(self.entries)
+        with self._lock:
+            return len(self.entries)
 
     def clear(self) -> None:
-        self.entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+
+class _Flight:
+    """One in-progress upstream call that followers can wait on."""
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: ChatResponse | None = None
+        self.error: BaseException | None = None
 
 
 class CachingClient:
     """A ChatClient decorator that short-circuits repeated prompts.
 
     Cache hits cost zero tokens (nothing reaches the model), which is how
-    the paper accounts for reuse.
+    the paper accounts for reuse.  Under concurrency, an in-flight prompt
+    is *joined* rather than re-sent (single-flight): followers block
+    until the leader's completion lands, then reuse it for free.  A
+    join counts as a cache hit — the same accounting a sequential run
+    would produce — so hit/miss totals are worker-count independent.
     """
 
     def __init__(self, inner: ChatClient, cache: PromptCache | None = None) -> None:
@@ -60,12 +99,47 @@ class CachingClient:
         # (PromptCache defines __len__), so compare against None explicitly.
         self.cache = cache if cache is not None else PromptCache()
         self.model_name = inner.model_name
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        #: how many calls joined another thread's in-flight request
+        self.single_flight_waits = 0
 
     def complete(self, prompt: str, *, label: str = "") -> ChatResponse:
         """Serve from cache when possible; otherwise call through and store."""
-        cached = self.cache.get(prompt)
-        if cached is not None:
-            return ChatResponse(cached, Usage())
-        response = self.inner.complete(prompt, label=label)
+        with self._lock:
+            flight = self._flights.get(prompt)
+            if flight is None:
+                cached = self.cache.get(prompt)
+                if cached is not None:
+                    return ChatResponse(cached, Usage())
+                flight = _Flight()
+                self._flights[prompt] = flight
+                leader = True
+            else:
+                self.cache.count_hit()
+                self.single_flight_waits += 1
+                leader = False
+        if leader:
+            return self._lead(flight, prompt, label)
+        flight.event.wait()
+        if flight.error is not None:
+            raise flight.error
+        assert flight.response is not None
+        return ChatResponse(flight.response.text, Usage())
+
+    def _lead(self, flight: _Flight, prompt: str, label: str) -> ChatResponse:
+        """Perform the upstream call on behalf of every waiter."""
+        try:
+            response = self.inner.complete(prompt, label=label)
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                del self._flights[prompt]
+            flight.event.set()
+            raise
+        flight.response = response
         self.cache.put(prompt, response.text)
+        with self._lock:
+            del self._flights[prompt]
+        flight.event.set()
         return response

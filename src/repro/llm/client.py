@@ -8,6 +8,7 @@ caching wrapper, or a scripted stand-in inside a unit test.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Protocol, runtime_checkable
 
@@ -39,8 +40,11 @@ class ScriptedClient:
     """A deterministic test double that replays canned completions.
 
     Accepts either a list (consumed in order) or a dict keyed by an exact
-    prompt or by a substring.  Raises :class:`LLMError` when no scripted
-    answer matches, so tests fail loudly on unexpected prompts.
+    prompt or by a substring — when several substring keys match, the
+    longest (most specific) one wins.  Raises :class:`LLMError` when no
+    scripted answer matches, so tests fail loudly on unexpected prompts.
+    Prompt recording and queue consumption are lock-protected, so the
+    double stays coherent under the parallel dispatcher.
     """
 
     def __init__(
@@ -53,6 +57,7 @@ class ScriptedClient:
         self.model_name = model_name
         self.meter = meter or UsageMeter()
         self.prompts: list[str] = []
+        self._lock = threading.Lock()
         if isinstance(responses, dict):
             self._by_key = dict(responses)
             self._queue: list[str] = []
@@ -62,8 +67,9 @@ class ScriptedClient:
 
     def complete(self, prompt: str, *, label: str = "") -> ChatResponse:
         """Replay the scripted answer for this prompt, metering tokens."""
-        self.prompts.append(prompt)
-        text = self._lookup(prompt)
+        with self._lock:
+            self.prompts.append(prompt)
+            text = self._lookup(prompt)
         usage = self.meter.record(count_tokens(prompt), count_tokens(text), label)
         return ChatResponse(text, usage)
 
@@ -72,9 +78,14 @@ class ScriptedClient:
             return self._queue.pop(0)
         if prompt in self._by_key:
             return self._by_key[prompt]
-        for key, value in self._by_key.items():
-            if key in prompt:
-                return value
+        # among substring keys, the longest match is the most specific;
+        # ties keep insertion order
+        best_key: str | None = None
+        for key in self._by_key:
+            if key in prompt and (best_key is None or len(key) > len(best_key)):
+                best_key = key
+        if best_key is not None:
+            return self._by_key[best_key]
         raise LLMError(
             f"ScriptedClient has no response for prompt starting "
             f"{prompt[:80]!r}"

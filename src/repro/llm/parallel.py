@@ -1,0 +1,233 @@
+"""Real concurrent LLM dispatch (the paper's Section 4.3 / 6 future work).
+
+"BlendSQL ... plans to support parallelized LLM calls in the future to
+further minimize query latency."  :mod:`repro.llm.batching` *models* that
+speedup analytically; this module makes it real:
+
+- :class:`ParallelDispatcher` fans a list of prompts out over a
+  ``ThreadPoolExecutor`` worker pool, returning results in prompt order
+  with per-call error capture, so one failing batch cannot abort its
+  siblings.  Duplicate prompts within a dispatch are issued upstream
+  once (single-flight at the batch level; :class:`~repro.llm.cache.
+  CachingClient` provides the cross-thread equivalent).
+- :class:`SimulatedClock` + :class:`SimulatedLatencyClient` measure the
+  makespan of the *real* scheduler under a virtual worker pool without
+  sleeping any real time, which keeps latency benches deterministic and
+  fast while still exercising the actual dispatch path.
+- :class:`DelayedClient` injects a real per-call delay, for wall-clock
+  speedup benches.
+
+Every client here is a :class:`~repro.llm.client.ChatClient` decorator,
+so the pipelines stay oblivious to which stack they are driving.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.errors import LLMError
+from repro.llm.batching import LatencyModel
+from repro.llm.client import ChatClient, ChatResponse
+from repro.llm.usage import Usage
+
+
+@dataclass(frozen=True)
+class DispatchOutcome:
+    """One dispatched call: either a response or a captured error."""
+
+    response: Optional[ChatResponse] = None
+    error: Optional[LLMError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def text(self) -> Optional[str]:
+        return self.response.text if self.response is not None else None
+
+
+class ParallelDispatcher:
+    """Fans prompts out over a worker pool, deterministically.
+
+    Guarantees, regardless of worker count or interleaving:
+
+    - results come back in prompt order;
+    - duplicate prompts reach the client once, the copies receiving the
+      same completion at zero token cost (mirroring a cache hit);
+    - with ``capture_errors=True`` an :class:`LLMError` in one call is
+      captured into its :class:`DispatchOutcome` instead of aborting the
+      dispatch; with ``capture_errors=False`` the first failing prompt
+      (in prompt order) re-raises after all calls settle.
+
+    ``workers=1`` runs inline on the calling thread — no pool, identical
+    semantics — which is what makes worker-count sweeps byte-comparable.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def dispatch(
+        self,
+        client: ChatClient,
+        prompts: Sequence[str],
+        *,
+        labels: Union[str, Sequence[str]] = "",
+        capture_errors: bool = True,
+    ) -> list[DispatchOutcome]:
+        """Complete every prompt; outcomes are returned in prompt order."""
+        if isinstance(labels, str):
+            label_list = [labels] * len(prompts)
+        else:
+            label_list = list(labels)
+            if len(label_list) != len(prompts):
+                raise ValueError(
+                    f"got {len(label_list)} labels for {len(prompts)} prompts"
+                )
+        # single-flight within the dispatch: issue each unique prompt once
+        unique: list[tuple[str, str]] = []
+        first_index: dict[str, int] = {}
+        for index, prompt in enumerate(prompts):
+            if prompt not in first_index:
+                first_index[prompt] = len(unique)
+                unique.append((prompt, label_list[index]))
+        if self.workers == 1 or len(unique) <= 1:
+            primary = [self._call(client, p, label) for p, label in unique]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(unique))
+            ) as pool:
+                futures = [
+                    pool.submit(self._call, client, p, label)
+                    for p, label in unique
+                ]
+                primary = [future.result() for future in futures]
+        outcomes: list[DispatchOutcome] = []
+        seen: set[str] = set()
+        for prompt in prompts:
+            outcome = primary[first_index[prompt]]
+            if prompt in seen and outcome.ok:
+                # a duplicate shares the leader's completion for free
+                outcome = DispatchOutcome(
+                    response=ChatResponse(outcome.response.text, Usage())
+                )
+            seen.add(prompt)
+            outcomes.append(outcome)
+        if not capture_errors:
+            for outcome in outcomes:
+                if outcome.error is not None:
+                    raise outcome.error
+        return outcomes
+
+    @staticmethod
+    def _call(client: ChatClient, prompt: str, label: str) -> DispatchOutcome:
+        try:
+            return DispatchOutcome(response=client.complete(prompt, label=label))
+        except LLMError as exc:
+            return DispatchOutcome(error=exc)
+
+
+class SimulatedClock:
+    """Virtual time for a pool of ``workers`` concurrent connections.
+
+    Each :meth:`advance` assigns one call of the given duration to the
+    least-loaded virtual worker — exactly when that worker would be free
+    were the latency real — so :meth:`makespan` is the finish time of a
+    list schedule in true arrival order, with zero real sleeping.  The
+    real dispatcher supplies the arrival order; the clock supplies the
+    workers.  Thread-safe.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._loads = [0.0] * workers
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    def advance(self, seconds: float) -> float:
+        """Schedule one call; returns its virtual completion time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds} seconds")
+        with self._lock:
+            start = heapq.heappop(self._loads)
+            finish = start + seconds
+            heapq.heappush(self._loads, finish)
+            self._calls += 1
+            return finish
+
+    def makespan(self) -> float:
+        """Virtual wall-clock time at which the last worker finishes."""
+        with self._lock:
+            return max(self._loads)
+
+    @property
+    def calls(self) -> int:
+        with self._lock:
+            return self._calls
+
+    def reset(self) -> None:
+        with self._lock:
+            self._loads = [0.0] * self.workers
+            self._calls = 0
+
+
+class SimulatedLatencyClient:
+    """A ChatClient decorator that advances a :class:`SimulatedClock`.
+
+    Every *paid* call (``usage.calls > 0``; cache hits are free in time
+    as in tokens) advances the clock by the :class:`LatencyModel` latency
+    of its token sizes.  No real time passes.
+    """
+
+    def __init__(
+        self,
+        inner: ChatClient,
+        clock: SimulatedClock,
+        model: Optional[LatencyModel] = None,
+    ) -> None:
+        self.inner = inner
+        self.clock = clock
+        self.latency_model = model if model is not None else LatencyModel()
+        self.model_name = inner.model_name
+
+    def complete(self, prompt: str, *, label: str = "") -> ChatResponse:
+        response = self.inner.complete(prompt, label=label)
+        if response.usage.calls:
+            self.clock.advance(
+                self.latency_model.call_latency(
+                    response.usage.input_tokens, response.usage.output_tokens
+                )
+            )
+        return response
+
+
+class DelayedClient:
+    """A ChatClient decorator that sleeps a real delay per call.
+
+    Stands in for network + generation latency in wall-clock benches;
+    ``upstream_calls`` counts how many calls actually slept.
+    """
+
+    def __init__(self, inner: ChatClient, delay_seconds: float) -> None:
+        if delay_seconds < 0:
+            raise ValueError(f"delay must be >= 0, got {delay_seconds}")
+        self.inner = inner
+        self.delay_seconds = delay_seconds
+        self.model_name = inner.model_name
+        self.upstream_calls = 0
+        self._lock = threading.Lock()
+
+    def complete(self, prompt: str, *, label: str = "") -> ChatResponse:
+        time.sleep(self.delay_seconds)
+        with self._lock:
+            self.upstream_calls += 1
+        return self.inner.complete(prompt, label=label)

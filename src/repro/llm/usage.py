@@ -7,6 +7,7 @@ meter and aggregates at the end for Table 5.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 #: Dollars per million tokens (input, output).  GPT-3.5 Turbo pricing is
@@ -46,25 +47,40 @@ class Usage:
 
 @dataclass
 class UsageMeter:
-    """Accumulates usage across calls; supports labelled sub-totals."""
+    """Accumulates usage across calls; supports labelled sub-totals.
+
+    Thread-safe: concurrent :meth:`record` calls never lose a count, so
+    totals are exact no matter how many dispatcher workers share one
+    meter (the additions commute, only their interleaving varies).
+    """
 
     total: Usage = field(default_factory=Usage)
     by_label: dict[str, Usage] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def record(self, input_tokens: int, output_tokens: int, label: str = "") -> Usage:
         """Record one call and return its Usage."""
         usage = Usage(input_tokens, output_tokens, 1)
-        self.total = self.total + usage
-        if label:
-            self.by_label[label] = self.by_label.get(label, Usage()) + usage
+        with self._lock:
+            self.total = self.total + usage
+            if label:
+                self.by_label[label] = self.by_label.get(label, Usage()) + usage
         return usage
 
     def merge(self, other: "UsageMeter") -> None:
-        """Fold another meter's counts into this one."""
-        self.total = self.total + other.total
-        for label, usage in other.by_label.items():
-            self.by_label[label] = self.by_label.get(label, Usage()) + usage
+        """Fold another meter's counts into this one.
+
+        ``other`` is read without its lock — merge once its producers
+        are done, not while they are still recording.
+        """
+        with self._lock:
+            self.total = self.total + other.total
+            for label, usage in other.by_label.items():
+                self.by_label[label] = self.by_label.get(label, Usage()) + usage
 
     def reset(self) -> None:
-        self.total = Usage()
-        self.by_label.clear()
+        with self._lock:
+            self.total = Usage()
+            self.by_label.clear()

@@ -16,6 +16,12 @@ All LLM traffic goes through a prompt-keyed cache
 (:class:`~repro.llm.cache.CachingClient`), reproducing BlendSQL's reuse
 semantics: identical prompts are free, semantically-equal-but-textually-
 different prompts are not (Section 5.5).
+
+With ``workers > 1`` the batches of each LLMMap/LLMJoin are dispatched
+concurrently over a worker pool (:mod:`repro.llm.parallel`) — the
+parallelized LLM calls the paper lists as future work.  Results are
+deterministic: the cache's single-flight guarantee plus ordered dispatch
+make ``workers=8`` byte-identical to ``workers=1``.
 """
 
 from __future__ import annotations
@@ -25,7 +31,13 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.errors import IngredientError
-from repro.llm.batching import DEFAULT_BATCH_SIZE, batched
+from repro.llm.batching import (
+    DEFAULT_BATCH_SIZE,
+    LatencyModel,
+    batched,
+    parallel_makespan,
+    sequential_makespan,
+)
 from repro.llm.cache import CachingClient, PromptCache
 from repro.llm.chat import (
     ANSWER_MARKER,
@@ -36,6 +48,7 @@ from repro.llm.chat import (
 )
 from repro.llm.client import ChatClient
 from repro.llm.declarative import PromptSpec
+from repro.llm.parallel import ParallelDispatcher
 from repro.sqlparser import ast, parse, render
 from repro.sqlparser.render import quote_identifier
 from repro.sqlparser.rewrite import replace_ingredients, walk
@@ -63,15 +76,16 @@ class ExecutionReport:
     #: the input to the latency/parallelism model in repro.llm.batching.
     call_sizes: list[tuple[int, int]] = field(default_factory=list)
 
-    def estimated_latency(self, workers: int = 1, model=None) -> float:
+    def estimated_latency(
+        self, workers: int = 1, model: Optional[LatencyModel] = None
+    ) -> float:
         """Estimated wall-clock seconds for this query's LLM traffic.
 
-        ``workers=1`` is today's sequential BlendSQL behaviour; higher
-        values model the parallel execution the paper lists as future
-        work (Section 4.3 / 6).
+        ``workers=1`` is sequential BlendSQL behaviour; higher values
+        model the parallel execution that
+        :class:`~repro.llm.parallel.ParallelDispatcher` performs for
+        real when the executor gets a ``workers`` knob > 1.
         """
-        from repro.llm.batching import parallel_makespan, sequential_makespan
-
         if workers <= 1:
             return sequential_makespan(self.call_sizes, model)
         return parallel_makespan(self.call_sizes, workers, model)
@@ -93,6 +107,7 @@ class HybridQueryExecutor:
         selector: Optional[FewShotSelector] = None,
         semantic_cache: Optional[SemanticCache] = None,
         views: Optional[MaterializedViewStore] = None,
+        workers: int = 1,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -101,6 +116,8 @@ class HybridQueryExecutor:
         self.batch_size = batch_size
         self.pushdown = pushdown
         self.shots = shots
+        self.workers = workers
+        self.dispatcher = ParallelDispatcher(workers)
         self.cache = cache if cache is not None else PromptCache()
         self.client = CachingClient(client, self.cache)
         if selector is None and shots > 0:
@@ -257,6 +274,12 @@ class HybridQueryExecutor:
         previously generated values for semantically equivalent questions
         are reused per key (query rewriting, Section 4.3) and only the
         missing keys reach the model.
+
+        All batches of one ingredient go through the dispatcher at once,
+        so with ``workers > 1`` they run concurrently (Section 4.3 / 6
+        future work).  Outcomes come back in batch order and a failed
+        batch degrades to ``None`` answers — the same tolerance already
+        applied to format drift — instead of aborting its siblings.
         """
         mapping: dict[tuple, Optional[str]] = {}
         reusable: dict[tuple, str] = {}
@@ -271,15 +294,20 @@ class HybridQueryExecutor:
                 self.semantic_cache.stats.keys_reused += 1
             else:
                 to_generate.append(key)
-        for batch in batched(to_generate, self.batch_size):
-            prompt = self._map_prompt(call, batch)
-            response = self.client.complete(prompt, label="udf:map")
-            if response.usage.calls:
-                report.llm_calls += 1
-                report.call_sizes.append(
-                    (response.usage.input_tokens, response.usage.output_tokens)
-                )
-            answers = _parse_map_answers(response.text, len(batch))
+        batches = batched(to_generate, self.batch_size)
+        prompts = [self._map_prompt(call, batch) for batch in batches]
+        outcomes = self.dispatcher.dispatch(self.client, prompts, labels="udf:map")
+        for batch, outcome in zip(batches, outcomes):
+            if outcome.error is not None:
+                answers: list[Optional[str]] = [None] * len(batch)
+            else:
+                response = outcome.response
+                if response.usage.calls:
+                    report.llm_calls += 1
+                    report.call_sizes.append(
+                        (response.usage.input_tokens, response.usage.output_tokens)
+                    )
+                answers = _parse_map_answers(response.text, len(batch))
             for key, answer in zip(batch, answers):
                 mapping[key] = answer
                 if answer is not None:

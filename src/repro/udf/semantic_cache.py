@@ -24,6 +24,7 @@ measures.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -70,12 +71,19 @@ class SemanticCacheStats:
 
 
 class SemanticCache:
-    """Cross-phrasing reuse of per-key generations."""
+    """Cross-phrasing reuse of per-key generations.
+
+    Store mutations and statistics are lock-protected, so one cache can
+    be shared by concurrently executing pipelines.  The equivalence LLM
+    call happens *outside* the lock — a slow model must not serialize
+    unrelated lookups.
+    """
 
     def __init__(self, *, shortlist_threshold: float = SHORTLIST_THRESHOLD) -> None:
         self.shortlist_threshold = shortlist_threshold
         self._stores: list[_Store] = []
         self.stats = SemanticCacheStats()
+        self._lock = threading.RLock()
 
     def lookup(
         self, question: str, client: ChatClient
@@ -85,23 +93,25 @@ class SemanticCache:
         Returns the *live* store mapping so the caller can read reusable
         keys and write freshly generated ones back into it.
         """
-        for store in self._stores:
-            if store.question == question:
-                self.stats.exact_hits += 1
-                return store.mapping
-        candidate = self._best_candidate(question)
-        if candidate is None:
-            self.stats.misses += 1
-            return None
+        with self._lock:
+            for store in self._stores:
+                if store.question == question:
+                    self.stats.exact_hits += 1
+                    return store.mapping
+            candidate = self._best_candidate(question)
+            if candidate is None:
+                self.stats.misses += 1
+                return None
         response = client.complete(
             equivalence_prompt(question, candidate.question), label="udf:rewrite"
         )
-        if response.text.strip().lower().startswith("yes"):
-            self.stats.rewrites += 1
-            return candidate.mapping
-        self.stats.rejected_rewrites += 1
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            if response.text.strip().lower().startswith("yes"):
+                self.stats.rewrites += 1
+                return candidate.mapping
+            self.stats.rejected_rewrites += 1
+            self.stats.misses += 1
+            return None
 
     def _best_candidate(self, question: str) -> Optional[_Store]:
         vector = embed(question)
@@ -116,13 +126,17 @@ class SemanticCache:
 
     def store(self, question: str, mapping: dict[tuple, str]) -> dict[tuple, str]:
         """Record (or extend) the store for ``question``; returns it."""
-        for existing in self._stores:
-            if existing.question == question:
-                existing.mapping.update(mapping)
-                return existing.mapping
-        store = _Store(question=question, vector=embed(question), mapping=dict(mapping))
-        self._stores.append(store)
-        return store.mapping
+        with self._lock:
+            for existing in self._stores:
+                if existing.question == question:
+                    existing.mapping.update(mapping)
+                    return existing.mapping
+            store = _Store(
+                question=question, vector=embed(question), mapping=dict(mapping)
+            )
+            self._stores.append(store)
+            return store.mapping
 
     def __len__(self) -> int:
-        return len(self._stores)
+        with self._lock:
+            return len(self._stores)

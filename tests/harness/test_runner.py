@@ -80,3 +80,72 @@ class TestRunUDF:
             swan, "perfect", 0, databases=["superhero"], gold=gold, batch_size=20
         )
         assert small.usage.calls > large.usage.calls
+
+
+class TestDatabaseValidation:
+    """`databases=` names are validated up front with a clear error."""
+
+    def test_run_udf_unknown_database(self, swan, gold):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="'nope'.*superhero"):
+            run_udf(swan, "perfect", 0, databases=["nope"], gold=gold)
+
+    def test_run_hqdl_unknown_database_lists_valid_names(self, swan, gold):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError) as excinfo:
+            run_hqdl(swan, "perfect", 0, databases=["superhero", "typo"], gold=gold)
+        message = str(excinfo.value)
+        assert "'typo'" in message
+        for name in swan.database_names():
+            assert name in message
+
+    def test_valid_names_still_accepted(self, swan, gold):
+        run = run_udf(swan, "perfect", 0, databases=["superhero"], gold=gold)
+        assert run.ex_by_db["superhero"] == 1.0
+
+
+class TestParallelRunners:
+    """db_workers / workers change wall-clock only, never results."""
+
+    def test_run_udf_parallel_matches_sequential(self, swan, gold):
+        sequential = run_udf(
+            swan, "gpt-3.5-turbo", 0,
+            databases=["superhero", "california_schools"], gold=gold,
+        )
+        parallel = run_udf(
+            swan, "gpt-3.5-turbo", 0,
+            databases=["superhero", "california_schools"], gold=gold,
+            workers=8, db_workers=2,
+        )
+        assert parallel.usage == sequential.usage
+        assert parallel.ex_by_db == sequential.ex_by_db
+        assert parallel.cache_hits == sequential.cache_hits
+        assert parallel.cache_misses == sequential.cache_misses
+        assert [o.qid for o in parallel.outcomes] == [
+            o.qid for o in sequential.outcomes
+        ]
+
+    def test_run_hqdl_parallel_matches_sequential(self, swan, gold):
+        sequential = run_hqdl(
+            swan, "gpt-3.5-turbo", 0, databases=["superhero"], gold=gold
+        )
+        parallel = run_hqdl(
+            swan, "gpt-3.5-turbo", 0, databases=["superhero"], gold=gold,
+            workers=8, db_workers=2,
+        )
+        assert parallel.usage == sequential.usage
+        assert parallel.f1_by_db == sequential.f1_by_db
+        assert parallel.ex_by_db == sequential.ex_by_db
+        for name, generation in sequential.generations.items():
+            other = parallel.generations[name]
+            for table_name, table in generation.tables.items():
+                assert other.tables[table_name].rows == table.rows
+
+    def test_db_workers_validation(self, swan, gold):
+        with pytest.raises(ValueError):
+            run_udf(
+                swan, "perfect", 0, databases=["superhero"], gold=gold,
+                db_workers=0,
+            )

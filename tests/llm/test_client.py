@@ -32,3 +32,57 @@ class TestScriptedClient:
 
     def test_satisfies_protocol(self):
         assert isinstance(ScriptedClient([]), ChatClient)
+
+    def test_longest_substring_key_wins(self):
+        """Among several matching keys, the most specific one answers."""
+        client = ScriptedClient(
+            {"height": "generic", "height in centimeters": "specific"}
+        )
+        prompt = "What is the height in centimeters of this player?"
+        assert client.complete(prompt).text == "specific"
+        # insertion order must not matter
+        reversed_client = ScriptedClient(
+            {"height in centimeters": "specific", "height": "generic"}
+        )
+        assert reversed_client.complete(prompt).text == "specific"
+        # a prompt matching only the short key still resolves
+        assert client.complete("What is the height?").text == "generic"
+
+    def test_equal_length_keys_keep_insertion_order(self):
+        client = ScriptedClient({"abc": "first", "xyz": "second"})
+        assert client.complete("abc and xyz").text == "first"
+
+    def test_prompt_recording_is_thread_safe(self):
+        """Concurrent completes lose no prompt records (dispatcher-safe)."""
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        client = ScriptedClient({"prompt": "answer"})
+        threads, per_thread = 8, 50
+        barrier = threading.Barrier(threads)
+
+        def hammer(thread_index: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                client.complete(f"prompt {thread_index}-{i}")
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            list(pool.map(hammer, range(threads)))
+
+        assert len(client.prompts) == threads * per_thread
+        assert len(set(client.prompts)) == threads * per_thread
+
+    def test_queue_consumption_is_thread_safe(self):
+        """Each scripted answer is handed out exactly once under threads."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        answers = [f"answer-{i}" for i in range(100)]
+        client = ScriptedClient(list(answers))
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            texts = [
+                future.result().text
+                for future in [
+                    pool.submit(client.complete, f"p{i}") for i in range(100)
+                ]
+            ]
+        assert sorted(texts) == sorted(answers)
