@@ -28,6 +28,7 @@ from repro.core.prompts import RowPromptBuilder
 from repro.errors import ExtractionError, ReproError
 from repro.llm.client import ChatClient
 from repro.llm.parallel import DispatchOutcome, ParallelDispatcher
+from repro.llm.resilience import ResilienceReport
 from repro.sqlengine.database import Database
 from repro.sqlengine.results import ResultSet
 from repro.swan.base import Question, World
@@ -46,6 +47,10 @@ class TableGeneration:
     rows: dict[tuple, Optional[list[str]]] = field(default_factory=dict)
     malformed: int = 0
     calls: int = 0
+    #: rows whose LLM call failed outright (transient error that survived
+    #: the retry layer) and degraded to NULLs, distinct from ``malformed``
+    #: (the call returned, but the completion resisted extraction).
+    degraded: int = 0
 
     def generated_cells(self) -> int:
         return sum(len(v) for v in self.rows.values() if v is not None)
@@ -65,6 +70,9 @@ class GenerationResult:
     def total_calls(self) -> int:
         return sum(t.calls for t in self.tables.values())
 
+    def total_degraded(self) -> int:
+        return sum(t.degraded for t in self.tables.values())
+
 
 class HQDL:
     """Schema-expansion hybrid querying for one world."""
@@ -77,12 +85,14 @@ class HQDL:
         shots: int = 0,
         context_rows: int = 0,
         workers: int = 1,
+        resilience: Optional[ResilienceReport] = None,
     ) -> None:
         self.world = world
         self.client = client
         self.shots = shots
         self.context_rows = context_rows
         self.workers = workers
+        self.resilience = resilience
         self._dispatcher = ParallelDispatcher(workers)
         self._retriever = None
         if context_rows > 0:
@@ -118,11 +128,23 @@ class HQDL:
         keys: list[tuple],
         outcomes: list[DispatchOutcome],
     ) -> TableGeneration:
-        """Extract dispatched completions into a TableGeneration, in key order."""
+        """Extract dispatched completions into a TableGeneration, in key order.
+
+        A row whose call failed outright (a degradable dispatch outcome)
+        yields NULLs — the materialized table keeps the key but loses the
+        generated cells — and is counted as ``degraded``, mirroring how a
+        production pipeline survives a partial provider outage.
+        """
         generation = TableGeneration(expansion_name=expansion_name)
         key_width = len(self.world.expansion(expansion_name).key_columns)
         for key, outcome in zip(keys, outcomes):
             generation.calls += 1
+            if outcome.error is not None:
+                generation.rows[key] = None
+                generation.degraded += 1
+                if self.resilience is not None:
+                    self.resilience.record_degraded(1)
+                continue
             try:
                 fields = extract_row(
                     outcome.response.text, builder.expected_field_count()
@@ -146,7 +168,7 @@ class HQDL:
             self.client,
             prompts,
             labels=f"hqdl:{expansion_name}",
-            capture_errors=False,
+            capture_errors="transient",
         )
         return self._assemble_table(expansion_name, builder, keys, outcomes)
 
@@ -170,7 +192,7 @@ class HQDL:
             for _ in table_prompts
         ]
         outcomes = self._dispatcher.dispatch(
-            self.client, prompts, labels=labels, capture_errors=False
+            self.client, prompts, labels=labels, capture_errors="transient"
         )
         offset = 0
         for name, builder, keys, table_prompts in prepared:

@@ -62,3 +62,48 @@ class LLMError(ReproError):
 
 class BudgetExceededError(LLMError):
     """Raised when a token or call budget configured on a client is exhausted."""
+
+
+class TransientLLMError(LLMError):
+    """A retryable LLM failure (the provider said "try again").
+
+    Carries an optional ``retry_after`` hint in seconds, the way HTTP 429
+    and 503 responses do; retry layers honour it as a lower bound on the
+    backoff delay.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        self.retry_after = retry_after
+        if retry_after is not None:
+            message = f"{message} (retry after {retry_after:g}s)"
+        super().__init__(message)
+
+
+class RateLimitError(TransientLLMError):
+    """The provider rejected the call for exceeding its rate limit (429)."""
+
+
+class LLMTimeoutError(TransientLLMError):
+    """The call exceeded its time budget before a completion arrived."""
+
+
+class CircuitOpenError(TransientLLMError):
+    """An open circuit breaker short-circuited the call without sending it.
+
+    Transient by nature — the breaker will half-open after its cooldown —
+    but retry layers must *not* spin on it; the ``retry_after`` hint says
+    when the breaker is due to probe again.
+    """
+
+
+class RetryBudgetExceededError(LLMError):
+    """Every retry attempt was consumed (or the deadline passed) without success.
+
+    Wraps the final transient error as ``__cause__``; raised only by
+    :class:`~repro.llm.resilience.RetryingClient` when it gives up, so
+    callers can distinguish "retried and lost" from a first-call failure.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0) -> None:
+        self.attempts = attempts
+        super().__init__(message)

@@ -54,3 +54,33 @@ def format_records(
 def percent(value: float) -> str:
     """Format a 0..1 fraction the way the paper prints percentages."""
     return f"{value * 100:.1f}%"
+
+
+def format_resilience(counters: Mapping[str, int], *, title: str = "") -> str:
+    """Render resilience accounting (a ``ResilienceReport.as_dict()``).
+
+    Shows the attempt ledger and spells out the invariant every chaos
+    run must satisfy: attempts = successes + retries + exhausted + fatal.
+    """
+    headers = [
+        "Attempts", "Successes", "Retries", "Exhausted", "Fatal",
+        "Short-circuits", "Breaker trips", "Degraded batches", "Degraded rows",
+    ]
+    row = [
+        counters.get("attempts", 0),
+        counters.get("successes", 0),
+        counters.get("retries", 0),
+        counters.get("exhausted", 0),
+        counters.get("fatal", 0),
+        counters.get("short_circuits", 0),
+        counters.get("breaker_trips", 0),
+        counters.get("degraded_batches", 0),
+        counters.get("degraded_rows", 0),
+    ]
+    accounted = row[0] == row[1] + row[2] + row[3] + row[4]
+    table = format_table(headers, [row], title=title)
+    status = "accounted" if accounted else "NOT ACCOUNTED"
+    return (
+        f"{table}\n"
+        f"attempts = successes + retries + exhausted + fatal: {status}"
+    )

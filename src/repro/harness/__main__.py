@@ -125,6 +125,38 @@ def _bench_json_report() -> tuple[list[dict], str]:
     return [payload], text
 
 
+def _chaos_report() -> tuple[list[dict], str]:
+    """EX/F1 degradation vs fault intensity (written to BENCH_chaos.json)."""
+    from repro.eval.report import format_table
+    from repro.harness.benchjson import write_chaos_json
+
+    path, payload = write_chaos_json()
+    rows = []
+    for point in payload["points"]:
+        rows.append(
+            [
+                point["pipeline"],
+                f"{point['fault_rate'] * 100:.0f}%",
+                f"{point['ex'] * 100:.1f}%",
+                f"{point['f1'] * 100:.1f}%" if point["f1"] is not None else "-",
+                f"{point['ex_recovered_vs_baseline'] * 100:.1f}%",
+                point["attempts"],
+                point["retries"],
+                point["exhausted"],
+                point["degraded_rows"],
+                "yes" if point["accounted"] else "NO",
+            ]
+        )
+    text = format_table(
+        ["Pipeline", "Fault rate", "EX", "F1", "EX vs baseline",
+         "Attempts", "Retries", "Exhausted", "Degraded rows", "Accounted"],
+        rows,
+        title=f"SWAN under fault injection with retries="
+              f"{payload['retries']} (also written to {path}).",
+    )
+    return payload["points"], text
+
+
 def _sweep_report() -> tuple[list[dict], str]:
     """The raw (method × model × shots × database) grid behind the tables."""
     from repro.eval.report import format_records
@@ -151,12 +183,14 @@ _GENERATORS = {
     "errors": _error_report,
     "sweep": _sweep_report,
     "bench-json": _bench_json_report,
+    "chaos": _chaos_report,
 }
 
 #: Extra targets excluded from `all` (sweep re-runs the whole grid and
-#: writes a file, bench-json writes BENCH_parallel.json; `all` should
-#: stay side-effect free).
-_EXCLUDED_FROM_ALL = ("sweep", "bench-json")
+#: writes a file, bench-json writes BENCH_parallel.json, chaos runs the
+#: fault sweep and writes BENCH_chaos.json; `all` should stay
+#: side-effect free).
+_EXCLUDED_FROM_ALL = ("sweep", "bench-json", "chaos")
 
 
 def main(argv: list[str]) -> int:

@@ -108,3 +108,73 @@ def write_bench_json(
     target = Path(path)
     target.write_text(json.dumps(payload, indent=2) + "\n")
     return target, payload
+
+
+# -- chaos bench (BENCH_chaos.json) ------------------------------------------------
+
+#: Fault intensities swept by the chaos bench; 0.0 anchors the
+#: byte-identical baseline, the rest trace the degradation curve.
+DEFAULT_FAULT_RATES = (0.0, 0.1, 0.3, 0.5)
+
+
+def measure_chaos_degradation(
+    swan: Optional[Swan] = None,
+    *,
+    model_name: str = "gpt-3.5-turbo",
+    shots: int = 0,
+    fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    seed: int = 0,
+    retries: bool = True,
+    databases: Optional[Sequence[str]] = None,
+) -> dict:
+    """EX/F1 vs fault intensity for both pipelines, with attempt ledgers.
+
+    Every backoff wait runs on a simulated clock, so the sweep is as fast
+    as a normal run regardless of how many retries the faults provoke.
+    The rate-0 point doubles as a regression anchor: its EX must equal
+    the unwrapped pipelines' (asserted by the tier-1 chaos tests).
+    """
+    from repro.harness.runner import GoldResults, chaos_sweep
+
+    swan = swan if swan is not None else load_benchmark()
+    gold = GoldResults(swan)
+    runs = chaos_sweep(
+        swan, model_name, shots,
+        fault_rates=fault_rates, seed=seed, retries=retries,
+        databases=databases, gold=gold,
+    )
+    baseline = {
+        run.pipeline: run.ex for run in runs if run.fault_rate == 0.0
+    }
+    points = []
+    for run in runs:
+        record = run.as_record()
+        base = baseline.get(run.pipeline, 0.0)
+        record["ex_recovered_vs_baseline"] = round(
+            run.ex / base if base else 0.0, 4
+        )
+        record["accounted"] = run.resilience.is_accounted()
+        points.append(record)
+    return {
+        "bench": "chaos",
+        "model": model_name,
+        "shots": shots,
+        "seed": seed,
+        "retries": retries,
+        "fault_rates": [round(rate, 4) for rate in fault_rates],
+        "databases": list(databases) if databases is not None else "all",
+        "points": points,
+    }
+
+
+def write_chaos_json(
+    path: Union[str, Path] = "BENCH_chaos.json",
+    *,
+    swan: Optional[Swan] = None,
+    **kwargs,
+) -> tuple[Path, dict]:
+    """Write the chaos degradation payload to ``path``; returns (path, payload)."""
+    payload = measure_chaos_degradation(swan, **kwargs)
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return target, payload

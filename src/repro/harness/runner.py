@@ -14,6 +14,7 @@ from typing import Callable, Optional, Sequence, TypeVar
 
 from repro.core.hqdl import HQDL, GenerationResult
 from repro.errors import ReproError
+from repro.llm.client import ChatClient
 from repro.eval.execution import (
     ExecutionOutcome,
     evaluate_question,
@@ -24,7 +25,15 @@ from repro.eval.factuality import database_factuality
 from repro.llm.cache import PromptCache
 from repro.llm.chat import MockChatModel
 from repro.llm.oracle import KnowledgeOracle
+from repro.llm.faults import FaultInjector, FaultPlan, FaultyClient
+from repro.llm.parallel import SimulatedClock
 from repro.llm.profiles import get_profile
+from repro.llm.resilience import (
+    CircuitBreaker,
+    ResilienceReport,
+    RetryingClient,
+    RetryPolicy,
+)
 from repro.llm.usage import Usage, UsageMeter
 from repro.sqlengine.results import ResultSet
 from repro.swan.benchmark import Swan
@@ -139,6 +148,8 @@ def run_hqdl(
     gold: Optional[GoldResults] = None,
     workers: int = 1,
     db_workers: int = 1,
+    wrap_client: Optional[Callable[[ChatClient], ChatClient]] = None,
+    resilience: Optional[ResilienceReport] = None,
 ) -> HQDLRun:
     """Run HQDL for one (model, shots) configuration.
 
@@ -148,6 +159,10 @@ def run_hqdl(
     ``workers`` parallelizes row-generation calls within each database;
     ``db_workers`` runs whole databases concurrently.  Results and token
     totals are identical at any setting — only wall-clock time changes.
+
+    ``wrap_client`` decorates each database's model before the pipeline
+    sees it (fault injection, retry layers); ``resilience`` collects the
+    degraded-row accounting those layers produce.
     """
     gold = gold or GoldResults(swan)
     names = _resolve_databases(swan, databases)
@@ -157,8 +172,12 @@ def run_hqdl(
 
     def _one_database(name: str):
         world = swan.world(name)
-        model = MockChatModel(KnowledgeOracle(world), profile, meter=meter)
-        pipeline = HQDL(world, model, shots=shots, workers=workers)
+        model: ChatClient = MockChatModel(KnowledgeOracle(world), profile, meter=meter)
+        if wrap_client is not None:
+            model = wrap_client(model)
+        pipeline = HQDL(
+            world, model, shots=shots, workers=workers, resilience=resilience
+        )
         generation = pipeline.generate_all()
         f1 = database_factuality(world, generation)
         db_outcomes: list[ExecutionOutcome] = []
@@ -195,6 +214,8 @@ def run_udf(
     gold: Optional[GoldResults] = None,
     workers: int = 1,
     db_workers: int = 1,
+    wrap_client: Optional[Callable[[ChatClient], ChatClient]] = None,
+    resilience: Optional[ResilienceReport] = None,
 ) -> UDFRun:
     """Run Hybrid Query UDFs for one configuration.
 
@@ -206,6 +227,10 @@ def run_udf(
     ``db_workers`` runs whole databases concurrently (each worker owns
     its database connection, model, and prompt cache).  Results and
     token totals are identical at any setting.
+
+    ``wrap_client`` decorates each database's model before the executor
+    wraps it in the prompt cache (fault injection, retry layers);
+    ``resilience`` collects the degraded-batch accounting.
     """
     gold = gold or GoldResults(swan)
     names = _resolve_databases(swan, databases)
@@ -217,7 +242,9 @@ def run_udf(
 
     def _one_database(name: str):
         world = swan.world(name)
-        model = MockChatModel(KnowledgeOracle(world), profile, meter=meter)
+        model: ChatClient = MockChatModel(KnowledgeOracle(world), profile, meter=meter)
+        if wrap_client is not None:
+            model = wrap_client(model)
         cache = PromptCache()
         db_outcomes: list[ExecutionOutcome] = []
         with build_curated_database(world) as db:
@@ -230,6 +257,7 @@ def run_udf(
                 shots=shots,
                 cache=cache,
                 workers=workers,
+                resilience=resilience,
             )
             for question in swan.questions_for(name):
                 expected = gold.expected(question.qid)
@@ -250,3 +278,226 @@ def run_udf(
         run.outcomes.extend(db_outcomes)
     run.usage = meter.total
     return run
+
+
+# -- chaos engineering ------------------------------------------------------------
+
+
+@dataclass
+class ChaosRun:
+    """One pipeline run under fault injection.
+
+    ``ex``/``f1`` are the accuracy under faults; ``resilience`` accounts
+    for every attempt (``attempts == successes + retries + exhausted +
+    fatal``) and ``faults_injected`` breaks the injected faults down by
+    kind.
+    """
+
+    pipeline: str
+    fault_rate: float
+    seed: int
+    retries: bool
+    ex: float
+    f1: Optional[float]
+    usage: Usage
+    resilience: ResilienceReport
+    faults_injected: dict[str, int]
+    fault_decisions: int
+    breaker_trips: int = 0
+
+    def as_record(self) -> dict:
+        """A flat dict for tables and BENCH JSON."""
+        counters = self.resilience.as_dict()
+        return {
+            "pipeline": self.pipeline,
+            "fault_rate": round(self.fault_rate, 4),
+            "retries": self.retries,
+            "ex": round(self.ex, 4),
+            "f1": round(self.f1, 4) if self.f1 is not None else None,
+            "faults_injected": sum(self.faults_injected.values()),
+            **counters,
+        }
+
+
+def build_resilient_stack(
+    model: ChatClient,
+    *,
+    plan: FaultPlan,
+    injector: Optional[FaultInjector] = None,
+    policy: Optional[RetryPolicy] = None,
+    clock: Optional[SimulatedClock] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    report: Optional[ResilienceReport] = None,
+) -> RetryingClient:
+    """model -> FaultyClient -> RetryingClient, the chaos-run stack.
+
+    The cache layer goes *on top* (the executor adds it), so cache hits
+    bypass both the faults and the retry budget — exactly the layering a
+    production deployment would use.
+    """
+    injector = injector if injector is not None else FaultInjector(plan)
+    faulty = FaultyClient(model, injector)
+    return RetryingClient(
+        faulty,
+        policy,
+        clock=clock if clock is not None else SimulatedClock(),
+        breaker=breaker,
+        report=report,
+    )
+
+
+def _chaos_pieces(
+    fault_rate: float,
+    seed: int,
+    retries: bool,
+    plan: Optional[FaultPlan],
+    policy: Optional[RetryPolicy],
+):
+    """The shared injector/report/clock/policy of one chaos run."""
+    plan = plan if plan is not None else FaultPlan.uniform(fault_rate, seed=seed)
+    injector = FaultInjector(plan)
+    report = ResilienceReport()
+    clock = SimulatedClock()
+    if policy is None:
+        # without retries every transient failure exhausts immediately,
+        # but the attempt accounting stays identical in shape
+        policy = RetryPolicy(seed=seed) if retries else RetryPolicy(
+            max_attempts=1, seed=seed
+        )
+    return plan, injector, report, clock, policy
+
+
+def run_udf_chaos(
+    swan: Swan,
+    model_name: str,
+    shots: int,
+    *,
+    fault_rate: float,
+    seed: int = 0,
+    retries: bool = True,
+    plan: Optional[FaultPlan] = None,
+    policy: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    batch_size: int = 5,
+    pushdown: bool = True,
+    databases: Optional[Sequence[str]] = None,
+    gold: Optional[GoldResults] = None,
+    workers: int = 1,
+    db_workers: int = 1,
+) -> ChaosRun:
+    """Run HQ UDFs with fault injection and a resilient dispatch stack.
+
+    At ``fault_rate=0`` the stack is a byte-exact pass-through: results,
+    Usage totals, and cache statistics match :func:`run_udf` exactly.
+    Backoff waits happen on a :class:`SimulatedClock` — no real sleeping.
+    """
+    plan, injector, report, clock, policy = _chaos_pieces(
+        fault_rate, seed, retries, plan, policy
+    )
+
+    def wrap(model: ChatClient) -> ChatClient:
+        return build_resilient_stack(
+            model, plan=plan, injector=injector, policy=policy,
+            clock=clock, breaker=breaker, report=report,
+        )
+
+    run = run_udf(
+        swan, model_name, shots,
+        batch_size=batch_size, pushdown=pushdown, databases=databases,
+        gold=gold, workers=workers, db_workers=db_workers,
+        wrap_client=wrap, resilience=report,
+    )
+    return ChaosRun(
+        pipeline="udf",
+        fault_rate=fault_rate,
+        seed=seed,
+        retries=retries,
+        ex=run.overall_ex,
+        f1=None,
+        usage=run.usage,
+        resilience=report,
+        faults_injected=injector.stats.snapshot(),
+        fault_decisions=injector.stats.decisions,
+        breaker_trips=breaker.trips if breaker is not None else 0,
+    )
+
+
+def run_hqdl_chaos(
+    swan: Swan,
+    model_name: str,
+    shots: int,
+    *,
+    fault_rate: float,
+    seed: int = 0,
+    retries: bool = True,
+    plan: Optional[FaultPlan] = None,
+    policy: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    databases: Optional[Sequence[str]] = None,
+    gold: Optional[GoldResults] = None,
+    workers: int = 1,
+    db_workers: int = 1,
+) -> ChaosRun:
+    """Run HQDL with fault injection; degraded rows materialize as NULLs."""
+    plan, injector, report, clock, policy = _chaos_pieces(
+        fault_rate, seed, retries, plan, policy
+    )
+
+    def wrap(model: ChatClient) -> ChatClient:
+        return build_resilient_stack(
+            model, plan=plan, injector=injector, policy=policy,
+            clock=clock, breaker=breaker, report=report,
+        )
+
+    run = run_hqdl(
+        swan, model_name, shots,
+        databases=databases, gold=gold, workers=workers,
+        db_workers=db_workers, wrap_client=wrap, resilience=report,
+    )
+    return ChaosRun(
+        pipeline="hqdl",
+        fault_rate=fault_rate,
+        seed=seed,
+        retries=retries,
+        ex=run.overall_ex,
+        f1=run.average_f1,
+        usage=run.usage,
+        resilience=report,
+        faults_injected=injector.stats.snapshot(),
+        fault_decisions=injector.stats.decisions,
+        breaker_trips=breaker.trips if breaker is not None else 0,
+    )
+
+
+def chaos_sweep(
+    swan: Swan,
+    model_name: str = "gpt-3.5-turbo",
+    shots: int = 0,
+    *,
+    fault_rates: Sequence[float] = (0.0, 0.1, 0.3, 0.5),
+    seed: int = 0,
+    retries: bool = True,
+    databases: Optional[Sequence[str]] = None,
+    gold: Optional[GoldResults] = None,
+) -> list[ChaosRun]:
+    """EX/F1 degradation vs fault intensity for both pipelines.
+
+    Each (pipeline, rate) point gets a fresh injector and report so the
+    points are independent; gold results are computed once and shared.
+    """
+    gold = gold or GoldResults(swan)
+    runs: list[ChaosRun] = []
+    for rate in fault_rates:
+        runs.append(
+            run_udf_chaos(
+                swan, model_name, shots, fault_rate=rate, seed=seed,
+                retries=retries, databases=databases, gold=gold,
+            )
+        )
+        runs.append(
+            run_hqdl_chaos(
+                swan, model_name, shots, fault_rate=rate, seed=seed,
+                retries=retries, databases=databases, gold=gold,
+            )
+        )
+    return runs

@@ -22,6 +22,7 @@ from repro.llm.cache import CachingClient, PromptCache
 from repro.llm.chat import MockChatModel
 from repro.llm.client import ChatClient, ChatResponse, ScriptedClient
 from repro.llm.declarative import PromptSpec
+from repro.llm.faults import FaultInjector, FaultPlan, FaultStats, FaultyClient
 from repro.llm.oracle import KnowledgeOracle
 from repro.llm.parallel import (
     DelayedClient,
@@ -31,6 +32,15 @@ from repro.llm.parallel import (
     SimulatedLatencyClient,
 )
 from repro.llm.profiles import ModelProfile, get_profile, list_profiles
+from repro.llm.resilience import (
+    CircuitBreaker,
+    Clock,
+    Deadline,
+    MonotonicClock,
+    ResilienceReport,
+    RetryingClient,
+    RetryPolicy,
+)
 from repro.llm.tokenizer import count_tokens, tokenize_text
 from repro.llm.transcript import TranscriptRecorder
 from repro.llm.usage import Usage, UsageMeter
@@ -43,7 +53,18 @@ __all__ = [
     "ChatResponse",
     "ScriptedClient",
     "PromptSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyClient",
     "KnowledgeOracle",
+    "CircuitBreaker",
+    "Clock",
+    "Deadline",
+    "MonotonicClock",
+    "ResilienceReport",
+    "RetryingClient",
+    "RetryPolicy",
     "DelayedClient",
     "DispatchOutcome",
     "ParallelDispatcher",

@@ -91,6 +91,13 @@ class CachingClient:
     until the leader's completion lands, then reuse it for free.  A
     join counts as a cache hit — the same accounting a sequential run
     would produce — so hit/miss totals are worker-count independent.
+
+    A leader that *fails* must not poison its followers: each follower
+    re-enters the loop instead of inheriting the leader's exception, so
+    it either finds a by-then-populated cache, joins a newer flight, or
+    becomes the new leader and gets its own upstream attempt (with its
+    own retry budget, when the inner client retries).  Only a thread's
+    *own* upstream failure ever propagates out of :meth:`complete`.
     """
 
     def __init__(self, inner: ChatClient, cache: PromptCache | None = None) -> None:
@@ -106,26 +113,31 @@ class CachingClient:
 
     def complete(self, prompt: str, *, label: str = "") -> ChatResponse:
         """Serve from cache when possible; otherwise call through and store."""
-        with self._lock:
-            flight = self._flights.get(prompt)
-            if flight is None:
-                cached = self.cache.get(prompt)
-                if cached is not None:
-                    return ChatResponse(cached, Usage())
-                flight = _Flight()
-                self._flights[prompt] = flight
-                leader = True
-            else:
+        while True:
+            with self._lock:
+                flight = self._flights.get(prompt)
+                if flight is None:
+                    cached = self.cache.get(prompt)
+                    if cached is not None:
+                        return ChatResponse(cached, Usage())
+                    flight = _Flight()
+                    self._flights[prompt] = flight
+                    leader = True
+                else:
+                    leader = False
+            if leader:
+                return self._lead(flight, prompt, label)
+            flight.event.wait()
+            if flight.error is not None:
+                # the leader failed; re-attempt rather than inherit its
+                # exception (the flight entry is already gone, so this
+                # thread will lead — or join a newer, healthier flight)
+                continue
+            assert flight.response is not None
+            with self._lock:
                 self.cache.count_hit()
                 self.single_flight_waits += 1
-                leader = False
-        if leader:
-            return self._lead(flight, prompt, label)
-        flight.event.wait()
-        if flight.error is not None:
-            raise flight.error
-        assert flight.response is not None
-        return ChatResponse(flight.response.text, Usage())
+            return ChatResponse(flight.response.text, Usage())
 
     def _lead(self, flight: _Flight, prompt: str, label: str) -> ChatResponse:
         """Perform the upstream call on behalf of every waiter."""

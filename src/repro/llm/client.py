@@ -41,10 +41,15 @@ class ScriptedClient:
 
     Accepts either a list (consumed in order) or a dict keyed by an exact
     prompt or by a substring — when several substring keys match, the
-    longest (most specific) one wins.  Raises :class:`LLMError` when no
-    scripted answer matches, so tests fail loudly on unexpected prompts.
-    Prompt recording and queue consumption are lock-protected, so the
-    double stays coherent under the parallel dispatcher.
+    longest (most specific) one wins; an exact-key match always beats a
+    substring match.  Raises :class:`LLMError` when no scripted answer
+    matches, so tests fail loudly on unexpected prompts.
+
+    Thread-safety: prompt recording and answer selection happen as *one*
+    atomic step under the internal lock, and the chosen answer is paired
+    with its prompt in :attr:`calls` — so under the parallel dispatcher
+    ``prompts[i]`` always consumed queue entry ``i``, and tests can
+    assert exactly which response each racing prompt received.
     """
 
     def __init__(
@@ -57,6 +62,9 @@ class ScriptedClient:
         self.model_name = model_name
         self.meter = meter or UsageMeter()
         self.prompts: list[str] = []
+        #: (prompt, chosen response) pairs, recorded atomically with the
+        #: queue pop / dict lookup that produced them.
+        self.calls: list[tuple[str, str]] = []
         self._lock = threading.Lock()
         if isinstance(responses, dict):
             self._by_key = dict(responses)
@@ -69,7 +77,14 @@ class ScriptedClient:
         """Replay the scripted answer for this prompt, metering tokens."""
         with self._lock:
             self.prompts.append(prompt)
-            text = self._lookup(prompt)
+            try:
+                text = self._lookup(prompt)
+            except LLMError:
+                # keep prompts/calls aligned even on a scripting miss, so
+                # concurrent failures cannot skew later pairings
+                self.prompts.pop()
+                raise
+            self.calls.append((prompt, text))
         usage = self.meter.record(count_tokens(prompt), count_tokens(text), label)
         return ChatResponse(text, usage)
 

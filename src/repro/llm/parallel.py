@@ -30,7 +30,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
-from repro.errors import LLMError
+from repro.errors import LLMError, RetryBudgetExceededError, TransientLLMError
 from repro.llm.batching import LatencyModel
 from repro.llm.client import ChatClient, ChatResponse
 from repro.llm.usage import Usage
@@ -51,6 +51,22 @@ class DispatchOutcome:
     def text(self) -> Optional[str]:
         return self.response.text if self.response is not None else None
 
+    @property
+    def retryable(self) -> bool:
+        """True when the error is transient — a later re-dispatch may succeed."""
+        return isinstance(self.error, TransientLLMError)
+
+    @property
+    def degradable(self) -> bool:
+        """True when the error is an *expected* resilience outcome.
+
+        Transient errors and exhausted retry budgets are the failures a
+        fault-tolerant pipeline degrades on (NULL rows); any other
+        :class:`LLMError` — a misconfigured test double, a bad request —
+        indicates a bug and should abort instead.
+        """
+        return isinstance(self.error, (TransientLLMError, RetryBudgetExceededError))
+
 
 class ParallelDispatcher:
     """Fans prompts out over a worker pool, deterministically.
@@ -63,7 +79,11 @@ class ParallelDispatcher:
     - with ``capture_errors=True`` an :class:`LLMError` in one call is
       captured into its :class:`DispatchOutcome` instead of aborting the
       dispatch; with ``capture_errors=False`` the first failing prompt
-      (in prompt order) re-raises after all calls settle.
+      (in prompt order) re-raises after all calls settle; with
+      ``capture_errors="transient"`` only *degradable* failures
+      (transient errors and exhausted retry budgets — see
+      :attr:`DispatchOutcome.degradable`) are captured, while unexpected
+      :class:`LLMError`\\ s still re-raise.
 
     ``workers=1`` runs inline on the calling thread — no pool, identical
     semantics — which is what makes worker-count sweeps byte-comparable.
@@ -80,7 +100,7 @@ class ParallelDispatcher:
         prompts: Sequence[str],
         *,
         labels: Union[str, Sequence[str]] = "",
-        capture_errors: bool = True,
+        capture_errors: Union[bool, str] = True,
     ) -> list[DispatchOutcome]:
         """Complete every prompt; outcomes are returned in prompt order."""
         if isinstance(labels, str):
@@ -120,10 +140,18 @@ class ParallelDispatcher:
                 )
             seen.add(prompt)
             outcomes.append(outcome)
-        if not capture_errors:
+        if capture_errors is not True:
+            if capture_errors not in (False, "transient"):
+                raise ValueError(
+                    f"capture_errors must be True, False, or 'transient', "
+                    f"got {capture_errors!r}"
+                )
             for outcome in outcomes:
-                if outcome.error is not None:
-                    raise outcome.error
+                if outcome.error is None:
+                    continue
+                if capture_errors == "transient" and outcome.degradable:
+                    continue
+                raise outcome.error
         return outcomes
 
     @staticmethod
@@ -168,6 +196,21 @@ class SimulatedClock:
         """Virtual wall-clock time at which the last worker finishes."""
         with self._lock:
             return max(self._loads)
+
+    # -- Clock protocol (repro.llm.resilience) ------------------------------------
+
+    def now(self) -> float:
+        """The current virtual time (the makespan so far)."""
+        return self.makespan()
+
+    def sleep(self, seconds: float) -> None:
+        """Wait virtually: advances the clock, sleeps zero real time.
+
+        This is what lets :class:`~repro.llm.resilience.RetryingClient`
+        run full backoff schedules inside tests instantly — the schedule
+        is recorded on the virtual timeline instead of being slept.
+        """
+        self.advance(seconds)
 
     @property
     def calls(self) -> int:

@@ -49,6 +49,7 @@ from repro.llm.chat import (
 from repro.llm.client import ChatClient
 from repro.llm.declarative import PromptSpec
 from repro.llm.parallel import ParallelDispatcher
+from repro.llm.resilience import ResilienceReport
 from repro.sqlparser import ast, parse, render
 from repro.sqlparser.render import quote_identifier
 from repro.sqlparser.rewrite import replace_ingredients, walk
@@ -75,6 +76,10 @@ class ExecutionReport:
     #: (input_tokens, output_tokens) of each paid (non-cached) LLM call,
     #: the input to the latency/parallelism model in repro.llm.batching.
     call_sizes: list[tuple[int, int]] = field(default_factory=list)
+    #: batches whose LLM call ultimately failed (after any retry layer
+    #: gave up) and were degraded to NULL answers, and the keys they held.
+    degraded_batches: int = 0
+    degraded_keys: int = 0
 
     def estimated_latency(
         self, workers: int = 1, model: Optional[LatencyModel] = None
@@ -108,6 +113,7 @@ class HybridQueryExecutor:
         semantic_cache: Optional[SemanticCache] = None,
         views: Optional[MaterializedViewStore] = None,
         workers: int = 1,
+        resilience: Optional[ResilienceReport] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -125,6 +131,7 @@ class HybridQueryExecutor:
         self.selector = selector
         self.semantic_cache = semantic_cache
         self.views = views
+        self.resilience = resilience
         self._temp_counter = 0
 
     # -- public API --------------------------------------------------------------
@@ -300,6 +307,10 @@ class HybridQueryExecutor:
         for batch, outcome in zip(batches, outcomes):
             if outcome.error is not None:
                 answers: list[Optional[str]] = [None] * len(batch)
+                report.degraded_batches += 1
+                report.degraded_keys += len(batch)
+                if self.resilience is not None:
+                    self.resilience.record_degraded(len(batch))
             else:
                 response = outcome.response
                 if response.usage.calls:

@@ -86,3 +86,52 @@ class TestScriptedClient:
                 ]
             ]
         assert sorted(texts) == sorted(answers)
+
+    def test_queue_pairing_survives_an_8_thread_hammer(self):
+        """prompts[i] is provably paired with the answer it consumed.
+
+        Regression for a race where prompt recording and queue popping
+        were separate steps: two threads could record their prompts in
+        one order and pop answers in the other, silently mispairing
+        :attr:`ScriptedClient.calls`.  Recording is now atomic with the
+        pop, so the i-th recorded prompt always owns the i-th answer.
+        """
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        total = 200
+        answers = [f"answer-{i}" for i in range(total)]
+        client = ScriptedClient(list(answers))
+        barrier = threading.Barrier(8)
+
+        def hammer(thread_index: int) -> list[tuple[str, str]]:
+            barrier.wait()
+            pairs = []
+            for i in range(total // 8):
+                prompt = f"prompt {thread_index}-{i}"
+                pairs.append((prompt, client.complete(prompt).text))
+            return pairs
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            observed = [
+                pair
+                for pairs in pool.map(hammer, range(8))
+                for pair in pairs
+            ]
+
+        # queue fully consumed, each answer handed out exactly once
+        assert sorted(text for _, text in observed) == sorted(answers)
+        # the recorded ledger agrees with what every caller saw, and the
+        # i-th recorded prompt consumed the i-th queue entry
+        assert sorted(client.calls) == sorted(observed)
+        assert [text for _, text in client.calls] == answers[: len(client.calls)]
+        assert [prompt for prompt, _ in client.calls] == client.prompts
+
+    def test_scripting_miss_does_not_skew_the_ledger(self):
+        """A rejected prompt leaves prompts/calls aligned for later calls."""
+        client = ScriptedClient({"known": "answer"})
+        with pytest.raises(LLMError):
+            client.complete("never scripted")
+        assert client.complete("known").text == "answer"
+        assert client.prompts == ["known"]
+        assert client.calls == [("known", "answer")]

@@ -1,0 +1,154 @@
+"""Tests for deterministic fault injection."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import (
+    LLMTimeoutError,
+    RateLimitError,
+    TransientLLMError,
+)
+from repro.llm.client import ScriptedClient
+from repro.llm.faults import (
+    FAULT_KINDS,
+    GARBAGE_COMPLETION,
+    FaultInjector,
+    FaultPlan,
+    FaultyClient,
+)
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(rate_limit=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(rate_limit=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(rate_limit=0.6, timeout=0.6)
+
+    def test_uniform_splits_total_rate(self):
+        plan = FaultPlan.uniform(0.4, seed=7)
+        assert plan.total_rate() == pytest.approx(0.4)
+        assert plan.seed == 7
+
+    def test_uniform_corruption_share(self):
+        errors_only = FaultPlan.uniform(0.3, corruption_share=0.0)
+        assert errors_only.truncate == errors_only.garbage == 0.0
+        assert errors_only.total_rate() == pytest.approx(0.3)
+
+
+class TestFaultInjector:
+    def test_draws_are_deterministic(self):
+        plan = FaultPlan.uniform(0.5, seed=3)
+        first = FaultInjector(plan)
+        second = FaultInjector(plan)
+        prompts = [f"prompt {i}" for i in range(200)]
+        assert [first.draw(p, 1) for p in prompts] == [
+            second.draw(p, 1) for p in prompts
+        ]
+
+    def test_draws_are_order_independent(self):
+        """Thread interleavings cannot change which call gets faulted."""
+        plan = FaultPlan.uniform(0.5, seed=3)
+        prompts = [f"prompt {i}" for i in range(100)]
+        forward = [FaultInjector(plan).draw(p, 1) for p in prompts]
+        backward_injector = FaultInjector(plan)
+        backward = [backward_injector.draw(p, 1) for p in reversed(prompts)]
+        assert forward == list(reversed(backward))
+
+    def test_retries_roll_fresh_draws(self):
+        """A faulted attempt does not doom the retry of the same prompt."""
+        plan = FaultPlan.uniform(0.5, seed=0)
+        injector = FaultInjector(plan)
+        draws = {injector.draw("the prompt", attempt) for attempt in range(1, 30)}
+        assert None in draws  # some attempt comes back clean
+        assert draws - {None}  # and some attempts are faulted
+
+    def test_attempt_counter_is_per_prompt_and_thread_safe(self):
+        injector = FaultInjector(FaultPlan())
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            attempts = list(
+                pool.map(lambda _: injector.next_attempt("p"), range(80))
+            )
+        assert sorted(attempts) == list(range(1, 81))
+        assert injector.next_attempt("other") == 1
+
+    def test_rate_one_always_faults(self):
+        injector = FaultInjector(FaultPlan(transient=1.0))
+        assert all(
+            injector.draw(f"p{i}", 1) == "transient" for i in range(50)
+        )
+        assert injector.stats.total_injected() == 50
+
+    def test_stats_by_kind(self):
+        injector = FaultInjector(FaultPlan.uniform(0.8, seed=1))
+        for i in range(400):
+            injector.draw(f"p{i}", 1)
+        snapshot = injector.stats.snapshot()
+        assert set(snapshot) <= set(FAULT_KINDS)
+        assert sum(snapshot.values()) == injector.stats.total_injected()
+        assert injector.stats.decisions == 400
+
+
+class TestFaultyClient:
+    def test_rate_zero_is_byte_exact_passthrough(self):
+        plain = ScriptedClient({"prompt": "the answer"})
+        wrapped = FaultyClient(
+            ScriptedClient({"prompt": "the answer"}), FaultInjector(FaultPlan())
+        )
+        for i in range(20):
+            a = plain.complete(f"prompt {i}")
+            b = wrapped.complete(f"prompt {i}")
+            assert a.text == b.text
+            assert a.usage == b.usage
+
+    def test_error_kinds_are_typed(self):
+        cases = [
+            (FaultPlan(rate_limit=1.0), RateLimitError),
+            (FaultPlan(timeout=1.0), LLMTimeoutError),
+            (FaultPlan(transient=1.0), TransientLLMError),
+        ]
+        for plan, expected in cases:
+            client = FaultyClient(
+                ScriptedClient({"p": "a"}), FaultInjector(plan)
+            )
+            with pytest.raises(expected):
+                client.complete("p1")
+
+    def test_rate_limit_carries_retry_after(self):
+        plan = FaultPlan(rate_limit=1.0, retry_after=2.5)
+        client = FaultyClient(ScriptedClient({"p": "a"}), FaultInjector(plan))
+        with pytest.raises(RateLimitError) as excinfo:
+            client.complete("p1")
+        assert excinfo.value.retry_after == 2.5
+
+    def test_error_faults_cost_no_tokens(self):
+        """A rejected call never reaches the model (no usage metered)."""
+        inner = ScriptedClient({"p": "a"})
+        client = FaultyClient(inner, FaultInjector(FaultPlan(rate_limit=1.0)))
+        with pytest.raises(RateLimitError):
+            client.complete("p1")
+        assert inner.prompts == []
+        assert inner.meter.total.calls == 0
+
+    def test_truncation_halves_text_but_keeps_usage(self):
+        inner = ScriptedClient({"p": "a long completion with many words"})
+        client = FaultyClient(inner, FaultInjector(FaultPlan(truncate=1.0)))
+        response = client.complete("p1")
+        full = "a long completion with many words"
+        assert response.text == full[: len(full) // 2]
+        assert response.usage.calls == 1  # the tokens were spent
+
+    def test_garbage_replaces_completion(self):
+        inner = ScriptedClient({"p": "clean"})
+        client = FaultyClient(inner, FaultInjector(FaultPlan(garbage=1.0)))
+        assert client.complete("p1").text == GARBAGE_COMPLETION
+
+    def test_garbage_resists_extraction(self):
+        from repro.core.extraction import extract_row
+        from repro.errors import ExtractionError
+
+        with pytest.raises(ExtractionError):
+            extract_row(GARBAGE_COMPLETION, 3)
