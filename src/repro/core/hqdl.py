@@ -29,6 +29,8 @@ from repro.errors import ExtractionError, ReproError
 from repro.llm.client import ChatClient
 from repro.llm.parallel import DispatchOutcome, ParallelDispatcher
 from repro.llm.resilience import ResilienceReport
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.trace import NULL_SPAN
 from repro.sqlengine.database import Database
 from repro.sqlengine.results import ResultSet
 from repro.swan.base import Question, World
@@ -86,6 +88,7 @@ class HQDL:
         context_rows: int = 0,
         workers: int = 1,
         resilience: Optional[ResilienceReport] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.world = world
         self.client = client
@@ -93,7 +96,10 @@ class HQDL:
         self.context_rows = context_rows
         self.workers = workers
         self.resilience = resilience
-        self._dispatcher = ParallelDispatcher(workers)
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._dispatcher = ParallelDispatcher(workers, telemetry=self._tel)
+        self._m_degraded_rows = self._tel.metrics.counter("pipeline.degraded_rows")
+        self._m_malformed = self._tel.metrics.counter("pipeline.malformed_rows")
         self._retriever = None
         if context_rows > 0:
             # built lazily-but-eagerly here: one index serves every table
@@ -142,6 +148,7 @@ class HQDL:
             if outcome.error is not None:
                 generation.rows[key] = None
                 generation.degraded += 1
+                self._m_degraded_rows.inc()
                 if self.resilience is not None:
                     self.resilience.record_degraded(1)
                 continue
@@ -152,6 +159,7 @@ class HQDL:
             except ExtractionError:
                 generation.rows[key] = None
                 generation.malformed += 1
+                self._m_malformed.inc()
                 continue
             generation.rows[key] = fields[key_width:]
         return generation
@@ -163,14 +171,24 @@ class HQDL:
         assembled in key order, so the result is identical to sequential
         generation.
         """
-        builder, keys, prompts = self._prepare_table(expansion_name)
-        outcomes = self._dispatcher.dispatch(
-            self.client,
-            prompts,
-            labels=f"hqdl:{expansion_name}",
-            capture_errors="transient",
-        )
-        return self._assemble_table(expansion_name, builder, keys, outcomes)
+        tel = self._tel
+        with (
+            tel.tracer.span("hqdl:generate", table=expansion_name)
+            if tel.enabled
+            else NULL_SPAN
+        ):
+            with (tel.tracer.span("hqdl:prepare") if tel.enabled else NULL_SPAN):
+                builder, keys, prompts = self._prepare_table(expansion_name)
+            outcomes = self._dispatcher.dispatch(
+                self.client,
+                prompts,
+                labels=f"hqdl:{expansion_name}",
+                capture_errors="transient",
+            )
+            with (tel.tracer.span("hqdl:assemble") if tel.enabled else NULL_SPAN):
+                return self._assemble_table(
+                    expansion_name, builder, keys, outcomes
+                )
 
     def generate_all(self) -> GenerationResult:
         """Generate every expansion table of this world.
@@ -180,40 +198,56 @@ class HQDL:
         attributes (tables) and keys alike, instead of finishing one
         table before starting the next.
         """
+        tel = self._tel
         result = GenerationResult(database=self.world.name, shots=self.shots)
-        prepared = [
-            (expansion.name, *self._prepare_table(expansion.name))
-            for expansion in self.world.expansions
-        ]
-        prompts = [p for _, _, _, table_prompts in prepared for p in table_prompts]
-        labels = [
-            f"hqdl:{name}"
-            for name, _, _, table_prompts in prepared
-            for _ in table_prompts
-        ]
-        outcomes = self._dispatcher.dispatch(
-            self.client, prompts, labels=labels, capture_errors="transient"
-        )
-        offset = 0
-        for name, builder, keys, table_prompts in prepared:
-            table_outcomes = outcomes[offset : offset + len(table_prompts)]
-            offset += len(table_prompts)
-            result.tables[name] = self._assemble_table(
-                name, builder, keys, table_outcomes
+        with (
+            tel.tracer.span("hqdl:generate", database=self.world.name)
+            if tel.enabled
+            else NULL_SPAN
+        ):
+            with (tel.tracer.span("hqdl:prepare") if tel.enabled else NULL_SPAN):
+                prepared = [
+                    (expansion.name, *self._prepare_table(expansion.name))
+                    for expansion in self.world.expansions
+                ]
+                prompts = [
+                    p for _, _, _, table_prompts in prepared for p in table_prompts
+                ]
+                labels = [
+                    f"hqdl:{name}"
+                    for name, _, _, table_prompts in prepared
+                    for _ in table_prompts
+                ]
+            outcomes = self._dispatcher.dispatch(
+                self.client, prompts, labels=labels, capture_errors="transient"
             )
+            with (tel.tracer.span("hqdl:assemble") if tel.enabled else NULL_SPAN):
+                offset = 0
+                for name, builder, keys, table_prompts in prepared:
+                    table_outcomes = outcomes[offset : offset + len(table_prompts)]
+                    offset += len(table_prompts)
+                    result.tables[name] = self._assemble_table(
+                        name, builder, keys, table_outcomes
+                    )
         return result
 
     # -- materialization ---------------------------------------------------------
 
     def materialize(self, db: Database, generation: GenerationResult) -> None:
         """Insert all generated tables into ``db`` (the curated database)."""
-        for expansion in self.world.expansions:
-            table_generation = generation.tables.get(expansion.name)
-            if table_generation is None:
-                raise ReproError(
-                    f"generation result is missing table {expansion.name!r}"
-                )
-            materialize_expansion(db, expansion, table_generation.rows)
+        tel = self._tel
+        with (
+            tel.tracer.span("hqdl:materialize", database=self.world.name)
+            if tel.enabled
+            else NULL_SPAN
+        ):
+            for expansion in self.world.expansions:
+                table_generation = generation.tables.get(expansion.name)
+                if table_generation is None:
+                    raise ReproError(
+                        f"generation result is missing table {expansion.name!r}"
+                    )
+                materialize_expansion(db, expansion, table_generation.rows)
 
     def build_expanded_database(
         self, generation: Optional[GenerationResult] = None
@@ -233,4 +267,10 @@ class HQDL:
                 f"question {question.qid} belongs to {question.database!r}, "
                 f"not {self.world.name!r}"
             )
-        return db.query(question.hqdl_sql)
+        tel = self._tel
+        with (
+            tel.tracer.span("hqdl:answer", qid=question.qid)
+            if tel.enabled
+            else NULL_SPAN
+        ):
+            return db.query(question.hqdl_sql)

@@ -5,6 +5,7 @@ Usage::
     python -m repro.harness table1
     python -m repro.harness table2 table4
     python -m repro.harness all
+    python -m repro.harness trace --databases=superhero --workers=4
 """
 
 from __future__ import annotations
@@ -170,6 +171,14 @@ def _sweep_report() -> tuple[list[dict], str]:
     return rows, text
 
 
+def _trace_report(databases=None, workers: int = 1) -> tuple[list[dict], str]:
+    """Traced SWAN run for both pipelines (written to BENCH_trace.json)."""
+    from repro.harness.tracing import format_trace_report, write_trace_json
+
+    paths, payload = write_trace_json(databases=databases, workers=workers)
+    return [payload], format_trace_report(payload, paths)
+
+
 _GENERATORS = {
     "table1": tables.table1,
     "table2": tables.table2,
@@ -184,29 +193,92 @@ _GENERATORS = {
     "sweep": _sweep_report,
     "bench-json": _bench_json_report,
     "chaos": _chaos_report,
+    "trace": _trace_report,
 }
 
 #: Extra targets excluded from `all` (sweep re-runs the whole grid and
 #: writes a file, bench-json writes BENCH_parallel.json, chaos runs the
-#: fault sweep and writes BENCH_chaos.json; `all` should stay
-#: side-effect free).
-_EXCLUDED_FROM_ALL = ("sweep", "bench-json", "chaos")
+#: fault sweep and writes BENCH_chaos.json, trace writes the
+#: BENCH_trace artifact family; `all` should stay side-effect free).
+_EXCLUDED_FROM_ALL = ("sweep", "bench-json", "chaos", "trace")
+
+#: Targets that honour the --databases / --workers flags.
+_FLAG_TARGETS = ("trace",)
+
+
+def _usage() -> str:
+    return (
+        "usage: python -m repro.harness [target ...] "
+        "[--databases=a,b] [--workers=N]\n"
+        f"targets: {', '.join(_GENERATORS)} | all\n"
+        f"flags apply to: {', '.join(_FLAG_TARGETS)}"
+    )
+
+
+def _parse_args(argv: list[str]):
+    """(targets, options) from argv; raises ValueError with a message."""
+    targets: list[str] = []
+    options = {"databases": None, "workers": 1}
+    for arg in argv:
+        if not arg.startswith("-"):
+            targets.append(arg)
+            continue
+        if arg in ("-h", "--help"):
+            raise _HelpRequested()
+        name, sep, value = arg.partition("=")
+        if name == "--databases":
+            if not sep or not value:
+                raise ValueError("--databases requires a comma-separated list")
+            options["databases"] = [
+                part for part in value.split(",") if part
+            ]
+        elif name == "--workers":
+            try:
+                options["workers"] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"--workers requires an integer, got {value!r}"
+                ) from None
+            if options["workers"] < 1:
+                raise ValueError(f"--workers must be >= 1, got {value}")
+        else:
+            raise ValueError(f"unknown flag: {arg}")
+    return targets, options
+
+
+class _HelpRequested(Exception):
+    """Raised by the parser when -h/--help is seen."""
 
 
 def main(argv: list[str]) -> int:
     """Print the requested tables/figures; returns a process exit code."""
-    targets = argv or ["all"]
+    try:
+        targets, options = _parse_args(argv)
+    except _HelpRequested:
+        print(_usage())
+        return 0
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(_usage(), file=sys.stderr)
+        return 2
+    targets = targets or ["all"]
     if targets == ["all"]:
         targets = [t for t in _GENERATORS if t not in _EXCLUDED_FROM_ALL]
     unknown = [t for t in targets if t not in _GENERATORS]
     if unknown:
-        print(f"unknown targets: {', '.join(unknown)}")
-        print(f"available: {', '.join(_GENERATORS)} | all")
+        print(f"unknown targets: {', '.join(unknown)}", file=sys.stderr)
+        print(_usage(), file=sys.stderr)
         return 2
     for index, target in enumerate(targets):
         if index:
             print()
-        _, text = _GENERATORS[target]()
+        generator = _GENERATORS[target]
+        if target in _FLAG_TARGETS:
+            _, text = generator(
+                databases=options["databases"], workers=options["workers"]
+            )
+        else:
+            _, text = generator()
         print(text)
     return 0
 

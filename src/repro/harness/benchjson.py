@@ -25,6 +25,7 @@ from repro.llm.chat import MockChatModel
 from repro.llm.oracle import KnowledgeOracle
 from repro.llm.parallel import SimulatedClock, SimulatedLatencyClient
 from repro.llm.profiles import get_profile
+from repro.obs import MetricsRegistry, Telemetry
 from repro.swan.benchmark import Swan, load_benchmark
 from repro.swan.build import build_curated_database
 from repro.udf.executor import HybridQueryExecutor
@@ -69,22 +70,32 @@ def measure_parallel_makespans(
         _, report = executor.execute_with_report(query)
     sequential_seconds = sequential_makespan(report.call_sizes, latency_model)
 
-    workers_payload: dict[str, dict[str, float]] = {}
+    workers_payload: dict[str, dict] = {}
     for workers in worker_counts:
         clock = SimulatedClock(workers)
+        telemetry = Telemetry(metrics=MetricsRegistry())
         with build_curated_database(world) as db:
             model = MockChatModel(KnowledgeOracle(world), profile)
             client = SimulatedLatencyClient(model, clock, latency_model)
-            executor = HybridQueryExecutor(db, client, world, workers=workers)
+            executor = HybridQueryExecutor(
+                db, client, world, workers=workers, telemetry=telemetry
+            )
             executor.execute(query)
         measured = clock.makespan()
         analytical = parallel_makespan(report.call_sizes, workers, latency_model)
+        metrics = telemetry.metrics.snapshot()
         workers_payload[str(workers)] = {
             "analytical_seconds": round(analytical, 4),
             "measured_seconds": round(measured, 4),
             "speedup_vs_sequential": round(
                 sequential_seconds / measured if measured else 0.0, 2
             ),
+            "cache_hits": metrics.get("llm.cache.hits", 0),
+            "cache_misses": metrics.get("llm.cache.misses", 0),
+            "single_flight_joins": metrics.get(
+                "llm.cache.single_flight_joins", 0
+            ),
+            "max_in_flight": metrics.get("dispatch.in_flight.max", 0),
         }
 
     return {
@@ -141,7 +152,7 @@ def measure_chaos_degradation(
     runs = chaos_sweep(
         swan, model_name, shots,
         fault_rates=fault_rates, seed=seed, retries=retries,
-        databases=databases, gold=gold,
+        databases=databases, gold=gold, with_metrics=True,
     )
     baseline = {
         run.pipeline: run.ex for run in runs if run.fault_rate == 0.0

@@ -35,6 +35,8 @@ from repro.llm.resilience import (
     RetryPolicy,
 )
 from repro.llm.usage import Usage, UsageMeter
+from repro.obs import NULL_TELEMETRY, MetricsRegistry, Telemetry
+from repro.obs.trace import NULL_SPAN
 from repro.sqlengine.results import ResultSet
 from repro.swan.benchmark import Swan
 from repro.swan.build import build_curated_database, build_original_database
@@ -150,6 +152,7 @@ def run_hqdl(
     db_workers: int = 1,
     wrap_client: Optional[Callable[[ChatClient], ChatClient]] = None,
     resilience: Optional[ResilienceReport] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> HQDLRun:
     """Run HQDL for one (model, shots) configuration.
 
@@ -162,44 +165,73 @@ def run_hqdl(
 
     ``wrap_client`` decorates each database's model before the pipeline
     sees it (fault injection, retry layers); ``resilience`` collects the
-    degraded-row accounting those layers produce.
+    degraded-row accounting those layers produce; ``telemetry`` records
+    spans and metrics without perturbing any result.
     """
     gold = gold or GoldResults(swan)
     names = _resolve_databases(swan, databases)
     profile = get_profile(model_name)
     run = HQDLRun(model=model_name, shots=shots)
     meter = UsageMeter()
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
 
-    def _one_database(name: str):
-        world = swan.world(name)
-        model: ChatClient = MockChatModel(KnowledgeOracle(world), profile, meter=meter)
-        if wrap_client is not None:
-            model = wrap_client(model)
-        pipeline = HQDL(
-            world, model, shots=shots, workers=workers, resilience=resilience
-        )
-        generation = pipeline.generate_all()
-        f1 = database_factuality(world, generation)
-        db_outcomes: list[ExecutionOutcome] = []
-        with pipeline.build_expanded_database(generation) as db:
-            for question in swan.questions_for(name):
-                expected = gold.expected(question.qid)
-                try:
-                    actual = pipeline.answer(db, question)
-                except ReproError as exc:
-                    db_outcomes.append(failed_outcome(question, expected, str(exc)))
-                    continue
-                db_outcomes.append(evaluate_question(question, expected, actual))
-        return generation, f1, db_outcomes
+    with (
+        tel.tracer.span("run", pipeline="hqdl", model=model_name, shots=shots)
+        if tel.enabled
+        else NULL_SPAN
+    ) as run_span:
 
-    for name, (generation, f1, db_outcomes) in zip(
-        names, _map_databases(names, db_workers, _one_database)
-    ):
-        run.generations[name] = generation
-        run.f1_by_db[name] = f1
-        run.ex_by_db[name] = execution_accuracy(db_outcomes)
-        run.outcomes.extend(db_outcomes)
-    run.usage = meter.total
+        def _one_database(name: str):
+            with (
+                tel.tracer.span("database", parent=run_span, database=name)
+                if tel.enabled
+                else NULL_SPAN
+            ):
+                world = swan.world(name)
+                model: ChatClient = MockChatModel(
+                    KnowledgeOracle(world), profile, meter=meter
+                )
+                if wrap_client is not None:
+                    model = wrap_client(model)
+                pipeline = HQDL(
+                    world, model, shots=shots, workers=workers,
+                    resilience=resilience, telemetry=tel,
+                )
+                generation = pipeline.generate_all()
+                f1 = database_factuality(world, generation)
+                db_outcomes: list[ExecutionOutcome] = []
+                with pipeline.build_expanded_database(generation) as db:
+                    for question in swan.questions_for(name):
+                        expected = gold.expected(question.qid)
+                        with (
+                            tel.tracer.span("question", qid=question.qid)
+                            if tel.enabled
+                            else NULL_SPAN
+                        ) as qspan:
+                            try:
+                                actual = pipeline.answer(db, question)
+                            except ReproError as exc:
+                                outcome = failed_outcome(
+                                    question, expected, str(exc)
+                                )
+                            else:
+                                outcome = evaluate_question(
+                                    question, expected, actual
+                                )
+                            qspan.set("correct", outcome.correct)
+                        db_outcomes.append(outcome)
+                return generation, f1, db_outcomes
+
+        for name, (generation, f1, db_outcomes) in zip(
+            names, _map_databases(names, db_workers, _one_database)
+        ):
+            run.generations[name] = generation
+            run.f1_by_db[name] = f1
+            run.ex_by_db[name] = execution_accuracy(db_outcomes)
+            run.outcomes.extend(db_outcomes)
+        run.usage = meter.total
+        if tel.enabled:
+            run_span.set("ex", round(run.overall_ex, 4))
     return run
 
 
@@ -216,6 +248,7 @@ def run_udf(
     db_workers: int = 1,
     wrap_client: Optional[Callable[[ChatClient], ChatClient]] = None,
     resilience: Optional[ResilienceReport] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> UDFRun:
     """Run Hybrid Query UDFs for one configuration.
 
@@ -230,7 +263,8 @@ def run_udf(
 
     ``wrap_client`` decorates each database's model before the executor
     wraps it in the prompt cache (fault injection, retry layers);
-    ``resilience`` collects the degraded-batch accounting.
+    ``resilience`` collects the degraded-batch accounting; ``telemetry``
+    records spans and metrics without perturbing any result.
     """
     gold = gold or GoldResults(swan)
     names = _resolve_databases(swan, databases)
@@ -239,44 +273,72 @@ def run_udf(
         model=model_name, shots=shots, batch_size=batch_size, pushdown=pushdown
     )
     meter = UsageMeter()
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
 
-    def _one_database(name: str):
-        world = swan.world(name)
-        model: ChatClient = MockChatModel(KnowledgeOracle(world), profile, meter=meter)
-        if wrap_client is not None:
-            model = wrap_client(model)
-        cache = PromptCache()
-        db_outcomes: list[ExecutionOutcome] = []
-        with build_curated_database(world) as db:
-            executor = HybridQueryExecutor(
-                db,
-                model,
-                world,
-                batch_size=batch_size,
-                pushdown=pushdown,
-                shots=shots,
-                cache=cache,
-                workers=workers,
-                resilience=resilience,
-            )
-            for question in swan.questions_for(name):
-                expected = gold.expected(question.qid)
-                try:
-                    actual = executor.execute(question.blend_sql)
-                except ReproError as exc:
-                    db_outcomes.append(failed_outcome(question, expected, str(exc)))
-                    continue
-                db_outcomes.append(evaluate_question(question, expected, actual))
-        return cache, db_outcomes
+    with (
+        tel.tracer.span("run", pipeline="udf", model=model_name, shots=shots)
+        if tel.enabled
+        else NULL_SPAN
+    ) as run_span:
 
-    for name, (cache, db_outcomes) in zip(
-        names, _map_databases(names, db_workers, _one_database)
-    ):
-        run.cache_hits += cache.hits
-        run.cache_misses += cache.misses
-        run.ex_by_db[name] = execution_accuracy(db_outcomes)
-        run.outcomes.extend(db_outcomes)
-    run.usage = meter.total
+        def _one_database(name: str):
+            with (
+                tel.tracer.span("database", parent=run_span, database=name)
+                if tel.enabled
+                else NULL_SPAN
+            ):
+                world = swan.world(name)
+                model: ChatClient = MockChatModel(
+                    KnowledgeOracle(world), profile, meter=meter
+                )
+                if wrap_client is not None:
+                    model = wrap_client(model)
+                cache = PromptCache()
+                db_outcomes: list[ExecutionOutcome] = []
+                with build_curated_database(world) as db:
+                    executor = HybridQueryExecutor(
+                        db,
+                        model,
+                        world,
+                        batch_size=batch_size,
+                        pushdown=pushdown,
+                        shots=shots,
+                        cache=cache,
+                        workers=workers,
+                        resilience=resilience,
+                        telemetry=tel,
+                    )
+                    for question in swan.questions_for(name):
+                        expected = gold.expected(question.qid)
+                        with (
+                            tel.tracer.span("question", qid=question.qid)
+                            if tel.enabled
+                            else NULL_SPAN
+                        ) as qspan:
+                            try:
+                                actual = executor.execute(question.blend_sql)
+                            except ReproError as exc:
+                                outcome = failed_outcome(
+                                    question, expected, str(exc)
+                                )
+                            else:
+                                outcome = evaluate_question(
+                                    question, expected, actual
+                                )
+                            qspan.set("correct", outcome.correct)
+                        db_outcomes.append(outcome)
+                return cache, db_outcomes
+
+        for name, (cache, db_outcomes) in zip(
+            names, _map_databases(names, db_workers, _one_database)
+        ):
+            run.cache_hits += cache.hits
+            run.cache_misses += cache.misses
+            run.ex_by_db[name] = execution_accuracy(db_outcomes)
+            run.outcomes.extend(db_outcomes)
+        run.usage = meter.total
+        if tel.enabled:
+            run_span.set("ex", round(run.overall_ex, 4))
     return run
 
 
@@ -304,11 +366,14 @@ class ChaosRun:
     faults_injected: dict[str, int]
     fault_decisions: int
     breaker_trips: int = 0
+    #: telemetry snapshot (``MetricsRegistry.snapshot()``) when the run
+    #: was executed with metrics enabled; None otherwise
+    metrics: Optional[dict] = None
 
     def as_record(self) -> dict:
         """A flat dict for tables and BENCH JSON."""
         counters = self.resilience.as_dict()
-        return {
+        record = {
             "pipeline": self.pipeline,
             "fault_rate": round(self.fault_rate, 4),
             "retries": self.retries,
@@ -317,6 +382,17 @@ class ChaosRun:
             "faults_injected": sum(self.faults_injected.values()),
             **counters,
         }
+        if self.metrics is not None:
+            record["cache_hits"] = self.metrics.get("llm.cache.hits", 0)
+            record["cache_misses"] = self.metrics.get("llm.cache.misses", 0)
+            record["single_flight_joins"] = self.metrics.get(
+                "llm.cache.single_flight_joins", 0
+            )
+            record["max_in_flight"] = self.metrics.get("dispatch.in_flight.max", 0)
+            record["backoff_seconds_total"] = round(
+                float(self.metrics.get("llm.retry.backoff_seconds_total", 0)), 4
+            )
+        return record
 
 
 def build_resilient_stack(
@@ -328,6 +404,7 @@ def build_resilient_stack(
     clock: Optional[SimulatedClock] = None,
     breaker: Optional[CircuitBreaker] = None,
     report: Optional[ResilienceReport] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RetryingClient:
     """model -> FaultyClient -> RetryingClient, the chaos-run stack.
 
@@ -343,7 +420,15 @@ def build_resilient_stack(
         clock=clock if clock is not None else SimulatedClock(),
         breaker=breaker,
         report=report,
+        telemetry=telemetry,
     )
+
+
+def _metrics_snapshot(telemetry: Optional[Telemetry]) -> Optional[dict]:
+    """The registry snapshot of an enabled telemetry handle, else None."""
+    if telemetry is None or not getattr(telemetry.metrics, "enabled", False):
+        return None
+    return telemetry.metrics.snapshot()
 
 
 def _chaos_pieces(
@@ -384,6 +469,7 @@ def run_udf_chaos(
     gold: Optional[GoldResults] = None,
     workers: int = 1,
     db_workers: int = 1,
+    telemetry: Optional[Telemetry] = None,
 ) -> ChaosRun:
     """Run HQ UDFs with fault injection and a resilient dispatch stack.
 
@@ -398,14 +484,14 @@ def run_udf_chaos(
     def wrap(model: ChatClient) -> ChatClient:
         return build_resilient_stack(
             model, plan=plan, injector=injector, policy=policy,
-            clock=clock, breaker=breaker, report=report,
+            clock=clock, breaker=breaker, report=report, telemetry=telemetry,
         )
 
     run = run_udf(
         swan, model_name, shots,
         batch_size=batch_size, pushdown=pushdown, databases=databases,
         gold=gold, workers=workers, db_workers=db_workers,
-        wrap_client=wrap, resilience=report,
+        wrap_client=wrap, resilience=report, telemetry=telemetry,
     )
     return ChaosRun(
         pipeline="udf",
@@ -419,6 +505,7 @@ def run_udf_chaos(
         faults_injected=injector.stats.snapshot(),
         fault_decisions=injector.stats.decisions,
         breaker_trips=breaker.trips if breaker is not None else 0,
+        metrics=_metrics_snapshot(telemetry),
     )
 
 
@@ -437,6 +524,7 @@ def run_hqdl_chaos(
     gold: Optional[GoldResults] = None,
     workers: int = 1,
     db_workers: int = 1,
+    telemetry: Optional[Telemetry] = None,
 ) -> ChaosRun:
     """Run HQDL with fault injection; degraded rows materialize as NULLs."""
     plan, injector, report, clock, policy = _chaos_pieces(
@@ -446,13 +534,14 @@ def run_hqdl_chaos(
     def wrap(model: ChatClient) -> ChatClient:
         return build_resilient_stack(
             model, plan=plan, injector=injector, policy=policy,
-            clock=clock, breaker=breaker, report=report,
+            clock=clock, breaker=breaker, report=report, telemetry=telemetry,
         )
 
     run = run_hqdl(
         swan, model_name, shots,
         databases=databases, gold=gold, workers=workers,
         db_workers=db_workers, wrap_client=wrap, resilience=report,
+        telemetry=telemetry,
     )
     return ChaosRun(
         pipeline="hqdl",
@@ -466,6 +555,7 @@ def run_hqdl_chaos(
         faults_injected=injector.stats.snapshot(),
         fault_decisions=injector.stats.decisions,
         breaker_trips=breaker.trips if breaker is not None else 0,
+        metrics=_metrics_snapshot(telemetry),
     )
 
 
@@ -479,25 +569,35 @@ def chaos_sweep(
     retries: bool = True,
     databases: Optional[Sequence[str]] = None,
     gold: Optional[GoldResults] = None,
+    with_metrics: bool = False,
 ) -> list[ChaosRun]:
     """EX/F1 degradation vs fault intensity for both pipelines.
 
     Each (pipeline, rate) point gets a fresh injector and report so the
     points are independent; gold results are computed once and shared.
+    With ``with_metrics=True`` every point also runs with its own
+    :class:`~repro.obs.MetricsRegistry` and carries the snapshot in
+    :attr:`ChaosRun.metrics` (cache, single-flight, occupancy, backoff).
     """
     gold = gold or GoldResults(swan)
+
+    def _telemetry() -> Optional[Telemetry]:
+        return Telemetry(metrics=MetricsRegistry()) if with_metrics else None
+
     runs: list[ChaosRun] = []
     for rate in fault_rates:
         runs.append(
             run_udf_chaos(
                 swan, model_name, shots, fault_rate=rate, seed=seed,
                 retries=retries, databases=databases, gold=gold,
+                telemetry=_telemetry(),
             )
         )
         runs.append(
             run_hqdl_chaos(
                 swan, model_name, shots, fault_rate=rate, seed=seed,
                 retries=retries, databases=databases, gold=gold,
+                telemetry=_telemetry(),
             )
         )
     return runs

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 from repro.llm.client import ChatClient, ChatResponse
 from repro.llm.usage import Usage
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.trace import NULL_SPAN
 
 
 @dataclass
@@ -100,7 +102,13 @@ class CachingClient:
     *own* upstream failure ever propagates out of :meth:`complete`.
     """
 
-    def __init__(self, inner: ChatClient, cache: PromptCache | None = None) -> None:
+    def __init__(
+        self,
+        inner: ChatClient,
+        cache: PromptCache | None = None,
+        *,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self.inner = inner
         # `cache or PromptCache()` would discard an *empty* shared cache
         # (PromptCache defines __len__), so compare against None explicitly.
@@ -110,15 +118,28 @@ class CachingClient:
         self._flights: dict[str, _Flight] = {}
         #: how many calls joined another thread's in-flight request
         self.single_flight_waits = 0
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self._tel.metrics
+        self._m_hits = metrics.counter("llm.cache.hits")
+        self._m_misses = metrics.counter("llm.cache.misses")
+        self._m_joins = metrics.counter("llm.cache.single_flight_joins")
 
     def complete(self, prompt: str, *, label: str = "") -> ChatResponse:
         """Serve from cache when possible; otherwise call through and store."""
+        if not self._tel.enabled:
+            return self._complete(prompt, label, NULL_SPAN)
+        with self._tel.tracer.span("llm:cache", label=label) as span:
+            return self._complete(prompt, label, span)
+
+    def _complete(self, prompt: str, label: str, span) -> ChatResponse:
         while True:
             with self._lock:
                 flight = self._flights.get(prompt)
                 if flight is None:
                     cached = self.cache.get(prompt)
                     if cached is not None:
+                        self._m_hits.inc()
+                        span.set("outcome", "hit")
                         return ChatResponse(cached, Usage())
                     flight = _Flight()
                     self._flights[prompt] = flight
@@ -126,6 +147,8 @@ class CachingClient:
                 else:
                     leader = False
             if leader:
+                self._m_misses.inc()
+                span.set("outcome", "miss")
                 return self._lead(flight, prompt, label)
             flight.event.wait()
             if flight.error is not None:
@@ -137,6 +160,9 @@ class CachingClient:
             with self._lock:
                 self.cache.count_hit()
                 self.single_flight_waits += 1
+            self._m_hits.inc()
+            self._m_joins.inc()
+            span.set("outcome", "join")
             return ChatResponse(flight.response.text, Usage())
 
     def _lead(self, flight: _Flight, prompt: str, label: str) -> ChatResponse:

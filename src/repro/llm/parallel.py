@@ -34,6 +34,8 @@ from repro.errors import LLMError, RetryBudgetExceededError, TransientLLMError
 from repro.llm.batching import LatencyModel
 from repro.llm.client import ChatClient, ChatResponse
 from repro.llm.usage import Usage
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.trace import NULL_SPAN
 
 
 @dataclass(frozen=True)
@@ -89,10 +91,20 @@ class ParallelDispatcher:
     semantics — which is what makes worker-count sweeps byte-comparable.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(
+        self, workers: int = 1, *, telemetry: Optional[Telemetry] = None
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self._tel.metrics
+        self._m_dispatches = metrics.counter("dispatch.dispatches")
+        self._m_calls = metrics.counter("dispatch.calls")
+        self._m_errors = metrics.counter("dispatch.errors")
+        self._m_dedup = metrics.counter("dispatch.dedup_followers")
+        self._g_queue = metrics.gauge("dispatch.queue_depth")
+        self._g_inflight = metrics.gauge("dispatch.in_flight")
 
     def dispatch(
         self,
@@ -118,17 +130,35 @@ class ParallelDispatcher:
             if prompt not in first_index:
                 first_index[prompt] = len(unique)
                 unique.append((prompt, label_list[index]))
-        if self.workers == 1 or len(unique) <= 1:
-            primary = [self._call(client, p, label) for p, label in unique]
-        else:
-            with ThreadPoolExecutor(
-                max_workers=min(self.workers, len(unique))
-            ) as pool:
-                futures = [
-                    pool.submit(self._call, client, p, label)
-                    for p, label in unique
+        tel = self._tel
+        self._m_dispatches.inc()
+        self._m_dedup.inc(len(prompts) - len(unique))
+        self._g_queue.set(len(unique))
+        with (
+            tel.tracer.span(
+                "dispatch",
+                prompts=len(prompts),
+                unique=len(unique),
+                workers=self.workers,
+            )
+            if tel.enabled
+            else NULL_SPAN
+        ) as dispatch_span:
+            parent = dispatch_span if tel.enabled else None
+            if self.workers == 1 or len(unique) <= 1:
+                primary = [
+                    self._call(client, p, label, parent) for p, label in unique
                 ]
-                primary = [future.result() for future in futures]
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=min(self.workers, len(unique))
+                ) as pool:
+                    futures = [
+                        pool.submit(self._call, client, p, label, parent)
+                        for p, label in unique
+                    ]
+                    primary = [future.result() for future in futures]
+        self._g_queue.set(0)
         outcomes: list[DispatchOutcome] = []
         seen: set[str] = set()
         for prompt in prompts:
@@ -154,12 +184,48 @@ class ParallelDispatcher:
                 raise outcome.error
         return outcomes
 
-    @staticmethod
-    def _call(client: ChatClient, prompt: str, label: str) -> DispatchOutcome:
+    def _call(
+        self,
+        client: ChatClient,
+        prompt: str,
+        label: str,
+        parent=None,
+    ) -> DispatchOutcome:
+        tel = self._tel
+        if not tel.enabled:
+            try:
+                return DispatchOutcome(response=client.complete(prompt, label=label))
+            except LLMError as exc:
+                return DispatchOutcome(error=exc)
+        # enabled path: the call span is parented under the dispatch span
+        # explicitly, because worker threads have their own span stacks
+        self._m_calls.inc()
+        self._g_queue.dec()
+        self._g_inflight.inc()
         try:
-            return DispatchOutcome(response=client.complete(prompt, label=label))
-        except LLMError as exc:
-            return DispatchOutcome(error=exc)
+            with tel.tracer.span("llm:call", parent=parent, label=label) as span:
+                try:
+                    response = client.complete(prompt, label=label)
+                except LLMError as exc:
+                    span.set("error", type(exc).__name__)
+                    self._m_errors.inc()
+                    return DispatchOutcome(error=exc)
+                usage = response.usage
+                span.set("cached", usage.calls == 0)
+                span.set("input_tokens", usage.input_tokens)
+                span.set("output_tokens", usage.output_tokens)
+                if label:
+                    metrics = tel.metrics
+                    metrics.counter("llm.tokens.input", stage=label).inc(
+                        usage.input_tokens
+                    )
+                    metrics.counter("llm.tokens.output", stage=label).inc(
+                        usage.output_tokens
+                    )
+                    metrics.counter("llm.calls", stage=label).inc(usage.calls)
+                return DispatchOutcome(response=response)
+        finally:
+            self._g_inflight.dec()
 
 
 class SimulatedClock:

@@ -45,6 +45,8 @@ from repro.errors import (
 )
 from repro.llm.client import ChatClient, ChatResponse
 from repro.llm.oracle import stable_uniform
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.trace import NULL_SPAN
 
 
 @runtime_checkable
@@ -231,6 +233,9 @@ class CircuitBreaker:
     OPEN = "open"
     HALF_OPEN = "half_open"
 
+    #: numeric encoding for the state gauge (closed < half-open < open)
+    _STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
     def __init__(
         self,
         *,
@@ -239,6 +244,7 @@ class CircuitBreaker:
         half_open_probes: int = 1,
         clock: Optional[Clock] = None,
         report: Optional[ResilienceReport] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(
@@ -261,6 +267,18 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._probes = 0
         self._lock = threading.Lock()
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._m_state = self._tel.metrics.gauge("llm.breaker.state")
+        self._m_trips = self._tel.metrics.counter("llm.breaker.trips")
+
+    def _transition(self, old: str, new: str) -> None:
+        # caller holds the lock; metric locks are leaves, so nesting is safe
+        self._state = new
+        self._m_state.set(self._STATE_VALUES[new])
+        if self._tel.enabled:
+            self._tel.metrics.counter(
+                "llm.breaker.transitions", from_state=old, to_state=new
+            ).inc()
 
     @property
     def state(self) -> str:
@@ -274,7 +292,7 @@ class CircuitBreaker:
             self._state == self.OPEN
             and self.clock.now() - self._opened_at >= self.cooldown
         ):
-            self._state = self.HALF_OPEN
+            self._transition(self.OPEN, self.HALF_OPEN)
             self._probes = 0
 
     def before_call(self) -> None:
@@ -297,7 +315,7 @@ class CircuitBreaker:
         with self._lock:
             self._consecutive_failures = 0
             if self._state == self.HALF_OPEN:
-                self._state = self.CLOSED
+                self._transition(self.HALF_OPEN, self.CLOSED)
                 self._probes = 0
 
     def record_failure(self) -> None:
@@ -314,11 +332,12 @@ class CircuitBreaker:
 
     def _trip(self) -> None:
         # caller holds the lock
-        self._state = self.OPEN
+        self._transition(self._state, self.OPEN)
         self._opened_at = self.clock.now()
         self._consecutive_failures = 0
         self._probes = 0
         self.trips += 1
+        self._m_trips.inc()
         if self.report is not None:
             self.report.record_trip()
 
@@ -344,6 +363,7 @@ class RetryingClient:
         breaker: Optional[CircuitBreaker] = None,
         deadline_seconds: Optional[float] = None,
         report: Optional[ResilienceReport] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.inner = inner
         self.policy = policy if policy is not None else RetryPolicy()
@@ -352,6 +372,16 @@ class RetryingClient:
         self.deadline_seconds = deadline_seconds
         self.report = report if report is not None else ResilienceReport()
         self.model_name = inner.model_name
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self._tel.metrics
+        self._m_attempts = metrics.counter("llm.retry.attempts")
+        self._m_successes = metrics.counter("llm.retry.successes")
+        self._m_retries = metrics.counter("llm.retry.retries")
+        self._m_exhausted = metrics.counter("llm.retry.exhausted")
+        self._m_fatal = metrics.counter("llm.retry.fatal")
+        self._m_short = metrics.counter("llm.retry.short_circuits")
+        self._m_backoff_total = metrics.counter("llm.retry.backoff_seconds_total")
+        self._m_backoff = metrics.histogram("llm.retry.backoff_seconds")
 
     def complete(self, prompt: str, *, label: str = "") -> ChatResponse:
         """Complete with retries; every attempt lands in the report."""
@@ -360,47 +390,77 @@ class RetryingClient:
             if self.deadline_seconds is not None
             else None
         )
+        tel = self._tel
         attempt = 0
         while True:
             attempt += 1
-            if self.breaker is not None:
-                try:
-                    self.breaker.before_call()
-                except CircuitOpenError:
-                    self.report.record_short_circuit()
-                    raise
-            self.report.record_attempt()
-            try:
-                response = self.inner.complete(prompt, label=label)
-            except TransientLLMError as exc:
+            delay: Optional[float] = None
+            with (
+                tel.tracer.span("llm:attempt", attempt=attempt, label=label)
+                if tel.enabled
+                else NULL_SPAN
+            ) as span:
                 if self.breaker is not None:
-                    self.breaker.record_failure()
-                if attempt >= self.policy.max_attempts:
-                    self.report.record_exhausted()
-                    raise RetryBudgetExceededError(
-                        f"gave up after {attempt} attempts: {exc}",
-                        attempts=attempt,
-                    ) from exc
-                delay = self.policy.delay_for(
-                    prompt, attempt, retry_after=exc.retry_after
-                )
-                if deadline is not None and delay > deadline.remaining():
-                    self.report.record_exhausted()
-                    raise RetryBudgetExceededError(
-                        f"deadline of {deadline.seconds:g}s would be overrun "
-                        f"by a {delay:.3f}s backoff after {attempt} attempts: "
-                        f"{exc}",
-                        attempts=attempt,
-                    ) from exc
-                self.report.record_retry()
+                    try:
+                        self.breaker.before_call()
+                    except CircuitOpenError:
+                        self.report.record_short_circuit()
+                        self._m_short.inc()
+                        span.set("outcome", "short_circuit")
+                        raise
+                self.report.record_attempt()
+                self._m_attempts.inc()
+                try:
+                    response = self.inner.complete(prompt, label=label)
+                except TransientLLMError as exc:
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                    if attempt >= self.policy.max_attempts:
+                        self.report.record_exhausted()
+                        self._m_exhausted.inc()
+                        span.set("outcome", "exhausted")
+                        raise RetryBudgetExceededError(
+                            f"gave up after {attempt} attempts: {exc}",
+                            attempts=attempt,
+                        ) from exc
+                    delay = self.policy.delay_for(
+                        prompt, attempt, retry_after=exc.retry_after
+                    )
+                    if deadline is not None and delay > deadline.remaining():
+                        self.report.record_exhausted()
+                        self._m_exhausted.inc()
+                        span.set("outcome", "exhausted")
+                        raise RetryBudgetExceededError(
+                            f"deadline of {deadline.seconds:g}s would be overrun "
+                            f"by a {delay:.3f}s backoff after {attempt} attempts: "
+                            f"{exc}",
+                            attempts=attempt,
+                        ) from exc
+                    self.report.record_retry()
+                    self._m_retries.inc()
+                    self._m_backoff_total.inc(delay)
+                    self._m_backoff.observe(delay)
+                    span.set("outcome", "retry")
+                    span.set("backoff_s", delay)
+                except LLMError:
+                    # not retryable (bad request, scripting miss, ...): the
+                    # attempt still lands in the ledger, then propagates
+                    self.report.record_fatal()
+                    self._m_fatal.inc()
+                    span.set("outcome", "fatal")
+                    raise
+                else:
+                    if self.breaker is not None:
+                        self.breaker.record_success()
+                    self.report.record_success()
+                    self._m_successes.inc()
+                    span.set("outcome", "success")
+                    return response
+            # only the retry path reaches here: wait out the backoff in
+            # its own span so the time is attributed, then re-attempt
+            assert delay is not None
+            if tel.enabled:
+                with tel.tracer.span("llm:backoff", delay_s=delay):
+                    self.clock.sleep(delay)
+            else:
                 self.clock.sleep(delay)
-                continue
-            except LLMError:
-                # not retryable (bad request, scripting miss, ...): the
-                # attempt still lands in the ledger, then propagates
-                self.report.record_fatal()
-                raise
-            if self.breaker is not None:
-                self.breaker.record_success()
-            self.report.record_success()
-            return response

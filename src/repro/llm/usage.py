@@ -69,15 +69,31 @@ class UsageMeter:
                 self.by_label[label] = self.by_label.get(label, Usage()) + usage
         return usage
 
+    def snapshot(self) -> tuple[Usage, dict[str, Usage]]:
+        """A consistent (total, by_label) copy taken under the lock.
+
+        Because :meth:`record` updates ``total`` and ``by_label`` inside
+        one critical section, a snapshot is internally consistent even
+        while other threads are still recording: the labelled sub-totals
+        always sum to ``total`` (when every record carries a label).
+        """
+        with self._lock:
+            return self.total, dict(self.by_label)
+
     def merge(self, other: "UsageMeter") -> None:
         """Fold another meter's counts into this one.
 
-        ``other`` is read without its lock — merge once its producers
-        are done, not while they are still recording.
+        Reads ``other`` through its locked :meth:`snapshot`, so merging
+        is safe even while ``other``'s producers are still recording —
+        the merged counts are whatever the snapshot instant saw.  The
+        two locks are never held together (snapshot completes before
+        this meter's lock is taken), so meters cannot deadlock however
+        they are merged.
         """
+        total, by_label = other.snapshot()
         with self._lock:
-            self.total = self.total + other.total
-            for label, usage in other.by_label.items():
+            self.total = self.total + total
+            for label, usage in by_label.items():
                 self.by_label[label] = self.by_label.get(label, Usage()) + usage
 
     def reset(self) -> None:

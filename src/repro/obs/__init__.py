@@ -1,0 +1,97 @@
+"""Zero-dependency tracing + metrics for the hybrid-query pipelines.
+
+The accounting story the paper tells — accuracy per token, per call,
+per retry — needs per-stage visibility, not just end-of-run aggregates.
+This package provides it without perturbing a single result byte:
+
+- :mod:`repro.obs.trace` — hierarchical :class:`~repro.obs.trace.Span`
+  trees from a :class:`~repro.obs.trace.Tracer`, timestamped by an
+  injectable clock so traces are exactly reproducible under
+  :class:`~repro.llm.parallel.SimulatedClock`.
+- :mod:`repro.obs.metrics` — a thread-safe
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+  fixed-bucket histograms.
+- :mod:`repro.obs.export` — JSONL span logs, Chrome ``trace_event``
+  JSON, Prometheus text, and per-stage console summaries.
+
+Components receive a :class:`Telemetry` handle bundling one tracer and
+one registry.  The default, :data:`NULL_TELEMETRY`, is fully disabled:
+``telemetry.enabled`` is ``False``, spans are a shared no-op, and
+instruments are shared no-ops — the hot path pays one attribute check,
+no locks, no allocations.  Instrumented code follows two rules:
+
+1. bind instruments once at construction time
+   (``self._hits = telemetry.metrics.counter("llm.cache.hits")``);
+2. guard span creation with ``telemetry.enabled`` so attribute dicts
+   are never built when tracing is off::
+
+       with (tel.tracer.span("stage", qid=qid) if tel.enabled
+             else NULL_SPAN) as span:
+           ...
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.trace import NULL_SPAN, NullTracer, Span, Tracer
+
+_NULL_METRICS = NullMetrics()
+_NULL_TRACER = NullTracer()
+
+
+class Telemetry:
+    """One tracer + one metrics registry, handed through the stack.
+
+    ``enabled`` is precomputed so hot paths pay a single attribute
+    read.  ``Telemetry()`` with no arguments is fully disabled (and
+    :data:`NULL_TELEMETRY` is a shared instance of exactly that);
+    :meth:`on` builds an enabled handle over an optional clock.
+    """
+
+    __slots__ = ("tracer", "metrics", "enabled")
+
+    def __init__(self, tracer=None, metrics=None) -> None:
+        self.tracer = tracer if tracer is not None else _NULL_TRACER
+        self.metrics = metrics if metrics is not None else _NULL_METRICS
+        self.enabled = bool(
+            getattr(self.tracer, "enabled", True)
+            or getattr(self.metrics, "enabled", True)
+        )
+
+    @classmethod
+    def on(cls, clock=None) -> "Telemetry":
+        """An enabled handle: fresh tracer (over ``clock``) + registry."""
+        return cls(Tracer(clock), MetricsRegistry())
+
+
+#: The shared disabled handle every component defaults to.
+NULL_TELEMETRY = Telemetry()
+
+
+def resolve(telemetry: Optional[Telemetry]) -> Telemetry:
+    """``telemetry`` or the shared null handle (never None)."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "resolve",
+]

@@ -1,0 +1,346 @@
+"""Thread-safe counters, gauges, and fixed-bucket histograms.
+
+The metrics half of :mod:`repro.obs`: a :class:`MetricsRegistry` hands
+out named instruments (optionally labelled) and can render everything it
+holds as a flat snapshot dict or a Prometheus-style text dump.  All
+instruments are safe for concurrent use — every mutation happens under
+the instrument's own lock, and instrument locks are leaves (no code
+path acquires another lock while holding one), so they can be bumped
+from inside other components' critical sections without deadlock risk.
+
+Disabled mode is :class:`NullMetrics`: its ``counter``/``gauge``/
+``histogram`` return shared no-op singletons, so components can bind
+instruments once at construction time and call ``.inc()`` on the hot
+path without allocating or locking anything when observability is off.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds, in seconds — tuned for LLM
+#: call latencies (milliseconds to a minute); +Inf is implicit.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (int or float increments)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value: Number = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down, with a high-water mark.
+
+    The high-water mark (:attr:`max_value`) is what makes gauges useful
+    for things like dispatcher in-flight occupancy: the instantaneous
+    value is usually back to zero by the time anyone looks.
+    """
+
+    __slots__ = ("name", "labels", "_value", "_max", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value: Number = 0
+        self._max: Number = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+            if value > self._max:
+                self._max = value
+
+    def inc(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value += amount
+            if self._value > self._max:
+                self._max = self._value
+
+    def dec(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+    @property
+    def max_value(self) -> Number:
+        with self._lock:
+            return self._max
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative counts, Prometheus-style)."""
+
+    __slots__ = ("name", "labels", "bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted, got {bounds}")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self._counts = [0] * (len(self.bounds) + 1)  # last bucket is +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: Number) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> dict:
+        """Bucket counts keyed by upper bound, plus sum and count."""
+        with self._lock:
+            buckets: dict[str, int] = {}
+            cumulative = 0
+            for bound, count in zip(self.bounds, self._counts):
+                cumulative += count
+                buckets[f"{bound:g}"] = cumulative
+            buckets["+Inf"] = cumulative + self._counts[-1]
+            return {"count": self._count, "sum": self._sum, "buckets": buckets}
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind."""
+
+    __slots__ = ()
+
+    name = ""
+    labels: LabelKey = ()
+    value: Number = 0
+    max_value: Number = 0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def dec(self, amount: Number = 1) -> None:
+        pass
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def observe(self, value: Number) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"count": 0, "sum": 0.0, "buckets": {}}
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: every instrument is the shared no-op."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def counter(self, name: str, **labels: object) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: object) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None, **labels: object
+    ) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def render_prometheus(self) -> str:
+        return ""
+
+    def value(self, name: str, **labels: object) -> Number:
+        return 0
+
+
+def _render_name(name: str) -> str:
+    """``llm.cache.hits`` → ``llm_cache_hits`` (Prometheus identifier)."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _render_labels(labels: LabelKey) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_render_name(k)}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments; thread-safe.
+
+    The same ``(name, labels)`` always returns the same instrument; a
+    name registered as one kind cannot be re-registered as another.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, LabelKey], object] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _get(self, kind: str, name: str, labels: LabelKey, factory):
+        with self._lock:
+            registered = self._kinds.get(name)
+            if registered is None:
+                self._kinds[name] = kind
+            elif registered != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {registered}, not a {kind}"
+                )
+            key = (name, labels)
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = _label_key(labels)
+        return self._get("counter", name, key, lambda: Counter(name, key))
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = _label_key(labels)
+        return self._get("gauge", name, key, lambda: Gauge(name, key))
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        key = _label_key(labels)
+        chosen = bounds if bounds is not None else DEFAULT_BUCKETS
+        return self._get(
+            "histogram", name, key, lambda: Histogram(name, key, chosen)
+        )
+
+    def value(self, name: str, **labels: object) -> Number:
+        """The current value of a counter/gauge, or 0 when absent."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+        if instrument is None:
+            return 0
+        return instrument.value  # type: ignore[union-attr]
+
+    def _sorted_items(self) -> list[tuple[tuple[str, LabelKey], object]]:
+        with self._lock:
+            return sorted(self._instruments.items(), key=lambda kv: kv[0])
+
+    def snapshot(self) -> dict[str, object]:
+        """A flat, deterministic name → value mapping.
+
+        Counters and gauges flatten to numbers (gauges also emit a
+        ``<name>.max`` high-water entry); histograms flatten to their
+        bucket dict.  Labelled instruments render as ``name{k=v}``.
+        """
+        out: dict[str, object] = {}
+        for (name, labels), instrument in self._sorted_items():
+            suffix = _render_labels(labels)
+            if isinstance(instrument, Counter):
+                out[name + suffix] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out[name + suffix] = instrument.value
+                out[name + ".max" + suffix] = instrument.max_value
+            else:
+                assert isinstance(instrument, Histogram)
+                out[name + suffix] = instrument.snapshot()
+        return out
+
+    def render_prometheus(self) -> str:
+        """The registry as Prometheus text exposition format."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for (name, labels), instrument in self._sorted_items():
+            metric = _render_name(name)
+            suffix = _render_labels(labels)
+            if isinstance(instrument, Counter):
+                if metric not in seen_types:
+                    lines.append(f"# TYPE {metric} counter")
+                    seen_types.add(metric)
+                lines.append(f"{metric}{suffix} {instrument.value}")
+            elif isinstance(instrument, Gauge):
+                if metric not in seen_types:
+                    lines.append(f"# TYPE {metric} gauge")
+                    lines.append(f"# TYPE {metric}_max gauge")
+                    seen_types.add(metric)
+                lines.append(f"{metric}{suffix} {instrument.value}")
+                lines.append(f"{metric}_max{suffix} {instrument.max_value}")
+            else:
+                assert isinstance(instrument, Histogram)
+                if metric not in seen_types:
+                    lines.append(f"# TYPE {metric} histogram")
+                    seen_types.add(metric)
+                snap = instrument.snapshot()
+                for bound, cumulative in snap["buckets"].items():
+                    label_items = list(labels) + [("le", bound)]
+                    rendered = _render_labels(tuple(label_items))
+                    lines.append(f"{metric}_bucket{rendered} {cumulative}")
+                lines.append(f"{metric}_sum{suffix} {snap['sum']}")
+                lines.append(f"{metric}_count{suffix} {snap['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -50,6 +50,8 @@ from repro.llm.client import ChatClient
 from repro.llm.declarative import PromptSpec
 from repro.llm.parallel import ParallelDispatcher
 from repro.llm.resilience import ResilienceReport
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.trace import NULL_SPAN
 from repro.sqlparser import ast, parse, render
 from repro.sqlparser.render import quote_identifier
 from repro.sqlparser.rewrite import replace_ingredients, walk
@@ -114,6 +116,7 @@ class HybridQueryExecutor:
         views: Optional[MaterializedViewStore] = None,
         workers: int = 1,
         resilience: Optional[ResilienceReport] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -123,9 +126,14 @@ class HybridQueryExecutor:
         self.pushdown = pushdown
         self.shots = shots
         self.workers = workers
-        self.dispatcher = ParallelDispatcher(workers)
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.dispatcher = ParallelDispatcher(workers, telemetry=self._tel)
         self.cache = cache if cache is not None else PromptCache()
-        self.client = CachingClient(client, self.cache)
+        self.client = CachingClient(client, self.cache, telemetry=self._tel)
+        self._m_degraded_batches = self._tel.metrics.counter(
+            "pipeline.degraded_batches"
+        )
+        self._m_degraded_keys = self._tel.metrics.counter("pipeline.degraded_keys")
         if selector is None and shots > 0:
             selector = FewShotSelector(DemonstrationPool(world))
         self.selector = selector
@@ -143,16 +151,33 @@ class HybridQueryExecutor:
 
     def execute_with_report(self, hybrid_sql: str) -> tuple[ResultSet, ExecutionReport]:
         """Execute and also return pushdown/call diagnostics."""
+        tel = self._tel
+        if not tel.enabled:
+            return self._execute_with_report(hybrid_sql)
+        with tel.tracer.span("udf:query") as span:
+            result, report = self._execute_with_report(hybrid_sql)
+            span.set("llm_calls", report.llm_calls)
+            span.set("keys_generated", report.keys_generated)
+            return result, report
+
+    def _execute_with_report(
+        self, hybrid_sql: str
+    ) -> tuple[ResultSet, ExecutionReport]:
+        tel = self._tel
         report = ExecutionReport()
-        statement = parse(hybrid_sql)
+        with (tel.tracer.span("sql:parse") if tel.enabled else NULL_SPAN):
+            statement = parse(hybrid_sql)
         replacements = self._plan_ingredients(statement, report)
-        if replacements:
-            statement = replace_ingredients(
-                statement, lambda node: replacements[id(node)]
-            )
-        final_sql = render(statement)
+        with (tel.tracer.span("sql:rewrite") if tel.enabled else NULL_SPAN):
+            if replacements:
+                statement = replace_ingredients(
+                    statement, lambda node: replacements[id(node)]
+                )
+            final_sql = render(statement)
         report.rewritten_sql = final_sql
-        return self.db.query(final_sql), report
+        with (tel.tracer.span("sql:execute") if tel.enabled else NULL_SPAN):
+            result = self.db.query(final_sql)
+        return result, report
 
     # -- planning ----------------------------------------------------------------
 
@@ -172,16 +197,24 @@ class HybridQueryExecutor:
                 raise IngredientError(
                     f"{call.kind} cannot be used as a FROM source"
                 )
-            if call.kind == "LLMQA":
-                replacement: ast.Node = self._run_qa(call)
-            elif call.kind == "LLMMap":
-                replacement = self._run_map(call, owner, report)
-            else:  # LLMJoin
-                if not as_source:
-                    raise IngredientError(
-                        "LLMJoin is only valid as a FROM source"
-                    )
-                replacement = self._run_join(call, source_alias, report)
+            tel = self._tel
+            with (
+                tel.tracer.span(
+                    "udf:ingredient", kind=call.kind, question=call.question
+                )
+                if tel.enabled
+                else NULL_SPAN
+            ):
+                if call.kind == "LLMQA":
+                    replacement: ast.Node = self._run_qa(call)
+                elif call.kind == "LLMMap":
+                    replacement = self._run_map(call, owner, report)
+                else:  # LLMJoin
+                    if not as_source:
+                        raise IngredientError(
+                            "LLMJoin is only valid as a FROM source"
+                        )
+                    replacement = self._run_join(call, source_alias, report)
             shared[signature] = replacement
             replacements[id(node)] = replacement
         return replacements
@@ -189,8 +222,27 @@ class HybridQueryExecutor:
     # -- LLMQA -------------------------------------------------------------------
 
     def _run_qa(self, call: IngredientCall) -> ast.Expr:
+        tel = self._tel
         prompt = self._qa_prompt(call.question)
-        response = self.client.complete(prompt, label="udf:qa")
+        with (
+            tel.tracer.span("llm:call", label="udf:qa")
+            if tel.enabled
+            else NULL_SPAN
+        ) as span:
+            response = self.client.complete(prompt, label="udf:qa")
+            if tel.enabled:
+                usage = response.usage
+                span.set("cached", usage.calls == 0)
+                span.set("input_tokens", usage.input_tokens)
+                span.set("output_tokens", usage.output_tokens)
+                metrics = tel.metrics
+                metrics.counter("llm.tokens.input", stage="udf:qa").inc(
+                    usage.input_tokens
+                )
+                metrics.counter("llm.tokens.output", stage="udf:qa").inc(
+                    usage.output_tokens
+                )
+                metrics.counter("llm.calls", stage="udf:qa").inc(usage.calls)
         answer = response.text.strip().splitlines()
         value = answer[-1].strip() if answer else ""
         return ast.Literal.string(value)
@@ -219,13 +271,23 @@ class HybridQueryExecutor:
         view_table = (
             self.views.table_for(call.signature()) if self.views is not None else None
         )
+        tel = self._tel
         if view_table is not None:
             temp_name = view_table  # read the materialized view, no LLM calls
         else:
-            keys = self._fetch_keys(call, owner, alias, report)
+            with (
+                tel.tracer.span("udf:fetch_keys", pushdown=self.pushdown)
+                if tel.enabled
+                else NULL_SPAN
+            ) as span:
+                keys = self._fetch_keys(call, owner, alias, report)
+                span.set("keys", len(keys))
             mapping = self._generate_mapping(call, keys, report)
-            temp_name = self._materialize_mapping(call, mapping)
-            self._maybe_materialize_view(call, mapping)
+            with (
+                tel.tracer.span("udf:materialize") if tel.enabled else NULL_SPAN
+            ):
+                temp_name = self._materialize_mapping(call, mapping)
+                self._maybe_materialize_view(call, mapping)
         # (SELECT v FROM temp WHERE k0 = alias.col0 AND k1 = alias.col1)
         where: Optional[ast.Expr] = None
         for index, column in enumerate(call.key_columns):
@@ -309,6 +371,8 @@ class HybridQueryExecutor:
                 answers: list[Optional[str]] = [None] * len(batch)
                 report.degraded_batches += 1
                 report.degraded_keys += len(batch)
+                self._m_degraded_batches.inc()
+                self._m_degraded_keys.inc(len(batch))
                 if self.resilience is not None:
                     self.resilience.record_degraded(len(batch))
             else:

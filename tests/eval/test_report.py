@@ -1,6 +1,11 @@
 """Tests for table formatting."""
 
-from repro.eval.report import format_records, format_table, percent
+from repro.eval.report import (
+    format_records,
+    format_resilience,
+    format_table,
+    percent,
+)
 
 
 class TestFormatTable:
@@ -26,7 +31,57 @@ class TestFormatTable:
     def test_empty_records(self):
         assert format_records([]) == "(no rows)"
 
+    def test_empty_records_with_title(self):
+        assert format_records([], title="Empty table") == "Empty table"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 2  # header + rule, no data rows
+
+    def test_non_string_cells(self):
+        text = format_table(
+            ["v"], [[None], [True], [0], [b"bytes"], [(1, 2)]]
+        )
+        assert "None" in text
+        assert "True" in text
+        assert "(1, 2)" in text
+
+    def test_records_with_missing_keys_render_blank(self):
+        text = format_records([{"x": 1, "y": 2}, {"x": 3}])
+        assert "3" in text  # the short record still renders
+
 
 def test_percent():
     assert percent(0.4) == "40.0%"
     assert percent(0.3167) == "31.7%"
+    assert percent(0.0) == "0.0%"
+    assert percent(1.0) == "100.0%"
+
+
+class TestFormatResilience:
+    def test_zero_counters_are_accounted(self):
+        text = format_resilience({})
+        assert "Attempts" in text
+        assert text.endswith("accounted")
+        assert "NOT ACCOUNTED" not in text
+
+    def test_accounted_ledger(self):
+        text = format_resilience(
+            {"attempts": 5, "successes": 3, "retries": 1, "exhausted": 1}
+        )
+        assert "NOT ACCOUNTED" not in text
+
+    def test_unaccounted_ledger_flagged(self):
+        text = format_resilience({"attempts": 5, "successes": 1})
+        assert "NOT ACCOUNTED" in text
+
+    def test_title_and_all_columns(self):
+        text = format_resilience(
+            {"attempts": 1, "successes": 1, "degraded_rows": 7},
+            title="Chaos ledger",
+        )
+        assert text.splitlines()[0] == "Chaos ledger"
+        assert "Degraded rows" in text
+        assert "7" in text

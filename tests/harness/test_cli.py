@@ -23,4 +23,61 @@ class TestCLI:
 
     def test_unknown_target(self, capsys):
         assert main(["table9"]) == 2
-        assert "unknown targets" in capsys.readouterr().out
+        err = capsys.readouterr().err
+        assert "unknown targets" in err
+        assert "usage:" in err
+
+
+class TestCLIHardening:
+    def test_unknown_target_exits_nonzero_with_usage(self, capsys):
+        assert main(["nonsense"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "unknown targets: nonsense" in captured.err
+        assert "usage:" in captured.err
+
+    def test_unknown_flag_exits_nonzero(self, capsys):
+        assert main(["--frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown flag: --frobnicate" in err
+        assert "usage:" in err
+
+    def test_bad_workers_value(self, capsys):
+        assert main(["trace", "--workers=banana"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers requires an integer" in err
+
+    def test_nonpositive_workers(self, capsys):
+        assert main(["trace", "--workers=0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_databases_flag_requires_value(self, capsys):
+        assert main(["trace", "--databases="]) == 2
+        assert "--databases requires" in capsys.readouterr().err
+
+    def test_help_exits_zero_with_usage(self, capsys):
+        assert main(["--help"]) == 0
+        captured = capsys.readouterr()
+        assert "usage:" in captured.out
+        assert captured.err == ""
+
+    def test_mixed_unknown_targets_listed(self, capsys):
+        assert main(["table1", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+
+class TestTraceTarget:
+    def test_trace_writes_artifacts(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "--databases=superhero"]) == 0
+        out = capsys.readouterr().out
+        assert "UDF per-stage breakdown" in out
+        assert "HQDL per-stage breakdown" in out
+        assert (tmp_path / "BENCH_trace.json").exists()
+        assert (tmp_path / "BENCH_trace_chrome.json").exists()
+
+    def test_trace_excluded_from_all(self):
+        from repro.harness.__main__ import _EXCLUDED_FROM_ALL, _GENERATORS
+
+        assert "trace" in _GENERATORS
+        assert "trace" in _EXCLUDED_FROM_ALL

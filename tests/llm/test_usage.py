@@ -1,5 +1,7 @@
 """Tests for token metering and pricing."""
 
+import threading
+
 from repro.llm.usage import PRICING_PER_MILLION, Usage, UsageMeter
 
 
@@ -45,3 +47,76 @@ class TestUsageMeter:
         meter.reset()
         assert meter.total == Usage()
         assert meter.by_label == {}
+
+    def test_snapshot_is_consistent_copy(self):
+        meter = UsageMeter()
+        meter.record(1, 2, label="a")
+        total, by_label = meter.snapshot()
+        assert total == Usage(1, 2, 1)
+        # the snapshot is a copy: later records don't leak into it
+        meter.record(10, 20, label="b")
+        assert total == Usage(1, 2, 1)
+        assert "b" not in by_label
+
+    def test_merge_while_other_is_recording(self):
+        """Merging must read `other` under its lock.
+
+        The pre-fix merge iterated ``other.by_label`` unlocked, so a
+        concurrent record with a *fresh* label could grow the dict
+        mid-iteration (RuntimeError) or tear total/by_label.  Recording
+        under many distinct labels while merging repeatedly makes the
+        unlocked iteration fail reliably.
+        """
+        source = UsageMeter()
+        sink = UsageMeter()
+        errors = []
+
+        def produce(worker: int):
+            for i in range(2000):
+                source.record(1, 1, label=f"label-{worker}-{i}")
+
+        def consume():
+            try:
+                while any(t.is_alive() for t in producers):
+                    sink.merge(source)
+            except RuntimeError as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        producers = [
+            threading.Thread(target=produce, args=(w,)) for w in range(4)
+        ]
+        consumer = threading.Thread(target=consume)
+        for t in producers:
+            t.start()
+        consumer.start()
+        for t in producers:
+            t.join()
+        consumer.join()
+        assert errors == []
+        # one final merge into a fresh meter sees every record exactly once
+        final = UsageMeter()
+        final.merge(source)
+        assert final.total == Usage(8000, 8000, 8000)
+
+    def test_merged_snapshot_internally_consistent(self):
+        """Labelled sub-totals of a merge always sum to the merged total."""
+        source = UsageMeter()
+        sink = UsageMeter()
+        done = threading.Event()
+
+        def produce():
+            for i in range(2000):
+                source.record(1, 1, label=f"label-{i % 7}")
+            done.set()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        while not done.is_set():
+            sink = UsageMeter()
+            sink.merge(source)
+            total, by_label = sink.snapshot()
+            summed = Usage()
+            for usage in by_label.values():
+                summed = summed + usage
+            assert summed == total
+        producer.join()

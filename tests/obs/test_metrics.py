@@ -1,0 +1,201 @@
+"""Tests for counters, gauges, histograms, and the registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    NullMetrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_inc(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+    def test_concurrent_increments(self):
+        c = Counter("c")
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_and_inc_dec(self):
+        g = Gauge("g")
+        g.set(3)
+        g.inc(2)
+        g.dec()
+        assert g.value == 4
+
+    def test_high_water_mark(self):
+        g = Gauge("g")
+        g.set(7)
+        g.set(2)
+        g.inc()
+        assert g.value == 3
+        assert g.max_value == 7
+
+    def test_max_tracks_inc(self):
+        g = Gauge("g")
+        g.inc(5)
+        g.dec(5)
+        assert g.max_value == 5
+
+
+class TestHistogram:
+    def test_observe_and_totals(self):
+        h = Histogram("h")
+        h.observe(0.003)
+        h.observe(2.0)
+        assert h.count == 2
+        assert h.sum == pytest.approx(2.003)
+
+    def test_snapshot_is_cumulative(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(100.0)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"1": 1, "10": 2, "+Inf": 3}
+        assert snap["count"] == 3
+
+    def test_boundary_lands_in_its_bucket(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.snapshot()["buckets"]["1"] == 1
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_default_buckets_cover_llm_latencies(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 60.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("g") is reg.gauge("g")
+
+    def test_labels_separate_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.counter("calls", stage="map")
+        b = reg.counter("calls", stage="qa")
+        a.inc(2)
+        assert b.value == 0
+        assert reg.value("calls", stage="map") == 2
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c", a=1, b=2) is reg.counter("c", b=2, a=1)
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            reg.gauge("x")
+
+    def test_value_of_missing_metric_is_zero(self):
+        assert MetricsRegistry().value("nope") == 0
+
+    def test_snapshot_flattens_and_sorts(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc(2)
+        reg.gauge("a.depth").set(3)
+        snap = reg.snapshot()
+        assert snap["b.count"] == 2
+        assert snap["a.depth"] == 3
+        assert snap["a.depth.max"] == 3
+        assert list(snap) == ["a.depth", "a.depth.max", "b.count"]
+
+    def test_snapshot_includes_labelled(self):
+        reg = MetricsRegistry()
+        reg.counter("calls", stage="map").inc()
+        assert reg.snapshot()['calls{stage="map"}'] == 1
+
+    def test_render_prometheus(self):
+        reg = MetricsRegistry()
+        reg.counter("llm.cache.hits").inc(3)
+        reg.gauge("dispatch.in_flight").set(2)
+        reg.histogram("llm.retry.backoff_seconds", bounds=(1.0,)).observe(0.5)
+        text = reg.render_prometheus()
+        assert "# TYPE llm_cache_hits counter" in text
+        assert "llm_cache_hits 3" in text
+        assert "dispatch_in_flight_max 2" in text
+        assert 'llm_retry_backoff_seconds_bucket{le="1"} 1' in text
+        assert 'llm_retry_backoff_seconds_bucket{le="+Inf"} 1' in text
+        assert "llm_retry_backoff_seconds_count 1" in text
+
+    def test_prometheus_labelled_counter(self):
+        reg = MetricsRegistry()
+        reg.counter("llm.calls", stage="udf:qa").inc(4)
+        assert 'llm_calls{stage="udf:qa"} 4' in reg.render_prometheus()
+
+    def test_concurrent_get_or_create(self):
+        reg = MetricsRegistry()
+        instruments = []
+
+        def grab():
+            for i in range(100):
+                c = reg.counter("shared")
+                c.inc()
+                instruments.append(c)
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(inst is instruments[0] for inst in instruments)
+        assert reg.value("shared") == 400
+
+
+class TestNullMetrics:
+    def test_disabled_flag(self):
+        assert NullMetrics().enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_everything_is_the_shared_noop(self):
+        null = NullMetrics()
+        assert null.counter("a") is NULL_INSTRUMENT
+        assert null.gauge("b") is NULL_INSTRUMENT
+        assert null.histogram("c") is NULL_INSTRUMENT
+
+    def test_noop_operations_are_safe(self):
+        null = NullMetrics()
+        inst = null.counter("a")
+        inst.inc()
+        inst.dec()
+        inst.set(5)
+        inst.observe(1.0)
+        assert inst.value == 0
+        assert null.snapshot() == {}
+        assert null.render_prometheus() == ""
+        assert null.value("a") == 0

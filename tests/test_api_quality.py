@@ -60,10 +60,10 @@ class TestImportHygiene:
 
     def test_no_runtime_third_party_dependencies(self):
         """The library itself must run on the stdlib alone."""
-        stdlib_ok = {"__future__", "concurrent", "csv", "dataclasses", "enum",
-                     "functools", "hashlib", "heapq", "io", "json", "math",
-                     "pathlib", "re", "sqlite3", "sys", "threading", "time",
-                     "typing", "collections"}
+        stdlib_ok = {"__future__", "bisect", "concurrent", "csv",
+                     "dataclasses", "enum", "functools", "hashlib", "heapq",
+                     "io", "json", "math", "pathlib", "re", "sqlite3", "sys",
+                     "threading", "time", "typing", "collections"}
         violations = []
         for path in SRC.rglob("*.py"):
             tree = ast.parse(path.read_text())
