@@ -26,7 +26,9 @@ from repro.core.extraction import extract_row
 from repro.core.materialize import materialize_expansion
 from repro.core.prompts import RowPromptBuilder
 from repro.errors import ExtractionError, ReproError
+from repro.llm.batching import LatencyModel
 from repro.llm.client import ChatClient
+from repro.llm.tokenizer import count_tokens
 from repro.llm.parallel import DispatchOutcome, ParallelDispatcher
 from repro.llm.resilience import ResilienceReport
 from repro.obs import NULL_TELEMETRY, Telemetry
@@ -87,14 +89,24 @@ class HQDL:
         shots: int = 0,
         context_rows: int = 0,
         workers: int = 1,
+        call_order: str = "collection",
         resilience: Optional[ResilienceReport] = None,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
+        if call_order not in ("collection", "lpt"):
+            raise ReproError(
+                f"call_order must be 'collection' or 'lpt', got {call_order!r}"
+            )
         self.world = world
         self.client = client
         self.shots = shots
         self.context_rows = context_rows
         self.workers = workers
+        #: 'collection' dispatches row calls in table/key order; 'lpt'
+        #: dispatches longest-prompt-first so a parallel pool doesn't end
+        #: on one big straggler.  Results are identical either way —
+        #: outcomes are re-assembled in key order.
+        self.call_order = call_order
         self.resilience = resilience
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._dispatcher = ParallelDispatcher(workers, telemetry=self._tel)
@@ -126,6 +138,51 @@ class HQDL:
         keys = list(self.world.keys_for(expansion_name))
         prompts = [builder.build(key) for key in keys]
         return builder, keys, prompts
+
+    def plan_calls(self) -> list[tuple[str, str]]:
+        """Every (prompt, label) generation would dispatch, without calling.
+
+        HQDL already generates once per database, so there is nothing to
+        dedup — planning here feeds benchmarking (call counts, virtual
+        makespans) and cache pre-warming.
+        """
+        calls: list[tuple[str, str]] = []
+        for expansion in self.world.expansions:
+            _, _, prompts = self._prepare_table(expansion.name)
+            calls.extend((p, f"hqdl:{expansion.name}") for p in prompts)
+        return calls
+
+    def _dispatch_ordered(
+        self, prompts: list[str], labels
+    ) -> list[DispatchOutcome]:
+        """Dispatch, longest-prompt-first when ``call_order='lpt'``.
+
+        Outcomes always come back aligned to the *input* prompt order,
+        so assembly is unaffected by the dispatch permutation.
+        """
+        if self.call_order != "lpt" or len(prompts) <= 1:
+            return self._dispatcher.dispatch(
+                self.client, prompts, labels=labels, capture_errors="transient"
+            )
+        model = LatencyModel()
+        estimates = [
+            model.base_seconds + model.per_input_token * count_tokens(p)
+            for p in prompts
+        ]
+        order = sorted(range(len(prompts)), key=lambda i: (-estimates[i], i))
+        permuted_labels = (
+            labels if isinstance(labels, str) else [labels[i] for i in order]
+        )
+        permuted = self._dispatcher.dispatch(
+            self.client,
+            [prompts[i] for i in order],
+            labels=permuted_labels,
+            capture_errors="transient",
+        )
+        outcomes: list[Optional[DispatchOutcome]] = [None] * len(prompts)
+        for position, index in enumerate(order):
+            outcomes[index] = permuted[position]
+        return outcomes
 
     def _assemble_table(
         self,
@@ -179,11 +236,8 @@ class HQDL:
         ):
             with (tel.tracer.span("hqdl:prepare") if tel.enabled else NULL_SPAN):
                 builder, keys, prompts = self._prepare_table(expansion_name)
-            outcomes = self._dispatcher.dispatch(
-                self.client,
-                prompts,
-                labels=f"hqdl:{expansion_name}",
-                capture_errors="transient",
+            outcomes = self._dispatch_ordered(
+                prompts, f"hqdl:{expansion_name}"
             )
             with (tel.tracer.span("hqdl:assemble") if tel.enabled else NULL_SPAN):
                 return self._assemble_table(
@@ -218,9 +272,7 @@ class HQDL:
                     for name, _, _, table_prompts in prepared
                     for _ in table_prompts
                 ]
-            outcomes = self._dispatcher.dispatch(
-                self.client, prompts, labels=labels, capture_errors="transient"
-            )
+            outcomes = self._dispatch_ordered(prompts, labels)
             with (tel.tracer.span("hqdl:assemble") if tel.enabled else NULL_SPAN):
                 offset = 0
                 for name, builder, keys, table_prompts in prepared:

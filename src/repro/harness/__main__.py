@@ -6,6 +6,7 @@ Usage::
     python -m repro.harness table2 table4
     python -m repro.harness all
     python -m repro.harness trace --databases=superhero --workers=4
+    python -m repro.harness bench-cache --databases=superhero --batch-size=5
 """
 
 from __future__ import annotations
@@ -179,6 +180,19 @@ def _trace_report(databases=None, workers: int = 1) -> tuple[list[dict], str]:
     return [payload], format_trace_report(payload, paths)
 
 
+def _bench_cache_report(
+    databases=None, workers: int = 4, batch_size: int = 5, cache_dir=None
+) -> tuple[list[dict], str]:
+    """Call-planner/persistent-cache bench (written to BENCH_cache.json)."""
+    from repro.harness.benchcache import format_cache_report, write_cache_json
+
+    path, payload = write_cache_json(
+        databases=databases, workers=workers,
+        batch_size=batch_size, cache_dir=cache_dir,
+    )
+    return [payload], format_cache_report(payload, path)
+
+
 _GENERATORS = {
     "table1": tables.table1,
     "table2": tables.table2,
@@ -194,22 +208,27 @@ _GENERATORS = {
     "bench-json": _bench_json_report,
     "chaos": _chaos_report,
     "trace": _trace_report,
+    "bench-cache": _bench_cache_report,
 }
 
 #: Extra targets excluded from `all` (sweep re-runs the whole grid and
 #: writes a file, bench-json writes BENCH_parallel.json, chaos runs the
 #: fault sweep and writes BENCH_chaos.json, trace writes the
-#: BENCH_trace artifact family; `all` should stay side-effect free).
-_EXCLUDED_FROM_ALL = ("sweep", "bench-json", "chaos", "trace")
+#: BENCH_trace artifact family, bench-cache writes BENCH_cache.json;
+#: `all` should stay side-effect free).
+_EXCLUDED_FROM_ALL = ("sweep", "bench-json", "chaos", "trace", "bench-cache")
 
-#: Targets that honour the --databases / --workers flags.
-_FLAG_TARGETS = ("trace",)
+#: Targets that honour CLI flags, and which option names each accepts.
+_FLAG_TARGETS = {
+    "trace": ("databases", "workers"),
+    "bench-cache": ("databases", "workers", "batch_size", "cache_dir"),
+}
 
 
 def _usage() -> str:
     return (
         "usage: python -m repro.harness [target ...] "
-        "[--databases=a,b] [--workers=N]\n"
+        "[--databases=a,b] [--workers=N] [--batch-size=N] [--cache-dir=DIR]\n"
         f"targets: {', '.join(_GENERATORS)} | all\n"
         f"flags apply to: {', '.join(_FLAG_TARGETS)}"
     )
@@ -218,7 +237,9 @@ def _usage() -> str:
 def _parse_args(argv: list[str]):
     """(targets, options) from argv; raises ValueError with a message."""
     targets: list[str] = []
-    options = {"databases": None, "workers": 1}
+    options = {
+        "databases": None, "workers": 1, "batch_size": 5, "cache_dir": None,
+    }
     for arg in argv:
         if not arg.startswith("-"):
             targets.append(arg)
@@ -241,6 +262,19 @@ def _parse_args(argv: list[str]):
                 ) from None
             if options["workers"] < 1:
                 raise ValueError(f"--workers must be >= 1, got {value}")
+        elif name == "--batch-size":
+            try:
+                options["batch_size"] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"--batch-size requires an integer, got {value!r}"
+                ) from None
+            if options["batch_size"] < 1:
+                raise ValueError(f"--batch-size must be >= 1, got {value}")
+        elif name == "--cache-dir":
+            if not sep or not value:
+                raise ValueError("--cache-dir requires a directory path")
+            options["cache_dir"] = value
         else:
             raise ValueError(f"unknown flag: {arg}")
     return targets, options
@@ -274,9 +308,10 @@ def main(argv: list[str]) -> int:
             print()
         generator = _GENERATORS[target]
         if target in _FLAG_TARGETS:
-            _, text = generator(
-                databases=options["databases"], workers=options["workers"]
-            )
+            kwargs = {
+                option: options[option] for option in _FLAG_TARGETS[target]
+            }
+            _, text = generator(**kwargs)
         else:
             _, text = generator()
         print(text)

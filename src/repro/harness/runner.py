@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, TypeVar
+from pathlib import Path
+from typing import Callable, Optional, Sequence, TypeVar, Union
 
 from repro.core.hqdl import HQDL, GenerationResult
 from repro.errors import ReproError
@@ -24,6 +25,7 @@ from repro.eval.execution import (
 from repro.eval.factuality import database_factuality
 from repro.llm.cache import PromptCache
 from repro.llm.chat import MockChatModel
+from repro.llm.diskcache import PersistentClient, PersistentPromptCache
 from repro.llm.oracle import KnowledgeOracle
 from repro.llm.faults import FaultInjector, FaultPlan, FaultyClient
 from repro.llm.parallel import SimulatedClock
@@ -37,6 +39,7 @@ from repro.llm.resilience import (
 from repro.llm.usage import Usage, UsageMeter
 from repro.obs import NULL_TELEMETRY, MetricsRegistry, Telemetry
 from repro.obs.trace import NULL_SPAN
+from repro.plan import CallPlanner, MappingStore
 from repro.sqlengine.results import ResultSet
 from repro.swan.benchmark import Swan
 from repro.swan.build import build_curated_database, build_original_database
@@ -110,6 +113,8 @@ class HQDLRun:
     outcomes: list[ExecutionOutcome] = field(default_factory=list)
     usage: Usage = field(default_factory=Usage)
     generations: dict[str, GenerationResult] = field(default_factory=dict)
+    #: per-database PersistentPromptCache stats when ``cache_dir`` was set
+    persistent: dict[str, dict] = field(default_factory=dict)
 
     @property
     def overall_ex(self) -> float:
@@ -135,10 +140,27 @@ class UDFRun:
     usage: Usage = field(default_factory=Usage)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: which planning mode ran before the questions, if any
+    plan: Optional[str] = None
+    #: per-database PlanStats records (collection/dedup/dispatch accounting)
+    plan_stats: dict[str, dict] = field(default_factory=dict)
+    #: per-database PersistentPromptCache stats when ``cache_dir`` was set
+    persistent: dict[str, dict] = field(default_factory=dict)
+    #: (input, output) token sizes of every *paid* LLM call in the run —
+    #: planner dispatch plus question-time calls — for virtual makespans
+    call_sizes: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def overall_ex(self) -> float:
         return execution_accuracy(self.outcomes)
+
+    @property
+    def persistent_hits(self) -> int:
+        return sum(s.get("hits", 0) for s in self.persistent.values())
+
+    @property
+    def persistent_misses(self) -> int:
+        return sum(s.get("misses", 0) for s in self.persistent.values())
 
 
 def run_hqdl(
@@ -153,6 +175,8 @@ def run_hqdl(
     wrap_client: Optional[Callable[[ChatClient], ChatClient]] = None,
     resilience: Optional[ResilienceReport] = None,
     telemetry: Optional[Telemetry] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    call_order: str = "collection",
 ) -> HQDLRun:
     """Run HQDL for one (model, shots) configuration.
 
@@ -167,6 +191,12 @@ def run_hqdl(
     sees it (fault injection, retry layers); ``resilience`` collects the
     degraded-row accounting those layers produce; ``telemetry`` records
     spans and metrics without perturbing any result.
+
+    ``cache_dir`` adds a per-database :class:`PersistentPromptCache` so
+    a rerun with the same directory regenerates every table from disk
+    with zero new LLM calls (generation is already once-per-database, so
+    HQDL needs no planner).  ``call_order="lpt"`` dispatches generation
+    calls longest-first (identical results, shorter parallel makespan).
     """
     gold = gold or GoldResults(swan)
     names = _resolve_databases(swan, databases)
@@ -193,9 +223,18 @@ def run_hqdl(
                 )
                 if wrap_client is not None:
                     model = wrap_client(model)
+                disk_cache = None
+                if cache_dir is not None:
+                    disk_cache = PersistentPromptCache(
+                        Path(cache_dir) / f"{name}.sqlite"
+                    )
+                    model = PersistentClient(
+                        model, disk_cache, shots=shots, telemetry=tel
+                    )
                 pipeline = HQDL(
                     world, model, shots=shots, workers=workers,
-                    resilience=resilience, telemetry=tel,
+                    call_order=call_order, resilience=resilience,
+                    telemetry=tel,
                 )
                 generation = pipeline.generate_all()
                 f1 = database_factuality(world, generation)
@@ -220,13 +259,19 @@ def run_hqdl(
                                 )
                             qspan.set("correct", outcome.correct)
                         db_outcomes.append(outcome)
-                return generation, f1, db_outcomes
+                disk_stats = None
+                if disk_cache is not None:
+                    disk_stats = disk_cache.stats()
+                    disk_cache.close()
+                return generation, f1, disk_stats, db_outcomes
 
-        for name, (generation, f1, db_outcomes) in zip(
+        for name, (generation, f1, disk_stats, db_outcomes) in zip(
             names, _map_databases(names, db_workers, _one_database)
         ):
             run.generations[name] = generation
             run.f1_by_db[name] = f1
+            if disk_stats is not None:
+                run.persistent[name] = disk_stats
             run.ex_by_db[name] = execution_accuracy(db_outcomes)
             run.outcomes.extend(db_outcomes)
         run.usage = meter.total
@@ -249,6 +294,9 @@ def run_udf(
     wrap_client: Optional[Callable[[ChatClient], ChatClient]] = None,
     resilience: Optional[ResilienceReport] = None,
     telemetry: Optional[Telemetry] = None,
+    plan: Optional[str] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    batch_policy: Optional[object] = None,
 ) -> UDFRun:
     """Run Hybrid Query UDFs for one configuration.
 
@@ -265,12 +313,28 @@ def run_udf(
     wraps it in the prompt cache (fault injection, retry layers);
     ``resilience`` collects the degraded-batch accounting; ``telemetry``
     records spans and metrics without perturbing any result.
+
+    ``plan`` runs a :class:`~repro.plan.CallPlanner` pass over all of a
+    database's questions before executing any of them: ``"prompt"``
+    pre-pays the exact execution prompts (results and Usage totals stay
+    byte-identical to ``plan=None``); ``"pairs"`` unions (attribute,
+    key) pairs across questions and serves executions from the shared
+    mapping store (fewest calls, answers may drift within model noise).
+    ``cache_dir`` adds a per-database :class:`PersistentPromptCache`
+    under the executor's in-memory cache, so a rerun with the same
+    directory issues zero new LLM calls.  ``batch_policy`` overrides the
+    fixed ``batch_size`` (see :mod:`repro.plan.policy`).
     """
+    if plan not in (None, "prompt", "pairs"):
+        raise ReproError(
+            f"plan must be None, 'prompt', or 'pairs', got {plan!r}"
+        )
     gold = gold or GoldResults(swan)
     names = _resolve_databases(swan, databases)
     profile = get_profile(model_name)
     run = UDFRun(
-        model=model_name, shots=shots, batch_size=batch_size, pushdown=pushdown
+        model=model_name, shots=shots, batch_size=batch_size,
+        pushdown=pushdown, plan=plan,
     )
     meter = UsageMeter()
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -293,8 +357,19 @@ def run_udf(
                 )
                 if wrap_client is not None:
                     model = wrap_client(model)
+                disk_cache = None
+                if cache_dir is not None:
+                    disk_cache = PersistentPromptCache(
+                        Path(cache_dir) / f"{name}.sqlite"
+                    )
+                    model = PersistentClient(
+                        model, disk_cache, shots=shots, telemetry=tel
+                    )
                 cache = PromptCache()
+                store = MappingStore() if plan == "pairs" else None
                 db_outcomes: list[ExecutionOutcome] = []
+                call_sizes: list[tuple[int, int]] = []
+                plan_record: Optional[dict] = None
                 with build_curated_database(world) as db:
                     executor = HybridQueryExecutor(
                         db,
@@ -307,8 +382,20 @@ def run_udf(
                         workers=workers,
                         resilience=resilience,
                         telemetry=tel,
+                        batch_policy=batch_policy,
+                        mapping_store=store,
                     )
-                    for question in swan.questions_for(name):
+                    questions = swan.questions_for(name)
+                    if plan is not None:
+                        planner = CallPlanner(
+                            executor, mode=plan, telemetry=tel
+                        )
+                        planned = planner.plan_and_execute(
+                            [q.blend_sql for q in questions]
+                        )
+                        call_sizes.extend(planned.stats.call_sizes)
+                        plan_record = planned.stats.as_record()
+                    for question in questions:
                         expected = gold.expected(question.qid)
                         with (
                             tel.tracer.span("question", qid=question.qid)
@@ -316,7 +403,11 @@ def run_udf(
                             else NULL_SPAN
                         ) as qspan:
                             try:
-                                actual = executor.execute(question.blend_sql)
+                                actual, question_report = (
+                                    executor.execute_with_report(
+                                        question.blend_sql
+                                    )
+                                )
                             except ReproError as exc:
                                 outcome = failed_outcome(
                                     question, expected, str(exc)
@@ -325,15 +416,25 @@ def run_udf(
                                 outcome = evaluate_question(
                                     question, expected, actual
                                 )
+                                call_sizes.extend(question_report.call_sizes)
                             qspan.set("correct", outcome.correct)
                         db_outcomes.append(outcome)
-                return cache, db_outcomes
+                disk_stats = None
+                if disk_cache is not None:
+                    disk_stats = disk_cache.stats()
+                    disk_cache.close()
+                return cache, plan_record, disk_stats, call_sizes, db_outcomes
 
-        for name, (cache, db_outcomes) in zip(
+        for name, (cache, plan_record, disk_stats, call_sizes, db_outcomes) in zip(
             names, _map_databases(names, db_workers, _one_database)
         ):
             run.cache_hits += cache.hits
             run.cache_misses += cache.misses
+            if plan_record is not None:
+                run.plan_stats[name] = plan_record
+            if disk_stats is not None:
+                run.persistent[name] = disk_stats
+            run.call_sizes.extend(call_sizes)
             run.ex_by_db[name] = execution_accuracy(db_outcomes)
             run.outcomes.extend(db_outcomes)
         run.usage = meter.total

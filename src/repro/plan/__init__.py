@@ -1,0 +1,35 @@
+"""Run-level LLM call planning.
+
+The executor answers one question at a time, so its reuse horizon is a
+single query (plus the per-database prompt cache).  This package plans
+the LLM work of *all* questions over a database before the dispatcher
+sees any of it:
+
+- :class:`~repro.plan.planner.CallPlanner` collects every ingredient
+  call up front, dedups globally, orders longest-first, and pre-warms
+  the caches in one dispatch;
+- :class:`~repro.plan.store.MappingStore` holds the (attribute, key) →
+  value answers the aggressive planning mode produces, so executors can
+  answer questions without re-calling;
+- :mod:`~repro.plan.policy` chooses per-attribute batch sizes from the
+  calibrated model profiles instead of BlendSQL's fixed default of 5.
+"""
+
+from repro.plan.planner import CallPlanner, Plan, PlannedCall, PlanStats
+from repro.plan.policy import (
+    DEFAULT_MAX_BATCH_SIZE,
+    AdaptiveBatchPolicy,
+    FixedBatchPolicy,
+)
+from repro.plan.store import MappingStore
+
+__all__ = [
+    "AdaptiveBatchPolicy",
+    "CallPlanner",
+    "DEFAULT_MAX_BATCH_SIZE",
+    "FixedBatchPolicy",
+    "MappingStore",
+    "Plan",
+    "PlannedCall",
+    "PlanStats",
+]

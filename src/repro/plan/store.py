@@ -1,0 +1,79 @@
+"""The shared mapping store filled by aggressive call planning.
+
+A planning pass in ``pairs`` mode answers every (attribute, key) pair a
+run will need, once, up front.  The :class:`MappingStore` is where those
+answers live: keyed by ingredient signature (kind, question, source
+table, key columns), each entry maps key tuples to generated values.
+
+Executors consult the store before generating: when it covers *every*
+key an ingredient needs, the whole ingredient is answered with zero LLM
+calls.  Partial coverage falls back to the normal generate path — a
+half-served batch would change batching (and therefore answers), so
+serving is all-or-nothing per ingredient.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+
+class MappingStore:
+    """Thread-safe (signature → key → value) store shared across questions."""
+
+    def __init__(self) -> None:
+        self._data: dict[tuple, dict[tuple, Optional[str]]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        #: lookups that found the signature but not every requested key
+        self.partial = 0
+        self.keys_served = 0
+
+    def put(
+        self, signature: tuple, mapping: dict[tuple, Optional[str]]
+    ) -> None:
+        """Merge answers for one signature (later puts win per key)."""
+        with self._lock:
+            self._data.setdefault(signature, {}).update(mapping)
+
+    def lookup(
+        self, signature: tuple, keys: Sequence[tuple]
+    ) -> Optional[dict[tuple, Optional[str]]]:
+        """All requested keys' values, or None unless fully covered."""
+        with self._lock:
+            stored = self._data.get(signature)
+            if stored is None:
+                self.misses += 1
+                return None
+            if any(key not in stored for key in keys):
+                self.partial += 1
+                self.misses += 1
+                return None
+            self.hits += 1
+            self.keys_served += len(keys)
+            return {key: stored[key] for key in keys}
+
+    def coverage(self, signature: tuple) -> int:
+        """How many keys the store holds for one signature."""
+        with self._lock:
+            return len(self._data.get(signature, ()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def total_keys(self) -> int:
+        with self._lock:
+            return sum(len(m) for m in self._data.values())
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "signatures": len(self._data),
+                "keys": sum(len(m) for m in self._data.values()),
+                "hits": self.hits,
+                "misses": self.misses,
+                "partial": self.partial,
+                "keys_served": self.keys_served,
+            }

@@ -11,8 +11,9 @@ and introspection.
 from __future__ import annotations
 
 import sqlite3
+from itertools import islice
 from pathlib import Path
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Iterator, Sequence, Union
 
 from repro.errors import ExecutionError, SchemaError
 from repro.sqlengine.results import ResultSet
@@ -21,6 +22,24 @@ from repro.sqlengine.schema import DatabaseSchema, TableSchema
 
 def _quote(name: str) -> str:
     return '"' + name.replace('"', '""') + '"'
+
+
+#: rows per executemany chunk for bulk inserts — large enough to amortize
+#: statement overhead, small enough that generated row streams (HQDL
+#: materialization, big expansion tables) never materialize in full
+INSERT_CHUNK_SIZE = 500
+
+
+def _chunked(
+    rows: Iterable[Sequence[object]], size: int
+) -> Iterator[list[Sequence[object]]]:
+    """Fixed-size chunks of a row iterable, without materializing it."""
+    iterator = iter(rows)
+    while True:
+        chunk = list(islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
 
 
 class Database:
@@ -141,43 +160,79 @@ class Database:
         table: str,
         columns: Sequence[str],
         rows: Iterable[Sequence[object]],
+        *,
+        chunk_size: int = INSERT_CHUNK_SIZE,
     ) -> int:
-        """Bulk insert; returns the number of rows inserted."""
+        """Bulk insert, streamed in fixed-size chunks; returns rows inserted.
+
+        The row iterable is consumed lazily — one chunk in memory at a
+        time — and committed once at the end, so a failed insert leaves
+        the table unchanged.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         placeholders = ", ".join("?" for _ in columns)
         column_list = ", ".join(_quote(c) for c in columns)
         sql = f"INSERT INTO {_quote(table)} ({column_list}) VALUES ({placeholders})"
-        rows = list(rows)
+        inserted = 0
         try:
-            self.connection.executemany(sql, rows)
+            for chunk in _chunked(rows, chunk_size):
+                self.connection.executemany(sql, chunk)
+                inserted += len(chunk)
             self.connection.commit()
         except sqlite3.Error as exc:
+            self.connection.rollback()
             raise ExecutionError(f"{exc} while inserting into {table}") from exc
-        return len(rows)
+        return inserted
 
     def create_temp_table(
         self,
         name: str,
         columns: Sequence[str],
         rows: Iterable[Sequence[object]] = (),
+        *,
+        chunk_size: int = INSERT_CHUNK_SIZE,
     ) -> None:
-        """Create (or replace) a TEMP table and optionally fill it.
+        """Create (or replace) a TEMP table and fill it in streamed chunks.
 
         Temp tables shadow base tables in queries on this connection, which
         is exactly what the hybrid executor wants for ingredient results.
         """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.execute(f"DROP TABLE IF EXISTS temp.{_quote(name)}")
         body = ", ".join(f"{_quote(c)} TEXT" for c in columns)
         self.execute(f"CREATE TEMP TABLE {_quote(name)} ({body})")
-        rows = list(rows)
-        if rows:
-            placeholders = ", ".join("?" for _ in columns)
-            try:
-                self.connection.executemany(
-                    f"INSERT INTO temp.{_quote(name)} VALUES ({placeholders})", rows
-                )
-                self.connection.commit()
-            except sqlite3.Error as exc:
-                raise ExecutionError(f"{exc} while filling temp table {name}") from exc
+        placeholders = ", ".join("?" for _ in columns)
+        sql = f"INSERT INTO temp.{_quote(name)} VALUES ({placeholders})"
+        try:
+            for chunk in _chunked(rows, chunk_size):
+                self.connection.executemany(sql, chunk)
+            self.connection.commit()
+        except sqlite3.Error as exc:
+            self.connection.rollback()
+            raise ExecutionError(f"{exc} while filling temp table {name}") from exc
+
+    def create_index(
+        self, table: str, columns: Sequence[str], *, name: str = ""
+    ) -> str:
+        """CREATE INDEX IF NOT EXISTS on ``table(columns)``; returns its name.
+
+        Used for FK/join-key indexes at world build time and for the
+        executor's temp mapping tables, whose correlated-subquery probes
+        are the hot path of every rewritten hybrid query.
+        """
+        if not columns:
+            raise ValueError("create_index requires at least one column")
+        index_name = name or "idx_{}_{}".format(
+            table.strip('"'), "_".join(c.strip('"') for c in columns)
+        )
+        column_list = ", ".join(_quote(c) for c in columns)
+        self.execute(
+            f"CREATE INDEX IF NOT EXISTS {_quote(index_name)} "
+            f"ON {_quote(table)} ({column_list})"
+        )
+        return index_name
 
     def clone_in_memory(self) -> "Database":
         """An independent in-memory copy of this database."""

@@ -28,7 +28,30 @@ def _materialize(
         table_rows = rows.get(table.name, [])
         if table_rows:
             db.insert_rows(table.name, table.column_names(), table_rows)
+    _index_foreign_keys(db, schema)
     return db
+
+
+def _index_foreign_keys(db: Database, schema: DatabaseSchema) -> None:
+    """Index every FK's referencing columns (SQLite only auto-indexes PKs)."""
+    for table in schema.tables:
+        for fk in table.foreign_keys:
+            db.create_index(table.name, fk.columns)
+
+
+def _index_expansion_keys(db: Database, world: World) -> None:
+    """Index the join-key columns hybrid rewrites probe on source tables.
+
+    Every LLMMap/LLMJoin over a source table fetches DISTINCT key
+    tuples and the rewritten query re-joins on them; without an index
+    both are full scans per question.
+    """
+    for expansion in world.expansions:
+        if not db.has_table(expansion.source_table):
+            continue
+        present = set(db.table_columns(expansion.source_table))
+        if all(column in present for column in expansion.key_columns):
+            db.create_index(expansion.source_table, expansion.key_columns)
 
 
 def build_original_database(world: World) -> Database:
@@ -38,7 +61,9 @@ def build_original_database(world: World) -> Database:
 
 def build_curated_database(world: World) -> Database:
     """The curated database hybrid pipelines query."""
-    return _materialize(world.curated_schema, world.curated_rows)
+    db = _materialize(world.curated_schema, world.curated_rows)
+    _index_expansion_keys(db, world)
+    return db
 
 
 def save_databases(world: World, directory: Union[str, Path]) -> tuple[Path, Path]:

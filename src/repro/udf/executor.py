@@ -28,9 +28,9 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
-from repro.errors import IngredientError
+from repro.errors import IngredientError, ReproError
 from repro.llm.batching import (
     DEFAULT_BATCH_SIZE,
     LatencyModel,
@@ -63,6 +63,9 @@ from repro.udf.ingredients import IngredientCall, parse_ingredient_call
 from repro.udf.pushdown import pushable_conjuncts, resolve_alias
 from repro.udf.semantic_cache import SemanticCache
 from repro.udf.views import MaterializedViewStore
+
+if TYPE_CHECKING:  # no runtime import: repro.plan imports from this module
+    from repro.plan.store import MappingStore
 
 _ANSWER_LINE_RE = re.compile(r"^\s*(\d+)\s*[.):]\s*(.*?)\s*$")
 
@@ -117,6 +120,8 @@ class HybridQueryExecutor:
         workers: int = 1,
         resilience: Optional[ResilienceReport] = None,
         telemetry: Optional[Telemetry] = None,
+        batch_policy: Optional[object] = None,
+        mapping_store: Optional["MappingStore"] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -140,6 +145,12 @@ class HybridQueryExecutor:
         self.semantic_cache = semantic_cache
         self.views = views
         self.resilience = resilience
+        #: any object with ``batch_size(call) -> int`` (repro.plan.policy);
+        #: None keeps the fixed ``batch_size`` — BlendSQL's behaviour.
+        self.batch_policy = batch_policy
+        #: filled by a pairs-mode CallPlanner; fully-covered ingredients
+        #: are answered from it with zero LLM calls.
+        self.mapping_store = mapping_store
         self._temp_counter = 0
 
     # -- public API --------------------------------------------------------------
@@ -218,6 +229,115 @@ class HybridQueryExecutor:
             shared[signature] = replacement
             replacements[id(node)] = replacement
         return replacements
+
+    def _batch_size_for(self, call: IngredientCall) -> int:
+        """The batch size for one ingredient: policy when set, else fixed."""
+        if self.batch_policy is None:
+            return self.batch_size
+        return self.batch_policy.batch_size(call)
+
+    # -- call planning (dry run) --------------------------------------------------
+    #
+    # Both methods replay the ingredient walk of ``_plan_ingredients``
+    # without issuing any LLM call, for the run-level CallPlanner
+    # (repro.plan).  They assume the executor-level caches that consult
+    # the model themselves (semantic cache) are not attached — the
+    # harness runners never attach them — and mirror everything else:
+    # scope resolution, signature sharing, pushdown, batching, and the
+    # stop-at-first-error prefix semantics of real execution.
+
+    def plan_calls(self, hybrid_sql: str) -> list[tuple[str, str]]:
+        """The exact (prompt, label) sequence executing this query would issue.
+
+        A query that would fail mid-plan (bad ingredient placement, SQL
+        errors in key fetching) contributes the prefix of prompts issued
+        before the failure — the same calls real execution pays for
+        before raising.
+        """
+        prompts: list[tuple[str, str]] = []
+        report = ExecutionReport()
+        try:
+            statement = parse(hybrid_sql)
+        except ReproError:
+            return prompts
+        shared: set[tuple] = set()
+        try:
+            for occurrence in _ingredient_occurrences(statement):
+                node, owner, source_alias, as_source = occurrence
+                call = parse_ingredient_call(node)
+                signature = (call.signature(), id(owner), as_source)
+                if signature in shared:
+                    continue
+                shared.add(signature)
+                if as_source and call.kind != "LLMJoin":
+                    return prompts
+                if call.kind == "LLMQA":
+                    prompts.append((self._qa_prompt(call.question), "udf:qa"))
+                    continue
+                if call.kind == "LLMJoin" and not as_source:
+                    return prompts
+                if (
+                    call.kind == "LLMMap"
+                    and self.views is not None
+                    and self.views.table_for(call.signature()) is not None
+                ):
+                    continue
+                keys = self._plan_keys(call, owner, report)
+                for batch in batched(keys, self._batch_size_for(call)):
+                    prompts.append((self._map_prompt(call, batch), "udf:map"))
+        except ReproError:
+            pass
+        return prompts
+
+    def plan_key_requests(
+        self, hybrid_sql: str
+    ) -> tuple[list[tuple[IngredientCall, list[tuple]]], list[str]]:
+        """The (attribute, key) demand of this query, before batching.
+
+        Returns ``(map_requests, qa_prompts)`` where each map request is
+        an LLMMap/LLMJoin call paired with the key tuples it needs —
+        the unit a pairs-mode planner unions across questions.
+        """
+        map_requests: list[tuple[IngredientCall, list[tuple]]] = []
+        qa_prompts: list[str] = []
+        report = ExecutionReport()
+        try:
+            statement = parse(hybrid_sql)
+        except ReproError:
+            return map_requests, qa_prompts
+        shared: set[tuple] = set()
+        try:
+            for occurrence in _ingredient_occurrences(statement):
+                node, owner, source_alias, as_source = occurrence
+                call = parse_ingredient_call(node)
+                signature = (call.signature(), id(owner), as_source)
+                if signature in shared:
+                    continue
+                shared.add(signature)
+                if as_source and call.kind != "LLMJoin":
+                    return map_requests, qa_prompts
+                if call.kind == "LLMQA":
+                    qa_prompts.append(self._qa_prompt(call.question))
+                    continue
+                if call.kind == "LLMJoin" and not as_source:
+                    return map_requests, qa_prompts
+                keys = self._plan_keys(call, owner, report)
+                map_requests.append((call, keys))
+        except ReproError:
+            pass
+        return map_requests, qa_prompts
+
+    def _plan_keys(
+        self,
+        call: IngredientCall,
+        owner: Optional[ast.Select],
+        report: ExecutionReport,
+    ) -> list[tuple]:
+        """Key fetching exactly as execution performs it, per ingredient kind."""
+        if call.kind == "LLMJoin":
+            return self._fetch_keys(call, None, call.source_table, report)
+        alias = resolve_alias(owner, call.source_table) or call.source_table
+        return self._fetch_keys(call, owner, alias, report)
 
     # -- LLMQA -------------------------------------------------------------------
 
@@ -319,7 +439,10 @@ class HybridQueryExecutor:
         from_clause = quote_identifier(call.source_table)
         if alias != call.source_table:
             from_clause += f" AS {quote_identifier(alias)}"
-        sql = f"SELECT DISTINCT {columns} FROM {from_clause}"
+        # NOT INDEXED pins the scan order: key order (and therefore batch
+        # packing and prompt text) must not depend on which indexes the
+        # database happens to carry — reuse hinges on byte-equal prompts.
+        sql = f"SELECT DISTINCT {columns} FROM {from_clause} NOT INDEXED"
         if self.pushdown and owner is not None:
             source_columns = set(self.db.table_columns(call.source_table))
             conjuncts = pushable_conjuncts(owner, alias, source_columns)
@@ -351,6 +474,14 @@ class HybridQueryExecutor:
         applied to format drift — instead of aborting its siblings.
         """
         mapping: dict[tuple, Optional[str]] = {}
+        if self.mapping_store is not None:
+            served = self.mapping_store.lookup(call.signature(), keys)
+            if served is not None:
+                for key in keys:
+                    mapping[key] = served[key]
+                    if served[key] is not None:
+                        report.keys_generated += 1
+                return mapping
         reusable: dict[tuple, str] = {}
         if self.semantic_cache is not None:
             cached = self.semantic_cache.lookup(call.question, self.client)
@@ -363,7 +494,7 @@ class HybridQueryExecutor:
                 self.semantic_cache.stats.keys_reused += 1
             else:
                 to_generate.append(key)
-        batches = batched(to_generate, self.batch_size)
+        batches = batched(to_generate, self._batch_size_for(call))
         prompts = [self._map_prompt(call, batch) for batch in batches]
         outcomes = self.dispatcher.dispatch(self.client, prompts, labels="udf:map")
         for batch, outcome in zip(batches, outcomes):
@@ -460,6 +591,10 @@ class HybridQueryExecutor:
             if value is not None
         ]
         self.db.create_temp_table(temp_name, columns, rows)
+        # the rewrite probes this table once per outer row via a
+        # correlated scalar subquery — index the key columns so each
+        # probe is a lookup, not a scan
+        self.db.create_index(temp_name, columns[:-1])
         return temp_name
 
     def _maybe_materialize_view(
@@ -511,6 +646,7 @@ class HybridQueryExecutor:
             if value is not None
         ]
         self.db.create_temp_table(temp_name, columns, rows)
+        self.db.create_index(temp_name, columns[:-1])
         return ast.TableName(temp_name, alias=alias)
 
 

@@ -81,3 +81,48 @@ class TestTraceTarget:
 
         assert "trace" in _GENERATORS
         assert "trace" in _EXCLUDED_FROM_ALL
+
+
+class TestBatchSizeAndCacheDirFlags:
+    def test_bad_batch_size_value(self, capsys):
+        assert main(["bench-cache", "--batch-size=abc"]) == 2
+        err = capsys.readouterr().err
+        assert "--batch-size requires an integer" in err
+        assert "usage:" in err
+
+    def test_nonpositive_batch_size(self, capsys):
+        assert main(["bench-cache", "--batch-size=0"]) == 2
+        assert "--batch-size must be >= 1" in capsys.readouterr().err
+
+    def test_cache_dir_requires_value(self, capsys):
+        assert main(["bench-cache", "--cache-dir="]) == 2
+        err = capsys.readouterr().err
+        assert "--cache-dir requires a directory path" in err
+        assert "usage:" in err
+
+    def test_flags_documented_in_usage(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "--batch-size=N" in out
+        assert "--cache-dir=DIR" in out
+
+
+class TestBenchCacheTarget:
+    def test_bench_cache_writes_artifact(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "bench-cache", "--databases=superhero",
+            "--cache-dir=" + str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Call planning & persistent cache" in out
+        assert "byte-identical planned run: yes" in out
+        assert "warm rerun zero new calls: yes" in out
+        assert (tmp_path / "BENCH_cache.json").exists()
+        assert (tmp_path / "cache" / "superhero.sqlite").exists()
+
+    def test_bench_cache_excluded_from_all(self):
+        from repro.harness.__main__ import _EXCLUDED_FROM_ALL, _GENERATORS
+
+        assert "bench-cache" in _GENERATORS
+        assert "bench-cache" in _EXCLUDED_FROM_ALL

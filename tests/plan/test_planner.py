@@ -1,0 +1,131 @@
+"""Tests for the run-level call planner."""
+
+import pytest
+
+from repro.llm.cache import PromptCache
+from repro.plan import CallPlanner, MappingStore
+from repro.swan.build import build_curated_database
+from repro.udf.executor import HybridQueryExecutor
+
+from tests.conftest import make_model
+
+MAP_Q = (
+    "SELECT superhero_name FROM superhero WHERE "
+    "{{LLMMap('What is the eye color of this superhero?', "
+    "'superhero::superhero_name', 'superhero::full_name')}} = 'Blue'"
+)
+# a different question over the SAME ingredient signature
+MAP_Q2 = (
+    "SELECT COUNT(*) FROM superhero WHERE "
+    "{{LLMMap('What is the eye color of this superhero?', "
+    "'superhero::superhero_name', 'superhero::full_name')}} = 'Green'"
+)
+QA_Q = "SELECT {{LLMQA('What planet was Superman born on?')}}"
+
+
+@pytest.fixture()
+def harness(superhero_world):
+    """(executor, model) over a fresh curated superhero database."""
+    db = build_curated_database(superhero_world)
+    model = make_model(superhero_world)
+    executor = HybridQueryExecutor(
+        db, model, superhero_world, cache=PromptCache()
+    )
+    yield executor, model
+    db.close()
+
+
+class TestPlanning:
+    def test_mode_validated(self, harness):
+        executor, _ = harness
+        with pytest.raises(ValueError):
+            CallPlanner(executor, mode="eager")
+
+    def test_prompt_mode_dedups_shared_signatures(self, harness):
+        executor, _ = harness
+        plan = CallPlanner(executor, mode="prompt").plan([MAP_Q, MAP_Q2, QA_Q])
+        stats = plan.stats
+        # the two map questions collect identical prompts: half drop out
+        assert stats.questions == 3
+        assert stats.collected > stats.unique
+        assert stats.dedup_pct > 0
+        assert len(plan.calls) == stats.unique
+
+    def test_calls_ordered_longest_first(self, harness):
+        executor, _ = harness
+        planner = CallPlanner(executor, mode="prompt")
+        plan = planner.plan([MAP_Q, QA_Q])
+        seconds = [planner._estimate_seconds(c) for c in plan.calls]
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_pairs_mode_unions_keys_across_questions(self, harness):
+        executor, _ = harness
+        plan = CallPlanner(executor, mode="pairs").plan([MAP_Q, MAP_Q2])
+        stats = plan.stats
+        assert stats.signatures == 1
+        # both questions need every hero key, so dedup halves the pairs
+        assert stats.collected == 2 * stats.unique
+
+
+class TestExecution:
+    def test_prompt_mode_prewarms_the_cache(self, harness):
+        executor, model = harness
+        CallPlanner(executor, mode="prompt").plan_and_execute([MAP_Q, QA_Q])
+        paid_before = model.meter.total.calls
+        assert paid_before > 0
+        result = executor.execute(MAP_Q)
+        assert result.rows  # real answers, served from the warm cache
+        assert model.meter.total.calls == paid_before
+
+    def test_prompt_mode_results_identical_to_unplanned(self, superhero_world):
+        def _run(planned: bool):
+            db = build_curated_database(superhero_world)
+            try:
+                model = make_model(superhero_world)
+                ex = HybridQueryExecutor(
+                    db, model, superhero_world, cache=PromptCache()
+                )
+                if planned:
+                    CallPlanner(ex, mode="prompt").plan_and_execute(
+                        [MAP_Q, MAP_Q2, QA_Q]
+                    )
+                rows = [ex.execute(q).rows for q in (MAP_Q, MAP_Q2, QA_Q)]
+                return rows, model.meter.total
+            finally:
+                db.close()
+
+        plain_rows, plain_usage = _run(planned=False)
+        planned_rows, planned_usage = _run(planned=True)
+        assert planned_rows == plain_rows
+        assert planned_usage == plain_usage
+
+    def test_pairs_mode_fills_the_store_and_serves_executions(self, harness):
+        executor, model = harness
+        store = MappingStore()
+        executor.mapping_store = store
+        plan = CallPlanner(
+            executor, mode="pairs", store=store
+        ).plan_and_execute([MAP_Q, MAP_Q2])
+        assert plan.stats.keys_stored > 0
+        assert store.total_keys() == plan.stats.keys_stored
+        paid_before = model.meter.total.calls
+        executor.execute(MAP_Q)
+        executor.execute(MAP_Q2)
+        # both ingredients fully covered: zero new upstream calls
+        assert model.meter.total.calls == paid_before
+        assert store.hits == 2
+
+    def test_stats_accounting_balances(self, harness):
+        executor, _ = harness
+        plan = CallPlanner(executor, mode="prompt").plan_and_execute(
+            [MAP_Q, QA_Q]
+        )
+        stats = plan.stats
+        assert (
+            stats.llm_calls + stats.cached_calls + stats.failed_calls
+            == stats.planned_calls
+        )
+        assert len(stats.call_sizes) == stats.llm_calls
+        record = stats.as_record()
+        assert record["mode"] == "prompt"
+        assert record["llm_calls"] == stats.llm_calls

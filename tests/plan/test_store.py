@@ -1,0 +1,61 @@
+"""Tests for the shared mapping store."""
+
+from repro.plan.store import MappingStore
+
+SIG = ("map", "is strong?", "hero", ("name",))
+
+
+class TestMappingStore:
+    def test_full_coverage_served(self):
+        store = MappingStore()
+        store.put(SIG, {("a",): "yes", ("b",): "no"})
+        served = store.lookup(SIG, [("a",), ("b",)])
+        assert served == {("a",): "yes", ("b",): "no"}
+        assert store.hits == 1
+        assert store.keys_served == 2
+
+    def test_partial_coverage_is_all_or_nothing(self):
+        store = MappingStore()
+        store.put(SIG, {("a",): "yes"})
+        assert store.lookup(SIG, [("a",), ("b",)]) is None
+        assert store.partial == 1
+        assert store.misses == 1
+        assert store.keys_served == 0
+
+    def test_unknown_signature_misses(self):
+        store = MappingStore()
+        assert store.lookup(SIG, [("a",)]) is None
+        assert store.misses == 1
+        assert store.partial == 0
+
+    def test_none_values_count_as_coverage(self):
+        # a planned call that produced no usable answer is still an
+        # answer — the executor degrades the same way it would have live
+        store = MappingStore()
+        store.put(SIG, {("a",): None})
+        assert store.lookup(SIG, [("a",)]) == {("a",): None}
+
+    def test_puts_merge_and_later_wins(self):
+        store = MappingStore()
+        store.put(SIG, {("a",): "old", ("b",): "kept"})
+        store.put(SIG, {("a",): "new"})
+        assert store.lookup(SIG, [("a",), ("b",)]) == {
+            ("a",): "new", ("b",): "kept",
+        }
+        assert store.coverage(SIG) == 2
+
+    def test_subset_lookup_served(self):
+        store = MappingStore()
+        store.put(SIG, {("a",): "yes", ("b",): "no"})
+        assert store.lookup(SIG, [("b",)]) == {("b",): "no"}
+
+    def test_stats_shape(self):
+        store = MappingStore()
+        store.put(SIG, {("a",): "yes"})
+        store.lookup(SIG, [("a",)])
+        assert store.stats() == {
+            "signatures": 1, "keys": 1, "hits": 1, "misses": 0,
+            "partial": 0, "keys_served": 1,
+        }
+        assert len(store) == 1
+        assert store.total_keys() == 1

@@ -102,3 +102,56 @@ class TestCloneAndSave:
             database.execute("CREATE TABLE x (a)")
         with pytest.raises(ExecutionError):
             database.query("SELECT 1")
+
+
+class TestChunkedInserts:
+    def test_generator_input_streams(self, db):
+        db.execute("CREATE TABLE big (n INTEGER)")
+        db.insert_rows(
+            "big", ["n"], ((i,) for i in range(1234)), chunk_size=100
+        )
+        assert db.query_scalar("SELECT COUNT(*) FROM big") == 1234
+        assert db.query_scalar("SELECT SUM(n) FROM big") == sum(range(1234))
+
+    def test_chunk_size_validated(self, db):
+        with pytest.raises(ValueError):
+            db.insert_rows("t", ["a", "b"], [(9, "w")], chunk_size=0)
+
+    def test_bad_row_rolls_back_every_chunk(self, db):
+        # a failure in a late chunk must not leave earlier chunks behind
+        rows = [(i, "ok") for i in range(10)] + [("not", "enough", "cols")]
+        with pytest.raises(ExecutionError):
+            db.insert_rows("t", ["a", "b"], rows, chunk_size=2)
+        assert db.query_scalar("SELECT COUNT(*) FROM t") == 3
+
+    def test_temp_table_streams_chunks(self, db):
+        db.create_temp_table(
+            "tmp", ["n"], ((i,) for i in range(57)), chunk_size=10
+        )
+        assert db.query_scalar("SELECT COUNT(*) FROM tmp") == 57
+
+
+class TestCreateIndex:
+    def test_auto_named_index(self, db):
+        name = db.create_index("t", ["a"])
+        assert name == "idx_t_a"
+        names = db.query_column(
+            "SELECT name FROM sqlite_master WHERE type = 'index'"
+        )
+        assert "idx_t_a" in names
+
+    def test_idempotent(self, db):
+        db.create_index("t", ["a", "b"])
+        db.create_index("t", ["a", "b"])  # IF NOT EXISTS: no error
+
+    def test_empty_columns_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.create_index("t", [])
+
+    def test_temp_table_index_lands_in_temp_schema(self, db):
+        db.create_temp_table("tmp", ["n"], [(1,), (2,)])
+        db.create_index("tmp", ["n"])
+        names = db.query_column(
+            "SELECT name FROM temp.sqlite_master WHERE type = 'index'"
+        )
+        assert "idx_tmp_n" in names

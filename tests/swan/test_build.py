@@ -51,3 +51,39 @@ class TestBuild:
 
         with Database.open(curated) as db:
             assert db.row_count("superhero") == len(world.curated_rows["superhero"])
+
+
+class TestBuildTimeIndexes:
+    def _index_names(self, db):
+        return set(db.query_column(
+            "SELECT name FROM sqlite_master WHERE type = 'index' "
+            "AND name LIKE 'idx_%'"
+        ))
+
+    def test_foreign_keys_indexed(self, world):
+        with build_curated_database(world) as db:
+            names = self._index_names(db)
+            assert names, "expected FK indexes at world build time"
+            for table in world.curated_schema.tables:
+                for fk in table.foreign_keys:
+                    expected = f"idx_{table.name}_{'_'.join(fk.columns)}"
+                    assert expected in names
+
+    def test_expansion_join_keys_indexed(self, world):
+        with build_curated_database(world) as db:
+            names = self._index_names(db)
+            for expansion in world.expansions:
+                if expansion.source_table not in db.table_names():
+                    continue
+                columns = set(db.table_columns(expansion.source_table))
+                if not set(expansion.key_columns) <= columns:
+                    continue
+                expected = (
+                    f"idx_{expansion.source_table}_"
+                    f"{'_'.join(expansion.key_columns)}"
+                )
+                assert expected in names
+
+    def test_original_database_also_indexed(self, world):
+        with build_original_database(world) as db:
+            assert self._index_names(db)

@@ -62,8 +62,10 @@ class TestImportHygiene:
         """The library itself must run on the stdlib alone."""
         stdlib_ok = {"__future__", "bisect", "concurrent", "csv",
                      "dataclasses", "enum", "functools", "hashlib", "heapq",
-                     "io", "json", "math", "pathlib", "re", "sqlite3", "sys",
-                     "threading", "time", "typing", "collections"}
+                     "io", "itertools", "json", "math", "pathlib", "re",
+                     "sqlite3", "sys", "tempfile", "threading", "time",
+                     "typing",
+                     "collections"}
         violations = []
         for path in SRC.rglob("*.py"):
             tree = ast.parse(path.read_text())

@@ -77,3 +77,65 @@ class TestResolveAlias:
         tree = parse("SELECT * FROM other")
         assert resolve_alias(tree, "schools") is None
         assert resolve_alias(None, "schools") is None
+
+
+class TestConjunctEdgeCases:
+    """The conservative boundary of the pushability analysis."""
+
+    def test_exists_subquery_not_pushable(self):
+        expr = parse_expression("EXISTS (SELECT 1 FROM u WHERE u.a = t.a)")
+        assert not conjunct_is_pushable(expr, "t", COLUMNS, single_source=False)
+
+    def test_scalar_subquery_not_pushable(self):
+        expr = parse_expression("a = (SELECT MAX(a) FROM u)")
+        assert not conjunct_is_pushable(expr, "t", COLUMNS, single_source=True)
+
+    def test_between_on_own_column_is_pushable(self):
+        expr = parse_expression("t.a BETWEEN 1 AND 5")
+        assert conjunct_is_pushable(expr, "t", COLUMNS, single_source=False)
+
+    def test_is_null_on_own_column_is_pushable(self):
+        expr = parse_expression("t.name IS NULL")
+        assert conjunct_is_pushable(expr, "t", COLUMNS, single_source=False)
+
+    def test_mixed_alias_comparison_not_pushable(self):
+        # references both tables, so neither side can evaluate it alone
+        expr = parse_expression("t.a = u.a")
+        assert not conjunct_is_pushable(expr, "t", COLUMNS, single_source=False)
+
+    def test_qualified_and_unqualified_mix(self):
+        # qualified ref pins the scope; the unqualified one must still be
+        # resolvable, which requires a single source
+        expr = parse_expression("t.a = 1 AND b = 2")
+        assert not conjunct_is_pushable(expr, "t", COLUMNS, single_source=False)
+        assert conjunct_is_pushable(expr, "t", COLUMNS, single_source=True)
+
+
+class TestSelectLevelEdgeCases:
+    def test_top_level_or_is_one_conjunct(self):
+        # OR is not split: the whole disjunction is one conjunct, pushable
+        # only if every branch is
+        tree = parse("SELECT * FROM t WHERE t.a = 1 OR t.b = 2")
+        assert len(pushable_conjuncts(tree, "t", COLUMNS)) == 1
+
+    def test_or_with_foreign_branch_not_pushable(self):
+        tree = parse(
+            "SELECT * FROM t JOIN u ON t.a = u.a WHERE t.a = 1 OR u.b = 2"
+        )
+        assert pushable_conjuncts(tree, "t", COLUMNS) == []
+
+    def test_subquery_conjunct_skipped_others_kept(self):
+        tree = parse(
+            "SELECT * FROM t WHERE a IN (SELECT a FROM u) AND t.b > 2"
+        )
+        conjuncts = pushable_conjuncts(tree, "t", COLUMNS)
+        assert len(conjuncts) == 1
+
+    def test_constant_conjunct_skipped(self):
+        tree = parse("SELECT * FROM t WHERE 1 = 1 AND t.a = 3")
+        assert len(pushable_conjuncts(tree, "t", COLUMNS)) == 1
+
+    def test_multi_source_unqualified_not_pushable(self):
+        # with two tables in scope an unqualified column is ambiguous
+        tree = parse("SELECT * FROM t JOIN u ON t.a = u.a WHERE b = 2")
+        assert pushable_conjuncts(tree, "t", COLUMNS) == []
