@@ -31,7 +31,8 @@ from repro.llm.client import ChatClient
 from repro.llm.tokenizer import count_tokens
 from repro.llm.parallel import DispatchOutcome, ParallelDispatcher
 from repro.llm.resilience import ResilienceReport
-from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs import NULL_PROVENANCE, NULL_TELEMETRY, Telemetry
+from repro.obs.provenance import call_id_for
 from repro.obs.trace import NULL_SPAN
 from repro.sqlengine.database import Database
 from repro.sqlengine.results import ResultSet
@@ -92,6 +93,7 @@ class HQDL:
         call_order: str = "collection",
         resilience: Optional[ResilienceReport] = None,
         telemetry: Optional[Telemetry] = None,
+        provenance=None,
     ) -> None:
         if call_order not in ("collection", "lpt"):
             raise ReproError(
@@ -109,7 +111,10 @@ class HQDL:
         self.call_order = call_order
         self.resilience = resilience
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
-        self._dispatcher = ParallelDispatcher(workers, telemetry=self._tel)
+        self._prov = provenance if provenance is not None else NULL_PROVENANCE
+        self._dispatcher = ParallelDispatcher(
+            workers, telemetry=self._tel, provenance=self._prov
+        )
         self._m_degraded_rows = self._tel.metrics.counter("pipeline.degraded_rows")
         self._m_malformed = self._tel.metrics.counter("pipeline.malformed_rows")
         self._retriever = None
@@ -190,6 +195,7 @@ class HQDL:
         builder: RowPromptBuilder,
         keys: list[tuple],
         outcomes: list[DispatchOutcome],
+        prompts: Optional[list[str]] = None,
     ) -> TableGeneration:
         """Extract dispatched completions into a TableGeneration, in key order.
 
@@ -199,15 +205,31 @@ class HQDL:
         production pipeline survives a partial provider outage.
         """
         generation = TableGeneration(expansion_name=expansion_name)
-        key_width = len(self.world.expansion(expansion_name).key_columns)
-        for key, outcome in zip(keys, outcomes):
+        expansion = self.world.expansion(expansion_name)
+        key_width = len(expansion.key_columns)
+        prov = self._prov
+        value_columns = (
+            expansion.generated_column_names() if prov.enabled else []
+        )
+        for index, (key, outcome) in enumerate(zip(keys, outcomes)):
             generation.calls += 1
+            cid = (
+                call_id_for(prompts[index])
+                if prov.enabled and prompts is not None
+                else ""
+            )
             if outcome.error is not None:
                 generation.rows[key] = None
                 generation.degraded += 1
                 self._m_degraded_rows.inc()
                 if self.resilience is not None:
                     self.resilience.record_degraded(1)
+                if prov.enabled:
+                    for column in value_columns:
+                        prov.record_cell(
+                            expansion_name, key, column, cid,
+                            null=True, degraded=True,
+                        )
                 continue
             try:
                 fields = extract_row(
@@ -217,8 +239,16 @@ class HQDL:
                 generation.rows[key] = None
                 generation.malformed += 1
                 self._m_malformed.inc()
+                if prov.enabled:
+                    for column in value_columns:
+                        prov.record_cell(
+                            expansion_name, key, column, cid, null=True
+                        )
                 continue
             generation.rows[key] = fields[key_width:]
+            if prov.enabled:
+                for column in value_columns:
+                    prov.record_cell(expansion_name, key, column, cid)
         return generation
 
     def generate_table(self, expansion_name: str) -> TableGeneration:
@@ -241,7 +271,7 @@ class HQDL:
             )
             with (tel.tracer.span("hqdl:assemble") if tel.enabled else NULL_SPAN):
                 return self._assemble_table(
-                    expansion_name, builder, keys, outcomes
+                    expansion_name, builder, keys, outcomes, prompts
                 )
 
     def generate_all(self) -> GenerationResult:
@@ -279,7 +309,7 @@ class HQDL:
                     table_outcomes = outcomes[offset : offset + len(table_prompts)]
                     offset += len(table_prompts)
                     result.tables[name] = self._assemble_table(
-                        name, builder, keys, table_outcomes
+                        name, builder, keys, table_outcomes, table_prompts
                     )
         return result
 

@@ -1,0 +1,173 @@
+"""Error attribution: *why* a question missed, not just that it did.
+
+EX says a question's hybrid result differed from gold; this module joins
+that verdict against the run's provenance (:mod:`repro.obs.provenance`)
+to classify every miss into exactly one cause:
+
+``sql-mismatch``
+    The hybrid query itself failed to execute (or the pushdown/SQL
+    rewrite produced an error) — no LLM cell had the chance to be wrong.
+``degraded-batch``
+    At least one cell feeding the question was degraded to NULL by a
+    failed LLM call (retry budget spent, breaker open).
+``format-drift``
+    At least one cell is NULL although its call *returned* — the
+    completion resisted parsing/extraction.
+``stale-cache``
+    Every cell materialized, but at least one was served from a
+    cross-run tier (disk cache or the planner's mapping store) — a
+    candidate for invalidation when the oracle moved on.
+``oracle-knowledge``
+    Everything executed and parsed; the model's answers were simply
+    wrong.  The residual class — what remains when the machinery is
+    ruled out.
+
+The precedence above (top wins) makes the classes exhaustive *and*
+mutually exclusive by construction: every miss lands in exactly one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.eval.execution import ExecutionOutcome
+from repro.obs.provenance import (
+    TIER_DISK,
+    TIER_MAPPING_STORE,
+    CellProvenance,
+)
+from repro.swan.base import Question
+
+#: Every class a miss can land in, in classification precedence order.
+MISS_CLASSES = (
+    "sql-mismatch",
+    "degraded-batch",
+    "format-drift",
+    "stale-cache",
+    "oracle-knowledge",
+)
+
+#: Serving tiers that cross run boundaries and can therefore go stale.
+_STALE_TIERS = (TIER_DISK, TIER_MAPPING_STORE)
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """One missed question and the cause class it was attributed to."""
+
+    qid: str
+    database: str
+    pipeline: str
+    miss_class: str
+    #: a one-line human hint (the error text, the offending cell, ...)
+    detail: str = ""
+
+    def as_record(self) -> dict:
+        return {
+            "qid": self.qid,
+            "database": self.database,
+            "pipeline": self.pipeline,
+            "class": self.miss_class,
+            "detail": self.detail,
+        }
+
+
+def cells_for_question(
+    provenance, question: Question, pipeline: str
+) -> list[CellProvenance]:
+    """The provenance cells that fed one question's answer.
+
+    UDF cells are recorded under the question's qid (materialization
+    happens inside the question's execution).  HQDL cells are recorded
+    once per database with an empty qid, so they are matched by the
+    expansion columns the question declares it reads.
+    """
+    direct = provenance.cells_for(
+        qid=question.qid, database=question.database, pipeline=pipeline
+    )
+    if direct:
+        return direct
+    shared = provenance.cells_for(
+        qid="", database=question.database, pipeline=pipeline
+    )
+    wanted = set(question.expansion_columns)
+    if not wanted:
+        return shared
+    return [cell for cell in shared if cell.column in wanted]
+
+
+def classify_miss(
+    outcome: ExecutionOutcome,
+    cells: Sequence[CellProvenance],
+    *,
+    pipeline: str,
+) -> Attribution:
+    """Attribute one incorrect outcome to exactly one cause class."""
+    if outcome.error:
+        return Attribution(
+            qid=outcome.qid,
+            database=outcome.database,
+            pipeline=pipeline,
+            miss_class="sql-mismatch",
+            detail=outcome.error.splitlines()[0][:120],
+        )
+
+    def _attr(miss_class: str, cell: Optional[CellProvenance]) -> Attribution:
+        detail = ""
+        if cell is not None:
+            key = "/".join(str(part) for part in cell.key)
+            detail = f"{cell.table}[{key}].{cell.column}"
+        return Attribution(
+            qid=outcome.qid,
+            database=outcome.database,
+            pipeline=pipeline,
+            miss_class=miss_class,
+            detail=detail,
+        )
+
+    for cell in cells:
+        if cell.degraded:
+            return _attr("degraded-batch", cell)
+    for cell in cells:
+        if cell.null:
+            return _attr("format-drift", cell)
+    for cell in cells:
+        if cell.tier in _STALE_TIERS:
+            return _attr("stale-cache", cell)
+    return _attr("oracle-knowledge", None)
+
+
+def attribute_misses(
+    provenance,
+    outcomes: Iterable[ExecutionOutcome],
+    questions: Mapping[str, Question],
+    *,
+    pipeline: str,
+) -> list[Attribution]:
+    """Classify every incorrect outcome; correct ones contribute nothing.
+
+    ``questions`` maps qid → :class:`~repro.swan.base.Question` (needed
+    for HQDL's expansion-column matching).  Outcomes without a question
+    entry are classified from their own fields with no cell context.
+    """
+    attributions: list[Attribution] = []
+    for outcome in outcomes:
+        if outcome.correct:
+            continue
+        question = questions.get(outcome.qid)
+        cells = (
+            cells_for_question(provenance, question, pipeline)
+            if question is not None
+            else []
+        )
+        attributions.append(classify_miss(outcome, cells, pipeline=pipeline))
+    return attributions
+
+
+def attribution_counts(attributions: Iterable[Attribution]) -> dict[str, int]:
+    """Miss count per class, every class present (zero when unused)."""
+    counts = {miss_class: 0 for miss_class in MISS_CLASSES}
+    for attribution in attributions:
+        counts[attribution.miss_class] += 1
+    return counts

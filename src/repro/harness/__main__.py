@@ -193,6 +193,48 @@ def _bench_cache_report(
     return [payload], format_cache_report(payload, path)
 
 
+def _explain_command(options) -> tuple[int, str]:
+    """One-question provenance explanation (tentpole PR 5 CLI)."""
+    from repro.errors import ReproError
+    from repro.harness.explain import explain_question
+
+    if not options["database"] or not options["question"]:
+        raise ValueError("explain requires --database=NAME and --question=REF")
+    try:
+        text = explain_question(
+            options["database"],
+            options["question"],
+            pipeline=options["pipeline"],
+            workers=options["workers"],
+        )
+    except ReproError as exc:
+        raise ValueError(str(exc)) from None
+    return 0, text
+
+
+def _regress_command(options) -> tuple[int, str]:
+    """Ledger-backed regression gate (tentpole PR 5 CLI)."""
+    from repro.harness.regress import run_regress
+
+    return run_regress(
+        ledger_path=options["ledger"],
+        baseline_path=options["baseline"],
+        update_baseline=options["update_baseline"],
+        max_ex_drop=options["max_ex_drop"],
+        max_token_growth=options["max_token_growth"],
+        max_makespan_growth=options["max_makespan_growth"],
+    )
+
+
+#: Commands that do something other than render a report table.  Each
+#: takes the parsed options and returns (exit code, text); they must be
+#: invoked alone — mixing them with report targets is a usage error.
+_COMMANDS = {
+    "explain": _explain_command,
+    "regress": _regress_command,
+}
+
+
 _GENERATORS = {
     "table1": tables.table1,
     "table2": tables.table2,
@@ -229,17 +271,42 @@ def _usage() -> str:
     return (
         "usage: python -m repro.harness [target ...] "
         "[--databases=a,b] [--workers=N] [--batch-size=N] [--cache-dir=DIR]\n"
+        "       python -m repro.harness explain --database=NAME "
+        "--question=REF [--pipeline=udf|hqdl] [--workers=N]\n"
+        "       python -m repro.harness regress [--ledger=PATH] "
+        "[--baseline=PATH] [--update-baseline]\n"
+        "           [--max-ex-drop=F] [--max-token-growth=F] "
+        "[--max-makespan-growth=F]\n"
         f"targets: {', '.join(_GENERATORS)} | all\n"
+        f"commands: {', '.join(_COMMANDS)} (invoked alone)\n"
         f"flags apply to: {', '.join(_FLAG_TARGETS)}"
     )
 
 
 def _parse_args(argv: list[str]):
     """(targets, options) from argv; raises ValueError with a message."""
+    from repro.harness.regress import DEFAULT_BASELINE, DEFAULT_LEDGER
+
     targets: list[str] = []
     options = {
         "databases": None, "workers": 1, "batch_size": 5, "cache_dir": None,
+        "database": None, "question": None, "pipeline": "udf",
+        "ledger": DEFAULT_LEDGER, "baseline": DEFAULT_BASELINE,
+        "update_baseline": False, "max_ex_drop": 0.0,
+        "max_token_growth": 0.10, "max_makespan_growth": 0.25,
     }
+
+    def _float_option(name: str, value: str) -> float:
+        try:
+            parsed = float(value)
+        except ValueError:
+            raise ValueError(
+                f"{name} requires a number, got {value!r}"
+            ) from None
+        if parsed < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+        return parsed
+
     for arg in argv:
         if not arg.startswith("-"):
             targets.append(arg)
@@ -275,6 +342,38 @@ def _parse_args(argv: list[str]):
             if not sep or not value:
                 raise ValueError("--cache-dir requires a directory path")
             options["cache_dir"] = value
+        elif name == "--database":
+            if not sep or not value:
+                raise ValueError("--database requires a database name")
+            options["database"] = value
+        elif name == "--question":
+            if not sep or not value:
+                raise ValueError("--question requires a qid or 1-based index")
+            options["question"] = value
+        elif name == "--pipeline":
+            if value not in ("udf", "hqdl"):
+                raise ValueError(
+                    f"--pipeline must be 'udf' or 'hqdl', got {value!r}"
+                )
+            options["pipeline"] = value
+        elif name == "--ledger":
+            if not sep or not value:
+                raise ValueError("--ledger requires a file path")
+            options["ledger"] = value
+        elif name == "--baseline":
+            if not sep or not value:
+                raise ValueError("--baseline requires a file path")
+            options["baseline"] = value
+        elif name == "--update-baseline":
+            if sep:
+                raise ValueError("--update-baseline takes no value")
+            options["update_baseline"] = True
+        elif name == "--max-ex-drop":
+            options["max_ex_drop"] = _float_option(name, value)
+        elif name == "--max-token-growth":
+            options["max_token_growth"] = _float_option(name, value)
+        elif name == "--max-makespan-growth":
+            options["max_makespan_growth"] = _float_option(name, value)
         else:
             raise ValueError(f"unknown flag: {arg}")
     return targets, options
@@ -296,6 +395,22 @@ def main(argv: list[str]) -> int:
         print(_usage(), file=sys.stderr)
         return 2
     targets = targets or ["all"]
+    if any(t in _COMMANDS for t in targets):
+        if len(targets) != 1:
+            print(
+                "error: explain/regress must be invoked alone",
+                file=sys.stderr,
+            )
+            print(_usage(), file=sys.stderr)
+            return 2
+        try:
+            code, text = _COMMANDS[targets[0]](options)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(_usage(), file=sys.stderr)
+            return 2
+        print(text)
+        return code
     if targets == ["all"]:
         targets = [t for t in _GENERATORS if t not in _EXCLUDED_FROM_ALL]
     unknown = [t for t in targets if t not in _GENERATORS]

@@ -1,0 +1,208 @@
+"""``python -m repro.harness explain``: one question, fully accounted.
+
+Re-runs one database with tracing and provenance enabled, then prints
+everything the run learned about one question:
+
+- the question's **span tree** (virtual-time durations, per stage);
+- the **provenance summary** — how many cells fed the answer, how they
+  were served (fresh / memory / disk / mapping-store), how many came
+  back NULL and why — plus sample cell → call chains;
+- the **miss classification** from :mod:`repro.eval.attribution` when
+  the question missed, or a plain CORRECT verdict when it didn't.
+
+The rerun is deterministic (mock oracle, virtual clock), so explain
+output is stable run over run — suitable for diffing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.eval.attribution import cells_for_question, classify_miss
+from repro.llm.parallel import SimulatedClock, SimulatedLatencyClient
+from repro.obs import ProvenanceRecorder, Telemetry
+from repro.swan.base import Question
+from repro.swan.benchmark import Swan, load_benchmark
+
+#: how many cell → call chains explain prints before eliding
+_MAX_CHAINS = 8
+
+#: how many same-named sibling spans render before the rest collapse
+_MAX_SIBLINGS = 6
+
+
+def _resolve_question(swan: Swan, database: str, question_ref: str) -> Question:
+    """A question by qid, or by 1-based index within its database."""
+    questions = swan.questions_for(database)
+    if question_ref.isdigit():
+        index = int(question_ref)
+        if not 1 <= index <= len(questions):
+            raise ReproError(
+                f"question index must be 1..{len(questions)}, got {index}"
+            )
+        return questions[index - 1]
+    for question in questions:
+        if question.qid == question_ref:
+            return question
+    raise ReproError(
+        f"no question {question_ref!r} in database {database!r}; "
+        f"use a qid like {questions[0].qid!r} or an index 1..{len(questions)}"
+    )
+
+
+def _render_span(span, indent: int = 0) -> list[str]:
+    attrs = ", ".join(
+        f"{key}={value}" for key, value in sorted(span.attributes.items())
+    )
+    suffix = f" [{attrs}]" if attrs else ""
+    lines = [
+        f"{'  ' * indent}{span.name} ({span.duration:.3f}s){suffix}"
+    ]
+    # collapse long runs of same-named siblings (26 llm:call spans say
+    # less than 6 spans plus an aggregate line)
+    shown: dict[str, int] = {}
+    elided: dict[str, list] = {}
+    for child in span.children:
+        count = shown.get(child.name, 0)
+        if count < _MAX_SIBLINGS:
+            shown[child.name] = count + 1
+            lines.extend(_render_span(child, indent + 1))
+        else:
+            elided.setdefault(child.name, []).append(child)
+    for name, children in elided.items():
+        total = sum(child.duration for child in children)
+        lines.append(
+            f"{'  ' * (indent + 1)}... {len(children)} more {name} "
+            f"span(s) ({total:.3f}s total)"
+        )
+    return lines
+
+
+def _question_span(telemetry: Telemetry, qid: str):
+    for span in telemetry.tracer.spans:
+        if span.name == "question" and span.attributes.get("qid") == qid:
+            return span
+    return None
+
+
+def _tier_counts(cells) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for cell in cells:
+        counts[cell.tier] = counts.get(cell.tier, 0) + 1
+    return counts
+
+
+def _chain_line(provenance, cell) -> str:
+    key = "/".join(str(part) for part in cell.key)
+    target = f"{cell.table}[{key}].{cell.column}"
+    flags = []
+    if cell.degraded:
+        flags.append("degraded")
+    elif cell.null:
+        flags.append("null")
+    call = provenance.call(cell.call_id)
+    if call is None:
+        source = f"<- ({cell.tier}, no call record)"
+    else:
+        parts = [cell.tier, f"{call.dispatches} dispatch(es)"]
+        if call.paid_calls:
+            parts.append(f"{call.input_tokens}->{call.output_tokens} tokens")
+        if call.retries:
+            parts.append(f"{call.retries} retries: {','.join(call.faults)}")
+        if call.failed:
+            parts.append(f"FAILED {call.error}")
+        if call.planned:
+            parts.append("planned")
+        source = f"<- {call.call_id} ({', '.join(parts)})"
+    flag_text = f" [{', '.join(flags)}]" if flags else ""
+    return f"{target}{flag_text} {source}"
+
+
+def explain_question(
+    database: str,
+    question_ref: str,
+    *,
+    pipeline: str = "udf",
+    model_name: str = "gpt-3.5-turbo",
+    shots: int = 0,
+    workers: int = 1,
+    plan: Optional[str] = None,
+    swan: Optional[Swan] = None,
+) -> str:
+    """Rerun one database and explain one question's answer end to end."""
+    from repro.harness.runner import GoldResults, run_hqdl, run_udf
+
+    if pipeline not in ("udf", "hqdl"):
+        raise ReproError(f"pipeline must be 'udf' or 'hqdl', got {pipeline!r}")
+    swan = swan if swan is not None else load_benchmark()
+    if database not in swan.database_names():
+        raise ReproError(
+            f"unknown database {database!r}; valid names are: "
+            f"{', '.join(swan.database_names())}"
+        )
+    question = _resolve_question(swan, database, question_ref)
+    clock = SimulatedClock(workers)
+    telemetry = Telemetry.on(clock)
+    provenance = ProvenanceRecorder()
+    gold = GoldResults(swan)
+    common = dict(
+        databases=[database], gold=gold, workers=workers,
+        wrap_client=lambda model: SimulatedLatencyClient(model, clock),
+        telemetry=telemetry, provenance=provenance,
+    )
+    if pipeline == "udf":
+        run = run_udf(swan, model_name, shots, plan=plan, **common)
+    else:
+        run = run_hqdl(swan, model_name, shots, **common)
+
+    outcome = next(
+        (o for o in run.outcomes if o.qid == question.qid), None
+    )
+    if outcome is None:  # pragma: no cover - resolve_question precludes it
+        raise ReproError(f"question {question.qid!r} produced no outcome")
+
+    lines: list[str] = []
+    lines.append(
+        f"== {question.qid} ({pipeline}, {model_name}, {shots}-shot"
+        + (f", plan={plan}" if plan else "")
+        + ") =="
+    )
+    if outcome.correct:
+        lines.append("verdict: CORRECT")
+    else:
+        cells = cells_for_question(provenance, question, pipeline)
+        attribution = classify_miss(outcome, cells, pipeline=pipeline)
+        lines.append(f"verdict: MISS ({attribution.miss_class})")
+        if attribution.detail:
+            lines.append(f"  detail: {attribution.detail}")
+    lines.append(
+        f"rows: expected {outcome.expected_rows}, got {outcome.actual_rows}"
+        + (f"; error: {outcome.error}" if outcome.error else "")
+    )
+
+    span = _question_span(telemetry, question.qid)
+    lines.append("")
+    lines.append("span tree (virtual time):")
+    if span is None:
+        lines.append("  (no question span recorded)")
+    else:
+        lines.extend("  " + line for line in _render_span(span))
+
+    cells = cells_for_question(provenance, question, pipeline)
+    lines.append("")
+    nulls = sum(1 for c in cells if c.null)
+    degraded = sum(1 for c in cells if c.degraded)
+    tiers = ", ".join(
+        f"{tier}={count}" for tier, count in sorted(_tier_counts(cells).items())
+    )
+    lines.append(
+        f"provenance: {len(cells)} cells ({nulls} null, {degraded} degraded)"
+        + (f"; tiers: {tiers}" if cells else "")
+    )
+    interesting = [c for c in cells if c.null or c.degraded] or cells
+    for cell in interesting[:_MAX_CHAINS]:
+        lines.append(f"  {_chain_line(provenance, cell)}")
+    if len(interesting) > _MAX_CHAINS:
+        lines.append(f"  ... and {len(interesting) - _MAX_CHAINS} more")
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""``python -m repro.harness regress``: regression gating over the ledger.
+
+Runs the canonical regression workload (HQ UDFs on ``superhero``,
+``gpt-3.5-turbo``, 0-shot — deterministic under the mock oracle),
+appends it to the persistent :class:`~repro.obs.ledger.RunLedger`, and
+diffs the fresh run against a committed baseline JSON:
+
+- **EX drop** beyond ``--max-ex-drop`` (default 0.0 — any drop fails);
+- **token growth** beyond ``--max-token-growth`` (default 10%);
+- **virtual-makespan growth** beyond ``--max-makespan-growth``
+  (default 25%).
+
+Exit code 1 on any breach, 0 when clean — so CI can gate on it.
+``--update-baseline`` rewrites the baseline from the fresh run instead
+of diffing (exit 0).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.obs.ledger import RunLedger, config_fingerprint
+
+#: Default artifact locations, relative to the invocation directory.
+DEFAULT_LEDGER = "BENCH_ledger.sqlite"
+DEFAULT_BASELINE = "baselines/regress_baseline.json"
+
+#: The fixed regression workload (small, deterministic, ~seconds).
+_REGRESS_LABEL = "regress"
+_REGRESS_DATABASES = ("superhero",)
+_REGRESS_MODEL = "gpt-3.5-turbo"
+_REGRESS_SHOTS = 0
+_REGRESS_WORKERS = 4
+
+#: The scalars a baseline must carry to be diffable.
+BASELINE_FIELDS = ("ex", "total_tokens", "makespan")
+
+
+def _run_workload(ledger: RunLedger) -> dict:
+    """Run the regression workload, append it, return its ledger row."""
+    from repro.harness.runner import run_udf
+    from repro.swan.benchmark import load_benchmark
+
+    swan = load_benchmark()
+    run_udf(
+        swan,
+        _REGRESS_MODEL,
+        _REGRESS_SHOTS,
+        databases=list(_REGRESS_DATABASES),
+        workers=_REGRESS_WORKERS,
+        ledger=ledger,
+        ledger_label=_REGRESS_LABEL,
+    )
+    row = ledger.latest(label=_REGRESS_LABEL)
+    assert row is not None  # append just happened
+    return row
+
+
+def _baseline_from_row(row: dict) -> dict:
+    return {
+        "label": row["label"],
+        "pipeline": row["pipeline"],
+        "fingerprint": row["fingerprint"],
+        "ex": row["ex"],
+        "total_tokens": row["input_tokens"] + row["output_tokens"],
+        "makespan": row["makespan"],
+        "llm_calls": row["llm_calls"],
+        "config": row["payload"].get("config", {}),
+    }
+
+
+def load_baseline(path: Union[str, Path]) -> Optional[dict]:
+    """The baseline dict, or None when missing/unreadable/incomplete."""
+    path = Path(path)
+    try:
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(baseline, dict):
+        return None
+    if any(not isinstance(baseline.get(f), (int, float)) for f in BASELINE_FIELDS):
+        return None
+    return baseline
+
+
+def write_baseline(path: Union[str, Path], row: dict) -> dict:
+    """Write (and return) a baseline JSON distilled from one ledger row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    baseline = _baseline_from_row(row)
+    path.write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return baseline
+
+
+def _growth(latest: float, baseline: float) -> float:
+    if baseline <= 0:
+        return 0.0 if latest <= 0 else float("inf")
+    return (latest - baseline) / baseline
+
+
+def diff_against_baseline(
+    row: dict,
+    baseline: dict,
+    *,
+    max_ex_drop: float = 0.0,
+    max_token_growth: float = 0.10,
+    max_makespan_growth: float = 0.25,
+) -> tuple[bool, list[str]]:
+    """(ok, report lines) for one fresh ledger row vs one baseline."""
+    fresh = _baseline_from_row(row)
+    lines: list[str] = []
+    ok = True
+
+    if fresh["fingerprint"] != baseline.get("fingerprint"):
+        lines.append(
+            "note: config fingerprint changed "
+            f"({baseline.get('fingerprint')} -> {fresh['fingerprint']}); "
+            "thresholds still apply, consider --update-baseline"
+        )
+
+    checks = (
+        (
+            "EX",
+            baseline["ex"],
+            fresh["ex"],
+            baseline["ex"] - fresh["ex"],
+            max_ex_drop,
+            "drop",
+        ),
+        (
+            "tokens",
+            baseline["total_tokens"],
+            fresh["total_tokens"],
+            _growth(fresh["total_tokens"], baseline["total_tokens"]),
+            max_token_growth,
+            "growth",
+        ),
+        (
+            "makespan",
+            baseline["makespan"],
+            fresh["makespan"],
+            _growth(fresh["makespan"], baseline["makespan"]),
+            max_makespan_growth,
+            "growth",
+        ),
+    )
+    for name, base, latest, delta, threshold, kind in checks:
+        breached = delta > threshold + 1e-9
+        status = "FAIL" if breached else "ok"
+        ok = ok and not breached
+        lines.append(
+            f"{name}: baseline {base:g}, latest {latest:g}, "
+            f"{kind} {delta:+.4g} (max {threshold:g}) [{status}]"
+        )
+    return ok, lines
+
+
+def run_regress(
+    *,
+    ledger_path: Union[str, Path] = DEFAULT_LEDGER,
+    baseline_path: Union[str, Path] = DEFAULT_BASELINE,
+    update_baseline: bool = False,
+    max_ex_drop: float = 0.0,
+    max_token_growth: float = 0.10,
+    max_makespan_growth: float = 0.25,
+) -> tuple[int, str]:
+    """Run the workload, append to the ledger, diff vs the baseline.
+
+    Returns ``(exit_code, report_text)``: 0 clean, 1 on a regression or
+    a missing baseline.
+    """
+    with RunLedger(ledger_path) as ledger:
+        row = _run_workload(ledger)
+        history = len(ledger)
+    lines = [
+        f"regress run #{row['id']} appended to {ledger_path} "
+        f"({history} run(s) on record)",
+        f"workload: {row['pipeline']} on {','.join(_REGRESS_DATABASES)}, "
+        f"{_REGRESS_MODEL}, {_REGRESS_SHOTS}-shot, fingerprint "
+        f"{row['fingerprint']}",
+    ]
+
+    if update_baseline:
+        baseline = write_baseline(baseline_path, row)
+        lines.append(
+            f"baseline updated: {baseline_path} "
+            f"(ex {baseline['ex']:g}, tokens {baseline['total_tokens']}, "
+            f"makespan {baseline['makespan']:g})"
+        )
+        return 0, "\n".join(lines)
+
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
+        lines.append(
+            f"no usable baseline at {baseline_path}; "
+            "run with --update-baseline to create one"
+        )
+        return 1, "\n".join(lines)
+
+    ok, diff_lines = diff_against_baseline(
+        row,
+        baseline,
+        max_ex_drop=max_ex_drop,
+        max_token_growth=max_token_growth,
+        max_makespan_growth=max_makespan_growth,
+    )
+    lines.extend(diff_lines)
+    lines.append("regression check: " + ("PASS" if ok else "FAIL"))
+    return (0 if ok else 1), "\n".join(lines)

@@ -36,8 +36,10 @@ from repro.llm.resilience import (
     RetryingClient,
     RetryPolicy,
 )
+from repro.llm.batching import parallel_makespan
 from repro.llm.usage import Usage, UsageMeter
-from repro.obs import NULL_TELEMETRY, MetricsRegistry, Telemetry
+from repro.obs import NULL_PROVENANCE, NULL_TELEMETRY, MetricsRegistry, Telemetry
+from repro.obs.ledger import RunLedger
 from repro.obs.trace import NULL_SPAN
 from repro.plan import CallPlanner, MappingStore
 from repro.sqlengine.results import ResultSet
@@ -149,6 +151,9 @@ class UDFRun:
     #: (input, output) token sizes of every *paid* LLM call in the run —
     #: planner dispatch plus question-time calls — for virtual makespans
     call_sizes: list[tuple[int, int]] = field(default_factory=list)
+    #: non-NULL mapping/join keys materialized across all questions —
+    #: the denominator provenance completeness is checked against
+    keys_generated: int = 0
 
     @property
     def overall_ex(self) -> float:
@@ -161,6 +166,45 @@ class UDFRun:
     @property
     def persistent_misses(self) -> int:
         return sum(s.get("misses", 0) for s in self.persistent.values())
+
+
+def _append_run(
+    ledger: RunLedger,
+    *,
+    label: str,
+    pipeline: str,
+    config: dict,
+    ex: float,
+    f1: Optional[float],
+    usage: Usage,
+    makespan: Optional[float],
+    telemetry: Optional[Telemetry],
+    provenance,
+) -> int:
+    """Append one finished run to the ledger, with whatever context exists.
+
+    The payload carries the telemetry counter snapshot and provenance
+    stats when those subsystems ran enabled; the regression-gated scalars
+    always land in typed columns.
+    """
+    payload: dict = {}
+    snapshot = _metrics_snapshot(telemetry)
+    if snapshot is not None:
+        payload["metrics"] = snapshot
+    if provenance is not None and provenance.enabled:
+        payload["provenance"] = provenance.stats()
+    return ledger.append(
+        label=label,
+        pipeline=pipeline,
+        config=config,
+        ex=round(ex, 6),
+        f1=round(f1, 6) if f1 is not None else None,
+        llm_calls=usage.calls,
+        input_tokens=usage.input_tokens,
+        output_tokens=usage.output_tokens,
+        makespan=round(makespan, 6) if makespan is not None else None,
+        payload=payload,
+    )
 
 
 def run_hqdl(
@@ -177,6 +221,9 @@ def run_hqdl(
     telemetry: Optional[Telemetry] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     call_order: str = "collection",
+    provenance=None,
+    ledger: Optional[RunLedger] = None,
+    ledger_label: str = "hqdl",
 ) -> HQDLRun:
     """Run HQDL for one (model, shots) configuration.
 
@@ -204,6 +251,7 @@ def run_hqdl(
     run = HQDLRun(model=model_name, shots=shots)
     meter = UsageMeter()
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    prov = provenance if provenance is not None else NULL_PROVENANCE
 
     with (
         tel.tracer.span("run", pipeline="hqdl", model=model_name, shots=shots)
@@ -216,7 +264,7 @@ def run_hqdl(
                 tel.tracer.span("database", parent=run_span, database=name)
                 if tel.enabled
                 else NULL_SPAN
-            ):
+            ), prov.context(pipeline="hqdl", database=name):
                 world = swan.world(name)
                 model: ChatClient = MockChatModel(
                     KnowledgeOracle(world), profile, meter=meter
@@ -229,12 +277,13 @@ def run_hqdl(
                         Path(cache_dir) / f"{name}.sqlite"
                     )
                     model = PersistentClient(
-                        model, disk_cache, shots=shots, telemetry=tel
+                        model, disk_cache, shots=shots, telemetry=tel,
+                        provenance=prov,
                     )
                 pipeline = HQDL(
                     world, model, shots=shots, workers=workers,
                     call_order=call_order, resilience=resilience,
-                    telemetry=tel,
+                    telemetry=tel, provenance=prov,
                 )
                 generation = pipeline.generate_all()
                 f1 = database_factuality(world, generation)
@@ -246,7 +295,7 @@ def run_hqdl(
                             tel.tracer.span("question", qid=question.qid)
                             if tel.enabled
                             else NULL_SPAN
-                        ) as qspan:
+                        ) as qspan, prov.context(qid=question.qid):
                             try:
                                 actual = pipeline.answer(db, question)
                             except ReproError as exc:
@@ -277,6 +326,26 @@ def run_hqdl(
         run.usage = meter.total
         if tel.enabled:
             run_span.set("ex", round(run.overall_ex, 4))
+    if ledger is not None:
+        _append_run(
+            ledger,
+            label=ledger_label,
+            pipeline="hqdl",
+            config={
+                "pipeline": "hqdl",
+                "model": model_name,
+                "shots": shots,
+                "databases": sorted(names),
+                "workers": workers,
+                "call_order": call_order,
+            },
+            ex=run.overall_ex,
+            f1=run.average_f1,
+            usage=run.usage,
+            makespan=None,
+            telemetry=telemetry,
+            provenance=prov,
+        )
     return run
 
 
@@ -297,6 +366,9 @@ def run_udf(
     plan: Optional[str] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     batch_policy: Optional[object] = None,
+    provenance=None,
+    ledger: Optional[RunLedger] = None,
+    ledger_label: str = "udf",
 ) -> UDFRun:
     """Run Hybrid Query UDFs for one configuration.
 
@@ -338,6 +410,7 @@ def run_udf(
     )
     meter = UsageMeter()
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    prov = provenance if provenance is not None else NULL_PROVENANCE
 
     with (
         tel.tracer.span("run", pipeline="udf", model=model_name, shots=shots)
@@ -350,7 +423,7 @@ def run_udf(
                 tel.tracer.span("database", parent=run_span, database=name)
                 if tel.enabled
                 else NULL_SPAN
-            ):
+            ), prov.context(pipeline="udf", database=name):
                 world = swan.world(name)
                 model: ChatClient = MockChatModel(
                     KnowledgeOracle(world), profile, meter=meter
@@ -363,12 +436,14 @@ def run_udf(
                         Path(cache_dir) / f"{name}.sqlite"
                     )
                     model = PersistentClient(
-                        model, disk_cache, shots=shots, telemetry=tel
+                        model, disk_cache, shots=shots, telemetry=tel,
+                        provenance=prov,
                     )
                 cache = PromptCache()
                 store = MappingStore() if plan == "pairs" else None
                 db_outcomes: list[ExecutionOutcome] = []
                 call_sizes: list[tuple[int, int]] = []
+                keys_generated = 0
                 plan_record: Optional[dict] = None
                 with build_curated_database(world) as db:
                     executor = HybridQueryExecutor(
@@ -384,6 +459,7 @@ def run_udf(
                         telemetry=tel,
                         batch_policy=batch_policy,
                         mapping_store=store,
+                        provenance=prov,
                     )
                     questions = swan.questions_for(name)
                     if plan is not None:
@@ -401,7 +477,7 @@ def run_udf(
                             tel.tracer.span("question", qid=question.qid)
                             if tel.enabled
                             else NULL_SPAN
-                        ) as qspan:
+                        ) as qspan, prov.context(qid=question.qid):
                             try:
                                 actual, question_report = (
                                     executor.execute_with_report(
@@ -417,17 +493,22 @@ def run_udf(
                                     question, expected, actual
                                 )
                                 call_sizes.extend(question_report.call_sizes)
+                                keys_generated += question_report.keys_generated
                             qspan.set("correct", outcome.correct)
                         db_outcomes.append(outcome)
                 disk_stats = None
                 if disk_cache is not None:
                     disk_stats = disk_cache.stats()
                     disk_cache.close()
-                return cache, plan_record, disk_stats, call_sizes, db_outcomes
+                return (
+                    cache, plan_record, disk_stats, call_sizes,
+                    keys_generated, db_outcomes,
+                )
 
-        for name, (cache, plan_record, disk_stats, call_sizes, db_outcomes) in zip(
-            names, _map_databases(names, db_workers, _one_database)
-        ):
+        for name, (
+            cache, plan_record, disk_stats, call_sizes, keys_generated,
+            db_outcomes,
+        ) in zip(names, _map_databases(names, db_workers, _one_database)):
             run.cache_hits += cache.hits
             run.cache_misses += cache.misses
             if plan_record is not None:
@@ -435,11 +516,34 @@ def run_udf(
             if disk_stats is not None:
                 run.persistent[name] = disk_stats
             run.call_sizes.extend(call_sizes)
+            run.keys_generated += keys_generated
             run.ex_by_db[name] = execution_accuracy(db_outcomes)
             run.outcomes.extend(db_outcomes)
         run.usage = meter.total
         if tel.enabled:
             run_span.set("ex", round(run.overall_ex, 4))
+    if ledger is not None:
+        _append_run(
+            ledger,
+            label=ledger_label,
+            pipeline="udf",
+            config={
+                "pipeline": "udf",
+                "model": model_name,
+                "shots": shots,
+                "databases": sorted(names),
+                "batch_size": batch_size,
+                "pushdown": pushdown,
+                "plan": plan,
+                "workers": workers,
+            },
+            ex=run.overall_ex,
+            f1=None,
+            usage=run.usage,
+            makespan=parallel_makespan(run.call_sizes, max(workers, 1)),
+            telemetry=telemetry,
+            provenance=prov,
+        )
     return run
 
 
@@ -506,6 +610,7 @@ def build_resilient_stack(
     breaker: Optional[CircuitBreaker] = None,
     report: Optional[ResilienceReport] = None,
     telemetry: Optional[Telemetry] = None,
+    provenance=None,
 ) -> RetryingClient:
     """model -> FaultyClient -> RetryingClient, the chaos-run stack.
 
@@ -522,6 +627,7 @@ def build_resilient_stack(
         breaker=breaker,
         report=report,
         telemetry=telemetry,
+        provenance=provenance,
     )
 
 
@@ -571,6 +677,8 @@ def run_udf_chaos(
     workers: int = 1,
     db_workers: int = 1,
     telemetry: Optional[Telemetry] = None,
+    provenance=None,
+    ledger: Optional[RunLedger] = None,
 ) -> ChaosRun:
     """Run HQ UDFs with fault injection and a resilient dispatch stack.
 
@@ -586,6 +694,7 @@ def run_udf_chaos(
         return build_resilient_stack(
             model, plan=plan, injector=injector, policy=policy,
             clock=clock, breaker=breaker, report=report, telemetry=telemetry,
+            provenance=provenance,
         )
 
     run = run_udf(
@@ -593,6 +702,7 @@ def run_udf_chaos(
         batch_size=batch_size, pushdown=pushdown, databases=databases,
         gold=gold, workers=workers, db_workers=db_workers,
         wrap_client=wrap, resilience=report, telemetry=telemetry,
+        provenance=provenance, ledger=ledger, ledger_label="udf-chaos",
     )
     return ChaosRun(
         pipeline="udf",
@@ -626,6 +736,8 @@ def run_hqdl_chaos(
     workers: int = 1,
     db_workers: int = 1,
     telemetry: Optional[Telemetry] = None,
+    provenance=None,
+    ledger: Optional[RunLedger] = None,
 ) -> ChaosRun:
     """Run HQDL with fault injection; degraded rows materialize as NULLs."""
     plan, injector, report, clock, policy = _chaos_pieces(
@@ -636,6 +748,7 @@ def run_hqdl_chaos(
         return build_resilient_stack(
             model, plan=plan, injector=injector, policy=policy,
             clock=clock, breaker=breaker, report=report, telemetry=telemetry,
+            provenance=provenance,
         )
 
     run = run_hqdl(
@@ -643,6 +756,7 @@ def run_hqdl_chaos(
         databases=databases, gold=gold, workers=workers,
         db_workers=db_workers, wrap_client=wrap, resilience=report,
         telemetry=telemetry,
+        provenance=provenance, ledger=ledger, ledger_label="hqdl-chaos",
     )
     return ChaosRun(
         pipeline="hqdl",

@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 
 from repro.llm.client import ChatClient, ChatResponse
 from repro.llm.usage import Usage
-from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs import NULL_PROVENANCE, NULL_TELEMETRY, Telemetry
+from repro.obs.provenance import TIER_MEMORY
 from repro.obs.trace import NULL_SPAN
 
 
@@ -108,6 +109,7 @@ class CachingClient:
         cache: PromptCache | None = None,
         *,
         telemetry: Telemetry | None = None,
+        provenance=None,
     ) -> None:
         self.inner = inner
         # `cache or PromptCache()` would discard an *empty* shared cache
@@ -119,6 +121,7 @@ class CachingClient:
         #: how many calls joined another thread's in-flight request
         self.single_flight_waits = 0
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._prov = provenance if provenance is not None else NULL_PROVENANCE
         metrics = self._tel.metrics
         self._m_hits = metrics.counter("llm.cache.hits")
         self._m_misses = metrics.counter("llm.cache.misses")
@@ -139,6 +142,8 @@ class CachingClient:
                     cached = self.cache.get(prompt)
                     if cached is not None:
                         self._m_hits.inc()
+                        if self._prov.enabled:
+                            self._prov.record_tier(prompt, TIER_MEMORY)
                         span.set("outcome", "hit")
                         return ChatResponse(cached, Usage())
                     flight = _Flight()
@@ -162,6 +167,10 @@ class CachingClient:
                 self.single_flight_waits += 1
             self._m_hits.inc()
             self._m_joins.inc()
+            if self._prov.enabled:
+                # a single-flight join is a memory-tier reuse: the
+                # follower never reached the model
+                self._prov.record_tier(prompt, TIER_MEMORY)
             span.set("outcome", "join")
             return ChatResponse(flight.response.text, Usage())
 

@@ -40,7 +40,8 @@ from typing import Optional, Union
 
 from repro.llm.client import ChatClient, ChatResponse
 from repro.llm.usage import Usage
-from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs import NULL_PROVENANCE, NULL_TELEMETRY, Telemetry
+from repro.obs.provenance import TIER_DISK, TIER_FRESH
 from repro.obs.trace import NULL_SPAN
 
 #: Bump to invalidate every persisted completion (key format, prompt
@@ -243,12 +244,14 @@ class PersistentClient:
         *,
         shots: int = 0,
         telemetry: Optional[Telemetry] = None,
+        provenance=None,
     ) -> None:
         self.inner = inner
         self.cache = cache
         self.shots = shots
         self.model_name = inner.model_name
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._prov = provenance if provenance is not None else NULL_PROVENANCE
         metrics = self._tel.metrics
         self._m_hits = metrics.counter("llm.cache.persistent_hits")
         self._m_misses = metrics.counter("llm.cache.persistent_misses")
@@ -263,10 +266,14 @@ class PersistentClient:
             cached = self.cache.get(self.model_name, self.shots, prompt)
             if cached is not None:
                 self._m_hits.inc()
+                if self._prov.enabled:
+                    self._prov.record_tier(prompt, TIER_DISK)
                 span.set("outcome", "hit")
                 return ChatResponse(cached, Usage())
             self._m_misses.inc()
             span.set("outcome", "miss")
             response = self.inner.complete(prompt, label=label)
+            if self._prov.enabled:
+                self._prov.record_tier(prompt, TIER_FRESH)
             self.cache.put(self.model_name, self.shots, prompt, response.text)
             return response

@@ -34,7 +34,7 @@ from repro.errors import LLMError, RetryBudgetExceededError, TransientLLMError
 from repro.llm.batching import LatencyModel
 from repro.llm.client import ChatClient, ChatResponse
 from repro.llm.usage import Usage
-from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs import NULL_PROVENANCE, NULL_TELEMETRY, Telemetry
 from repro.obs.trace import NULL_SPAN
 
 
@@ -92,12 +92,17 @@ class ParallelDispatcher:
     """
 
     def __init__(
-        self, workers: int = 1, *, telemetry: Optional[Telemetry] = None
+        self,
+        workers: int = 1,
+        *,
+        telemetry: Optional[Telemetry] = None,
+        provenance=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._prov = provenance if provenance is not None else NULL_PROVENANCE
         metrics = self._tel.metrics
         self._m_dispatches = metrics.counter("dispatch.dispatches")
         self._m_calls = metrics.counter("dispatch.calls")
@@ -131,6 +136,11 @@ class ParallelDispatcher:
                 first_index[prompt] = len(unique)
                 unique.append((prompt, label_list[index]))
         tel = self._tel
+        if self._prov.enabled:
+            # every *requested* call gets a record (duplicates bump the
+            # dispatch counter of the shared prompt's record)
+            for index, prompt in enumerate(prompts):
+                self._prov.record_call(prompt, label=label_list[index])
         self._m_dispatches.inc()
         self._m_dedup.inc(len(prompts) - len(unique))
         self._g_queue.set(len(unique))
@@ -192,11 +202,17 @@ class ParallelDispatcher:
         parent=None,
     ) -> DispatchOutcome:
         tel = self._tel
+        prov = self._prov
         if not tel.enabled:
             try:
-                return DispatchOutcome(response=client.complete(prompt, label=label))
+                response = client.complete(prompt, label=label)
             except LLMError as exc:
+                if prov.enabled:
+                    prov.record_failure(prompt, type(exc).__name__)
                 return DispatchOutcome(error=exc)
+            if prov.enabled:
+                prov.record_outcome(prompt, usage=response.usage)
+            return DispatchOutcome(response=response)
         # enabled path: the call span is parented under the dispatch span
         # explicitly, because worker threads have their own span stacks
         self._m_calls.inc()
@@ -209,7 +225,11 @@ class ParallelDispatcher:
                 except LLMError as exc:
                     span.set("error", type(exc).__name__)
                     self._m_errors.inc()
+                    if prov.enabled:
+                        prov.record_failure(prompt, type(exc).__name__)
                     return DispatchOutcome(error=exc)
+                if prov.enabled:
+                    prov.record_outcome(prompt, usage=response.usage)
                 usage = response.usage
                 span.set("cached", usage.calls == 0)
                 span.set("input_tokens", usage.input_tokens)

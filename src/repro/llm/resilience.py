@@ -45,7 +45,7 @@ from repro.errors import (
 )
 from repro.llm.client import ChatClient, ChatResponse
 from repro.llm.oracle import stable_uniform
-from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs import NULL_PROVENANCE, NULL_TELEMETRY, Telemetry
 from repro.obs.trace import NULL_SPAN
 
 
@@ -364,6 +364,7 @@ class RetryingClient:
         deadline_seconds: Optional[float] = None,
         report: Optional[ResilienceReport] = None,
         telemetry: Optional[Telemetry] = None,
+        provenance=None,
     ) -> None:
         self.inner = inner
         self.policy = policy if policy is not None else RetryPolicy()
@@ -373,6 +374,7 @@ class RetryingClient:
         self.report = report if report is not None else ResilienceReport()
         self.model_name = inner.model_name
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._prov = provenance if provenance is not None else NULL_PROVENANCE
         metrics = self._tel.metrics
         self._m_attempts = metrics.counter("llm.retry.attempts")
         self._m_successes = metrics.counter("llm.retry.successes")
@@ -436,6 +438,8 @@ class RetryingClient:
                             f"{exc}",
                             attempts=attempt,
                         ) from exc
+                    if self._prov.enabled:
+                        self._prov.record_retry(prompt, type(exc).__name__)
                     self.report.record_retry()
                     self._m_retries.inc()
                     self._m_backoff_total.inc(delay)

@@ -41,6 +41,20 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
 )
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    config_fingerprint,
+)
+from repro.obs.provenance import (
+    NULL_PROVENANCE,
+    CallProvenance,
+    CellProvenance,
+    NullProvenance,
+    ProvenanceRecorder,
+    call_id_for,
+    resolve_provenance,
+)
 from repro.obs.trace import NULL_SPAN, NullTracer, Span, Tracer
 
 _NULL_METRICS = NullMetrics()
@@ -82,16 +96,26 @@ def resolve(telemetry: Optional[Telemetry]) -> Telemetry:
 
 
 __all__ = [
+    "CallProvenance",
+    "CellProvenance",
     "Counter",
     "Gauge",
     "Histogram",
+    "LEDGER_SCHEMA_VERSION",
     "MetricsRegistry",
     "NullMetrics",
+    "NullProvenance",
     "NullTracer",
+    "NULL_PROVENANCE",
     "NULL_SPAN",
     "NULL_TELEMETRY",
+    "ProvenanceRecorder",
+    "RunLedger",
     "Span",
     "Telemetry",
     "Tracer",
+    "call_id_for",
+    "config_fingerprint",
     "resolve",
+    "resolve_provenance",
 ]

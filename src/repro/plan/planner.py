@@ -37,6 +37,7 @@ from typing import Optional, Sequence
 from repro.llm.batching import LatencyModel, batched
 from repro.llm.tokenizer import count_tokens
 from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.provenance import call_id_for
 from repro.obs.trace import NULL_SPAN
 from repro.plan.store import MappingStore
 from repro.udf.executor import HybridQueryExecutor, _parse_map_answers
@@ -262,6 +263,12 @@ class CallPlanner:
         """Dispatch the planned calls; warm caches and fill the store."""
         tel = self._tel
         stats = plan.stats
+        prov = self.executor._prov
+        if prov.enabled:
+            # planned dispatches of a prompt share the unplanned path's
+            # call-id (a pure content hash); mark them as planner-issued
+            for call in plan.calls:
+                prov.record_planned(call.prompt, label=call.label)
         with (
             tel.tracer.span("plan:dispatch", calls=len(plan.calls))
             if tel.enabled
@@ -295,7 +302,16 @@ class CallPlanner:
                         outcome.response.text, len(call.batch)
                     )
                     self.store.put(
-                        call.signature, dict(zip(call.batch, answers))
+                        call.signature,
+                        dict(zip(call.batch, answers)),
+                        call_ids=(
+                            {
+                                key: call_id_for(call.prompt)
+                                for key in call.batch
+                            }
+                            if prov.enabled
+                            else None
+                        ),
                     )
                     stats.keys_stored += len(call.batch)
             span.set("llm_calls", stats.llm_calls)

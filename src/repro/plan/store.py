@@ -23,6 +23,8 @@ class MappingStore:
 
     def __init__(self) -> None:
         self._data: dict[tuple, dict[tuple, Optional[str]]] = {}
+        #: signature → key → call-id of the planning call that answered it
+        self._producers: dict[tuple, dict[tuple, str]] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -31,11 +33,22 @@ class MappingStore:
         self.keys_served = 0
 
     def put(
-        self, signature: tuple, mapping: dict[tuple, Optional[str]]
+        self,
+        signature: tuple,
+        mapping: dict[tuple, Optional[str]],
+        *,
+        call_ids: Optional[dict[tuple, str]] = None,
     ) -> None:
         """Merge answers for one signature (later puts win per key)."""
         with self._lock:
             self._data.setdefault(signature, {}).update(mapping)
+            if call_ids:
+                self._producers.setdefault(signature, {}).update(call_ids)
+
+    def call_ids(self, signature: tuple) -> dict[tuple, str]:
+        """key → producing call-id, for provenance of served ingredients."""
+        with self._lock:
+            return dict(self._producers.get(signature, ()))
 
     def lookup(
         self, signature: tuple, keys: Sequence[tuple]

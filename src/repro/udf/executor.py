@@ -50,7 +50,8 @@ from repro.llm.client import ChatClient
 from repro.llm.declarative import PromptSpec
 from repro.llm.parallel import ParallelDispatcher
 from repro.llm.resilience import ResilienceReport
-from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs import NULL_PROVENANCE, NULL_TELEMETRY, Telemetry
+from repro.obs.provenance import TIER_MAPPING_STORE, TIER_SEMANTIC, call_id_for
 from repro.obs.trace import NULL_SPAN
 from repro.sqlparser import ast, parse, render
 from repro.sqlparser.render import quote_identifier
@@ -122,6 +123,7 @@ class HybridQueryExecutor:
         telemetry: Optional[Telemetry] = None,
         batch_policy: Optional[object] = None,
         mapping_store: Optional["MappingStore"] = None,
+        provenance=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -132,9 +134,14 @@ class HybridQueryExecutor:
         self.shots = shots
         self.workers = workers
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
-        self.dispatcher = ParallelDispatcher(workers, telemetry=self._tel)
+        self._prov = provenance if provenance is not None else NULL_PROVENANCE
+        self.dispatcher = ParallelDispatcher(
+            workers, telemetry=self._tel, provenance=self._prov
+        )
         self.cache = cache if cache is not None else PromptCache()
-        self.client = CachingClient(client, self.cache, telemetry=self._tel)
+        self.client = CachingClient(
+            client, self.cache, telemetry=self._tel, provenance=self._prov
+        )
         self._m_degraded_batches = self._tel.metrics.counter(
             "pipeline.degraded_batches"
         )
@@ -344,12 +351,17 @@ class HybridQueryExecutor:
     def _run_qa(self, call: IngredientCall) -> ast.Expr:
         tel = self._tel
         prompt = self._qa_prompt(call.question)
+        if self._prov.enabled:
+            # QA bypasses the dispatcher, so the executor records the call
+            self._prov.record_call(prompt, label="udf:qa")
         with (
             tel.tracer.span("llm:call", label="udf:qa")
             if tel.enabled
             else NULL_SPAN
         ) as span:
             response = self.client.complete(prompt, label="udf:qa")
+            if self._prov.enabled:
+                self._prov.record_outcome(prompt, usage=response.usage)
             if tel.enabled:
                 usage = response.usage
                 span.set("cached", usage.calls == 0)
@@ -473,14 +485,28 @@ class HybridQueryExecutor:
         batch degrades to ``None`` answers — the same tolerance already
         applied to format drift — instead of aborting its siblings.
         """
+        prov = self._prov
+        cell_table = call.signature()
+        cell_column = "value" if call.kind == "LLMJoin" else "v"
         mapping: dict[tuple, Optional[str]] = {}
         if self.mapping_store is not None:
             served = self.mapping_store.lookup(call.signature(), keys)
             if served is not None:
+                if prov.enabled:
+                    producers = self.mapping_store.call_ids(call.signature())
                 for key in keys:
                     mapping[key] = served[key]
                     if served[key] is not None:
                         report.keys_generated += 1
+                    if prov.enabled:
+                        prov.record_cell(
+                            cell_table,
+                            key,
+                            cell_column,
+                            producers.get(key, ""),
+                            null=served[key] is None,
+                            tier=TIER_MAPPING_STORE,
+                        )
                 return mapping
         reusable: dict[tuple, str] = {}
         if self.semantic_cache is not None:
@@ -492,13 +518,20 @@ class HybridQueryExecutor:
             if key in reusable:
                 mapping[key] = reusable[key]
                 self.semantic_cache.stats.keys_reused += 1
+                if prov.enabled:
+                    # served by query rewriting: the producing prompt
+                    # belonged to the *equivalent* question, unknown here
+                    prov.record_cell(
+                        cell_table, key, cell_column, "", tier=TIER_SEMANTIC
+                    )
             else:
                 to_generate.append(key)
         batches = batched(to_generate, self._batch_size_for(call))
         prompts = [self._map_prompt(call, batch) for batch in batches]
         outcomes = self.dispatcher.dispatch(self.client, prompts, labels="udf:map")
-        for batch, outcome in zip(batches, outcomes):
-            if outcome.error is not None:
+        for batch, prompt, outcome in zip(batches, prompts, outcomes):
+            degraded = outcome.error is not None
+            if degraded:
                 answers: list[Optional[str]] = [None] * len(batch)
                 report.degraded_batches += 1
                 report.degraded_keys += len(batch)
@@ -514,10 +547,20 @@ class HybridQueryExecutor:
                         (response.usage.input_tokens, response.usage.output_tokens)
                     )
                 answers = _parse_map_answers(response.text, len(batch))
+            cid = call_id_for(prompt) if prov.enabled else ""
             for key, answer in zip(batch, answers):
                 mapping[key] = answer
                 if answer is not None:
                     report.keys_generated += 1
+                if prov.enabled:
+                    prov.record_cell(
+                        cell_table,
+                        key,
+                        cell_column,
+                        cid,
+                        null=answer is None,
+                        degraded=degraded,
+                    )
         if self.semantic_cache is not None:
             self.semantic_cache.store(
                 call.question,

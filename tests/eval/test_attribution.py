@@ -1,0 +1,166 @@
+"""Tests for miss attribution (classification precedence, exhaustiveness)."""
+
+import pytest
+
+from repro.eval.attribution import (
+    MISS_CLASSES,
+    Attribution,
+    attribute_misses,
+    attribution_counts,
+    cells_for_question,
+    classify_miss,
+)
+from repro.eval.execution import ExecutionOutcome
+from repro.obs.provenance import (
+    TIER_DISK,
+    TIER_FRESH,
+    TIER_MAPPING_STORE,
+    TIER_MEMORY,
+    CellProvenance,
+    ProvenanceRecorder,
+)
+from repro.swan.base import Question
+
+
+def _question(qid="db_q01", database="db", expansion_columns=()):
+    return Question(
+        qid=qid, database=database, text="t",
+        gold_sql="SELECT 1", hqdl_sql="SELECT 1", blend_sql="SELECT 1",
+        expansion_columns=tuple(expansion_columns),
+    )
+
+
+def _outcome(qid="db_q01", correct=False, error=""):
+    return ExecutionOutcome(
+        qid=qid, database="db", correct=correct,
+        expected_rows=1, actual_rows=0, error=error,
+    )
+
+
+def _cell(column="v", tier=TIER_FRESH, null=False, degraded=False, qid="db_q01"):
+    return CellProvenance(
+        pipeline="udf", database="db", qid=qid, table="t", key=("k",),
+        column=column, call_id="c0", tier=tier, null=null, degraded=degraded,
+    )
+
+
+class TestClassifyMiss:
+    def test_sql_error_wins(self):
+        cells = [_cell(degraded=True), _cell(null=True)]
+        attr = classify_miss(
+            _outcome(error="no such column: x\nmore"), cells, pipeline="udf"
+        )
+        assert attr.miss_class == "sql-mismatch"
+        assert attr.detail == "no such column: x"
+
+    def test_degraded_beats_format_drift(self):
+        cells = [_cell(null=True), _cell(null=True, degraded=True)]
+        attr = classify_miss(_outcome(), cells, pipeline="udf")
+        assert attr.miss_class == "degraded-batch"
+        assert "t[k]" in attr.detail
+
+    def test_format_drift_beats_stale_cache(self):
+        cells = [_cell(tier=TIER_DISK), _cell(null=True)]
+        attr = classify_miss(_outcome(), cells, pipeline="udf")
+        assert attr.miss_class == "format-drift"
+
+    def test_stale_cache_tiers(self):
+        for tier in (TIER_DISK, TIER_MAPPING_STORE):
+            attr = classify_miss(_outcome(), [_cell(tier=tier)], pipeline="udf")
+            assert attr.miss_class == "stale-cache"
+        for tier in (TIER_FRESH, TIER_MEMORY):
+            attr = classify_miss(_outcome(), [_cell(tier=tier)], pipeline="udf")
+            assert attr.miss_class == "oracle-knowledge"
+
+    def test_oracle_knowledge_residual(self):
+        attr = classify_miss(_outcome(), [], pipeline="hqdl")
+        assert attr.miss_class == "oracle-knowledge"
+        assert attr.detail == ""
+
+    def test_every_class_reachable_and_valid(self):
+        produced = {
+            classify_miss(_outcome(error="boom"), [], pipeline="udf").miss_class,
+            classify_miss(_outcome(), [_cell(degraded=True)], pipeline="udf").miss_class,
+            classify_miss(_outcome(), [_cell(null=True)], pipeline="udf").miss_class,
+            classify_miss(_outcome(), [_cell(tier=TIER_DISK)], pipeline="udf").miss_class,
+            classify_miss(_outcome(), [_cell()], pipeline="udf").miss_class,
+        }
+        assert produced == set(MISS_CLASSES)
+
+
+class TestCellsForQuestion:
+    def test_direct_qid_cells_preferred(self):
+        prov = ProvenanceRecorder()
+        with prov.context(pipeline="udf", database="db", qid="db_q01"):
+            prov.record_cell("t", (1,), "v", "c0")
+        with prov.context(pipeline="udf", database="db", qid=""):
+            prov.record_cell("t", (2,), "v", "c0")
+        cells = cells_for_question(prov, _question(), "udf")
+        assert len(cells) == 1
+        assert cells[0].qid == "db_q01"
+
+    def test_hqdl_shared_cells_filtered_by_expansion_columns(self):
+        prov = ProvenanceRecorder()
+        with prov.context(pipeline="hqdl", database="db", qid=""):
+            prov.record_cell("exp", (1,), "publisher", "c0")
+            prov.record_cell("exp", (1,), "alignment", "c0")
+        question = _question(expansion_columns=("publisher",))
+        cells = cells_for_question(prov, question, "hqdl")
+        assert [cell.column for cell in cells] == ["publisher"]
+
+    def test_no_expansion_columns_takes_all_shared(self):
+        prov = ProvenanceRecorder()
+        with prov.context(pipeline="hqdl", database="db", qid=""):
+            prov.record_cell("exp", (1,), "a", "c0")
+            prov.record_cell("exp", (1,), "b", "c0")
+        cells = cells_for_question(prov, _question(), "hqdl")
+        assert len(cells) == 2
+
+
+class TestAttributeMisses:
+    def test_correct_outcomes_skipped(self):
+        prov = ProvenanceRecorder()
+        outcomes = [_outcome(correct=True), _outcome(qid="db_q02")]
+        questions = {
+            "db_q01": _question(), "db_q02": _question(qid="db_q02"),
+        }
+        attrs = attribute_misses(prov, outcomes, questions, pipeline="udf")
+        assert len(attrs) == 1
+        assert attrs[0].qid == "db_q02"
+
+    def test_exhaustive_over_misses(self):
+        prov = ProvenanceRecorder()
+        outcomes = [
+            _outcome(qid="db_q01", error="boom"),
+            _outcome(qid="db_q02"),
+            _outcome(qid="db_q03", correct=True),
+        ]
+        questions = {o.qid: _question(qid=o.qid) for o in outcomes}
+        attrs = attribute_misses(prov, outcomes, questions, pipeline="udf")
+        counts = attribution_counts(attrs)
+        misses = sum(1 for o in outcomes if not o.correct)
+        assert sum(counts.values()) == misses
+        assert set(counts) == set(MISS_CLASSES)
+
+    def test_unknown_question_still_classified(self):
+        prov = ProvenanceRecorder()
+        attrs = attribute_misses(
+            prov, [_outcome(qid="db_q99")], {}, pipeline="udf"
+        )
+        assert attrs[0].miss_class == "oracle-knowledge"
+
+    def test_as_record(self):
+        attr = Attribution(
+            qid="q", database="db", pipeline="udf",
+            miss_class="format-drift", detail="t[k].v",
+        )
+        record = attr.as_record()
+        assert record["class"] == "format-drift"
+        assert record["qid"] == "q"
+
+
+class TestAttributionCounts:
+    def test_all_classes_present_with_zeros(self):
+        counts = attribution_counts([])
+        assert set(counts) == set(MISS_CLASSES)
+        assert all(v == 0 for v in counts.values())

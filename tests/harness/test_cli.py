@@ -107,6 +107,95 @@ class TestBatchSizeAndCacheDirFlags:
         assert "--cache-dir=DIR" in out
 
 
+class TestExplainCommand:
+    def test_requires_database_and_question(self, capsys):
+        assert main(["explain"]) == 2
+        err = capsys.readouterr().err
+        assert "explain requires --database=NAME and --question=REF" in err
+        assert "usage:" in err
+
+    def test_unknown_database(self, capsys):
+        assert main(["explain", "--database=nope", "--question=1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown database" in err
+        assert "usage:" in err
+
+    def test_question_index_out_of_range(self, capsys):
+        assert main(["explain", "--database=superhero", "--question=99"]) == 2
+        assert "question index must be" in capsys.readouterr().err
+
+    def test_bad_pipeline_value(self, capsys):
+        assert main([
+            "explain", "--database=superhero", "--question=1",
+            "--pipeline=magic",
+        ]) == 2
+        assert "--pipeline must be 'udf' or 'hqdl'" in capsys.readouterr().err
+
+    def test_must_be_invoked_alone(self, capsys):
+        assert main(["explain", "table1"]) == 2
+        assert "invoked alone" in capsys.readouterr().err
+
+    def test_explains_a_question(self, capsys):
+        assert main([
+            "explain", "--database=superhero", "--question=1", "--workers=4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== superhero_q01 (udf" in out
+        assert "verdict:" in out
+        assert "span tree" in out
+        assert "provenance:" in out
+
+    def test_explains_by_qid_and_pipeline(self, capsys):
+        assert main([
+            "explain", "--database=superhero",
+            "--question=superhero_q07", "--pipeline=hqdl",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== superhero_q07 (hqdl" in out
+
+    def test_documented_in_usage(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "explain" in out
+        assert "regress" in out
+        assert "--update-baseline" in out
+
+
+class TestRegressCommand:
+    def test_bad_threshold_value(self, capsys):
+        assert main(["regress", "--max-ex-drop=lots"]) == 2
+        err = capsys.readouterr().err
+        assert "--max-ex-drop requires a number" in err
+
+    def test_negative_threshold_rejected(self, capsys):
+        assert main(["regress", "--max-token-growth=-1"]) == 2
+        assert "--max-token-growth must be >= 0" in capsys.readouterr().err
+
+    def test_update_baseline_takes_no_value(self, capsys):
+        assert main(["regress", "--update-baseline=yes"]) == 2
+        assert "--update-baseline takes no value" in capsys.readouterr().err
+
+    def test_ledger_and_baseline_require_values(self, capsys):
+        assert main(["regress", "--ledger="]) == 2
+        assert "--ledger requires a file path" in capsys.readouterr().err
+        assert main(["regress", "--baseline="]) == 2
+        assert "--baseline requires a file path" in capsys.readouterr().err
+
+    def test_must_be_invoked_alone(self, capsys):
+        assert main(["regress", "explain"]) == 2
+        assert "invoked alone" in capsys.readouterr().err
+
+    def test_end_to_end_gate(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["regress", "--update-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline updated" in out
+        assert (tmp_path / "BENCH_ledger.sqlite").exists()
+        assert (tmp_path / "baselines" / "regress_baseline.json").exists()
+        assert main(["regress"]) == 0
+        assert "regression check: PASS" in capsys.readouterr().out
+
+
 class TestBenchCacheTarget:
     def test_bench_cache_writes_artifact(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)

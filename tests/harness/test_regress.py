@@ -1,0 +1,163 @@
+"""Tests for the regression gate (baseline IO, diffing, end-to-end run)."""
+
+import json
+
+import pytest
+
+from repro.harness.regress import (
+    BASELINE_FIELDS,
+    diff_against_baseline,
+    load_baseline,
+    run_regress,
+    write_baseline,
+)
+from repro.obs.ledger import RunLedger
+
+
+def _row(ex=0.5, input_tokens=900, output_tokens=100, makespan=10.0):
+    return {
+        "id": 1,
+        "label": "regress",
+        "pipeline": "udf",
+        "fingerprint": "abc123def456",
+        "ex": ex,
+        "f1": None,
+        "llm_calls": 10,
+        "input_tokens": input_tokens,
+        "output_tokens": output_tokens,
+        "makespan": makespan,
+        "payload": {"config": {"model": "m"}},
+    }
+
+
+class TestBaselineIO:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "base.json"
+        written = write_baseline(path, _row())
+        loaded = load_baseline(path)
+        assert loaded == written
+        assert loaded["total_tokens"] == 1000
+        assert loaded["ex"] == pytest.approx(0.5)
+        for field in BASELINE_FIELDS:
+            assert field in loaded
+
+    def test_missing_file(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") is None
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert load_baseline(path) is None
+
+    def test_incomplete_baseline(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"ex": 0.5}), encoding="utf-8")
+        assert load_baseline(path) is None
+
+    def test_non_dict_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        assert load_baseline(path) is None
+
+
+class TestDiff:
+    def _baseline(self, ex=0.5, total_tokens=1000, makespan=10.0):
+        return {
+            "label": "regress",
+            "pipeline": "udf",
+            "fingerprint": "abc123def456",
+            "llm_calls": 10,
+            "config": {"model": "m"},
+            "ex": ex,
+            "total_tokens": total_tokens,
+            "makespan": makespan,
+        }
+
+    def test_identical_passes(self):
+        ok, lines = diff_against_baseline(_row(), self._baseline())
+        assert ok
+        assert sum("[ok]" in line for line in lines) == 3
+
+    def test_ex_drop_fails(self):
+        ok, lines = diff_against_baseline(
+            _row(ex=0.4), self._baseline(ex=0.5), max_ex_drop=0.05
+        )
+        assert not ok
+        assert any("EX" in line and "FAIL" in line for line in lines)
+
+    def test_ex_drop_within_threshold(self):
+        ok, _ = diff_against_baseline(
+            _row(ex=0.46), self._baseline(ex=0.5), max_ex_drop=0.05
+        )
+        assert ok
+
+    def test_token_growth_fails(self):
+        ok, lines = diff_against_baseline(
+            _row(input_tokens=1150, output_tokens=0),
+            self._baseline(total_tokens=1000),
+            max_token_growth=0.10,
+        )
+        assert not ok
+        assert any("tokens" in line and "FAIL" in line for line in lines)
+
+    def test_makespan_growth_fails(self):
+        ok, lines = diff_against_baseline(
+            _row(makespan=20.0), self._baseline(makespan=10.0),
+            max_makespan_growth=0.25,
+        )
+        assert not ok
+        assert any("makespan" in line and "FAIL" in line for line in lines)
+
+    def test_improvement_always_passes(self):
+        ok, _ = diff_against_baseline(
+            _row(ex=0.9, input_tokens=100, output_tokens=0, makespan=1.0),
+            self._baseline(),
+        )
+        assert ok
+
+    def test_fingerprint_change_noted_not_failed(self):
+        baseline = self._baseline()
+        baseline["fingerprint"] = "otherprint000"
+        ok, lines = diff_against_baseline(_row(), baseline)
+        assert ok
+        assert any("fingerprint changed" in line for line in lines)
+
+
+class TestRunRegress:
+    """End-to-end: one real (deterministic, mock-oracle) workload run."""
+
+    def test_update_then_pass_then_breach(self, tmp_path):
+        ledger = tmp_path / "ledger.sqlite"
+        baseline = tmp_path / "baseline.json"
+
+        code, text = run_regress(
+            ledger_path=ledger, baseline_path=baseline, update_baseline=True
+        )
+        assert code == 0
+        assert "baseline updated" in text
+        assert baseline.exists()
+
+        # identical rerun: deterministic workload, must pass cleanly
+        code, text = run_regress(ledger_path=ledger, baseline_path=baseline)
+        assert code == 0
+        assert "regression check: PASS" in text
+
+        # poison the baseline: the same run now reads as a regression
+        doctored = json.loads(baseline.read_text())
+        doctored["ex"] = doctored["ex"] + 0.5
+        baseline.write_text(json.dumps(doctored))
+        code, text = run_regress(ledger_path=ledger, baseline_path=baseline)
+        assert code == 1
+        assert "regression check: FAIL" in text
+
+        # all three runs were appended to the ledger
+        with RunLedger(ledger) as led:
+            assert len(led.runs(label="regress")) == 3
+
+    def test_missing_baseline_fails_with_hint(self, tmp_path):
+        code, text = run_regress(
+            ledger_path=tmp_path / "l.sqlite",
+            baseline_path=tmp_path / "missing.json",
+        )
+        assert code == 1
+        assert "--update-baseline" in text

@@ -1,0 +1,195 @@
+"""Tests for the provenance recorder (calls, cells, chains, null object)."""
+
+import threading
+
+import pytest
+
+from repro.llm.usage import Usage
+from repro.obs.provenance import (
+    NULL_PROVENANCE,
+    TIER_DISK,
+    TIER_FRESH,
+    TIER_MEMORY,
+    NullProvenance,
+    ProvenanceRecorder,
+    call_id_for,
+    resolve_provenance,
+)
+
+
+class TestCallIds:
+    def test_stable_and_content_addressed(self):
+        assert call_id_for("prompt a") == call_id_for("prompt a")
+        assert call_id_for("prompt a") != call_id_for("prompt b")
+
+    def test_shape(self):
+        cid = call_id_for("anything")
+        assert cid.startswith("c")
+        assert len(cid) == 13
+
+
+class TestCallRecording:
+    def test_record_call_get_or_create(self):
+        prov = ProvenanceRecorder()
+        cid1 = prov.record_call("p1", label="map")
+        cid2 = prov.record_call("p1", label="map")
+        assert cid1 == cid2
+        assert prov.call(cid1).dispatches == 2
+        assert len(prov.calls()) == 1
+
+    def test_outcome_accumulates_tokens(self):
+        prov = ProvenanceRecorder()
+        cid = prov.record_call("p1", label="map")
+        prov.record_outcome("p1", Usage(calls=1, input_tokens=10, output_tokens=3))
+        call = prov.call(cid)
+        assert call.input_tokens == 10
+        assert call.output_tokens == 3
+        assert call.paid_calls == 1
+
+    def test_cached_outcome_adds_no_tokens(self):
+        prov = ProvenanceRecorder()
+        cid = prov.record_call("p1", label="map")
+        prov.record_outcome("p1", Usage())
+        assert prov.call(cid).paid_calls == 0
+        assert prov.call(cid).input_tokens == 0
+
+    def test_record_planned_marks_without_dispatch(self):
+        prov = ProvenanceRecorder()
+        cid = prov.record_planned("p1", label="plan")
+        call = prov.call(cid)
+        assert call.planned
+        assert call.dispatches == 0
+        # the actual dispatch later shares the id and keeps the flag
+        assert prov.record_call("p1", label="plan") == cid
+        assert prov.call(cid).planned
+        assert prov.call(cid).dispatches == 1
+
+    def test_retries_and_failure(self):
+        prov = ProvenanceRecorder()
+        cid = prov.record_call("p1", label="map")
+        prov.record_retry("p1", "TransientLLMError")
+        prov.record_retry("p1", "TransientLLMError")
+        prov.record_failure("p1", "RetryBudgetExceededError")
+        call = prov.call(cid)
+        assert call.retries == 2
+        assert call.faults == ["TransientLLMError", "TransientLLMError"]
+        assert call.failed
+        assert call.error == "RetryBudgetExceededError"
+
+    def test_tier_tracking(self):
+        prov = ProvenanceRecorder()
+        cid = prov.record_call("p1", label="map")
+        assert prov.call(cid).tier == TIER_FRESH
+        prov.record_tier("p1", TIER_MEMORY)
+        assert prov.call(cid).tier == TIER_MEMORY
+
+
+class TestCellRecording:
+    def test_cell_inherits_context_and_tier(self):
+        prov = ProvenanceRecorder()
+        with prov.context(pipeline="udf", database="superhero", qid="q1"):
+            cid = prov.record_call("p1", label="map")
+            prov.record_tier("p1", TIER_DISK)
+            prov.record_cell("t", ("k",), "v", cid, null=False, degraded=False)
+        (cell,) = prov.cells()
+        assert cell.pipeline == "udf"
+        assert cell.database == "superhero"
+        assert cell.qid == "q1"
+        assert cell.tier == TIER_DISK
+        assert not cell.null and not cell.degraded
+
+    def test_context_frames_layer_and_restore(self):
+        prov = ProvenanceRecorder()
+        with prov.context(pipeline="udf", database="db1"):
+            with prov.context(qid="q1"):
+                prov.record_cell("t", (1,), "v", "", null=False, degraded=False)
+            prov.record_cell("t", (2,), "v", "", null=False, degraded=False)
+        inner, outer = prov.cells()
+        assert inner.qid == "q1" and inner.database == "db1"
+        assert outer.qid == "" and outer.database == "db1"
+
+    def test_cells_for_filters(self):
+        prov = ProvenanceRecorder()
+        with prov.context(pipeline="udf", database="db1", qid="q1"):
+            prov.record_cell("t", (1,), "v", "", null=False, degraded=False)
+        with prov.context(pipeline="hqdl", database="db1", qid=""):
+            prov.record_cell("t", (2,), "v", "", null=True, degraded=False)
+        assert len(prov.cells_for(qid="q1", database="db1", pipeline="udf")) == 1
+        assert len(prov.cells_for(qid="", database="db1", pipeline="hqdl")) == 1
+        assert prov.cells_for(qid="q9", database="db1", pipeline="udf") == []
+
+    def test_chain_links_cell_to_call(self):
+        prov = ProvenanceRecorder()
+        cid = prov.record_call("p1", label="map")
+        prov.record_cell("t", (1,), "v", cid, null=False, degraded=False)
+        (cell,) = prov.cells()
+        chain = prov.chain(cell)
+        assert chain["cell"]["call_id"] == cid
+        assert chain["call"]["call_id"] == cid
+        assert chain["call"]["dispatches"] == 1
+
+    def test_chain_without_call_record(self):
+        prov = ProvenanceRecorder()
+        prov.record_cell("t", (1,), "v", "c000", null=False, degraded=False)
+        (cell,) = prov.cells()
+        assert prov.chain(cell)["call"] is None
+
+    def test_stats(self):
+        prov = ProvenanceRecorder()
+        cid = prov.record_call("p1", label="map")
+        prov.record_cell("t", (1,), "v", cid, null=True, degraded=False)
+        prov.record_cell("t", (2,), "v", cid, null=True, degraded=True)
+        stats = prov.stats()
+        assert stats["calls"] == 1
+        assert stats["cells"] == 2
+        assert stats["null_cells"] == 2
+        assert stats["degraded_cells"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_recording(self):
+        prov = ProvenanceRecorder()
+
+        def work(index: int) -> None:
+            with prov.context(pipeline="udf", database="db", qid=f"q{index}"):
+                for j in range(50):
+                    cid = prov.record_call(f"p{index}-{j}", label="map")
+                    prov.record_outcome(
+                        f"p{index}-{j}", Usage(calls=1, input_tokens=1)
+                    )
+                    prov.record_cell(
+                        "t", (index, j), "v", cid, null=False, degraded=False
+                    )
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(prov.calls()) == 8 * 50
+        assert len(prov.cells()) == 8 * 50
+        # each thread's cells carry that thread's own context
+        for index in range(8):
+            cells = prov.cells_for(qid=f"q{index}", database="db", pipeline="udf")
+            assert len(cells) == 50
+
+
+class TestNullProvenance:
+    def test_disabled_and_inert(self):
+        assert not NULL_PROVENANCE.enabled
+        with NULL_PROVENANCE.context(pipeline="udf", qid="q"):
+            assert NULL_PROVENANCE.record_call("p", label="x") == ""
+            assert NULL_PROVENANCE.record_planned("p") == ""
+            NULL_PROVENANCE.record_outcome("p", Usage())
+            NULL_PROVENANCE.record_tier("p", TIER_MEMORY)
+            NULL_PROVENANCE.record_retry("p", "Fault")
+            NULL_PROVENANCE.record_failure("p", "Err")
+            NULL_PROVENANCE.record_cell("t", (1,), "v", "", null=True, degraded=True)
+        assert NULL_PROVENANCE.calls() == []
+        assert NULL_PROVENANCE.cells() == []
+
+    def test_resolve(self):
+        assert resolve_provenance(None) is NULL_PROVENANCE
+        prov = ProvenanceRecorder()
+        assert resolve_provenance(prov) is prov
+        assert isinstance(resolve_provenance(None), NullProvenance)
