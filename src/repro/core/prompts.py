@@ -47,6 +47,7 @@ class RowPromptBuilder:
         *,
         shots: int = 0,
         context_provider: Optional[Callable[[tuple], list[str]]] = None,
+        optimize: bool = True,
     ) -> None:
         if shots < 0:
             raise ValueError(f"shots must be >= 0, got {shots}")
@@ -54,8 +55,14 @@ class RowPromptBuilder:
         self.expansion = expansion
         self.shots = shots
         self.context_provider = context_provider
+        self.optimize = optimize
         self._oracle = KnowledgeOracle(world)
         self._static_demos = self._select_demonstrations()
+        # Pre-rendered constant prompt parts for the fast `build` path.
+        # Everything before the target entry (and everything after it) is
+        # the same string for every key, so it is rendered exactly once.
+        self._prefix: Optional[str] = None
+        self._suffix: Optional[str] = None
 
     # -- section content ---------------------------------------------------------
 
@@ -133,9 +140,41 @@ class RowPromptBuilder:
         spec.add_cue(ANSWER_MARKER)
         return spec
 
+    def _constant_parts(self) -> tuple[str, str]:
+        lines = [
+            self._task_line(),
+            "Return a single row with no explanation.",
+            self._columns_line(),
+        ]
+        lines.extend(self._value_hint_lines())
+        for demo_key in self._static_demos:
+            lines.append(f"{EXAMPLE_ENTRY_MARKER}{self._entry_line(demo_key)}")
+            lines.append(f"{ANSWER_MARKER}{self._answer_line(demo_key)}")
+        field_count = len(self.expansion.all_column_names())
+        suffix = (
+            "The output should consist of a single row containing "
+            f"{field_count} fields.\n{ANSWER_MARKER}"
+        )
+        return "\n".join(lines), suffix
+
     def build(self, key: tuple) -> str:
-        """The full prompt asking the model to complete the row for ``key``."""
-        return self.build_spec(key).render()
+        """The full prompt asking the model to complete the row for ``key``.
+
+        :class:`~repro.llm.declarative.PromptSpec` joins sections (and
+        lines within sections) with single newlines, so the rendered
+        prompt equals the flat newline join of all lines; with no
+        per-key context rows the only key-dependent line is the target
+        entry, and the fast path splices it between two cached constant
+        strings — byte-identical to ``build_spec(key).render()``.
+        """
+        if not self.optimize or self.context_provider is not None:
+            return self.build_spec(key).render()
+        if self._prefix is None:
+            self._prefix, self._suffix = self._constant_parts()
+        return (
+            f"{self._prefix}\n{TARGET_ENTRY_MARKER}{self._entry_line(key)}"
+            f"\n{self._suffix}"
+        )
 
     def expected_field_count(self) -> int:
         return len(self.expansion.all_column_names())

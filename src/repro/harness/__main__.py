@@ -172,22 +172,105 @@ def _sweep_report() -> tuple[list[dict], str]:
     return rows, text
 
 
-def _trace_report(databases=None, workers: int = 1) -> tuple[list[dict], str]:
+def _trace_report(
+    databases=None, workers=None, scale=None
+) -> tuple[list[dict], str]:
     """Traced SWAN run for both pipelines (written to BENCH_trace.json)."""
     from repro.harness.tracing import format_trace_report, write_trace_json
 
-    paths, payload = write_trace_json(databases=databases, workers=workers)
+    paths, payload = write_trace_json(
+        databases=databases, workers=workers or 1, scale=scale or 1,
+    )
     return [payload], format_trace_report(payload, paths)
 
 
+def _load_scaled(scale, databases):
+    from repro.swan.benchmark import load_benchmark, load_benchmark_subset
+
+    scale = scale or 1
+    if databases:
+        return load_benchmark_subset(scale, list(databases))
+    return load_benchmark(scale)
+
+
+def _run_report(run, *, pipeline: str, scale: int, parallelism: str) -> str:
+    from repro.eval.report import format_table
+
+    rows = [
+        [db, f"{ex * 100:.1f}%"] for db, ex in sorted(run.ex_by_db.items())
+    ]
+    rows.append(["overall", f"{run.overall_ex * 100:.1f}%"])
+    usage = run.usage
+    title = (
+        f"{pipeline.upper()} run — {run.model}, {run.shots}-shot, "
+        f"scale={scale}, parallelism={parallelism}; {usage.calls} LLM "
+        f"calls, {usage.input_tokens}/{usage.output_tokens} in/out tokens."
+    )
+    return format_table(["Database", "EX"], rows, title=title)
+
+
+def _run_udf_report(
+    databases=None, workers=None, scale=None,
+    parallelism: str = "threads", batch_size: int = 5,
+) -> tuple[list[dict], str]:
+    """One UDF-pipeline run at the requested scale and parallelism."""
+    from repro.harness.runner import GoldResults, run_udf
+
+    swan = _load_scaled(scale, databases)
+    run = run_udf(
+        swan, "gpt-3.5-turbo", 2, gold=GoldResults(swan),
+        workers=workers or 1, batch_size=batch_size, parallelism=parallelism,
+    )
+    record = {
+        "pipeline": "udf", "scale": scale or 1, "parallelism": parallelism,
+        "ex": run.overall_ex, "llm_calls": run.usage.calls,
+    }
+    return [record], _run_report(
+        run, pipeline="udf", scale=scale or 1, parallelism=parallelism,
+    )
+
+
+def _run_hqdl_report(
+    databases=None, workers=None, scale=None,
+    parallelism: str = "threads",
+) -> tuple[list[dict], str]:
+    """One HQDL-pipeline run at the requested scale and parallelism."""
+    from repro.harness.runner import GoldResults, run_hqdl
+
+    swan = _load_scaled(scale, databases)
+    run = run_hqdl(
+        swan, "gpt-3.5-turbo", 2, gold=GoldResults(swan),
+        workers=workers or 1, parallelism=parallelism,
+    )
+    record = {
+        "pipeline": "hqdl", "scale": scale or 1, "parallelism": parallelism,
+        "ex": run.overall_ex, "llm_calls": run.usage.calls,
+    }
+    return [record], _run_report(
+        run, pipeline="hqdl", scale=scale or 1, parallelism=parallelism,
+    )
+
+
+def _bench_scale_report(
+    workers=None, scale=None, batch_size: int = 5
+) -> tuple[list[dict], str]:
+    """Rows-vs-makespan scaling bench (written to BENCH_scale.json)."""
+    from repro.harness.benchscale import format_scale_report, write_scale_json
+
+    path, payload = write_scale_json(
+        scale=scale, workers=workers or 4, batch_size=batch_size,
+    )
+    return [payload], format_scale_report(payload, path)
+
+
 def _bench_cache_report(
-    databases=None, workers: int = 4, batch_size: int = 5, cache_dir=None
+    databases=None, workers=None, batch_size: int = 5, cache_dir=None
 ) -> tuple[list[dict], str]:
     """Call-planner/persistent-cache bench (written to BENCH_cache.json)."""
     from repro.harness.benchcache import format_cache_report, write_cache_json
 
     path, payload = write_cache_json(
-        databases=databases, workers=workers,
+        databases=databases, workers=workers or 4,
         batch_size=batch_size, cache_dir=cache_dir,
     )
     return [payload], format_cache_report(payload, path)
@@ -205,7 +288,7 @@ def _explain_command(options) -> tuple[int, str]:
             options["database"],
             options["question"],
             pipeline=options["pipeline"],
-            workers=options["workers"],
+            workers=options["workers"] or 1,
         )
     except ReproError as exc:
         raise ValueError(str(exc)) from None
@@ -251,19 +334,30 @@ _GENERATORS = {
     "chaos": _chaos_report,
     "trace": _trace_report,
     "bench-cache": _bench_cache_report,
+    "run-udf": _run_udf_report,
+    "run-hqdl": _run_hqdl_report,
+    "bench-scale": _bench_scale_report,
 }
 
 #: Extra targets excluded from `all` (sweep re-runs the whole grid and
 #: writes a file, bench-json writes BENCH_parallel.json, chaos runs the
 #: fault sweep and writes BENCH_chaos.json, trace writes the
-#: BENCH_trace artifact family, bench-cache writes BENCH_cache.json;
-#: `all` should stay side-effect free).
-_EXCLUDED_FROM_ALL = ("sweep", "bench-json", "chaos", "trace", "bench-cache")
+#: BENCH_trace artifact family, bench-cache writes BENCH_cache.json,
+#: run-udf/run-hqdl are parameterized single runs, and bench-scale
+#: synthesizes 100x worlds and writes BENCH_scale.json; `all` should
+#: stay fast and side-effect free).
+_EXCLUDED_FROM_ALL = (
+    "sweep", "bench-json", "chaos", "trace", "bench-cache",
+    "run-udf", "run-hqdl", "bench-scale",
+)
 
 #: Targets that honour CLI flags, and which option names each accepts.
 _FLAG_TARGETS = {
-    "trace": ("databases", "workers"),
+    "trace": ("databases", "workers", "scale"),
     "bench-cache": ("databases", "workers", "batch_size", "cache_dir"),
+    "run-udf": ("databases", "workers", "scale", "parallelism", "batch_size"),
+    "run-hqdl": ("databases", "workers", "scale", "parallelism"),
+    "bench-scale": ("workers", "scale", "batch_size"),
 }
 
 
@@ -271,6 +365,7 @@ def _usage() -> str:
     return (
         "usage: python -m repro.harness [target ...] "
         "[--databases=a,b] [--workers=N] [--batch-size=N] [--cache-dir=DIR]\n"
+        "           [--scale=N] [--parallelism=threads|processes]\n"
         "       python -m repro.harness explain --database=NAME "
         "--question=REF [--pipeline=udf|hqdl] [--workers=N]\n"
         "       python -m repro.harness regress [--ledger=PATH] "
@@ -289,7 +384,10 @@ def _parse_args(argv: list[str]):
 
     targets: list[str] = []
     options = {
-        "databases": None, "workers": 1, "batch_size": 5, "cache_dir": None,
+        # workers=None means "each target's own default" (trace and the
+        # run commands use 1, the benches 4)
+        "databases": None, "workers": None, "batch_size": 5, "cache_dir": None,
+        "scale": None, "parallelism": "threads",
         "database": None, "question": None, "pipeline": "udf",
         "ledger": DEFAULT_LEDGER, "baseline": DEFAULT_BASELINE,
         "update_baseline": False, "max_ex_drop": 0.0,
@@ -338,6 +436,22 @@ def _parse_args(argv: list[str]):
                 ) from None
             if options["batch_size"] < 1:
                 raise ValueError(f"--batch-size must be >= 1, got {value}")
+        elif name == "--scale":
+            try:
+                options["scale"] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"--scale requires an integer, got {value!r}"
+                ) from None
+            if options["scale"] < 1:
+                raise ValueError(f"--scale must be >= 1, got {value}")
+        elif name == "--parallelism":
+            if value not in ("threads", "processes"):
+                raise ValueError(
+                    "--parallelism must be 'threads' or 'processes', "
+                    f"got {value!r}"
+                )
+            options["parallelism"] = value
         elif name == "--cache-dir":
             if not sep or not value:
                 raise ValueError("--cache-dir requires a directory path")

@@ -10,6 +10,13 @@ diffs the fresh run against a committed baseline JSON:
 - **virtual-makespan growth** beyond ``--max-makespan-growth``
   (default 25%).
 
+When a fresh ``BENCH_scale.json`` (from ``bench-scale --scale=10``) sits
+next to the ledger, its scale-10 UDF virtual makespan is diffed against
+the baseline's ``scale10_makespan`` under the same
+``--max-makespan-growth`` threshold — gating the scaling hot path, not
+just the scale-1 workload.  A missing bench file or baseline key only
+notes the omission; it never fails the gate.
+
 Exit code 1 on any breach, 0 when clean — so CI can gate on it.
 ``--update-baseline`` rewrites the baseline from the fresh run instead
 of diffing (exit 0).
@@ -26,6 +33,7 @@ from repro.obs.ledger import RunLedger, config_fingerprint
 #: Default artifact locations, relative to the invocation directory.
 DEFAULT_LEDGER = "BENCH_ledger.sqlite"
 DEFAULT_BASELINE = "baselines/regress_baseline.json"
+DEFAULT_SCALE_BENCH = "BENCH_scale.json"
 
 #: The fixed regression workload (small, deterministic, ~seconds).
 _REGRESS_LABEL = "regress"
@@ -85,15 +93,35 @@ def load_baseline(path: Union[str, Path]) -> Optional[dict]:
     return baseline
 
 
-def write_baseline(path: Union[str, Path], row: dict) -> dict:
+def write_baseline(
+    path: Union[str, Path],
+    row: dict,
+    *,
+    scale10_makespan: Optional[float] = None,
+) -> dict:
     """Write (and return) a baseline JSON distilled from one ledger row."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     baseline = _baseline_from_row(row)
+    if scale10_makespan is not None:
+        baseline["scale10_makespan"] = scale10_makespan
     path.write_text(
         json.dumps(baseline, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     return baseline
+
+
+def scale10_makespan(path: Union[str, Path]) -> Optional[float]:
+    """The scale-10 UDF virtual makespan from a BENCH_scale.json, if any."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    try:
+        value = payload["scales"]["10"]["pipelines"]["udf"]["makespan_seconds"]
+    except (KeyError, TypeError):
+        return None
+    return float(value) if isinstance(value, (int, float)) else None
 
 
 def _growth(latest: float, baseline: float) -> float:
@@ -109,8 +137,14 @@ def diff_against_baseline(
     max_ex_drop: float = 0.0,
     max_token_growth: float = 0.10,
     max_makespan_growth: float = 0.25,
+    fresh_scale10: Optional[float] = None,
 ) -> tuple[bool, list[str]]:
-    """(ok, report lines) for one fresh ledger row vs one baseline."""
+    """(ok, report lines) for one fresh ledger row vs one baseline.
+
+    ``fresh_scale10`` is the scale-10 UDF virtual makespan from a fresh
+    BENCH_scale.json; it is diffed against the baseline's
+    ``scale10_makespan`` when both sides exist, and noted otherwise.
+    """
     fresh = _baseline_from_row(row)
     lines: list[str] = []
     ok = True
@@ -148,6 +182,28 @@ def diff_against_baseline(
             "growth",
         ),
     )
+    base_scale10 = baseline.get("scale10_makespan")
+    if isinstance(base_scale10, (int, float)) and fresh_scale10 is not None:
+        checks += (
+            (
+                "scale10 makespan",
+                float(base_scale10),
+                fresh_scale10,
+                _growth(fresh_scale10, float(base_scale10)),
+                max_makespan_growth,
+                "growth",
+            ),
+        )
+    elif fresh_scale10 is not None:
+        lines.append(
+            "note: baseline has no scale10_makespan; "
+            "run with --update-baseline next to a fresh BENCH_scale.json"
+        )
+    elif isinstance(base_scale10, (int, float)):
+        lines.append(
+            "note: no BENCH_scale.json with a scale-10 rung found; "
+            "scale-10 makespan not checked"
+        )
     for name, base, latest, delta, threshold, kind in checks:
         breached = delta > threshold + 1e-9
         status = "FAIL" if breached else "ok"
@@ -167,6 +223,7 @@ def run_regress(
     max_ex_drop: float = 0.0,
     max_token_growth: float = 0.10,
     max_makespan_growth: float = 0.25,
+    scale_bench_path: Union[str, Path] = DEFAULT_SCALE_BENCH,
 ) -> tuple[int, str]:
     """Run the workload, append to the ledger, diff vs the baseline.
 
@@ -184,12 +241,21 @@ def run_regress(
         f"{row['fingerprint']}",
     ]
 
+    fresh_scale10 = scale10_makespan(scale_bench_path)
+
     if update_baseline:
-        baseline = write_baseline(baseline_path, row)
+        baseline = write_baseline(
+            baseline_path, row, scale10_makespan=fresh_scale10
+        )
         lines.append(
             f"baseline updated: {baseline_path} "
             f"(ex {baseline['ex']:g}, tokens {baseline['total_tokens']}, "
-            f"makespan {baseline['makespan']:g})"
+            f"makespan {baseline['makespan']:g}"
+            + (
+                f", scale10 makespan {fresh_scale10:g})"
+                if fresh_scale10 is not None
+                else "; no BENCH_scale.json scale-10 rung found)"
+            )
         )
         return 0, "\n".join(lines)
 
@@ -207,6 +273,7 @@ def run_regress(
         max_ex_drop=max_ex_drop,
         max_token_growth=max_token_growth,
         max_makespan_growth=max_makespan_growth,
+        fresh_scale10=fresh_scale10,
     )
     lines.extend(diff_lines)
     lines.append("regression check: " + ("PASS" if ok else "FAIL"))

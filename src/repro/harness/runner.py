@@ -29,6 +29,7 @@ from repro.llm.diskcache import PersistentClient, PersistentPromptCache
 from repro.llm.oracle import KnowledgeOracle
 from repro.llm.faults import FaultInjector, FaultPlan, FaultyClient
 from repro.llm.parallel import SimulatedClock
+from repro.llm.procpool import ProcPoolClient
 from repro.llm.profiles import get_profile
 from repro.llm.resilience import (
     CircuitBreaker,
@@ -221,6 +222,8 @@ def run_hqdl(
     telemetry: Optional[Telemetry] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     call_order: str = "collection",
+    parallelism: str = "threads",
+    optimize: bool = True,
     provenance=None,
     ledger: Optional[RunLedger] = None,
     ledger_label: str = "hqdl",
@@ -244,7 +247,18 @@ def run_hqdl(
     with zero new LLM calls (generation is already once-per-database, so
     HQDL needs no planner).  ``call_order="lpt"`` dispatches generation
     calls longest-first (identical results, shorter parallel makespan).
+
+    ``parallelism="processes"`` completes prompts in a
+    :class:`~repro.llm.procpool.ProcPoolClient` worker pool instead of
+    in the dispatcher threads — byte-identical results, but the
+    CPU-bound model simulation no longer serializes on the GIL.
+    ``optimize=False`` disables the byte-identical prompt fast paths
+    (the bench-scale 'pre-optimization' reference).
     """
+    if parallelism not in ("threads", "processes"):
+        raise ReproError(
+            f"parallelism must be 'threads' or 'processes', got {parallelism!r}"
+        )
     gold = gold or GoldResults(swan)
     names = _resolve_databases(swan, databases)
     profile = get_profile(model_name)
@@ -266,52 +280,65 @@ def run_hqdl(
                 else NULL_SPAN
             ), prov.context(pipeline="hqdl", database=name):
                 world = swan.world(name)
-                model: ChatClient = MockChatModel(
-                    KnowledgeOracle(world), profile, meter=meter
-                )
-                if wrap_client is not None:
-                    model = wrap_client(model)
-                disk_cache = None
-                if cache_dir is not None:
-                    disk_cache = PersistentPromptCache(
-                        Path(cache_dir) / f"{name}.sqlite"
+                pool_client: Optional[ProcPoolClient] = None
+                if parallelism == "processes":
+                    pool_client = ProcPoolClient(
+                        world, model_name, processes=workers, meter=meter,
+                        optimize=optimize,
                     )
-                    model = PersistentClient(
-                        model, disk_cache, shots=shots, telemetry=tel,
-                        provenance=prov,
+                    model: ChatClient = pool_client
+                else:
+                    model = MockChatModel(
+                        KnowledgeOracle(world, optimize=optimize), profile,
+                        meter=meter, optimize=optimize,
                     )
-                pipeline = HQDL(
-                    world, model, shots=shots, workers=workers,
-                    call_order=call_order, resilience=resilience,
-                    telemetry=tel, provenance=prov,
-                )
-                generation = pipeline.generate_all()
-                f1 = database_factuality(world, generation)
-                db_outcomes: list[ExecutionOutcome] = []
-                with pipeline.build_expanded_database(generation) as db:
-                    for question in swan.questions_for(name):
-                        expected = gold.expected(question.qid)
-                        with (
-                            tel.tracer.span("question", qid=question.qid)
-                            if tel.enabled
-                            else NULL_SPAN
-                        ) as qspan, prov.context(qid=question.qid):
-                            try:
-                                actual = pipeline.answer(db, question)
-                            except ReproError as exc:
-                                outcome = failed_outcome(
-                                    question, expected, str(exc)
-                                )
-                            else:
-                                outcome = evaluate_question(
-                                    question, expected, actual
-                                )
-                            qspan.set("correct", outcome.correct)
-                        db_outcomes.append(outcome)
-                disk_stats = None
-                if disk_cache is not None:
-                    disk_stats = disk_cache.stats()
-                    disk_cache.close()
+                try:
+                    if wrap_client is not None:
+                        model = wrap_client(model)
+                    disk_cache = None
+                    if cache_dir is not None:
+                        disk_cache = PersistentPromptCache(
+                            Path(cache_dir) / f"{name}.sqlite"
+                        )
+                        model = PersistentClient(
+                            model, disk_cache, shots=shots, telemetry=tel,
+                            provenance=prov,
+                        )
+                    pipeline = HQDL(
+                        world, model, shots=shots, workers=workers,
+                        call_order=call_order, resilience=resilience,
+                        telemetry=tel, provenance=prov, optimize=optimize,
+                    )
+                    generation = pipeline.generate_all()
+                    f1 = database_factuality(world, generation)
+                    db_outcomes: list[ExecutionOutcome] = []
+                    with pipeline.build_expanded_database(generation) as db:
+                        for question in swan.questions_for(name):
+                            expected = gold.expected(question.qid)
+                            with (
+                                tel.tracer.span("question", qid=question.qid)
+                                if tel.enabled
+                                else NULL_SPAN
+                            ) as qspan, prov.context(qid=question.qid):
+                                try:
+                                    actual = pipeline.answer(db, question)
+                                except ReproError as exc:
+                                    outcome = failed_outcome(
+                                        question, expected, str(exc)
+                                    )
+                                else:
+                                    outcome = evaluate_question(
+                                        question, expected, actual
+                                    )
+                                qspan.set("correct", outcome.correct)
+                            db_outcomes.append(outcome)
+                    disk_stats = None
+                    if disk_cache is not None:
+                        disk_stats = disk_cache.stats()
+                        disk_cache.close()
+                finally:
+                    if pool_client is not None:
+                        pool_client.close()
                 return generation, f1, disk_stats, db_outcomes
 
         for name, (generation, f1, disk_stats, db_outcomes) in zip(
@@ -338,6 +365,7 @@ def run_hqdl(
                 "databases": sorted(names),
                 "workers": workers,
                 "call_order": call_order,
+                **({"parallelism": parallelism} if parallelism != "threads" else {}),
             },
             ex=run.overall_ex,
             f1=run.average_f1,
@@ -366,6 +394,8 @@ def run_udf(
     plan: Optional[str] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     batch_policy: Optional[object] = None,
+    parallelism: str = "threads",
+    optimize: bool = True,
     provenance=None,
     ledger: Optional[RunLedger] = None,
     ledger_label: str = "udf",
@@ -396,10 +426,21 @@ def run_udf(
     under the executor's in-memory cache, so a rerun with the same
     directory issues zero new LLM calls.  ``batch_policy`` overrides the
     fixed ``batch_size`` (see :mod:`repro.plan.policy`).
+
+    ``parallelism="processes"`` completes prompts in a
+    :class:`~repro.llm.procpool.ProcPoolClient` worker pool instead of
+    in the dispatcher threads — byte-identical results, but the
+    CPU-bound model simulation no longer serializes on the GIL.
+    ``optimize=False`` disables the byte-identical executor fast paths
+    (the bench-scale 'pre-optimization' reference).
     """
     if plan not in (None, "prompt", "pairs"):
         raise ReproError(
             f"plan must be None, 'prompt', or 'pairs', got {plan!r}"
+        )
+    if parallelism not in ("threads", "processes"):
+        raise ReproError(
+            f"parallelism must be 'threads' or 'processes', got {parallelism!r}"
         )
     gold = gold or GoldResults(swan)
     names = _resolve_databases(swan, databases)
@@ -425,81 +466,97 @@ def run_udf(
                 else NULL_SPAN
             ), prov.context(pipeline="udf", database=name):
                 world = swan.world(name)
-                model: ChatClient = MockChatModel(
-                    KnowledgeOracle(world), profile, meter=meter
-                )
-                if wrap_client is not None:
-                    model = wrap_client(model)
-                disk_cache = None
-                if cache_dir is not None:
-                    disk_cache = PersistentPromptCache(
-                        Path(cache_dir) / f"{name}.sqlite"
+                pool_client: Optional[ProcPoolClient] = None
+                if parallelism == "processes":
+                    pool_client = ProcPoolClient(
+                        world, model_name, processes=workers, meter=meter,
+                        optimize=optimize,
                     )
-                    model = PersistentClient(
-                        model, disk_cache, shots=shots, telemetry=tel,
-                        provenance=prov,
+                    model: ChatClient = pool_client
+                else:
+                    model = MockChatModel(
+                        KnowledgeOracle(world, optimize=optimize), profile,
+                        meter=meter, optimize=optimize,
                     )
-                cache = PromptCache()
-                store = MappingStore() if plan == "pairs" else None
-                db_outcomes: list[ExecutionOutcome] = []
-                call_sizes: list[tuple[int, int]] = []
-                keys_generated = 0
-                plan_record: Optional[dict] = None
-                with build_curated_database(world) as db:
-                    executor = HybridQueryExecutor(
-                        db,
-                        model,
-                        world,
-                        batch_size=batch_size,
-                        pushdown=pushdown,
-                        shots=shots,
-                        cache=cache,
-                        workers=workers,
-                        resilience=resilience,
-                        telemetry=tel,
-                        batch_policy=batch_policy,
-                        mapping_store=store,
-                        provenance=prov,
-                    )
-                    questions = swan.questions_for(name)
-                    if plan is not None:
-                        planner = CallPlanner(
-                            executor, mode=plan, telemetry=tel
+                try:
+                    if wrap_client is not None:
+                        model = wrap_client(model)
+                    disk_cache = None
+                    if cache_dir is not None:
+                        disk_cache = PersistentPromptCache(
+                            Path(cache_dir) / f"{name}.sqlite"
                         )
-                        planned = planner.plan_and_execute(
-                            [q.blend_sql for q in questions]
+                        model = PersistentClient(
+                            model, disk_cache, shots=shots, telemetry=tel,
+                            provenance=prov,
                         )
-                        call_sizes.extend(planned.stats.call_sizes)
-                        plan_record = planned.stats.as_record()
-                    for question in questions:
-                        expected = gold.expected(question.qid)
-                        with (
-                            tel.tracer.span("question", qid=question.qid)
-                            if tel.enabled
-                            else NULL_SPAN
-                        ) as qspan, prov.context(qid=question.qid):
-                            try:
-                                actual, question_report = (
-                                    executor.execute_with_report(
-                                        question.blend_sql
+                    cache = PromptCache()
+                    store = MappingStore() if plan == "pairs" else None
+                    db_outcomes: list[ExecutionOutcome] = []
+                    call_sizes: list[tuple[int, int]] = []
+                    keys_generated = 0
+                    plan_record: Optional[dict] = None
+                    with build_curated_database(world) as db:
+                        executor = HybridQueryExecutor(
+                            db,
+                            model,
+                            world,
+                            batch_size=batch_size,
+                            pushdown=pushdown,
+                            shots=shots,
+                            cache=cache,
+                            workers=workers,
+                            resilience=resilience,
+                            telemetry=tel,
+                            batch_policy=batch_policy,
+                            mapping_store=store,
+                            provenance=prov,
+                            optimize=optimize,
+                        )
+                        questions = swan.questions_for(name)
+                        if plan is not None:
+                            planner = CallPlanner(
+                                executor, mode=plan, telemetry=tel
+                            )
+                            planned = planner.plan_and_execute(
+                                [q.blend_sql for q in questions]
+                            )
+                            call_sizes.extend(planned.stats.call_sizes)
+                            plan_record = planned.stats.as_record()
+                        for question in questions:
+                            expected = gold.expected(question.qid)
+                            with (
+                                tel.tracer.span("question", qid=question.qid)
+                                if tel.enabled
+                                else NULL_SPAN
+                            ) as qspan, prov.context(qid=question.qid):
+                                try:
+                                    actual, question_report = (
+                                        executor.execute_with_report(
+                                            question.blend_sql
+                                        )
                                     )
-                                )
-                            except ReproError as exc:
-                                outcome = failed_outcome(
-                                    question, expected, str(exc)
-                                )
-                            else:
-                                outcome = evaluate_question(
-                                    question, expected, actual
-                                )
-                                call_sizes.extend(question_report.call_sizes)
-                                keys_generated += question_report.keys_generated
-                            qspan.set("correct", outcome.correct)
-                        db_outcomes.append(outcome)
-                disk_stats = None
-                if disk_cache is not None:
-                    disk_stats = disk_cache.stats()
-                    disk_cache.close()
+                                except ReproError as exc:
+                                    outcome = failed_outcome(
+                                        question, expected, str(exc)
+                                    )
+                                else:
+                                    outcome = evaluate_question(
+                                        question, expected, actual
+                                    )
+                                    call_sizes.extend(question_report.call_sizes)
+                                    keys_generated += (
+                                        question_report.keys_generated
+                                    )
+                                qspan.set("correct", outcome.correct)
+                            db_outcomes.append(outcome)
+                    disk_stats = None
+                    if disk_cache is not None:
+                        disk_stats = disk_cache.stats()
+                        disk_cache.close()
+                finally:
+                    if pool_client is not None:
+                        pool_client.close()
                 return (
                     cache, plan_record, disk_stats, call_sizes,
                     keys_generated, db_outcomes,
@@ -536,6 +593,7 @@ def run_udf(
                 "pushdown": pushdown,
                 "plan": plan,
                 "workers": workers,
+                **({"parallelism": parallelism} if parallelism != "threads" else {}),
             },
             ex=run.overall_ex,
             f1=None,

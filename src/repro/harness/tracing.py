@@ -80,6 +80,7 @@ def trace_pipelines(
     shots: int = 0,
     databases: Optional[Sequence[str]] = None,
     workers: int = 1,
+    scale: int = 1,
 ) -> dict[str, PipelineTrace]:
     """Run both pipelines traced, each on its own virtual clock.
 
@@ -87,11 +88,12 @@ def trace_pipelines(
     duty: it times the tracer's spans *and* absorbs the virtual latency
     of every paid LLM call (via :class:`SimulatedLatencyClient`), so the
     root span's duration equals the pipeline's makespan.  ``workers=1``
-    (the default) keeps the span tree fully deterministic.
+    (the default) keeps the span tree fully deterministic.  ``scale``
+    traces the scaled benchmark worlds (ignored when ``swan`` is given).
     """
     from repro.harness.runner import GoldResults, run_hqdl, run_udf
 
-    swan = swan if swan is not None else load_benchmark()
+    swan = swan if swan is not None else load_benchmark(scale)
     gold = GoldResults(swan)
     traces: dict[str, PipelineTrace] = {}
     for pipeline, runner in (("udf", run_udf), ("hqdl", run_hqdl)):
@@ -121,17 +123,19 @@ def measure_trace(
     shots: int = 0,
     databases: Optional[Sequence[str]] = None,
     workers: int = 1,
+    scale: int = 1,
 ) -> tuple[dict, dict[str, PipelineTrace]]:
     """The BENCH_trace payload plus the live traces behind it."""
     traces = trace_pipelines(
         swan, model_name=model_name, shots=shots,
-        databases=databases, workers=workers,
+        databases=databases, workers=workers, scale=scale,
     )
     payload = {
         "bench": "trace",
         "model": model_name,
         "shots": shots,
         "workers": workers,
+        "scale": scale,
         "databases": list(databases) if databases is not None else "all",
         "pipelines": {
             name: trace.as_record() for name, trace in traces.items()

@@ -116,6 +116,11 @@ class CachingClient:
         # (PromptCache defines __len__), so compare against None explicitly.
         self.cache = cache if cache is not None else PromptCache()
         self.model_name = inner.model_name
+        # batch dispatch is only worth advertising when the inner client
+        # actually completes batches out-of-thread (e.g. ProcPoolClient)
+        self.prefers_batch_dispatch = bool(
+            getattr(inner, "prefers_batch_dispatch", False)
+        )
         self._lock = threading.Lock()
         self._flights: dict[str, _Flight] = {}
         #: how many calls joined another thread's in-flight request
@@ -173,6 +178,36 @@ class CachingClient:
                 self._prov.record_tier(prompt, TIER_MEMORY)
             span.set("outcome", "join")
             return ChatResponse(flight.response.text, Usage())
+
+    def complete_many(self, prompts, labels) -> list[ChatResponse]:
+        """Batched :meth:`complete` for batch-dispatching inner clients.
+
+        Expects ``prompts`` already deduplicated (the dispatcher's
+        single-flight guarantees it), so hit/miss accounting per unique
+        prompt is identical to the per-call path: one :meth:`PromptCache.
+        get` each, one upstream completion per miss, every miss stored.
+        """
+        responses: list[ChatResponse | None] = [None] * len(prompts)
+        missing_indexes: list[int] = []
+        for index, prompt in enumerate(prompts):
+            cached = self.cache.get(prompt)
+            if cached is not None:
+                self._m_hits.inc()
+                if self._prov.enabled:
+                    self._prov.record_tier(prompt, TIER_MEMORY)
+                responses[index] = ChatResponse(cached, Usage())
+            else:
+                self._m_misses.inc()
+                missing_indexes.append(index)
+        if missing_indexes:
+            fresh = self.inner.complete_many(
+                [prompts[i] for i in missing_indexes],
+                [labels[i] for i in missing_indexes],
+            )
+            for index, response in zip(missing_indexes, fresh):
+                self.cache.put(prompts[index], response.text)
+                responses[index] = response
+        return responses  # type: ignore[return-value]
 
     def _lead(self, flight: _Flight, prompt: str, label: str) -> ChatResponse:
         """Perform the upstream call on behalf of every waiter."""

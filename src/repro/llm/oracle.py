@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 from typing import Optional
 
-from repro.errors import LLMError
+from repro.errors import CurationError, LLMError
 from repro.llm.profiles import ModelProfile
 from repro.swan.base import (
     KIND_MULTI,
@@ -42,6 +42,26 @@ def stable_uniform(*parts: object) -> float:
     return int.from_bytes(digest[:8], "big") / 2**64
 
 
+def _uniform_from_payload(payload: str) -> float:
+    """:func:`stable_uniform` over an already-joined payload string.
+
+    The oracle hot path draws several uniforms per cell whose parts
+    share a long common tail; joining that tail once and formatting only
+    the leading discriminator keeps the draw byte-identical while
+    skipping the per-draw ``str``/``join`` work.
+    """
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _choice_from_payload(options: list, payload: str):
+    """:func:`stable_choice` over an already-joined payload string."""
+    if not options:
+        raise LLMError("stable_choice requires at least one option")
+    index = int(_uniform_from_payload("choice\x1f" + payload) * len(options))
+    return options[min(index, len(options) - 1)]
+
+
 def stable_choice(options: list, *parts: object):
     """Deterministically pick one option based on the parts."""
     if not options:
@@ -53,9 +73,23 @@ def stable_choice(options: list, *parts: object):
 class KnowledgeOracle:
     """Ground truth plus calibrated noise for one world."""
 
-    def __init__(self, world: World, *, salt: str = "swan-v1") -> None:
+    def __init__(
+        self, world: World, *, salt: str = "swan-v1", optimize: bool = True
+    ) -> None:
         self.world = world
         self.salt = salt
+        #: toggles the byte-identical per-cell fast path (memoized
+        #: accuracies and pre-joined hash payloads); ``False`` keeps the
+        #: reference implementation for the pre-optimization benches
+        self.optimize = optimize
+        # calibrated accuracy per (profile name, column, shots, ...) —
+        # constant across the thousands of cells of one scaled column
+        self._accuracy_cache: dict[tuple, float] = {}
+        # multi-kind distractor pools per (value list, truth items)
+        self._pool_cache: dict[tuple, list] = {}
+        # question -> resolved (expansion, column), or None for a miss;
+        # a batched run re-resolves the same question per map call
+        self._attr_cache: dict[str, Optional[tuple]] = {}
         # column metadata index: (expansion_name, column_name) -> spec
         self._columns: dict[tuple[str, str], ExpansionColumn] = {}
         for expansion in world.expansions:
@@ -97,6 +131,11 @@ class KnowledgeOracle:
     ) -> str:
         """The model's answer for one cell, formatted as completion text."""
         spec = self.column_spec(expansion_name, column)
+        if self.optimize:
+            return self._generate_value_fast(
+                spec, expansion_name, key, column, profile, shots,
+                single_cell, batch_size, with_context,
+            )
         accuracy = profile.knowledge_accuracy(
             self.world.name,
             column,
@@ -121,6 +160,187 @@ class KnowledgeOracle:
         return self.format_value(
             self._distractor(expansion_name, key, column, spec, truth), spec
         )
+
+    def _generate_value_fast(
+        self,
+        spec: ExpansionColumn,
+        expansion_name: str,
+        key: tuple,
+        column: str,
+        profile: ModelProfile,
+        shots: int,
+        single_cell: bool,
+        batch_size: int,
+        with_context: bool,
+    ) -> str:
+        """Byte-identical :meth:`generate_value`, minus repeated work.
+
+        The calibrated base accuracy is a pure function of
+        ``(profile, column, shots, single_cell, batch_size)`` — constant
+        across the thousands of cells a scaled column generates — so it
+        is memoized (keyed on ``profile.name``; profiles are registry
+        singletons).  Every hash draw reuses one pre-joined payload tail
+        instead of re-stringifying the cell identity per draw.
+        """
+        acc_key = (profile.name, column, shots, single_cell, batch_size)
+        accuracy = self._accuracy_cache.get(acc_key)
+        if accuracy is None:
+            accuracy = profile.knowledge_accuracy(
+                self.world.name,
+                column,
+                spec.kind,
+                shots,
+                single_cell=single_cell,
+                batch_size=batch_size,
+            )
+            self._accuracy_cache[acc_key] = accuracy
+        if accuracy < 1.0:
+            accuracy *= self.world.key_popularity(expansion_name, key)
+            if with_context:
+                accuracy *= profile.context_boost
+            accuracy = min(profile.max_accuracy, accuracy)
+        truth = self.world.truth_value(expansion_name, key, column)
+        tail = f"{self.world.name}\x1f{expansion_name}\x1f{key}\x1f{column}"
+        if _uniform_from_payload(f"{self.salt}\x1fknow\x1f{tail}") < accuracy:
+            return self.format_value(truth, spec)
+        return self.format_value(
+            self._distractor_fast(expansion_name, key, column, spec, truth, tail),
+            spec,
+        )
+
+    def map_value_generator(
+        self,
+        expansion_name: str,
+        column: str,
+        profile: ModelProfile,
+        shots: int,
+        batch_size: int,
+    ):
+        """A per-key closure over :meth:`generate_value`'s batch constants.
+
+        One map call generates the same ``(expansion, column, profile,
+        shots, batch_size)`` cell context for every key in the batch;
+        hoisting the spec lookup, the calibrated accuracy, and the hash
+        payload prefix out of the per-key loop leaves each key one
+        popularity lookup, one truth lookup, and one draw — the
+        irreducible per-cell work.  Single-cell mode (the map protocol)
+        is assumed; answers are byte-identical to per-key
+        :meth:`generate_value` calls.
+        """
+        spec = self.column_spec(expansion_name, column)
+        acc_key = (profile.name, column, shots, True, batch_size)
+        base_accuracy = self._accuracy_cache.get(acc_key)
+        if base_accuracy is None:
+            base_accuracy = profile.knowledge_accuracy(
+                self.world.name,
+                column,
+                spec.kind,
+                shots,
+                single_cell=True,
+                batch_size=batch_size,
+            )
+            self._accuracy_cache[acc_key] = base_accuracy
+        popularity = self.world.popularity.get(expansion_name, {})
+        truths = self.world.truth[expansion_name]
+        max_accuracy = profile.max_accuracy
+        tail_prefix = f"{self.world.name}\x1f{expansion_name}\x1f"
+        know_prefix = f"{self.salt}\x1fknow\x1f"
+        format_value = self.format_value
+        distractor = self._distractor_fast
+
+        def generate(key: tuple) -> str:
+            """One key's answer, drawn against the hoisted batch context."""
+            accuracy = base_accuracy
+            if accuracy < 1.0:
+                accuracy = min(max_accuracy, accuracy * popularity.get(key, 1.0))
+            try:
+                truth = truths[key][column]
+            except KeyError as exc:
+                raise CurationError(
+                    f"no ground truth for {expansion_name}{key}.{column}"
+                ) from exc
+            tail = f"{tail_prefix}{key}\x1f{column}"
+            if _uniform_from_payload(know_prefix + tail) < accuracy:
+                return format_value(truth, spec)
+            return format_value(
+                distractor(expansion_name, key, column, spec, truth, tail), spec
+            )
+
+        return generate
+
+    def _distractor_fast(
+        self,
+        expansion_name: str,
+        key: tuple,
+        column: str,
+        spec: ExpansionColumn,
+        truth: object,
+        tail: str,
+    ) -> object:
+        """:meth:`_distractor` over the pre-joined payload tail."""
+        wrong = f"{self.salt}\x1fwrong\x1f{tail}"
+        if spec.kind == KIND_SELECTION:
+            options = [
+                v for v in self.world.value_lists.get(spec.value_list or "", []) if v != truth
+            ]
+            if options:
+                return _choice_from_payload(options, wrong)
+            return truth
+        if spec.kind == KIND_NUMERIC:
+            try:
+                value = float(truth)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return f"{truth}?"
+            draw = _uniform_from_payload("numeric\x1f" + wrong)
+            factor = 1.0 + (0.05 + 0.15 * draw) * (1 if draw > 0.5 else -1)
+            wrong_value = value * factor
+            if isinstance(truth, int) or (
+                isinstance(truth, float) and value == int(value)
+            ):
+                wrong_int = int(round(wrong_value))
+                if wrong_int == int(value):
+                    wrong_int += 1
+                return wrong_int
+            return round(wrong_value, 2)
+        if spec.kind == KIND_MULTI:
+            return self._multi_distractor_fast(spec, truth, wrong)
+        seed_parts = (self.salt, "wrong", self.world.name, expansion_name, key, column)
+        return self._freeform_distractor(expansion_name, key, column, truth, seed_parts)
+
+    def _multi_distractor_fast(
+        self, spec: ExpansionColumn, truth: object, wrong: str
+    ) -> tuple:
+        """:meth:`_multi_distractor` with a memoized distractor pool.
+
+        Replicated entities share their truth item lists, so the pool
+        ``[v for v in value_list if v not in items]`` recurs thousands
+        of times per scaled column — one dict hit replaces it.
+        """
+        items = list(truth) if isinstance(truth, (list, tuple)) else [str(truth)]
+        pool_key = (spec.value_list, tuple(items))
+        pool = self._pool_cache.get(pool_key)
+        if pool is None:
+            pool = [
+                v
+                for v in self.world.value_lists.get(spec.value_list or "", [])
+                if v not in items
+            ]
+            self._pool_cache[pool_key] = pool
+        draw = _uniform_from_payload("multi\x1f" + wrong)
+        mutated = list(items)
+        if mutated and draw < 0.6:
+            drop_index = int(
+                _uniform_from_payload("multi-drop\x1f" + wrong) * len(mutated)
+            )
+            mutated.pop(min(drop_index, len(mutated) - 1))
+        if pool and draw >= 0.3:
+            mutated.append(_choice_from_payload(pool, "multi-add\x1f" + wrong))
+        if tuple(mutated) == tuple(items):
+            if pool:
+                mutated.append(_choice_from_payload(pool, "multi-fix\x1f" + wrong))
+            elif mutated:
+                mutated.pop()
+        return tuple(mutated)
 
     @staticmethod
     def format_value(value: object, spec: ExpansionColumn) -> str:
@@ -257,8 +477,15 @@ class KnowledgeOracle:
         wins.  Raises :class:`LLMError` when nothing matches — the mock
         model is "confused", and callers surface that as a failed query.
         """
+        if self.optimize and question in self._attr_cache:
+            best = self._attr_cache[question]
+            if best is None:
+                raise LLMError(
+                    f"cannot resolve question to a known attribute: {question!r}"
+                )
+            return best
         lowered = question.lower()
-        best: Optional[tuple[ExpansionTable, ExpansionColumn]] = None
+        best = None
         best_score = 0
         for expansion in self.world.expansions:
             for column in expansion.columns:
@@ -270,6 +497,8 @@ class KnowledgeOracle:
                 if score > best_score:
                     best_score = score
                     best = (expansion, column)
+        if self.optimize:
+            self._attr_cache[question] = best
         if best is None:
             raise LLMError(
                 f"cannot resolve question to a known attribute: {question!r}"

@@ -155,7 +155,17 @@ class ParallelDispatcher:
             else NULL_SPAN
         ) as dispatch_span:
             parent = dispatch_span if tel.enabled else None
-            if self.workers == 1 or len(unique) <= 1:
+            if (
+                not tel.enabled
+                and len(unique) > 1
+                and getattr(client, "prefers_batch_dispatch", False)
+            ):
+                # process-level dispatch: the client completes the whole
+                # unique-prompt list in chunked worker submissions (see
+                # repro.llm.procpool); per-call spans need threads, so
+                # traced runs keep the per-call path
+                primary = self._call_batched(client, unique)
+            elif self.workers == 1 or len(unique) <= 1:
                 primary = [
                     self._call(client, p, label, parent) for p, label in unique
                 ]
@@ -192,6 +202,33 @@ class ParallelDispatcher:
                 if capture_errors == "transient" and outcome.degradable:
                     continue
                 raise outcome.error
+        return outcomes
+
+    def _call_batched(
+        self, client: ChatClient, unique: Sequence[tuple[str, str]]
+    ) -> list[DispatchOutcome]:
+        """Complete the unique-prompt list via ``client.complete_many``.
+
+        Error granularity is the batch: a failure inside the batched
+        client (e.g. a broken process pool) fails every prompt of this
+        dispatch with the same captured error — the per-prompt outcome
+        shape downstream degradation expects.
+        """
+        prompts = [prompt for prompt, _ in unique]
+        labels = [label for _, label in unique]
+        prov = self._prov
+        try:
+            responses = client.complete_many(prompts, labels)
+        except LLMError as exc:
+            if prov.enabled:
+                for prompt in prompts:
+                    prov.record_failure(prompt, type(exc).__name__)
+            return [DispatchOutcome(error=exc) for _ in unique]
+        outcomes = []
+        for prompt, response in zip(prompts, responses):
+            if prov.enabled:
+                prov.record_outcome(prompt, usage=response.usage)
+            outcomes.append(DispatchOutcome(response=response))
         return outcomes
 
     def _call(

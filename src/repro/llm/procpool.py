@@ -1,0 +1,217 @@
+"""Process-level LLM dispatch for CPU-bound stages.
+
+The thread-based :class:`~repro.llm.parallel.ParallelDispatcher` overlaps
+*latency*, but the simulated model is pure Python — prompt parsing,
+oracle lookups, and tokenization all hold the GIL, so at scale the
+threads serialize.  :class:`ProcPoolClient` moves that CPU work into a
+``ProcessPoolExecutor``: each worker process owns a full
+:class:`~repro.llm.chat.MockChatModel` replica and returns
+``(text, input_tokens, output_tokens)``; the parent re-records the
+tokens on the shared :class:`~repro.llm.usage.UsageMeter`.
+
+Byte-identity with the thread path follows from determinism: the model
+is a pure function of ``(world, prompt)``, token counting is pure, and
+``UsageMeter.record`` is commutative — so results, Usage totals, and
+cache behaviour are identical whether a prompt was completed in-process
+or in a worker.
+
+The client is dispatcher-agnostic: it plugs into the existing
+``ParallelDispatcher`` (whose threads now merely block on worker
+futures) so ordering, provenance, and degradation semantics are
+untouched.  Worker processes are started lazily on first use and with
+the ``fork`` start method inherit the parent's already-built worlds; a
+registry fallback rebuilds the world by name otherwise.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional, Sequence
+
+from repro.errors import LLMError, TransientLLMError
+from repro.llm.client import ChatResponse
+from repro.llm.usage import UsageMeter
+from repro.swan.base import World
+
+__all__ = ["ProcPoolClient"]
+
+#: Worlds registered by the parent before the pool forks, keyed by
+#: ``(name, scale)``; fork-started workers see this populated and skip
+#: the (expensive) rebuild in ``_init_worker``.
+_WORLD_REGISTRY: dict[tuple[str, int], World] = {}
+
+#: The per-worker-process model replica, built once in the initializer.
+_WORKER_MODEL = None
+
+
+def _init_worker(world_name: str, scale: int, model_name: str, optimize: bool) -> None:
+    """Build this worker process's model replica (runs once per worker)."""
+    global _WORKER_MODEL
+    from repro.llm.chat import MockChatModel
+    from repro.llm.oracle import KnowledgeOracle
+    from repro.llm.profiles import get_profile
+
+    world = _WORLD_REGISTRY.get((world_name, scale))
+    if world is None:
+        from repro.swan.scale import scale_world
+        from repro.swan.worlds import WORLD_BUILDERS
+
+        world = scale_world(WORLD_BUILDERS[world_name](), scale)
+        _WORLD_REGISTRY[(world_name, scale)] = world
+    _WORKER_MODEL = MockChatModel(
+        KnowledgeOracle(world, optimize=optimize), get_profile(model_name),
+        meter=UsageMeter(), optimize=optimize,
+    )
+
+
+def _complete_in_worker(prompt: str, label: str) -> tuple[str, int, int]:
+    """Complete one prompt in a worker; tokens are counted off-parent."""
+    if _WORKER_MODEL is None:  # pragma: no cover - initializer always ran
+        raise LLMError("process-pool worker was not initialized")
+    response = _WORKER_MODEL.complete(prompt, label=label)
+    return response.text, response.usage.input_tokens, response.usage.output_tokens
+
+
+def _complete_chunk_in_worker(
+    prompts: Sequence[str], labels: Sequence[str]
+) -> list[tuple[str, int, int]]:
+    """Complete a whole chunk of prompts per IPC round trip.
+
+    Per-prompt submission costs one pickle/unpickle/wakeup cycle each
+    way; at bird scale tens of thousands of those dominate the win from
+    parallelism.  Chunking amortizes the round trip over hundreds of
+    prompts while each answer stays the same pure function of
+    ``(world, prompt)``.
+    """
+    if _WORKER_MODEL is None:  # pragma: no cover - initializer always ran
+        raise LLMError("process-pool worker was not initialized")
+    out: list[tuple[str, int, int]] = []
+    for prompt, label in zip(prompts, labels):
+        response = _WORKER_MODEL.complete(prompt, label=label)
+        out.append(
+            (response.text, response.usage.input_tokens, response.usage.output_tokens)
+        )
+    return out
+
+
+class ProcPoolClient:
+    """A ChatClient that completes prompts in worker processes.
+
+    Drop-in replacement for :class:`~repro.llm.chat.MockChatModel` in the
+    harness runners: same ``model_name`` attribute (cache layers key on
+    it) and the same per-call Usage accounting on ``meter``.
+    """
+
+    #: tells the dispatcher to hand this client whole prompt lists
+    #: (:meth:`complete_many`) instead of one call per worker thread
+    prefers_batch_dispatch = True
+
+    def __init__(
+        self,
+        world: World,
+        model_name: str,
+        *,
+        processes: Optional[int] = None,
+        meter: Optional[UsageMeter] = None,
+        optimize: bool = True,
+    ) -> None:
+        self.world = world
+        self.model_name = model_name
+        self.meter = meter or UsageMeter()
+        self.processes = max(1, processes) if processes is not None else None
+        self.optimize = optimize
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+        _WORLD_REGISTRY[(world.name, world.scale)] = world
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.processes,
+                    initializer=_init_worker,
+                    initargs=(
+                        self.world.name,
+                        self.world.scale,
+                        self.model_name,
+                        self.optimize,
+                    ),
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down, reaping every worker process."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ProcPoolClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- ChatClient ----------------------------------------------------------
+
+    def complete(self, prompt: str, *, label: str = "") -> ChatResponse:
+        """Complete one prompt in a worker process.
+
+        Blocking here is intentional: concurrency comes from the calling
+        dispatcher's threads, each of which parks on its own worker
+        future, keeping dispatch order and retry semantics unchanged.
+        """
+        pool = self._ensure_pool()
+        try:
+            text, input_tokens, output_tokens = pool.submit(
+                _complete_in_worker, prompt, label
+            ).result()
+        except BrokenProcessPool as exc:
+            # a worker died (OOM, kill, crash): reap the remaining
+            # processes now so none are orphaned, then surface a
+            # retryable error — the resilience layer decides what's next
+            self.close()
+            raise TransientLLMError(f"process pool broke: {exc}") from exc
+        usage = self.meter.record(input_tokens, output_tokens, label)
+        return ChatResponse(text, usage)
+
+    def complete_many(
+        self, prompts: Sequence[str], labels: Sequence[str]
+    ) -> list[ChatResponse]:
+        """Complete a prompt list in chunked worker submissions.
+
+        The batch-dispatch entry point: the dispatcher hands over its
+        (already deduplicated) unique-prompt list, and the pool splits
+        it into a few chunks per worker — balancing the tail without
+        paying a round trip per prompt.  Responses come back in prompt
+        order, each recorded on ``meter`` exactly as :meth:`complete`
+        would have.
+        """
+        if len(prompts) != len(labels):
+            raise LLMError(
+                f"got {len(labels)} labels for {len(prompts)} prompts"
+            )
+        pool = self._ensure_pool()
+        workers = pool._max_workers or 1
+        chunk = max(1, -(-len(prompts) // (workers * 4)))
+        futures = [
+            pool.submit(
+                _complete_chunk_in_worker,
+                list(prompts[start : start + chunk]),
+                list(labels[start : start + chunk]),
+            )
+            for start in range(0, len(prompts), chunk)
+        ]
+        try:
+            triples = [triple for future in futures for triple in future.result()]
+        except BrokenProcessPool as exc:
+            self.close()
+            raise TransientLLMError(f"process pool broke: {exc}") from exc
+        return [
+            ChatResponse(text, self.meter.record(input_tokens, output_tokens, label))
+            for (text, input_tokens, output_tokens), label in zip(triples, labels)
+        ]

@@ -103,6 +103,17 @@ class Database:
             raise ExecutionError(f"{exc} while querying: {sql[:400]}") from exc
         return ResultSet.from_cursor(cursor)
 
+    def query_rows(self, sql: str, params: Sequence[object] = ()) -> list[tuple]:
+        """Rows of a SELECT as plain tuples, skipping :class:`ResultSet`.
+
+        The bulk-fetch path for hot loops (key fetches at scale): one
+        ``fetchall`` and no per-row column bookkeeping.
+        """
+        try:
+            return self.connection.execute(sql, params).fetchall()
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"{exc} while querying: {sql[:400]}") from exc
+
     def query_column(self, sql: str, params: Sequence[object] = ()) -> list[object]:
         """First column of a SELECT as a plain list."""
         return [row[0] for row in self.query(sql, params).rows]

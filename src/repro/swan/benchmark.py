@@ -61,13 +61,17 @@ class Swan:
         return [self.worlds[name].stats() for name in self.database_names()]
 
 
-@lru_cache(maxsize=1)
-def _cached_benchmark() -> Swan:
+@lru_cache(maxsize=4)
+def _cached_benchmark(scale: int = 1) -> Swan:
     # imported lazily so world construction stays importable on its own
     from repro.swan.questions import all_questions
+    from repro.swan.scale import scale_world
     from repro.swan.worlds import WORLD_BUILDERS
 
-    worlds = {name: builder() for name, builder in WORLD_BUILDERS.items()}
+    worlds = {
+        name: scale_world(builder(), scale)
+        for name, builder in WORLD_BUILDERS.items()
+    }
     questions = all_questions()
     by_db: dict[str, int] = {}
     for question in questions:
@@ -80,12 +84,36 @@ def _cached_benchmark() -> Swan:
     return Swan(worlds=worlds, questions=questions)
 
 
-def load_benchmark() -> Swan:
-    """Load (and cache) the full SWAN benchmark.
+def load_benchmark(scale: int = 1) -> Swan:
+    """Load (and cache) the full SWAN benchmark at a row-multiplication
+    ``scale`` (see :mod:`repro.swan.scale`; 1 is the hand-built base).
 
     Worlds are deterministic, so the cached instance is safe to share;
     callers that mutate databases must build their own
     :class:`~repro.sqlengine.database.Database` copies via
     :mod:`repro.swan.build`.
     """
-    return _cached_benchmark()
+    return _cached_benchmark(scale)
+
+
+def load_benchmark_subset(scale: int, databases: list[str]) -> Swan:
+    """An uncached Swan holding only ``databases``, scaled to ``scale``.
+
+    Scaling a 100x world is expensive; benches that only exercise one
+    database use this to avoid synthesizing (and caching) the other
+    three at that scale.
+    """
+    from repro.swan.questions import all_questions
+    from repro.swan.scale import scale_world
+    from repro.swan.worlds import WORLD_BUILDERS
+
+    unknown = [name for name in databases if name not in WORLD_BUILDERS]
+    if unknown:
+        raise ReproError(
+            f"unknown SWAN databases {unknown}; have {sorted(WORLD_BUILDERS)}"
+        )
+    worlds = {
+        name: scale_world(WORLD_BUILDERS[name](), scale) for name in databases
+    }
+    questions = [q for q in all_questions() if q.database in worlds]
+    return Swan(worlds=worlds, questions=questions)

@@ -14,9 +14,28 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Union
 
+from repro.errors import ReproError
 from repro.sqlengine.database import Database
 from repro.sqlengine.schema import DatabaseSchema
 from repro.swan.base import World
+from repro.swan.scale import scale_world
+
+
+def _at_scale(world: World, scale: int) -> World:
+    """``world`` synthesized at ``scale`` (relative to the base world).
+
+    ``scale=1`` always builds the world as-is, and asking for the scale
+    the world already has is a no-op; rescaling an already-scaled world
+    is ambiguous and rejected.
+    """
+    if scale == 1 or world.scale == scale:
+        return world
+    if world.scale != 1:
+        raise ReproError(
+            f"world {world.name!r} is already scaled to {world.scale}x; "
+            f"build from the base world to get {scale}x"
+        )
+    return scale_world(world, scale)
 
 
 def _materialize(
@@ -54,20 +73,29 @@ def _index_expansion_keys(db: Database, world: World) -> None:
             db.create_index(expansion.source_table, expansion.key_columns)
 
 
-def build_original_database(world: World) -> Database:
-    """The full (uncurated) database for gold-query execution."""
+def build_original_database(world: World, scale: int = 1) -> Database:
+    """The full (uncurated) database for gold-query execution.
+
+    ``scale`` > 1 synthesizes the FK-consistent larger population first
+    (a no-op when ``world`` was already built at that scale).
+    """
+    world = _at_scale(world, scale)
     return _materialize(world.original_schema, world.original_rows)
 
 
-def build_curated_database(world: World) -> Database:
+def build_curated_database(world: World, scale: int = 1) -> Database:
     """The curated database hybrid pipelines query."""
+    world = _at_scale(world, scale)
     db = _materialize(world.curated_schema, world.curated_rows)
     _index_expansion_keys(db, world)
     return db
 
 
-def save_databases(world: World, directory: Union[str, Path]) -> tuple[Path, Path]:
+def save_databases(
+    world: World, directory: Union[str, Path], scale: int = 1
+) -> tuple[Path, Path]:
     """Write both databases to ``<dir>/<name>_original.db`` / ``_curated.db``."""
+    world = _at_scale(world, scale)
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     original_path = directory / f"{world.name}_original.db"

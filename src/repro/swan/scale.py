@@ -1,0 +1,277 @@
+"""FK-consistent world scaling (SynSQL-style row multiplication).
+
+:func:`scale_world` synthesizes a ``scale``-times larger copy of a
+:class:`~repro.swan.base.World` while preserving every invariant the
+pipelines rely on:
+
+- **replica 0 is byte-identical** to the base world, so every base
+  entity (and therefore every question) resolves exactly as before;
+- **foreign keys stay consistent**: integer keys are offset by a
+  per-table stride, text keys get a ``~r`` suffix, and every referencing
+  column — declared FK or recognized by the shared-key-name convention —
+  inherits the transform of the table it points at;
+- **expansion keys stay human-readable**: replica ``r`` of an entity is
+  named ``"<base> (<roman r+1>)"`` ("Spider-Man (II)"), which keeps key
+  tuples unique, deterministic, and parseable by the prompt protocol;
+- **truth, popularity, and curated rows are re-derived**, not mutated:
+  the truth map is replicated under the suffixed keys and curated rows
+  are re-projected from the scaled original rows (curation is a pure
+  column projection).
+
+Everything is a pure function of ``(world, scale)`` — no randomness —
+so the same seed and scale always produce byte-identical databases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ReproError
+from repro.sqlengine.schema import TableSchema
+from repro.swan.base import World
+
+__all__ = ["scale_world", "scaled_table_names", "replica_suffix"]
+
+#: Roman-numeral digits, largest first, for replica naming.
+_ROMAN = (
+    (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"),
+    (100, "C"), (90, "XC"), (50, "L"), (40, "XL"),
+    (10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I"),
+)
+
+
+def _roman(number: int) -> str:
+    parts = []
+    for value, digits in _ROMAN:
+        while number >= value:
+            parts.append(digits)
+            number -= value
+    return "".join(parts)
+
+
+def replica_suffix(replica: int) -> str:
+    """The key suffix of replica ``replica`` (>= 1): ``" (II)"``, ..."""
+    return f" ({_roman(replica + 1)})"
+
+
+def _distinctive_pk_names(schema) -> dict[str, str]:
+    """Single-column PK names that identify exactly one table.
+
+    Fact tables without declared FKs (``pit_stops``-style) reference
+    their dimensions by reusing the dimension's PK column name; a name
+    is only *distinctive* when one table owns it and it is not a
+    generic ``id``, so ``race_id`` maps to ``races`` but ``id`` maps to
+    nothing.
+    """
+    owners: dict[str, list[str]] = {}
+    for table in schema.tables:
+        if len(table.primary_key) == 1:
+            owners.setdefault(table.primary_key[0], []).append(table.name)
+    return {
+        name: tables[0]
+        for name, tables in owners.items()
+        if len(tables) == 1 and name.lower() != "id"
+    }
+
+
+def scaled_table_names(world: World) -> set[str]:
+    """Tables whose rows multiply: expansion sources plus every table
+    reaching them through declared FKs or shared distinctive key names."""
+    schema = world.original_schema
+    distinctive = _distinctive_pk_names(schema)
+    scaled = {expansion.source_table for expansion in world.expansions}
+    changed = True
+    while changed:
+        changed = False
+        for table in schema.tables:
+            if table.name in scaled:
+                continue
+            references = any(
+                fk.ref_table in scaled for fk in table.foreign_keys
+            ) or any(
+                column in distinctive
+                and distinctive[column] in scaled
+                and distinctive[column] != table.name
+                for column in table.column_names()
+            )
+            if references:
+                scaled.add(table.name)
+                changed = True
+    return scaled
+
+
+def _pk_transforms(
+    world: World, scaled: set[str]
+) -> dict[str, Callable[[object, int], object]]:
+    """Per scaled table, the value transform of its single-column PK."""
+    transforms: dict[str, Callable[[object, int], object]] = {}
+    for table in world.original_schema.tables:
+        if table.name not in scaled or len(table.primary_key) != 1:
+            continue
+        index = table.column_names().index(table.primary_key[0])
+        values = [row[index] for row in world.original_rows.get(table.name, [])]
+        if values and all(isinstance(v, int) for v in values):
+            stride = max(values)
+            transforms[table.name] = (
+                lambda value, replica, _s=stride: value + replica * _s
+            )
+        else:
+            transforms[table.name] = (
+                lambda value, replica: f"{value}~{replica}"
+            )
+    return transforms
+
+
+def _key_suffix_transform(value: object, replica: int) -> object:
+    return f"{value}{replica_suffix(replica)}"
+
+
+def _column_transforms(
+    table: TableSchema,
+    world: World,
+    scaled: set[str],
+    distinctive: dict[str, str],
+    pk_transforms: dict[str, Callable[[object, int], object]],
+) -> list[Optional[Callable[[object, int], object]]]:
+    """One transform (or None = copy) per column of ``table``.
+
+    Precedence per column: declared FK into a scaled table, then the
+    shared-distinctive-name convention, then the table's own single PK,
+    then expansion key suffixing; everything else copies verbatim.
+    """
+    fk_targets: dict[str, str] = {}
+    for fk in table.foreign_keys:
+        if fk.ref_table in scaled:
+            for column in fk.columns:
+                fk_targets[column] = fk.ref_table
+    single_pk = table.primary_key[0] if len(table.primary_key) == 1 else None
+    source_keys: set[str] = set()
+    for expansion in world.expansions:
+        if expansion.source_table == table.name:
+            source_keys.update(expansion.key_columns)
+    transforms: list[Optional[Callable[[object, int], object]]] = []
+    for column in table.column_names():
+        if column in fk_targets:
+            transforms.append(pk_transforms[fk_targets[column]])
+        elif (
+            column in distinctive
+            and distinctive[column] in scaled
+            and (distinctive[column] != table.name or column == single_pk)
+        ):
+            transforms.append(pk_transforms[distinctive[column]])
+        elif column == single_pk:
+            transforms.append(pk_transforms[table.name])
+        elif column in source_keys:
+            transforms.append(_key_suffix_transform)
+        else:
+            transforms.append(None)
+    return transforms
+
+
+def _scale_rows(world: World, scale: int, scaled: set[str]) -> dict[str, list[tuple]]:
+    distinctive = _distinctive_pk_names(world.original_schema)
+    pk_transforms = _pk_transforms(world, scaled)
+    rows: dict[str, list[tuple]] = {}
+    for table in world.original_schema.tables:
+        base = world.original_rows.get(table.name, [])
+        if table.name not in scaled:
+            rows[table.name] = list(base)
+            continue
+        transforms = _column_transforms(
+            table, world, scaled, distinctive, pk_transforms
+        )
+        active = [
+            (index, transform)
+            for index, transform in enumerate(transforms)
+            if transform is not None
+        ]
+        scaled_rows = list(base)
+        for replica in range(1, scale):
+            for row in base:
+                mutated = list(row)
+                for index, transform in active:
+                    value = mutated[index]
+                    if value is not None:
+                        mutated[index] = transform(value, replica)
+                scaled_rows.append(tuple(mutated))
+        rows[table.name] = scaled_rows
+    return rows
+
+
+def _project_curated(world: World, original_rows: dict[str, list[tuple]]):
+    """Re-derive curated rows from scaled originals (pure projection)."""
+    curated: dict[str, list[tuple]] = {}
+    for table in world.curated_schema.tables:
+        source = world.original_schema.table(table.name)
+        source_names = source.column_names()
+        keep = [source_names.index(name) for name in table.column_names()]
+        scaled_rows = original_rows[table.name]
+        if keep == list(range(len(source_names))):
+            curated[table.name] = list(scaled_rows)
+        else:
+            curated[table.name] = [
+                tuple(row[index] for index in keep) for row in scaled_rows
+            ]
+    return curated
+
+
+def _replicate_keyed(mapping: dict[tuple, object], scale: int, what: str):
+    """Replicate a key-tuple-indexed mapping under suffixed keys.
+
+    Replica 0 keeps the base keys (and base iteration order — the first
+    ``len(mapping)`` keys of the result are exactly the base keys), so
+    key order, demonstrations, and prompt bytes at the base entities are
+    untouched.
+    """
+    replicated: dict[tuple, object] = {}
+    for replica in range(scale):
+        if replica == 0:
+            replicated.update(mapping)
+            continue
+        suffix = replica_suffix(replica)
+        for key, value in mapping.items():
+            replicated[tuple(f"{part}{suffix}" for part in key)] = value
+    if len(replicated) != len(mapping) * scale:
+        raise ReproError(
+            f"replica key collision while scaling {what}; "
+            "base keys may not contain replica suffixes"
+        )
+    return replicated
+
+
+def scale_world(world: World, scale: int) -> World:
+    """A ``scale``-times larger copy of ``world`` (``scale=1`` is a no-op).
+
+    Only the row population changes — schemas, expansions, value lists,
+    and question semantics are untouched.  The scaled world is a new
+    object; the input world is never mutated.
+    """
+    if scale < 1:
+        raise ReproError(f"scale must be >= 1, got {scale}")
+    if scale == 1:
+        return world
+    scaled = scaled_table_names(world)
+    original_rows = _scale_rows(world, scale, scaled)
+    curated_rows = _project_curated(world, original_rows)
+    truth = {
+        name: _replicate_keyed(mapping, scale, f"truth[{name}]")
+        for name, mapping in world.truth.items()
+    }
+    popularity = {
+        name: _replicate_keyed(mapping, scale, f"popularity[{name}]")
+        for name, mapping in world.popularity.items()
+    }
+    return World(
+        name=world.name,
+        title=world.title,
+        original_schema=world.original_schema,
+        curated_schema=world.curated_schema,
+        original_rows=original_rows,
+        curated_rows=curated_rows,
+        expansions=world.expansions,
+        truth=truth,
+        value_lists=world.value_lists,
+        dropped_columns=world.dropped_columns,
+        popularity=popularity,
+        scale=scale,
+    )

@@ -8,6 +8,7 @@ Worlds must be bit-identical across runs and platforms, so all
 from __future__ import annotations
 
 import hashlib
+import heapq
 import re
 from typing import Sequence, TypeVar
 
@@ -44,6 +45,39 @@ def det_sample(options: Sequence[T], count: int, *parts: object) -> list[T]:
         range(len(options)), key=lambda i: det_uniform("sample", i, *parts)
     )
     chosen = sorted(scored[:count])
+    return [options[i] for i in chosen]
+
+
+def det_sample_fast(options: Sequence[T], count: int, *parts: object) -> list[T]:
+    """Byte-identical to :func:`det_sample`, built for large pools.
+
+    Same draws, same winners: the hash payload for index ``i`` is the
+    exact byte string :func:`det_uniform` would build ("sample", i,
+    *parts joined by ``\\x1f``), only the constant suffix is encoded
+    once instead of per index, and the full sort over all draws is
+    replaced by a ``heapq.nsmallest`` top-``count`` selection (which the
+    stdlib documents as equivalent to ``sorted(...)[:n]``, preserving
+    the stable tie order).  Draws are compared as the same ``/ 2**64``
+    floats ``det_uniform`` returns, so even precision-collapsed ties
+    resolve identically.
+    """
+    if count > len(options):
+        raise ValueError(f"cannot sample {count} from {len(options)} options")
+    suffix = (
+        ("\x1f" + "\x1f".join(str(p) for p in parts)).encode("utf-8")
+        if parts
+        else b""
+    )
+    sha256 = hashlib.sha256
+    from_bytes = int.from_bytes
+    draws = [
+        from_bytes(sha256(b"sample\x1f%d%s" % (i, suffix)).digest()[:8], "big")
+        / 2**64
+        for i in range(len(options))
+    ]
+    chosen = sorted(
+        heapq.nsmallest(count, range(len(options)), key=draws.__getitem__)
+    )
     return [options[i] for i in chosen]
 
 

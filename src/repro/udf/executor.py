@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from repro.errors import IngredientError, ReproError
 from repro.llm.batching import (
@@ -69,6 +69,28 @@ if TYPE_CHECKING:  # no runtime import: repro.plan imports from this module
     from repro.plan.store import MappingStore
 
 _ANSWER_LINE_RE = re.compile(r"^\s*(\d+)\s*[.):]\s*(.*?)\s*$")
+
+#: demonstration pools per (world name, scale) — rebuilt only when the
+#: cached entry belongs to a *different* world object of the same name
+#: (hand-built test worlds must never reuse a benchmark world's pool)
+_DEMO_POOLS: dict[tuple[str, int], tuple[World, DemonstrationPool]] = {}
+
+
+def _demo_pool(world: World) -> DemonstrationPool:
+    """The optimized pool for a world, cached across executor instances.
+
+    Pool construction hashes every truth key once per column; at scale
+    100 that is ~10^5 draws a fresh executor would redo per run even
+    though the pool is a pure function of the world.  Identity (not
+    equality) guards the cache, so any new world object — however named
+    — gets its own freshly derived pool.
+    """
+    cached = _DEMO_POOLS.get((world.name, world.scale))
+    if cached is not None and cached[0] is world:
+        return cached[1]
+    pool = DemonstrationPool(world, optimize=True)
+    _DEMO_POOLS[(world.name, world.scale)] = (world, pool)
+    return pool
 
 
 @dataclass
@@ -124,6 +146,7 @@ class HybridQueryExecutor:
         batch_policy: Optional[object] = None,
         mapping_store: Optional["MappingStore"] = None,
         provenance=None,
+        optimize: bool = True,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -133,6 +156,12 @@ class HybridQueryExecutor:
         self.pushdown = pushdown
         self.shots = shots
         self.workers = workers
+        #: toggles the byte-identical hot-path rewrites (bulk key fetch,
+        #: cached prompt prefixes, streamed temp-table rows); ``False``
+        #: keeps the original per-key code and exists as the bench-scale
+        #: 'pre-optimization' reference.
+        self.optimize = optimize
+        self._map_prefix_cache: dict[IngredientCall, str] = {}
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._prov = provenance if provenance is not None else NULL_PROVENANCE
         self.dispatcher = ParallelDispatcher(
@@ -147,7 +176,12 @@ class HybridQueryExecutor:
         )
         self._m_degraded_keys = self._tel.metrics.counter("pipeline.degraded_keys")
         if selector is None and shots > 0:
-            selector = FewShotSelector(DemonstrationPool(world))
+            pool = (
+                _demo_pool(world)
+                if optimize
+                else DemonstrationPool(world, optimize=False)
+            )
+            selector = FewShotSelector(pool, memoize=optimize)
         self.selector = selector
         self.semantic_cache = semantic_cache
         self.views = views
@@ -461,8 +495,14 @@ class HybridQueryExecutor:
             if conjuncts:
                 rendered = " AND ".join(f"({_render_expr(c)})" for c in conjuncts)
                 sql += f" WHERE {rendered}"
-        rows = self.db.query(sql).rows
-        keys = [tuple(str(v) for v in row) for row in rows]
+        if self.optimize:
+            # bulk fetch (no ResultSet bookkeeping) + single-pass coercion;
+            # str() over the same values in the same order, so the key
+            # tuples are byte-identical to the per-row path below
+            keys = [tuple(map(str, row)) for row in self.db.query_rows(sql)]
+        else:
+            rows = self.db.query(sql).rows
+            keys = [tuple(str(v) for v in row) for row in rows]
         report.keys_after_pushdown[call.question] = len(keys)
         return keys
 
@@ -568,8 +608,40 @@ class HybridQueryExecutor:
             )
         return mapping
 
+    _MAP_RULE = (
+        "Return one line per key in the format `index. answer`, "
+        "with no explanation."
+    )
+
     def _map_prompt(self, call: IngredientCall, batch: list[tuple]) -> str:
         question = call.question
+        if self.optimize:
+            # PromptSpec joins sections (and lines within sections) with
+            # single newlines, so the rendered prompt equals the flat
+            # newline join of all lines.  Everything above the target is
+            # the same for every batch of one ingredient; cache it per
+            # (frozen, hashable) IngredientCall and splice the key lines
+            # in — byte-identical to the spec path below.
+            prefix = self._map_prefix_cache.get(call)
+            if prefix is None:
+                prefix = "\n".join(
+                    [
+                        "Answer the question for each given key from the "
+                        f"`{self.world.name}` database.",
+                        *self._options_lines(call),
+                        *self._demo_lines(question),
+                        f"{QUESTION_MARKER} {question}",
+                        MAP_KEYS_MARKER,
+                    ]
+                )
+                self._map_prefix_cache[call] = prefix
+            lines = [prefix]
+            for index, key in enumerate(batch, start=1):
+                rendered = "|".join(quote_field(str(part)) for part in key)
+                lines.append(f"{index}. {rendered}")
+            lines.append(self._MAP_RULE)
+            lines.append(ANSWER_MARKER)
+            return "\n".join(lines)
         spec = PromptSpec()
         spec.add_task(
             "Answer the question for each given key from the "
@@ -584,10 +656,7 @@ class HybridQueryExecutor:
             rendered = "|".join(quote_field(str(part)) for part in key)
             key_lines.append(f"{index}. {rendered}")
         spec.add_target(f"{QUESTION_MARKER} {question}", *key_lines)
-        spec.add_rule(
-            "Return one line per key in the format `index. answer`, "
-            "with no explanation."
-        )
+        spec.add_rule(self._MAP_RULE)
         spec.add_cue(ANSWER_MARKER)
         return spec.render()
 
@@ -628,11 +697,13 @@ class HybridQueryExecutor:
         temp_name = f"__llm_ing_{self._temp_counter}"
         self._temp_counter += 1
         columns = [f"k{i}" for i in range(len(call.key_columns))] + ["v"]
-        rows = [
-            tuple(key) + (value,)
-            for key, value in mapping.items()
-            if value is not None
-        ]
+        # a generator keeps at most one insert chunk of rows in memory;
+        # create_temp_table streams it in fixed-size chunks either way
+        rows: Iterable[tuple] = (
+            key + (value,) for key, value in mapping.items() if value is not None
+        )
+        if not self.optimize:
+            rows = list(rows)
         self.db.create_temp_table(temp_name, columns, rows)
         # the rewrite probes this table once per outer row via a
         # correlated scalar subquery — index the key columns so each
@@ -683,11 +754,11 @@ class HybridQueryExecutor:
         temp_name = f"__llm_ing_{self._temp_counter}"
         self._temp_counter += 1
         columns = list(call.key_columns) + ["value"]
-        rows = [
-            tuple(key) + (value,)
-            for key, value in mapping.items()
-            if value is not None
-        ]
+        rows: Iterable[tuple] = (
+            key + (value,) for key, value in mapping.items() if value is not None
+        )
+        if not self.optimize:
+            rows = list(rows)
         self.db.create_temp_table(temp_name, columns, rows)
         self.db.create_index(temp_name, columns[:-1])
         return ast.TableName(temp_name, alias=alias)

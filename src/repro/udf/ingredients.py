@@ -8,6 +8,7 @@ table, and the key columns parsed out of ``table::column`` references.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import IngredientError
 from repro.sqlparser import ast
@@ -44,43 +45,59 @@ def _split_column_ref(ref: str) -> tuple[str, str]:
     return table, column
 
 
-def parse_ingredient_call(node: ast.Ingredient) -> IngredientCall:
-    """Validate an AST ingredient into an :class:`IngredientCall`."""
-    if node.name not in KNOWN_INGREDIENTS:
+def _parse(name: str, args: tuple, options: tuple) -> IngredientCall:
+    if name not in KNOWN_INGREDIENTS:
         raise IngredientError(
-            f"unknown ingredient {node.name!r}; expected one of "
+            f"unknown ingredient {name!r}; expected one of "
             f"{', '.join(KNOWN_INGREDIENTS)}"
         )
-    if not node.args:
-        raise IngredientError(f"{node.name} requires a question argument")
-    question = str(node.args[0])
-    if node.name == "LLMQA":
-        if len(node.args) > 1:
+    if not args:
+        raise IngredientError(f"{name} requires a question argument")
+    question = str(args[0])
+    if name == "LLMQA":
+        if len(args) > 1:
             raise IngredientError("LLMQA takes only the question argument")
-        return IngredientCall(
-            kind="LLMQA",
-            question=question,
-            options=tuple(sorted(node.options.items())),
-        )
-    if len(node.args) < 2:
+        return IngredientCall(kind="LLMQA", question=question, options=options)
+    if len(args) < 2:
         raise IngredientError(
-            f"{node.name} requires at least one 'table::column' key reference"
+            f"{name} requires at least one 'table::column' key reference"
         )
     table = ""
     key_columns: list[str] = []
-    for ref in node.args[1:]:
+    for ref in args[1:]:
         ref_table, column = _split_column_ref(str(ref))
         if table and ref_table != table:
             raise IngredientError(
-                f"{node.name} key references mix tables "
+                f"{name} key references mix tables "
                 f"{table!r} and {ref_table!r}"
             )
         table = ref_table
         key_columns.append(column)
     return IngredientCall(
-        kind=node.name,
+        kind=name,
         question=question,
         source_table=table,
         key_columns=tuple(key_columns),
-        options=tuple(sorted(node.options.items())),
+        options=options,
     )
+
+
+#: IngredientCall is frozen (immutable), so memoizing parses by value is
+#: safe; AST nodes themselves are mutable and must not be the cache key.
+_parse_cached = lru_cache(maxsize=512)(_parse)
+
+
+def parse_ingredient_call(node: ast.Ingredient) -> IngredientCall:
+    """Validate an AST ingredient into an :class:`IngredientCall`.
+
+    Parses are memoized by value: a scaled run re-parses the same
+    handful of ingredient shapes thousands of times, and the validation
+    (string splitting per key reference) is pure.
+    """
+    name = node.name
+    args = tuple(node.args)
+    options = tuple(sorted(node.options.items()))
+    try:
+        return _parse_cached(name, args, options)
+    except TypeError:
+        return _parse(name, args, options)

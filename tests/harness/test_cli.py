@@ -107,6 +107,52 @@ class TestBatchSizeAndCacheDirFlags:
         assert "--cache-dir=DIR" in out
 
 
+class TestScaleAndParallelismFlags:
+    def test_bad_scale_value(self, capsys):
+        assert main(["run-udf", "--scale=abc"]) == 2
+        err = capsys.readouterr().err
+        assert "--scale requires an integer" in err
+        assert "usage:" in err
+
+    def test_nonpositive_scale(self, capsys):
+        assert main(["run-udf", "--scale=0"]) == 2
+        err = capsys.readouterr().err
+        assert "--scale must be >= 1" in err
+        assert "usage:" in err
+
+    def test_bad_parallelism_value(self, capsys):
+        assert main(["run-udf", "--parallelism=fibers"]) == 2
+        err = capsys.readouterr().err
+        assert "--parallelism must be 'threads' or 'processes'" in err
+        assert "usage:" in err
+
+    def test_run_udf_prints_per_database_ex(self, capsys):
+        assert main(["run-udf", "--databases=superhero", "--scale=1"]) == 0
+        out = capsys.readouterr().out
+        assert "UDF run" in out
+        assert "superhero" in out
+        assert "scale=1" in out
+
+    def test_run_hqdl_prints_per_database_ex(self, capsys):
+        assert main(["run-hqdl", "--databases=superhero"]) == 0
+        out = capsys.readouterr().out
+        assert "HQDL run" in out
+        assert "parallelism=threads" in out
+
+    def test_scale_targets_excluded_from_all(self):
+        from repro.harness.__main__ import _EXCLUDED_FROM_ALL, _GENERATORS
+
+        for target in ("run-udf", "run-hqdl", "bench-scale"):
+            assert target in _GENERATORS
+            assert target in _EXCLUDED_FROM_ALL
+
+    def test_scale_flags_documented_in_usage(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "--scale=N" in out
+        assert "--parallelism=threads|processes" in out
+
+
 class TestExplainCommand:
     def test_requires_database_and_question(self, capsys):
         assert main(["explain"]) == 2

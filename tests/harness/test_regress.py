@@ -9,6 +9,7 @@ from repro.harness.regress import (
     diff_against_baseline,
     load_baseline,
     run_regress,
+    scale10_makespan,
     write_baseline,
 )
 from repro.obs.ledger import RunLedger
@@ -121,6 +122,65 @@ class TestDiff:
         ok, lines = diff_against_baseline(_row(), baseline)
         assert ok
         assert any("fingerprint changed" in line for line in lines)
+
+
+class TestScale10Guard:
+    def _bench(self, tmp_path, makespan=50.0):
+        path = tmp_path / "BENCH_scale.json"
+        path.write_text(json.dumps({
+            "scales": {
+                "10": {"pipelines": {"udf": {"makespan_seconds": makespan}}}
+            }
+        }), encoding="utf-8")
+        return path
+
+    def test_reads_the_scale10_udf_makespan(self, tmp_path):
+        assert scale10_makespan(self._bench(tmp_path, 42.5)) == 42.5
+
+    def test_missing_file_or_rung_is_none(self, tmp_path):
+        assert scale10_makespan(tmp_path / "nope.json") is None
+        path = tmp_path / "BENCH_scale.json"
+        path.write_text(json.dumps({"scales": {"1": {}}}), encoding="utf-8")
+        assert scale10_makespan(path) is None
+
+    def test_baseline_records_it(self, tmp_path):
+        path = tmp_path / "base.json"
+        written = write_baseline(path, _row(), scale10_makespan=50.0)
+        assert written["scale10_makespan"] == 50.0
+        assert load_baseline(path)["scale10_makespan"] == 50.0
+
+    def test_growth_beyond_threshold_fails(self):
+        baseline = {**TestDiff._baseline(self), "scale10_makespan": 50.0}
+        ok, lines = diff_against_baseline(
+            _row(), baseline, fresh_scale10=70.0, max_makespan_growth=0.25
+        )
+        assert not ok
+        assert any(
+            "scale10 makespan" in line and "[FAIL]" in line for line in lines
+        )
+
+    def test_growth_within_threshold_passes(self):
+        baseline = {**TestDiff._baseline(self), "scale10_makespan": 50.0}
+        ok, lines = diff_against_baseline(
+            _row(), baseline, fresh_scale10=55.0, max_makespan_growth=0.25
+        )
+        assert ok
+        assert any(
+            "scale10 makespan" in line and "[ok]" in line for line in lines
+        )
+
+    def test_missing_bench_is_a_note_not_a_failure(self):
+        baseline = {**TestDiff._baseline(self), "scale10_makespan": 50.0}
+        ok, lines = diff_against_baseline(_row(), baseline, fresh_scale10=None)
+        assert ok
+        assert any("not checked" in line for line in lines)
+
+    def test_missing_baseline_key_is_a_note_not_a_failure(self):
+        ok, lines = diff_against_baseline(
+            _row(), TestDiff._baseline(self), fresh_scale10=50.0
+        )
+        assert ok
+        assert any("no scale10_makespan" in line for line in lines)
 
 
 class TestRunRegress:

@@ -1,0 +1,115 @@
+"""Tests for process-level LLM dispatch (`repro.llm.procpool`).
+
+The contract: ``parallelism="processes"`` is byte-identical to the
+thread path (results, Usage, cache stats, provenance), and a dying
+worker surfaces as a retryable error with every remaining process
+reaped — no orphans.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.errors import LLMError, TransientLLMError
+from repro.harness.runner import GoldResults, run_udf
+from repro.llm.procpool import ProcPoolClient
+from repro.obs import ProvenanceRecorder
+
+QA_PROMPT = (
+    "Answer the question with a single short value and no explanation.\n"
+    "Database: superhero\n"
+    "Question: Which comic book publisher published the superhero "
+    "'Hellboy'?\n"
+    "Answer:"
+)
+
+
+def _outcome_key(outcome):
+    return (outcome.qid, outcome.correct, outcome.actual_rows, outcome.error)
+
+
+class TestByteIdentity:
+    def test_full_swan_processes_match_threads(self, swan):
+        gold = GoldResults(swan)
+        threads = run_udf(
+            swan, "gpt-3.5-turbo", 0, gold=gold, workers=2,
+            parallelism="threads",
+        )
+        processes = run_udf(
+            swan, "gpt-3.5-turbo", 0, gold=gold, workers=2,
+            parallelism="processes",
+        )
+        assert [_outcome_key(o) for o in threads.outcomes] == [
+            _outcome_key(o) for o in processes.outcomes
+        ]
+        assert threads.usage == processes.usage
+        assert threads.ex_by_db == processes.ex_by_db
+        assert (threads.cache_hits, threads.cache_misses) == (
+            processes.cache_hits, processes.cache_misses
+        )
+
+    def test_complete_many_matches_complete(self, superhero_world):
+        with ProcPoolClient(
+            superhero_world, "perfect", processes=2
+        ) as client:
+            one = client.complete(QA_PROMPT, label="qa")
+            many = client.complete_many([QA_PROMPT] * 3, ["qa"] * 3)
+        assert [r.text for r in many] == [one.text] * 3
+        assert all(r.usage == one.usage for r in many)
+        assert client.meter.total.calls == 4
+
+    def test_complete_many_rejects_mismatched_labels(self, superhero_world):
+        with ProcPoolClient(superhero_world, "perfect") as client:
+            with pytest.raises(LLMError, match="labels"):
+                client.complete_many([QA_PROMPT], [])
+
+
+class TestProvenance:
+    def test_processes_record_complete_provenance(self, swan):
+        prov = ProvenanceRecorder()
+        run = run_udf(
+            swan, "gpt-3.5-turbo", 0, databases=["superhero"],
+            gold=GoldResults(swan), workers=2, parallelism="processes",
+            provenance=prov,
+        )
+        cells = prov.cells()
+        assert cells, "a process-dispatched run must still record cells"
+        non_null = [cell for cell in cells if not cell.null]
+        assert len(non_null) == run.keys_generated
+        for cell in non_null:
+            assert cell.call_id
+            assert prov.call(cell.call_id) is not None
+
+
+class TestWorkerFailure:
+    def test_dead_worker_raises_transient_and_reaps_the_pool(
+        self, superhero_world
+    ):
+        client = ProcPoolClient(superhero_world, "perfect", processes=2)
+        try:
+            client.complete(QA_PROMPT, label="qa")  # spin the pool up
+            pool = client._pool
+            assert pool is not None
+            workers = list(pool._processes.values())
+            assert workers
+            os.kill(workers[0].pid, signal.SIGKILL)
+            with pytest.raises(TransientLLMError, match="process pool broke"):
+                for _ in range(50):  # the break is detected asynchronously
+                    client.complete(QA_PROMPT, label="qa")
+            # the client reaped the pool: no orphaned worker processes
+            assert client._pool is None
+            for process in workers:
+                assert not process.is_alive()
+        finally:
+            client.close()
+
+    def test_close_is_idempotent_and_restartable(self, superhero_world):
+        client = ProcPoolClient(superhero_world, "perfect", processes=1)
+        try:
+            first = client.complete(QA_PROMPT).text
+            client.close()
+            client.close()
+            assert client.complete(QA_PROMPT).text == first
+        finally:
+            client.close()

@@ -1,0 +1,117 @@
+"""Tests for world scaling: determinism, FK integrity, and the 1x no-op.
+
+The scaler's contract (tentpole PR 6): ``scale_world`` is a pure
+function of ``(world, scale)``, so two scale-10 builds are
+byte-identical; every synthesized replica preserves FK integrity and PK
+uniqueness; and scale 1 is exactly the current builder — the scaled
+code paths must not perturb the seed benchmark.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.swan.build import (
+    _at_scale,
+    build_curated_database,
+    build_original_database,
+)
+from repro.swan.scale import replica_suffix, scale_world
+from repro.swan.worlds import WORLD_BUILDERS
+
+SCALE = 10
+
+
+def _dump(db) -> list[str]:
+    return list(db.connection.iterdump())
+
+
+@pytest.fixture(scope="module", params=sorted(WORLD_BUILDERS))
+def scaled(request):
+    """(base world, the same world scaled 10x), one per SWAN database."""
+    base = WORLD_BUILDERS[request.param]()
+    return base, scale_world(base, SCALE)
+
+
+class TestDeterminism:
+    def test_two_builds_byte_identical(self):
+        first = scale_world(WORLD_BUILDERS["superhero"](), SCALE)
+        second = scale_world(WORLD_BUILDERS["superhero"](), SCALE)
+        with build_original_database(first) as a, \
+                build_original_database(second) as b:
+            assert _dump(a) == _dump(b)
+        with build_curated_database(first) as a, \
+                build_curated_database(second) as b:
+            assert _dump(a) == _dump(b)
+
+    def test_scale_one_is_the_current_builder(self):
+        base = WORLD_BUILDERS["superhero"]()
+        assert _at_scale(base, 1) is base
+        with build_original_database(base) as plain, \
+                build_original_database(base, scale=1) as at_one:
+            assert _dump(plain) == _dump(at_one)
+
+    def test_rescaling_a_scaled_world_is_rejected(self, scaled):
+        _, world = scaled
+        with pytest.raises(ReproError, match="already scaled"):
+            _at_scale(world, 100)
+
+    def test_asking_for_the_current_scale_is_a_noop(self, scaled):
+        _, world = scaled
+        assert _at_scale(world, SCALE) is world
+
+
+class TestIntegrityAtScale:
+    def test_row_counts_multiply_for_scaled_tables(self, scaled):
+        base, world = scaled
+        assert world.scale == SCALE
+        grew = 0
+        for table, rows in base.original_rows.items():
+            scaled_rows = world.original_rows[table]
+            assert len(scaled_rows) in (len(rows), len(rows) * SCALE)
+            grew += len(scaled_rows) == len(rows) * SCALE
+        assert grew > 0, "no table grew at scale 10"
+
+    def test_fk_integrity(self, scaled):
+        _, world = scaled
+        with build_original_database(world) as db:
+            for table in world.original_schema.tables:
+                for fk in table.foreign_keys:
+                    cols = ", ".join(fk.columns)
+                    refs = " AND ".join(
+                        f"t.{c} = r.{rc}"
+                        for c, rc in zip(fk.columns, fk.ref_columns)
+                    )
+                    null = " OR ".join(f"t.{c} IS NULL" for c in fk.columns)
+                    orphans = db.query_scalar(
+                        f"SELECT COUNT(*) FROM {table.name} t "
+                        f"WHERE NOT ({null}) AND NOT EXISTS "
+                        f"(SELECT 1 FROM {fk.ref_table} r WHERE {refs})"
+                    )
+                    assert orphans == 0, (
+                        f"{orphans} orphaned rows in "
+                        f"{table.name}({cols}) -> {fk.ref_table}"
+                    )
+
+    def test_pk_uniqueness(self, scaled):
+        _, world = scaled
+        with build_original_database(world) as db:
+            for table in world.original_schema.tables:
+                if not table.primary_key:
+                    continue
+                pk = ", ".join(table.primary_key)
+                duplicates = db.query_scalar(
+                    f"SELECT COUNT(*) FROM (SELECT {pk} FROM {table.name} "
+                    f"GROUP BY {pk} HAVING COUNT(*) > 1)"
+                )
+                assert duplicates == 0, f"duplicate PKs in {table.name}"
+
+    def test_truth_replicated_for_every_key(self, scaled):
+        _, world = scaled
+        for expansion in world.expansions:
+            truths = world.truth[expansion.name]
+            assert len(truths) % SCALE == 0
+            suffix = replica_suffix(1)
+            assert any(
+                any(str(part).endswith(suffix) for part in key)
+                for key in truths
+            ), f"no replica-suffixed truth keys for {expansion.name}"
