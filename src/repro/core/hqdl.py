@@ -115,6 +115,11 @@ class HQDL:
         #: outcomes are re-assembled in key order.
         self.call_order = call_order
         self.resilience = resilience
+        #: optional request-level :class:`~repro.llm.resilience.Deadline`
+        #: (set per request by the serving layer): once expired, remaining
+        #: row calls are skipped with typed degradable outcomes, so their
+        #: rows materialize as NULLs instead of blocking past the budget.
+        self.deadline = None
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._prov = provenance if provenance is not None else NULL_PROVENANCE
         self._dispatcher = ParallelDispatcher(
@@ -173,7 +178,8 @@ class HQDL:
         """
         if self.call_order != "lpt" or len(prompts) <= 1:
             return self._dispatcher.dispatch(
-                self.client, prompts, labels=labels, capture_errors="transient"
+                self.client, prompts, labels=labels, capture_errors="transient",
+                deadline=self.deadline,
             )
         model = LatencyModel()
         estimates = [
@@ -189,6 +195,7 @@ class HQDL:
             [prompts[i] for i in order],
             labels=permuted_labels,
             capture_errors="transient",
+            deadline=self.deadline,
         )
         outcomes: list[Optional[DispatchOutcome]] = [None] * len(prompts)
         for position, index in enumerate(order):

@@ -96,6 +96,38 @@ class CircuitOpenError(TransientLLMError):
     """
 
 
+class DeadlineExceededError(LLMError):
+    """Work was skipped (not dispatched) because its deadline had expired.
+
+    Raised/captured by the dispatch layers when a request-level
+    :class:`~repro.llm.resilience.Deadline` runs out before a prompt is
+    sent upstream.  Degradable: pipelines turn it into NULL cells, the
+    serving layer into a degraded answer — never into a hang.
+    """
+
+
+class AdmissionRejectedError(ReproError):
+    """A query server refused to admit a request (load shedding).
+
+    ``reason`` is a stable machine-readable class (``queue_full``,
+    ``tenant_quota``, ``token_budget``); ``retry_after`` hints how many
+    seconds until admission is likely to succeed, the way HTTP 429 does.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "overload",
+        retry_after: float | None = None,
+    ) -> None:
+        self.reason = reason
+        self.retry_after = retry_after
+        if retry_after is not None:
+            message = f"{message} (retry after {retry_after:g}s)"
+        super().__init__(message)
+
+
 class RetryBudgetExceededError(LLMError):
     """Every retry attempt was consumed (or the deadline passed) without success.
 

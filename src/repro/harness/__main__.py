@@ -276,6 +276,45 @@ def _bench_cache_report(
     return [payload], format_cache_report(payload, path)
 
 
+def _serve_report(seed=None, horizon=None) -> tuple[list[dict], str]:
+    """One overloaded query-server run (2x capacity) on the virtual clock."""
+    from repro.harness.benchserve import (
+        default_config, default_tenants, format_serve_demo, measure_capacity,
+        run_level, DEFAULT_HORIZON, SERVE_DATABASES,
+    )
+    from repro.swan.benchmark import load_benchmark_subset
+
+    swan = load_benchmark_subset(1, list(SERVE_DATABASES))
+    config = default_config()
+    tenants = default_tenants()
+    horizon = horizon or DEFAULT_HORIZON
+    capacity = measure_capacity(
+        swan, config, tenants, seed=seed or 0, horizon=horizon
+    )
+    report, record = run_level(
+        swan, config, tenants, 2.0, capacity,
+        seed=seed or 0, horizon=horizon,
+    )
+    return [record], format_serve_demo(report)
+
+
+def _loadtest_report(
+    scale=None, seed=None, horizon=None
+) -> tuple[list[dict], str]:
+    """Offered-load sweep over the server (written to BENCH_serve.json)."""
+    from repro.harness.benchserve import (
+        format_serve_report, run_loadtest, write_serve_json,
+        DEFAULT_HORIZON, DEFAULT_SERVE_BENCH,
+    )
+
+    payload = run_loadtest(
+        scale=scale or 1, seed=seed or 0, horizon=horizon or DEFAULT_HORIZON,
+    )
+    path = write_serve_json(payload, DEFAULT_SERVE_BENCH)
+    text = format_serve_report(payload) + f"\n(also written to {path})"
+    return [payload], text
+
+
 def _explain_command(options) -> tuple[int, str]:
     """One-question provenance explanation (tentpole PR 5 CLI)."""
     from repro.errors import ReproError
@@ -337,6 +376,8 @@ _GENERATORS = {
     "run-udf": _run_udf_report,
     "run-hqdl": _run_hqdl_report,
     "bench-scale": _bench_scale_report,
+    "serve": _serve_report,
+    "loadtest": _loadtest_report,
 }
 
 #: Extra targets excluded from `all` (sweep re-runs the whole grid and
@@ -344,11 +385,12 @@ _GENERATORS = {
 #: fault sweep and writes BENCH_chaos.json, trace writes the
 #: BENCH_trace artifact family, bench-cache writes BENCH_cache.json,
 #: run-udf/run-hqdl are parameterized single runs, and bench-scale
-#: synthesizes 100x worlds and writes BENCH_scale.json; `all` should
-#: stay fast and side-effect free).
+#: synthesizes 100x worlds and writes BENCH_scale.json, serve runs an
+#: overloaded server demo, and loadtest sweeps offered load and writes
+#: BENCH_serve.json; `all` should stay fast and side-effect free).
 _EXCLUDED_FROM_ALL = (
     "sweep", "bench-json", "chaos", "trace", "bench-cache",
-    "run-udf", "run-hqdl", "bench-scale",
+    "run-udf", "run-hqdl", "bench-scale", "serve", "loadtest",
 )
 
 #: Targets that honour CLI flags, and which option names each accepts.
@@ -358,6 +400,8 @@ _FLAG_TARGETS = {
     "run-udf": ("databases", "workers", "scale", "parallelism", "batch_size"),
     "run-hqdl": ("databases", "workers", "scale", "parallelism"),
     "bench-scale": ("workers", "scale", "batch_size"),
+    "serve": ("seed", "horizon"),
+    "loadtest": ("scale", "seed", "horizon"),
 }
 
 
@@ -365,7 +409,8 @@ def _usage() -> str:
     return (
         "usage: python -m repro.harness [target ...] "
         "[--databases=a,b] [--workers=N] [--batch-size=N] [--cache-dir=DIR]\n"
-        "           [--scale=N] [--parallelism=threads|processes]\n"
+        "           [--scale=N] [--parallelism=threads|processes] "
+        "[--seed=N] [--horizon=SECONDS]\n"
         "       python -m repro.harness explain --database=NAME "
         "--question=REF [--pipeline=udf|hqdl] [--workers=N]\n"
         "       python -m repro.harness regress [--ledger=PATH] "
@@ -388,6 +433,7 @@ def _parse_args(argv: list[str]):
         # run commands use 1, the benches 4)
         "databases": None, "workers": None, "batch_size": 5, "cache_dir": None,
         "scale": None, "parallelism": "threads",
+        "seed": None, "horizon": None,
         "database": None, "question": None, "pipeline": "udf",
         "ledger": DEFAULT_LEDGER, "baseline": DEFAULT_BASELINE,
         "update_baseline": False, "max_ex_drop": 0.0,
@@ -445,6 +491,24 @@ def _parse_args(argv: list[str]):
                 ) from None
             if options["scale"] < 1:
                 raise ValueError(f"--scale must be >= 1, got {value}")
+        elif name == "--seed":
+            try:
+                options["seed"] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"--seed requires an integer, got {value!r}"
+                ) from None
+            if options["seed"] < 0:
+                raise ValueError(f"--seed must be >= 0, got {value}")
+        elif name == "--horizon":
+            try:
+                options["horizon"] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"--horizon requires a number, got {value!r}"
+                ) from None
+            if options["horizon"] <= 0:
+                raise ValueError(f"--horizon must be > 0, got {value}")
         elif name == "--parallelism":
             if value not in ("threads", "processes"):
                 raise ValueError(

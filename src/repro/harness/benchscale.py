@@ -12,7 +12,11 @@ For each scale factor (1/10/100 by default) this bench:
    with batched in-process dispatch, and on the optimized hot paths
    with process-pool dispatch — asserting all runs identical (results,
    Usage, cache stats) and recording the speedups (each config timed
-   twice, minimum kept).
+   twice, minimum kept);
+4. covers all four SWAN worlds with a traced (virtual clock) UDF+HQDL
+   run per scale rung (capped at :data:`WORLD_SCALE_CAP`) over a small
+   per-world question subset, so no world's operator mix is a scaling
+   blind spot.
 
 Entry point: ``python -m repro.harness bench-scale [--scale=N]``.
 """
@@ -48,6 +52,30 @@ BENCH_SHOTS = 2
 #: scales as replicated long-tail entities draw fresh deterministic
 #: knowledge noise — that drift is model behaviour, not a scaling bug.
 BENCH_QUESTION_IDS = ("superhero_q10", "superhero_q12", "superhero_q16")
+
+#: Per-world question subsets for the all-worlds coverage section: three
+#: questions spread across each world's list, so every SWAN world's
+#: schema and operator mix contributes a rows-vs-makespan point (the
+#: deep-dive rungs above stay on ``BENCH_DATABASE``).
+WORLD_QUESTION_IDS = {
+    "california_schools": (
+        "california_schools_q01",
+        "california_schools_q11",
+        "california_schools_q21",
+    ),
+    "superhero": BENCH_QUESTION_IDS,
+    "formula_1": ("formula_1_q01", "formula_1_q11", "formula_1_q21"),
+    "european_football": (
+        "european_football_q01",
+        "european_football_q11",
+        "european_football_q21",
+    ),
+}
+
+#: The all-worlds section is virtual-clock only and capped at this scale
+#: (wall-clock timing and the 100x rung stay on the single deep-dive
+#: database, keeping the default bench minutes, not hours).
+WORLD_SCALE_CAP = 10
 
 
 def scales_up_to(scale: int) -> tuple[int, ...]:
@@ -118,6 +146,44 @@ def _run_wall(swan: Swan, *, model_name: str, shots: int, workers: int,
     return run, time.perf_counter() - start
 
 
+def measure_worlds(
+    *,
+    model_name: str = "gpt-3.5-turbo",
+    shots: int = BENCH_SHOTS,
+    workers: int = 4,
+    batch_size: int = 5,
+    scales: Sequence[int] = DEFAULT_SCALES,
+) -> dict:
+    """Virtual-clock coverage of all four SWAN worlds.
+
+    One traced UDF+HQDL run per (world, rung) over that world's
+    three-question subset; rungs above :data:`WORLD_SCALE_CAP` are
+    skipped here (the deep-dive section covers them on one database).
+    """
+    rungs = tuple(s for s in scales if s <= WORLD_SCALE_CAP) or (1,)
+    worlds: dict = {}
+    for database, question_ids in WORLD_QUESTION_IDS.items():
+        entry: dict = {"question_ids": list(question_ids), "scales": {}}
+        for scale in rungs:
+            swan = _bench_swan(scale, database, question_ids)
+            world = swan.worlds[database]
+            entry["scales"][str(scale)] = {
+                "scale": scale,
+                "curated_rows": sum(
+                    len(rows) for rows in world.curated_rows.values()
+                ),
+                "pipelines": {
+                    pipeline: _run_traced(
+                        swan, pipeline, model_name=model_name, shots=shots,
+                        workers=workers, batch_size=batch_size,
+                    )
+                    for pipeline in ("udf", "hqdl")
+                },
+            }
+        worlds[database] = entry
+    return worlds
+
+
 def measure_scale(
     *,
     model_name: str = "gpt-3.5-turbo",
@@ -137,7 +203,12 @@ def measure_scale(
         "batch_size": batch_size,
         "database": database,
         "question_ids": [],
+        "world_scale_cap": WORLD_SCALE_CAP,
         "scales": {},
+        "worlds": measure_worlds(
+            model_name=model_name, shots=shots, workers=workers,
+            batch_size=batch_size, scales=scales,
+        ),
     }
     for scale in scales:
         swan = _bench_swan(scale, database, question_ids)
@@ -241,6 +312,23 @@ def format_scale_report(payload: dict, path: Optional[Path] = None) -> str:
                 else "-",
             ]
         )
+    world_rows = []
+    for database, entry in payload.get("worlds", {}).items():
+        for rung in entry["scales"].values():
+            udf = rung["pipelines"]["udf"]
+            hqdl = rung["pipelines"]["hqdl"]
+            world_rows.append(
+                [
+                    database,
+                    f"{rung['scale']}x",
+                    rung["curated_rows"],
+                    f"{udf['makespan_seconds']:.1f} s",
+                    f"{udf['ex'] * 100:.1f}%",
+                    udf["llm_calls"],
+                    f"{hqdl['makespan_seconds']:.1f} s",
+                    f"{hqdl['ex'] * 100:.1f}%",
+                ]
+            )
     title = (
         f"Rows vs makespan on `{payload['database']}` "
         f"({payload['model']}, {payload['shots']}-shot, "
@@ -250,7 +338,7 @@ def format_scale_report(payload: dict, path: Optional[Path] = None) -> str:
         + (f"; also written to {path}" if path else "")
         + ")."
     )
-    return format_table(
+    text = format_table(
         [
             "Scale", "Rows", "UDF makespan", "UDF EX", "UDF calls",
             "HQDL makespan", "UDF wall pre", "UDF wall post", "Speedup",
@@ -259,3 +347,17 @@ def format_scale_report(payload: dict, path: Optional[Path] = None) -> str:
         rows,
         title=title,
     )
+    if world_rows:
+        text += "\n\n" + format_table(
+            [
+                "World", "Scale", "Rows", "UDF makespan", "UDF EX",
+                "UDF calls", "HQDL makespan", "HQDL EX",
+            ],
+            world_rows,
+            title=(
+                "All four SWAN worlds on the virtual clock "
+                f"(rungs capped at {payload.get('world_scale_cap', '?')}x; "
+                "three questions per world)."
+            ),
+        )
+    return text

@@ -1,0 +1,258 @@
+"""The serving load test behind ``python -m repro.harness loadtest``.
+
+Sweeps the :class:`~repro.serve.server.QueryServer` across offered-load
+levels — fractions and multiples of its *measured* capacity — and
+records latency percentiles, throughput, shed rate, degraded-answer
+rate, and per-tenant fairness at each level into ``BENCH_serve.json``.
+
+Everything runs on the virtual clock, so the sweep is deterministic:
+two invocations with the same scale and seed produce byte-identical
+JSON, which is what lets the regress gate pin serve-mode p99 latency.
+
+Capacity is not guessed: a low-rate probe run measures the mean virtual
+service time, and ``capacity ≈ max_concurrent / mean_service`` anchors
+the multipliers.  The sweep always includes ≥2× capacity, where the
+overload invariants actually bite — every offered request must still
+terminate as exactly one of served / degraded / rejected.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.serve.server import QueryServer, ServeReport, ServerConfig
+from repro.serve.traffic import TenantSpec, generate_traffic
+from repro.swan.benchmark import Swan, load_benchmark_subset
+
+DEFAULT_SERVE_BENCH = "BENCH_serve.json"
+SERVE_DATABASES = ("superhero", "formula_1")
+#: offered load as multiples of measured capacity; 2× and 4× are the
+#: sustained-overload points the degradation machinery exists for
+DEFAULT_MULTIPLIERS = (0.25, 0.5, 1.0, 2.0, 4.0)
+DEFAULT_HORIZON = 120.0
+
+
+def default_tenants(
+    databases: Sequence[str] = SERVE_DATABASES,
+) -> list[TenantSpec]:
+    """The two-class tenant mix every load level scales from.
+
+    An interactive tenant (priority 0, tight deadline, concurrency
+    capped) and a batch tenant (priority 1, loose deadline, periodic
+    bursts, a quarter of its traffic through HQDL) — enough structure to
+    exercise priorities, aging, quotas, and both pipelines.
+    """
+    databases = tuple(databases)
+    return [
+        TenantSpec(
+            name="interactive",
+            rate=0.5,
+            priority=0,
+            deadline_seconds=30.0,
+            databases=databases,
+            max_queued=8,
+            max_concurrent=2,
+        ),
+        TenantSpec(
+            name="batch",
+            rate=0.3,
+            priority=1,
+            deadline_seconds=60.0,
+            databases=databases,
+            burst_every=25.0,
+            burst_size=4,
+            hqdl_share=0.25,
+            max_queued=12,
+            token_budget=5_000_000,
+        ),
+    ]
+
+
+def offered_rps(tenants: Sequence[TenantSpec]) -> float:
+    """Mean offered requests/second of a tenant mix, bursts included."""
+    total = 0.0
+    for spec in tenants:
+        total += spec.rate
+        if spec.burst_every is not None and spec.burst_size:
+            total += spec.burst_size / spec.burst_every
+    return total
+
+
+def default_config() -> ServerConfig:
+    return ServerConfig(workers=4, max_concurrent=3, queue_limit=24)
+
+
+def measure_capacity(
+    swan: Swan,
+    config: ServerConfig,
+    tenants: Sequence[TenantSpec],
+    *,
+    seed: int = 0,
+    horizon: float = DEFAULT_HORIZON,
+) -> float:
+    """Requests/second the server sustains, from a low-rate probe run.
+
+    At a trickle of offered load nothing queues, so the mean service
+    time is pure per-request cost; ``max_concurrent`` of those run side
+    by side at saturation.
+    """
+    base = offered_rps(tenants)
+    probe = [spec.scaled(0.1 / base) for spec in tenants]
+    requests = generate_traffic(swan, probe, horizon=horizon, seed=seed)
+    if not requests:
+        raise ReproError("capacity probe generated no traffic")
+    policies = {spec.name: spec.policy() for spec in probe}
+    with QueryServer(swan, config, policies=policies) as server:
+        report = server.run(requests)
+    services = [o.service_seconds for o in report.outcomes if o.answered]
+    if not services:
+        raise ReproError("capacity probe answered no requests")
+    mean_service = sum(services) / len(services)
+    if mean_service <= 0:
+        raise ReproError("capacity probe measured zero service time")
+    return config.max_concurrent / mean_service
+
+
+def run_level(
+    swan: Swan,
+    config: ServerConfig,
+    tenants: Sequence[TenantSpec],
+    multiplier: float,
+    capacity: float,
+    *,
+    seed: int = 0,
+    horizon: float = DEFAULT_HORIZON,
+) -> tuple[ServeReport, dict]:
+    """One sweep point: a fresh server at ``multiplier × capacity``."""
+    base = offered_rps(tenants)
+    target = multiplier * capacity
+    scaled = [spec.scaled(target / base) for spec in tenants]
+    requests = generate_traffic(swan, scaled, horizon=horizon, seed=seed)
+    policies = {spec.name: spec.policy() for spec in scaled}
+    with QueryServer(swan, config, policies=policies) as server:
+        report = server.run(requests)
+    record = report.as_record()
+    record["multiplier"] = round(multiplier, 6)
+    record["offered_rps"] = round(target, 6)
+    return report, record
+
+
+def run_loadtest(
+    *,
+    scale: int = 1,
+    seed: int = 0,
+    horizon: float = DEFAULT_HORIZON,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    databases: Sequence[str] = SERVE_DATABASES,
+    config: Optional[ServerConfig] = None,
+) -> dict:
+    """The full sweep; returns the BENCH_serve payload."""
+    swan = load_benchmark_subset(scale, list(databases))
+    config = config if config is not None else default_config()
+    tenants = default_tenants(databases)
+    capacity = measure_capacity(
+        swan, config, tenants, seed=seed, horizon=horizon
+    )
+    levels = []
+    for multiplier in multipliers:
+        _, record = run_level(
+            swan, config, tenants, multiplier, capacity,
+            seed=seed, horizon=horizon,
+        )
+        levels.append(record)
+    return {
+        "scale": scale,
+        "seed": seed,
+        "horizon": round(horizon, 6),
+        "databases": list(databases),
+        "model": config.model_name,
+        "workers": config.workers,
+        "max_concurrent": config.max_concurrent,
+        "queue_limit": config.queue_limit,
+        "capacity_rps": round(capacity, 6),
+        "levels": levels,
+    }
+
+
+def write_serve_json(payload: dict, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_serve_report(payload: dict) -> str:
+    """The human-readable sweep table printed by the CLI."""
+    lines = [
+        "Serving load test "
+        f"(scale={payload['scale']}, seed={payload['seed']}, "
+        f"horizon={payload['horizon']:g}s, "
+        f"capacity={payload['capacity_rps']:.3f} req/s)",
+        "",
+        f"{'load':>6} {'offered':>8} {'served':>7} {'degr':>6} {'rej':>6} "
+        f"{'shed%':>7} {'p50':>8} {'p95':>8} {'p99':>8} {'thru':>7} "
+        f"{'fair':>6} {'trips':>6}",
+    ]
+    for level in payload["levels"]:
+        lines.append(
+            f"{level['multiplier']:>5.2f}x "
+            f"{level['offered']:>8} "
+            f"{level['served']:>7} "
+            f"{level['degraded']:>6} "
+            f"{level['rejected']:>6} "
+            f"{100 * level['shed_rate']:>6.1f}% "
+            f"{level['p50']:>8.3f} "
+            f"{level['p95']:>8.3f} "
+            f"{level['p99']:>8.3f} "
+            f"{level['throughput_rps']:>7.3f} "
+            f"{level['fairness']:>6.3f} "
+            f"{level['breaker_trips']:>6}"
+        )
+    lines.append("")
+    lines.append(
+        "All latencies are virtual seconds; every offered request "
+        "terminated as served, degraded, or rejected."
+    )
+    overload = [lv for lv in payload["levels"] if lv["multiplier"] >= 2.0]
+    if overload:
+        worst = overload[-1]
+        lines.append(
+            f"At {worst['multiplier']:g}x capacity: "
+            f"{worst['served']} served, {worst['degraded']} degraded, "
+            f"{worst['rejected']} rejected of {worst['offered']} offered "
+            f"(accounting {'OK' if worst['accounting_ok'] else 'BROKEN'})."
+        )
+    return "\n".join(lines)
+
+
+def format_serve_demo(report: ServeReport) -> str:
+    """A compact single-run summary for the ``serve`` CLI target."""
+    record = report.as_record()
+    lines = [
+        "Query server demo run",
+        "",
+        f"offered {record['offered']}, served {record['served']}, "
+        f"degraded {record['degraded']}, rejected {record['rejected']} "
+        f"(accounting {'OK' if record['accounting_ok'] else 'BROKEN'})",
+        f"latency p50/p95/p99: {record['p50']:.3f} / {record['p95']:.3f} "
+        f"/ {record['p99']:.3f} s (max {record['max_latency']:.3f} s)",
+        f"throughput {record['throughput_rps']:.3f} req/s, "
+        f"fairness {record['fairness']:.3f}, "
+        f"breaker trips {record['breaker_trips']}, "
+        f"max queue depth {record['max_queue_depth']}",
+        f"llm: {record['llm_calls']} calls, "
+        f"{record['input_tokens']} in / {record['output_tokens']} out tokens, "
+        f"cache {record['cache_hits']} hits / {record['cache_misses']} misses",
+        "",
+        f"{'tenant':<14} {'offered':>8} {'served':>7} {'degr':>6} {'rej':>6} "
+        f"{'answered':>9}",
+    ]
+    for tenant, stats in record["per_tenant"].items():
+        lines.append(
+            f"{tenant:<14} {stats['offered']:>8} {stats['served']:>7} "
+            f"{stats['degraded']:>6} {stats['rejected']:>6} "
+            f"{100 * stats['answered_share']:>8.1f}%"
+        )
+    return "\n".join(lines)

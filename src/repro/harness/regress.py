@@ -14,8 +14,11 @@ When a fresh ``BENCH_scale.json`` (from ``bench-scale --scale=10``) sits
 next to the ledger, its scale-10 UDF virtual makespan is diffed against
 the baseline's ``scale10_makespan`` under the same
 ``--max-makespan-growth`` threshold — gating the scaling hot path, not
-just the scale-1 workload.  A missing bench file or baseline key only
-notes the omission; it never fails the gate.
+just the scale-1 workload.  Likewise a fresh ``BENCH_serve.json`` (from
+``loadtest``) pins serve-mode p99 latency at the lowest offered-load
+level against the baseline's ``serve_p99`` — gating the serving path's
+per-request latency.  A missing bench file or baseline key only notes
+the omission; it never fails the gate.
 
 Exit code 1 on any breach, 0 when clean — so CI can gate on it.
 ``--update-baseline`` rewrites the baseline from the fresh run instead
@@ -34,6 +37,7 @@ from repro.obs.ledger import RunLedger, config_fingerprint
 DEFAULT_LEDGER = "BENCH_ledger.sqlite"
 DEFAULT_BASELINE = "baselines/regress_baseline.json"
 DEFAULT_SCALE_BENCH = "BENCH_scale.json"
+DEFAULT_SERVE_BENCH = "BENCH_serve.json"
 
 #: The fixed regression workload (small, deterministic, ~seconds).
 _REGRESS_LABEL = "regress"
@@ -98,6 +102,7 @@ def write_baseline(
     row: dict,
     *,
     scale10_makespan: Optional[float] = None,
+    serve_p99: Optional[float] = None,
 ) -> dict:
     """Write (and return) a baseline JSON distilled from one ledger row."""
     path = Path(path)
@@ -105,6 +110,8 @@ def write_baseline(
     baseline = _baseline_from_row(row)
     if scale10_makespan is not None:
         baseline["scale10_makespan"] = scale10_makespan
+    if serve_p99 is not None:
+        baseline["serve_p99"] = serve_p99
     path.write_text(
         json.dumps(baseline, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
@@ -124,6 +131,25 @@ def scale10_makespan(path: Union[str, Path]) -> Optional[float]:
     return float(value) if isinstance(value, (int, float)) else None
 
 
+def serve_p99(path: Union[str, Path]) -> Optional[float]:
+    """Lowest-load p99 latency from a BENCH_serve.json, if any.
+
+    The lowest offered-load level is pure service latency (no queueing),
+    so growth there means the serving path itself got slower.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    try:
+        levels = payload["levels"]
+        lowest = min(levels, key=lambda level: level["multiplier"])
+        value = lowest["p99"]
+    except (KeyError, TypeError, ValueError):
+        return None
+    return float(value) if isinstance(value, (int, float)) else None
+
+
 def _growth(latest: float, baseline: float) -> float:
     if baseline <= 0:
         return 0.0 if latest <= 0 else float("inf")
@@ -138,12 +164,15 @@ def diff_against_baseline(
     max_token_growth: float = 0.10,
     max_makespan_growth: float = 0.25,
     fresh_scale10: Optional[float] = None,
+    fresh_serve_p99: Optional[float] = None,
 ) -> tuple[bool, list[str]]:
     """(ok, report lines) for one fresh ledger row vs one baseline.
 
     ``fresh_scale10`` is the scale-10 UDF virtual makespan from a fresh
     BENCH_scale.json; it is diffed against the baseline's
     ``scale10_makespan`` when both sides exist, and noted otherwise.
+    ``fresh_serve_p99`` (lowest-load p99 from a fresh BENCH_serve.json)
+    is likewise diffed against the baseline's ``serve_p99``.
     """
     fresh = _baseline_from_row(row)
     lines: list[str] = []
@@ -204,6 +233,27 @@ def diff_against_baseline(
             "note: no BENCH_scale.json with a scale-10 rung found; "
             "scale-10 makespan not checked"
         )
+    base_serve = baseline.get("serve_p99")
+    if isinstance(base_serve, (int, float)) and fresh_serve_p99 is not None:
+        checks += (
+            (
+                "serve p99",
+                float(base_serve),
+                fresh_serve_p99,
+                _growth(fresh_serve_p99, float(base_serve)),
+                max_makespan_growth,
+                "growth",
+            ),
+        )
+    elif fresh_serve_p99 is not None:
+        lines.append(
+            "note: baseline has no serve_p99; "
+            "run with --update-baseline next to a fresh BENCH_serve.json"
+        )
+    elif isinstance(base_serve, (int, float)):
+        lines.append(
+            "note: no BENCH_serve.json found; serve p99 not checked"
+        )
     for name, base, latest, delta, threshold, kind in checks:
         breached = delta > threshold + 1e-9
         status = "FAIL" if breached else "ok"
@@ -224,6 +274,7 @@ def run_regress(
     max_token_growth: float = 0.10,
     max_makespan_growth: float = 0.25,
     scale_bench_path: Union[str, Path] = DEFAULT_SCALE_BENCH,
+    serve_bench_path: Union[str, Path] = DEFAULT_SERVE_BENCH,
 ) -> tuple[int, str]:
     """Run the workload, append to the ledger, diff vs the baseline.
 
@@ -242,19 +293,26 @@ def run_regress(
     ]
 
     fresh_scale10 = scale10_makespan(scale_bench_path)
+    fresh_serve = serve_p99(serve_bench_path)
 
     if update_baseline:
         baseline = write_baseline(
-            baseline_path, row, scale10_makespan=fresh_scale10
+            baseline_path, row,
+            scale10_makespan=fresh_scale10, serve_p99=fresh_serve,
         )
         lines.append(
             f"baseline updated: {baseline_path} "
             f"(ex {baseline['ex']:g}, tokens {baseline['total_tokens']}, "
             f"makespan {baseline['makespan']:g}"
             + (
-                f", scale10 makespan {fresh_scale10:g})"
+                f", scale10 makespan {fresh_scale10:g}"
                 if fresh_scale10 is not None
-                else "; no BENCH_scale.json scale-10 rung found)"
+                else "; no BENCH_scale.json scale-10 rung found"
+            )
+            + (
+                f", serve p99 {fresh_serve:g})"
+                if fresh_serve is not None
+                else "; no BENCH_serve.json found)"
             )
         )
         return 0, "\n".join(lines)
@@ -274,6 +332,7 @@ def run_regress(
         max_token_growth=max_token_growth,
         max_makespan_growth=max_makespan_growth,
         fresh_scale10=fresh_scale10,
+        fresh_serve_p99=fresh_serve,
     )
     lines.extend(diff_lines)
     lines.append("regression check: " + ("PASS" if ok else "FAIL"))

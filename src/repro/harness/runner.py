@@ -29,7 +29,7 @@ from repro.llm.diskcache import PersistentClient, PersistentPromptCache
 from repro.llm.oracle import KnowledgeOracle
 from repro.llm.faults import FaultInjector, FaultPlan, FaultyClient
 from repro.llm.parallel import SimulatedClock
-from repro.llm.procpool import ProcPoolClient
+from repro.llm.procpool import SharedProcessPool
 from repro.llm.profiles import get_profile
 from repro.llm.resilience import (
     CircuitBreaker,
@@ -248,12 +248,13 @@ def run_hqdl(
     HQDL needs no planner).  ``call_order="lpt"`` dispatches generation
     calls longest-first (identical results, shorter parallel makespan).
 
-    ``parallelism="processes"`` completes prompts in a
-    :class:`~repro.llm.procpool.ProcPoolClient` worker pool instead of
-    in the dispatcher threads — byte-identical results, but the
-    CPU-bound model simulation no longer serializes on the GIL.
-    ``optimize=False`` disables the byte-identical prompt fast paths
-    (the bench-scale 'pre-optimization' reference).
+    ``parallelism="processes"`` completes prompts in one
+    :class:`~repro.llm.procpool.SharedProcessPool` of ``workers``
+    processes serving every database of the run — byte-identical
+    results, but the CPU-bound model simulation no longer serializes on
+    the GIL, and ``db_workers`` composes without multiplying the process
+    count.  ``optimize=False`` disables the byte-identical prompt fast
+    paths (the bench-scale 'pre-optimization' reference).
     """
     if parallelism not in ("threads", "processes"):
         raise ReproError(
@@ -266,6 +267,11 @@ def run_hqdl(
     meter = UsageMeter()
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     prov = provenance if provenance is not None else NULL_PROVENANCE
+    shared_pool = (
+        SharedProcessPool(processes=workers)
+        if parallelism == "processes"
+        else None
+    )
 
     with (
         tel.tracer.span("run", pipeline="hqdl", model=model_name, shots=shots)
@@ -280,76 +286,73 @@ def run_hqdl(
                 else NULL_SPAN
             ), prov.context(pipeline="hqdl", database=name):
                 world = swan.world(name)
-                pool_client: Optional[ProcPoolClient] = None
-                if parallelism == "processes":
-                    pool_client = ProcPoolClient(
-                        world, model_name, processes=workers, meter=meter,
-                        optimize=optimize,
+                if shared_pool is not None:
+                    model: ChatClient = shared_pool.client_for(
+                        world, model_name, meter=meter, optimize=optimize
                     )
-                    model: ChatClient = pool_client
                 else:
                     model = MockChatModel(
                         KnowledgeOracle(world, optimize=optimize), profile,
                         meter=meter, optimize=optimize,
                     )
-                try:
-                    if wrap_client is not None:
-                        model = wrap_client(model)
-                    disk_cache = None
-                    if cache_dir is not None:
-                        disk_cache = PersistentPromptCache(
-                            Path(cache_dir) / f"{name}.sqlite"
-                        )
-                        model = PersistentClient(
-                            model, disk_cache, shots=shots, telemetry=tel,
-                            provenance=prov,
-                        )
-                    pipeline = HQDL(
-                        world, model, shots=shots, workers=workers,
-                        call_order=call_order, resilience=resilience,
-                        telemetry=tel, provenance=prov, optimize=optimize,
+                if wrap_client is not None:
+                    model = wrap_client(model)
+                disk_cache = None
+                if cache_dir is not None:
+                    disk_cache = PersistentPromptCache(
+                        Path(cache_dir) / f"{name}.sqlite"
                     )
-                    generation = pipeline.generate_all()
-                    f1 = database_factuality(world, generation)
-                    db_outcomes: list[ExecutionOutcome] = []
-                    with pipeline.build_expanded_database(generation) as db:
-                        for question in swan.questions_for(name):
-                            expected = gold.expected(question.qid)
-                            with (
-                                tel.tracer.span("question", qid=question.qid)
-                                if tel.enabled
-                                else NULL_SPAN
-                            ) as qspan, prov.context(qid=question.qid):
-                                try:
-                                    actual = pipeline.answer(db, question)
-                                except ReproError as exc:
-                                    outcome = failed_outcome(
-                                        question, expected, str(exc)
-                                    )
-                                else:
-                                    outcome = evaluate_question(
-                                        question, expected, actual
-                                    )
-                                qspan.set("correct", outcome.correct)
-                            db_outcomes.append(outcome)
-                    disk_stats = None
-                    if disk_cache is not None:
-                        disk_stats = disk_cache.stats()
-                        disk_cache.close()
-                finally:
-                    if pool_client is not None:
-                        pool_client.close()
+                    model = PersistentClient(
+                        model, disk_cache, shots=shots, telemetry=tel,
+                        provenance=prov,
+                    )
+                pipeline = HQDL(
+                    world, model, shots=shots, workers=workers,
+                    call_order=call_order, resilience=resilience,
+                    telemetry=tel, provenance=prov, optimize=optimize,
+                )
+                generation = pipeline.generate_all()
+                f1 = database_factuality(world, generation)
+                db_outcomes: list[ExecutionOutcome] = []
+                with pipeline.build_expanded_database(generation) as db:
+                    for question in swan.questions_for(name):
+                        expected = gold.expected(question.qid)
+                        with (
+                            tel.tracer.span("question", qid=question.qid)
+                            if tel.enabled
+                            else NULL_SPAN
+                        ) as qspan, prov.context(qid=question.qid):
+                            try:
+                                actual = pipeline.answer(db, question)
+                            except ReproError as exc:
+                                outcome = failed_outcome(
+                                    question, expected, str(exc)
+                                )
+                            else:
+                                outcome = evaluate_question(
+                                    question, expected, actual
+                                )
+                            qspan.set("correct", outcome.correct)
+                        db_outcomes.append(outcome)
+                disk_stats = None
+                if disk_cache is not None:
+                    disk_stats = disk_cache.stats()
+                    disk_cache.close()
                 return generation, f1, disk_stats, db_outcomes
 
-        for name, (generation, f1, disk_stats, db_outcomes) in zip(
-            names, _map_databases(names, db_workers, _one_database)
-        ):
-            run.generations[name] = generation
-            run.f1_by_db[name] = f1
-            if disk_stats is not None:
-                run.persistent[name] = disk_stats
-            run.ex_by_db[name] = execution_accuracy(db_outcomes)
-            run.outcomes.extend(db_outcomes)
+        try:
+            for name, (generation, f1, disk_stats, db_outcomes) in zip(
+                names, _map_databases(names, db_workers, _one_database)
+            ):
+                run.generations[name] = generation
+                run.f1_by_db[name] = f1
+                if disk_stats is not None:
+                    run.persistent[name] = disk_stats
+                run.ex_by_db[name] = execution_accuracy(db_outcomes)
+                run.outcomes.extend(db_outcomes)
+        finally:
+            if shared_pool is not None:
+                shared_pool.close()
         run.usage = meter.total
         if tel.enabled:
             run_span.set("ex", round(run.overall_ex, 4))
@@ -427,12 +430,13 @@ def run_udf(
     directory issues zero new LLM calls.  ``batch_policy`` overrides the
     fixed ``batch_size`` (see :mod:`repro.plan.policy`).
 
-    ``parallelism="processes"`` completes prompts in a
-    :class:`~repro.llm.procpool.ProcPoolClient` worker pool instead of
-    in the dispatcher threads — byte-identical results, but the
-    CPU-bound model simulation no longer serializes on the GIL.
-    ``optimize=False`` disables the byte-identical executor fast paths
-    (the bench-scale 'pre-optimization' reference).
+    ``parallelism="processes"`` completes prompts in one
+    :class:`~repro.llm.procpool.SharedProcessPool` of ``workers``
+    processes serving every database of the run — byte-identical
+    results, but the CPU-bound model simulation no longer serializes on
+    the GIL, and ``db_workers`` composes without multiplying the process
+    count.  ``optimize=False`` disables the byte-identical executor fast
+    paths (the bench-scale 'pre-optimization' reference).
     """
     if plan not in (None, "prompt", "pairs"):
         raise ReproError(
@@ -452,6 +456,11 @@ def run_udf(
     meter = UsageMeter()
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     prov = provenance if provenance is not None else NULL_PROVENANCE
+    shared_pool = (
+        SharedProcessPool(processes=workers)
+        if parallelism == "processes"
+        else None
+    )
 
     with (
         tel.tracer.span("run", pipeline="udf", model=model_name, shots=shots)
@@ -466,116 +475,113 @@ def run_udf(
                 else NULL_SPAN
             ), prov.context(pipeline="udf", database=name):
                 world = swan.world(name)
-                pool_client: Optional[ProcPoolClient] = None
-                if parallelism == "processes":
-                    pool_client = ProcPoolClient(
-                        world, model_name, processes=workers, meter=meter,
-                        optimize=optimize,
+                if shared_pool is not None:
+                    model: ChatClient = shared_pool.client_for(
+                        world, model_name, meter=meter, optimize=optimize
                     )
-                    model: ChatClient = pool_client
                 else:
                     model = MockChatModel(
                         KnowledgeOracle(world, optimize=optimize), profile,
                         meter=meter, optimize=optimize,
                     )
-                try:
-                    if wrap_client is not None:
-                        model = wrap_client(model)
-                    disk_cache = None
-                    if cache_dir is not None:
-                        disk_cache = PersistentPromptCache(
-                            Path(cache_dir) / f"{name}.sqlite"
+                if wrap_client is not None:
+                    model = wrap_client(model)
+                disk_cache = None
+                if cache_dir is not None:
+                    disk_cache = PersistentPromptCache(
+                        Path(cache_dir) / f"{name}.sqlite"
+                    )
+                    model = PersistentClient(
+                        model, disk_cache, shots=shots, telemetry=tel,
+                        provenance=prov,
+                    )
+                cache = PromptCache()
+                store = MappingStore() if plan == "pairs" else None
+                db_outcomes: list[ExecutionOutcome] = []
+                call_sizes: list[tuple[int, int]] = []
+                keys_generated = 0
+                plan_record: Optional[dict] = None
+                with build_curated_database(world) as db:
+                    executor = HybridQueryExecutor(
+                        db,
+                        model,
+                        world,
+                        batch_size=batch_size,
+                        pushdown=pushdown,
+                        shots=shots,
+                        cache=cache,
+                        workers=workers,
+                        resilience=resilience,
+                        telemetry=tel,
+                        batch_policy=batch_policy,
+                        mapping_store=store,
+                        provenance=prov,
+                        optimize=optimize,
+                    )
+                    questions = swan.questions_for(name)
+                    if plan is not None:
+                        planner = CallPlanner(
+                            executor, mode=plan, telemetry=tel
                         )
-                        model = PersistentClient(
-                            model, disk_cache, shots=shots, telemetry=tel,
-                            provenance=prov,
+                        planned = planner.plan_and_execute(
+                            [q.blend_sql for q in questions]
                         )
-                    cache = PromptCache()
-                    store = MappingStore() if plan == "pairs" else None
-                    db_outcomes: list[ExecutionOutcome] = []
-                    call_sizes: list[tuple[int, int]] = []
-                    keys_generated = 0
-                    plan_record: Optional[dict] = None
-                    with build_curated_database(world) as db:
-                        executor = HybridQueryExecutor(
-                            db,
-                            model,
-                            world,
-                            batch_size=batch_size,
-                            pushdown=pushdown,
-                            shots=shots,
-                            cache=cache,
-                            workers=workers,
-                            resilience=resilience,
-                            telemetry=tel,
-                            batch_policy=batch_policy,
-                            mapping_store=store,
-                            provenance=prov,
-                            optimize=optimize,
-                        )
-                        questions = swan.questions_for(name)
-                        if plan is not None:
-                            planner = CallPlanner(
-                                executor, mode=plan, telemetry=tel
-                            )
-                            planned = planner.plan_and_execute(
-                                [q.blend_sql for q in questions]
-                            )
-                            call_sizes.extend(planned.stats.call_sizes)
-                            plan_record = planned.stats.as_record()
-                        for question in questions:
-                            expected = gold.expected(question.qid)
-                            with (
-                                tel.tracer.span("question", qid=question.qid)
-                                if tel.enabled
-                                else NULL_SPAN
-                            ) as qspan, prov.context(qid=question.qid):
-                                try:
-                                    actual, question_report = (
-                                        executor.execute_with_report(
-                                            question.blend_sql
-                                        )
+                        call_sizes.extend(planned.stats.call_sizes)
+                        plan_record = planned.stats.as_record()
+                    for question in questions:
+                        expected = gold.expected(question.qid)
+                        with (
+                            tel.tracer.span("question", qid=question.qid)
+                            if tel.enabled
+                            else NULL_SPAN
+                        ) as qspan, prov.context(qid=question.qid):
+                            try:
+                                actual, question_report = (
+                                    executor.execute_with_report(
+                                        question.blend_sql
                                     )
-                                except ReproError as exc:
-                                    outcome = failed_outcome(
-                                        question, expected, str(exc)
-                                    )
-                                else:
-                                    outcome = evaluate_question(
-                                        question, expected, actual
-                                    )
-                                    call_sizes.extend(question_report.call_sizes)
-                                    keys_generated += (
-                                        question_report.keys_generated
-                                    )
-                                qspan.set("correct", outcome.correct)
-                            db_outcomes.append(outcome)
-                    disk_stats = None
-                    if disk_cache is not None:
-                        disk_stats = disk_cache.stats()
-                        disk_cache.close()
-                finally:
-                    if pool_client is not None:
-                        pool_client.close()
+                                )
+                            except ReproError as exc:
+                                outcome = failed_outcome(
+                                    question, expected, str(exc)
+                                )
+                            else:
+                                outcome = evaluate_question(
+                                    question, expected, actual
+                                )
+                                call_sizes.extend(question_report.call_sizes)
+                                keys_generated += (
+                                    question_report.keys_generated
+                                )
+                            qspan.set("correct", outcome.correct)
+                        db_outcomes.append(outcome)
+                disk_stats = None
+                if disk_cache is not None:
+                    disk_stats = disk_cache.stats()
+                    disk_cache.close()
                 return (
                     cache, plan_record, disk_stats, call_sizes,
                     keys_generated, db_outcomes,
                 )
 
-        for name, (
-            cache, plan_record, disk_stats, call_sizes, keys_generated,
-            db_outcomes,
-        ) in zip(names, _map_databases(names, db_workers, _one_database)):
-            run.cache_hits += cache.hits
-            run.cache_misses += cache.misses
-            if plan_record is not None:
-                run.plan_stats[name] = plan_record
-            if disk_stats is not None:
-                run.persistent[name] = disk_stats
-            run.call_sizes.extend(call_sizes)
-            run.keys_generated += keys_generated
-            run.ex_by_db[name] = execution_accuracy(db_outcomes)
-            run.outcomes.extend(db_outcomes)
+        try:
+            for name, (
+                cache, plan_record, disk_stats, call_sizes, keys_generated,
+                db_outcomes,
+            ) in zip(names, _map_databases(names, db_workers, _one_database)):
+                run.cache_hits += cache.hits
+                run.cache_misses += cache.misses
+                if plan_record is not None:
+                    run.plan_stats[name] = plan_record
+                if disk_stats is not None:
+                    run.persistent[name] = disk_stats
+                run.call_sizes.extend(call_sizes)
+                run.keys_generated += keys_generated
+                run.ex_by_db[name] = execution_accuracy(db_outcomes)
+                run.outcomes.extend(db_outcomes)
+        finally:
+            if shared_pool is not None:
+                shared_pool.close()
         run.usage = meter.total
         if tel.enabled:
             run_span.set("ex", round(run.overall_ex, 4))

@@ -179,13 +179,15 @@ class CachingClient:
             span.set("outcome", "join")
             return ChatResponse(flight.response.text, Usage())
 
-    def complete_many(self, prompts, labels) -> list[ChatResponse]:
+    def complete_many(self, prompts, labels, *, deadline=None) -> list[ChatResponse]:
         """Batched :meth:`complete` for batch-dispatching inner clients.
 
         Expects ``prompts`` already deduplicated (the dispatcher's
         single-flight guarantees it), so hit/miss accounting per unique
         prompt is identical to the per-call path: one :meth:`PromptCache.
         get` each, one upstream completion per miss, every miss stored.
+        ``deadline`` passes through to the inner batch client — cache
+        hits are served regardless (they cost no upstream time).
         """
         responses: list[ChatResponse | None] = [None] * len(prompts)
         missing_indexes: list[int] = []
@@ -200,10 +202,14 @@ class CachingClient:
                 self._m_misses.inc()
                 missing_indexes.append(index)
         if missing_indexes:
-            fresh = self.inner.complete_many(
-                [prompts[i] for i in missing_indexes],
-                [labels[i] for i in missing_indexes],
-            )
+            missing_prompts = [prompts[i] for i in missing_indexes]
+            missing_labels = [labels[i] for i in missing_indexes]
+            if deadline is not None:
+                fresh = self.inner.complete_many(
+                    missing_prompts, missing_labels, deadline=deadline
+                )
+            else:
+                fresh = self.inner.complete_many(missing_prompts, missing_labels)
             for index, response in zip(missing_indexes, fresh):
                 self.cache.put(prompts[index], response.text)
                 responses[index] = response

@@ -24,7 +24,7 @@ import io
 import re
 from typing import Optional
 
-from repro.errors import LLMError
+from repro.errors import DeadlineExceededError, LLMError
 from repro.llm.client import ChatResponse
 from repro.llm.oracle import KnowledgeOracle, stable_uniform
 from repro.llm.profiles import ModelProfile
@@ -109,7 +109,7 @@ class MockChatModel:
         usage = self.meter.record(count(prompt), count(text), label)
         return ChatResponse(text, usage)
 
-    def complete_many(self, prompts, labels) -> list[ChatResponse]:
+    def complete_many(self, prompts, labels, *, deadline=None) -> list[ChatResponse]:
         """Complete a prompt list inline, in order.
 
         The model is pure CPU with zero latency, so fanning its calls
@@ -118,8 +118,13 @@ class MockChatModel:
         ``prefers_batch_dispatch`` when optimized) completes the list in
         one loop with identical results and accounting.  Latency-
         injecting wrappers hide the flag, so stacks where thread overlap
-        matters keep the per-call path.
+        matters keep the per-call path.  An already-expired ``deadline``
+        skips the whole batch with a typed error before any completion.
         """
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceededError(
+                "deadline expired before batch completion"
+            )
         return [
             self.complete(prompt, label=label)
             for prompt, label in zip(prompts, labels)

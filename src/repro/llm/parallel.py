@@ -30,7 +30,12 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
-from repro.errors import LLMError, RetryBudgetExceededError, TransientLLMError
+from repro.errors import (
+    DeadlineExceededError,
+    LLMError,
+    RetryBudgetExceededError,
+    TransientLLMError,
+)
 from repro.llm.batching import LatencyModel
 from repro.llm.client import ChatClient, ChatResponse
 from repro.llm.usage import Usage
@@ -62,12 +67,15 @@ class DispatchOutcome:
     def degradable(self) -> bool:
         """True when the error is an *expected* resilience outcome.
 
-        Transient errors and exhausted retry budgets are the failures a
-        fault-tolerant pipeline degrades on (NULL rows); any other
-        :class:`LLMError` — a misconfigured test double, a bad request —
-        indicates a bug and should abort instead.
+        Transient errors, exhausted retry budgets, and expired deadlines
+        are the failures a fault-tolerant pipeline degrades on (NULL
+        rows); any other :class:`LLMError` — a misconfigured test
+        double, a bad request — indicates a bug and should abort instead.
         """
-        return isinstance(self.error, (TransientLLMError, RetryBudgetExceededError))
+        return isinstance(
+            self.error,
+            (TransientLLMError, RetryBudgetExceededError, DeadlineExceededError),
+        )
 
 
 class ParallelDispatcher:
@@ -118,8 +126,17 @@ class ParallelDispatcher:
         *,
         labels: Union[str, Sequence[str]] = "",
         capture_errors: Union[bool, str] = True,
+        deadline=None,
     ) -> list[DispatchOutcome]:
-        """Complete every prompt; outcomes are returned in prompt order."""
+        """Complete every prompt; outcomes are returned in prompt order.
+
+        ``deadline`` is an optional :class:`~repro.llm.resilience.
+        Deadline` bounding the *whole fan-out*: a call whose turn comes
+        after the deadline expired is never dispatched — it is skipped
+        with a typed :class:`~repro.errors.DeadlineExceededError`
+        outcome (degradable, so pipelines turn it into NULLs) instead
+        of being sent upstream.
+        """
         if isinstance(labels, str):
             label_list = [labels] * len(prompts)
         else:
@@ -164,17 +181,18 @@ class ParallelDispatcher:
                 # unique-prompt list in chunked worker submissions (see
                 # repro.llm.procpool); per-call spans need threads, so
                 # traced runs keep the per-call path
-                primary = self._call_batched(client, unique)
+                primary = self._call_batched(client, unique, deadline)
             elif self.workers == 1 or len(unique) <= 1:
                 primary = [
-                    self._call(client, p, label, parent) for p, label in unique
+                    self._call(client, p, label, parent, deadline)
+                    for p, label in unique
                 ]
             else:
                 with ThreadPoolExecutor(
                     max_workers=min(self.workers, len(unique))
                 ) as pool:
                     futures = [
-                        pool.submit(self._call, client, p, label, parent)
+                        pool.submit(self._call, client, p, label, parent, deadline)
                         for p, label in unique
                     ]
                     primary = [future.result() for future in futures]
@@ -205,20 +223,23 @@ class ParallelDispatcher:
         return outcomes
 
     def _call_batched(
-        self, client: ChatClient, unique: Sequence[tuple[str, str]]
+        self, client: ChatClient, unique: Sequence[tuple[str, str]], deadline=None
     ) -> list[DispatchOutcome]:
         """Complete the unique-prompt list via ``client.complete_many``.
 
         Error granularity is the batch: a failure inside the batched
-        client (e.g. a broken process pool) fails every prompt of this
-        dispatch with the same captured error — the per-prompt outcome
-        shape downstream degradation expects.
+        client (e.g. a broken process pool, an expired deadline) fails
+        every prompt of this dispatch with the same captured error — the
+        per-prompt outcome shape downstream degradation expects.
         """
         prompts = [prompt for prompt, _ in unique]
         labels = [label for _, label in unique]
         prov = self._prov
         try:
-            responses = client.complete_many(prompts, labels)
+            if deadline is not None:
+                responses = client.complete_many(prompts, labels, deadline=deadline)
+            else:
+                responses = client.complete_many(prompts, labels)
         except LLMError as exc:
             if prov.enabled:
                 for prompt in prompts:
@@ -237,9 +258,20 @@ class ParallelDispatcher:
         prompt: str,
         label: str,
         parent=None,
+        deadline=None,
     ) -> DispatchOutcome:
         tel = self._tel
         prov = self._prov
+        if deadline is not None and deadline.expired:
+            # expired work is skipped, not dispatched: the prompt never
+            # reaches the client, and the typed outcome is degradable
+            error = DeadlineExceededError(
+                f"deadline expired before dispatch of {label or 'llm call'}"
+            )
+            if prov.enabled:
+                prov.record_failure(prompt, type(error).__name__)
+            self._m_errors.inc()
+            return DispatchOutcome(error=error)
         if not tel.enabled:
             try:
                 response = client.complete(prompt, label=label)

@@ -34,6 +34,14 @@ class Usage:
             self.calls + other.calls,
         )
 
+    def __sub__(self, other: "Usage") -> "Usage":
+        """The delta between two meter snapshots (per-request attribution)."""
+        return Usage(
+            self.input_tokens - other.input_tokens,
+            self.output_tokens - other.output_tokens,
+            self.calls - other.calls,
+        )
+
     def total_tokens(self) -> int:
         return self.input_tokens + self.output_tokens
 

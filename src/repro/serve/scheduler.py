@@ -1,0 +1,90 @@
+"""Priority scheduling with starvation-free aging.
+
+Two (or more) priority classes — interactive traffic should overtake
+batch backfill — but strict priority starves: under sustained
+interactive load a batch request could wait forever.  The queue
+therefore ranks by *effective* priority::
+
+    effective(request, now) = priority - (now - arrival) / aging_interval
+
+Every ``aging_interval`` seconds of waiting promotes a request by one
+full class, so any queued request eventually outranks fresh arrivals of
+every class — bounded staleness instead of starvation.  Ties break by
+arrival order (then request id), keeping the schedule deterministic.
+
+Pops are O(n) scans rather than a heap: effective priority changes with
+``now``, so static heap keys would go stale, and serving queues here are
+bounded (the admission ``queue_limit``) — correctness and determinism
+are worth more than O(log n).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.serve.request import QueryRequest
+
+
+class AgingPriorityQueue:
+    """A deterministic aged-priority queue of :class:`QueryRequest`."""
+
+    def __init__(self, aging_interval: float = 10.0) -> None:
+        if aging_interval <= 0:
+            raise ValueError(
+                f"aging_interval must be > 0, got {aging_interval}"
+            )
+        self.aging_interval = aging_interval
+        self._entries: list[QueryRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def depth_for(self, tenant: str) -> int:
+        return sum(1 for r in self._entries if r.tenant == tenant)
+
+    def effective_priority(self, request: QueryRequest, now: float) -> float:
+        age = max(0.0, now - request.arrival)
+        return request.priority - age / self.aging_interval
+
+    def push(self, request: QueryRequest) -> None:
+        self._entries.append(request)
+
+    def pop_expired(self, now: float) -> list[QueryRequest]:
+        """Remove and return every queued request whose deadline passed.
+
+        Order follows the deadline instants (then request id), which is
+        the order the clients actually gave up in.
+        """
+        expired = [r for r in self._entries if r.deadline_at <= now]
+        if expired:
+            self._entries = [r for r in self._entries if r.deadline_at > now]
+            expired.sort(key=lambda r: (r.deadline_at, r.request_id))
+        return expired
+
+    def pop(
+        self,
+        now: float,
+        *,
+        eligible: Optional[Callable[[QueryRequest], bool]] = None,
+    ) -> Optional[QueryRequest]:
+        """Remove and return the best eligible request, or None.
+
+        ``eligible`` lets the caller veto requests without dequeuing
+        them — e.g. a tenant at its concurrency cap stays queued (and
+        keeps aging) rather than being shed.
+        """
+        best_index = -1
+        best_key: Optional[tuple] = None
+        for index, request in enumerate(self._entries):
+            if eligible is not None and not eligible(request):
+                continue
+            key = (
+                self.effective_priority(request, now),
+                request.arrival,
+                request.request_id,
+            )
+            if best_key is None or key < best_key:
+                best_index, best_key = index, key
+        if best_index < 0:
+            return None
+        return self._entries.pop(best_index)

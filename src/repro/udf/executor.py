@@ -192,6 +192,18 @@ class HybridQueryExecutor:
         #: filled by a pairs-mode CallPlanner; fully-covered ingredients
         #: are answered from it with zero LLM calls.
         self.mapping_store = mapping_store
+        #: when True, freshly generated mappings are published back into
+        #: ``mapping_store`` so later requests (the serving layer's
+        #: cross-tenant reuse) can be answered from it.  Off by default:
+        #: store-served values skip batching, so answers may drift within
+        #: model noise relative to a cold run.
+        self.publish_mappings = False
+        #: optional request-level :class:`~repro.llm.resilience.Deadline`
+        #: (set per request by the serving layer): once expired, mapping
+        #: batches are skipped with typed degradable outcomes (NULL
+        #: cells) and QA answers degrade to NULL — the query still
+        #: completes, it never hangs past its budget.
+        self.deadline = None
         self._temp_counter = 0
 
     # -- public API --------------------------------------------------------------
@@ -384,6 +396,12 @@ class HybridQueryExecutor:
 
     def _run_qa(self, call: IngredientCall) -> ast.Expr:
         tel = self._tel
+        if self.deadline is not None and self.deadline.expired:
+            # same degradation contract as a skipped mapping batch: the
+            # scalar becomes NULL instead of blocking past the budget
+            if self.resilience is not None:
+                self.resilience.record_degraded(1)
+            return ast.Literal.null()
         prompt = self._qa_prompt(call.question)
         if self._prov.enabled:
             # QA bypasses the dispatcher, so the executor records the call
@@ -568,7 +586,9 @@ class HybridQueryExecutor:
                 to_generate.append(key)
         batches = batched(to_generate, self._batch_size_for(call))
         prompts = [self._map_prompt(call, batch) for batch in batches]
-        outcomes = self.dispatcher.dispatch(self.client, prompts, labels="udf:map")
+        outcomes = self.dispatcher.dispatch(
+            self.client, prompts, labels="udf:map", deadline=self.deadline
+        )
         for batch, prompt, outcome in zip(batches, prompts, outcomes):
             degraded = outcome.error is not None
             if degraded:
@@ -605,6 +625,14 @@ class HybridQueryExecutor:
             self.semantic_cache.store(
                 call.question,
                 {key: value for key, value in mapping.items() if value is not None},
+            )
+        if self.publish_mappings and self.mapping_store is not None:
+            # only real answers are worth sharing: degraded NULLs would
+            # pin other requests' keys to NULL past the fault that caused
+            # them
+            self.mapping_store.put(
+                call.signature(),
+                {k: v for k, v in mapping.items() if v is not None},
             )
         return mapping
 

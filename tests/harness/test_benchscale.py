@@ -55,10 +55,36 @@ class TestMeasureScale:
         assert wall["speedup"] is not None
         assert wall["speedup_processes"] is not None
 
+    def test_covers_all_four_swan_worlds(self, payload):
+        from repro.swan.benchmark import DATABASE_ORDER
+
+        worlds = payload["worlds"]
+        assert set(worlds) == set(DATABASE_ORDER)
+        for database, entry in worlds.items():
+            assert len(entry["question_ids"]) == 3
+            assert all(q.startswith(database) for q in entry["question_ids"])
+            rung = entry["scales"]["1"]
+            assert rung["curated_rows"] > 0
+            for pipeline in ("udf", "hqdl"):
+                record = rung["pipelines"][pipeline]
+                assert record["makespan_seconds"] > 0
+                assert record["llm_calls"] > 0
+
+    def test_world_rungs_respect_the_cap(self, payload):
+        from repro.harness.benchscale import WORLD_SCALE_CAP
+
+        assert payload["world_scale_cap"] == WORLD_SCALE_CAP
+        for entry in payload["worlds"].values():
+            assert all(
+                int(scale) <= WORLD_SCALE_CAP for scale in entry["scales"]
+            )
+
     def test_report_renders(self, payload):
         text = format_scale_report(payload)
         assert "Rows vs makespan" in text
         assert "1x" in text
+        assert "All four SWAN worlds" in text
+        assert "european_football" in text
 
     def test_write_scale_json(self, tmp_path):
         path, payload = write_scale_json(

@@ -1,0 +1,91 @@
+"""Tests for the serving load test (`repro.harness.benchserve`)."""
+
+import json
+
+import pytest
+
+from repro.harness.benchserve import (
+    default_config,
+    default_tenants,
+    format_serve_demo,
+    format_serve_report,
+    measure_capacity,
+    offered_rps,
+    run_level,
+    run_loadtest,
+    write_serve_json,
+)
+from repro.swan.benchmark import load_benchmark_subset
+
+
+class TestTenantMix:
+    def test_default_mix_has_two_priority_classes(self):
+        tenants = default_tenants(("superhero",))
+        priorities = {t.priority for t in tenants}
+        assert len(priorities) >= 2
+        assert 0 in priorities, "an interactive (priority 0) class exists"
+
+    def test_offered_rps_counts_bursts(self):
+        tenants = default_tenants()
+        base = sum(t.rate for t in tenants)
+        assert offered_rps(tenants) > base
+
+
+class TestCapacity:
+    def test_probe_measures_a_positive_capacity(self):
+        swan = load_benchmark_subset(1, ["superhero"])
+        capacity = measure_capacity(
+            swan, default_config(), default_tenants(("superhero",)),
+            horizon=60.0,
+        )
+        assert capacity > 0
+
+
+class TestLoadtest:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_loadtest(
+            horizon=40.0, multipliers=(0.5, 2.0), databases=("superhero",)
+        )
+
+    def test_payload_shape(self, payload):
+        assert payload["capacity_rps"] > 0
+        assert [lv["multiplier"] for lv in payload["levels"]] == [0.5, 2.0]
+        for level in payload["levels"]:
+            assert level["accounting_ok"] is True
+            assert (
+                level["served"] + level["degraded"] + level["rejected"]
+                == level["offered"]
+            )
+
+    def test_deadlines_bound_answered_latency(self, payload):
+        limit = max(t.deadline_seconds for t in default_tenants())
+        for level in payload["levels"]:
+            assert level["p99"] <= limit + 1e-6
+            assert level["max_latency"] <= limit + 1e-6
+
+    def test_deterministic_across_runs(self, payload):
+        again = run_loadtest(
+            horizon=40.0, multipliers=(0.5, 2.0), databases=("superhero",)
+        )
+        assert again == payload
+
+    def test_write_and_render(self, payload, tmp_path):
+        path = write_serve_json(payload, tmp_path / "BENCH_serve.json")
+        assert json.loads(path.read_text()) == payload
+        text = format_serve_report(payload)
+        assert "Serving load test" in text
+        assert "2.00x" in text
+
+    def test_demo_renders(self):
+        swan = load_benchmark_subset(1, ["superhero"])
+        tenants = default_tenants(("superhero",))
+        config = default_config()
+        capacity = measure_capacity(swan, config, tenants, horizon=40.0)
+        report, record = run_level(
+            swan, config, tenants, 2.0, capacity, horizon=40.0
+        )
+        text = format_serve_demo(report)
+        assert "Query server demo run" in text
+        assert "interactive" in text
+        assert record["offered"] == report.offered

@@ -242,6 +242,53 @@ class TestRegressCommand:
         assert "regression check: PASS" in capsys.readouterr().out
 
 
+class TestServeTargets:
+    def test_bad_seed_value(self, capsys):
+        assert main(["loadtest", "--seed=abc"]) == 2
+        err = capsys.readouterr().err
+        assert "--seed requires an integer" in err
+
+    def test_negative_seed_rejected(self, capsys):
+        assert main(["loadtest", "--seed=-1"]) == 2
+        assert "--seed must be >= 0" in capsys.readouterr().err
+
+    def test_bad_horizon_value(self, capsys):
+        assert main(["serve", "--horizon=soon"]) == 2
+        assert "--horizon requires a number" in capsys.readouterr().err
+
+    def test_nonpositive_horizon_rejected(self, capsys):
+        assert main(["serve", "--horizon=0"]) == 2
+        assert "--horizon must be > 0" in capsys.readouterr().err
+
+    def test_serve_targets_excluded_from_all(self):
+        from repro.harness.__main__ import _EXCLUDED_FROM_ALL, _GENERATORS
+
+        for target in ("serve", "loadtest"):
+            assert target in _GENERATORS
+            assert target in _EXCLUDED_FROM_ALL
+
+    def test_serve_prints_a_demo_run(self, capsys):
+        assert main(["serve", "--horizon=40"]) == 0
+        out = capsys.readouterr().out
+        assert "Query server demo run" in out
+        assert "accounting OK" in out
+        assert "interactive" in out and "batch" in out
+
+    def test_loadtest_writes_bench_serve(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["loadtest", "--horizon=40"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving load test" in out
+        assert "also written to BENCH_serve.json" in out
+        assert (tmp_path / "BENCH_serve.json").exists()
+
+    def test_serve_flags_documented_in_usage(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "--seed=N" in out
+        assert "--horizon=SECONDS" in out
+
+
 class TestBenchCacheTarget:
     def test_bench_cache_writes_artifact(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)

@@ -10,6 +10,7 @@ from repro.harness.regress import (
     load_baseline,
     run_regress,
     scale10_makespan,
+    serve_p99,
     write_baseline,
 )
 from repro.obs.ledger import RunLedger
@@ -181,6 +182,66 @@ class TestScale10Guard:
         )
         assert ok
         assert any("no scale10_makespan" in line for line in lines)
+
+
+class TestServeP99Guard:
+    def _bench(self, tmp_path, p99=30.0):
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps({
+            "levels": [
+                {"multiplier": 1.0, "p99": 99.0},
+                {"multiplier": 0.25, "p99": p99},
+            ]
+        }), encoding="utf-8")
+        return path
+
+    def test_reads_the_lowest_level_p99(self, tmp_path):
+        assert serve_p99(self._bench(tmp_path, 12.5)) == 12.5
+
+    def test_missing_file_or_levels_is_none(self, tmp_path):
+        assert serve_p99(tmp_path / "nope.json") is None
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps({"levels": []}), encoding="utf-8")
+        assert serve_p99(path) is None
+
+    def test_baseline_records_it(self, tmp_path):
+        path = tmp_path / "base.json"
+        written = write_baseline(path, _row(), serve_p99=30.0)
+        assert written["serve_p99"] == 30.0
+        assert load_baseline(path)["serve_p99"] == 30.0
+
+    def test_growth_beyond_threshold_fails(self):
+        baseline = {**TestDiff._baseline(self), "serve_p99": 30.0}
+        ok, lines = diff_against_baseline(
+            _row(), baseline, fresh_serve_p99=45.0, max_makespan_growth=0.25
+        )
+        assert not ok
+        assert any(
+            "serve p99" in line and "[FAIL]" in line for line in lines
+        )
+
+    def test_growth_within_threshold_passes(self):
+        baseline = {**TestDiff._baseline(self), "serve_p99": 30.0}
+        ok, lines = diff_against_baseline(
+            _row(), baseline, fresh_serve_p99=33.0, max_makespan_growth=0.25
+        )
+        assert ok
+        assert any("serve p99" in line and "[ok]" in line for line in lines)
+
+    def test_missing_bench_is_a_note_not_a_failure(self):
+        baseline = {**TestDiff._baseline(self), "serve_p99": 30.0}
+        ok, lines = diff_against_baseline(
+            _row(), baseline, fresh_serve_p99=None
+        )
+        assert ok
+        assert any("serve p99 not checked" in line for line in lines)
+
+    def test_missing_baseline_key_is_a_note_not_a_failure(self):
+        ok, lines = diff_against_baseline(
+            _row(), TestDiff._baseline(self), fresh_serve_p99=30.0
+        )
+        assert ok
+        assert any("no serve_p99" in line for line in lines)
 
 
 class TestRunRegress:

@@ -13,7 +13,7 @@ import pytest
 
 from repro.errors import LLMError, TransientLLMError
 from repro.harness.runner import GoldResults, run_udf
-from repro.llm.procpool import ProcPoolClient
+from repro.llm.procpool import ProcPoolClient, SharedProcessPool
 from repro.obs import ProvenanceRecorder
 
 QA_PROMPT = (
@@ -63,6 +63,59 @@ class TestByteIdentity:
         with ProcPoolClient(superhero_world, "perfect") as client:
             with pytest.raises(LLMError, match="labels"):
                 client.complete_many([QA_PROMPT], [])
+
+
+class TestSharedPool:
+    def test_one_pool_serves_many_databases(self, swan):
+        with SharedProcessPool(processes=2) as pool:
+            hero = pool.client_for(swan.world("superhero"), "perfect")
+            f1 = pool.client_for(swan.world("formula_1"), "perfect")
+            assert hero.complete(QA_PROMPT, label="qa").text
+            f1_prompt = QA_PROMPT.replace(
+                "superhero", "formula_1"
+            ).replace(
+                "Which comic book publisher published the superhero "
+                "'Hellboy'?",
+                "In which country is the circuit 'Monza' located?",
+            )
+            assert f1.complete(f1_prompt, label="qa").text
+            # both clients submit into the same executor — no second pool
+            assert pool.executor() is pool.executor()
+
+    def test_client_close_leaves_the_shared_pool_alive(self, swan):
+        with SharedProcessPool(processes=1) as pool:
+            client = pool.client_for(swan.world("superhero"), "perfect")
+            first = client.complete(QA_PROMPT).text
+            client.close()
+            # the pool survives a client close; a fresh client still works
+            again = pool.client_for(swan.world("superhero"), "perfect")
+            assert again.complete(QA_PROMPT).text == first
+
+    def test_pool_close_is_idempotent(self):
+        pool = SharedProcessPool(processes=1)
+        pool.close()
+        pool.close()
+
+    def test_db_workers_compose_with_processes(self, swan):
+        """`db_workers` x shared pool: still byte-identical to threads."""
+        databases = ["superhero", "formula_1"]
+        gold = GoldResults(swan)
+        threads = run_udf(
+            swan, "gpt-3.5-turbo", 0, gold=gold, databases=databases,
+            workers=2, db_workers=2, parallelism="threads",
+        )
+        processes = run_udf(
+            swan, "gpt-3.5-turbo", 0, gold=gold, databases=databases,
+            workers=2, db_workers=2, parallelism="processes",
+        )
+        assert [_outcome_key(o) for o in threads.outcomes] == [
+            _outcome_key(o) for o in processes.outcomes
+        ]
+        assert threads.usage == processes.usage
+        assert threads.ex_by_db == processes.ex_by_db
+        assert (threads.cache_hits, threads.cache_misses) == (
+            processes.cache_hits, processes.cache_misses
+        )
 
 
 class TestProvenance:

@@ -1,0 +1,111 @@
+"""Tests for admission control (`repro.serve.admission`)."""
+
+import pytest
+
+from repro.serve.admission import AdmissionController, TenantPolicy
+from repro.serve.request import QueryRequest
+
+
+def _request(request_id=0, tenant="t", arrival=0.0, **kwargs):
+    return QueryRequest(
+        request_id=request_id,
+        tenant=tenant,
+        database="superhero",
+        sql="SELECT 1",
+        arrival=arrival,
+        **kwargs,
+    )
+
+
+class TestTenantPolicy:
+    def test_rejects_nonpositive_limits(self):
+        for field in ("max_queued", "max_concurrent", "token_budget"):
+            with pytest.raises(ValueError, match=field):
+                TenantPolicy(name="t", **{field: 0})
+
+    def test_none_means_unlimited(self):
+        policy = TenantPolicy(name="t")
+        assert policy.max_queued is None
+        assert policy.token_budget is None
+
+
+class TestAdmission:
+    def test_rejects_nonpositive_queue_limit(self):
+        with pytest.raises(ValueError, match="queue_limit"):
+            AdmissionController(0)
+
+    def test_every_offer_is_admitted_or_shed_never_both(self):
+        ctrl = AdmissionController(2)
+        results = [
+            ctrl.admit(_request(i, tenant=f"t{i}")) for i in range(5)
+        ]
+        admitted = sum(1 for r in results if r is None)
+        shed = sum(1 for r in results if r is not None)
+        assert (ctrl.offered, ctrl.admitted, ctrl.shed) == (5, admitted, shed)
+        assert ctrl.accounted()
+
+    def test_queue_full_sheds_with_retry_after(self):
+        ctrl = AdmissionController(1)
+        assert ctrl.admit(_request(0)) is None
+        rejection = ctrl.admit(_request(1), retry_after=2.5)
+        assert rejection is not None
+        assert rejection.reason == "queue_full"
+        assert rejection.retry_after == 2.5
+        assert ctrl.shed_by_reason == {"queue_full": 1}
+
+    def test_tenant_quota_sheds_only_the_noisy_tenant(self):
+        ctrl = AdmissionController(
+            10, {"noisy": TenantPolicy(name="noisy", max_queued=1)}
+        )
+        assert ctrl.admit(_request(0, tenant="noisy")) is None
+        rejection = ctrl.admit(_request(1, tenant="noisy"))
+        assert rejection is not None and rejection.reason == "tenant_quota"
+        # the quiet tenant still admits while the noisy one sheds
+        assert ctrl.admit(_request(2, tenant="quiet")) is None
+        assert ctrl.accounted()
+
+    def test_queue_full_outranks_tenant_quota(self):
+        ctrl = AdmissionController(
+            1, {"t": TenantPolicy(name="t", max_queued=1)}
+        )
+        assert ctrl.admit(_request(0, tenant="other")) is None
+        rejection = ctrl.admit(_request(1, tenant="t"))
+        assert rejection is not None and rejection.reason == "queue_full"
+
+    def test_token_budget_sheds_after_spend_without_retry_hint(self):
+        ctrl = AdmissionController(
+            10, {"t": TenantPolicy(name="t", token_budget=100)}
+        )
+        first = _request(0)
+        assert ctrl.admit(first) is None
+        ctrl.on_dispatched(first)
+        ctrl.on_finished(first, tokens=150)
+        rejection = ctrl.admit(_request(1), retry_after=5.0)
+        assert rejection is not None and rejection.reason == "token_budget"
+        # a spent budget does not refill, so no retry-after is promised
+        assert rejection.retry_after is None
+        assert ctrl.tokens_spent["t"] == 150
+
+    def test_dispatch_respects_tenant_concurrency_cap(self):
+        ctrl = AdmissionController(
+            10, {"t": TenantPolicy(name="t", max_concurrent=1)}
+        )
+        first, second = _request(0), _request(1)
+        assert ctrl.admit(first) is None
+        assert ctrl.admit(second) is None
+        assert ctrl.can_dispatch(first)
+        ctrl.on_dispatched(first)
+        assert not ctrl.can_dispatch(second)
+        ctrl.on_finished(first)
+        assert ctrl.can_dispatch(second)
+
+    def test_queue_expiry_frees_the_tenant_slot(self):
+        ctrl = AdmissionController(
+            10, {"t": TenantPolicy(name="t", max_queued=1)}
+        )
+        first = _request(0)
+        assert ctrl.admit(first) is None
+        assert ctrl.admit(_request(1)) is not None
+        ctrl.on_expired_in_queue(first)
+        assert ctrl.admit(_request(2)) is None
+        assert ctrl.accounted()

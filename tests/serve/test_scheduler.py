@@ -1,0 +1,96 @@
+"""Tests for aged-priority scheduling (`repro.serve.scheduler`)."""
+
+import pytest
+
+from repro.serve.request import QueryRequest
+from repro.serve.scheduler import AgingPriorityQueue
+
+
+def _request(request_id, *, arrival=0.0, priority=1, deadline=60.0, tenant="t"):
+    return QueryRequest(
+        request_id=request_id,
+        tenant=tenant,
+        database="superhero",
+        sql="SELECT 1",
+        arrival=arrival,
+        priority=priority,
+        deadline_seconds=deadline,
+    )
+
+
+class TestOrdering:
+    def test_lower_priority_class_pops_first(self):
+        queue = AgingPriorityQueue()
+        queue.push(_request(0, priority=1))
+        queue.push(_request(1, priority=0))
+        assert queue.pop(0.0).request_id == 1
+        assert queue.pop(0.0).request_id == 0
+
+    def test_aging_promotes_a_waiting_batch_request(self):
+        queue = AgingPriorityQueue(aging_interval=10.0)
+        old_batch = _request(0, arrival=0.0, priority=1)
+        fresh_interactive = _request(1, arrival=15.0, priority=0)
+        queue.push(old_batch)
+        queue.push(fresh_interactive)
+        # at t=15 the batch request has aged 1.5 classes: -0.5 < 0.0
+        assert queue.effective_priority(old_batch, 15.0) == pytest.approx(-0.5)
+        assert queue.pop(15.0).request_id == 0
+
+    def test_ties_break_by_arrival_then_request_id(self):
+        queue = AgingPriorityQueue()
+        queue.push(_request(5, arrival=1.0))
+        queue.push(_request(3, arrival=1.0))
+        queue.push(_request(9, arrival=0.5))
+        assert [queue.pop(1.0).request_id for _ in range(3)] == [9, 3, 5]
+
+    def test_pop_on_empty_returns_none(self):
+        assert AgingPriorityQueue().pop(0.0) is None
+
+    def test_rejects_nonpositive_aging_interval(self):
+        with pytest.raises(ValueError, match="aging_interval"):
+            AgingPriorityQueue(aging_interval=0.0)
+
+
+class TestExpiry:
+    def test_pop_expired_removes_only_overdue_requests(self):
+        queue = AgingPriorityQueue()
+        queue.push(_request(0, arrival=0.0, deadline=5.0))
+        queue.push(_request(1, arrival=0.0, deadline=50.0))
+        expired = queue.pop_expired(10.0)
+        assert [r.request_id for r in expired] == [0]
+        assert len(queue) == 1
+        assert queue.pop(10.0).request_id == 1
+
+    def test_expired_order_follows_deadline_instants(self):
+        queue = AgingPriorityQueue()
+        queue.push(_request(0, arrival=2.0, deadline=5.0))  # due at 7
+        queue.push(_request(1, arrival=0.0, deadline=3.0))  # due at 3
+        assert [r.request_id for r in queue.pop_expired(10.0)] == [1, 0]
+
+
+class TestEligibility:
+    def test_ineligible_requests_stay_queued_and_keep_aging(self):
+        queue = AgingPriorityQueue()
+        capped = _request(0, priority=0, tenant="capped")
+        other = _request(1, priority=1, tenant="other")
+        queue.push(capped)
+        queue.push(other)
+        popped = queue.pop(0.0, eligible=lambda r: r.tenant != "capped")
+        assert popped.request_id == 1
+        assert len(queue) == 1  # the capped request was not dequeued
+        assert queue.pop(0.0).request_id == 0
+
+    def test_all_ineligible_returns_none_without_dequeuing(self):
+        queue = AgingPriorityQueue()
+        queue.push(_request(0))
+        assert queue.pop(0.0, eligible=lambda r: False) is None
+        assert len(queue) == 1
+
+    def test_depth_for_counts_per_tenant(self):
+        queue = AgingPriorityQueue()
+        queue.push(_request(0, tenant="a"))
+        queue.push(_request(1, tenant="a"))
+        queue.push(_request(2, tenant="b"))
+        assert queue.depth_for("a") == 2
+        assert queue.depth_for("b") == 1
+        assert queue.depth_for("c") == 0

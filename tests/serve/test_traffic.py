@@ -1,0 +1,114 @@
+"""Tests for deterministic synthetic traffic (`repro.serve.traffic`)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.traffic import TenantSpec, generate_traffic
+
+
+def _spec(**kwargs):
+    defaults = dict(name="t", rate=0.5, databases=("superhero",))
+    defaults.update(kwargs)
+    return TenantSpec(**defaults)
+
+
+class TestTenantSpec:
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            _spec(rate=-1.0)
+
+    def test_rejects_out_of_range_hqdl_share(self):
+        with pytest.raises(ValueError, match="hqdl_share"):
+            _spec(hqdl_share=1.5)
+
+    def test_rejects_nonpositive_burst_period(self):
+        with pytest.raises(ValueError, match="burst_every"):
+            _spec(burst_every=0.0)
+
+    def test_scaled_multiplies_rate_and_burst_size(self):
+        spec = _spec(rate=1.0, burst_every=10.0, burst_size=4)
+        doubled = spec.scaled(2.0)
+        assert doubled.rate == 2.0
+        assert doubled.burst_size == 8
+        assert doubled.name == spec.name
+        assert doubled.deadline_seconds == spec.deadline_seconds
+
+    def test_policy_mirrors_admission_fields(self):
+        spec = _spec(max_queued=3, max_concurrent=2, token_budget=100)
+        policy = spec.policy()
+        assert (policy.max_queued, policy.max_concurrent) == (3, 2)
+        assert policy.token_budget == 100
+
+
+class TestGenerateTraffic:
+    def test_identical_across_calls(self, swan):
+        specs = [_spec(rate=0.4, hqdl_share=0.3)]
+        first = generate_traffic(swan, specs, horizon=60.0, seed=7)
+        second = generate_traffic(swan, specs, horizon=60.0, seed=7)
+        assert first == second
+        assert first, "a 60s horizon at 0.4 rps must produce arrivals"
+
+    def test_seed_changes_the_traffic(self, swan):
+        specs = [_spec(rate=0.4)]
+        assert generate_traffic(
+            swan, specs, horizon=60.0, seed=0
+        ) != generate_traffic(swan, specs, horizon=60.0, seed=1)
+
+    def test_arrivals_are_ordered_with_sequential_ids(self, swan):
+        requests = generate_traffic(
+            swan,
+            [_spec(name="a", rate=0.5), _spec(name="b", rate=0.5)],
+            horizon=60.0,
+        )
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+        arrivals = [r.arrival for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= a < 60.0 for a in arrivals)
+
+    def test_bursts_land_on_the_beat(self, swan):
+        requests = generate_traffic(
+            swan,
+            [_spec(rate=0.0, burst_every=20.0, burst_size=3)],
+            horizon=61.0,
+        )
+        # beats at 20, 40, 60 — three simultaneous arrivals each
+        assert [r.arrival for r in requests] == [20.0] * 3 + [40.0] * 3 + [
+            60.0
+        ] * 3
+
+    def test_hqdl_share_routes_pipelines(self, swan):
+        all_hqdl = generate_traffic(
+            swan, [_spec(rate=0.5, hqdl_share=1.0)], horizon=60.0
+        )
+        assert {r.pipeline for r in all_hqdl} == {"hqdl"}
+        all_udf = generate_traffic(
+            swan, [_spec(rate=0.5, hqdl_share=0.0)], horizon=60.0
+        )
+        assert {r.pipeline for r in all_udf} == {"udf"}
+
+    def test_requests_carry_tenant_shape(self, swan):
+        requests = generate_traffic(
+            swan,
+            [_spec(priority=0, deadline_seconds=12.5)],
+            horizon=60.0,
+        )
+        for request in requests:
+            assert request.tenant == "t"
+            assert request.priority == 0
+            assert request.deadline_seconds == 12.5
+            assert request.database == "superhero"
+            assert request.qid.startswith("superhero_")
+
+    def test_rejects_unknown_database(self, swan):
+        with pytest.raises(ReproError, match="unknown database"):
+            generate_traffic(
+                swan, [_spec(databases=("atlantis",))], horizon=60.0
+            )
+
+    def test_rejects_nonpositive_horizon(self, swan):
+        with pytest.raises(ReproError, match="horizon"):
+            generate_traffic(swan, [_spec()], horizon=0.0)
+
+    def test_rejects_empty_tenant_list(self, swan):
+        with pytest.raises(ReproError, match="TenantSpec"):
+            generate_traffic(swan, [], horizon=60.0)
