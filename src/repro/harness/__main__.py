@@ -276,12 +276,14 @@ def _bench_cache_report(
     return [payload], format_cache_report(payload, path)
 
 
-def _serve_report(seed=None, horizon=None) -> tuple[list[dict], str]:
+def _serve_report(seed=None, horizon=None, window=None) -> tuple[list[dict], str]:
     """One overloaded query-server run (2x capacity) on the virtual clock."""
     from repro.harness.benchserve import (
-        default_config, default_tenants, format_serve_demo, measure_capacity,
-        run_level, DEFAULT_HORIZON, SERVE_DATABASES,
+        build_observability, default_config, default_tenants,
+        format_serve_demo, measure_capacity, run_level,
+        DEFAULT_HORIZON, SERVE_DATABASES,
     )
+    from repro.obs.timeseries import DEFAULT_WINDOW_SECONDS
     from repro.swan.benchmark import load_benchmark_subset
 
     swan = load_benchmark_subset(1, list(SERVE_DATABASES))
@@ -291,27 +293,69 @@ def _serve_report(seed=None, horizon=None) -> tuple[list[dict], str]:
     capacity = measure_capacity(
         swan, config, tenants, seed=seed or 0, horizon=horizon
     )
+    telemetry, tracker = build_observability(
+        window_seconds=window or DEFAULT_WINDOW_SECONDS
+    )
     report, record = run_level(
         swan, config, tenants, 2.0, capacity,
         seed=seed or 0, horizon=horizon,
+        telemetry=telemetry, slo_tracker=tracker,
     )
-    return [record], format_serve_demo(report)
+    budgets = tracker.budgets()
+    slo_lines = ["", "SLO error budgets:"]
+    for name, budget in budgets.items():
+        slo_lines.append(
+            f"  {name:<14} budget consumed "
+            f"{100 * budget['budget_consumed']:.1f}% "
+            f"({budget['bad']}/{budget['bad'] + budget['good']} bad)"
+        )
+    slo_lines.append(
+        f"{len(tracker.alerts)} burn-rate alert(s), "
+        f"{len(telemetry.flight.incidents)} incident(s) captured."
+    )
+    return [record], format_serve_demo(report) + "\n".join(slo_lines)
 
 
 def _loadtest_report(
-    scale=None, seed=None, horizon=None
+    scale=None, seed=None, horizon=None, window=None
 ) -> tuple[list[dict], str]:
-    """Offered-load sweep over the server (written to BENCH_serve.json)."""
+    """Offered-load sweep over the server (written to BENCH_serve.json,
+    BENCH_slo.json, and BENCH_incidents.jsonl)."""
     from repro.harness.benchserve import (
-        format_serve_report, run_loadtest, write_serve_json,
-        DEFAULT_HORIZON, DEFAULT_SERVE_BENCH,
+        format_serve_report, format_slo_report, run_slo_loadtest,
+        write_serve_json, write_slo_json,
+        DEFAULT_HORIZON, DEFAULT_INCIDENTS_JSONL, DEFAULT_SERVE_BENCH,
+        DEFAULT_SLO_BENCH,
     )
+    from repro.obs.timeseries import DEFAULT_WINDOW_SECONDS
 
-    payload = run_loadtest(
+    serve_payload, slo_payload = run_slo_loadtest(
         scale=scale or 1, seed=seed or 0, horizon=horizon or DEFAULT_HORIZON,
+        window_seconds=window or DEFAULT_WINDOW_SECONDS,
+        incident_sink=DEFAULT_INCIDENTS_JSONL,
     )
-    path = write_serve_json(payload, DEFAULT_SERVE_BENCH)
-    text = format_serve_report(payload) + f"\n(also written to {path})"
+    path = write_serve_json(serve_payload, DEFAULT_SERVE_BENCH)
+    slo_path = write_slo_json(slo_payload, DEFAULT_SLO_BENCH)
+    text = (
+        format_serve_report(serve_payload)
+        + f"\n(also written to {path})\n\n"
+        + format_slo_report(slo_payload)
+        + f"\n(also written to {slo_path}; incidents appended to "
+        + f"{DEFAULT_INCIDENTS_JSONL})"
+    )
+    return [serve_payload, slo_payload], text
+
+
+def _dash_report(seed=None, horizon=None, window=None) -> tuple[list[dict], str]:
+    """Console serving dashboard: one instrumented 2x-overload run."""
+    from repro.harness.dash import run_dash
+    from repro.obs.timeseries import DEFAULT_WINDOW_SECONDS
+
+    payload, text = run_dash(
+        seed=seed or 0,
+        horizon=horizon or 120.0,
+        window_seconds=window or DEFAULT_WINDOW_SECONDS,
+    )
     return [payload], text
 
 
@@ -378,6 +422,7 @@ _GENERATORS = {
     "bench-scale": _bench_scale_report,
     "serve": _serve_report,
     "loadtest": _loadtest_report,
+    "dash": _dash_report,
 }
 
 #: Extra targets excluded from `all` (sweep re-runs the whole grid and
@@ -386,11 +431,13 @@ _GENERATORS = {
 #: BENCH_trace artifact family, bench-cache writes BENCH_cache.json,
 #: run-udf/run-hqdl are parameterized single runs, and bench-scale
 #: synthesizes 100x worlds and writes BENCH_scale.json, serve runs an
-#: overloaded server demo, and loadtest sweeps offered load and writes
-#: BENCH_serve.json; `all` should stay fast and side-effect free).
+#: overloaded server demo, loadtest sweeps offered load and writes
+#: BENCH_serve.json/BENCH_slo.json, and dash runs an instrumented
+#: overload and renders the console dashboard; `all` should stay fast
+#: and side-effect free).
 _EXCLUDED_FROM_ALL = (
     "sweep", "bench-json", "chaos", "trace", "bench-cache",
-    "run-udf", "run-hqdl", "bench-scale", "serve", "loadtest",
+    "run-udf", "run-hqdl", "bench-scale", "serve", "loadtest", "dash",
 )
 
 #: Targets that honour CLI flags, and which option names each accepts.
@@ -400,8 +447,9 @@ _FLAG_TARGETS = {
     "run-udf": ("databases", "workers", "scale", "parallelism", "batch_size"),
     "run-hqdl": ("databases", "workers", "scale", "parallelism"),
     "bench-scale": ("workers", "scale", "batch_size"),
-    "serve": ("seed", "horizon"),
-    "loadtest": ("scale", "seed", "horizon"),
+    "serve": ("seed", "horizon", "window"),
+    "loadtest": ("scale", "seed", "horizon", "window"),
+    "dash": ("seed", "horizon", "window"),
 }
 
 
@@ -410,7 +458,7 @@ def _usage() -> str:
         "usage: python -m repro.harness [target ...] "
         "[--databases=a,b] [--workers=N] [--batch-size=N] [--cache-dir=DIR]\n"
         "           [--scale=N] [--parallelism=threads|processes] "
-        "[--seed=N] [--horizon=SECONDS]\n"
+        "[--seed=N] [--horizon=SECONDS] [--window=SECONDS]\n"
         "       python -m repro.harness explain --database=NAME "
         "--question=REF [--pipeline=udf|hqdl] [--workers=N]\n"
         "       python -m repro.harness regress [--ledger=PATH] "
@@ -433,7 +481,7 @@ def _parse_args(argv: list[str]):
         # run commands use 1, the benches 4)
         "databases": None, "workers": None, "batch_size": 5, "cache_dir": None,
         "scale": None, "parallelism": "threads",
-        "seed": None, "horizon": None,
+        "seed": None, "horizon": None, "window": None,
         "database": None, "question": None, "pipeline": "udf",
         "ledger": DEFAULT_LEDGER, "baseline": DEFAULT_BASELINE,
         "update_baseline": False, "max_ex_drop": 0.0,
@@ -509,6 +557,15 @@ def _parse_args(argv: list[str]):
                 ) from None
             if options["horizon"] <= 0:
                 raise ValueError(f"--horizon must be > 0, got {value}")
+        elif name == "--window":
+            try:
+                options["window"] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"--window requires a number, got {value!r}"
+                ) from None
+            if options["window"] <= 0:
+                raise ValueError(f"--window must be > 0, got {value}")
         elif name == "--parallelism":
             if value not in ("threads", "processes"):
                 raise ValueError(

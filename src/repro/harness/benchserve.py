@@ -23,16 +23,29 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.errors import ReproError
+from repro.obs import FlightRecorder, Telemetry, WindowedAggregator
+from repro.obs.slo import SLOAlert, SLOTracker, default_serving_slos
+from repro.obs.timeseries import DEFAULT_RETENTION, DEFAULT_WINDOW_SECONDS
 from repro.serve.server import QueryServer, ServeReport, ServerConfig
 from repro.serve.traffic import TenantSpec, generate_traffic
 from repro.swan.benchmark import Swan, load_benchmark_subset
 
 DEFAULT_SERVE_BENCH = "BENCH_serve.json"
+DEFAULT_SLO_BENCH = "BENCH_slo.json"
+DEFAULT_INCIDENTS_JSONL = "BENCH_incidents.jsonl"
 SERVE_DATABASES = ("superhero", "formula_1")
 #: offered load as multiples of measured capacity; 2× and 4× are the
 #: sustained-overload points the degradation machinery exists for
 DEFAULT_MULTIPLIERS = (0.25, 0.5, 1.0, 2.0, 4.0)
 DEFAULT_HORIZON = 120.0
+
+#: the per-tenant outcome series the windows table is built from
+_STATUS_SERIES = (
+    ("offered", "serve.offered"),
+    ("served", "serve.served"),
+    ("degraded", "serve.degraded"),
+    ("rejected", "serve.rejected"),
+)
 
 
 def default_tenants(
@@ -125,6 +138,8 @@ def run_level(
     *,
     seed: int = 0,
     horizon: float = DEFAULT_HORIZON,
+    telemetry: Optional[Telemetry] = None,
+    slo_tracker: Optional[SLOTracker] = None,
 ) -> tuple[ServeReport, dict]:
     """One sweep point: a fresh server at ``multiplier × capacity``."""
     base = offered_rps(tenants)
@@ -132,7 +147,10 @@ def run_level(
     scaled = [spec.scaled(target / base) for spec in tenants]
     requests = generate_traffic(swan, scaled, horizon=horizon, seed=seed)
     policies = {spec.name: spec.policy() for spec in scaled}
-    with QueryServer(swan, config, policies=policies) as server:
+    with QueryServer(
+        swan, config, policies=policies,
+        telemetry=telemetry, slo_tracker=slo_tracker,
+    ) as server:
         report = server.run(requests)
     record = report.as_record()
     record["multiplier"] = round(multiplier, 6)
@@ -140,30 +158,220 @@ def run_level(
     return report, record
 
 
-def run_loadtest(
+def jain_fairness(shares: Sequence[float]) -> float:
+    """Jain's index over per-tenant shares; 1.0 for empty/uniform."""
+    if not shares:
+        return 1.0
+    squares = sum(s * s for s in shares)
+    if squares == 0:
+        return 1.0
+    total = sum(shares)
+    return (total * total) / (len(shares) * squares)
+
+
+def _window_stats(timeseries: WindowedAggregator, index: int) -> dict:
+    """Outcome counts + latency percentiles for one window."""
+    stats: dict = {
+        "index": index,
+        "start": round(timeseries.window_start(index), 6),
+    }
+    for label, name in _STATUS_SERIES:
+        total = 0
+        for tenant in timeseries.label_values(name, "tenant"):
+            for row in timeseries.rows(name, tenant=tenant):
+                if row.window == index:
+                    total += row.count
+                    break
+        stats[label] = total
+    for row in timeseries.rows("serve.latency"):
+        if row.window == index:
+            stats["latency"] = row.as_record()
+            break
+    return stats
+
+
+def _alert_handler(telemetry: Telemetry):
+    """Wire SLO alerts to the flight recorder: dump evidence at fire time.
+
+    The server never sees this coupling — the tracker calls back into
+    the harness, which snapshots the triggering window's stats and the
+    flight-recorder tail into one incident.
+    """
+    timeseries = telemetry.timeseries
+    flight = telemetry.flight
+
+    def fire(alert: SLOAlert) -> None:
+        first, last = timeseries.span()
+        flight.incident(
+            alert.as_record(),
+            window=_window_stats(timeseries, alert.window),
+            span={"first_window": first, "last_window": last},
+        )
+
+    return fire
+
+
+def build_observability(
     *,
-    scale: int = 1,
-    seed: int = 0,
-    horizon: float = DEFAULT_HORIZON,
-    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
-    databases: Sequence[str] = SERVE_DATABASES,
-    config: Optional[ServerConfig] = None,
+    window_seconds: float = DEFAULT_WINDOW_SECONDS,
+    retention: int = DEFAULT_RETENTION,
+    incident_sink: Optional[Union[str, Path]] = None,
+) -> tuple[Telemetry, SLOTracker]:
+    """One serving run's telemetry bundle: windows + SLOs + flight ring.
+
+    Alerts are wired so that the instant one fires, the flight recorder
+    snapshots an incident (and appends it to ``incident_sink`` if set).
+    """
+    telemetry = Telemetry(
+        timeseries=WindowedAggregator(window_seconds, retention),
+        flight=FlightRecorder(sink=incident_sink),
+    )
+    tracker = SLOTracker(
+        default_serving_slos(),
+        window_seconds=window_seconds,
+        on_alert=_alert_handler(telemetry),
+    )
+    return telemetry, tracker
+
+
+def window_table(timeseries: WindowedAggregator) -> list[dict]:
+    """Per-window serving rows with per-tenant accounting and fairness.
+
+    Every retained window renders as one row — idle windows included —
+    with global outcome counts, latency percentiles, queue depth, token
+    and call spend per tenant, and Jain fairness over the tenants'
+    answered shares *within that window*.
+    """
+    first, last = timeseries.span()
+    if last < first:
+        return []
+    tenants = timeseries.label_values("serve.offered", "tenant")
+    status = {
+        (name, tenant): {
+            row.window: row for row in timeseries.rows(name, tenant=tenant)
+        }
+        for _, name in _STATUS_SERIES
+        for tenant in tenants
+    }
+    spend = {
+        (name, tenant): {
+            row.window: row for row in timeseries.rows(name, tenant=tenant)
+        }
+        for name in ("serve.tokens", "serve.llm_calls")
+        for tenant in tenants
+    }
+    latency = {row.window: row for row in timeseries.rows("serve.latency")}
+    depth = {row.window: row for row in timeseries.rows("serve.queue.depth")}
+    rows = []
+    for index in range(first, last + 1):
+        per_tenant: dict[str, dict] = {}
+        shares = []
+        for tenant in tenants:
+            entry = {}
+            for label, name in _STATUS_SERIES:
+                row = status[(name, tenant)].get(index)
+                entry[label] = row.count if row is not None else 0
+            tokens = spend[("serve.tokens", tenant)].get(index)
+            calls = spend[("serve.llm_calls", tenant)].get(index)
+            entry["tokens"] = int(tokens.sum) if tokens is not None else 0
+            entry["llm_calls"] = int(calls.sum) if calls is not None else 0
+            per_tenant[tenant] = entry
+            if entry["offered"]:
+                shares.append(
+                    (entry["served"] + entry["degraded"]) / entry["offered"]
+                )
+        totals = {
+            label: sum(per_tenant[t][label] for t in tenants)
+            for label, _ in _STATUS_SERIES
+        }
+        lat = latency.get(index)
+        dep = depth.get(index)
+        rows.append({
+            "window": index,
+            "start": round(timeseries.window_start(index), 6),
+            **totals,
+            "shed_rate": (
+                round(totals["rejected"] / totals["offered"], 6)
+                if totals["offered"]
+                else 0.0
+            ),
+            "p50": round(lat.p50, 6) if lat is not None else 0.0,
+            "p95": round(lat.p95, 6) if lat is not None else 0.0,
+            "p99": round(lat.p99, 6) if lat is not None else 0.0,
+            "queue_depth_p95": round(dep.p95, 6) if dep is not None else 0.0,
+            "fairness": round(jain_fairness(shares), 6),
+            "per_tenant": per_tenant,
+        })
+    return rows
+
+
+def slo_level_record(
+    multiplier: float,
+    target_rps: float,
+    telemetry: Telemetry,
+    tracker: SLOTracker,
 ) -> dict:
-    """The full sweep; returns the BENCH_serve payload."""
+    """One sweep level's observability payload for BENCH_slo.json."""
+    flight = telemetry.flight
+    return {
+        "multiplier": round(multiplier, 6),
+        "offered_rps": round(target_rps, 6),
+        "budgets": tracker.budgets(),
+        "alerts": tracker.alert_timeline(),
+        "incidents": len(flight.incidents),
+        "flight_recorded": flight.recorded,
+        "flight_dropped": flight.dropped,
+        "windows": window_table(telemetry.timeseries),
+    }
+
+
+def _run_sweep(
+    *,
+    scale: int,
+    seed: int,
+    horizon: float,
+    multipliers: Sequence[float],
+    databases: Sequence[str],
+    config: Optional[ServerConfig],
+    window_seconds: Optional[float],
+    retention: int,
+    incident_sink: Optional[Union[str, Path]],
+) -> tuple[dict, Optional[dict]]:
+    """The shared sweep loop; observability attaches per level when
+    ``window_seconds`` is set, and is entirely absent when it is None."""
     swan = load_benchmark_subset(scale, list(databases))
     config = config if config is not None else default_config()
     tenants = default_tenants(databases)
     capacity = measure_capacity(
         swan, config, tenants, seed=seed, horizon=horizon
     )
+    if incident_sink is not None:
+        # the sink is append-at-fire-time; start each sweep from empty
+        # so two runs at the same seed produce byte-identical files
+        Path(incident_sink).unlink(missing_ok=True)
     levels = []
+    slo_levels = []
     for multiplier in multipliers:
+        telemetry = tracker = None
+        if window_seconds is not None:
+            telemetry, tracker = build_observability(
+                window_seconds=window_seconds,
+                retention=retention,
+                incident_sink=incident_sink,
+            )
         _, record = run_level(
             swan, config, tenants, multiplier, capacity,
             seed=seed, horizon=horizon,
+            telemetry=telemetry, slo_tracker=tracker,
         )
         levels.append(record)
-    return {
+        if telemetry is not None and tracker is not None:
+            slo_levels.append(
+                slo_level_record(
+                    multiplier, multiplier * capacity, telemetry, tracker
+                )
+            )
+    serve_payload = {
         "scale": scale,
         "seed": seed,
         "horizon": round(horizon, 6),
@@ -175,9 +383,74 @@ def run_loadtest(
         "capacity_rps": round(capacity, 6),
         "levels": levels,
     }
+    if window_seconds is None:
+        return serve_payload, None
+    slo_payload = {
+        "scale": scale,
+        "seed": seed,
+        "horizon": round(horizon, 6),
+        "window_seconds": round(window_seconds, 6),
+        "retention": retention,
+        "capacity_rps": round(capacity, 6),
+        "slos": [slo.as_record() for slo in default_serving_slos()],
+        "levels": slo_levels,
+    }
+    return serve_payload, slo_payload
+
+
+def run_loadtest(
+    *,
+    scale: int = 1,
+    seed: int = 0,
+    horizon: float = DEFAULT_HORIZON,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    databases: Sequence[str] = SERVE_DATABASES,
+    config: Optional[ServerConfig] = None,
+) -> dict:
+    """The full sweep without telemetry; returns the BENCH_serve payload."""
+    payload, _ = _run_sweep(
+        scale=scale, seed=seed, horizon=horizon, multipliers=multipliers,
+        databases=databases, config=config,
+        window_seconds=None, retention=DEFAULT_RETENTION, incident_sink=None,
+    )
+    return payload
+
+
+def run_slo_loadtest(
+    *,
+    scale: int = 1,
+    seed: int = 0,
+    horizon: float = DEFAULT_HORIZON,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    databases: Sequence[str] = SERVE_DATABASES,
+    config: Optional[ServerConfig] = None,
+    window_seconds: float = DEFAULT_WINDOW_SECONDS,
+    retention: int = DEFAULT_RETENTION,
+    incident_sink: Optional[Union[str, Path]] = None,
+) -> tuple[dict, dict]:
+    """The instrumented sweep: (BENCH_serve payload, BENCH_slo payload).
+
+    The serve payload is byte-identical to :func:`run_loadtest`'s —
+    telemetry is purely passive — so the CLI runs the sweep once and
+    writes both artifacts from it.
+    """
+    serve_payload, slo_payload = _run_sweep(
+        scale=scale, seed=seed, horizon=horizon, multipliers=multipliers,
+        databases=databases, config=config,
+        window_seconds=window_seconds, retention=retention,
+        incident_sink=incident_sink,
+    )
+    assert slo_payload is not None
+    return serve_payload, slo_payload
 
 
 def write_serve_json(payload: dict, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_slo_json(payload: dict, path: Union[str, Path]) -> Path:
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
@@ -255,4 +528,51 @@ def format_serve_demo(report: ServeReport) -> str:
             f"{stats['degraded']:>6} {stats['rejected']:>6} "
             f"{100 * stats['answered_share']:>8.1f}%"
         )
+    return "\n".join(lines)
+
+
+def format_slo_report(payload: dict) -> str:
+    """The SLO/error-budget summary printed after the sweep table."""
+    objectives = ", ".join(
+        f"{slo['name']} {100 * slo['objective']:g}%"
+        + (
+            f" (≤{slo['latency_target']:g}s)"
+            if slo["latency_target"] is not None
+            else ""
+        )
+        for slo in payload["slos"]
+    )
+    lines = [
+        f"SLO report (window={payload['window_seconds']:g}s, "
+        f"retention={payload['retention']}): {objectives}",
+        "",
+        f"{'load':>6} "
+        + " ".join(f"{slo['name'] + '.budget%':>20}" for slo in payload["slos"])
+        + f" {'alerts':>7} {'incidents':>10}",
+    ]
+    for level in payload["levels"]:
+        cells = " ".join(
+            f"{100 * level['budgets'][slo['name']]['budget_consumed']:>19.1f}%"
+            for slo in payload["slos"]
+        )
+        lines.append(
+            f"{level['multiplier']:>5.2f}x {cells} "
+            f"{len(level['alerts']):>7} {level['incidents']:>10}"
+        )
+    noisiest = max(
+        payload["levels"], key=lambda lv: (len(lv["alerts"]), lv["multiplier"])
+    )
+    if noisiest["alerts"]:
+        lines.append("")
+        lines.append(f"Alert timeline at {noisiest['multiplier']:g}x:")
+        for alert in noisiest["alerts"]:
+            lines.append(
+                f"  t={alert['time']:>7.1f}  [{alert['severity']}] "
+                f"{alert['slo']} burn={alert['burn_rate']:.1f} "
+                f"(window {alert['window']}, {alert['bad']}/{alert['total']} "
+                f"bad over {alert['lookback_windows']}w)"
+            )
+    else:
+        lines.append("")
+        lines.append("No burn-rate alerts fired at any level.")
     return "\n".join(lines)

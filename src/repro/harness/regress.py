@@ -17,8 +17,12 @@ the baseline's ``scale10_makespan`` under the same
 just the scale-1 workload.  Likewise a fresh ``BENCH_serve.json`` (from
 ``loadtest``) pins serve-mode p99 latency at the lowest offered-load
 level against the baseline's ``serve_p99`` — gating the serving path's
-per-request latency.  A missing bench file or baseline key only notes
-the omission; it never fails the gate.
+per-request latency — and a fresh ``BENCH_slo.json`` pins the
+availability error budget consumed at the lowest load level against the
+baseline's ``slo_budget`` (an *absolute* increase bound: at a trickle
+of load the server should shed nothing, so the budget burned there is
+~0 and relative growth would be meaningless).  A missing bench file or
+baseline key only notes the omission; it never fails the gate.
 
 Exit code 1 on any breach, 0 when clean — so CI can gate on it.
 ``--update-baseline`` rewrites the baseline from the fresh run instead
@@ -38,6 +42,11 @@ DEFAULT_LEDGER = "BENCH_ledger.sqlite"
 DEFAULT_BASELINE = "baselines/regress_baseline.json"
 DEFAULT_SCALE_BENCH = "BENCH_scale.json"
 DEFAULT_SERVE_BENCH = "BENCH_serve.json"
+DEFAULT_SLO_BENCH = "BENCH_slo.json"
+
+#: Max *absolute* increase in the lowest-load availability error budget
+#: consumed fraction (baseline is ~0, so a relative bound is useless).
+MAX_SLO_BUDGET_INCREASE = 0.02
 
 #: The fixed regression workload (small, deterministic, ~seconds).
 _REGRESS_LABEL = "regress"
@@ -103,6 +112,7 @@ def write_baseline(
     *,
     scale10_makespan: Optional[float] = None,
     serve_p99: Optional[float] = None,
+    slo_budget: Optional[float] = None,
 ) -> dict:
     """Write (and return) a baseline JSON distilled from one ledger row."""
     path = Path(path)
@@ -112,6 +122,8 @@ def write_baseline(
         baseline["scale10_makespan"] = scale10_makespan
     if serve_p99 is not None:
         baseline["serve_p99"] = serve_p99
+    if slo_budget is not None:
+        baseline["slo_budget"] = slo_budget
     path.write_text(
         json.dumps(baseline, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
@@ -150,6 +162,26 @@ def serve_p99(path: Union[str, Path]) -> Optional[float]:
     return float(value) if isinstance(value, (int, float)) else None
 
 
+def slo_budget_consumed(path: Union[str, Path]) -> Optional[float]:
+    """Lowest-load availability budget consumed from a BENCH_slo.json.
+
+    At the lowest offered-load level nothing should shed, so the
+    availability error budget burned there is the serving path's
+    background refusal rate — any increase is a behavior change.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    try:
+        levels = payload["levels"]
+        lowest = min(levels, key=lambda level: level["multiplier"])
+        value = lowest["budgets"]["availability"]["budget_consumed"]
+    except (KeyError, TypeError, ValueError):
+        return None
+    return float(value) if isinstance(value, (int, float)) else None
+
+
 def _growth(latest: float, baseline: float) -> float:
     if baseline <= 0:
         return 0.0 if latest <= 0 else float("inf")
@@ -165,6 +197,8 @@ def diff_against_baseline(
     max_makespan_growth: float = 0.25,
     fresh_scale10: Optional[float] = None,
     fresh_serve_p99: Optional[float] = None,
+    fresh_slo_budget: Optional[float] = None,
+    max_slo_budget_increase: float = MAX_SLO_BUDGET_INCREASE,
 ) -> tuple[bool, list[str]]:
     """(ok, report lines) for one fresh ledger row vs one baseline.
 
@@ -172,7 +206,10 @@ def diff_against_baseline(
     BENCH_scale.json; it is diffed against the baseline's
     ``scale10_makespan`` when both sides exist, and noted otherwise.
     ``fresh_serve_p99`` (lowest-load p99 from a fresh BENCH_serve.json)
-    is likewise diffed against the baseline's ``serve_p99``.
+    is likewise diffed against the baseline's ``serve_p99``, and
+    ``fresh_slo_budget`` (lowest-load availability budget consumed from
+    a fresh BENCH_slo.json) against ``slo_budget`` as an absolute
+    increase bound.
     """
     fresh = _baseline_from_row(row)
     lines: list[str] = []
@@ -254,6 +291,27 @@ def diff_against_baseline(
         lines.append(
             "note: no BENCH_serve.json found; serve p99 not checked"
         )
+    base_budget = baseline.get("slo_budget")
+    if isinstance(base_budget, (int, float)) and fresh_slo_budget is not None:
+        checks += (
+            (
+                "slo budget",
+                float(base_budget),
+                fresh_slo_budget,
+                fresh_slo_budget - float(base_budget),
+                max_slo_budget_increase,
+                "increase",
+            ),
+        )
+    elif fresh_slo_budget is not None:
+        lines.append(
+            "note: baseline has no slo_budget; "
+            "run with --update-baseline next to a fresh BENCH_slo.json"
+        )
+    elif isinstance(base_budget, (int, float)):
+        lines.append(
+            "note: no BENCH_slo.json found; error budget not checked"
+        )
     for name, base, latest, delta, threshold, kind in checks:
         breached = delta > threshold + 1e-9
         status = "FAIL" if breached else "ok"
@@ -275,6 +333,7 @@ def run_regress(
     max_makespan_growth: float = 0.25,
     scale_bench_path: Union[str, Path] = DEFAULT_SCALE_BENCH,
     serve_bench_path: Union[str, Path] = DEFAULT_SERVE_BENCH,
+    slo_bench_path: Union[str, Path] = DEFAULT_SLO_BENCH,
 ) -> tuple[int, str]:
     """Run the workload, append to the ledger, diff vs the baseline.
 
@@ -294,11 +353,13 @@ def run_regress(
 
     fresh_scale10 = scale10_makespan(scale_bench_path)
     fresh_serve = serve_p99(serve_bench_path)
+    fresh_budget = slo_budget_consumed(slo_bench_path)
 
     if update_baseline:
         baseline = write_baseline(
             baseline_path, row,
             scale10_makespan=fresh_scale10, serve_p99=fresh_serve,
+            slo_budget=fresh_budget,
         )
         lines.append(
             f"baseline updated: {baseline_path} "
@@ -310,9 +371,14 @@ def run_regress(
                 else "; no BENCH_scale.json scale-10 rung found"
             )
             + (
-                f", serve p99 {fresh_serve:g})"
+                f", serve p99 {fresh_serve:g}"
                 if fresh_serve is not None
-                else "; no BENCH_serve.json found)"
+                else "; no BENCH_serve.json found"
+            )
+            + (
+                f", slo budget {fresh_budget:g})"
+                if fresh_budget is not None
+                else "; no BENCH_slo.json found)"
             )
         )
         return 0, "\n".join(lines)
@@ -333,6 +399,7 @@ def run_regress(
         max_makespan_growth=max_makespan_growth,
         fresh_scale10=fresh_scale10,
         fresh_serve_p99=fresh_serve,
+        fresh_slo_budget=fresh_budget,
     )
     lines.extend(diff_lines)
     lines.append("regression check: " + ("PASS" if ok else "FAIL"))

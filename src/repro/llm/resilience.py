@@ -272,13 +272,23 @@ class CircuitBreaker:
         self._m_trips = self._tel.metrics.counter("llm.breaker.trips")
 
     def _transition(self, old: str, new: str) -> None:
-        # caller holds the lock; metric locks are leaves, so nesting is safe
+        # caller holds the lock; metric/timeseries/flight locks are
+        # leaves, so nesting is safe
         self._state = new
         self._m_state.set(self._STATE_VALUES[new])
         if self._tel.enabled:
             self._tel.metrics.counter(
                 "llm.breaker.transitions", from_state=old, to_state=new
             ).inc()
+            now = self.clock.now()
+            if self._tel.timeseries.enabled:
+                self._tel.timeseries.record(
+                    "llm.breaker.transitions", now,
+                    from_state=old, to_state=new,
+                )
+            self._tel.flight.record(
+                now, "breaker", from_state=old, to_state=new
+            )
 
     @property
     def state(self) -> str:
@@ -444,6 +454,12 @@ class RetryingClient:
                     self._m_retries.inc()
                     self._m_backoff_total.inc(delay)
                     self._m_backoff.observe(delay)
+                    if tel.timeseries.enabled:
+                        now = self.clock.now()
+                        tel.timeseries.record("llm.retries", now)
+                        tel.timeseries.observe(
+                            "llm.backoff_seconds", now, delay
+                        )
                     span.set("outcome", "retry")
                     span.set("backoff_s", delay)
                 except LLMError:

@@ -13,6 +13,15 @@ This package provides it without perturbing a single result byte:
   fixed-bucket histograms.
 - :mod:`repro.obs.export` — JSONL span logs, Chrome ``trace_event``
   JSON, Prometheus text, and per-stage console summaries.
+- :mod:`repro.obs.timeseries` — a
+  :class:`~repro.obs.timeseries.WindowedAggregator` rolling events into
+  fixed virtual-time windows (rates, per-window percentiles) with
+  bounded ring retention.
+- :mod:`repro.obs.slo` — declarative SLOs with error-budget accounting
+  and multi-window burn-rate alerts.
+- :mod:`repro.obs.flightrec` — a bounded
+  :class:`~repro.obs.flightrec.FlightRecorder` ring of server events,
+  snapshotted to JSONL incidents when an alert fires.
 
 Components receive a :class:`Telemetry` handle bundling one tracer and
 one registry.  The default, :data:`NULL_TELEMETRY`, is fully disabled:
@@ -55,6 +64,18 @@ from repro.obs.provenance import (
     call_id_for,
     resolve_provenance,
 )
+from repro.obs.flightrec import (
+    NULL_FLIGHT_RECORDER,
+    FlightEvent,
+    FlightRecorder,
+    NullFlightRecorder,
+)
+from repro.obs.timeseries import (
+    NULL_TIMESERIES,
+    NullWindowedAggregator,
+    WindowedAggregator,
+    WindowRow,
+)
 from repro.obs.trace import NULL_SPAN, NullTracer, Span, Tracer
 
 _NULL_METRICS = NullMetrics()
@@ -62,22 +83,33 @@ _NULL_TRACER = NullTracer()
 
 
 class Telemetry:
-    """One tracer + one metrics registry, handed through the stack.
+    """Tracer + metrics + windowed time series + flight recorder.
 
-    ``enabled`` is precomputed so hot paths pay a single attribute
-    read.  ``Telemetry()`` with no arguments is fully disabled (and
-    :data:`NULL_TELEMETRY` is a shared instance of exactly that);
-    :meth:`on` builds an enabled handle over an optional clock.
+    One handle handed through the stack.  ``enabled`` is precomputed so
+    hot paths pay a single attribute read.  ``Telemetry()`` with no
+    arguments is fully disabled (and :data:`NULL_TELEMETRY` is a shared
+    instance of exactly that); :meth:`on` builds an enabled handle over
+    an optional clock.  ``timeseries`` and ``flight`` default to the
+    shared no-ops, so only callers that want time-resolved serving
+    telemetry (the serving benches and the ``dash`` target) pay for it.
     """
 
-    __slots__ = ("tracer", "metrics", "enabled")
+    __slots__ = ("tracer", "metrics", "timeseries", "flight", "enabled")
 
-    def __init__(self, tracer=None, metrics=None) -> None:
+    def __init__(
+        self, tracer=None, metrics=None, timeseries=None, flight=None
+    ) -> None:
         self.tracer = tracer if tracer is not None else _NULL_TRACER
         self.metrics = metrics if metrics is not None else _NULL_METRICS
+        self.timeseries = (
+            timeseries if timeseries is not None else NULL_TIMESERIES
+        )
+        self.flight = flight if flight is not None else NULL_FLIGHT_RECORDER
         self.enabled = bool(
             getattr(self.tracer, "enabled", True)
             or getattr(self.metrics, "enabled", True)
+            or getattr(self.timeseries, "enabled", True)
+            or getattr(self.flight, "enabled", True)
         )
 
     @classmethod
@@ -99,21 +131,29 @@ __all__ = [
     "CallProvenance",
     "CellProvenance",
     "Counter",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LEDGER_SCHEMA_VERSION",
     "MetricsRegistry",
+    "NullFlightRecorder",
     "NullMetrics",
     "NullProvenance",
     "NullTracer",
+    "NullWindowedAggregator",
+    "NULL_FLIGHT_RECORDER",
     "NULL_PROVENANCE",
     "NULL_SPAN",
     "NULL_TELEMETRY",
+    "NULL_TIMESERIES",
     "ProvenanceRecorder",
     "RunLedger",
     "Span",
     "Telemetry",
     "Tracer",
+    "WindowedAggregator",
+    "WindowRow",
     "call_id_for",
     "config_fingerprint",
     "resolve",

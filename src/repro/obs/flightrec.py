@@ -1,0 +1,164 @@
+"""A bounded flight recorder for post-mortem serving incidents.
+
+Aggregates tell you *that* the burst hurt; a post-mortem needs to know
+*what happened* — which tenants were shed, when the breaker opened,
+which deadlines were reaped — in the seconds before an alert fired.
+The :class:`FlightRecorder` keeps a bounded ring of structured server
+events (admit / shed / degrade / breaker transitions / deadline reaps),
+cheap enough to leave on, and snapshots it into an **incident** the
+moment an SLO alert fires: the alert, the triggering window's stats,
+the open span context, and the recent event tail, serialized as one
+JSONL line.  With a ``sink`` path the line is appended to disk at fire
+time — the crash-dump discipline: evidence is persisted while the
+server is still drowning, not after.
+
+Events carry virtual-clock timestamps, so incident dumps are
+byte-stable across runs at the same seed.  Disabled mode is
+:class:`NullFlightRecorder` (:data:`NULL_FLIGHT_RECORDER`): recording
+is a no-op and incident capture returns an empty dict.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Optional, Union
+
+#: default ring size — deep enough for the tail of a sustained burst
+DEFAULT_CAPACITY = 512
+
+
+class FlightEvent:
+    """One structured server event in the ring."""
+
+    __slots__ = ("time", "kind", "fields")
+
+    def __init__(self, time: float, kind: str, fields: dict) -> None:
+        self.time = time
+        self.kind = kind
+        self.fields = fields
+
+    def as_record(self) -> dict:
+        record = {"t": round(self.time, 6), "kind": self.kind}
+        for key in sorted(self.fields):
+            record[key] = self.fields[key]
+        return record
+
+
+class FlightRecorder:
+    """Bounded ring of server events + incident snapshots on alert.
+
+    Thread-safe (the ring lock is a leaf); eviction is implicit via the
+    deque's ``maxlen``, so steady-state recording never allocates more
+    than ``capacity`` events.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        sink: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.sink = Path(sink) if sink is not None else None
+        self.dropped = 0
+        self.recorded = 0
+        self.incidents: list[dict] = []
+        self._ring: deque[FlightEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, time: float, kind: str, **fields: object) -> None:
+        """Append one event; the oldest falls off a full ring."""
+        event = FlightEvent(time, kind, fields)
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(event)
+            self.recorded += 1
+
+    def events(self) -> list[dict]:
+        """The retained tail, oldest first, JSON-stable."""
+        with self._lock:
+            return [event.as_record() for event in self._ring]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def incident(
+        self,
+        alert: dict,
+        *,
+        window: Optional[dict] = None,
+        span: Optional[dict] = None,
+    ) -> dict:
+        """Snapshot the ring into an incident; append to the sink if set.
+
+        ``alert`` is the firing alert's record (see
+        :meth:`~repro.obs.slo.SLOAlert.as_record`), ``window`` the
+        triggering window's per-window stats, and ``span`` whatever
+        span context was open when the alert fired.
+        """
+        with self._lock:
+            tail = [event.as_record() for event in self._ring]
+            dropped = self.dropped
+        record = {
+            "incident": len(self.incidents) + 1,
+            "alert": alert,
+            "window": window if window is not None else {},
+            "span": span if span is not None else {},
+            "events": tail,
+            "events_dropped": dropped,
+        }
+        self.incidents.append(record)
+        if self.sink is not None:
+            with self.sink.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write every captured incident as JSONL (one object per line)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self.incidents:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return path
+
+
+class NullFlightRecorder:
+    """The disabled recorder: nothing is kept, nothing is written."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    capacity = 0
+    dropped = 0
+    recorded = 0
+    incidents: list = []
+    sink = None
+
+    def record(self, time: float, kind: str, **fields: object) -> None:
+        pass
+
+    def events(self) -> list:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def incident(self, alert: dict, *, window=None, span=None) -> dict:
+        return {}
+
+    def write_jsonl(self, path):
+        raise ValueError("the null flight recorder has nothing to write")
+
+
+#: The shared disabled recorder every component defaults to.
+NULL_FLIGHT_RECORDER = NullFlightRecorder()

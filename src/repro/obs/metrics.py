@@ -229,6 +229,22 @@ def _render_labels(labels: LabelKey) -> str:
     return "{" + inner + "}"
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_prometheus_labels(labels: LabelKey) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_render_name(k)}="{_escape_label_value(v)}"' for k, v in labels
+    )
+    return "{" + inner + "}"
+
+
 class MetricsRegistry:
     """Get-or-create home for named instruments; thread-safe.
 
@@ -313,12 +329,16 @@ class MetricsRegistry:
         return out
 
     def render_prometheus(self) -> str:
-        """The registry as Prometheus text exposition format."""
+        """The registry as Prometheus text exposition format.
+
+        Label values are escaped (``\\``, ``"``, and newlines) and the
+        dump always ends with a newline, per the exposition format.
+        """
         lines: list[str] = []
         seen_types: set[str] = set()
         for (name, labels), instrument in self._sorted_items():
             metric = _render_name(name)
-            suffix = _render_labels(labels)
+            suffix = _render_prometheus_labels(labels)
             if isinstance(instrument, Counter):
                 if metric not in seen_types:
                     lines.append(f"# TYPE {metric} counter")
@@ -339,8 +359,8 @@ class MetricsRegistry:
                 snap = instrument.snapshot()
                 for bound, cumulative in snap["buckets"].items():
                     label_items = list(labels) + [("le", bound)]
-                    rendered = _render_labels(tuple(label_items))
+                    rendered = _render_prometheus_labels(tuple(label_items))
                     lines.append(f"{metric}_bucket{rendered} {cumulative}")
                 lines.append(f"{metric}_sum{suffix} {snap['sum']}")
                 lines.append(f"{metric}_count{suffix} {snap['count']}")
-        return "\n".join(lines) + ("\n" if lines else "")
+        return "\n".join(lines) + "\n" if lines else "\n"

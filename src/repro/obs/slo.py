@@ -1,0 +1,348 @@
+"""Declarative SLOs with error budgets and burn-rate alerts.
+
+An :class:`SLO` states an objective over a stream of good/bad events —
+"99% of offered requests get an answer" (availability), "95% of
+answered requests land under 20 virtual seconds" (latency).  The
+:class:`SLOTracker` consumes the serving layer's outcome stream on the
+virtual clock, buckets it into the same fixed windows as
+:class:`~repro.obs.timeseries.WindowedAggregator`, and accounts the
+**error budget**: with objective ``o``, a fraction ``1 - o`` of events
+may be bad before the SLO is violated, and
+
+    burn rate = (bad fraction over a lookback) / (1 - o)
+
+is how many times faster than "exactly on budget" the service is
+spending it.  Alerting follows the Google-SRE multi-window pattern:
+
+- a **fast** burn alert fires when the burn rate over a short lookback
+  (``fast_windows`` windows) reaches ``fast_burn`` — the "page now"
+  signal for sudden overload;
+- a **slow** burn alert fires when the burn rate over a long lookback
+  (``slow_windows``) reaches ``slow_burn`` — the "budget will not last
+  the period" signal for sustained degradation.
+
+Alerts are *edge-triggered* typed events (:class:`SLOAlert`): one fires
+when a severity's condition becomes true at a window close, and the
+condition must clear before that severity can fire again.  Everything
+is evaluated at deterministic window boundaries on the virtual clock,
+so the alert timeline is byte-stable across runs at the same seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.obs.timeseries import DEFAULT_WINDOW_SECONDS
+
+#: event classifications an SLO can be defined over
+AVAILABILITY = "availability"
+LATENCY = "latency"
+
+FAST = "fast"
+SLOW = "slow"
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective over the serving outcome stream.
+
+    ``kind`` picks the event classification the server applies:
+    ``availability`` counts an offered request good when it was answered
+    (served or degraded — a refusal is the bad event); ``latency``
+    counts an answered request good when its end-to-end latency is at
+    most ``latency_target`` virtual seconds.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    latency_target: Optional[float] = None
+    fast_burn: float = 10.0
+    slow_burn: float = 2.0
+    fast_windows: int = 2
+    slow_windows: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in (AVAILABILITY, LATENCY):
+            raise ValueError(
+                f"kind must be '{AVAILABILITY}' or '{LATENCY}', got {self.kind!r}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.kind == LATENCY and (
+            self.latency_target is None or self.latency_target <= 0
+        ):
+            raise ValueError(
+                "latency SLOs need latency_target > 0, got "
+                f"{self.latency_target}"
+            )
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise ValueError("burn thresholds must be > 0")
+        if self.fast_windows < 1 or self.slow_windows < 1:
+            raise ValueError("alert lookbacks must be >= 1 window")
+        if self.fast_windows > self.slow_windows:
+            raise ValueError(
+                f"fast lookback ({self.fast_windows}) must not exceed "
+                f"slow lookback ({self.slow_windows})"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """The bad-event fraction the objective tolerates (1 - objective)."""
+        return 1.0 - self.objective
+
+    def as_record(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": round(self.objective, 6),
+            "latency_target": (
+                round(self.latency_target, 6)
+                if self.latency_target is not None
+                else None
+            ),
+            "fast_burn": round(self.fast_burn, 6),
+            "slow_burn": round(self.slow_burn, 6),
+            "fast_windows": self.fast_windows,
+            "slow_windows": self.slow_windows,
+        }
+
+
+@dataclass(frozen=True)
+class SLOAlert:
+    """One burn-rate alert, fired at a window close on the virtual clock."""
+
+    slo: str
+    severity: str  # FAST or SLOW
+    time: float  # the window-close instant that tripped it
+    window: int  # the last (triggering) window of the lookback
+    burn_rate: float
+    lookback_windows: int
+    bad: int
+    total: int
+    budget_consumed: float  # cumulative at fire time
+
+    def as_record(self) -> dict:
+        return {
+            "slo": self.slo,
+            "severity": self.severity,
+            "time": round(self.time, 6),
+            "window": self.window,
+            "burn_rate": round(self.burn_rate, 6),
+            "lookback_windows": self.lookback_windows,
+            "bad": self.bad,
+            "total": self.total,
+            "budget_consumed": round(self.budget_consumed, 6),
+        }
+
+
+class _SloState:
+    """Tracker-internal per-SLO accounting."""
+
+    __slots__ = ("slo", "windows", "good", "bad", "active")
+
+    def __init__(self, slo: SLO) -> None:
+        self.slo = slo
+        #: window index → [good, bad]
+        self.windows: dict[int, list[int]] = {}
+        self.good = 0
+        self.bad = 0
+        self.active = {FAST: False, SLOW: False}
+
+    @property
+    def total(self) -> int:
+        return self.good + self.bad
+
+    def budget_consumed(self) -> float:
+        """Fraction of the error budget spent so far (can exceed 1)."""
+        if self.total == 0:
+            return 0.0
+        bad_fraction = self.bad / self.total
+        return bad_fraction / self.slo.error_budget
+
+    def burn_rate(self, last_window: int, lookback: int) -> tuple[float, int, int]:
+        """(burn, bad, total) over ``lookback`` windows ending at ``last_window``."""
+        good = bad = 0
+        for index in range(last_window - lookback + 1, last_window + 1):
+            counts = self.windows.get(index)
+            if counts is not None:
+                good += counts[0]
+                bad += counts[1]
+        total = good + bad
+        if total == 0:
+            return 0.0, 0, 0
+        return (bad / total) / self.slo.error_budget, bad, total
+
+    def as_record(self) -> dict:
+        return {
+            "objective": round(self.slo.objective, 6),
+            "good": self.good,
+            "bad": self.bad,
+            "bad_fraction": (
+                round(self.bad / self.total, 6) if self.total else 0.0
+            ),
+            "budget_consumed": round(self.budget_consumed(), 6),
+            "budget_remaining": round(max(0.0, 1.0 - self.budget_consumed()), 6),
+        }
+
+
+class SLOTracker:
+    """Window the good/bad stream of several SLOs and fire burn alerts.
+
+    Feed events in non-decreasing virtual time (the serving event loop
+    already emits outcomes that way).  A window is *closed* — and its
+    alert conditions evaluated — the moment a later window receives its
+    first event, or when :meth:`finalize` seals the run.
+    """
+
+    def __init__(
+        self,
+        slos: Sequence[SLO],
+        *,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        on_alert: Optional[Callable[[SLOAlert], None]] = None,
+    ) -> None:
+        if not slos:
+            raise ValueError("at least one SLO is required")
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        self.slos = tuple(slos)
+        self.window_seconds = float(window_seconds)
+        self.on_alert = on_alert
+        self.alerts: list[SLOAlert] = []
+        self._states = {slo.name: _SloState(slo) for slo in self.slos}
+        self._frontier: Optional[int] = None  # newest window with events
+
+    def __iter__(self):
+        return iter(self.slos)
+
+    def window_index(self, t: float) -> int:
+        return math.floor(t / self.window_seconds)
+
+    # -- recording -----------------------------------------------------------------
+
+    def record(self, name: str, t: float, good: bool) -> None:
+        """One good/bad event for SLO ``name`` at virtual instant ``t``."""
+        state = self._states.get(name)
+        if state is None:
+            raise KeyError(f"unknown SLO {name!r}")
+        index = self.window_index(t)
+        if self._frontier is None:
+            self._frontier = index
+        elif index > self._frontier:
+            # the frontier window(s) just closed: evaluate their alerts
+            self._close_through(index - 1)
+            self._frontier = index
+        counts = state.windows.get(index)
+        if counts is None:
+            counts = [0, 0]
+            state.windows[index] = counts
+        counts[0 if good else 1] += 1
+        if good:
+            state.good += 1
+        else:
+            state.bad += 1
+
+    def finalize(self, t_end: Optional[float] = None) -> None:
+        """Seal the run: close every open window up to ``t_end``."""
+        if self._frontier is None:
+            return
+        last = self._frontier
+        if t_end is not None:
+            last = max(last, self.window_index(t_end))
+        self._close_through(last)
+        self._frontier = last + 1
+
+    # -- alert evaluation ----------------------------------------------------------
+
+    def _close_through(self, last: int) -> None:
+        assert self._frontier is not None
+        for index in range(self._frontier, last + 1):
+            for slo in self.slos:
+                self._evaluate(self._states[slo.name], index)
+
+    def _evaluate(self, state: _SloState, closed: int) -> None:
+        slo = state.slo
+        for severity, lookback, threshold in (
+            (FAST, slo.fast_windows, slo.fast_burn),
+            (SLOW, slo.slow_windows, slo.slow_burn),
+        ):
+            burn, bad, total = state.burn_rate(closed, lookback)
+            firing = burn >= threshold - 1e-9
+            if firing and not state.active[severity]:
+                alert = SLOAlert(
+                    slo=slo.name,
+                    severity=severity,
+                    time=(closed + 1) * self.window_seconds,
+                    window=closed,
+                    burn_rate=burn,
+                    lookback_windows=lookback,
+                    bad=bad,
+                    total=total,
+                    budget_consumed=state.budget_consumed(),
+                )
+                self.alerts.append(alert)
+                if self.on_alert is not None:
+                    self.on_alert(alert)
+            state.active[severity] = firing
+
+    # -- reading -------------------------------------------------------------------
+
+    def budget(self, name: str) -> dict:
+        """Error-budget accounting for one SLO, JSON-stable."""
+        state = self._states.get(name)
+        if state is None:
+            raise KeyError(f"unknown SLO {name!r}")
+        return state.as_record()
+
+    def budgets(self) -> dict[str, dict]:
+        return {slo.name: self.budget(slo.name) for slo in self.slos}
+
+    def alert_timeline(self) -> list[dict]:
+        """Every alert fired so far, in firing order, JSON-stable."""
+        return [alert.as_record() for alert in self.alerts]
+
+
+#: thresholds tuned for the serving sweep's 5 s windows / 120 s horizon
+def default_serving_slos(
+    *,
+    availability_objective: float = 0.99,
+    latency_objective: float = 0.95,
+    latency_target: float = 20.0,
+) -> tuple[SLO, SLO]:
+    """The two SLOs the query server is judged by.
+
+    Availability: 99% of offered requests get an answer (a shed or
+    queue-expired request is the bad event).  Latency: 95% of answered
+    requests land within ``latency_target`` virtual seconds.
+    """
+    return (
+        SLO(
+            name="availability",
+            kind=AVAILABILITY,
+            objective=availability_objective,
+            fast_burn=10.0,
+            slow_burn=2.0,
+            fast_windows=2,
+            slow_windows=8,
+        ),
+        SLO(
+            name="latency",
+            kind=LATENCY,
+            objective=latency_objective,
+            latency_target=latency_target,
+            fast_burn=8.0,
+            slow_burn=2.0,
+            fast_windows=2,
+            slow_windows=8,
+        ),
+    )

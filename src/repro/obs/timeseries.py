@@ -1,0 +1,367 @@
+"""Fixed-interval windowed aggregation over the virtual clock.
+
+Point-in-time counters (:mod:`repro.obs.metrics`) answer "how many in
+total"; serving questions are *time-resolved* — "what was p99 during
+the burst", "how many requests did tenant B shed in the 30s before the
+breaker opened".  The :class:`WindowedAggregator` rolls events into
+fixed-interval windows with deterministic boundaries::
+
+    window(t) = floor(t / window_seconds)
+
+Windows are half-open ``[k*w, (k+1)*w)``: an event exactly on a
+boundary belongs to the window it *starts*, never the one it ends, so
+two runs of the same virtual-time trace always bucket identically.
+
+Two event kinds share the machinery:
+
+- :meth:`WindowedAggregator.record` — counter-style events (arrival,
+  shed, tokens spent): each window accumulates count and sum, and
+  renders a per-second *rate*;
+- :meth:`WindowedAggregator.observe` — sample-style events (latency,
+  queue depth): each window keeps its samples and renders
+  min/max/mean and nearest-rank p50/p95/p99.
+
+Retention is a bounded ring: the aggregator keeps at most ``retention``
+windows ending at the newest window seen; older windows are evicted on
+insert.  :meth:`rows` zero-fills gaps inside the retained span, so an
+idle window renders as an explicit zero-rate row, not a hole in the
+timeline.
+
+Disabled mode is :class:`NullWindowedAggregator` (shared as
+:data:`NULL_TIMESERIES`): every method is a no-op, so instrumented code
+pays one attribute check when windowed telemetry is off.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional, Union
+
+Number = Union[int, float]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+#: default window width (virtual seconds) for serving telemetry
+DEFAULT_WINDOW_SECONDS = 5.0
+#: default ring size — enough for a 2-minute horizon at 5 s windows
+DEFAULT_RETENTION = 64
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def render_series(name: str, labels: LabelKey) -> str:
+    """``serve.shed`` + ``(("reason","queue_full"),)`` → ``serve.shed{reason=queue_full}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class _Bucket:
+    """One (series, window) accumulator."""
+
+    __slots__ = ("count", "sum", "samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.samples: Optional[list[float]] = None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+
+    def sample(self, value: float) -> None:
+        """Add a value and keep it for percentile computation."""
+        self.count += 1
+        self.sum += value
+        if self.samples is None:
+            self.samples = []
+        self.samples.append(value)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of a *sorted* sample list; 0.0 when empty."""
+    if not samples:
+        return 0.0
+    rank = max(1, math.ceil(q * len(samples)))
+    return samples[min(rank, len(samples)) - 1]
+
+
+@dataclass(frozen=True)
+class WindowRow:
+    """One window of one series, zero-filled when the window was idle."""
+
+    window: int
+    start: float
+    count: int
+    sum: float
+    rate: float
+    min: float = 0.0
+    max: float = 0.0
+    mean: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+
+    def as_record(self) -> dict:
+        return {
+            "window": self.window,
+            "start": round(self.start, 6),
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "rate": round(self.rate, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+            "mean": round(self.mean, 6),
+            "p50": round(self.p50, 6),
+            "p95": round(self.p95, 6),
+            "p99": round(self.p99, 6),
+        }
+
+
+class WindowedAggregator:
+    """Roll events into fixed windows with bounded ring retention.
+
+    Thread-safe: LLM retry events arrive from dispatcher worker threads
+    while the serving loop records outcomes.  The aggregator's lock is a
+    leaf (no code path acquires another lock while holding it), and the
+    aggregation itself is order-insensitive — counts and sums commute,
+    and samples are sorted before percentiles — so concurrent recording
+    of the same virtual-time trace always renders identical windows.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        retention: int = DEFAULT_RETENTION,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        if retention < 1:
+            raise ValueError(f"retention must be >= 1, got {retention}")
+        self.window_seconds = float(window_seconds)
+        self.retention = retention
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, LabelKey], dict[int, _Bucket]] = {}
+        self._min_window: Optional[int] = None
+        self._max_window: Optional[int] = None
+
+    # -- recording -----------------------------------------------------------------
+
+    def window_index(self, t: float) -> int:
+        """The window holding instant ``t`` (half-open [k*w, (k+1)*w))."""
+        return math.floor(t / self.window_seconds)
+
+    def window_start(self, index: int) -> float:
+        return index * self.window_seconds
+
+    def _bucket(
+        self, name: str, t: float, labels: Mapping[str, object]
+    ) -> Optional[_Bucket]:
+        # caller holds the lock
+        index = self.window_index(t)
+        if (
+            self._max_window is not None
+            and index <= self._max_window - self.retention
+        ):
+            return None  # older than the ring: already evicted, stays out
+        key = (name, _label_key(labels) if labels else ())
+        windows = self._series.get(key)
+        if windows is None:
+            windows = {}
+            self._series[key] = windows
+        if self._min_window is None or index < self._min_window:
+            self._min_window = index
+        if self._max_window is None or index > self._max_window:
+            self._max_window = index
+            self._evict()
+        bucket = windows.get(index)
+        if bucket is None:
+            bucket = _Bucket()
+            windows[index] = bucket
+        return bucket
+
+    def _evict(self) -> None:
+        """Drop windows older than the retained ring (all series)."""
+        assert self._max_window is not None
+        floor_index = self._max_window - self.retention + 1
+        if self._min_window is not None and self._min_window >= floor_index:
+            return
+        for windows in self._series.values():
+            stale = [w for w in windows if w < floor_index]
+            for w in stale:
+                del windows[w]
+        self._min_window = max(
+            self._min_window if self._min_window is not None else floor_index,
+            floor_index,
+        )
+
+    def record(
+        self, name: str, t: float, value: Number = 1, **labels: object
+    ) -> None:
+        """A counter-style event: ``value`` accrues to ``t``'s window."""
+        with self._lock:
+            bucket = self._bucket(name, t, labels)
+            if bucket is not None:
+                bucket.add(float(value))
+
+    def observe(
+        self, name: str, t: float, value: Number, **labels: object
+    ) -> None:
+        """A sample-style event: kept for per-window percentiles."""
+        with self._lock:
+            bucket = self._bucket(name, t, labels)
+            if bucket is not None:
+                bucket.sample(float(value))
+
+    # -- reading -------------------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        return self._max_window is None
+
+    def span(self) -> tuple[int, int]:
+        """(first, last) retained window index; (0, -1) when empty."""
+        if self._max_window is None:
+            return (0, -1)
+        assert self._min_window is not None
+        return (
+            max(self._min_window, self._max_window - self.retention + 1),
+            self._max_window,
+        )
+
+    def series_keys(self) -> list[tuple[str, LabelKey]]:
+        return sorted(self._series.keys())
+
+    def label_values(self, name: str, label: str) -> list[str]:
+        """Every value ``label`` takes across ``name``'s series, sorted."""
+        values = set()
+        for series_name, labels in self._series:
+            if series_name != name:
+                continue
+            for key, value in labels:
+                if key == label:
+                    values.add(value)
+        return sorted(values)
+
+    def _row(self, index: int, bucket: Optional[_Bucket]) -> WindowRow:
+        start = self.window_start(index)
+        if bucket is None or bucket.count == 0:
+            return WindowRow(window=index, start=start, count=0, sum=0.0, rate=0.0)
+        rate = bucket.sum / self.window_seconds
+        if bucket.samples is None:
+            return WindowRow(
+                window=index, start=start, count=bucket.count,
+                sum=bucket.sum, rate=rate,
+            )
+        ordered = sorted(bucket.samples)
+        return WindowRow(
+            window=index,
+            start=start,
+            count=bucket.count,
+            sum=bucket.sum,
+            rate=rate,
+            min=ordered[0],
+            max=ordered[-1],
+            mean=bucket.sum / bucket.count,
+            p50=percentile(ordered, 0.50),
+            p95=percentile(ordered, 0.95),
+            p99=percentile(ordered, 0.99),
+        )
+
+    def rows(self, name: str, **labels: object) -> list[WindowRow]:
+        """Every retained window of one series, oldest first, zero-filled.
+
+        The row list always covers the aggregator's full retained span
+        (so every series aligns window-for-window in a dashboard), and
+        idle windows appear as explicit zero-rate rows.
+        """
+        first, last = self.span()
+        if last < first:
+            return []
+        windows = self._series.get((name, _label_key(labels) if labels else ()), {})
+        return [self._row(i, windows.get(i)) for i in range(first, last + 1)]
+
+    def total(self, name: str, **labels: object) -> float:
+        """Sum of one series over its retained windows."""
+        windows = self._series.get((name, _label_key(labels) if labels else ()))
+        if not windows:
+            return 0.0
+        return sum(bucket.sum for bucket in windows.values())
+
+    def iter_series(self) -> Iterator[tuple[str, dict[str, str], list[WindowRow]]]:
+        """(name, labels dict, rows) per series, deterministically ordered."""
+        for name, labels in self.series_keys():
+            yield name, dict(labels), self.rows(name, **dict(labels))
+
+    def snapshot(self) -> dict:
+        """A JSON-stable dump: every retained window of every series."""
+        series: dict[str, list[dict]] = {}
+        for name, labels in self.series_keys():
+            rendered = render_series(name, labels)
+            series[rendered] = [
+                row.as_record() for row in self.rows(name, **dict(labels))
+            ]
+        return {
+            "window_seconds": round(self.window_seconds, 6),
+            "retention": self.retention,
+            "series": series,
+        }
+
+
+class NullWindowedAggregator:
+    """The disabled aggregator: every call is a no-op."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    window_seconds = 0.0
+    retention = 0
+    empty = True
+
+    def window_index(self, t: float) -> int:
+        return 0
+
+    def window_start(self, index: int) -> float:
+        return 0.0
+
+    def record(self, name: str, t: float, value: Number = 1, **labels: object) -> None:
+        pass
+
+    def observe(self, name: str, t: float, value: Number, **labels: object) -> None:
+        pass
+
+    def span(self) -> tuple[int, int]:
+        return (0, -1)
+
+    def series_keys(self) -> list:
+        return []
+
+    def label_values(self, name: str, label: str) -> list[str]:
+        return []
+
+    def rows(self, name: str, **labels: object) -> list[WindowRow]:
+        return []
+
+    def total(self, name: str, **labels: object) -> float:
+        return 0.0
+
+    def iter_series(self) -> Iterator:
+        return iter(())
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+#: The shared disabled aggregator every component defaults to.
+NULL_TIMESERIES = NullWindowedAggregator()

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import AdmissionRejectedError
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.serve.request import QueryRequest
 
 
@@ -59,9 +60,12 @@ class AdmissionController:
         self,
         queue_limit: int,
         policies: Optional[dict[str, TenantPolicy]] = None,
+        *,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self.queue_limit = queue_limit
         self.policies = dict(policies) if policies else {}
         self.offered = 0
@@ -91,14 +95,34 @@ class AdmissionController:
         """
         self.offered += 1
         rejection = self._check(request, retry_after)
+        # admission decisions happen at the request's arrival instant,
+        # so telemetry is timestamped from the request, not a clock
         if rejection is not None:
             self.shed += 1
             self.shed_by_reason[rejection.reason] = (
                 self.shed_by_reason.get(rejection.reason, 0) + 1
             )
+            if self._tel.timeseries.enabled:
+                self._tel.timeseries.record(
+                    "admission.shed", request.arrival,
+                    tenant=request.tenant, reason=rejection.reason,
+                )
+            self._tel.flight.record(
+                request.arrival, "shed",
+                tenant=request.tenant, reason=rejection.reason,
+                request_id=request.request_id,
+            )
             return rejection
         self.admitted += 1
         self.queued[request.tenant] = self.queued.get(request.tenant, 0) + 1
+        if self._tel.timeseries.enabled:
+            self._tel.timeseries.record(
+                "admission.admitted", request.arrival, tenant=request.tenant
+            )
+        self._tel.flight.record(
+            request.arrival, "admit",
+            tenant=request.tenant, request_id=request.request_id,
+        )
         return None
 
     def _check(
@@ -160,6 +184,10 @@ class AdmissionController:
     def on_expired_in_queue(self, request: QueryRequest) -> None:
         """A queued request's deadline passed before dispatch."""
         self.queued[request.tenant] = self.queued.get(request.tenant, 1) - 1
+        self._tel.flight.record(
+            request.deadline_at, "deadline_reap",
+            tenant=request.tenant, request_id=request.request_id,
+        )
 
     def accounted(self) -> bool:
         """The admission balance: every offer admitted or shed, never both."""

@@ -22,19 +22,33 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.serve.request import QueryRequest
 
 
 class AgingPriorityQueue:
-    """A deterministic aged-priority queue of :class:`QueryRequest`."""
+    """A deterministic aged-priority queue of :class:`QueryRequest`.
 
-    def __init__(self, aging_interval: float = 10.0) -> None:
+    With windowed telemetry attached, every push/pop also lands a
+    queue-depth sample (and pops a queue-wait sample) in the window of
+    the instant it happened — purely passive, scheduling is unchanged.
+    """
+
+    def __init__(
+        self,
+        aging_interval: float = 10.0,
+        *,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         if aging_interval <= 0:
             raise ValueError(
                 f"aging_interval must be > 0, got {aging_interval}"
             )
         self.aging_interval = aging_interval
         self._entries: list[QueryRequest] = []
+        self._ts = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        ).timeseries
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -48,6 +62,11 @@ class AgingPriorityQueue:
 
     def push(self, request: QueryRequest) -> None:
         self._entries.append(request)
+        if self._ts.enabled:
+            # arrivals are pushed at their arrival instant
+            self._ts.observe(
+                "serve.queue.depth", request.arrival, len(self._entries)
+            )
 
     def pop_expired(self, now: float) -> list[QueryRequest]:
         """Remove and return every queued request whose deadline passed.
@@ -87,4 +106,10 @@ class AgingPriorityQueue:
                 best_index, best_key = index, key
         if best_index < 0:
             return None
-        return self._entries.pop(best_index)
+        request = self._entries.pop(best_index)
+        if self._ts.enabled:
+            self._ts.observe(
+                "serve.queue.wait", now, max(0.0, now - request.arrival)
+            )
+            self._ts.observe("serve.queue.depth", now, len(self._entries))
+        return request

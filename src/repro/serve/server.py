@@ -61,6 +61,7 @@ from repro.llm.resilience import (
 from repro.llm.usage import Usage, UsageMeter
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.obs.ledger import RunLedger
+from repro.obs.slo import AVAILABILITY, SLOTracker
 from repro.plan import MappingStore
 from repro.serve.admission import AdmissionController, TenantPolicy
 from repro.serve.request import (
@@ -387,16 +388,20 @@ class QueryServer:
         *,
         policies: Optional[dict[str, TenantPolicy]] = None,
         telemetry: Optional[Telemetry] = None,
+        slo_tracker: Optional[SLOTracker] = None,
         ledger: Optional[RunLedger] = None,
     ) -> None:
         self.swan = swan
         self.config = config if config is not None else ServerConfig()
         self.clock = VirtualClock()
-        self.admission = AdmissionController(
-            self.config.queue_limit, policies
-        )
-        self.queue = AgingPriorityQueue(self.config.aging_interval)
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.slo_tracker = slo_tracker
+        self.admission = AdmissionController(
+            self.config.queue_limit, policies, telemetry=self._tel
+        )
+        self.queue = AgingPriorityQueue(
+            self.config.aging_interval, telemetry=self._tel
+        )
         self.ledger = ledger
         self.meter = UsageMeter()
         self.resilience = ResilienceReport()
@@ -556,6 +561,9 @@ class QueryServer:
                 f"event loop drained with {len(self.queue)} queued and "
                 f"{self._in_service} in-service requests"
             )
+        if self.slo_tracker is not None:
+            # seal the run so the last open window's alerts evaluate
+            self.slo_tracker.finalize(self.clock.now())
         cache_hits = sum(s.cache.hits for s in self._udf.values())
         cache_misses = sum(s.cache.misses for s in self._udf.values())
         report = ServeReport(
@@ -605,6 +613,47 @@ class QueryServer:
         heapq.heappush(self._events, (when, self._seq, kind, payload))
         self._seq += 1
 
+    def _record_outcome(self, outcome: RequestOutcome) -> None:
+        """Windowed telemetry + SLO accounting for one terminal outcome.
+
+        Purely passive: nothing recorded here feeds back into admission,
+        scheduling, or execution, which is what lets the NULL-telemetry
+        run stay byte-identical to the instrumented one.
+        """
+        request = outcome.request
+        t = outcome.finish_time
+        ts = self._tel.timeseries
+        if ts.enabled:
+            ts.record("serve." + outcome.status, t, tenant=request.tenant)
+            if outcome.answered:
+                ts.observe("serve.latency", t, outcome.latency)
+                ts.observe(
+                    "serve.latency", t, outcome.latency, tenant=request.tenant
+                )
+                tokens = outcome.input_tokens + outcome.output_tokens
+                if tokens:
+                    ts.record("serve.tokens", t, tokens, tenant=request.tenant)
+                if outcome.llm_calls:
+                    ts.record(
+                        "serve.llm_calls", t, outcome.llm_calls,
+                        tenant=request.tenant,
+                    )
+        if outcome.status == DEGRADED:
+            self._tel.flight.record(
+                t, "degrade",
+                tenant=request.tenant, reason=outcome.reason or "",
+                request_id=request.request_id,
+            )
+        tracker = self.slo_tracker
+        if tracker is not None:
+            for slo in tracker.slos:
+                if slo.kind == AVAILABILITY:
+                    tracker.record(slo.name, t, outcome.answered)
+                elif outcome.answered:
+                    tracker.record(
+                        slo.name, t, outcome.latency <= slo.latency_target
+                    )
+
     def _retry_hint(self) -> float:
         """Seconds until admission plausibly succeeds, from the backlog."""
         base = (
@@ -619,19 +668,25 @@ class QueryServer:
 
     def _on_arrival(self, request: QueryRequest) -> Optional[RequestOutcome]:
         self._m_offered.inc()
+        if self._tel.timeseries.enabled:
+            self._tel.timeseries.record(
+                "serve.offered", request.arrival, tenant=request.tenant
+            )
         rejection = self.admission.admit(
             request, retry_after=self._retry_hint()
         )
         if rejection is not None:
             self._m_shed.inc()
             self._m_rejected.inc()
-            return RequestOutcome(
+            outcome = RequestOutcome(
                 request=request,
                 status=REJECTED,
                 reason=rejection.reason,
                 finish_time=self.clock.now(),
                 retry_after=rejection.retry_after,
             )
+            self._record_outcome(outcome)
+            return outcome
         self._m_admitted.inc()
         self.queue.push(request)
         depth = len(self.queue)
@@ -650,15 +705,15 @@ class QueryServer:
             # offered == admitted + shed balance is untouched
             self.admission.on_expired_in_queue(request)
             self._m_rejected.inc()
-            outcomes.append(
-                RequestOutcome(
-                    request=request,
-                    status=REJECTED,
-                    reason="deadline_expired",
-                    finish_time=request.deadline_at,
-                    queue_wait=request.deadline_seconds,
-                )
+            outcome = RequestOutcome(
+                request=request,
+                status=REJECTED,
+                reason="deadline_expired",
+                finish_time=request.deadline_at,
+                queue_wait=request.deadline_seconds,
             )
+            self._record_outcome(outcome)
+            outcomes.append(outcome)
         while self._in_service < self.config.max_concurrent:
             request = self.queue.pop(now, eligible=self.admission.can_dispatch)
             if request is None:
@@ -679,6 +734,7 @@ class QueryServer:
             self._m_served.inc()
         else:
             self._m_degraded.inc()
+        self._record_outcome(outcome)
 
     # -- request execution --------------------------------------------------------
 

@@ -289,6 +289,56 @@ class TestServeTargets:
         assert "--horizon=SECONDS" in out
 
 
+class TestObservabilityCLI:
+    def test_bad_window_value(self, capsys):
+        assert main(["serve", "--window=wide"]) == 2
+        err = capsys.readouterr().err
+        assert "--window requires a number" in err
+        assert "usage:" in err
+
+    def test_nonpositive_window_rejected(self, capsys):
+        for bad in ("0", "-5"):
+            assert main(["loadtest", f"--window={bad}"]) == 2
+            assert "--window must be > 0" in capsys.readouterr().err
+
+    def test_window_documented_in_usage(self, capsys):
+        assert main(["--help"]) == 0
+        assert "--window=SECONDS" in capsys.readouterr().out
+
+    def test_dash_excluded_from_all(self):
+        from repro.harness.__main__ import (
+            _EXCLUDED_FROM_ALL, _FLAG_TARGETS, _GENERATORS,
+        )
+
+        assert "dash" in _GENERATORS
+        assert "dash" in _EXCLUDED_FROM_ALL
+        assert "window" in _FLAG_TARGETS["dash"]
+        assert "window" in _FLAG_TARGETS["serve"]
+        assert "window" in _FLAG_TARGETS["loadtest"]
+
+    def test_dash_renders_the_dashboard(self, capsys):
+        assert main(["dash", "--horizon=40", "--window=10"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving dashboard" in out
+        assert "10s windows" in out
+        assert "SLO error budgets" in out
+        assert "Flight recorder" in out
+
+    def test_serve_reports_slo_budgets(self, capsys):
+        assert main(["serve", "--horizon=40"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO error budgets" in out
+        assert "availability" in out
+
+    def test_loadtest_writes_slo_artifacts(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["loadtest", "--horizon=40"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
+        assert "also written to BENCH_slo.json" in out
+        assert (tmp_path / "BENCH_slo.json").exists()
+
+
 class TestBenchCacheTarget:
     def test_bench_cache_writes_artifact(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)

@@ -1,0 +1,60 @@
+"""Tests for the console serving dashboard."""
+
+import pytest
+
+from repro.harness.dash import MAX_TABLE_WINDOWS, format_dash, run_dash, sparkline
+
+
+class TestSparkline:
+    def test_scales_to_peak(self):
+        line = sparkline([0, 1, 2, 4])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_all_zero_is_flat(self):
+        assert sparkline([0, 0, 0]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_values_render_monotone_glyphs(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert list(line) == sorted(line)
+
+
+class TestRunDash:
+    @pytest.fixture(scope="class")
+    def dash(self):
+        return run_dash(horizon=40.0, databases=("superhero",))
+
+    def test_payload_shape(self, dash):
+        payload, _ = dash
+        assert payload["multiplier"] == 2.0
+        assert payload["windows"]
+        assert set(payload["budgets"]) == {"availability", "latency"}
+        assert payload["serve"]["accounting_ok"]
+
+    def test_text_has_dashboard_sections(self, dash):
+        _, text = dash
+        assert "Serving dashboard" in text
+        assert "offered/s" in text
+        assert "SLO error budgets" in text
+        assert "Flight recorder" in text
+        assert any(block in text for block in "▁▂▃▄▅▆▇█")
+
+    def test_deterministic(self, dash):
+        payload, text = dash
+        payload2, text2 = run_dash(horizon=40.0, databases=("superhero",))
+        assert text == text2
+        assert payload == payload2
+
+    def test_long_runs_elide_old_windows(self, dash):
+        payload, _ = dash
+        rows = [
+            dict(row) for row in payload["windows"]
+        ] * (MAX_TABLE_WINDOWS // len(payload["windows"]) + 2)
+        for i, row in enumerate(rows):
+            row["window"] = i
+        text = format_dash({**payload, "windows": rows})
+        assert "earlier windows elided" in text

@@ -11,6 +11,7 @@ from repro.harness.regress import (
     run_regress,
     scale10_makespan,
     serve_p99,
+    slo_budget_consumed,
     write_baseline,
 )
 from repro.obs.ledger import RunLedger
@@ -282,3 +283,70 @@ class TestRunRegress:
         )
         assert code == 1
         assert "--update-baseline" in text
+
+
+class TestSloBudgetGuard:
+    def _bench(self, tmp_path, budget=0.0):
+        path = tmp_path / "BENCH_slo.json"
+        path.write_text(json.dumps({
+            "levels": [
+                {
+                    "multiplier": 1.0,
+                    "budgets": {"availability": {"budget_consumed": 0.9}},
+                },
+                {
+                    "multiplier": 0.25,
+                    "budgets": {"availability": {"budget_consumed": budget}},
+                },
+            ]
+        }), encoding="utf-8")
+        return path
+
+    def test_reads_the_lowest_level_budget(self, tmp_path):
+        assert slo_budget_consumed(self._bench(tmp_path, 0.015)) == 0.015
+
+    def test_missing_file_or_levels_is_none(self, tmp_path):
+        assert slo_budget_consumed(tmp_path / "nope.json") is None
+        path = tmp_path / "BENCH_slo.json"
+        path.write_text(json.dumps({"levels": []}), encoding="utf-8")
+        assert slo_budget_consumed(path) is None
+
+    def test_baseline_records_it(self, tmp_path):
+        path = tmp_path / "base.json"
+        written = write_baseline(path, _row(), slo_budget=0.0)
+        assert written["slo_budget"] == 0.0
+        assert load_baseline(path)["slo_budget"] == 0.0
+
+    def test_absolute_increase_beyond_threshold_fails(self):
+        # baseline ~0: relative growth would be inf, the bound is absolute
+        baseline = {**TestDiff._baseline(self), "slo_budget": 0.0}
+        ok, lines = diff_against_baseline(
+            _row(), baseline, fresh_slo_budget=0.05
+        )
+        assert not ok
+        assert any(
+            "slo budget" in line and "[FAIL]" in line for line in lines
+        )
+
+    def test_increase_within_threshold_passes(self):
+        baseline = {**TestDiff._baseline(self), "slo_budget": 0.0}
+        ok, lines = diff_against_baseline(
+            _row(), baseline, fresh_slo_budget=0.01
+        )
+        assert ok
+        assert any("slo budget" in line and "[ok]" in line for line in lines)
+
+    def test_missing_bench_is_a_note_not_a_failure(self):
+        baseline = {**TestDiff._baseline(self), "slo_budget": 0.0}
+        ok, lines = diff_against_baseline(
+            _row(), baseline, fresh_slo_budget=None
+        )
+        assert ok
+        assert any("error budget not checked" in line for line in lines)
+
+    def test_missing_baseline_key_is_a_note_not_a_failure(self):
+        ok, lines = diff_against_baseline(
+            _row(), TestDiff._baseline(self), fresh_slo_budget=0.0
+        )
+        assert ok
+        assert any("no slo_budget" in line for line in lines)

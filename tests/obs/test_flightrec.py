@@ -1,0 +1,87 @@
+"""Tests for the flight recorder ring and incident dumps."""
+
+import json
+
+import pytest
+
+from repro.obs.flightrec import (
+    DEFAULT_CAPACITY,
+    FlightEvent,
+    FlightRecorder,
+    NULL_FLIGHT_RECORDER,
+)
+
+
+class TestRing:
+    def test_bounded_capacity_drops_oldest(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(5):
+            rec.record(float(i), "shed", request_id=i)
+        assert len(rec) == 3
+        assert rec.recorded == 5
+        assert rec.dropped == 2
+        assert [e["request_id"] for e in rec.events()] == [2, 3, 4]
+
+    def test_event_records_are_sorted_and_rounded(self):
+        event = FlightEvent(1.23456789, "breaker", {"b": 2, "a": 1})
+        record = event.as_record()
+        assert list(record) == ["t", "kind", "a", "b"]
+        assert record["t"] == 1.234568
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+
+class TestIncidents:
+    def test_incident_snapshots_ring_and_context(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record(1.0, "shed", tenant="a", reason="queue_full")
+        rec.record(2.0, "breaker", from_state="closed", to_state="open")
+        incident = rec.incident(
+            {"slo": "availability", "severity": "fast"},
+            window={"index": 0, "offered": 4},
+            span={"first_window": 0, "last_window": 1},
+        )
+        assert incident["incident"] == 1
+        assert incident["alert"]["slo"] == "availability"
+        assert incident["window"]["offered"] == 4
+        assert [e["kind"] for e in incident["events"]] == ["shed", "breaker"]
+        assert rec.incidents == [incident]
+
+    def test_sink_appends_one_json_line_at_fire_time(self, tmp_path):
+        sink = tmp_path / "incidents.jsonl"
+        rec = FlightRecorder(capacity=4, sink=sink)
+        rec.record(1.0, "shed", tenant="a")
+        rec.incident({"slo": "availability"})
+        rec.incident({"slo": "latency"})
+        lines = sink.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["incident"] == 1
+        assert first["events"][0]["kind"] == "shed"
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        rec = FlightRecorder(capacity=4)
+        rec.record(1.0, "admit", tenant="a")
+        rec.incident({"slo": "availability"})
+        path = rec.write_jsonl(tmp_path / "out.jsonl")
+        loaded = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert loaded == rec.incidents
+
+
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        assert NULL_FLIGHT_RECORDER.enabled is False
+        NULL_FLIGHT_RECORDER.record(1.0, "shed")
+        assert len(NULL_FLIGHT_RECORDER) == 0
+        assert NULL_FLIGHT_RECORDER.events() == []
+        assert NULL_FLIGHT_RECORDER.incident({"slo": "x"}) == {}
+        with pytest.raises(ValueError):
+            NULL_FLIGHT_RECORDER.write_jsonl("anywhere.jsonl")

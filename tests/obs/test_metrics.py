@@ -158,6 +158,32 @@ class TestMetricsRegistry:
         reg.counter("llm.calls", stage="udf:qa").inc(4)
         assert 'llm_calls{stage="udf:qa"} 4' in reg.render_prometheus()
 
+    def test_prometheus_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("q", sql='SELECT "a"\nFROM t\\x').inc()
+        text = reg.render_prometheus()
+        assert 'q{sql="SELECT \\"a\\"\\nFROM t\\\\x"} 1' in text
+        assert "\nFROM" not in text  # the newline never splits the line
+
+    def test_prometheus_escapes_histogram_bucket_labels(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", bounds=(1.0,), stage='a"b').observe(0.5)
+        text = reg.render_prometheus()
+        assert 'lat_bucket{stage="a\\"b",le="1"} 1' in text
+
+    def test_prometheus_always_ends_with_newline(self):
+        reg = MetricsRegistry()
+        assert reg.render_prometheus() == "\n"
+        reg.counter("x").inc()
+        text = reg.render_prometheus()
+        assert text.endswith("\n")
+        assert not text.endswith("\n\n")
+
+    def test_snapshot_keys_stay_unescaped(self):
+        reg = MetricsRegistry()
+        reg.counter("q", sql='a"b').inc()
+        assert 'q{sql="a"b"}' in reg.snapshot()
+
     def test_concurrent_get_or_create(self):
         reg = MetricsRegistry()
         instruments = []

@@ -1,0 +1,196 @@
+"""Tests for declarative SLOs, error budgets, and burn-rate alerts."""
+
+import pytest
+
+from repro.obs.slo import (
+    AVAILABILITY,
+    FAST,
+    LATENCY,
+    SLO,
+    SLOTracker,
+    SLOW,
+    default_serving_slos,
+)
+
+
+def _availability(objective=0.9, **kwargs):
+    defaults = dict(
+        fast_burn=5.0, slow_burn=2.0, fast_windows=2, slow_windows=4
+    )
+    defaults.update(kwargs)
+    return SLO(name="avail", kind=AVAILABILITY, objective=objective, **defaults)
+
+
+class TestSLOValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLO(name="x", kind="throughput", objective=0.9)
+
+    def test_objective_bounds(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError, match="objective"):
+                SLO(name="x", kind=AVAILABILITY, objective=bad)
+
+    def test_latency_needs_target(self):
+        with pytest.raises(ValueError, match="latency_target"):
+            SLO(name="x", kind=LATENCY, objective=0.9)
+        with pytest.raises(ValueError, match="latency_target"):
+            SLO(name="x", kind=LATENCY, objective=0.9, latency_target=0.0)
+
+    def test_burns_positive(self):
+        with pytest.raises(ValueError, match="burn"):
+            SLO(name="x", kind=AVAILABILITY, objective=0.9, fast_burn=0.0)
+
+    def test_fast_lookback_not_longer_than_slow(self):
+        with pytest.raises(ValueError, match="lookback"):
+            SLO(
+                name="x", kind=AVAILABILITY, objective=0.9,
+                fast_windows=9, slow_windows=8,
+            )
+
+    def test_error_budget(self):
+        assert _availability(objective=0.99).error_budget == pytest.approx(0.01)
+
+    def test_as_record_round_trips_fields(self):
+        record = _availability().as_record()
+        assert record["kind"] == AVAILABILITY
+        assert record["latency_target"] is None
+        assert record["fast_windows"] == 2
+
+
+class TestTrackerValidation:
+    def test_needs_slos(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SLOTracker([])
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOTracker([_availability(), _availability()])
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            SLOTracker([_availability()], window_seconds=0.0)
+
+    def test_unknown_slo_raises(self):
+        tracker = SLOTracker([_availability()])
+        with pytest.raises(KeyError):
+            tracker.record("nope", 0.0, True)
+        with pytest.raises(KeyError):
+            tracker.budget("nope")
+
+
+class TestBudgetAccounting:
+    def test_budget_consumed_math(self):
+        tracker = SLOTracker([_availability(objective=0.9)], window_seconds=5.0)
+        for _ in range(18):
+            tracker.record("avail", 1.0, True)
+        for _ in range(2):
+            tracker.record("avail", 1.0, False)
+        budget = tracker.budget("avail")
+        # bad fraction 0.1 against a 0.1 budget: exactly spent
+        assert budget["bad_fraction"] == pytest.approx(0.1)
+        assert budget["budget_consumed"] == pytest.approx(1.0)
+        assert budget["budget_remaining"] == pytest.approx(0.0)
+
+    def test_empty_budget_is_zero(self):
+        tracker = SLOTracker([_availability()])
+        assert tracker.budget("avail")["budget_consumed"] == 0.0
+
+    def test_budgets_lists_every_slo(self):
+        tracker = SLOTracker(default_serving_slos())
+        assert set(tracker.budgets()) == {"availability", "latency"}
+
+
+class TestBurnAlerts:
+    def test_fast_burn_fires_on_window_close(self):
+        # objective 0.9 → budget 0.1; an all-bad window burns at 10x
+        tracker = SLOTracker([_availability(objective=0.9)], window_seconds=5.0)
+        tracker.record("avail", 1.0, False)
+        tracker.record("avail", 2.0, False)
+        # window 0 is full of bad events but still open: no alert yet
+        assert tracker.alerts == []
+        tracker.record("avail", 6.0, False)  # first event of window 1
+        fast = next(a for a in tracker.alerts if a.severity == FAST)
+        assert fast.burn_rate == pytest.approx(10.0)
+        assert fast.window == 0
+        assert fast.time == pytest.approx(5.0)
+        assert fast.bad == 2 and fast.total == 2
+
+    def test_alerts_are_edge_triggered(self):
+        tracker = SLOTracker(
+            [_availability(objective=0.9, fast_burn=5.0)], window_seconds=5.0
+        )
+        # four consecutive all-bad windows: the condition holds at every
+        # close, but each severity fires exactly once
+        for w in range(4):
+            tracker.record("avail", w * 5.0 + 1.0, False)
+        tracker.finalize(25.0)
+        fast_alerts = [a for a in tracker.alerts if a.severity == FAST]
+        assert len(fast_alerts) == 1
+
+    def test_refires_after_condition_clears(self):
+        slo = _availability(
+            objective=0.9, fast_burn=5.0, fast_windows=1, slow_windows=1
+        )
+        tracker = SLOTracker([slo], window_seconds=5.0)
+        tracker.record("avail", 1.0, False)  # window 0: burning
+        for t in (6.0, 7.0, 8.0):  # window 1: healthy
+            tracker.record("avail", t, True)
+        tracker.record("avail", 11.0, False)  # window 2: burning again
+        tracker.finalize(15.0)
+        fast_alerts = [a for a in tracker.alerts if a.severity == FAST]
+        assert len(fast_alerts) == 2
+        assert [a.window for a in fast_alerts] == [0, 2]
+
+    def test_slow_burn_needs_sustained_badness(self):
+        # 1 bad of 10 per window: burn 1.0 against slow_burn 2.0 — quiet
+        tracker = SLOTracker(
+            [_availability(objective=0.9, slow_windows=4)], window_seconds=5.0
+        )
+        for w in range(6):
+            base = w * 5.0
+            tracker.record("avail", base + 0.5, False)
+            for i in range(9):
+                tracker.record("avail", base + 1.0 + i * 0.1, True)
+        tracker.finalize(30.0)
+        assert [a for a in tracker.alerts if a.severity == SLOW] == []
+
+    def test_finalize_closes_the_last_window(self):
+        tracker = SLOTracker([_availability(objective=0.9)], window_seconds=5.0)
+        tracker.record("avail", 1.0, False)
+        assert tracker.alerts == []
+        tracker.finalize()
+        assert tracker.alerts  # the lone all-bad window fired on seal
+
+    def test_on_alert_callback_fires_at_alert_time(self):
+        seen = []
+        tracker = SLOTracker(
+            [_availability(objective=0.9)],
+            window_seconds=5.0,
+            on_alert=seen.append,
+        )
+        tracker.record("avail", 1.0, False)
+        tracker.finalize()
+        assert [a.as_record() for a in seen] == tracker.alert_timeline()
+
+    def test_timeline_is_deterministic(self):
+        def run():
+            tracker = SLOTracker(default_serving_slos(), window_seconds=5.0)
+            for w in range(8):
+                base = w * 5.0
+                good = w % 3 != 0
+                tracker.record("availability", base + 1.0, good)
+                tracker.record("latency", base + 1.5, not good)
+            tracker.finalize(45.0)
+            return tracker.alert_timeline()
+
+        assert run() == run()
+
+
+class TestDefaultServingSlos:
+    def test_shapes(self):
+        avail, latency = default_serving_slos()
+        assert avail.kind == AVAILABILITY
+        assert latency.kind == LATENCY
+        assert latency.latency_target == 20.0
+        assert avail.fast_windows <= avail.slow_windows

@@ -1,0 +1,205 @@
+"""Tests for the windowed time-series aggregator (PR 8 tentpole)."""
+
+import json
+import random
+import threading
+
+import pytest
+
+from repro.obs.timeseries import (
+    DEFAULT_RETENTION,
+    DEFAULT_WINDOW_SECONDS,
+    NULL_TIMESERIES,
+    NullWindowedAggregator,
+    WindowedAggregator,
+    percentile,
+    render_series,
+)
+
+
+class TestWindowBoundaries:
+    def test_half_open_boundary_lands_in_the_window_it_starts(self):
+        agg = WindowedAggregator(window_seconds=5.0)
+        agg.record("x", 4.999999)
+        agg.record("x", 5.0)
+        rows = {row.window: row for row in agg.rows("x")}
+        assert rows[0].count == 1
+        assert rows[1].count == 1
+
+    def test_window_index_is_floor(self):
+        agg = WindowedAggregator(window_seconds=5.0)
+        assert agg.window_index(0.0) == 0
+        assert agg.window_index(4.999) == 0
+        assert agg.window_index(5.0) == 1
+        assert agg.window_index(12.5) == 2
+
+    def test_every_event_lands_in_exactly_one_window(self):
+        """Property: sweeping instants across boundaries never
+        double-counts or drops an event."""
+        agg = WindowedAggregator(window_seconds=2.5)
+        rng = random.Random(7)
+        times = [round(rng.uniform(0.0, 50.0), 3) for _ in range(500)]
+        # include exact boundaries, which is where off-by-ones live
+        times += [0.0, 2.5, 5.0, 7.5, 47.5]
+        for t in times:
+            agg.record("events", t)
+        rows = agg.rows("events")
+        assert sum(row.count for row in rows) == len(times)
+        for t in times:
+            index = agg.window_index(t)
+            assert index * 2.5 <= t < (index + 1) * 2.5
+
+    def test_empty_windows_render_as_zero_rate_rows_not_gaps(self):
+        agg = WindowedAggregator(window_seconds=5.0)
+        agg.record("x", 1.0)
+        agg.record("x", 27.0)  # windows 0 and 5; 1..4 are idle
+        rows = agg.rows("x")
+        assert [row.window for row in rows] == [0, 1, 2, 3, 4, 5]
+        for row in rows[1:-1]:
+            assert row.count == 0
+            assert row.rate == 0.0
+        assert rows[0].count == 1 and rows[-1].count == 1
+
+    def test_rows_of_all_series_align_on_the_shared_span(self):
+        agg = WindowedAggregator(window_seconds=5.0)
+        agg.record("a", 2.0)
+        agg.record("b", 22.0)
+        assert [r.window for r in agg.rows("a")] == [0, 1, 2, 3, 4]
+        assert [r.window for r in agg.rows("b")] == [0, 1, 2, 3, 4]
+
+
+class TestRetentionRing:
+    def test_eviction_keeps_exactly_retention_windows(self):
+        agg = WindowedAggregator(window_seconds=1.0, retention=4)
+        for t in range(10):  # windows 0..9
+            agg.record("x", float(t))
+        rows = agg.rows("x")
+        assert len(rows) == 4
+        assert [row.window for row in rows] == [6, 7, 8, 9]
+
+    def test_property_ring_never_exceeds_retention(self):
+        rng = random.Random(3)
+        agg = WindowedAggregator(window_seconds=1.0, retention=7)
+        high = 0.0
+        for _ in range(300):
+            high += rng.uniform(0.0, 2.0)
+            agg.record("x", high)
+            first, last = agg.span()
+            assert last - first + 1 <= 7
+        assert len(agg.rows("x")) <= 7
+
+    def test_stale_events_older_than_the_ring_are_dropped(self):
+        agg = WindowedAggregator(window_seconds=1.0, retention=3)
+        agg.record("x", 10.0)
+        agg.record("x", 0.5)  # far older than the retained ring
+        rows = agg.rows("x")
+        # the stale event is gone: it neither creates a window nor
+        # widens the retained span
+        assert [row.window for row in rows] == [10]
+        assert sum(row.count for row in rows) == 1
+
+    def test_total_covers_only_retained_windows(self):
+        agg = WindowedAggregator(window_seconds=1.0, retention=2)
+        agg.record("x", 0.0, 5)
+        agg.record("x", 9.0, 7)
+        assert agg.total("x") == 7.0
+
+
+class TestAggregation:
+    def test_counter_rate_is_sum_over_window_seconds(self):
+        agg = WindowedAggregator(window_seconds=5.0)
+        agg.record("tokens", 1.0, 100)
+        agg.record("tokens", 2.0, 50)
+        row = agg.rows("tokens")[0]
+        assert row.sum == 150.0
+        assert row.rate == 30.0
+
+    def test_observe_renders_percentiles(self):
+        agg = WindowedAggregator(window_seconds=100.0)
+        for v in range(1, 101):
+            agg.observe("lat", 1.0, float(v))
+        row = agg.rows("lat")[0]
+        assert row.min == 1.0 and row.max == 100.0
+        assert row.p50 == 50.0
+        assert row.p95 == 95.0
+        assert row.p99 == 99.0
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0], 0.99) == 3.0
+        assert percentile([1.0, 2.0], 0.5) == 1.0
+        assert percentile([1.0, 2.0], 0.51) == 2.0
+
+    def test_labels_split_series(self):
+        agg = WindowedAggregator(window_seconds=5.0)
+        agg.record("shed", 1.0, tenant="a")
+        agg.record("shed", 1.0, tenant="b")
+        agg.record("shed", 1.0, tenant="a")
+        assert agg.rows("shed", tenant="a")[0].count == 2
+        assert agg.rows("shed", tenant="b")[0].count == 1
+        assert agg.label_values("shed", "tenant") == ["a", "b"]
+
+    def test_render_series(self):
+        assert render_series("x", ()) == "x"
+        assert (
+            render_series("x", (("a", "1"), ("b", "2"))) == "x{a=1,b=2}"
+        )
+
+    def test_snapshot_is_json_stable(self):
+        agg = WindowedAggregator(window_seconds=5.0)
+        agg.record("x", 1.0)
+        agg.observe("y", 2.0, 3.0, tenant="t")
+        snap = agg.snapshot()
+        assert json.dumps(snap, sort_keys=True) == json.dumps(
+            agg.snapshot(), sort_keys=True
+        )
+        assert "x" in snap["series"]
+        assert "y{tenant=t}" in snap["series"]
+
+    def test_concurrent_recording_is_deterministic(self):
+        def build():
+            agg = WindowedAggregator(window_seconds=5.0)
+            threads = [
+                threading.Thread(
+                    target=lambda k=k: [
+                        agg.observe("lat", t * 0.1, float(t % 17) + k)
+                        for t in range(200)
+                    ]
+                )
+                for k in range(4)
+            ]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+            return json.dumps(agg.snapshot(), sort_keys=True)
+
+        assert build() == build()
+
+
+class TestValidation:
+    def test_bad_window_seconds(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            WindowedAggregator(window_seconds=0.0)
+
+    def test_bad_retention(self):
+        with pytest.raises(ValueError, match="retention"):
+            WindowedAggregator(retention=0)
+
+    def test_defaults(self):
+        agg = WindowedAggregator()
+        assert agg.window_seconds == DEFAULT_WINDOW_SECONDS
+        assert agg.retention == DEFAULT_RETENTION
+
+
+class TestNullAggregator:
+    def test_disabled_and_inert(self):
+        assert NULL_TIMESERIES.enabled is False
+        assert isinstance(NULL_TIMESERIES, NullWindowedAggregator)
+        NULL_TIMESERIES.record("x", 1.0)
+        NULL_TIMESERIES.observe("x", 1.0, 2.0)
+        assert NULL_TIMESERIES.rows("x") == []
+        assert NULL_TIMESERIES.span() == (0, -1)
+        assert NULL_TIMESERIES.total("x") == 0.0
+        assert NULL_TIMESERIES.snapshot() == {}
+        assert list(NULL_TIMESERIES.iter_series()) == []
