@@ -276,7 +276,10 @@ def _bench_cache_report(
     return [payload], format_cache_report(payload, path)
 
 
-def _serve_report(seed=None, horizon=None, window=None) -> tuple[list[dict], str]:
+def _serve_report(
+    seed=None, horizon=None, window=None,
+    batch_window=None, max_batch=None, batching="on",
+) -> tuple[list[dict], str]:
     """One overloaded query-server run (2x capacity) on the virtual clock."""
     from repro.harness.benchserve import (
         build_observability, default_config, default_tenants,
@@ -300,6 +303,7 @@ def _serve_report(seed=None, horizon=None, window=None) -> tuple[list[dict], str
         swan, config, tenants, 2.0, capacity,
         seed=seed or 0, horizon=horizon,
         telemetry=telemetry, slo_tracker=tracker,
+        batching=_batching_config(batch_window, max_batch, batching),
     )
     budgets = tracker.budgets()
     slo_lines = ["", "SLO error budgets:"]
@@ -317,7 +321,8 @@ def _serve_report(seed=None, horizon=None, window=None) -> tuple[list[dict], str
 
 
 def _loadtest_report(
-    scale=None, seed=None, horizon=None, window=None
+    scale=None, seed=None, horizon=None, window=None,
+    batch_window=None, max_batch=None, batching="on",
 ) -> tuple[list[dict], str]:
     """Offered-load sweep over the server (written to BENCH_serve.json,
     BENCH_slo.json, and BENCH_incidents.jsonl)."""
@@ -333,6 +338,7 @@ def _loadtest_report(
         scale=scale or 1, seed=seed or 0, horizon=horizon or DEFAULT_HORIZON,
         window_seconds=window or DEFAULT_WINDOW_SECONDS,
         incident_sink=DEFAULT_INCIDENTS_JSONL,
+        batching=_batching_config(batch_window, max_batch, batching),
     )
     path = write_serve_json(serve_payload, DEFAULT_SERVE_BENCH)
     slo_path = write_slo_json(slo_payload, DEFAULT_SLO_BENCH)
@@ -346,7 +352,10 @@ def _loadtest_report(
     return [serve_payload, slo_payload], text
 
 
-def _dash_report(seed=None, horizon=None, window=None) -> tuple[list[dict], str]:
+def _dash_report(
+    seed=None, horizon=None, window=None,
+    batch_window=None, max_batch=None, batching="on",
+) -> tuple[list[dict], str]:
     """Console serving dashboard: one instrumented 2x-overload run."""
     from repro.harness.dash import run_dash
     from repro.obs.timeseries import DEFAULT_WINDOW_SECONDS
@@ -355,6 +364,7 @@ def _dash_report(seed=None, horizon=None, window=None) -> tuple[list[dict], str]
         seed=seed or 0,
         horizon=horizon or 120.0,
         window_seconds=window or DEFAULT_WINDOW_SECONDS,
+        batching=_batching_config(batch_window, max_batch, batching),
     )
     return [payload], text
 
@@ -447,10 +457,27 @@ _FLAG_TARGETS = {
     "run-udf": ("databases", "workers", "scale", "parallelism", "batch_size"),
     "run-hqdl": ("databases", "workers", "scale", "parallelism"),
     "bench-scale": ("workers", "scale", "batch_size"),
-    "serve": ("seed", "horizon", "window"),
-    "loadtest": ("scale", "seed", "horizon", "window"),
-    "dash": ("seed", "horizon", "window"),
+    "serve": ("seed", "horizon", "window",
+              "batch_window", "max_batch", "batching"),
+    "loadtest": ("scale", "seed", "horizon", "window",
+                 "batch_window", "max_batch", "batching"),
+    "dash": ("seed", "horizon", "window",
+             "batch_window", "max_batch", "batching"),
 }
+
+
+def _batching_config(batch_window, max_batch, batching):
+    """The CLI's cross-request batching choice: a config, or None for off."""
+    from repro.serve.batcher import BatchingConfig
+
+    if batching == "off":
+        return None
+    kwargs = {}
+    if batch_window is not None:
+        kwargs["window"] = batch_window
+    if max_batch is not None:
+        kwargs["max_batch"] = max_batch
+    return BatchingConfig(**kwargs)
 
 
 def _usage() -> str:
@@ -459,6 +486,8 @@ def _usage() -> str:
         "[--databases=a,b] [--workers=N] [--batch-size=N] [--cache-dir=DIR]\n"
         "           [--scale=N] [--parallelism=threads|processes] "
         "[--seed=N] [--horizon=SECONDS] [--window=SECONDS]\n"
+        "           [--batching=on|off] [--batch-window=SECONDS] "
+        "[--max-batch=N]\n"
         "       python -m repro.harness explain --database=NAME "
         "--question=REF [--pipeline=udf|hqdl] [--workers=N]\n"
         "       python -m repro.harness regress [--ledger=PATH] "
@@ -482,6 +511,7 @@ def _parse_args(argv: list[str]):
         "databases": None, "workers": None, "batch_size": 5, "cache_dir": None,
         "scale": None, "parallelism": "threads",
         "seed": None, "horizon": None, "window": None,
+        "batch_window": None, "max_batch": None, "batching": "on",
         "database": None, "question": None, "pipeline": "udf",
         "ledger": DEFAULT_LEDGER, "baseline": DEFAULT_BASELINE,
         "update_baseline": False, "max_ex_drop": 0.0,
@@ -566,6 +596,30 @@ def _parse_args(argv: list[str]):
                 ) from None
             if options["window"] <= 0:
                 raise ValueError(f"--window must be > 0, got {value}")
+        elif name == "--batch-window":
+            try:
+                options["batch_window"] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"--batch-window requires a number, got {value!r}"
+                ) from None
+            if options["batch_window"] <= 0:
+                raise ValueError(f"--batch-window must be > 0, got {value}")
+        elif name == "--max-batch":
+            try:
+                options["max_batch"] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"--max-batch requires an integer, got {value!r}"
+                ) from None
+            if options["max_batch"] < 1:
+                raise ValueError(f"--max-batch must be >= 1, got {value}")
+        elif name == "--batching":
+            if value not in ("on", "off"):
+                raise ValueError(
+                    f"--batching must be 'on' or 'off', got {value!r}"
+                )
+            options["batching"] = value
         elif name == "--parallelism":
             if value not in ("threads", "processes"):
                 raise ValueError(

@@ -19,6 +19,7 @@ terminate as exactly one of served / degraded / rejected.
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
@@ -26,6 +27,7 @@ from repro.errors import ReproError
 from repro.obs import FlightRecorder, Telemetry, WindowedAggregator
 from repro.obs.slo import SLOAlert, SLOTracker, default_serving_slos
 from repro.obs.timeseries import DEFAULT_RETENTION, DEFAULT_WINDOW_SECONDS
+from repro.serve.batcher import BatchingConfig
 from repro.serve.server import QueryServer, ServeReport, ServerConfig
 from repro.serve.traffic import TenantSpec, generate_traffic
 from repro.swan.benchmark import Swan, load_benchmark_subset
@@ -140,13 +142,21 @@ def run_level(
     horizon: float = DEFAULT_HORIZON,
     telemetry: Optional[Telemetry] = None,
     slo_tracker: Optional[SLOTracker] = None,
+    batching: Optional[BatchingConfig] = None,
 ) -> tuple[ServeReport, dict]:
-    """One sweep point: a fresh server at ``multiplier × capacity``."""
+    """One sweep point: a fresh server at ``multiplier × capacity``.
+
+    ``batching`` turns on cross-request continuous batching for this
+    level's server; ``None`` keeps the per-request dispatch path (and
+    its byte-identical record).
+    """
     base = offered_rps(tenants)
     target = multiplier * capacity
     scaled = [spec.scaled(target / base) for spec in tenants]
     requests = generate_traffic(swan, scaled, horizon=horizon, seed=seed)
     policies = {spec.name: spec.policy() for spec in scaled}
+    if batching is not None:
+        config = replace(config, batching=batching)
     with QueryServer(
         swan, config, policies=policies,
         telemetry=telemetry, slo_tracker=slo_tracker,
@@ -156,6 +166,53 @@ def run_level(
     record["multiplier"] = round(multiplier, 6)
     record["offered_rps"] = round(target, 6)
     return report, record
+
+
+def _tokens_per_answer(record: dict) -> float:
+    """Total LLM tokens per answered request in one level record."""
+    answered = record["served"] + record["degraded"]
+    if not answered:
+        return 0.0
+    return round(
+        (record["input_tokens"] + record["output_tokens"]) / answered, 6
+    )
+
+
+def _saved_pct(off: float, on: float) -> float:
+    """Percent of ``off`` saved by ``on`` (negative = a regression)."""
+    if off <= 0:
+        return 0.0
+    return round(100.0 * (off - on) / off, 6)
+
+
+def _batching_summary(off_record: dict, on_record: dict) -> dict:
+    """The batched arm's summary, diffed against the unbatched record.
+
+    Starts from the batched run's own ``batching`` stats (occupancy,
+    coalesced/paid calls, flush reasons, fair-share token attribution)
+    and grafts on the outcome/latency/spend scalars plus the two
+    headline savings percentages the acceptance gate reads.
+    """
+    summary = dict(on_record["batching"])
+    summary.update({
+        "llm_calls": on_record["llm_calls"],
+        "input_tokens": on_record["input_tokens"],
+        "output_tokens": on_record["output_tokens"],
+        "served": on_record["served"],
+        "degraded": on_record["degraded"],
+        "rejected": on_record["rejected"],
+        "p50": on_record["p50"],
+        "p95": on_record["p95"],
+        "p99": on_record["p99"],
+        "accounting_ok": on_record["accounting_ok"],
+        "calls_saved_pct": _saved_pct(
+            off_record["llm_calls"], on_record["llm_calls"]
+        ),
+        "tokens_per_answer_saved_pct": _saved_pct(
+            _tokens_per_answer(off_record), _tokens_per_answer(on_record)
+        ),
+    })
+    return summary
 
 
 def jain_fairness(shares: Sequence[float]) -> float:
@@ -336,9 +393,19 @@ def _run_sweep(
     window_seconds: Optional[float],
     retention: int,
     incident_sink: Optional[Union[str, Path]],
+    batching: Optional[BatchingConfig] = None,
 ) -> tuple[dict, Optional[dict]]:
     """The shared sweep loop; observability attaches per level when
-    ``window_seconds`` is set, and is entirely absent when it is None."""
+    ``window_seconds`` is set, and is entirely absent when it is None.
+
+    With ``batching`` set, every level runs twice: the unbatched arm
+    first (carrying the telemetry, so the SLO artifacts stay
+    byte-identical to a batching-off sweep), then the batched arm,
+    whose comparison grafts ``tokens_per_answer`` / ``batch_occupancy``
+    / ``coalesced_calls`` / ``batching`` onto the level record.  The
+    capacity probe always runs unbatched — capacity is a property of
+    the per-request service path, and keeping it fixed makes the two
+    arms face identical traffic."""
     swan = load_benchmark_subset(scale, list(databases))
     config = config if config is not None else default_config()
     tenants = default_tenants(databases)
@@ -364,6 +431,19 @@ def _run_sweep(
             seed=seed, horizon=horizon,
             telemetry=telemetry, slo_tracker=tracker,
         )
+        if batching is not None:
+            _, on_record = run_level(
+                swan, config, tenants, multiplier, capacity,
+                seed=seed, horizon=horizon, batching=batching,
+            )
+            record["tokens_per_answer"] = _tokens_per_answer(record)
+            record["batch_occupancy"] = (
+                on_record["batching"]["batch_occupancy"]
+            )
+            record["coalesced_calls"] = (
+                on_record["batching"]["coalesced_calls"]
+            )
+            record["batching"] = _batching_summary(record, on_record)
         levels.append(record)
         if telemetry is not None and tracker is not None:
             slo_levels.append(
@@ -383,6 +463,9 @@ def _run_sweep(
         "capacity_rps": round(capacity, 6),
         "levels": levels,
     }
+    if batching is not None:
+        serve_payload["batch_window"] = round(batching.window, 6)
+        serve_payload["max_batch"] = batching.max_batch
     if window_seconds is None:
         return serve_payload, None
     slo_payload = {
@@ -406,12 +489,14 @@ def run_loadtest(
     multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
     databases: Sequence[str] = SERVE_DATABASES,
     config: Optional[ServerConfig] = None,
+    batching: Optional[BatchingConfig] = None,
 ) -> dict:
     """The full sweep without telemetry; returns the BENCH_serve payload."""
     payload, _ = _run_sweep(
         scale=scale, seed=seed, horizon=horizon, multipliers=multipliers,
         databases=databases, config=config,
         window_seconds=None, retention=DEFAULT_RETENTION, incident_sink=None,
+        batching=batching,
     )
     return payload
 
@@ -427,18 +512,21 @@ def run_slo_loadtest(
     window_seconds: float = DEFAULT_WINDOW_SECONDS,
     retention: int = DEFAULT_RETENTION,
     incident_sink: Optional[Union[str, Path]] = None,
+    batching: Optional[BatchingConfig] = None,
 ) -> tuple[dict, dict]:
     """The instrumented sweep: (BENCH_serve payload, BENCH_slo payload).
 
     The serve payload is byte-identical to :func:`run_loadtest`'s —
     telemetry is purely passive — so the CLI runs the sweep once and
-    writes both artifacts from it.
+    writes both artifacts from it.  ``batching`` adds the per-level
+    batched arm to the serve payload only; the SLO payload is always
+    measured on the unbatched arm, so it never changes shape.
     """
     serve_payload, slo_payload = _run_sweep(
         scale=scale, seed=seed, horizon=horizon, multipliers=multipliers,
         databases=databases, config=config,
         window_seconds=window_seconds, retention=retention,
-        incident_sink=incident_sink,
+        incident_sink=incident_sink, batching=batching,
     )
     assert slo_payload is not None
     return serve_payload, slo_payload
@@ -483,6 +571,35 @@ def format_serve_report(payload: dict) -> str:
             f"{level['fairness']:>6.3f} "
             f"{level['breaker_trips']:>6}"
         )
+    batched = [lv for lv in payload["levels"] if "batching" in lv]
+    if batched:
+        window = payload.get("batch_window", 0.0)
+        cap = payload.get("max_batch")
+        lines.append("")
+        lines.append(
+            f"Cross-request batching (window={window:g}s"
+            + (f", max_batch={cap}" if cap is not None else "")
+            + ") vs per-request dispatch:"
+        )
+        lines.append(
+            f"{'load':>6} {'calls':>7} {'batched':>8} {'saved%':>7} "
+            f"{'tok/ans':>9} {'batched':>9} {'saved%':>7} "
+            f"{'occup':>6} {'coal':>6} {'p99':>8}"
+        )
+        for level in batched:
+            arm = level["batching"]
+            lines.append(
+                f"{level['multiplier']:>5.2f}x "
+                f"{level['llm_calls']:>7} "
+                f"{arm['llm_calls']:>8} "
+                f"{arm['calls_saved_pct']:>6.1f}% "
+                f"{level['tokens_per_answer']:>9.1f} "
+                f"{arm['tokens_per_answer']:>9.1f} "
+                f"{arm['tokens_per_answer_saved_pct']:>6.1f}% "
+                f"{arm['batch_occupancy']:>6.2f} "
+                f"{arm['coalesced_calls']:>6} "
+                f"{arm['p99']:>8.3f}"
+            )
     lines.append("")
     lines.append(
         "All latencies are virtual seconds; every offered request "
@@ -518,10 +635,21 @@ def format_serve_demo(report: ServeReport) -> str:
         f"llm: {record['llm_calls']} calls, "
         f"{record['input_tokens']} in / {record['output_tokens']} out tokens, "
         f"cache {record['cache_hits']} hits / {record['cache_misses']} misses",
-        "",
-        f"{'tenant':<14} {'offered':>8} {'served':>7} {'degr':>6} {'rej':>6} "
-        f"{'answered':>9}",
     ]
+    if "batching" in record:
+        arm = record["batching"]
+        lines.append(
+            f"batching: window {arm['window']:g}s, "
+            f"{arm['paid_calls']} paid of {arm['formed_calls']} formed calls "
+            f"({arm['coalesced_calls']} coalesced), "
+            f"occupancy {arm['batch_occupancy']:.2f}, "
+            f"tokens/answer {arm['tokens_per_answer']:.1f}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'tenant':<14} {'offered':>8} {'served':>7} {'degr':>6} {'rej':>6} "
+        f"{'answered':>9}"
+    )
     for tenant, stats in record["per_tenant"].items():
         lines.append(
             f"{tenant:<14} {stats['offered']:>8} {stats['served']:>7} "

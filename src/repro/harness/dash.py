@@ -27,6 +27,7 @@ from repro.harness.benchserve import (
     slo_level_record,
 )
 from repro.obs.timeseries import DEFAULT_WINDOW_SECONDS
+from repro.serve.batcher import BatchingConfig
 from repro.swan.benchmark import load_benchmark_subset
 
 #: eight block glyphs, lowest to highest — one per window
@@ -56,8 +57,14 @@ def run_dash(
     window_seconds: float = DEFAULT_WINDOW_SECONDS,
     multiplier: float = 2.0,
     databases: Sequence[str] = SERVE_DATABASES,
+    batching: Optional[BatchingConfig] = None,
 ) -> tuple[dict, str]:
-    """One instrumented serving run; returns (payload, rendered text)."""
+    """One instrumented serving run; returns (payload, rendered text).
+
+    With ``batching`` set, the run itself batches across requests and
+    the dashboard gains a per-window batch-occupancy sparkline plus a
+    coalescing summary; ``None`` renders the classic unbatched view.
+    """
     swan = load_benchmark_subset(scale, list(databases))
     config = default_config()
     tenants = default_tenants(databases)
@@ -68,7 +75,7 @@ def run_dash(
     report, record = run_level(
         swan, config, tenants, multiplier, capacity,
         seed=seed, horizon=horizon,
-        telemetry=telemetry, slo_tracker=tracker,
+        telemetry=telemetry, slo_tracker=tracker, batching=batching,
     )
     payload = slo_level_record(multiplier, multiplier * capacity, telemetry, tracker)
     payload["window_seconds"] = round(window_seconds, 6)
@@ -76,6 +83,14 @@ def run_dash(
     payload["seed"] = seed
     payload["horizon"] = round(horizon, 6)
     payload["serve"] = record
+    if batching is not None:
+        occupancy = {
+            row.window: round(row.mean, 6)
+            for row in telemetry.timeseries.rows("serve.batch_occupancy")
+        }
+        payload["batch_occupancy_windows"] = [
+            occupancy.get(row["window"], 0.0) for row in payload["windows"]
+        ]
     return payload, format_dash(payload)
 
 
@@ -113,6 +128,8 @@ def format_dash(payload: dict) -> str:
         ("p99 latency", [w["p99"] for w in windows]),
         ("queue p95", [w["queue_depth_p95"] for w in windows]),
     ]
+    if "batch_occupancy_windows" in payload:
+        series.append(("batch occ", payload["batch_occupancy_windows"]))
     for label, values in series:
         peak = max(values, default=0.0)
         lines.append(f"{label:>12} {sparkline(values)}  peak {peak:g}")
@@ -169,6 +186,16 @@ def format_dash(payload: dict) -> str:
         f"({payload['flight_dropped']} dropped), "
         f"{payload['incidents']} incident(s) captured."
     )
+    if "batching" in serve:
+        arm = serve["batching"]
+        saved = arm["fanout_tokens_saved"]
+        lines.append(
+            f"Cross-request batching: {arm['paid_calls']} paid of "
+            f"{arm['formed_calls']} formed calls "
+            f"({arm['coalesced_calls']} coalesced), mean occupancy "
+            f"{arm['batch_occupancy']:.2f}, {saved} fan-out tokens saved, "
+            f"{arm['keys_from_store']} keys served from the shared store."
+        )
     lines.append(
         f"Run accounting: {serve['offered']} offered = {serve['served']} "
         f"served + {serve['degraded']} degraded + {serve['rejected']} "

@@ -21,8 +21,11 @@ per-request latency — and a fresh ``BENCH_slo.json`` pins the
 availability error budget consumed at the lowest load level against the
 baseline's ``slo_budget`` (an *absolute* increase bound: at a trickle
 of load the server should shed nothing, so the budget burned there is
-~0 and relative growth would be meaningless).  A missing bench file or
-baseline key only notes the omission; it never fails the gate.
+~0 and relative growth would be meaningless).  The same BENCH_serve.json
+also pins tokens-per-answer at the 1x level (batched arm preferred)
+against the baseline's ``serve_tokens_per_answer`` under the
+token-growth threshold.  A missing bench file or baseline key only
+notes the omission; it never fails the gate.
 
 Exit code 1 on any breach, 0 when clean — so CI can gate on it.
 ``--update-baseline`` rewrites the baseline from the fresh run instead
@@ -113,6 +116,7 @@ def write_baseline(
     scale10_makespan: Optional[float] = None,
     serve_p99: Optional[float] = None,
     slo_budget: Optional[float] = None,
+    serve_tokens_per_answer: Optional[float] = None,
 ) -> dict:
     """Write (and return) a baseline JSON distilled from one ledger row."""
     path = Path(path)
@@ -124,6 +128,8 @@ def write_baseline(
         baseline["serve_p99"] = serve_p99
     if slo_budget is not None:
         baseline["slo_budget"] = slo_budget
+    if serve_tokens_per_answer is not None:
+        baseline["serve_tokens_per_answer"] = serve_tokens_per_answer
     path.write_text(
         json.dumps(baseline, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
@@ -159,6 +165,34 @@ def serve_p99(path: Union[str, Path]) -> Optional[float]:
         value = lowest["p99"]
     except (KeyError, TypeError, ValueError):
         return None
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def serve_tokens_per_answer(path: Union[str, Path]) -> Optional[float]:
+    """Tokens-per-answer at the 1x load level from a BENCH_serve.json.
+
+    Prefers the cross-request-batched arm's ``tokens_per_answer`` (the
+    serving economy the batcher exists to improve); falls back to the
+    unbatched level figure when the sweep ran with batching off.  None
+    when the file, the 1x level, or both keys are missing — the gate
+    notes the omission rather than failing.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    try:
+        level = next(
+            lv for lv in payload["levels"]
+            if abs(lv["multiplier"] - 1.0) < 1e-9
+        )
+    except (KeyError, TypeError, StopIteration):
+        return None
+    batching = level.get("batching") if isinstance(level, dict) else None
+    if isinstance(batching, dict):
+        value = batching.get("tokens_per_answer")
+    else:
+        value = level.get("tokens_per_answer")
     return float(value) if isinstance(value, (int, float)) else None
 
 
@@ -198,6 +232,7 @@ def diff_against_baseline(
     fresh_scale10: Optional[float] = None,
     fresh_serve_p99: Optional[float] = None,
     fresh_slo_budget: Optional[float] = None,
+    fresh_serve_tpa: Optional[float] = None,
     max_slo_budget_increase: float = MAX_SLO_BUDGET_INCREASE,
 ) -> tuple[bool, list[str]]:
     """(ok, report lines) for one fresh ledger row vs one baseline.
@@ -209,7 +244,10 @@ def diff_against_baseline(
     is likewise diffed against the baseline's ``serve_p99``, and
     ``fresh_slo_budget`` (lowest-load availability budget consumed from
     a fresh BENCH_slo.json) against ``slo_budget`` as an absolute
-    increase bound.
+    increase bound, and ``fresh_serve_tpa`` (tokens-per-answer at the
+    1x level, batched arm preferred) against ``serve_tokens_per_answer``
+    under the token-growth threshold — pinning the serving economy the
+    cross-request batcher buys.
     """
     fresh = _baseline_from_row(row)
     lines: list[str] = []
@@ -291,6 +329,28 @@ def diff_against_baseline(
         lines.append(
             "note: no BENCH_serve.json found; serve p99 not checked"
         )
+    base_tpa = baseline.get("serve_tokens_per_answer")
+    if isinstance(base_tpa, (int, float)) and fresh_serve_tpa is not None:
+        checks += (
+            (
+                "serve tokens/answer",
+                float(base_tpa),
+                fresh_serve_tpa,
+                _growth(fresh_serve_tpa, float(base_tpa)),
+                max_token_growth,
+                "growth",
+            ),
+        )
+    elif fresh_serve_tpa is not None:
+        lines.append(
+            "note: baseline has no serve_tokens_per_answer; "
+            "run with --update-baseline next to a fresh BENCH_serve.json"
+        )
+    elif isinstance(base_tpa, (int, float)):
+        lines.append(
+            "note: BENCH_serve.json has no 1x tokens-per-answer; "
+            "serve economy not checked"
+        )
     base_budget = baseline.get("slo_budget")
     if isinstance(base_budget, (int, float)) and fresh_slo_budget is not None:
         checks += (
@@ -354,12 +414,13 @@ def run_regress(
     fresh_scale10 = scale10_makespan(scale_bench_path)
     fresh_serve = serve_p99(serve_bench_path)
     fresh_budget = slo_budget_consumed(slo_bench_path)
+    fresh_tpa = serve_tokens_per_answer(serve_bench_path)
 
     if update_baseline:
         baseline = write_baseline(
             baseline_path, row,
             scale10_makespan=fresh_scale10, serve_p99=fresh_serve,
-            slo_budget=fresh_budget,
+            slo_budget=fresh_budget, serve_tokens_per_answer=fresh_tpa,
         )
         lines.append(
             f"baseline updated: {baseline_path} "
@@ -376,9 +437,14 @@ def run_regress(
                 else "; no BENCH_serve.json found"
             )
             + (
-                f", slo budget {fresh_budget:g})"
+                f", slo budget {fresh_budget:g}"
                 if fresh_budget is not None
-                else "; no BENCH_slo.json found)"
+                else "; no BENCH_slo.json found"
+            )
+            + (
+                f", serve tokens/answer {fresh_tpa:g})"
+                if fresh_tpa is not None
+                else "; no 1x tokens-per-answer in BENCH_serve.json)"
             )
         )
         return 0, "\n".join(lines)
@@ -400,6 +466,7 @@ def run_regress(
         fresh_scale10=fresh_scale10,
         fresh_serve_p99=fresh_serve,
         fresh_slo_budget=fresh_budget,
+        fresh_serve_tpa=fresh_tpa,
     )
     lines.extend(diff_lines)
     lines.append("regression check: " + ("PASS" if ok else "FAIL"))

@@ -53,6 +53,16 @@ class PromptCache:
         with self._lock:
             self.entries[prompt] = completion
 
+    def peek(self, prompt: str) -> str | None:
+        """A statistics-free lookup: the entry if present, else None.
+
+        Used by the cross-request batcher to decide whether a prompt
+        still needs dispatching without distorting the hit/miss counts
+        real completions produce.
+        """
+        with self._lock:
+            return self.entries.get(prompt)
+
     def count_hit(self) -> None:
         """Count a reuse that bypassed :meth:`get` (a single-flight join)."""
         with self._lock:

@@ -67,6 +67,22 @@ class MappingStore:
             self.keys_served += len(keys)
             return {key: stored[key] for key in keys}
 
+    def peek(
+        self, signature: tuple, keys: Sequence[tuple]
+    ) -> dict[tuple, Optional[str]]:
+        """The stored subset of ``keys``, without touching hit/miss stats.
+
+        The cross-request batcher uses this at enqueue time to skip work
+        the store already covers; unlike :meth:`lookup` it is not
+        all-or-nothing (partial coverage still prunes the covered keys)
+        and it never perturbs the serving statistics of real lookups.
+        """
+        with self._lock:
+            stored = self._data.get(signature)
+            if not stored:
+                return {}
+            return {key: stored[key] for key in keys if key in stored}
+
     def coverage(self, signature: tuple) -> int:
         """How many keys the store holds for one signature."""
         with self._lock:

@@ -23,6 +23,7 @@ virtual clock, so overload experiments are deterministic and free.
 """
 
 from repro.serve.admission import AdmissionController, TenantPolicy
+from repro.serve.batcher import BatchingConfig, CrossRequestBatcher
 from repro.serve.request import (
     DEGRADED,
     REJECTED,
@@ -37,6 +38,8 @@ from repro.serve.traffic import TenantSpec, generate_traffic
 __all__ = [
     "AdmissionController",
     "AgingPriorityQueue",
+    "BatchingConfig",
+    "CrossRequestBatcher",
     "DEGRADED",
     "QueryRequest",
     "QueryServer",

@@ -78,6 +78,10 @@ class AdmissionController:
         self.in_service: dict[str, int] = {}
         #: tokens charged to completed requests, per tenant
         self.tokens_spent: dict[str, int] = {}
+        #: of those, tokens attributed from LLM calls *shared* with other
+        #: requests by the cross-request batcher — the fairly split cost
+        #: of coalesced batches, a subset of ``tokens_spent``
+        self.tokens_shared: dict[str, int] = {}
 
     def policy_for(self, tenant: str) -> Optional[TenantPolicy]:
         return self.policies.get(tenant)
@@ -172,13 +176,19 @@ class AdmissionController:
             self.in_service.get(request.tenant, 0) + 1
         )
 
-    def on_finished(self, request: QueryRequest, tokens: int = 0) -> None:
+    def on_finished(
+        self, request: QueryRequest, tokens: int = 0, *, shared_tokens: int = 0
+    ) -> None:
         self.in_service[request.tenant] = (
             self.in_service.get(request.tenant, 1) - 1
         )
         if tokens:
             self.tokens_spent[request.tenant] = (
                 self.tokens_spent.get(request.tenant, 0) + tokens
+            )
+        if shared_tokens:
+            self.tokens_shared[request.tenant] = (
+                self.tokens_shared.get(request.tenant, 0) + shared_tokens
             )
 
     def on_expired_in_queue(self, request: QueryRequest) -> None:

@@ -96,6 +96,10 @@ class RequestOutcome:
     input_tokens: int = 0
     output_tokens: int = 0
     degraded_keys: int = 0
+    #: tokens (of ``input_tokens + output_tokens``) attributed from LLM
+    #: calls shared with other requests by the cross-request batcher;
+    #: 0 whenever batching is off, so it stays out of :meth:`as_record`
+    shared_tokens: int = 0
     #: set on degraded outcomes that still produced a result object
     partial: bool = field(default=False, repr=False)
 

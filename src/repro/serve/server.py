@@ -44,8 +44,8 @@ from typing import Optional, Sequence, Union
 
 from repro.core.hqdl import HQDL
 from repro.errors import CircuitOpenError, ReproError
-from repro.llm.batching import parallel_makespan
-from repro.llm.cache import PromptCache
+from repro.llm.batching import batched, parallel_makespan
+from repro.llm.cache import CachingClient, PromptCache
 from repro.llm.chat import MockChatModel
 from repro.llm.diskcache import PersistentClient, PersistentPromptCache
 from repro.llm.faults import FaultInjector, FaultPlan, FaultyClient
@@ -63,7 +63,14 @@ from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.obs.ledger import RunLedger
 from repro.obs.slo import AVAILABILITY, SLOTracker
 from repro.plan import MappingStore
+from repro.plan.policy import AdaptiveBatchPolicy
 from repro.serve.admission import AdmissionController, TenantPolicy
+from repro.serve.batcher import (
+    BatchingConfig,
+    CrossRequestBatcher,
+    FlushedGroup,
+    PendingRequest,
+)
 from repro.serve.request import (
     DEGRADED,
     REJECTED,
@@ -74,7 +81,7 @@ from repro.serve.request import (
 from repro.serve.scheduler import AgingPriorityQueue
 from repro.swan.benchmark import Swan
 from repro.swan.build import build_curated_database
-from repro.udf.executor import HybridQueryExecutor
+from repro.udf.executor import HybridQueryExecutor, _parse_map_answers
 
 
 class VirtualClock:
@@ -185,6 +192,9 @@ class ServerConfig:
     fault_seed: int = 0
     cache_dir: Optional[Union[str, Path]] = None
     optimize: bool = True
+    #: cross-request continuous batching (None = per-request dispatch,
+    #: byte-identical to the pre-batching server)
+    batching: Optional[BatchingConfig] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -219,6 +229,9 @@ class ServeReport:
     cache_misses: int
     mapping_stats: dict
     resilience: ResilienceReport
+    #: cross-request batching summary (None when batching is off, which
+    #: keeps the unbatched record byte-identical to the pre-batching one)
+    batching: Optional[dict] = None
 
     @property
     def offered(self) -> int:
@@ -321,10 +334,17 @@ class ServeReport:
                 reasons[key] = reasons.get(key, 0) + 1
         return reasons
 
+    def tokens_per_answer(self) -> float:
+        """Total tokens per answered request — the serving economy metric."""
+        answered = self.answered
+        if not answered:
+            return 0.0
+        return (self.usage.input_tokens + self.usage.output_tokens) / answered
+
     def as_record(self) -> dict:
         """A flat, JSON-stable summary (all floats rounded)."""
         offered = self.offered
-        return {
+        record = {
             "offered": offered,
             "admitted": self.admitted,
             "shed": self.shed,
@@ -355,6 +375,9 @@ class ServeReport:
             "output_tokens": self.usage.output_tokens,
             "accounting_ok": self.accounted(),
         }
+        if self.batching is not None:
+            record["batching"] = self.batching
+        return record
 
 
 class _UdfState:
@@ -370,10 +393,14 @@ class _UdfState:
 class _HqdlState:
     """One database's long-lived HQDL serving state (lazy materialization)."""
 
-    def __init__(self, pipeline, recorder, disk) -> None:
+    def __init__(self, pipeline, recorder, disk, cache=None) -> None:
         self.pipeline = pipeline
         self.recorder = recorder
         self.disk = disk
+        #: prompt cache in front of generation, only under cross-request
+        #: batching: flushed generation prompts land here, so the first
+        #: finalize materializes from cache instead of paying twice
+        self.cache = cache
         self.db = None
         self.generation_sizes: list[tuple[int, int]] = []
 
@@ -413,6 +440,14 @@ class QueryServer:
             report=self.resilience,
             telemetry=self._tel,
         )
+        self.batcher: Optional[CrossRequestBatcher] = None
+        if self.config.batching is not None:
+            self.batcher = CrossRequestBatcher(
+                self.config.batching,
+                AdaptiveBatchPolicy.for_model(
+                    self.config.model_name, self.config.shots
+                ),
+            )
         self._udf: dict[str, _UdfState] = {}
         self._hqdl: dict[str, _HqdlState] = {}
         self._in_service = 0
@@ -500,6 +535,11 @@ class QueryServer:
             world = self.swan.world(database)
             recorder = _SizeRecorder(self._wrap_faults(self._base_model(world)))
             model, disk = self._wrap_disk(recorder, database)
+            cache = None
+            if self.batcher is not None:
+                # flushed generation prompts must be reusable at finalize
+                cache = PromptCache()
+                model = CachingClient(model, cache, telemetry=self._tel)
             pipeline = HQDL(
                 world,
                 model,
@@ -509,7 +549,7 @@ class QueryServer:
                 telemetry=self._tel,
                 optimize=self.config.optimize,
             )
-            state = _HqdlState(pipeline, recorder, disk)
+            state = _HqdlState(pipeline, recorder, disk, cache)
             self._hqdl[database] = state
         return state
 
@@ -547,7 +587,20 @@ class QueryServer:
         horizon = max((r.arrival for r in requests), default=0.0)
         while self._events:
             when, _, kind, payload = heapq.heappop(self._events)
+            if kind == "flush" and not self.batcher.has_due(when):
+                # a superseded release time (the group flushed earlier or
+                # re-targeted); skipped without advancing the clock
+                continue
             self.clock.advance_to(when)
+            if kind == "flush":
+                self._on_flush()
+                continue
+            if kind == "land":
+                # landings never free a service slot (only a finish
+                # does), so no dispatch pass: queue reaping stays at the
+                # same instants as the unbatched path
+                self._on_land(payload)
+                continue
             if kind == "arrival":
                 outcome = self._on_arrival(payload)
                 if outcome is not None:
@@ -580,6 +633,17 @@ class QueryServer:
             mapping_stats=self.mapping_store.stats(),
             resilience=self.resilience,
         )
+        if self.batcher is not None:
+            stats = self.batcher.stats()
+            stats["shared_tokens_by_tenant"] = {
+                tenant: tokens
+                for tenant, tokens in sorted(
+                    self.admission.tokens_shared.items()
+                )
+                if tokens
+            }
+            stats["tokens_per_answer"] = round(report.tokens_per_answer(), 6)
+            report.batching = stats
         if not self.admission.accounted() or not report.accounted():
             raise ReproError(
                 "serving accounting does not balance: "
@@ -720,15 +784,20 @@ class QueryServer:
                 break
             self.admission.on_dispatched(request)
             self._in_service += 1
-            outcome = self._execute(request)
-            self._push_event(outcome.finish_time, "finish", outcome)
+            if self.batcher is not None:
+                self._begin_batched(request)
+            else:
+                outcome = self._execute(request)
+                self._push_event(outcome.finish_time, "finish", outcome)
         self._m_queue_depth.set(len(self.queue))
         return outcomes
 
     def _on_finish(self, outcome: RequestOutcome) -> None:
         self._in_service -= 1
         self.admission.on_finished(
-            outcome.request, outcome.input_tokens + outcome.output_tokens
+            outcome.request,
+            outcome.input_tokens + outcome.output_tokens,
+            shared_tokens=outcome.shared_tokens,
         )
         if outcome.status == SERVED:
             self._m_served.inc()
@@ -849,5 +918,358 @@ class QueryServer:
             input_tokens=usage_delta.input_tokens,
             output_tokens=usage_delta.output_tokens,
             degraded_keys=degraded_keys,
+            partial=status == DEGRADED and rows is not None,
+        )
+
+    # -- cross-request batching ----------------------------------------------------
+    #
+    # With ``config.batching`` set, dispatch no longer executes a request
+    # on the spot.  Instead its LLM demand is *planned* (the dry-run
+    # planner of the executor / pipeline), pruned against the shared
+    # mapping store and prompt caches, and enqueued into the
+    # CrossRequestBatcher.  Flush events fire at the batcher's release
+    # times; every group due at one instant flushes as a single *wave*
+    # whose paid calls share one ``parallel_makespan`` pool — coalesced
+    # batches are charged like the fan-out of a single request.  When the
+    # wave lands, members with no work left are finalized: the query
+    # replays against the request's private overlay store (all flushed
+    # answers, zero LLM calls) and the outcome is delivered under the
+    # same deadline-clamp / breaker rules as the unbatched path.
+
+    def _begin_batched(self, request: QueryRequest) -> None:
+        """Plan one dispatched request's LLM work into the batcher."""
+        start = self.clock.now()
+        queue_wait = start - request.arrival
+        try:
+            self.breaker.before_call()
+        except CircuitOpenError:
+            finish = min(
+                start + self.config.base_overhead, request.deadline_at
+            )
+            outcome = RequestOutcome(
+                request=request,
+                status=DEGRADED,
+                reason="breaker_open",
+                finish_time=finish,
+                queue_wait=queue_wait,
+                service_seconds=finish - start,
+            )
+            self._push_event(outcome.finish_time, "finish", outcome)
+            return
+        batcher = self.batcher
+        member = PendingRequest(request, start=start, queue_wait=queue_wait)
+        persist = batcher.config.persist
+        if request.pipeline == "udf":
+            state = self._udf_state(request.database)
+            executor = state.executor
+            map_requests, qa_prompts = executor.plan_key_requests(request.sql)
+            for call, keys in map_requests:
+                signature = call.signature()
+                wanted = list(dict.fromkeys(keys))
+                if persist:
+                    known = self.mapping_store.peek(signature, wanted)
+                    # all-or-nothing, matching the executor's store-first
+                    # lookup: partial coverage regenerates the whole
+                    # occurrence (identical chunk prompts then hit the
+                    # prompt cache for free at flush time)
+                    if len(known) == len(wanted):
+                        member.overlay.put(signature, known)
+                        batcher.keys_from_store += len(known)
+                        wanted = []
+                already = member.overlay.peek(signature, wanted)
+                if already:
+                    wanted = [k for k in wanted if k not in already]
+                if wanted:
+                    # mc=1 keeps the executor's own chunk size (the
+                    # byte-identity contract); with real concurrency the
+                    # former fills policy-sized batches instead
+                    chunk = (
+                        executor._batch_size_for(call)
+                        if self.config.max_concurrent == 1
+                        else batcher.chunk_size_for(call)
+                    )
+                    batcher.enqueue_keys(
+                        request.database, call, wanted, member,
+                        chunk_size=chunk, now=start,
+                    )
+            for prompt in qa_prompts:
+                if state.cache.peek(prompt) is None:
+                    batcher.enqueue_prompt(
+                        request.database, "udf:qa", prompt, member,
+                        latency_bearing=False, now=start,
+                    )
+                else:
+                    batcher.prompts_from_cache += 1
+        else:
+            hstate = self._hqdl_state(request.database)
+            if hstate.db is None:
+                for prompt, label in hstate.pipeline.plan_calls():
+                    if hstate.cache.peek(prompt) is None:
+                        batcher.enqueue_prompt(
+                            request.database, label, prompt, member,
+                            latency_bearing=True, now=start,
+                        )
+                    else:
+                        batcher.prompts_from_cache += 1
+        if member.outstanding == 0:
+            # everything already covered by shared state: finalize at once
+            outcome = self._finalize_batched(member, start)
+            self._push_event(outcome.finish_time, "finish", outcome)
+            return
+        if self.config.max_concurrent == 1:
+            # a second request can never be in service concurrently, so a
+            # window could never coalesce anything: release immediately
+            # (the byte-identity contract with the unbatched path)
+            batcher.expedite(start)
+            batcher.drain_releases()
+            self._push_event(start, "flush", None)
+            return
+        for when in batcher.drain_releases():
+            self._push_event(max(when, start), "flush", None)
+
+    def _on_flush(self) -> None:
+        """Flush every due group as one wave and schedule its landing."""
+        now = self.clock.now()
+        wave = self.batcher.collect_due(
+            now, retain_tails=self.config.max_concurrent != 1
+        )
+        for when in self.batcher.drain_releases():
+            # retained tails re-opened on a fresh window need their own
+            # flush events
+            self._push_event(max(when, now), "flush", None)
+        if not wave:
+            return
+        members: dict[PendingRequest, int] = {}
+        for group in wave:
+            for _, requesters in group.items:
+                for member in requesters:
+                    members[member] = members.get(member, 0) + 1
+        # the wave's dispatch budget ends at the earliest member deadline:
+        # the batcher already guarantees no group is *released* late, and
+        # this Deadline guarantees no retry backoff overruns it either
+        wave_timer = ServiceTimer(now)
+        min_deadline = min(m.request.deadline_at for m in members)
+        deadline = Deadline(max(min_deadline - now, 1e-9), wave_timer)
+        wave_sizes: list[tuple[int, int]] = []
+        for group in wave:
+            self._flush_group(group, deadline, wave_sizes, now)
+        land = (
+            now
+            + parallel_makespan(wave_sizes, self.config.workers)
+            + wave_timer.elapsed
+        )
+        # a member never waits past its own deadline for the wave: its
+        # share lands (and it finalizes, degraded) at the deadline
+        # instant, exactly when the unbatched path would give up — the
+        # wave itself still lands at ``land`` for everyone else
+        by_when: dict[float, list[tuple[PendingRequest, int]]] = {}
+        for member, item_count in members.items():
+            when = min(land, member.request.deadline_at)
+            by_when.setdefault(when, []).append((member, item_count))
+        for when in sorted(by_when):
+            self._push_event(when, "land", by_when[when])
+
+    def _flush_group(
+        self,
+        group: FlushedGroup,
+        deadline: Deadline,
+        wave_sizes: list[tuple[int, int]],
+        now: float,
+    ) -> None:
+        """Dispatch one flushed group; results fan out to every requester."""
+        batcher = self.batcher
+        requests_in_group = len(
+            {m for _, requesters in group.items for m in requesters}
+        )
+        calls_formed = 0
+        if group.kind == "map":
+            executor = self._udf_state(group.database).executor
+            signature = group.call.signature()
+            keys = [payload for payload, _ in group.items]
+            requesters_of = dict(group.items)
+            chunks = batched(keys, group.chunk_size)
+            prompts = [
+                executor._map_prompt(group.call, chunk) for chunk in chunks
+            ]
+            outcomes = executor.dispatcher.dispatch(
+                executor.client, prompts, labels="udf:map",
+                capture_errors=True, deadline=deadline,
+            )
+            calls_formed = len(chunks)
+            for chunk, outcome in zip(chunks, outcomes):
+                item_requesters = [requesters_of[key] for key in chunk]
+                fill = len(chunk) / group.chunk_size
+                if outcome.error is not None:
+                    # same tolerance as the per-request path: the failed
+                    # batch degrades to NULLs for every waiting request
+                    for key, requesters in zip(chunk, item_requesters):
+                        for member in requesters:
+                            member.overlay.put(signature, {key: None})
+                            member.degraded_keys += 1
+                    self.resilience.record_degraded(len(chunk))
+                    batcher.settle_call(item_requesters, None, fill=fill)
+                    continue
+                answers = _parse_map_answers(outcome.response.text, len(chunk))
+                values = dict(zip(chunk, answers))
+                for key, requesters in zip(chunk, item_requesters):
+                    for member in requesters:
+                        member.overlay.put(signature, {key: values[key]})
+                if batcher.config.persist and executor.publish_mappings:
+                    # only real answers, like the executor: degraded or
+                    # drifted NULLs must not pin other requests to NULL
+                    self.mapping_store.put(
+                        signature,
+                        {k: v for k, v in values.items() if v is not None},
+                    )
+                usage = outcome.response.usage
+                if usage.calls and group.latency_bearing:
+                    wave_sizes.append(
+                        (usage.input_tokens, usage.output_tokens)
+                    )
+                batcher.settle_call(item_requesters, usage, fill=fill)
+                if self._tel.timeseries.enabled:
+                    self._tel.timeseries.observe(
+                        "serve.batch_occupancy", now, fill
+                    )
+        else:
+            prompts = [payload for payload, _ in group.items]
+            if group.label.startswith("hqdl:"):
+                pipeline = self._hqdl[group.database].pipeline
+                dispatcher, client = pipeline._dispatcher, pipeline.client
+            else:
+                executor = self._udf_state(group.database).executor
+                dispatcher, client = executor.dispatcher, executor.client
+            outcomes = dispatcher.dispatch(
+                client, prompts, labels=group.label,
+                capture_errors=True, deadline=deadline,
+            )
+            calls_formed = len(prompts)
+            for (prompt, requesters), outcome in zip(group.items, outcomes):
+                if outcome.error is not None:
+                    # left uncached: finalize re-attempts (and degrades
+                    # there if the upstream is still failing)
+                    batcher.settle_call([requesters], None)
+                    continue
+                # the dispatch went through the group's CachingClient, so
+                # the completion is already cached for finalize
+                usage = outcome.response.usage
+                if usage.calls and group.latency_bearing:
+                    wave_sizes.append(
+                        (usage.input_tokens, usage.output_tokens)
+                    )
+                batcher.settle_call([requesters], usage)
+        self._tel.flight.record(
+            now, "batch_flush",
+            label=group.label, trigger=group.trigger,
+            items=len(group.items), calls=calls_formed,
+            requests=requests_in_group,
+        )
+
+    def _on_land(self, payload: list[tuple[PendingRequest, int]]) -> None:
+        """A wave landed: settle each member, finalize the completed ones."""
+        land = self.clock.now()
+        for member, item_count in payload:
+            member.outstanding -= item_count
+            if member.outstanding == 0:
+                outcome = self._finalize_batched(member, land)
+                self._push_event(outcome.finish_time, "finish", outcome)
+
+    def _finalize_batched(
+        self, member: PendingRequest, land: float
+    ) -> RequestOutcome:
+        """Replay the query against the member's overlay; deliver the outcome.
+
+        Every flushed answer is in the overlay (or the prompt caches), so
+        this replay is LLM-free in the common case; residual paid calls
+        (e.g. a QA retry after a failed flush) are charged on top of the
+        landing instant, exactly as the unbatched cost model would.
+        """
+        request = member.request
+        timer = ServiceTimer(land)
+        remaining = max(request.deadline_at - land, 1e-9)
+        usage_before = self.meter.total
+        error: Optional[ReproError] = None
+        rows: Optional[int] = None
+        degraded_keys = 0
+        call_sizes: list[tuple[int, int]] = []
+        if request.pipeline == "udf":
+            executor = self._udf_state(request.database).executor
+            executor.deadline = Deadline(remaining, timer)
+            saved_store = executor.mapping_store
+            executor.mapping_store = member.overlay
+            try:
+                result, report = executor.execute_with_report(request.sql)
+                rows = len(result.rows)
+                degraded_keys = report.degraded_keys
+                call_sizes = list(report.call_sizes)
+            except ReproError as exc:
+                error = exc
+            finally:
+                executor.mapping_store = saved_store
+                executor.deadline = None
+        else:
+            state = self._hqdl_state(request.database)
+            pipeline = state.pipeline
+            try:
+                if state.db is None:
+                    mark = len(state.recorder.sizes)
+                    pipeline.deadline = Deadline(remaining, timer)
+                    try:
+                        generation = pipeline.generate_all()
+                    finally:
+                        pipeline.deadline = None
+                    state.generation_sizes = state.recorder.sizes[mark:]
+                    state.db = pipeline.build_expanded_database(generation)
+                    call_sizes = list(state.generation_sizes)
+                result = pipeline.answer(
+                    state.db, self.swan.question(request.qid)
+                )
+                rows = len(result.rows)
+            except ReproError as exc:
+                error = exc
+        usage_delta = self.meter.total - usage_before
+        tail = (
+            self.config.base_overhead
+            + parallel_makespan(call_sizes, self.config.workers)
+            + timer.elapsed
+        )
+        service = (land - member.start) + tail
+        self._service_ewma = (
+            service
+            if self._service_ewma is None
+            else 0.8 * self._service_ewma + 0.2 * service
+        )
+        finish = land + tail
+        degraded_keys += member.degraded_keys
+        if error is not None:
+            status, reason = DEGRADED, "error"
+            finish = min(finish, request.deadline_at)
+            self.breaker.record_failure()
+        elif finish > request.deadline_at:
+            status, reason = DEGRADED, "deadline"
+            degraded_keys = max(degraded_keys, rows or 0)
+            finish = request.deadline_at
+            self.breaker.record_failure()
+        elif degraded_keys:
+            status, reason = DEGRADED, (
+                "deadline" if self.config.fault_rate <= 0 else "faults"
+            )
+            self.breaker.record_success()
+        else:
+            status, reason = SERVED, None
+            self.breaker.record_success()
+        return RequestOutcome(
+            request=request,
+            status=status,
+            reason=reason,
+            finish_time=finish,
+            queue_wait=member.queue_wait,
+            service_seconds=finish - member.start,
+            rows=rows,
+            llm_calls=member.llm_calls + usage_delta.calls,
+            input_tokens=member.input_tokens + usage_delta.input_tokens,
+            output_tokens=member.output_tokens + usage_delta.output_tokens,
+            degraded_keys=degraded_keys,
+            shared_tokens=member.shared_tokens,
             partial=status == DEGRADED and rows is not None,
         )

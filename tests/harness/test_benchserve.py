@@ -89,3 +89,76 @@ class TestLoadtest:
         assert "Query server demo run" in text
         assert "interactive" in text
         assert record["offered"] == report.offered
+
+
+class TestBatchingComparison:
+    @pytest.fixture(scope="class")
+    def payloads(self):
+        from repro.serve.batcher import BatchingConfig
+
+        on = run_loadtest(
+            horizon=40.0, multipliers=(0.5, 2.0), databases=("superhero",),
+            batching=BatchingConfig(),
+        )
+        off = run_loadtest(
+            horizon=40.0, multipliers=(0.5, 2.0), databases=("superhero",)
+        )
+        return on, off
+
+    def test_levels_carry_the_batching_keys(self, payloads):
+        on, _ = payloads
+        assert on["batch_window"] == 2.0
+        assert on["max_batch"] is None
+        for level in on["levels"]:
+            assert level["tokens_per_answer"] >= 0
+            assert 0.0 <= level["batch_occupancy"] <= 1.0
+            assert level["coalesced_calls"] >= 0
+            arm = level["batching"]
+            assert arm["accounting_ok"] is True
+            assert arm["paid_calls"] <= arm["formed_calls"]
+            assert arm["llm_calls"] <= level["llm_calls"]
+
+    def test_off_payload_is_the_on_payload_minus_batching(self, payloads):
+        """The unbatched arm is untouched by running the batched one."""
+        on, off = payloads
+        stripped = {
+            k: v for k, v in on.items()
+            if k not in ("batch_window", "max_batch")
+        }
+        stripped["levels"] = [
+            {
+                k: v for k, v in level.items()
+                if k not in (
+                    "tokens_per_answer", "batch_occupancy",
+                    "coalesced_calls", "batching",
+                )
+            }
+            for level in on["levels"]
+        ]
+        assert stripped == off
+
+    def test_batched_arm_stays_inside_deadlines(self, payloads):
+        on, _ = payloads
+        limit = max(t.deadline_seconds for t in default_tenants())
+        for level in on["levels"]:
+            assert level["batching"]["p99"] <= limit + 1e-6
+
+    def test_report_renders_the_comparison_table(self, payloads):
+        on, off = payloads
+        text = format_serve_report(on)
+        assert "Cross-request batching (window=2s)" in text
+        assert "saved%" in text
+        assert "Cross-request batching" not in format_serve_report(off)
+
+    def test_slo_payload_unchanged_by_batching(self):
+        from repro.harness.benchserve import run_slo_loadtest
+        from repro.serve.batcher import BatchingConfig
+
+        _, slo_on = run_slo_loadtest(
+            horizon=30.0, multipliers=(2.0,), databases=("superhero",),
+            batching=BatchingConfig(),
+        )
+        _, slo_off = run_slo_loadtest(
+            horizon=30.0, multipliers=(2.0,), databases=("superhero",)
+        )
+        assert slo_on == slo_off

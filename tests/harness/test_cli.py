@@ -358,3 +358,55 @@ class TestBenchCacheTarget:
 
         assert "bench-cache" in _GENERATORS
         assert "bench-cache" in _EXCLUDED_FROM_ALL
+
+
+class TestBatchingFlags:
+    def test_bad_batch_window_value(self, capsys):
+        assert main(["loadtest", "--batch-window=soon"]) == 2
+        err = capsys.readouterr().err
+        assert "--batch-window requires a number" in err
+        assert "usage:" in err
+
+    def test_nonpositive_batch_window_rejected(self, capsys):
+        for bad in ("0", "-2"):
+            assert main(["serve", f"--batch-window={bad}"]) == 2
+            assert "--batch-window must be > 0" in capsys.readouterr().err
+
+    def test_bad_max_batch_value(self, capsys):
+        assert main(["dash", "--max-batch=lots"]) == 2
+        assert "--max-batch requires an integer" in capsys.readouterr().err
+
+    def test_nonpositive_max_batch_rejected(self, capsys):
+        assert main(["loadtest", "--max-batch=0"]) == 2
+        assert "--max-batch must be >= 1" in capsys.readouterr().err
+
+    def test_bad_batching_value(self, capsys):
+        assert main(["loadtest", "--batching=maybe"]) == 2
+        err = capsys.readouterr().err
+        assert "--batching must be 'on' or 'off'" in err
+        assert "usage:" in err
+
+    def test_flags_documented_in_usage(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "--batching=on|off" in out
+        assert "--batch-window=SECONDS" in out
+        assert "--max-batch=N" in out
+
+    def test_all_serve_targets_accept_the_flags(self):
+        from repro.harness.__main__ import _FLAG_TARGETS
+
+        for target in ("serve", "loadtest", "dash"):
+            for option in ("batch_window", "max_batch", "batching"):
+                assert option in _FLAG_TARGETS[target]
+
+    def test_serve_demo_reports_batching(self, capsys):
+        assert main(["serve", "--horizon=40"]) == 0
+        out = capsys.readouterr().out
+        assert "batching: window 2s" in out
+
+    def test_batching_off_restores_the_classic_demo(self, capsys):
+        assert main(["serve", "--horizon=40", "--batching=off"]) == 0
+        out = capsys.readouterr().out
+        assert "Query server demo run" in out
+        assert "batching: window" not in out

@@ -350,3 +350,102 @@ class TestSloBudgetGuard:
         )
         assert ok
         assert any("no slo_budget" in line for line in lines)
+
+
+class TestServeTokensPerAnswer:
+    """The 1x tokens-per-answer reader feeding the serving-economy pin."""
+
+    def _bench(self, tmp_path, *, level_extra=None):
+        from repro.harness.regress import serve_tokens_per_answer
+
+        level = {"multiplier": 1.0, "p99": 10.0}
+        level.update(level_extra or {})
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps({
+            "levels": [
+                {"multiplier": 0.5, "p99": 5.0},
+                level,
+            ],
+        }), encoding="utf-8")
+        return serve_tokens_per_answer(path)
+
+    def test_prefers_the_batched_arm(self, tmp_path):
+        value = self._bench(tmp_path, level_extra={
+            "tokens_per_answer": 100.0,
+            "batching": {"tokens_per_answer": 80.0},
+        })
+        assert value == 80.0
+
+    def test_falls_back_to_the_level_figure(self, tmp_path):
+        value = self._bench(
+            tmp_path, level_extra={"tokens_per_answer": 100.0}
+        )
+        assert value == 100.0
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert self._bench(tmp_path) is None
+
+    def test_missing_file_is_none(self, tmp_path):
+        from repro.harness.regress import serve_tokens_per_answer
+
+        assert serve_tokens_per_answer(tmp_path / "nope.json") is None
+
+    def test_no_1x_level_is_none(self, tmp_path):
+        from repro.harness.regress import serve_tokens_per_answer
+
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps({
+            "levels": [{"multiplier": 2.0, "tokens_per_answer": 9.0}],
+        }), encoding="utf-8")
+        assert serve_tokens_per_answer(path) is None
+
+    def test_written_into_baseline(self, tmp_path):
+        path = tmp_path / "base.json"
+        written = write_baseline(path, _row(), serve_tokens_per_answer=80.0)
+        assert written["serve_tokens_per_answer"] == 80.0
+        assert load_baseline(path)["serve_tokens_per_answer"] == 80.0
+
+    def test_growth_breach_fails(self):
+        baseline = {
+            **TestDiff._baseline(self), "serve_tokens_per_answer": 100.0,
+        }
+        ok, lines = diff_against_baseline(
+            _row(), baseline, fresh_serve_tpa=150.0
+        )
+        assert not ok
+        assert any(
+            "serve tokens/answer" in line and "[FAIL]" in line
+            for line in lines
+        )
+
+    def test_growth_within_threshold_passes(self):
+        baseline = {
+            **TestDiff._baseline(self), "serve_tokens_per_answer": 100.0,
+        }
+        ok, lines = diff_against_baseline(
+            _row(), baseline, fresh_serve_tpa=105.0
+        )
+        assert ok
+        assert any(
+            "serve tokens/answer" in line and "[ok]" in line
+            for line in lines
+        )
+
+    def test_missing_fresh_value_is_a_note(self):
+        baseline = {
+            **TestDiff._baseline(self), "serve_tokens_per_answer": 100.0,
+        }
+        ok, lines = diff_against_baseline(
+            _row(), baseline, fresh_serve_tpa=None
+        )
+        assert ok
+        assert any("serve economy not checked" in line for line in lines)
+
+    def test_missing_baseline_key_is_a_note(self):
+        ok, lines = diff_against_baseline(
+            _row(), TestDiff._baseline(self), fresh_serve_tpa=80.0
+        )
+        assert ok
+        assert any(
+            "no serve_tokens_per_answer" in line for line in lines
+        )

@@ -188,3 +188,19 @@ class TestSingleFlightPoisoning:
         assert client.cache.misses == 1
         assert client.cache.hits == 0
         assert client.single_flight_waits == 0
+
+
+class TestPeek:
+    """peek: the batcher's statistics-free prompt probe."""
+
+    def test_returns_entry_without_counting_a_hit(self):
+        cache = PromptCache()
+        cache.put("p", "answer")
+        assert cache.peek("p") == "answer"
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_absent_prompt_is_none_without_counting_a_miss(self):
+        cache = PromptCache()
+        assert cache.peek("p") is None
+        assert cache.misses == 0

@@ -59,3 +59,31 @@ class TestMappingStore:
         }
         assert len(store) == 1
         assert store.total_keys() == 1
+
+
+class TestPeek:
+    """peek: the batcher's statistics-free, partial-coverage lookup."""
+
+    def test_returns_only_the_covered_subset(self):
+        store = MappingStore()
+        store.put(SIG, {("a",): "yes"})
+        assert store.peek(SIG, [("a",), ("b",)]) == {("a",): "yes"}
+
+    def test_unknown_signature_is_empty(self):
+        store = MappingStore()
+        assert store.peek(SIG, [("a",)]) == {}
+
+    def test_never_touches_hit_miss_stats(self):
+        store = MappingStore()
+        store.put(SIG, {("a",): "yes"})
+        store.peek(SIG, [("a",)])
+        store.peek(SIG, [("b",)])
+        assert store.hits == 0
+        assert store.misses == 0
+        assert store.partial == 0
+        assert store.keys_served == 0
+
+    def test_none_values_still_count_as_covered(self):
+        store = MappingStore()
+        store.put(SIG, {("a",): None})
+        assert store.peek(SIG, [("a",)]) == {("a",): None}

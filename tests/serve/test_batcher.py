@@ -1,0 +1,294 @@
+"""Tests for the cross-request batch former (`repro.serve.batcher`)."""
+
+import math
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.serve.batcher import (
+    DEADLINE_FORCED,
+    SIZE_TRIGGERED,
+    WINDOW_EXPIRED,
+    BatchingConfig,
+    CrossRequestBatcher,
+    PendingRequest,
+    split_fairly,
+)
+from repro.serve.request import QueryRequest
+
+
+class _FixedPolicy:
+    """A stand-in batch policy with one size for every call."""
+
+    def __init__(self, size):
+        self.size = size
+
+    def batch_size(self, call):
+        return self.size
+
+
+class _Call:
+    def __init__(self, sig="map:hero:alignment"):
+        self._sig = sig
+
+    def signature(self):
+        return self._sig
+
+
+def _member(rid, *, arrival=0.0, deadline=60.0, tenant="t"):
+    request = QueryRequest(
+        request_id=rid,
+        tenant=tenant,
+        database="superhero",
+        sql="SELECT 1",
+        arrival=arrival,
+        deadline_seconds=deadline,
+    )
+    return PendingRequest(request, start=arrival, queue_wait=0.0)
+
+
+def _batcher(window=2.0, max_batch=None, size=8, persist=True):
+    config = BatchingConfig(window=window, max_batch=max_batch, persist=persist)
+    return CrossRequestBatcher(config, _FixedPolicy(size))
+
+
+class TestBatchingConfig:
+    def test_defaults(self):
+        config = BatchingConfig()
+        assert config.window == 2.0
+        assert config.max_batch is None
+        assert config.persist is True
+
+    def test_nonpositive_window_rejected(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError):
+                BatchingConfig(window=bad)
+
+    def test_nonpositive_max_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchingConfig(max_batch=0)
+
+    def test_max_batch_overrides_policy_threshold(self):
+        batcher = _batcher(max_batch=3, size=8)
+        assert batcher.chunk_size_for(_Call()) == 3
+
+
+class TestSplitFairly:
+    def test_conserves_total_exactly(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            n = rng.randint(1, 6)
+            members = [_member(i) for i in range(n)]
+            weights = [rng.random() for _ in range(n)]
+            total = rng.randint(0, 10_000)
+            split = split_fairly(members, weights, total)
+            assert sum(split) == total
+            assert all(s >= 0 for s in split)
+
+    def test_zero_weights_split_evenly(self):
+        members = [_member(0), _member(1)]
+        assert sum(split_fairly(members, [0.0, 0.0], 7)) == 7
+
+    def test_deterministic(self):
+        members = [_member(i) for i in range(3)]
+        weights = [1.0, 2.0, 3.0]
+        assert split_fairly(members, weights, 100) == split_fairly(
+            members, weights, 100
+        )
+
+
+class TestSingleFlight:
+    def test_same_key_from_two_requests_is_one_item(self):
+        batcher = _batcher()
+        call = _Call()
+        a, b = _member(0), _member(1)
+        batcher.enqueue_keys("superhero", call, [("x",)], a,
+                             chunk_size=8, now=0.0)
+        batcher.enqueue_keys("superhero", call, [("x",)], b,
+                             chunk_size=8, now=0.5)
+        assert batcher.items_enqueued == 1
+        assert a.outstanding == 1 and b.outstanding == 1
+        batcher.expedite(1.0)
+        # expedite is the max_concurrent=1 path, which also disables
+        # tail retention — mirror the server's pairing here
+        (flushed,) = batcher.collect_due(1.0, retain_tails=False)
+        ((payload, requesters),) = flushed.items
+        assert payload == ("x",)
+        assert requesters == [a, b]
+        assert batcher.items_coalesced == 1
+
+    def test_same_request_twice_attaches_once(self):
+        batcher = _batcher()
+        a = _member(0)
+        call = _Call()
+        batcher.enqueue_keys("superhero", call, [("x",)], a,
+                             chunk_size=8, now=0.0)
+        batcher.enqueue_keys("superhero", call, [("x",)], a,
+                             chunk_size=8, now=0.0)
+        assert a.outstanding == 1
+
+    def test_different_signatures_do_not_merge(self):
+        batcher = _batcher()
+        a = _member(0)
+        batcher.enqueue_keys("superhero", _Call("sig1"), [("x",)], a,
+                             chunk_size=8, now=0.0)
+        batcher.enqueue_keys("superhero", _Call("sig2"), [("x",)], a,
+                             chunk_size=8, now=0.0)
+        assert batcher.items_enqueued == 2
+
+
+class TestReleasePolicy:
+    def test_window_release_when_below_threshold(self):
+        batcher = _batcher(window=2.0, size=8)
+        batcher.enqueue_keys("superhero", _Call(), [("x",)], _member(0),
+                             chunk_size=8, now=1.0)
+        (release,) = batcher.drain_releases()
+        assert release == pytest.approx(3.0)
+        assert not batcher.has_due(2.9)
+        assert batcher.has_due(3.0)
+
+    def test_size_trigger_releases_immediately(self):
+        batcher = _batcher(size=2)
+        member = _member(0)
+        batcher.enqueue_keys("superhero", _Call(), [("x",), ("y",)], member,
+                             chunk_size=2, now=1.0)
+        assert batcher.drain_releases()[-1] == pytest.approx(1.0)
+        (flushed,) = batcher.collect_due(1.0)
+        assert flushed.trigger == SIZE_TRIGGERED
+
+    def test_deadline_clamps_release_before_window(self):
+        batcher = _batcher(window=10.0, size=8)
+        member = _member(0, arrival=0.0, deadline=3.0)
+        batcher.enqueue_keys("superhero", _Call(), [("x",)], member,
+                             chunk_size=8, now=1.0)
+        (release,) = batcher.drain_releases()
+        assert release == pytest.approx(3.0)  # deadline, not 1.0 + 10.0
+        (flushed,) = batcher.collect_due(3.0)
+        assert flushed.trigger == DEADLINE_FORCED
+
+    def test_no_release_ever_exceeds_a_member_deadline(self):
+        """Property: release_at <= min member deadline, whatever arrives.
+
+        Randomized enqueue sequences (arrivals move forward, deadlines
+        are always in each member's future) must never schedule a
+        group's release past the earliest waiting deadline.
+        """
+        rng = random.Random(17)
+        for trial in range(50):
+            batcher = _batcher(
+                window=rng.choice([0.5, 2.0, 10.0]),
+                size=rng.choice([2, 4, 8]),
+            )
+            calls = [_Call(f"sig{i}") for i in range(3)]
+            now = 0.0
+            for step in range(30):
+                now += rng.random() * 2.0
+                member = _member(
+                    1000 * trial + step,
+                    arrival=now,
+                    deadline=0.1 + rng.random() * 20.0,
+                )
+                keys = [(f"k{rng.randint(0, 9)}",) for _ in range(
+                    rng.randint(1, 4)
+                )]
+                batcher.enqueue_keys(
+                    "superhero", rng.choice(calls), keys, member,
+                    chunk_size=4, now=now,
+                )
+                for group in batcher._groups.values():
+                    if not group.items or group.release_at is None:
+                        continue
+                    earliest = min(
+                        m.request.deadline_at
+                        for item in group.items.values()
+                        for m in item.requesters
+                    )
+                    # a release is either already due (<= now) or in the
+                    # future but never past the earliest member deadline
+                    assert (
+                        group.release_at <= now + 1e-9
+                        or group.release_at <= earliest + 1e-9
+                    )
+                if rng.random() < 0.3:
+                    for flushed in batcher.collect_due(now):
+                        assert flushed.items
+                batcher.drain_releases()
+
+
+class TestTailRetention:
+    def _fill(self, batcher, count, *, deadline=60.0, now=0.0):
+        member = _member(0, deadline=deadline)
+        keys = [(f"k{i}",) for i in range(count)]
+        batcher.enqueue_keys("superhero", _Call(), keys, member,
+                             chunk_size=4, now=now)
+        return member
+
+    def test_size_flush_keeps_partial_tail(self):
+        batcher = _batcher(size=4)
+        self._fill(batcher, 6)
+        (flushed,) = batcher.collect_due(0.0)
+        assert flushed.trigger == SIZE_TRIGGERED
+        assert len(flushed.items) == 4  # one full chunk
+        # the tail re-opened on a fresh window and scheduled a release
+        assert batcher.has_due(2.0)
+        (tail,) = batcher.collect_due(2.0)
+        assert len(tail.items) == 2
+        assert tail.trigger == WINDOW_EXPIRED
+
+    def test_retention_disabled_flushes_everything(self):
+        batcher = _batcher(size=4)
+        self._fill(batcher, 6)
+        (flushed,) = batcher.collect_due(0.0, retain_tails=False)
+        assert len(flushed.items) == 6
+
+    def test_window_flush_takes_the_tail_too(self):
+        batcher = _batcher(size=8)
+        self._fill(batcher, 6)  # below threshold: window release at 2.0
+        (flushed,) = batcher.collect_due(2.0)
+        assert flushed.trigger == WINDOW_EXPIRED
+        assert len(flushed.items) == 6
+
+
+class TestSettlement:
+    def test_tokens_split_fairly_and_conserved(self):
+        batcher = _batcher()
+        a, b = _member(0), _member(1)
+        usage = SimpleNamespace(calls=1, input_tokens=101, output_tokens=11)
+        batcher.settle_call([[a, b], [a]], usage, fill=0.5)
+        assert a.input_tokens + b.input_tokens == 101
+        assert a.output_tokens + b.output_tokens == 11
+        assert a.llm_calls + b.llm_calls == 1
+        assert a.llm_calls == 1  # heaviest member carries the call
+        assert a.shared_tokens + b.shared_tokens == 112
+        assert batcher.coalesced_calls == 1
+        assert batcher.paid_calls == 1
+        assert batcher.batch_occupancy() == pytest.approx(0.5)
+
+    def test_solo_member_charged_in_full(self):
+        batcher = _batcher()
+        a = _member(0)
+        usage = SimpleNamespace(calls=1, input_tokens=50, output_tokens=5)
+        batcher.settle_call([[a]], usage)
+        assert (a.input_tokens, a.output_tokens, a.llm_calls) == (50, 5, 1)
+        assert a.shared_tokens == 0
+        assert batcher.coalesced_calls == 0
+
+    def test_free_call_counts_formed_not_paid(self):
+        batcher = _batcher()
+        batcher.settle_call([[_member(0)]], None)
+        assert batcher.formed_calls == 1
+        assert batcher.paid_calls == 0
+
+    def test_stats_shape(self):
+        batcher = _batcher()
+        stats = batcher.stats()
+        assert set(stats) == {
+            "window", "max_batch", "persist", "items", "coalesced_items",
+            "formed_calls", "paid_calls", "coalesced_calls",
+            "batch_occupancy", "flushes", "keys_from_store",
+            "prompts_from_cache", "fanout_tokens_saved",
+        }
+        assert set(stats["flushes"]) == {
+            WINDOW_EXPIRED, SIZE_TRIGGERED, DEADLINE_FORCED,
+        }
