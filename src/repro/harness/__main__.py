@@ -279,14 +279,16 @@ def _bench_cache_report(
 def _serve_report(
     seed=None, horizon=None, window=None,
     batch_window=None, max_batch=None, batching="on",
+    tracing="off", trace_sample=None,
 ) -> tuple[list[dict], str]:
     """One overloaded query-server run (2x capacity) on the virtual clock."""
     from repro.harness.benchserve import (
         build_observability, default_config, default_tenants,
-        format_serve_demo, measure_capacity, run_level,
+        format_serve_demo, measure_capacity, run_level, trace_level_record,
         DEFAULT_HORIZON, SERVE_DATABASES,
     )
     from repro.obs.timeseries import DEFAULT_WINDOW_SECONDS
+    from repro.serve.trace import ServeTraceLog
     from repro.swan.benchmark import load_benchmark_subset
 
     swan = load_benchmark_subset(1, list(SERVE_DATABASES))
@@ -299,11 +301,17 @@ def _serve_report(
     telemetry, tracker = build_observability(
         window_seconds=window or DEFAULT_WINDOW_SECONDS
     )
+    sampler = _trace_sampler(
+        tracing, trace_sample, seed=seed or 0,
+        window_seconds=window or DEFAULT_WINDOW_SECONDS,
+    )
+    trace_log = ServeTraceLog() if sampler is not None else None
     report, record = run_level(
         swan, config, tenants, 2.0, capacity,
         seed=seed or 0, horizon=horizon,
         telemetry=telemetry, slo_tracker=tracker,
         batching=_batching_config(batch_window, max_batch, batching),
+        trace=trace_log,
     )
     budgets = tracker.budgets()
     slo_lines = ["", "SLO error budgets:"]
@@ -317,29 +325,70 @@ def _serve_report(
         f"{len(tracker.alerts)} burn-rate alert(s), "
         f"{len(telemetry.flight.incidents)} incident(s) captured."
     )
+    if sampler is not None and trace_log is not None:
+        level = trace_level_record(2.0, trace_log, sampler)
+        stats = level["sampler"]
+        reasons = stats["kept_by_reason"]
+        record["traces"] = level
+        slo_lines.append(
+            f"Request tracing: kept {stats['kept']} of {stats['total']} "
+            f"traces ({reasons['outcome']} outcome, {reasons['slowest']} "
+            f"slowest, {reasons['hash']} hash) over {level['waves']} batch "
+            f"wave(s); worst unaccounted share "
+            f"{100 * level['max_unaccounted_share']:.2f}%."
+        )
     return [record], format_serve_demo(report) + "\n".join(slo_lines)
 
 
 def _loadtest_report(
     scale=None, seed=None, horizon=None, window=None,
     batch_window=None, max_batch=None, batching="on",
+    tracing="off", trace_sample=None,
 ) -> tuple[list[dict], str]:
     """Offered-load sweep over the server (written to BENCH_serve.json,
-    BENCH_slo.json, and BENCH_incidents.jsonl)."""
+    BENCH_slo.json, and BENCH_incidents.jsonl; with --tracing=on also
+    BENCH_serve_traces.json plus the span JSONL/Chrome exports)."""
     from repro.harness.benchserve import (
-        format_serve_report, format_slo_report, run_slo_loadtest,
-        write_serve_json, write_slo_json,
+        format_serve_report, format_slo_report, format_trace_report,
+        run_slo_loadtest, run_traced_loadtest, trace_spans,
+        write_serve_json, write_slo_json, write_traces_json,
         DEFAULT_HORIZON, DEFAULT_INCIDENTS_JSONL, DEFAULT_SERVE_BENCH,
-        DEFAULT_SLO_BENCH,
+        DEFAULT_SLO_BENCH, DEFAULT_TRACES_BENCH, DEFAULT_TRACE_CHROME,
+        DEFAULT_TRACE_SPANS_JSONL,
     )
+    from repro.obs.export import write_chrome_trace, write_spans_jsonl
     from repro.obs.timeseries import DEFAULT_WINDOW_SECONDS
 
-    serve_payload, slo_payload = run_slo_loadtest(
+    sampler = _trace_sampler(
+        tracing, trace_sample, seed=seed or 0,
+        window_seconds=window or DEFAULT_WINDOW_SECONDS,
+    )
+    common = dict(
         scale=scale or 1, seed=seed or 0, horizon=horizon or DEFAULT_HORIZON,
         window_seconds=window or DEFAULT_WINDOW_SECONDS,
         incident_sink=DEFAULT_INCIDENTS_JSONL,
         batching=_batching_config(batch_window, max_batch, batching),
     )
+    trace_text = ""
+    payloads: list[dict]
+    if sampler is not None:
+        serve_payload, slo_payload, trace_payload, forest = (
+            run_traced_loadtest(sampler=sampler, **common)
+        )
+        traces_path = write_traces_json(trace_payload, DEFAULT_TRACES_BENCH)
+        spans = trace_spans(forest)
+        spans_path = write_spans_jsonl(spans, DEFAULT_TRACE_SPANS_JSONL)
+        chrome_path = write_chrome_trace(spans, DEFAULT_TRACE_CHROME)
+        trace_text = (
+            "\n\n" + format_trace_report(trace_payload)
+            + f"\n(also written to {traces_path}; the "
+            + f"{trace_payload['export_multiplier']:g}x level's kept spans "
+            + f"to {spans_path} and {chrome_path})"
+        )
+        payloads = [serve_payload, slo_payload, trace_payload]
+    else:
+        serve_payload, slo_payload = run_slo_loadtest(**common)
+        payloads = [serve_payload, slo_payload]
     path = write_serve_json(serve_payload, DEFAULT_SERVE_BENCH)
     slo_path = write_slo_json(slo_payload, DEFAULT_SLO_BENCH)
     text = (
@@ -348,13 +397,15 @@ def _loadtest_report(
         + format_slo_report(slo_payload)
         + f"\n(also written to {slo_path}; incidents appended to "
         + f"{DEFAULT_INCIDENTS_JSONL})"
+        + trace_text
     )
-    return [serve_payload, slo_payload], text
+    return payloads, text
 
 
 def _dash_report(
     seed=None, horizon=None, window=None,
     batch_window=None, max_batch=None, batching="on",
+    tracing="off", trace_sample=None,
 ) -> tuple[list[dict], str]:
     """Console serving dashboard: one instrumented 2x-overload run."""
     from repro.harness.dash import run_dash
@@ -365,6 +416,10 @@ def _dash_report(
         horizon=horizon or 120.0,
         window_seconds=window or DEFAULT_WINDOW_SECONDS,
         batching=_batching_config(batch_window, max_batch, batching),
+        sampler=_trace_sampler(
+            tracing, trace_sample, seed=seed or 0,
+            window_seconds=window or DEFAULT_WINDOW_SECONDS,
+        ),
     )
     return [payload], text
 
@@ -382,6 +437,32 @@ def _explain_command(options) -> tuple[int, str]:
             options["question"],
             pipeline=options["pipeline"],
             workers=options["workers"] or 1,
+        )
+    except ReproError as exc:
+        raise ValueError(str(exc)) from None
+    return 0, text
+
+
+def _explain_request_command(options) -> tuple[int, str]:
+    """One-request serving trace explanation (this PR's CLI)."""
+    from repro.errors import ReproError
+    from repro.harness.explain import explain_request
+
+    if options["request"] is None:
+        raise ValueError("explain-request requires --request=N")
+    try:
+        text = explain_request(
+            options["request"],
+            scale=options["scale"] or 1,
+            seed=options["seed"] or 0,
+            horizon=options["horizon"],
+            multiplier=options["multiplier"] or 2.0,
+            window_seconds=options["window"],
+            batching=_batching_config(
+                options["batch_window"], options["max_batch"],
+                options["batching"],
+            ),
+            trace_sample=options["trace_sample"],
         )
     except ReproError as exc:
         raise ValueError(str(exc)) from None
@@ -407,6 +488,7 @@ def _regress_command(options) -> tuple[int, str]:
 #: invoked alone — mixing them with report targets is a usage error.
 _COMMANDS = {
     "explain": _explain_command,
+    "explain-request": _explain_request_command,
     "regress": _regress_command,
 }
 
@@ -458,11 +540,14 @@ _FLAG_TARGETS = {
     "run-hqdl": ("databases", "workers", "scale", "parallelism"),
     "bench-scale": ("workers", "scale", "batch_size"),
     "serve": ("seed", "horizon", "window",
-              "batch_window", "max_batch", "batching"),
+              "batch_window", "max_batch", "batching",
+              "tracing", "trace_sample"),
     "loadtest": ("scale", "seed", "horizon", "window",
-                 "batch_window", "max_batch", "batching"),
+                 "batch_window", "max_batch", "batching",
+                 "tracing", "trace_sample"),
     "dash": ("seed", "horizon", "window",
-             "batch_window", "max_batch", "batching"),
+             "batch_window", "max_batch", "batching",
+             "tracing", "trace_sample"),
 }
 
 
@@ -480,6 +565,22 @@ def _batching_config(batch_window, max_batch, batching):
     return BatchingConfig(**kwargs)
 
 
+def _trace_sampler(tracing, trace_sample, *, seed, window_seconds):
+    """The CLI's request-tracing choice: a tail sampler, or None for off."""
+    from repro.harness.benchserve import DEFAULT_TRACE_SAMPLE
+    from repro.obs.sampler import TailSampler
+
+    if tracing == "off":
+        return None
+    return TailSampler(
+        seed=seed,
+        slowest_k=(
+            trace_sample if trace_sample is not None else DEFAULT_TRACE_SAMPLE
+        ),
+        window_seconds=window_seconds,
+    )
+
+
 def _usage() -> str:
     return (
         "usage: python -m repro.harness [target ...] "
@@ -487,9 +588,12 @@ def _usage() -> str:
         "           [--scale=N] [--parallelism=threads|processes] "
         "[--seed=N] [--horizon=SECONDS] [--window=SECONDS]\n"
         "           [--batching=on|off] [--batch-window=SECONDS] "
-        "[--max-batch=N]\n"
+        "[--max-batch=N] [--tracing=on|off] [--trace-sample=K]\n"
         "       python -m repro.harness explain --database=NAME "
         "--question=REF [--pipeline=udf|hqdl] [--workers=N]\n"
+        "       python -m repro.harness explain-request --request=N "
+        "[--multiplier=F] [--seed=N] [--horizon=SECONDS]\n"
+        "           [--batching=on|off] [--trace-sample=K]\n"
         "       python -m repro.harness regress [--ledger=PATH] "
         "[--baseline=PATH] [--update-baseline]\n"
         "           [--max-ex-drop=F] [--max-token-growth=F] "
@@ -512,6 +616,8 @@ def _parse_args(argv: list[str]):
         "scale": None, "parallelism": "threads",
         "seed": None, "horizon": None, "window": None,
         "batch_window": None, "max_batch": None, "batching": "on",
+        "tracing": "off", "trace_sample": None,
+        "request": None, "multiplier": None,
         "database": None, "question": None, "pipeline": "udf",
         "ledger": DEFAULT_LEDGER, "baseline": DEFAULT_BASELINE,
         "update_baseline": False, "max_ex_drop": 0.0,
@@ -620,6 +726,41 @@ def _parse_args(argv: list[str]):
                     f"--batching must be 'on' or 'off', got {value!r}"
                 )
             options["batching"] = value
+        elif name == "--tracing":
+            if value not in ("on", "off"):
+                raise ValueError(
+                    f"--tracing must be 'on' or 'off', got {value!r}"
+                )
+            options["tracing"] = value
+        elif name == "--trace-sample":
+            try:
+                options["trace_sample"] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"--trace-sample requires an integer, got {value!r}"
+                ) from None
+            if options["trace_sample"] < 0:
+                raise ValueError(
+                    f"--trace-sample must be >= 0, got {value}"
+                )
+        elif name == "--request":
+            try:
+                options["request"] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"--request requires an integer, got {value!r}"
+                ) from None
+            if options["request"] < 0:
+                raise ValueError(f"--request must be >= 0, got {value}")
+        elif name == "--multiplier":
+            try:
+                options["multiplier"] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"--multiplier requires a number, got {value!r}"
+                ) from None
+            if options["multiplier"] <= 0:
+                raise ValueError(f"--multiplier must be > 0, got {value}")
         elif name == "--parallelism":
             if value not in ("threads", "processes"):
                 raise ValueError(
@@ -687,7 +828,7 @@ def main(argv: list[str]) -> int:
     if any(t in _COMMANDS for t in targets):
         if len(targets) != 1:
             print(
-                "error: explain/regress must be invoked alone",
+                f"error: {'/'.join(_COMMANDS)} must be invoked alone",
                 file=sys.stderr,
             )
             print(_usage(), file=sys.stderr)

@@ -25,16 +25,29 @@ from typing import Optional, Sequence, Union
 
 from repro.errors import ReproError
 from repro.obs import FlightRecorder, Telemetry, WindowedAggregator
+from repro.obs.export import stage_summary
+from repro.obs.sampler import TailSampler
 from repro.obs.slo import SLOAlert, SLOTracker, default_serving_slos
 from repro.obs.timeseries import DEFAULT_RETENTION, DEFAULT_WINDOW_SECONDS
+from repro.obs.trace import Span
 from repro.serve.batcher import BatchingConfig
 from repro.serve.server import QueryServer, ServeReport, ServerConfig
+from repro.serve.trace import (
+    ServeTraceLog,
+    materialize_kept,
+    materialize_request,
+)
 from repro.serve.traffic import TenantSpec, generate_traffic
 from repro.swan.benchmark import Swan, load_benchmark_subset
 
 DEFAULT_SERVE_BENCH = "BENCH_serve.json"
 DEFAULT_SLO_BENCH = "BENCH_slo.json"
 DEFAULT_INCIDENTS_JSONL = "BENCH_incidents.jsonl"
+DEFAULT_TRACES_BENCH = "BENCH_serve_traces.json"
+DEFAULT_TRACE_SPANS_JSONL = "BENCH_serve_trace_spans.jsonl"
+DEFAULT_TRACE_CHROME = "BENCH_serve_trace_chrome.json"
+#: default slowest-k kept per window by the tail sampler
+DEFAULT_TRACE_SAMPLE = 3
 SERVE_DATABASES = ("superhero", "formula_1")
 #: offered load as multiples of measured capacity; 2× and 4× are the
 #: sustained-overload points the degradation machinery exists for
@@ -143,12 +156,15 @@ def run_level(
     telemetry: Optional[Telemetry] = None,
     slo_tracker: Optional[SLOTracker] = None,
     batching: Optional[BatchingConfig] = None,
+    trace: Optional[ServeTraceLog] = None,
 ) -> tuple[ServeReport, dict]:
     """One sweep point: a fresh server at ``multiplier × capacity``.
 
     ``batching`` turns on cross-request continuous batching for this
     level's server; ``None`` keeps the per-request dispatch path (and
-    its byte-identical record).
+    its byte-identical record).  ``trace`` attaches a passive per-request
+    trace log (tracing on); the report and record are byte-identical
+    with or without it.
     """
     base = offered_rps(tenants)
     target = multiplier * capacity
@@ -159,7 +175,7 @@ def run_level(
         config = replace(config, batching=batching)
     with QueryServer(
         swan, config, policies=policies,
-        telemetry=telemetry, slo_tracker=slo_tracker,
+        telemetry=telemetry, slo_tracker=slo_tracker, trace=trace,
     ) as server:
         report = server.run(requests)
     record = report.as_record()
@@ -382,6 +398,54 @@ def slo_level_record(
     }
 
 
+def trace_level_record(
+    multiplier: float, log: ServeTraceLog, sampler: TailSampler
+) -> dict:
+    """One sweep level's trace payload for BENCH_serve_traces.json.
+
+    Every kept trace is materialized and put through the stage summary;
+    ``max_unaccounted_share`` is the worst per-trace fraction of
+    offer-to-finish time that escaped the named stages — the acceptance
+    gate pins it at 0.0 (the reconstruction tiles exactly).
+    """
+    kept = sampler.decide(log.records)
+    waves = {wave.wave_id: wave for wave in log.waves}
+    max_unaccounted = 0.0
+    traces = []
+    for record in sorted(log.records, key=lambda r: r.trace_id):
+        reason = kept.get(record.trace_id)
+        if reason is None:
+            continue
+        root = materialize_request(record, waves)
+        rows = stage_summary([root])
+        unaccounted = sum(
+            row["self_s"] for row in rows if row["stage"] == "(unaccounted)"
+        )
+        share = unaccounted / root.duration if root.duration else 0.0
+        max_unaccounted = max(max_unaccounted, share)
+        summary = record.summary()
+        summary["sampled"] = reason
+        summary["stages"] = {
+            row["stage"]: row["self_s"]
+            for row in rows
+            if row["stage"] != "(unaccounted)" and row["self_s"] > 0
+        }
+        traces.append(summary)
+    return {
+        "multiplier": round(multiplier, 6),
+        "requests": len(log.records),
+        "waves": len(log.waves),
+        "sampler": sampler.stats(kept, len(log.records)),
+        "max_unaccounted_share": round(max_unaccounted, 6),
+        "traces": traces,
+    }
+
+
+def trace_spans(forest: Sequence[Span]) -> list[Span]:
+    """Flatten a materialized forest for the JSONL/Chrome exporters."""
+    return [span for root in forest for span in root.walk()]
+
+
 def _run_sweep(
     *,
     scale: int,
@@ -394,7 +458,8 @@ def _run_sweep(
     retention: int,
     incident_sink: Optional[Union[str, Path]],
     batching: Optional[BatchingConfig] = None,
-) -> tuple[dict, Optional[dict]]:
+    tracing: Optional[TailSampler] = None,
+) -> tuple[dict, Optional[dict], Optional[dict], list[Span]]:
     """The shared sweep loop; observability attaches per level when
     ``window_seconds`` is set, and is entirely absent when it is None.
 
@@ -405,7 +470,13 @@ def _run_sweep(
     / ``coalesced_calls`` / ``batching`` onto the level record.  The
     capacity probe always runs unbatched — capacity is a property of
     the per-request service path, and keeping it fixed makes the two
-    arms face identical traffic."""
+    arms face identical traffic.
+
+    With ``tracing`` set, a fresh :class:`ServeTraceLog` also rides the
+    unbatched arm of every level; the sampler's kept set becomes one
+    trace-payload level, and the returned forest holds the *last*
+    (highest-load) level's kept span trees plus their linked wave
+    spans, ready for the JSONL/Chrome exporters."""
     swan = load_benchmark_subset(scale, list(databases))
     config = config if config is not None else default_config()
     tenants = default_tenants(databases)
@@ -418,6 +489,8 @@ def _run_sweep(
         Path(incident_sink).unlink(missing_ok=True)
     levels = []
     slo_levels = []
+    trace_levels = []
+    forest: list[Span] = []
     for multiplier in multipliers:
         telemetry = tracker = None
         if window_seconds is not None:
@@ -426,15 +499,22 @@ def _run_sweep(
                 retention=retention,
                 incident_sink=incident_sink,
             )
+        trace_log = ServeTraceLog() if tracing is not None else None
+        batched_log = (
+            ServeTraceLog()
+            if tracing is not None and batching is not None
+            else None
+        )
         _, record = run_level(
             swan, config, tenants, multiplier, capacity,
             seed=seed, horizon=horizon,
-            telemetry=telemetry, slo_tracker=tracker,
+            telemetry=telemetry, slo_tracker=tracker, trace=trace_log,
         )
         if batching is not None:
             _, on_record = run_level(
                 swan, config, tenants, multiplier, capacity,
                 seed=seed, horizon=horizon, batching=batching,
+                trace=batched_log,
             )
             record["tokens_per_answer"] = _tokens_per_answer(record)
             record["batch_occupancy"] = (
@@ -451,6 +531,22 @@ def _run_sweep(
                     multiplier, multiplier * capacity, telemetry, tracker
                 )
             )
+        if tracing is not None and trace_log is not None:
+            level_trace = trace_level_record(multiplier, trace_log, tracing)
+            if batched_log is not None:
+                # the batched arm's traces carry the shared-wave link
+                # spans; keep its sampler verdicts alongside
+                level_trace["batched"] = trace_level_record(
+                    multiplier, batched_log, tracing
+                )
+            trace_levels.append(level_trace)
+            # the highest-load level is the one worth opening in a
+            # trace viewer; export its kept forest (the batched arm's
+            # when both arms ran — that one has the wave spans)
+            export_log = batched_log if batched_log is not None else trace_log
+            forest = materialize_kept(
+                export_log, tracing.decide(export_log.records)
+            )
     serve_payload = {
         "scale": scale,
         "seed": seed,
@@ -466,8 +562,24 @@ def _run_sweep(
     if batching is not None:
         serve_payload["batch_window"] = round(batching.window, 6)
         serve_payload["max_batch"] = batching.max_batch
+    trace_payload = None
+    if tracing is not None:
+        trace_payload = {
+            "scale": scale,
+            "seed": seed,
+            "horizon": round(horizon, 6),
+            "sampler": {
+                "seed": tracing.seed,
+                "slowest_k": tracing.slowest_k,
+                "sample_rate": round(tracing.sample_rate, 6),
+                "window_seconds": round(tracing.window_seconds, 6),
+            },
+            "export_multiplier": round(multipliers[-1], 6),
+            "export_arm": "batched" if batching is not None else "unbatched",
+            "levels": trace_levels,
+        }
     if window_seconds is None:
-        return serve_payload, None
+        return serve_payload, None, trace_payload, forest
     slo_payload = {
         "scale": scale,
         "seed": seed,
@@ -478,7 +590,7 @@ def _run_sweep(
         "slos": [slo.as_record() for slo in default_serving_slos()],
         "levels": slo_levels,
     }
-    return serve_payload, slo_payload
+    return serve_payload, slo_payload, trace_payload, forest
 
 
 def run_loadtest(
@@ -492,7 +604,7 @@ def run_loadtest(
     batching: Optional[BatchingConfig] = None,
 ) -> dict:
     """The full sweep without telemetry; returns the BENCH_serve payload."""
-    payload, _ = _run_sweep(
+    payload, _, _, _ = _run_sweep(
         scale=scale, seed=seed, horizon=horizon, multipliers=multipliers,
         databases=databases, config=config,
         window_seconds=None, retention=DEFAULT_RETENTION, incident_sink=None,
@@ -522,7 +634,7 @@ def run_slo_loadtest(
     batched arm to the serve payload only; the SLO payload is always
     measured on the unbatched arm, so it never changes shape.
     """
-    serve_payload, slo_payload = _run_sweep(
+    serve_payload, slo_payload, _, _ = _run_sweep(
         scale=scale, seed=seed, horizon=horizon, multipliers=multipliers,
         databases=databases, config=config,
         window_seconds=window_seconds, retention=retention,
@@ -532,6 +644,42 @@ def run_slo_loadtest(
     return serve_payload, slo_payload
 
 
+def run_traced_loadtest(
+    *,
+    scale: int = 1,
+    seed: int = 0,
+    horizon: float = DEFAULT_HORIZON,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    databases: Sequence[str] = SERVE_DATABASES,
+    config: Optional[ServerConfig] = None,
+    window_seconds: float = DEFAULT_WINDOW_SECONDS,
+    retention: int = DEFAULT_RETENTION,
+    incident_sink: Optional[Union[str, Path]] = None,
+    batching: Optional[BatchingConfig] = None,
+    sampler: Optional[TailSampler] = None,
+) -> tuple[dict, dict, dict, list[Span]]:
+    """The instrumented sweep with request tracing on.
+
+    Returns ``(serve, slo, traces, forest)`` — the first two are
+    byte-identical to :func:`run_slo_loadtest`'s (the trace log is
+    passive), the trace payload is ``BENCH_serve_traces.json``, and the
+    forest is the highest-load level's kept span trees for the
+    JSONL/Chrome exporters.
+    """
+    sampler = sampler if sampler is not None else TailSampler(
+        seed=seed, slowest_k=DEFAULT_TRACE_SAMPLE,
+        window_seconds=window_seconds,
+    )
+    serve_payload, slo_payload, trace_payload, forest = _run_sweep(
+        scale=scale, seed=seed, horizon=horizon, multipliers=multipliers,
+        databases=databases, config=config,
+        window_seconds=window_seconds, retention=retention,
+        incident_sink=incident_sink, batching=batching, tracing=sampler,
+    )
+    assert slo_payload is not None and trace_payload is not None
+    return serve_payload, slo_payload, trace_payload, forest
+
+
 def write_serve_json(payload: dict, path: Union[str, Path]) -> Path:
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -539,6 +687,12 @@ def write_serve_json(payload: dict, path: Union[str, Path]) -> Path:
 
 
 def write_slo_json(payload: dict, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_traces_json(payload: dict, path: Union[str, Path]) -> Path:
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
@@ -703,4 +857,58 @@ def format_slo_report(payload: dict) -> str:
     else:
         lines.append("")
         lines.append("No burn-rate alerts fired at any level.")
+    return "\n".join(lines)
+
+
+def format_trace_report(payload: dict) -> str:
+    """The tail-sampling summary printed when tracing is on."""
+    sampler = payload["sampler"]
+    lines = [
+        "Request tracing (tail sampler: "
+        f"slowest_k={sampler['slowest_k']}, "
+        f"sample_rate={sampler['sample_rate']:g}, "
+        f"window={sampler['window_seconds']:g}s)",
+        "",
+        f"{'load':>6} {'requests':>9} {'kept':>6} {'outcome':>8} "
+        f"{'slowest':>8} {'hash':>6} {'waves':>6} {'unacct':>8}",
+    ]
+
+    def row(level: dict) -> str:
+        stats = level["sampler"]
+        reasons = stats["kept_by_reason"]
+        return (
+            f"{level['multiplier']:>5.2f}x "
+            f"{stats['total']:>9} "
+            f"{stats['kept']:>6} "
+            f"{reasons['outcome']:>8} "
+            f"{reasons['slowest']:>8} "
+            f"{reasons['hash']:>6} "
+            f"{level['waves']:>6} "
+            f"{100 * level['max_unaccounted_share']:>7.2f}%"
+        )
+
+    for level in payload["levels"]:
+        lines.append(row(level))
+    batched = [lv["batched"] for lv in payload["levels"] if "batched" in lv]
+    if batched:
+        lines.append("")
+        lines.append(
+            "Batched arm (exported spans carry the shared-wave links):"
+        )
+        for level in batched:
+            lines.append(row(level))
+    worst = max(
+        max(
+            lv["max_unaccounted_share"],
+            lv.get("batched", {}).get("max_unaccounted_share", 0.0),
+        )
+        for lv in payload["levels"]
+    )
+    lines.append("")
+    lines.append(
+        "Every kept trace attributes 100% of offer-to-finish time to "
+        "named stages."
+        if worst == 0.0
+        else f"WARNING: worst unaccounted share is {100 * worst:.4f}%."
+    )
     return "\n".join(lines)

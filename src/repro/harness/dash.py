@@ -26,8 +26,11 @@ from repro.harness.benchserve import (
     run_level,
     slo_level_record,
 )
+from repro.obs.export import stage_summary
+from repro.obs.sampler import TailSampler
 from repro.obs.timeseries import DEFAULT_WINDOW_SECONDS
 from repro.serve.batcher import BatchingConfig
+from repro.serve.trace import ServeTraceLog, materialize_request
 from repro.swan.benchmark import load_benchmark_subset
 
 #: eight block glyphs, lowest to highest — one per window
@@ -35,6 +38,50 @@ SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
 #: widest the dashboard tables get before older windows are elided
 MAX_TABLE_WINDOWS = 16
+
+#: how many kept traces the "slowest traces" panel shows
+MAX_TRACE_ROWS = 5
+
+#: one glyph per stage in the per-trace self-time bar
+_STAGE_GLYPHS = (
+    ("serve:queue", "q"),
+    ("serve:batch.wait", "w"),
+    ("serve:settle", "s"),
+    ("serve:service", "v"),
+    ("serve:overhead", "o"),
+    ("serve:llm", "#"),
+    ("llm:backoff", "b"),
+    ("serve:degrade", "d"),
+)
+
+#: width of the per-trace stage bar, in glyphs
+_TRACE_BAR_WIDTH = 24
+
+
+def trace_bar(stages: dict, total: float, width: int = _TRACE_BAR_WIDTH) -> str:
+    """Proportional per-stage self-time bar for one trace.
+
+    Stages render in rough chronological order (queue, batch wait,
+    settle/service overhead, llm, backoff) with cumulative rounding, so
+    the bar is always exactly ``width`` glyphs and every visible stage
+    gets at least its proportional share.
+    """
+    if total <= 0:
+        return "·" * width
+    parts: list[str] = []
+    consumed = 0.0
+    filled = 0
+    for name, glyph in _STAGE_GLYPHS:
+        self_s = stages.get(name, 0.0)
+        if self_s <= 0:
+            continue
+        consumed += self_s
+        target = min(width, int(round(width * consumed / total)))
+        parts.append(glyph * (target - filled))
+        filled = target
+    if filled < width:
+        parts.append("·" * (width - filled))
+    return "".join(parts)
 
 
 def sparkline(values: Sequence[float]) -> str:
@@ -58,12 +105,15 @@ def run_dash(
     multiplier: float = 2.0,
     databases: Sequence[str] = SERVE_DATABASES,
     batching: Optional[BatchingConfig] = None,
+    sampler: Optional[TailSampler] = None,
 ) -> tuple[dict, str]:
     """One instrumented serving run; returns (payload, rendered text).
 
     With ``batching`` set, the run itself batches across requests and
     the dashboard gains a per-window batch-occupancy sparkline plus a
     coalescing summary; ``None`` renders the classic unbatched view.
+    With ``sampler`` set, a trace log rides the run and the dashboard
+    gains a "slowest traces" panel with per-stage self-time bars.
     """
     swan = load_benchmark_subset(scale, list(databases))
     config = default_config()
@@ -72,10 +122,12 @@ def run_dash(
         swan, config, tenants, seed=seed, horizon=horizon
     )
     telemetry, tracker = build_observability(window_seconds=window_seconds)
+    trace_log = ServeTraceLog() if sampler is not None else None
     report, record = run_level(
         swan, config, tenants, multiplier, capacity,
         seed=seed, horizon=horizon,
         telemetry=telemetry, slo_tracker=tracker, batching=batching,
+        trace=trace_log,
     )
     payload = slo_level_record(multiplier, multiplier * capacity, telemetry, tracker)
     payload["window_seconds"] = round(window_seconds, 6)
@@ -83,6 +135,8 @@ def run_dash(
     payload["seed"] = seed
     payload["horizon"] = round(horizon, 6)
     payload["serve"] = record
+    if sampler is not None and trace_log is not None:
+        payload["traces"] = _trace_panel(trace_log, sampler)
     if batching is not None:
         occupancy = {
             row.window: round(row.mean, 6)
@@ -92,6 +146,35 @@ def run_dash(
             occupancy.get(row["window"], 0.0) for row in payload["windows"]
         ]
     return payload, format_dash(payload)
+
+
+def _trace_panel(log: ServeTraceLog, sampler: TailSampler) -> dict:
+    """The slowest-traces panel data: kept counts + per-stage self-time."""
+    kept = sampler.decide(log.records)
+    waves = {wave.wave_id: wave for wave in log.waves}
+    ranked = sorted(
+        (log.get(trace_id) for trace_id in kept),
+        key=lambda r: (-r.latency, r.trace_id),
+    )
+    slowest = []
+    for record in ranked[:MAX_TRACE_ROWS]:
+        rows = stage_summary([materialize_request(record, waves)])
+        slowest.append({
+            "trace_id": record.trace_id,
+            "status": record.status,
+            "reason": record.reason,
+            "latency": round(record.latency, 6),
+            "sampled": kept[record.trace_id],
+            "stages": {
+                row["stage"]: row["self_s"]
+                for row in rows
+                if row["stage"] != "(unaccounted)" and row["self_s"] > 0
+            },
+        })
+    return {
+        "sampler": sampler.stats(kept, len(log.records)),
+        "slowest": slowest,
+    }
 
 
 def _tenant_totals(windows: list[dict]) -> dict[str, dict]:
@@ -180,6 +263,29 @@ def format_dash(payload: dict) -> str:
     else:
         lines.append("")
         lines.append("No burn-rate alerts fired.")
+    if "traces" in payload:
+        panel = payload["traces"]
+        stats = panel["sampler"]
+        reasons = stats["kept_by_reason"]
+        legend = " ".join(
+            f"{glyph}={name.split(':', 1)[1]}" for name, glyph in _STAGE_GLYPHS
+        )
+        lines.append("")
+        lines.append(
+            f"Slowest sampled traces — kept {stats['kept']} of "
+            f"{stats['total']} ({reasons['outcome']} outcome, "
+            f"{reasons['slowest']} slowest, {reasons['hash']} hash); "
+            f"{legend}:"
+        )
+        for trace in panel["slowest"]:
+            outcome = trace["status"] + (
+                f"/{trace['reason']}" if trace["reason"] else ""
+            )
+            lines.append(
+                f"  {trace['trace_id']}  {outcome:<24} "
+                f"{trace['latency']:>8.3f}s  "
+                f"{trace_bar(trace['stages'], trace['latency'])}"
+            )
     lines.append("")
     lines.append(
         f"Flight recorder: {payload['flight_recorded']} events recorded "

@@ -206,3 +206,172 @@ def explain_question(
     if len(interesting) > _MAX_CHAINS:
         lines.append(f"  ... and {len(interesting) - _MAX_CHAINS} more")
     return "\n".join(lines)
+
+
+def explain_request(
+    request_id: int,
+    *,
+    scale: int = 1,
+    seed: int = 0,
+    horizon: Optional[float] = None,
+    multiplier: float = 2.0,
+    window_seconds: Optional[float] = None,
+    batching=None,
+    trace_sample: Optional[int] = None,
+) -> str:
+    """Rerun one serving level and explain one request end to end.
+
+    The rerun is the same deterministic virtual-clock simulation the
+    load test runs, with a passive trace log attached, so the output is
+    stable run over run: the request's terminal outcome, its span tree
+    (attribution tiles exactly — zero unaccounted), the per-stage
+    self-time table, its batch waves and co-members, shared-token
+    apportionment, the tail sampler's verdict, and any SLO alert that
+    carries this trace as its exemplar.
+    """
+    from repro.harness.benchserve import (
+        DEFAULT_HORIZON, DEFAULT_TRACE_SAMPLE, SERVE_DATABASES,
+        build_observability, default_config, default_tenants,
+        measure_capacity, run_level,
+    )
+    from repro.obs.export import format_stage_summary, stage_summary
+    from repro.obs.sampler import TailSampler
+    from repro.obs.timeseries import DEFAULT_WINDOW_SECONDS
+    from repro.serve.trace import ServeTraceLog, materialize_request
+    from repro.swan.benchmark import load_benchmark_subset
+
+    if multiplier <= 0:
+        raise ReproError(f"multiplier must be > 0, got {multiplier}")
+    horizon = horizon if horizon is not None else DEFAULT_HORIZON
+    window_seconds = (
+        window_seconds if window_seconds is not None
+        else DEFAULT_WINDOW_SECONDS
+    )
+    swan = load_benchmark_subset(scale, list(SERVE_DATABASES))
+    config = default_config()
+    tenants = default_tenants()
+    capacity = measure_capacity(
+        swan, config, tenants, seed=seed, horizon=horizon
+    )
+    telemetry, tracker = build_observability(window_seconds=window_seconds)
+    log = ServeTraceLog()
+    run_level(
+        swan, config, tenants, multiplier, capacity,
+        seed=seed, horizon=horizon,
+        telemetry=telemetry, slo_tracker=tracker,
+        batching=batching, trace=log,
+    )
+    record = log.by_request_id(request_id)
+    if record is None:
+        ids = sorted(r.request_id for r in log.records)
+        hint = (
+            f"this run offered request ids {ids[0]}..{ids[-1]}"
+            if ids else "this run offered no requests"
+        )
+        raise ReproError(
+            f"no request {request_id} at {multiplier:g}x "
+            f"(seed={seed}, horizon={horizon:g}s); {hint}"
+        )
+    sampler = TailSampler(
+        seed=seed,
+        slowest_k=(
+            trace_sample if trace_sample is not None else DEFAULT_TRACE_SAMPLE
+        ),
+        window_seconds=window_seconds,
+    )
+    kept = sampler.decide(log.records)
+
+    outcome = record.status + (f"/{record.reason}" if record.reason else "")
+    lines = [
+        f"== request {record.request_id} (trace {record.trace_id}) at "
+        f"{multiplier:g}x capacity, seed={seed} ==",
+        f"outcome: {outcome}  tenant={record.tenant} "
+        f"db={record.database} pipeline={record.pipeline} "
+        f"priority={record.priority}",
+        f"timeline: arrival {record.arrival:.3f}s"
+        + (f", dispatch {record.start:.3f}s" if record.start is not None else "")
+        + (f", land {record.land:.3f}s" if record.land is not None else "")
+        + f", finish {record.finish:.3f}s "
+        f"(deadline {record.deadline_at:.3f}s) — "
+        f"latency {record.latency:.3f}s, queue wait {record.queue_wait:.3f}s",
+    ]
+    if record.trace_id in kept:
+        lines.append(
+            f"tail sampler: KEPT ({kept[record.trace_id]})"
+        )
+    else:
+        lines.append(
+            "tail sampler: dropped (clean serve outside the slowest-"
+            f"{sampler.slowest_k}; explain rebuilds it on demand anyway)"
+        )
+
+    waves = {wave.wave_id: wave for wave in log.waves}
+    root = materialize_request(record, waves)
+    lines.append("")
+    lines.append("span tree (virtual time):")
+    lines.extend("  " + line for line in _render_span(root))
+
+    rows = stage_summary([root])
+    unaccounted = sum(
+        row["self_s"] for row in rows if row["stage"] == "(unaccounted)"
+    )
+    lines.append("")
+    lines.append(format_stage_summary(
+        rows,
+        title=f"Stage attribution over {root.duration:.3f}s "
+        f"offer-to-finish ({unaccounted:.6f}s unaccounted).",
+    ))
+
+    if record.waves:
+        lines.append("")
+        lines.append(f"batch waves ({len(record.waves)}):")
+        for wave_id in record.waves:
+            wave = waves.get(wave_id)
+            if wave is None:
+                lines.append(f"  {wave_id}: (no wave record)")
+                continue
+            others = [m for m in wave.members if m != record.trace_id]
+            lines.append(
+                f"  {wave_id}: flush {wave.flush:.3f}s -> land "
+                f"{wave.land:.3f}s, {wave.calls} call(s) over "
+                f"{wave.items} item(s), shared with "
+                + (", ".join(others) if others else "nobody (solo batch)")
+            )
+        lines.append(
+            f"token apportionment: {record.input_tokens} in / "
+            f"{record.output_tokens} out over {record.llm_calls} call(s); "
+            f"{record.shared_tokens} fan-out token(s) saved by sharing"
+        )
+    elif record.llm_calls:
+        lines.append("")
+        lines.append(
+            f"llm spend: {record.llm_calls} call(s), "
+            f"{record.input_tokens} in / {record.output_tokens} out tokens, "
+            f"{record.retries} retries"
+        )
+    if record.status == "degraded":
+        lines.append(
+            f"degradation: {record.reason}"
+            + (
+                f" ({record.degraded_keys} key(s) answered degraded)"
+                if record.degraded_keys else ""
+            )
+        )
+
+    named = [
+        alert for alert in tracker.alerts
+        if alert.exemplar == record.trace_id
+    ]
+    lines.append("")
+    if named:
+        lines.append(
+            f"this trace is the exemplar of {len(named)} SLO alert(s):"
+        )
+        for alert in named:
+            lines.append(
+                f"  t={alert.time:>7.1f}  [{alert.severity}] {alert.slo} "
+                f"burn={alert.burn_rate:.1f} (window {alert.window})"
+            )
+    else:
+        lines.append("no SLO alert carries this trace as its exemplar.")
+    return "\n".join(lines)

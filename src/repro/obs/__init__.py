@@ -70,6 +70,12 @@ from repro.obs.flightrec import (
     FlightRecorder,
     NullFlightRecorder,
 )
+from repro.obs.sampler import (
+    KEEP_HASH,
+    KEEP_OUTCOME,
+    KEEP_SLOWEST,
+    TailSampler,
+)
 from repro.obs.timeseries import (
     NULL_TIMESERIES,
     NullWindowedAggregator,
@@ -135,6 +141,9 @@ __all__ = [
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "KEEP_HASH",
+    "KEEP_OUTCOME",
+    "KEEP_SLOWEST",
     "LEDGER_SCHEMA_VERSION",
     "MetricsRegistry",
     "NullFlightRecorder",
@@ -150,6 +159,7 @@ __all__ = [
     "ProvenanceRecorder",
     "RunLedger",
     "Span",
+    "TailSampler",
     "Telemetry",
     "Tracer",
     "WindowedAggregator",

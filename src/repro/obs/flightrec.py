@@ -24,7 +24,7 @@ import json
 import threading
 from collections import deque
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 #: default ring size — deep enough for the tail of a sustained burst
 DEFAULT_CAPACITY = 512
@@ -70,6 +70,9 @@ class FlightRecorder:
         self.dropped = 0
         self.recorded = 0
         self.incidents: list[dict] = []
+        #: optional zero-arg callable snapshotting live request context
+        #: (e.g. trace ids in flight / queued) merged into each incident
+        self.context_provider: Optional[Callable[[], dict]] = None
         self._ring: deque[FlightEvent] = deque(maxlen=capacity)
         self._lock = threading.Lock()
 
@@ -116,6 +119,8 @@ class FlightRecorder:
             "events": tail,
             "events_dropped": dropped,
         }
+        if self.context_provider is not None:
+            record["context"] = self.context_provider()
         self.incidents.append(record)
         if self.sink is not None:
             with self.sink.open("a", encoding="utf-8") as handle:

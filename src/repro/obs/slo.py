@@ -125,9 +125,11 @@ class SLOAlert:
     bad: int
     total: int
     budget_consumed: float  # cumulative at fire time
+    #: trace id of a bad event inside the lookback — the budget burner
+    exemplar: Optional[str] = None
 
     def as_record(self) -> dict:
-        return {
+        record = {
             "slo": self.slo,
             "severity": self.severity,
             "time": round(self.time, 6),
@@ -138,12 +140,15 @@ class SLOAlert:
             "total": self.total,
             "budget_consumed": round(self.budget_consumed, 6),
         }
+        if self.exemplar is not None:
+            record["exemplar"] = self.exemplar
+        return record
 
 
 class _SloState:
     """Tracker-internal per-SLO accounting."""
 
-    __slots__ = ("slo", "windows", "good", "bad", "active")
+    __slots__ = ("slo", "windows", "good", "bad", "active", "exemplars")
 
     def __init__(self, slo: SLO) -> None:
         self.slo = slo
@@ -152,6 +157,8 @@ class _SloState:
         self.good = 0
         self.bad = 0
         self.active = {FAST: False, SLOW: False}
+        #: window index → trace id of the window's first bad event
+        self.exemplars: dict[int, str] = {}
 
     @property
     def total(self) -> int:
@@ -230,8 +237,20 @@ class SLOTracker:
 
     # -- recording -----------------------------------------------------------------
 
-    def record(self, name: str, t: float, good: bool) -> None:
-        """One good/bad event for SLO ``name`` at virtual instant ``t``."""
+    def record(
+        self,
+        name: str,
+        t: float,
+        good: bool,
+        *,
+        exemplar: Optional[str] = None,
+    ) -> None:
+        """One good/bad event for SLO ``name`` at virtual instant ``t``.
+
+        ``exemplar`` names the trace behind a *bad* event; each window
+        keeps its first bad exemplar, and an alert firing over that
+        window carries it — the alert names a trace that burned budget.
+        """
         state = self._states.get(name)
         if state is None:
             raise KeyError(f"unknown SLO {name!r}")
@@ -251,6 +270,8 @@ class SLOTracker:
             state.good += 1
         else:
             state.bad += 1
+            if exemplar is not None and index not in state.exemplars:
+                state.exemplars[index] = exemplar
 
     def finalize(self, t_end: Optional[float] = None) -> None:
         """Seal the run: close every open window up to ``t_end``."""
@@ -279,6 +300,11 @@ class SLOTracker:
             burn, bad, total = state.burn_rate(closed, lookback)
             firing = burn >= threshold - 1e-9
             if firing and not state.active[severity]:
+                exemplar = None
+                for index in range(closed, closed - lookback, -1):
+                    if index in state.exemplars:
+                        exemplar = state.exemplars[index]
+                        break
                 alert = SLOAlert(
                     slo=slo.name,
                     severity=severity,
@@ -289,6 +315,7 @@ class SLOTracker:
                     bad=bad,
                     total=total,
                     budget_consumed=state.budget_consumed(),
+                    exemplar=exemplar,
                 )
                 self.alerts.append(alert)
                 if self.on_alert is not None:

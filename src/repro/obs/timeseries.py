@@ -64,24 +64,35 @@ def render_series(name: str, labels: LabelKey) -> str:
 class _Bucket:
     """One (series, window) accumulator."""
 
-    __slots__ = ("count", "sum", "samples")
+    __slots__ = ("count", "sum", "samples", "exemplar", "exemplar_value")
 
     def __init__(self) -> None:
         self.count = 0
         self.sum = 0.0
         self.samples: Optional[list[float]] = None
+        #: trace id of the window's largest exemplared sample
+        self.exemplar: Optional[str] = None
+        self.exemplar_value = 0.0
 
     def add(self, value: float) -> None:
         self.count += 1
         self.sum += value
 
-    def sample(self, value: float) -> None:
+    def sample(self, value: float, exemplar: Optional[str] = None) -> None:
         """Add a value and keep it for percentile computation."""
         self.count += 1
         self.sum += value
         if self.samples is None:
             self.samples = []
         self.samples.append(value)
+        if exemplar is not None and (
+            self.exemplar is None or value > self.exemplar_value
+        ):
+            # first-max wins: deterministic under the serving loop's
+            # recording order, and ties (deadline-clamped latencies)
+            # keep the earliest offender
+            self.exemplar = exemplar
+            self.exemplar_value = value
 
 
 def percentile(samples: list[float], q: float) -> float:
@@ -107,9 +118,11 @@ class WindowRow:
     p50: float = 0.0
     p95: float = 0.0
     p99: float = 0.0
+    #: trace id of the window's max-value sample, when one was offered
+    exemplar: Optional[str] = None
 
     def as_record(self) -> dict:
-        return {
+        record = {
             "window": self.window,
             "start": round(self.start, 6),
             "count": self.count,
@@ -122,6 +135,9 @@ class WindowRow:
             "p95": round(self.p95, 6),
             "p99": round(self.p99, 6),
         }
+        if self.exemplar is not None:
+            record["exemplar"] = self.exemplar
+        return record
 
 
 class WindowedAggregator:
@@ -215,13 +231,25 @@ class WindowedAggregator:
                 bucket.add(float(value))
 
     def observe(
-        self, name: str, t: float, value: Number, **labels: object
+        self,
+        name: str,
+        t: float,
+        value: Number,
+        *,
+        exemplar: Optional[str] = None,
+        **labels: object,
     ) -> None:
-        """A sample-style event: kept for per-window percentiles."""
+        """A sample-style event: kept for per-window percentiles.
+
+        ``exemplar`` names a trace id to attach to the window; the
+        window keeps the exemplar of its largest exemplared sample, so
+        a slow p99 window points straight at the request that made it
+        slow.
+        """
         with self._lock:
             bucket = self._bucket(name, t, labels)
             if bucket is not None:
-                bucket.sample(float(value))
+                bucket.sample(float(value), exemplar)
 
     # -- reading -------------------------------------------------------------------
 
@@ -276,6 +304,7 @@ class WindowedAggregator:
             p50=percentile(ordered, 0.50),
             p95=percentile(ordered, 0.95),
             p99=percentile(ordered, 0.99),
+            exemplar=bucket.exemplar,
         )
 
     def rows(self, name: str, **labels: object) -> list[WindowRow]:
@@ -338,7 +367,15 @@ class NullWindowedAggregator:
     def record(self, name: str, t: float, value: Number = 1, **labels: object) -> None:
         pass
 
-    def observe(self, name: str, t: float, value: Number, **labels: object) -> None:
+    def observe(
+        self,
+        name: str,
+        t: float,
+        value: Number,
+        *,
+        exemplar: Optional[str] = None,
+        **labels: object,
+    ) -> None:
         pass
 
     def span(self) -> tuple[int, int]:

@@ -105,6 +105,39 @@ class Span:
         )
 
 
+def closed_span(
+    name: str,
+    span_id: str,
+    parent: Optional[Span],
+    start: float,
+    end: float,
+    *,
+    lane: int = 0,
+    attributes: Optional[dict] = None,
+) -> Span:
+    """Build an already-finished span with explicit virtual timestamps.
+
+    Post-hoc trace materialization (the serving layer reconstructs span
+    trees from per-request numbers after the run) needs spans whose
+    start/end are chosen, not read from a clock.  The span is attached
+    to ``parent``'s children when one is given.
+    """
+    if end < start:
+        raise ValueError(f"span end {end} precedes start {start}")
+    span = Span(
+        name,
+        span_id,
+        parent.span_id if parent is not None else None,
+        start,
+        lane=lane,
+        attributes=dict(attributes) if attributes else None,
+    )
+    span.end = end
+    if parent is not None:
+        parent.children.append(span)
+    return span
+
+
 class _SpanContext:
     """Context manager that opens a span on entry, closes it on exit."""
 

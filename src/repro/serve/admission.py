@@ -114,7 +114,7 @@ class AdmissionController:
             self._tel.flight.record(
                 request.arrival, "shed",
                 tenant=request.tenant, reason=rejection.reason,
-                request_id=request.request_id,
+                request_id=request.request_id, trace_id=request.trace_id,
             )
             return rejection
         self.admitted += 1
@@ -126,6 +126,7 @@ class AdmissionController:
         self._tel.flight.record(
             request.arrival, "admit",
             tenant=request.tenant, request_id=request.request_id,
+            trace_id=request.trace_id,
         )
         return None
 
@@ -197,6 +198,7 @@ class AdmissionController:
         self._tel.flight.record(
             request.deadline_at, "deadline_reap",
             tenant=request.tenant, request_id=request.request_id,
+            trace_id=request.trace_id,
         )
 
     def accounted(self) -> bool:

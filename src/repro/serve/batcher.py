@@ -90,7 +90,7 @@ class PendingRequest:
     __slots__ = (
         "request", "start", "queue_wait", "overlay", "outstanding",
         "llm_calls", "input_tokens", "output_tokens", "shared_tokens",
-        "degraded_keys",
+        "degraded_keys", "waves",
     )
 
     def __init__(
@@ -108,6 +108,9 @@ class PendingRequest:
         self.shared_tokens = 0
         #: keys degraded by failed flush calls (merged into the outcome)
         self.degraded_keys = 0
+        #: ids of the batch waves this request's items rode on (trace
+        #: bookkeeping only — never read by the batching math)
+        self.waves: list[str] = []
 
 
 class _Item:

@@ -68,6 +68,16 @@ class QueryRequest:
         """Absolute virtual time at which the client gives up."""
         return self.arrival + self.deadline_seconds
 
+    @property
+    def trace_id(self) -> str:
+        """Deterministic trace id — a pure function of the request id.
+
+        Being derivable without any tracer state is what lets metric
+        exemplars and incident context name traces unconditionally while
+        serve outcomes stay byte-identical with tracing off.
+        """
+        return f"t{self.request_id:06d}"
+
 
 @dataclass
 class RequestOutcome:

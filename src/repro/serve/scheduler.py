@@ -56,6 +56,32 @@ class AgingPriorityQueue:
     def depth_for(self, tenant: str) -> int:
         return sum(1 for r in self._entries if r.tenant == tenant)
 
+    def pending(self) -> list[QueryRequest]:
+        """Queued requests in arrival order (a snapshot, not a view)."""
+        return sorted(
+            self._entries, key=lambda r: (r.arrival, r.request_id)
+        )
+
+    def promotion_instants(
+        self, request: QueryRequest, start: float, end: float
+    ) -> list[float]:
+        """Instants in ``(start, end]`` where aging promoted ``request``.
+
+        Every ``aging_interval`` seconds of queueing lowers the
+        effective priority by one full class — these are the moments a
+        trace should mark as re-prioritization events.
+        """
+        instants: list[float] = []
+        step = 1
+        while True:
+            instant = request.arrival + step * self.aging_interval
+            if instant > end:
+                break
+            if instant > start:
+                instants.append(instant)
+            step += 1
+        return instants
+
     def effective_priority(self, request: QueryRequest, now: float) -> float:
         age = max(0.0, now - request.arrival)
         return request.priority - age / self.aging_interval

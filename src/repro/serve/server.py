@@ -79,6 +79,7 @@ from repro.serve.request import (
     RequestOutcome,
 )
 from repro.serve.scheduler import AgingPriorityQueue
+from repro.serve.trace import ServeTraceLog, TraceRecord, WaveRecord
 from repro.swan.benchmark import Swan
 from repro.swan.build import build_curated_database
 from repro.udf.executor import HybridQueryExecutor, _parse_map_answers
@@ -417,12 +418,16 @@ class QueryServer:
         telemetry: Optional[Telemetry] = None,
         slo_tracker: Optional[SLOTracker] = None,
         ledger: Optional[RunLedger] = None,
+        trace: Optional[ServeTraceLog] = None,
     ) -> None:
         self.swan = swan
         self.config = config if config is not None else ServerConfig()
         self.clock = VirtualClock()
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self.slo_tracker = slo_tracker
+        #: passive per-request trace sink (None = tracing off); nothing
+        #: in the event loop ever *reads* it, preserving byte identity
+        self._trace = trace
         self.admission = AdmissionController(
             self.config.queue_limit, policies, telemetry=self._tel
         )
@@ -455,6 +460,12 @@ class QueryServer:
         self._service_ewma: Optional[float] = None
         self._events: list[tuple] = []
         self._seq = 0
+        #: trace ids of requests dispatched but not yet finished — the
+        #: flight recorder snapshots these (plus the queue) into every
+        #: incident, independent of whether tracing is on
+        self._in_flight: set[str] = set()
+        if self._tel.flight.enabled:
+            self._tel.flight.context_provider = self._flight_context
         metrics = self._tel.metrics
         self._m_offered = metrics.counter("serve.offered")
         self._m_admitted = metrics.counter("serve.admitted")
@@ -677,6 +688,73 @@ class QueryServer:
         heapq.heappush(self._events, (when, self._seq, kind, payload))
         self._seq += 1
 
+    def _flight_context(self) -> dict:
+        """Live request context snapshotted into incident dumps.
+
+        Trace ids are pure functions of request ids, so this is
+        recorded whether or not tracing is on — an incident line links
+        to the same traces either way.
+        """
+        return {
+            "in_flight": sorted(self._in_flight),
+            "queued": [r.trace_id for r in self.queue.pending()],
+        }
+
+    def _trace_outcome(
+        self,
+        outcome: RequestOutcome,
+        *,
+        start: Optional[float] = None,
+        land: Optional[float] = None,
+        overhead_seconds: float = 0.0,
+        llm_seconds: float = 0.0,
+        backoff_seconds: float = 0.0,
+        retries: int = 0,
+        waves: Sequence[str] = (),
+    ) -> None:
+        """Append one terminal outcome's trace record (tracing on only)."""
+        if self._trace is None:
+            return
+        request = outcome.request
+        promotions: tuple[float, ...] = ()
+        if start is not None or outcome.reason == "deadline_expired":
+            queue_end = start if start is not None else outcome.finish_time
+            promotions = tuple(
+                self.queue.promotion_instants(
+                    request, request.arrival, queue_end
+                )
+            )
+        self._trace.add(
+            TraceRecord(
+                request_id=request.request_id,
+                trace_id=request.trace_id,
+                tenant=request.tenant,
+                database=request.database,
+                pipeline=request.pipeline,
+                priority=request.priority,
+                arrival=request.arrival,
+                deadline_at=request.deadline_at,
+                status=outcome.status,
+                reason=outcome.reason,
+                finish=outcome.finish_time,
+                queue_wait=outcome.queue_wait,
+                start=start,
+                land=land,
+                overhead_seconds=overhead_seconds,
+                llm_seconds=llm_seconds,
+                backoff_seconds=backoff_seconds,
+                retries=retries,
+                llm_calls=outcome.llm_calls,
+                input_tokens=outcome.input_tokens,
+                output_tokens=outcome.output_tokens,
+                shared_tokens=outcome.shared_tokens,
+                degraded_keys=outcome.degraded_keys,
+                rows=outcome.rows,
+                promotions=promotions,
+                waves=tuple(waves),
+            )
+        )
+
     def _record_outcome(self, outcome: RequestOutcome) -> None:
         """Windowed telemetry + SLO accounting for one terminal outcome.
 
@@ -690,9 +768,13 @@ class QueryServer:
         if ts.enabled:
             ts.record("serve." + outcome.status, t, tenant=request.tenant)
             if outcome.answered:
-                ts.observe("serve.latency", t, outcome.latency)
                 ts.observe(
-                    "serve.latency", t, outcome.latency, tenant=request.tenant
+                    "serve.latency", t, outcome.latency,
+                    exemplar=request.trace_id,
+                )
+                ts.observe(
+                    "serve.latency", t, outcome.latency,
+                    exemplar=request.trace_id, tenant=request.tenant,
                 )
                 tokens = outcome.input_tokens + outcome.output_tokens
                 if tokens:
@@ -706,16 +788,20 @@ class QueryServer:
             self._tel.flight.record(
                 t, "degrade",
                 tenant=request.tenant, reason=outcome.reason or "",
-                request_id=request.request_id,
+                request_id=request.request_id, trace_id=request.trace_id,
             )
         tracker = self.slo_tracker
         if tracker is not None:
             for slo in tracker.slos:
                 if slo.kind == AVAILABILITY:
-                    tracker.record(slo.name, t, outcome.answered)
+                    tracker.record(
+                        slo.name, t, outcome.answered,
+                        exemplar=request.trace_id,
+                    )
                 elif outcome.answered:
                     tracker.record(
-                        slo.name, t, outcome.latency <= slo.latency_target
+                        slo.name, t, outcome.latency <= slo.latency_target,
+                        exemplar=request.trace_id,
                     )
 
     def _retry_hint(self) -> float:
@@ -750,6 +836,7 @@ class QueryServer:
                 retry_after=rejection.retry_after,
             )
             self._record_outcome(outcome)
+            self._trace_outcome(outcome)
             return outcome
         self._m_admitted.inc()
         self.queue.push(request)
@@ -777,6 +864,7 @@ class QueryServer:
                 queue_wait=request.deadline_seconds,
             )
             self._record_outcome(outcome)
+            self._trace_outcome(outcome)
             outcomes.append(outcome)
         while self._in_service < self.config.max_concurrent:
             request = self.queue.pop(now, eligible=self.admission.can_dispatch)
@@ -784,6 +872,7 @@ class QueryServer:
                 break
             self.admission.on_dispatched(request)
             self._in_service += 1
+            self._in_flight.add(request.trace_id)
             if self.batcher is not None:
                 self._begin_batched(request)
             else:
@@ -794,6 +883,7 @@ class QueryServer:
 
     def _on_finish(self, outcome: RequestOutcome) -> None:
         self._in_service -= 1
+        self._in_flight.discard(outcome.request.trace_id)
         self.admission.on_finished(
             outcome.request,
             outcome.input_tokens + outcome.output_tokens,
@@ -826,7 +916,7 @@ class QueryServer:
             finish = min(
                 start + self.config.base_overhead, request.deadline_at
             )
-            return RequestOutcome(
+            outcome = RequestOutcome(
                 request=request,
                 status=DEGRADED,
                 reason="breaker_open",
@@ -834,7 +924,10 @@ class QueryServer:
                 queue_wait=queue_wait,
                 service_seconds=finish - start,
             )
+            self._trace_outcome(outcome, start=start)
+            return outcome
         timer = ServiceTimer(start)
+        retries_before = self.resilience.retries
         usage_before = self.meter.total
         error: Optional[ReproError] = None
         rows: Optional[int] = None
@@ -876,11 +969,8 @@ class QueryServer:
             except ReproError as exc:
                 error = exc
         usage_delta = self.meter.total - usage_before
-        service = (
-            self.config.base_overhead
-            + parallel_makespan(call_sizes, self.config.workers)
-            + timer.elapsed
-        )
+        llm_seconds = parallel_makespan(call_sizes, self.config.workers)
+        service = self.config.base_overhead + llm_seconds + timer.elapsed
         self._service_ewma = (
             service
             if self._service_ewma is None
@@ -906,7 +996,7 @@ class QueryServer:
         else:
             status, reason = SERVED, None
             self.breaker.record_success()
-        return RequestOutcome(
+        outcome = RequestOutcome(
             request=request,
             status=status,
             reason=reason,
@@ -920,6 +1010,15 @@ class QueryServer:
             degraded_keys=degraded_keys,
             partial=status == DEGRADED and rows is not None,
         )
+        self._trace_outcome(
+            outcome,
+            start=start,
+            overhead_seconds=self.config.base_overhead,
+            llm_seconds=llm_seconds,
+            backoff_seconds=timer.elapsed,
+            retries=self.resilience.retries - retries_before,
+        )
+        return outcome
 
     # -- cross-request batching ----------------------------------------------------
     #
@@ -954,6 +1053,7 @@ class QueryServer:
                 queue_wait=queue_wait,
                 service_seconds=finish - start,
             )
+            self._trace_outcome(outcome, start=start)
             self._push_event(outcome.finish_time, "finish", outcome)
             return
         batcher = self.batcher
@@ -1051,13 +1151,30 @@ class QueryServer:
         min_deadline = min(m.request.deadline_at for m in members)
         deadline = Deadline(max(min_deadline - now, 1e-9), wave_timer)
         wave_sizes: list[tuple[int, int]] = []
+        wave_calls = 0
         for group in wave:
-            self._flush_group(group, deadline, wave_sizes, now)
+            wave_calls += self._flush_group(group, deadline, wave_sizes, now)
         land = (
             now
             + parallel_makespan(wave_sizes, self.config.workers)
             + wave_timer.elapsed
         )
+        if self._trace is not None:
+            # one shared dispatch record, linked from every member trace
+            wave_id = self._trace.next_wave_id()
+            ordered = sorted(members, key=lambda m: m.request.request_id)
+            for member in ordered:
+                member.waves.append(wave_id)
+            self._trace.add_wave(
+                WaveRecord(
+                    wave_id=wave_id,
+                    flush=now,
+                    land=land,
+                    members=tuple(m.request.trace_id for m in ordered),
+                    items=sum(len(group.items) for group in wave),
+                    calls=wave_calls,
+                )
+            )
         # a member never waits past its own deadline for the wave: its
         # share lands (and it finalizes, degraded) at the deadline
         # instant, exactly when the unbatched path would give up — the
@@ -1075,8 +1192,11 @@ class QueryServer:
         deadline: Deadline,
         wave_sizes: list[tuple[int, int]],
         now: float,
-    ) -> None:
-        """Dispatch one flushed group; results fan out to every requester."""
+    ) -> int:
+        """Dispatch one flushed group; results fan out to every requester.
+
+        Returns the number of calls the group formed (trace bookkeeping).
+        """
         batcher = self.batcher
         requests_in_group = len(
             {m for _, requesters in group.items for m in requesters}
@@ -1164,6 +1284,7 @@ class QueryServer:
             items=len(group.items), calls=calls_formed,
             requests=requests_in_group,
         )
+        return calls_formed
 
     def _on_land(self, payload: list[tuple[PendingRequest, int]]) -> None:
         """A wave landed: settle each member, finalize the completed ones."""
@@ -1187,6 +1308,7 @@ class QueryServer:
         request = member.request
         timer = ServiceTimer(land)
         remaining = max(request.deadline_at - land, 1e-9)
+        retries_before = self.resilience.retries
         usage_before = self.meter.total
         error: Optional[ReproError] = None
         rows: Optional[int] = None
@@ -1228,11 +1350,8 @@ class QueryServer:
             except ReproError as exc:
                 error = exc
         usage_delta = self.meter.total - usage_before
-        tail = (
-            self.config.base_overhead
-            + parallel_makespan(call_sizes, self.config.workers)
-            + timer.elapsed
-        )
+        tail_llm = parallel_makespan(call_sizes, self.config.workers)
+        tail = self.config.base_overhead + tail_llm + timer.elapsed
         service = (land - member.start) + tail
         self._service_ewma = (
             service
@@ -1258,7 +1377,7 @@ class QueryServer:
         else:
             status, reason = SERVED, None
             self.breaker.record_success()
-        return RequestOutcome(
+        outcome = RequestOutcome(
             request=request,
             status=status,
             reason=reason,
@@ -1273,3 +1392,14 @@ class QueryServer:
             shared_tokens=member.shared_tokens,
             partial=status == DEGRADED and rows is not None,
         )
+        self._trace_outcome(
+            outcome,
+            start=member.start,
+            land=land,
+            overhead_seconds=self.config.base_overhead,
+            llm_seconds=tail_llm,
+            backoff_seconds=timer.elapsed,
+            retries=self.resilience.retries - retries_before,
+            waves=member.waves,
+        )
+        return outcome

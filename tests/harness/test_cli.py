@@ -410,3 +410,130 @@ class TestBatchingFlags:
         out = capsys.readouterr().out
         assert "Query server demo run" in out
         assert "batching: window" not in out
+
+
+class TestTracingFlags:
+    def test_bad_tracing_value(self, capsys):
+        assert main(["loadtest", "--tracing=maybe"]) == 2
+        err = capsys.readouterr().err
+        assert "--tracing must be 'on' or 'off'" in err
+        assert "usage:" in err
+
+    def test_bad_trace_sample_value(self, capsys):
+        assert main(["dash", "--trace-sample=few"]) == 2
+        err = capsys.readouterr().err
+        assert "--trace-sample requires an integer" in err
+        assert "usage:" in err
+
+    def test_negative_trace_sample_rejected(self, capsys):
+        assert main(["serve", "--trace-sample=-1"]) == 2
+        assert "--trace-sample must be >= 0" in capsys.readouterr().err
+
+    def test_flags_documented_in_usage(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "--tracing=on|off" in out
+        assert "--trace-sample=K" in out
+
+    def test_all_serve_targets_accept_the_flags(self):
+        from repro.harness.__main__ import _FLAG_TARGETS
+
+        for target in ("serve", "loadtest", "dash"):
+            for option in ("tracing", "trace_sample"):
+                assert option in _FLAG_TARGETS[target]
+
+    def test_serve_reports_tracing_summary(self, capsys):
+        assert main(["serve", "--horizon=40", "--tracing=on"]) == 0
+        out = capsys.readouterr().out
+        assert "Request tracing: kept" in out
+        assert "worst unaccounted share 0.00%" in out
+
+    def test_tracing_off_by_default(self, capsys):
+        assert main(["serve", "--horizon=40"]) == 0
+        assert "Request tracing:" not in capsys.readouterr().out
+
+    def test_loadtest_tracing_writes_trace_artifacts(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["loadtest", "--horizon=40", "--tracing=on"]) == 0
+        out = capsys.readouterr().out
+        assert "Request tracing (tail sampler" in out
+        assert "attributes 100% of offer-to-finish time" in out
+        assert (tmp_path / "BENCH_serve_traces.json").exists()
+        assert (tmp_path / "BENCH_serve_trace_spans.jsonl").exists()
+        assert (tmp_path / "BENCH_serve_trace_chrome.json").exists()
+
+    def test_dash_tracing_renders_slowest_traces_panel(self, capsys):
+        assert main(["dash", "--horizon=40", "--tracing=on"]) == 0
+        out = capsys.readouterr().out
+        assert "Slowest sampled traces" in out
+
+    def test_dash_without_tracing_has_no_panel(self, capsys):
+        assert main(["dash", "--horizon=40"]) == 0
+        assert "Slowest sampled traces" not in capsys.readouterr().out
+
+
+class TestExplainRequestCommand:
+    def test_requires_request(self, capsys):
+        assert main(["explain-request"]) == 2
+        err = capsys.readouterr().err
+        assert "explain-request requires --request=N" in err
+        assert "usage:" in err
+
+    def test_bad_request_value(self, capsys):
+        assert main(["explain-request", "--request=first"]) == 2
+        assert "--request requires an integer" in capsys.readouterr().err
+
+    def test_negative_request_rejected(self, capsys):
+        assert main(["explain-request", "--request=-3"]) == 2
+        assert "--request must be >= 0" in capsys.readouterr().err
+
+    def test_bad_multiplier_value(self, capsys):
+        assert main([
+            "explain-request", "--request=1", "--multiplier=heavy",
+        ]) == 2
+        assert "--multiplier requires a number" in capsys.readouterr().err
+
+    def test_nonpositive_multiplier_rejected(self, capsys):
+        assert main(["explain-request", "--request=1", "--multiplier=0"]) == 2
+        assert "--multiplier must be > 0" in capsys.readouterr().err
+
+    def test_unknown_request_id_reports_the_offered_range(self, capsys):
+        assert main([
+            "explain-request", "--request=99999", "--horizon=40",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "no request 99999" in err
+        assert "request ids" in err
+
+    def test_must_be_invoked_alone(self, capsys):
+        assert main(["explain-request", "table1"]) == 2
+        assert "invoked alone" in capsys.readouterr().err
+
+    def test_explains_a_request_end_to_end(self, capsys):
+        assert main([
+            "explain-request", "--request=3", "--horizon=40",
+            "--batching=off",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== request 3 (trace t000003)" in out
+        assert "span tree (virtual time):" in out
+        assert "serve:request" in out
+        assert "Stage attribution" in out
+        assert "0.000000s unaccounted" in out
+        assert "tail sampler:" in out
+
+    def test_explains_a_batched_request_with_waves(self, capsys):
+        assert main([
+            "explain-request", "--request=3", "--horizon=40",
+            "--multiplier=4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serve:batch.wait" in out or "serve:service" in out
+        assert "Stage attribution" in out
+
+    def test_documented_in_usage(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "explain-request --request=N" in out

@@ -88,3 +88,62 @@ class TestBatchedDash:
         assert "batch_occupancy_windows" not in payload
         assert "batch occ" not in text
         assert "Cross-request batching:" not in text
+
+
+class TestTraceBar:
+    def test_exact_width_and_chronological_glyphs(self):
+        from repro.harness.dash import trace_bar
+
+        bar = trace_bar(
+            {"serve:queue": 6.0, "serve:llm": 3.0, "llm:backoff": 1.0},
+            10.0, width=20,
+        )
+        assert len(bar) == 20
+        assert bar == "q" * 12 + "#" * 6 + "b" * 2
+
+    def test_zero_total_renders_placeholder(self):
+        from repro.harness.dash import trace_bar
+
+        assert trace_bar({}, 0.0, width=8) == "·" * 8
+
+
+class TestTracedDash:
+    @pytest.fixture(scope="class")
+    def dash(self):
+        from repro.obs.sampler import TailSampler
+
+        return run_dash(
+            horizon=40.0, databases=("superhero",),
+            sampler=TailSampler(),
+        )
+
+    def test_panel_payload_shape(self, dash):
+        payload, _ = dash
+        panel = payload["traces"]
+        assert panel["sampler"]["total"] == payload["serve"]["offered"]
+        assert panel["slowest"]
+        latencies = [t["latency"] for t in panel["slowest"]]
+        assert latencies == sorted(latencies, reverse=True)
+        for trace in panel["slowest"]:
+            assert trace["stages"]
+
+    def test_panel_renders_with_bars(self, dash):
+        _, text = dash
+        assert "Slowest sampled traces" in text
+        assert "q=queue" in text
+
+    def test_deterministic(self, dash):
+        from repro.obs.sampler import TailSampler
+
+        payload, text = dash
+        payload2, text2 = run_dash(
+            horizon=40.0, databases=("superhero",),
+            sampler=TailSampler(),
+        )
+        assert payload == payload2
+        assert text == text2
+
+    def test_untraced_dash_has_no_panel(self):
+        payload, text = run_dash(horizon=40.0, databases=("superhero",))
+        assert "traces" not in payload
+        assert "Slowest sampled traces" not in text

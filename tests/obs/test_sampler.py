@@ -1,0 +1,133 @@
+"""Tests for the deterministic tail-based trace sampler."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs.sampler import (
+    KEEP_HASH,
+    KEEP_OUTCOME,
+    KEEP_SLOWEST,
+    TailSampler,
+)
+
+
+@dataclass
+class FakeRecord:
+    trace_id: str
+    status: str
+    finish: float
+    latency: float
+
+
+def served(trace_id, finish, latency):
+    return FakeRecord(trace_id, "served", finish, latency)
+
+
+class TestValidation:
+    def test_negative_slowest_k_rejected(self):
+        with pytest.raises(ValueError, match="slowest_k"):
+            TailSampler(slowest_k=-1)
+
+    def test_sample_rate_out_of_range_rejected(self):
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError, match="sample_rate"):
+                TailSampler(sample_rate=bad)
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            TailSampler(window_seconds=0.0)
+
+
+class TestKeepRules:
+    def test_non_served_outcomes_always_kept(self):
+        sampler = TailSampler(slowest_k=0, sample_rate=0.0)
+        records = [
+            FakeRecord("t000001", "degraded", 3.0, 1.0),
+            FakeRecord("t000002", "rejected", 4.0, 0.0),
+            served("t000003", 5.0, 0.1),
+        ]
+        kept = sampler.decide(records)
+        assert kept == {
+            "t000001": KEEP_OUTCOME,
+            "t000002": KEEP_OUTCOME,
+        }
+
+    def test_slowest_k_per_finish_window(self):
+        sampler = TailSampler(slowest_k=1, window_seconds=10.0)
+        records = [
+            served("t000001", 3.0, 5.0),
+            served("t000002", 4.0, 2.0),   # same window, faster
+            served("t000003", 15.0, 1.0),  # alone in the next window
+        ]
+        kept = sampler.decide(records)
+        assert kept == {
+            "t000001": KEEP_SLOWEST,
+            "t000003": KEEP_SLOWEST,
+        }
+
+    def test_latency_ties_break_by_trace_id(self):
+        sampler = TailSampler(slowest_k=1, window_seconds=10.0)
+        records = [
+            served("t000009", 3.0, 5.0),
+            served("t000002", 4.0, 5.0),
+        ]
+        assert sampler.decide(records) == {"t000002": KEEP_SLOWEST}
+
+    def test_hash_draw_keeps_everything_at_rate_one(self):
+        sampler = TailSampler(slowest_k=0, sample_rate=1.0)
+        records = [served(f"t{i:06d}", 1.0, 0.1) for i in range(5)]
+        kept = sampler.decide(records)
+        assert set(kept.values()) == {KEEP_HASH}
+        assert len(kept) == 5
+
+    def test_zero_rate_zero_k_drops_all_clean_serves(self):
+        sampler = TailSampler(slowest_k=0, sample_rate=0.0)
+        assert sampler.decide([served("t000001", 1.0, 0.1)]) == {}
+
+
+class TestDeterminism:
+    def test_same_inputs_same_kept_set(self):
+        records = [
+            served(f"t{i:06d}", float(i), float(i % 7)) for i in range(50)
+        ] + [FakeRecord("t000099", "degraded", 51.0, 30.0)]
+        a = TailSampler(seed=3, slowest_k=2, sample_rate=0.25)
+        b = TailSampler(seed=3, slowest_k=2, sample_rate=0.25)
+        assert a.decide(records) == b.decide(records)
+
+    def test_input_order_does_not_matter(self):
+        records = [
+            served(f"t{i:06d}", float(i % 13), float(i % 5)) for i in range(30)
+        ]
+        sampler = TailSampler(seed=1, slowest_k=2, sample_rate=0.5)
+        assert sampler.decide(records) == sampler.decide(records[::-1])
+
+    def test_different_seed_changes_only_hash_keeps(self):
+        records = [served(f"t{i:06d}", 1.0, float(i)) for i in range(40)]
+        kept_a = TailSampler(seed=0, slowest_k=2, sample_rate=0.3).decide(records)
+        kept_b = TailSampler(seed=9, slowest_k=2, sample_rate=0.3).decide(records)
+        slowest_a = {t for t, r in kept_a.items() if r == KEEP_SLOWEST}
+        slowest_b = {t for t, r in kept_b.items() if r == KEEP_SLOWEST}
+        assert slowest_a == slowest_b
+        hash_a = {t for t, r in kept_a.items() if r == KEEP_HASH}
+        hash_b = {t for t, r in kept_b.items() if r == KEEP_HASH}
+        assert hash_a != hash_b
+
+
+class TestStats:
+    def test_counts_by_reason(self):
+        decisions = {
+            "t000001": KEEP_OUTCOME,
+            "t000002": KEEP_SLOWEST,
+            "t000003": KEEP_SLOWEST,
+            "t000004": KEEP_HASH,
+        }
+        stats = TailSampler().stats(decisions, total=10)
+        assert stats == {
+            "total": 10,
+            "kept": 4,
+            "dropped": 6,
+            "kept_by_reason": {
+                KEEP_OUTCOME: 1, KEEP_SLOWEST: 2, KEEP_HASH: 1,
+            },
+        }
